@@ -1,0 +1,122 @@
+// Shared fixtures for the experiment harnesses (E1..E10).
+//
+// Every bench binary regenerates one table/figure of the reconstructed
+// evaluation (see EXPERIMENTS.md). The three evaluation databases are
+// built once per process with sizes that keep the full suite under a few
+// minutes while preserving the paper's size/complexity contrast:
+// university (tiny, running example), mondial (complex schema), dblp
+// (flat schema, larger instance).
+
+#ifndef KM_BENCH_BENCH_COMMON_H_
+#define KM_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/keymantic.h"
+#include "datasets/dblp.h"
+#include "datasets/imdb.h"
+#include "datasets/mondial.h"
+#include "datasets/university.h"
+#include "workload/metrics.h"
+#include "workload/workload.h"
+
+namespace km::bench {
+
+/// One evaluation database with its template set.
+struct EvalDb {
+  std::string name;
+  std::unique_ptr<Database> db;
+  std::vector<QueryTemplate> templates;
+};
+
+inline EvalDb MakeUniversity() {
+  UniversityOptions opts;
+  opts.extra_people = 60;
+  opts.extra_departments = 10;
+  opts.extra_universities = 8;
+  opts.extra_projects = 12;
+  auto db = BuildUniversityDatabase(opts);
+  if (!db.ok()) {
+    std::fprintf(stderr, "university build failed: %s\n",
+                 db.status().ToString().c_str());
+    std::abort();
+  }
+  return {"university", std::make_unique<Database>(std::move(*db)),
+          UniversityTemplates()};
+}
+
+inline EvalDb MakeMondial() {
+  auto db = BuildMondialDatabase();
+  if (!db.ok()) {
+    std::fprintf(stderr, "mondial build failed: %s\n", db.status().ToString().c_str());
+    std::abort();
+  }
+  return {"mondial", std::make_unique<Database>(std::move(*db)), MondialTemplates()};
+}
+
+inline EvalDb MakeDblp(size_t scale = 1) {
+  DblpOptions opts;
+  opts.persons = 1000 * scale;
+  opts.articles = 1500 * scale;
+  opts.inproceedings = 2500 * scale;
+  opts.phd_theses = 100 * scale;
+  auto db = BuildDblpDatabase(opts);
+  if (!db.ok()) {
+    std::fprintf(stderr, "dblp build failed: %s\n", db.status().ToString().c_str());
+    std::abort();
+  }
+  return {"dblp", std::make_unique<Database>(std::move(*db)), DblpTemplates()};
+}
+
+inline EvalDb MakeImdb() {
+  auto db = BuildImdbDatabase();
+  if (!db.ok()) {
+    std::fprintf(stderr, "imdb build failed: %s\n", db.status().ToString().c_str());
+    std::abort();
+  }
+  return {"imdb", std::make_unique<Database>(std::move(*db)), ImdbTemplates()};
+}
+
+/// All four evaluation databases.
+inline std::vector<EvalDb> MakeAllDbs() {
+  std::vector<EvalDb> dbs;
+  dbs.push_back(MakeUniversity());
+  dbs.push_back(MakeMondial());
+  dbs.push_back(MakeDblp());
+  dbs.push_back(MakeImdb());
+  return dbs;
+}
+
+/// Generates the labelled workload for one database (unit-weight graph for
+/// gold interpretations, as the generator requires).
+inline std::vector<WorkloadQuery> MakeWorkload(const EvalDb& eval,
+                                               const Terminology& terminology,
+                                               const SchemaGraph& unit_graph,
+                                               size_t queries_per_template,
+                                               uint64_t seed = 101) {
+  WorkloadOptions opts;
+  opts.queries_per_template = queries_per_template;
+  opts.seed = seed;
+  WorkloadGenerator gen(*eval.db, terminology, unit_graph, opts);
+  auto queries = gen.Generate(eval.templates);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "workload generation failed for %s: %s\n",
+                 eval.name.c_str(), queries.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(*queries);
+}
+
+/// Prints an experiment banner.
+inline void Banner(const char* id, const char* title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace km::bench
+
+#endif  // KM_BENCH_BENCH_COMMON_H_

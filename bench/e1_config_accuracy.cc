@@ -1,0 +1,33 @@
+// E1 — cumulative top-k accuracy of configurations (forward step).
+//
+// Reproduces the shape of the paper's "accuracy of the a-priori forward
+// analysis" figure: for each database, the fraction of queries whose gold
+// configuration appears in the top-k ranked configurations, k ∈ {1,2,3,5,10}.
+// Expected shape: near-perfect on the small/complex-vocabulary databases
+// (university, mondial), lower on the large flat one (dblp).
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace km;
+  using namespace km::bench;
+
+  Banner("E1", "cumulative top-k accuracy of configurations");
+  const std::vector<size_t> ks = {1, 2, 3, 5, 10};
+
+  for (EvalDb& eval : MakeAllDbs()) {
+    KeymanticEngine engine(*eval.db);
+    SchemaGraph unit_graph(engine.terminology(), eval.db->schema());
+    auto workload =
+        MakeWorkload(eval, engine.terminology(), unit_graph, /*per_template=*/15);
+
+    TopKAccuracy acc;
+    for (const WorkloadQuery& q : workload) {
+      auto configs = engine.Configurations(q.keywords, 10);
+      acc.Add(configs.ok() ? RankOfConfiguration(*configs, q.gold_config) : -1);
+    }
+    std::printf("%s\n", FormatAccuracyRow(eval.name, acc, ks).c_str());
+  }
+  std::printf("\n(higher is better; expect university ≈ mondial > dblp)\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// E2 — ablation of the weight-matrix components (forward step).
+//
+// Reproduces the paper-family table quantifying how much each metadata
+// ingredient contributes: synonym thesaurus, domain-pattern recognizers,
+// contextualization, string similarity, and the candidate re-ranking.
+// Expected shape: the full system dominates every ablation;
+// −contextualization and −patterns cost the most.
+
+#include "bench/bench_common.h"
+
+namespace {
+
+struct Variant {
+  const char* name;
+  km::EngineOptions options;
+};
+
+std::vector<Variant> Variants() {
+  using namespace km;
+  std::vector<Variant> out;
+  out.push_back({"full", EngineOptions{}});
+  {
+    EngineOptions o;
+    o.weights.use_synonyms = false;
+    out.push_back({"-synonyms", o});
+  }
+  {
+    EngineOptions o;
+    o.weights.use_domain_patterns = false;
+    out.push_back({"-patterns", o});
+  }
+  {
+    EngineOptions o;
+    o.forward.contextualize.enabled = false;
+    out.push_back({"-contextualization", o});
+  }
+  {
+    EngineOptions o;
+    o.weights.use_string_similarity = false;
+    out.push_back({"-string-sim", o});
+  }
+  {
+    EngineOptions o;
+    o.forward.mode = ConfigGenMode::kIntrinsicOnly;
+    out.push_back({"intrinsic-only", o});
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace km;
+  using namespace km::bench;
+
+  Banner("E2", "ablation of the forward-step weight components");
+  const std::vector<size_t> ks = {1, 10};
+
+  for (EvalDb& eval : MakeAllDbs()) {
+    std::printf("\n[%s]\n", eval.name.c_str());
+    Terminology terminology(eval.db->schema());
+    SchemaGraph unit_graph(terminology, eval.db->schema());
+    auto workload = MakeWorkload(eval, terminology, unit_graph, 10);
+
+    for (const Variant& v : Variants()) {
+      KeymanticEngine engine(*eval.db, v.options);
+      TopKAccuracy acc;
+      for (const WorkloadQuery& q : workload) {
+        auto configs = engine.Configurations(q.keywords, 10);
+        acc.Add(configs.ok() ? RankOfConfiguration(*configs, q.gold_config) : -1);
+      }
+      std::printf("%s\n", FormatAccuracyRow(v.name, acc, ks).c_str());
+    }
+  }
+  std::printf("\n(expect 'full' to dominate each ablation)\n");
+  return 0;
+}

@@ -1,0 +1,242 @@
+// E3 — accuracy of the backward step (interpretations) in isolation.
+//
+// Starting from the *gold* configurations (so forward errors do not blur
+// the picture), ranks join trees with three strategies: Steiner trees with
+// mutual-information edge weights, Steiner trees with uniform weights, and
+// the greedy shortest-path baseline.
+//
+// Ground truth is semantic, not algorithmic: among the union of all
+// candidate trees, the gold interpretation is the structurally cheapest
+// (fewest edges) whose translated SQL returns a non-empty result — the
+// paper's point that an interpretation should both be minimal and actually
+// connect data. Reported per method:
+//   * top-k accuracy against that gold,
+//   * the fraction of queries whose *top-1* tree yields zero tuples (the
+//     failure mode the MI weighting is designed to minimize).
+//
+// Two regimes are measured:
+//   E3a — the standard densely-linked databases with correlated workloads:
+//         every method is near-perfect (the cheapest tree already connects
+//         data), so this mostly separates Steiner from the shortest-path
+//         baseline beyond top-1.
+//   E3b — a sparse-join mondial (link tables cover 30% of features) with
+//         *uncorrelated* keyword values: many cheap join paths are empty,
+//         and the MI weighting should cut the empty@1 rate.
+
+#include <map>
+
+#include "bench/bench_common.h"
+#include "core/translate.h"
+#include "engine/executor.h"
+#include "graph/mi.h"
+
+namespace {
+
+using namespace km;
+using namespace km::bench;
+
+void RunSection(const EvalDb& eval, const std::vector<WorkloadQuery>& workload,
+                const Terminology& terminology, const SchemaGraph& unit_graph,
+                const SchemaGraph& mi_graph) {
+  const std::vector<size_t> ks = {1, 2, 3, 5};
+  Executor exec(*eval.db);
+
+  struct MethodStats {
+    TopKAccuracy acc;
+    size_t empty_top1 = 0;
+    size_t answered = 0;
+  };
+  std::map<std::string, MethodStats> stats;
+
+  for (const WorkloadQuery& q : workload) {
+    std::vector<size_t> terminals = TerminalsOfConfiguration(q.gold_config);
+    SteinerOptions opts;
+    opts.k = 10;
+
+    auto mi_trees = TopKSteinerTrees(mi_graph, terminals, opts);
+    auto uni_trees = TopKSteinerTrees(unit_graph, terminals, opts);
+    auto sp_trees = ShortestPathTrees(unit_graph, terminals, 10);
+    if (!mi_trees.ok() || !uni_trees.ok() || !sp_trees.ok()) continue;
+
+    // Semantic gold: cheapest (fewest edges) candidate whose SQL is
+    // non-empty, over the union of all methods' candidates. Memoized per
+    // query since the same tree appears in several lists.
+    std::map<std::string, bool> non_empty_cache;
+    auto non_empty = [&](const Interpretation& t) {
+      auto [it, fresh] = non_empty_cache.emplace(t.Signature(), false);
+      if (!fresh) return it->second;
+      auto sql = TranslateToSql(q.keywords, q.gold_config, t, terminology,
+                                eval.db->schema(), unit_graph);
+      if (sql.ok()) {
+        auto count = exec.Count(*sql);
+        it->second = count.ok() && *count > 0;
+      }
+      return it->second;
+    };
+    std::map<std::string, const Interpretation*> pool;
+    for (const auto* list : {&*mi_trees, &*uni_trees, &*sp_trees}) {
+      for (const Interpretation& t : *list) pool.emplace(t.Signature(), &t);
+    }
+    const Interpretation* gold = nullptr;
+    for (const auto& [sig, tree] : pool) {
+      if (!non_empty(*tree)) continue;
+      if (gold == nullptr || tree->edges.size() < gold->edges.size()) gold = tree;
+    }
+    if (gold == nullptr) continue;  // no connecting data at all
+    std::string gold_sig = gold->Signature();
+
+    auto record = [&](const char* name, const std::vector<Interpretation>& trees) {
+      MethodStats& s = stats[name];
+      s.acc.Add(RankOfInterpretation(trees, gold_sig));
+      ++s.answered;
+      if (!trees.empty() && !non_empty(trees[0])) ++s.empty_top1;
+    };
+    record("steiner-mi", *mi_trees);
+    record("steiner-uniform", *uni_trees);
+    record("shortest-path", *sp_trees);
+  }
+
+  for (const char* name : {"steiner-mi", "steiner-uniform", "shortest-path"}) {
+    const MethodStats& s = stats[name];
+    double empty_rate = s.answered > 0
+                            ? 100.0 * static_cast<double>(s.empty_top1) /
+                                  static_cast<double>(s.answered)
+                            : 0.0;
+    std::printf("%s  empty@1 %5.1f%%\n", FormatAccuracyRow(name, s.acc, ks).c_str(),
+                empty_rate);
+  }
+}
+
+}  // namespace
+
+int main() {
+  Banner("E3", "backward-step accuracy: Steiner(MI) vs Steiner(uniform) vs SP");
+
+  std::printf("\n--- E3a: dense links, correlated workloads ---\n");
+  for (EvalDb& eval : MakeAllDbs()) {
+    std::printf("\n[%s]\n", eval.name.c_str());
+    Terminology terminology(eval.db->schema());
+    SchemaGraph unit_graph(terminology, eval.db->schema());
+    SchemaGraph mi_graph(terminology, eval.db->schema());
+    if (!ApplyMiWeights(*eval.db, &mi_graph).ok()) {
+      std::fprintf(stderr, "MI weighting failed\n");
+      return 1;
+    }
+    auto workload = MakeWorkload(eval, terminology, unit_graph, 6);
+    RunSection(eval, workload, terminology, unit_graph, mi_graph);
+  }
+
+  std::printf("\n--- E3b: differential-sparsity microbenchmark ---\n");
+  std::printf("two equal-length join paths between A and B: THIN (5 rows)\n");
+  std::printf("vs WIDE (600 rows); facts are drawn from WIDE joins. Run for\n");
+  std::printf("both schema declaration orders: methods that cannot see join\n");
+  std::printf("statistics break the tie by declaration order and flip.\n");
+  for (bool wide_first : {false, true}) {
+    std::printf("\n[%s declared first]\n", wide_first ? "WIDE" : "THIN");
+    // Build the two-path database.
+    Database db("twopath");
+    auto must = [](const Status& s) {
+      if (!s.ok()) {
+        std::fprintf(stderr, "twopath build failed: %s\n", s.ToString().c_str());
+        std::abort();
+      }
+    };
+    must(db.CreateRelation(RelationSchema(
+        "A", {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+              {"X", DataType::kText, DomainTag::kProperNoun}})));
+    must(db.CreateRelation(RelationSchema(
+        "B", {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+              {"Y", DataType::kText, DomainTag::kProperNoun}})));
+    std::vector<const char*> links = wide_first
+                                         ? std::vector<const char*>{"WIDE", "THIN"}
+                                         : std::vector<const char*>{"THIN", "WIDE"};
+    for (const char* link : links) {
+      must(db.CreateRelation(RelationSchema(
+          link, {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+                 {"A", DataType::kText, DomainTag::kIdentifier},
+                 {"B", DataType::kText, DomainTag::kIdentifier}})));
+      must(db.AddForeignKey({link, "A", "A", "Id"}));
+      must(db.AddForeignKey({link, "B", "B", "Id"}));
+    }
+    Rng rng(77);
+    const size_t n = 60;
+    for (size_t i = 0; i < n; ++i) {
+      must(db.Insert("A", {Value::Text("a" + std::to_string(i)),
+                           Value::Text("Alpha" + std::to_string(i))}));
+      must(db.Insert("B", {Value::Text("b" + std::to_string(i)),
+                           Value::Text("Beta" + std::to_string(i))}));
+    }
+    std::vector<std::pair<size_t, size_t>> wide_pairs;
+    for (size_t i = 0; i < 600; ++i) {
+      size_t a = rng.Uniform(n), b = rng.Uniform(n);
+      must(db.Insert("WIDE", {Value::Text("w" + std::to_string(i)),
+                              Value::Text("a" + std::to_string(a)),
+                              Value::Text("b" + std::to_string(b))}));
+      wide_pairs.push_back({a, b});
+    }
+    for (size_t i = 0; i < 5; ++i) {
+      must(db.Insert("THIN", {Value::Text("t" + std::to_string(i)),
+                              Value::Text("a" + std::to_string(rng.Uniform(n))),
+                              Value::Text("b" + std::to_string(rng.Uniform(n)))}));
+    }
+
+    Terminology terminology(db.schema());
+    SchemaGraph unit_graph(terminology, db.schema());
+    SchemaGraph mi_graph(terminology, db.schema());
+    must(ApplyMiWeights(db, &mi_graph));
+    Executor exec(db);
+    auto ax = *terminology.DomainTerm("A", "X");
+    auto by = *terminology.DomainTerm("B", "Y");
+
+    struct Res {
+      size_t empty_top1 = 0;
+      size_t total = 0;
+    };
+    std::map<std::string, Res> res;
+    Configuration config;
+    config.term_for_keyword = {ax, by};
+    for (size_t trial = 0; trial < 100; ++trial) {
+      auto [a, b] = wide_pairs[rng.Uniform(wide_pairs.size())];
+      std::vector<std::string> keywords = {"Alpha" + std::to_string(a),
+                                           "Beta" + std::to_string(b)};
+      auto eval_method = [&](const char* name, const SchemaGraph& g,
+                             bool shortest_path) {
+        std::vector<Interpretation> trees;
+        if (shortest_path) {
+          auto t = ShortestPathTrees(g, {ax, by}, 1);
+          if (t.ok()) trees = std::move(*t);
+        } else {
+          SteinerOptions opts;
+          opts.k = 1;
+          auto t = TopKSteinerTrees(g, {ax, by}, opts);
+          if (t.ok()) trees = std::move(*t);
+        }
+        Res& r = res[name];
+        ++r.total;
+        if (trees.empty()) {
+          ++r.empty_top1;
+          return;
+        }
+        auto sql = TranslateToSql(keywords, config, trees[0], terminology,
+                                  db.schema(), g);
+        auto count = sql.ok() ? exec.Count(*sql) : StatusOr<size_t>(sql.status());
+        if (!count.ok() || *count == 0) ++r.empty_top1;
+      };
+      eval_method("steiner-mi", mi_graph, false);
+      eval_method("steiner-uniform", unit_graph, false);
+      eval_method("shortest-path", unit_graph, true);
+    }
+    for (const auto& [name, r] : res) {
+      std::printf("%-20s empty@1 %5.1f%%  (n=%zu)\n", name.c_str(),
+                  100.0 * static_cast<double>(r.empty_top1) /
+                      static_cast<double>(r.total),
+                  r.total);
+    }
+  }
+
+  std::printf("\n(E3a: all methods near-perfect, Steiner >= shortest-path beyond\n"
+              " top-1; E3b: steiner-mi routes through the dense link and should\n"
+              " show a near-zero empty@1 rate while uniform weights cannot tell\n"
+              " the two equal-length paths apart)\n");
+  return 0;
+}

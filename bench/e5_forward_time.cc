@@ -1,0 +1,106 @@
+// E5 — forward-step latency vs number of keywords and k (google-benchmark).
+//
+// Reproduces the "time for computing the configurations" figure: time to
+// produce the top-k configurations for queries of 1..5 keywords on each
+// database. Expected shape: roughly linear growth in the number of
+// keywords and in k; dblp slower than mondial/university because its
+// instance-backed value index is larger.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace km;
+using namespace km::bench;
+
+struct Fixture {
+  EvalDb eval;
+  std::unique_ptr<KeymanticEngine> engine;
+  // A pool of realistic keywords: schema words and instance values.
+  std::vector<std::string> keyword_pool;
+};
+
+Fixture MakeFixture(EvalDb eval) {
+  Fixture f{std::move(eval), nullptr, {}};
+  f.engine = std::make_unique<KeymanticEngine>(*f.eval.db);
+  Rng rng(99);
+  // Schema words.
+  for (const RelationSchema& r : f.eval.db->schema().relations()) {
+    f.keyword_pool.push_back(r.name());
+    for (const AttributeDef& a : r.attributes()) f.keyword_pool.push_back(a.name);
+  }
+  // Instance values (bounded).
+  for (const RelationSchema& r : f.eval.db->schema().relations()) {
+    const Table* t = f.eval.db->FindTable(r.name());
+    if (t == nullptr || t->empty()) continue;
+    for (size_t a = 0; a < r.arity() && f.keyword_pool.size() < 4000; ++a) {
+      for (int i = 0; i < 3; ++i) {
+        const Row& row = t->rows()[rng.Uniform(t->size())];
+        if (!row[a].is_null()) f.keyword_pool.push_back(row[a].ToString());
+      }
+    }
+  }
+  return f;
+}
+
+Fixture* GetFixture(int db_index) {
+  static Fixture* kFixtures[3] = {nullptr, nullptr, nullptr};
+  if (kFixtures[db_index] == nullptr) {
+    switch (db_index) {
+      case 0: kFixtures[0] = new Fixture(MakeFixture(MakeUniversity())); break;
+      case 1: kFixtures[1] = new Fixture(MakeFixture(MakeMondial())); break;
+      default: kFixtures[2] = new Fixture(MakeFixture(MakeDblp())); break;
+    }
+  }
+  return kFixtures[db_index];
+}
+
+void BM_ForwardStep(benchmark::State& state) {
+  Fixture* f = GetFixture(static_cast<int>(state.range(0)));
+  const size_t num_keywords = static_cast<size_t>(state.range(1));
+  const size_t k = static_cast<size_t>(state.range(2));
+  Rng rng(7);
+  // Pre-draw query batches so drawing is outside the timed region.
+  std::vector<std::vector<std::string>> queries;
+  for (int i = 0; i < 32; ++i) {
+    std::vector<std::string> kws;
+    for (size_t j = 0; j < num_keywords; ++j) {
+      kws.push_back(rng.Pick(f->keyword_pool));
+    }
+    queries.push_back(std::move(kws));
+  }
+  size_t qi = 0;
+  for (auto _ : state) {
+    auto configs = f->engine->Configurations(queries[qi], k);
+    benchmark::DoNotOptimize(configs);
+    qi = (qi + 1) % queries.size();
+  }
+  state.SetLabel(f->eval.name);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ForwardStep)
+    ->ArgNames({"db", "keywords", "k"})
+    ->Args({0, 1, 10})
+    ->Args({0, 2, 10})
+    ->Args({0, 3, 10})
+    ->Args({0, 5, 10})
+    ->Args({1, 1, 10})
+    ->Args({1, 2, 10})
+    ->Args({1, 3, 10})
+    ->Args({1, 5, 10})
+    ->Args({2, 1, 10})
+    ->Args({2, 2, 10})
+    ->Args({2, 3, 10})
+    ->Args({2, 5, 10})
+    ->Args({1, 3, 1})
+    ->Args({1, 3, 100})
+    ->Args({2, 3, 1})
+    ->Args({2, 3, 100})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// E6 — forward-step latency vs terminology size (google-benchmark).
+//
+// Reproduces the "matching time as the schema grows" figure: synthetic
+// chain-plus-chords schemas sweep |T(D)| over more than an order of
+// magnitude. Expected shape: superlinear (assignment is cubic-ish in the
+// matrix dimension) but tractable well past the size of real schemas.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "datasets/scaling.h"
+
+namespace {
+
+using namespace km;
+using namespace km::bench;
+
+struct Fixture {
+  std::unique_ptr<Database> db;
+  std::unique_ptr<KeymanticEngine> engine;
+  std::vector<std::string> keyword_pool;
+  size_t terminology_size;
+};
+
+Fixture* GetFixture(size_t num_relations) {
+  static std::map<size_t, Fixture*>* kCache = new std::map<size_t, Fixture*>();
+  auto it = kCache->find(num_relations);
+  if (it != kCache->end()) return it->second;
+
+  ScalingOptions opts;
+  opts.num_relations = num_relations;
+  opts.attributes_per_relation = 5;
+  auto db = BuildScalingDatabase(opts);
+  if (!db.ok()) std::abort();
+  auto* f = new Fixture();
+  f->db = std::make_unique<Database>(std::move(*db));
+  f->terminology_size = f->db->schema().TerminologySize();
+  EngineOptions eopts;
+  eopts.use_mi_weights = false;  // isolate matching cost
+  f->engine = std::make_unique<KeymanticEngine>(*f->db, eopts);
+  Rng rng(3);
+  for (const RelationSchema& r : f->db->schema().relations()) {
+    for (const AttributeDef& a : r.attributes()) f->keyword_pool.push_back(a.name);
+    const Table* t = f->db->FindTable(r.name());
+    if (t != nullptr && !t->empty()) {
+      const Row& row = t->rows()[rng.Uniform(t->size())];
+      for (const Value& v : row) {
+        if (!v.is_null()) f->keyword_pool.push_back(v.ToString());
+      }
+    }
+  }
+  (*kCache)[num_relations] = f;
+  return f;
+}
+
+void BM_ForwardVsTerminology(benchmark::State& state) {
+  Fixture* f = GetFixture(static_cast<size_t>(state.range(0)));
+  Rng rng(11);
+  std::vector<std::vector<std::string>> queries;
+  for (int i = 0; i < 16; ++i) {
+    queries.push_back(
+        {rng.Pick(f->keyword_pool), rng.Pick(f->keyword_pool), rng.Pick(f->keyword_pool)});
+  }
+  size_t qi = 0;
+  for (auto _ : state) {
+    auto configs = f->engine->Configurations(queries[qi], 10);
+    benchmark::DoNotOptimize(configs);
+    qi = (qi + 1) % queries.size();
+  }
+  state.SetLabel("terms=" + std::to_string(f->terminology_size));
+}
+
+}  // namespace
+
+BENCHMARK(BM_ForwardVsTerminology)
+    ->ArgNames({"relations"})
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(40)
+    ->Arg(80)
+    ->Arg(160)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,142 @@
+// E7 — backward-step latency: top-k Steiner trees vs number of terminals
+// and k (google-benchmark).
+//
+// Reproduces the "time required for computing the interpretations" figure.
+// Expected shape: exponential in the number of terminals (the 3^l term of
+// DPBF), roughly linear in k, and heavier on mondial (dense FK fabric)
+// than on dblp (flat schema).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "graph/summary.h"
+
+namespace {
+
+using namespace km;
+using namespace km::bench;
+
+struct Fixture {
+  EvalDb eval;
+  std::unique_ptr<Terminology> terminology;
+  std::unique_ptr<SchemaGraph> graph;
+  std::vector<size_t> domain_terms;
+};
+
+Fixture* GetFixture(int which) {
+  static Fixture* kFixtures[2] = {nullptr, nullptr};
+  if (kFixtures[which] == nullptr) {
+    auto* f = new Fixture{which == 0 ? MakeMondial() : MakeDblp(), nullptr, nullptr, {}};
+    f->terminology = std::make_unique<Terminology>(f->eval.db->schema());
+    f->graph = std::make_unique<SchemaGraph>(*f->terminology, f->eval.db->schema());
+    for (size_t i = 0; i < f->terminology->size(); ++i) {
+      if (f->terminology->term(i).kind == TermKind::kDomain) {
+        f->domain_terms.push_back(i);
+      }
+    }
+    kFixtures[which] = f;
+  }
+  return kFixtures[which];
+}
+
+void BM_SteinerTrees(benchmark::State& state) {
+  Fixture* f = GetFixture(static_cast<int>(state.range(0)));
+  const size_t terminals = static_cast<size_t>(state.range(1));
+  const size_t k = static_cast<size_t>(state.range(2));
+  Rng rng(23);
+  std::vector<std::vector<size_t>> terminal_sets;
+  for (int i = 0; i < 16; ++i) {
+    std::vector<size_t> pool = f->domain_terms;
+    rng.Shuffle(&pool);
+    pool.resize(terminals);
+    terminal_sets.push_back(std::move(pool));
+  }
+  SteinerOptions opts;
+  opts.k = k;
+  size_t ti = 0;
+  for (auto _ : state) {
+    auto trees = TopKSteinerTrees(*f->graph, terminal_sets[ti], opts);
+    benchmark::DoNotOptimize(trees);
+    ti = (ti + 1) % terminal_sets.size();
+  }
+  state.SetLabel(f->eval.name);
+}
+
+void BM_ShortestPathBaseline(benchmark::State& state) {
+  Fixture* f = GetFixture(static_cast<int>(state.range(0)));
+  const size_t terminals = static_cast<size_t>(state.range(1));
+  Rng rng(29);
+  std::vector<size_t> pool = f->domain_terms;
+  rng.Shuffle(&pool);
+  pool.resize(terminals);
+  for (auto _ : state) {
+    auto trees = ShortestPathTrees(*f->graph, pool, 10);
+    benchmark::DoNotOptimize(trees);
+  }
+  state.SetLabel(f->eval.name);
+}
+
+
+void BM_SummaryTrees(benchmark::State& state) {
+  Fixture* f = GetFixture(static_cast<int>(state.range(0)));
+  const size_t terminals = static_cast<size_t>(state.range(1));
+  const size_t k = static_cast<size_t>(state.range(2));
+  static SummaryGraph* summaries[2] = {nullptr, nullptr};
+  int which = static_cast<int>(state.range(0));
+  if (summaries[which] == nullptr) summaries[which] = new SummaryGraph(*f->graph);
+  Rng rng(23);
+  std::vector<std::vector<size_t>> terminal_sets;
+  for (int i = 0; i < 16; ++i) {
+    std::vector<size_t> pool = f->domain_terms;
+    rng.Shuffle(&pool);
+    pool.resize(terminals);
+    terminal_sets.push_back(std::move(pool));
+  }
+  SteinerOptions opts;
+  opts.k = k;
+  size_t ti = 0;
+  for (auto _ : state) {
+    auto trees = summaries[which]->TopKTrees(terminal_sets[ti], opts);
+    benchmark::DoNotOptimize(trees);
+    ti = (ti + 1) % terminal_sets.size();
+  }
+  state.SetLabel(f->eval.name);
+}
+
+}  // namespace
+
+BENCHMARK(BM_SteinerTrees)
+    ->ArgNames({"db", "terminals", "k"})
+    ->Args({0, 2, 10})
+    ->Args({0, 3, 10})
+    ->Args({0, 4, 10})
+    ->Args({0, 5, 10})
+    ->Args({1, 2, 10})
+    ->Args({1, 3, 10})
+    ->Args({1, 4, 10})
+    ->Args({1, 5, 10})
+    ->Args({0, 3, 1})
+    ->Args({0, 3, 50})
+    ->Args({1, 3, 1})
+    ->Args({1, 3, 50})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_ShortestPathBaseline)
+    ->ArgNames({"db", "terminals"})
+    ->Args({0, 3})
+    ->Args({0, 5})
+    ->Args({1, 3})
+    ->Args({1, 5})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_SummaryTrees)
+    ->ArgNames({"db", "terminals", "k"})
+    ->Args({0, 3, 10})
+    ->Args({0, 5, 10})
+    ->Args({1, 3, 10})
+    ->Args({1, 5, 10})
+    ->Args({0, 3, 50})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

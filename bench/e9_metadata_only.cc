@@ -1,0 +1,78 @@
+// E9 — the no-instance-access (deep web) scenario.
+//
+// The paper's core claim: keyword queries can be answered from metadata
+// alone. This harness compares three access levels on identical workloads:
+//   full-access    — instance vocabulary + MI edge weights (upper bound),
+//   metadata-only  — no instance reads at all: shape recognizers, string
+//                    similarity, thesaurus, uniform graph weights,
+//   no-patterns    — metadata-only with the recognizers also disabled
+//                    (what is left without the paper's contribution).
+// Reports configuration and end-to-end accuracy. Expected shape: a gap
+// between full access and metadata-only, but metadata-only remains far
+// above the stripped variant.
+
+#include "bench/bench_common.h"
+
+namespace {
+
+km::EngineOptions FullAccess() { return {}; }
+
+km::EngineOptions MetadataOnly() {
+  km::EngineOptions o;
+  o.weights.use_instance_vocabulary = false;
+  o.use_mi_weights = false;
+  o.build_phrase_vocabulary = false;
+  return o;
+}
+
+km::EngineOptions NoPatterns() {
+  km::EngineOptions o = MetadataOnly();
+  o.weights.use_domain_patterns = false;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  using namespace km;
+  using namespace km::bench;
+
+  Banner("E9", "no-instance-access scenario (metadata-only matching)");
+  const std::vector<size_t> ks = {1, 3, 10};
+
+  const struct {
+    const char* name;
+    EngineOptions (*make)();
+  } kLevels[] = {
+      {"full-access", FullAccess},
+      {"metadata-only", MetadataOnly},
+      {"no-patterns", NoPatterns},
+  };
+
+  for (EvalDb& eval : MakeAllDbs()) {
+    std::printf("\n[%s]\n", eval.name.c_str());
+    Terminology terminology(eval.db->schema());
+    SchemaGraph unit_graph(terminology, eval.db->schema());
+    auto workload = MakeWorkload(eval, terminology, unit_graph, 10);
+
+    for (const auto& level : kLevels) {
+      EngineOptions opts = level.make();
+      opts.use_mi_weights = false;  // comparable gold-tree signatures
+      KeymanticEngine engine(*eval.db, opts);
+      TopKAccuracy config_acc, sql_acc;
+      for (const WorkloadQuery& q : workload) {
+        auto configs = engine.Configurations(q.keywords, 10);
+        config_acc.Add(configs.ok() ? RankOfConfiguration(*configs, q.gold_config)
+                                    : -1);
+        auto results = engine.SearchKeywords(q.keywords, 10);
+        sql_acc.Add(results.ok() ? RankOfExplanation(*results, q.gold_sql_signature)
+                                 : -1);
+      }
+      std::printf("%s   [configs]\n",
+                  FormatAccuracyRow(level.name, config_acc, ks).c_str());
+      std::printf("%s   [sql]\n", FormatAccuracyRow("", sql_acc, ks).c_str());
+    }
+  }
+  std::printf("\n(expect full-access > metadata-only >> no-patterns)\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// The deep-web / no-instance-access scenario: the paper's headline use
+// case.
+//
+// Simulates querying a source whose *instance* is inaccessible (a federated
+// source or web database exposing only its schema): the engine is built
+// with instance vocabulary, MI statistics and phrase-vocabulary extraction
+// all disabled, so every keyword→term match relies purely on metadata —
+// schema-name similarity, the synonym thesaurus and the value-shape
+// recognizers. The generated SQL is then executed against the full
+// database, playing the role of the remote source answering the query.
+//
+// Run:  ./build/examples/deep_web
+
+#include <cstdio>
+
+#include "core/keymantic.h"
+#include "datasets/university.h"
+#include "engine/executor.h"
+
+int main() {
+  auto db = km::BuildUniversityDatabase();
+  if (!db.ok()) {
+    std::fprintf(stderr, "failed to build database: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+
+  km::EngineOptions opts;
+  opts.weights.use_instance_vocabulary = false;  // no full-text index
+  opts.use_mi_weights = false;                   // no join statistics
+  opts.build_phrase_vocabulary = false;          // no value vocabulary
+  km::KeymanticEngine engine(*db, opts);
+  std::printf("engine built with metadata only (no instance access)\n\n");
+
+  km::Executor exec(*db);  // plays the remote source
+
+  // These queries exercise the three metadata signals:
+  //   shape recognizers  — "4631234" is phone-shaped, "IT" code-shaped,
+  //                        "2012-04-05" date-shaped;
+  //   schema similarity  — "department", "email";
+  //   thesaurus          — "nation" ~ country, "person" ~ people.
+  const char* kQueries[] = {
+      "Vokram IT",
+      "person 4631234",
+      "email Reniets",
+      "department address",
+      "projects 2011",
+      "nation Trento",
+  };
+
+  for (const char* query : kQueries) {
+    std::printf("──────────────────────────────────────────────────\n");
+    std::printf("query: \"%s\"\n", query);
+    auto results = engine.Search(query, 3);
+    if (!results.ok()) {
+      std::printf("  no answer: %s\n", results.status().ToString().c_str());
+      continue;
+    }
+    std::vector<std::string> keywords =
+        km::Tokenize(query, engine.tokenizer_options());
+    for (size_t i = 0; i < results->size(); ++i) {
+      const km::Explanation& ex = (*results)[i];
+      std::printf("  #%zu (score %.3f): %s\n", i + 1, ex.score,
+                  ex.configuration.ToString(keywords, engine.terminology()).c_str());
+    }
+    // "Send" the best SQL to the remote source.
+    auto rs = exec.Execute((*results)[0].sql);
+    if (rs.ok()) {
+      std::printf("  remote source returns %zu tuple(s)\n", rs->size());
+    }
+  }
+  return 0;
+}

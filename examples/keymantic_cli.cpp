@@ -1,0 +1,229 @@
+// Interactive keyword-search shell over the bundled databases.
+//
+//   ./build/examples/keymantic_cli [--db=university|mondial|dblp]
+//                                  [--metadata-only] [--k=N]
+//
+// Type keyword queries at the prompt. Commands:
+//   \schema          list relations and attributes
+//   \sql N           show the full SQL of answer N of the last query
+//   \run N           execute answer N and print its tuples (up to 10)
+//   \csv N           dump answer N's result as CSV
+//   \accept N        positive feedback: train the HMM on answer N's
+//                    configuration and adapt the ranker confidences
+//   \reject          negative feedback on the last top answer
+//   \explain WORD    show the strongest term matches of one keyword
+//   \stats           feedback state and current engine configuration
+//   \quit            exit
+//
+// Feedback drives the FeedbackManager: after enough accepted answers the
+// engine switches to the DST combination of the metadata ranker and the
+// trained HMM, exactly as the paper family describes.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "common/strings.h"
+#include "core/feedback.h"
+#include "core/keymantic.h"
+#include "datasets/dblp.h"
+#include "datasets/imdb.h"
+#include "datasets/mondial.h"
+#include "datasets/university.h"
+#include "engine/executor.h"
+#include "relational/csv.h"
+
+namespace {
+
+using namespace km;
+
+StatusOr<Database> BuildByName(const std::string& name) {
+  if (name == "university") return BuildUniversityDatabase();
+  if (name == "mondial") return BuildMondialDatabase();
+  if (name == "imdb") return BuildImdbDatabase();
+  if (name == "dblp") {
+    DblpOptions opts;
+    opts.persons = 1000;
+    opts.articles = 1500;
+    opts.inproceedings = 2000;
+    return BuildDblpDatabase(opts);
+  }
+  return Status::InvalidArgument("unknown database '" + name +
+                                 "' (use university|mondial|dblp|imdb)");
+}
+
+void PrintSchema(const Database& db) {
+  for (const RelationSchema& r : db.schema().relations()) {
+    std::printf("  %s(", r.name().c_str());
+    for (size_t a = 0; a < r.arity(); ++a) {
+      if (a > 0) std::printf(", ");
+      std::printf("%s", r.attribute(a).name.c_str());
+      if (r.attribute(a).is_primary_key) std::printf("*");
+    }
+    std::printf(")  [%zu rows]\n", db.FindTable(r.name())->size());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string db_name = "university";
+  bool metadata_only = false;
+  size_t k = 5;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--db=", 0) == 0) db_name = arg.substr(5);
+    else if (arg == "--metadata-only") metadata_only = true;
+    else if (arg.rfind("--k=", 0) == 0) k = std::stoul(arg.substr(4));
+    else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  auto db = BuildByName(db_name);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %s: %zu relations, %zu tuples%s\n", db_name.c_str(),
+              db->schema().relations().size(), db->TotalRows(),
+              metadata_only ? " (metadata-only mode)" : "");
+
+  EngineOptions base_options;
+  if (metadata_only) {
+    base_options.weights.use_instance_vocabulary = false;
+    base_options.use_mi_weights = false;
+    base_options.build_phrase_vocabulary = false;
+  }
+  auto engine = std::make_unique<KeymanticEngine>(*db, base_options);
+  Executor exec(*db);
+  Terminology terminology(db->schema());
+  FeedbackManager feedback(terminology, db->schema());
+
+  std::vector<Explanation> last;
+  std::vector<std::string> last_keywords;
+
+  std::string line;
+  std::printf("> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    std::string input = std::string(Trim(line));
+    if (input.empty()) {
+      std::printf("> ");
+      std::fflush(stdout);
+      continue;
+    }
+    if (input[0] == '\\') {
+      std::istringstream ss(input.substr(1));
+      std::string cmd;
+      ss >> cmd;
+      if (cmd == "quit" || cmd == "q") break;
+      if (cmd == "schema") {
+        PrintSchema(*db);
+      } else if (cmd == "sql" || cmd == "run" || cmd == "csv" || cmd == "accept") {
+        size_t n = 0;
+        ss >> n;
+        if (n == 0 || n > last.size()) {
+          std::printf("no answer #%zu (last query returned %zu)\n", n, last.size());
+        } else if (cmd == "sql") {
+          std::printf("%s\n", last[n - 1].sql.ToSql().c_str());
+        } else if (cmd == "run" || cmd == "csv") {
+          auto rs = exec.Execute(last[n - 1].sql);
+          if (!rs.ok()) {
+            std::printf("execution failed: %s\n", rs.status().ToString().c_str());
+          } else if (cmd == "csv") {
+            for (size_t c = 0; c < rs->header.size(); ++c) {
+              if (c > 0) std::printf(",");
+              std::printf("%s", CsvEscape(rs->header[c].ToString()).c_str());
+            }
+            std::printf("\n");
+            for (const Row& row : rs->rows) {
+              for (size_t c = 0; c < row.size(); ++c) {
+                if (c > 0) std::printf(",");
+                if (!row[c].is_null()) {
+                  std::printf("%s", CsvEscape(row[c].ToString()).c_str());
+                }
+              }
+              std::printf("\n");
+            }
+          } else {
+            std::printf("%zu tuple(s)\n", rs->size());
+            for (size_t r = 0; r < rs->rows.size() && r < 10; ++r) {
+              std::string out;
+              for (size_t c = 0; c < rs->header.size(); ++c) {
+                if (c > 0) out += " | ";
+                out += rs->header[c].ToString() + "=" + rs->rows[r][c].ToString();
+              }
+              std::printf("  %s\n", out.c_str());
+            }
+          }
+        } else {  // accept
+          feedback.Accept(last[n - 1].configuration);
+          EngineOptions opts = base_options;
+          feedback.Configure(&opts);
+          engine = std::make_unique<KeymanticEngine>(*db, opts);
+          engine->SetTrainedHmm(feedback.TrainedModel());
+          std::printf("accepted; conf_feedback=%.2f, forward mode=%s\n",
+                      feedback.ConfidenceFeedback(),
+                      opts.forward_mode == ForwardMode::kCombinedDst
+                          ? "combined-dst"
+                          : "hungarian");
+        }
+      } else if (cmd == "reject") {
+        feedback.Reject();
+        EngineOptions opts = base_options;
+        feedback.Configure(&opts);
+        engine = std::make_unique<KeymanticEngine>(*db, opts);
+        engine->SetTrainedHmm(feedback.TrainedModel());
+        std::printf("rejected; conf_feedback=%.2f\n", feedback.ConfidenceFeedback());
+      } else if (cmd == "explain") {
+        std::string word;
+        std::getline(ss, word);
+        word = std::string(Trim(word));
+        if (word.empty()) {
+          std::printf("usage: \\explain WORD\n");
+        } else {
+          for (const auto& m : engine->ExplainKeyword(word, 8)) {
+            std::printf("  %.3f  %s\n", m.weight,
+                        engine->terminology().term(m.term_index).ToString().c_str());
+          }
+        }
+      } else if (cmd == "stats") {
+        std::printf("accepted=%zu rejected=%zu conf_feedback=%.2f conf_apriori=%.2f\n",
+                    feedback.accepted(), feedback.rejected(),
+                    feedback.ConfidenceFeedback(), feedback.ConfidenceApriori());
+      } else {
+        std::printf("unknown command \\%s\n", cmd.c_str());
+      }
+      std::printf("> ");
+      std::fflush(stdout);
+      continue;
+    }
+
+    auto results = engine->Search(input, k);
+    if (!results.ok()) {
+      std::printf("no answer: %s\n", results.status().ToString().c_str());
+      last.clear();
+    } else {
+      last = std::move(*results);
+      last_keywords = Tokenize(input, engine->tokenizer_options());
+      for (size_t i = 0; i < last.size(); ++i) {
+        auto count = exec.Count(last[i].sql);
+        std::printf("#%zu (score %.3f, %zu tuples)  %s\n", i + 1, last[i].score,
+                    count.ok() ? *count : 0,
+                    last[i]
+                        .configuration.ToString(last_keywords, engine->terminology())
+                        .c_str());
+      }
+      std::printf("(\\sql N, \\run N, \\csv N, \\accept N, \\reject, \\schema, \\quit)\n");
+    }
+    std::printf("> ");
+    std::fflush(stdout);
+  }
+  std::printf("\nbye\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Quickstart: the paper's running example.
+//
+// Builds the university database of Fig. 2, constructs a KeymanticEngine
+// and answers the keyword query "Vokram IT", printing the ranked SQL
+// explanations. Then it executes the best explanation on the in-memory
+// engine to show actual tuples.
+//
+// Run:  ./build/examples/quickstart [keyword query...]
+
+#include <cstdio>
+#include <string>
+
+#include "core/keymantic.h"
+#include "datasets/university.h"
+#include "engine/executor.h"
+
+int main(int argc, char** argv) {
+  auto db = km::BuildUniversityDatabase();
+  if (!db.ok()) {
+    std::fprintf(stderr, "failed to build database: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("university database: %zu relations, %zu tuples, %zu terms\n",
+              db->schema().relations().size(), db->TotalRows(),
+              db->schema().TerminologySize());
+
+  km::EngineOptions options;
+  km::KeymanticEngine engine(*db, options);
+
+  std::string query = "Vokram IT";
+  if (argc > 1) {
+    query.clear();
+    for (int i = 1; i < argc; ++i) {
+      if (i > 1) query += " ";
+      query += argv[i];
+    }
+  }
+  std::printf("\nkeyword query: \"%s\"\n\n", query.c_str());
+
+  auto results = engine.Search(query, 5);
+  if (!results.ok()) {
+    std::fprintf(stderr, "search failed: %s\n", results.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<std::string> keywords = km::Tokenize(query, engine.tokenizer_options());
+  for (size_t i = 0; i < results->size(); ++i) {
+    std::printf("=== explanation #%zu ===\n%s\n\n", i + 1,
+                (*results)[i].ToString(keywords, engine.terminology()).c_str());
+  }
+
+  if (!results->empty()) {
+    km::Executor exec(*db);
+    auto rs = exec.Execute((*results)[0].sql);
+    if (rs.ok()) {
+      std::printf("executing the top explanation: %zu tuple(s)\n", rs->size());
+      for (size_t r = 0; r < rs->rows.size() && r < 5; ++r) {
+        std::string line;
+        for (size_t c = 0; c < rs->header.size(); ++c) {
+          if (c > 0) line += " | ";
+          line += rs->header[c].ToString() + "=" + rs->rows[r][c].ToString();
+        }
+        std::printf("  %s\n", line.c_str());
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Minimal dense row-major matrix of doubles.
+
+#ifndef KM_COMMON_MATRIX_H_
+#define KM_COMMON_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace km {
+
+/// Dense row-major matrix used for keyword×term weight matrices, HMM
+/// parameter matrices and assignment problems.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& At(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double At(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  double& operator()(size_t r, size_t c) { return At(r, c); }
+  double operator()(size_t r, size_t c) const { return At(r, c); }
+
+  /// Largest entry (0 for an empty matrix).
+  double Max() const {
+    double m = 0;
+    for (double v : data_) {
+      if (v > m) m = v;
+    }
+    return m;
+  }
+
+  /// Scales every row so it sums to 1 (rows summing to 0 are left as-is).
+  void NormalizeRows() {
+    for (size_t r = 0; r < rows_; ++r) {
+      double sum = 0;
+      for (size_t c = 0; c < cols_; ++c) sum += At(r, c);
+      if (sum <= 0) continue;
+      for (size_t c = 0; c < cols_; ++c) At(r, c) /= sum;
+    }
+  }
+
+ private:
+  size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace km
+
+#endif  // KM_COMMON_MATRIX_H_

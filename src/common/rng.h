@@ -1,0 +1,130 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized components of the library (dataset generators, workload
+// generators, sampling in benchmarks) take an explicit Rng so that every
+// experiment is reproducible from its seed.
+
+#ifndef KM_COMMON_RNG_H_
+#define KM_COMMON_RNG_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace km {
+
+/// A small, fast, deterministic PRNG (splitmix64 core).
+///
+/// Not cryptographically secure; intended for reproducible synthetic data
+/// and workload generation.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound) {
+    assert(bound > 0);
+    return Next() % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Zipf-distributed rank in [0, n), exponent `s` (s=0 is uniform).
+  ///
+  /// Uses inverse-CDF sampling over precomputed weights when called through
+  /// ZipfSampler; this convenience form is O(n) per call and fine for
+  /// small n.
+  size_t Zipf(size_t n, double s);
+
+  /// Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    assert(!v.empty());
+    return v[Uniform(v.size())];
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Precomputed Zipf sampler for repeated draws over a fixed domain size.
+class ZipfSampler {
+ public:
+  /// Builds a sampler over ranks [0, n) with exponent s >= 0.
+  ZipfSampler(size_t n, double s) : cdf_(n) {
+    double total = 0;
+    for (size_t i = 0; i < n; ++i) {
+      double w = 1.0;
+      double base = static_cast<double>(i + 1);
+      // pow(base, -s) without <cmath> dependency concerns.
+      w = 1.0 / Pow(base, s);
+      total += w;
+      cdf_[i] = total;
+    }
+    for (size_t i = 0; i < n; ++i) cdf_[i] /= total;
+  }
+
+  /// Draws a rank in [0, n).
+  size_t Sample(Rng* rng) const {
+    double u = rng->UniformDouble();
+    size_t lo = 0, hi = cdf_.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo < cdf_.size() ? lo : cdf_.size() - 1;
+  }
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  static double Pow(double base, double exp) {
+    // Simple exp*log implementation to avoid pulling <cmath> into headers
+    // would be silly; use the builtin.
+    return __builtin_pow(base, exp);
+  }
+
+  std::vector<double> cdf_;
+};
+
+inline size_t Rng::Zipf(size_t n, double s) {
+  ZipfSampler sampler(n, s);
+  return sampler.Sample(this);
+}
+
+}  // namespace km
+
+#endif  // KM_COMMON_RNG_H_

@@ -1,0 +1,148 @@
+// Status/StatusOr error model for the keymantic library.
+//
+// The library does not throw exceptions across its public boundaries
+// (RocksDB-style): fallible operations return a Status or a StatusOr<T>.
+
+#ifndef KM_COMMON_STATUS_H_
+#define KM_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace km {
+
+/// Broad classification of an error. Mirrors the usual canonical codes that
+/// database libraries expose; only the codes the library actually produces
+/// are defined.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Malformed input (bad query, bad schema, ...).
+  kNotFound = 2,          ///< Named relation/attribute/term does not exist.
+  kAlreadyExists = 3,     ///< Duplicate relation/attribute/constraint.
+  kFailedPrecondition = 4,///< Operation not valid in the current state.
+  kOutOfRange = 5,        ///< Index or parameter outside the valid range.
+  kInternal = 6,          ///< Invariant violation inside the library.
+  kUnimplemented = 7,     ///< Feature intentionally not supported.
+};
+
+/// Human-readable name of a status code ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation: a code plus a context message.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy (the
+/// message is empty in the OK case, which is the common path).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Named constructors, one per non-OK code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  /// True iff the status carries no error.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or a non-OK Status explaining its absence.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit, to allow `return value;`).
+  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+
+  /// Constructs from a non-OK status (implicit, to allow `return status;`).
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Access to the contained value; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status out of the current function.
+#define KM_RETURN_IF_ERROR(expr)                \
+  do {                                          \
+    ::km::Status _km_status = (expr);           \
+    if (!_km_status.ok()) return _km_status;    \
+  } while (0)
+
+#define KM_INTERNAL_CONCAT2(a, b) a##b
+#define KM_INTERNAL_CONCAT(a, b) KM_INTERNAL_CONCAT2(a, b)
+
+/// Assigns the value of a StatusOr expression or propagates its error.
+#define KM_ASSIGN_OR_RETURN(lhs, expr)                            \
+  KM_ASSIGN_OR_RETURN_IMPL(KM_INTERNAL_CONCAT(_km_sor_, __LINE__), lhs, expr)
+
+#define KM_ASSIGN_OR_RETURN_IMPL(var, lhs, expr) \
+  auto var = (expr);                             \
+  if (!var.ok()) return var.status();            \
+  lhs = std::move(var).value()
+
+}  // namespace km
+
+#endif  // KM_COMMON_STATUS_H_

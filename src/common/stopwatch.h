@@ -1,0 +1,36 @@
+// Wall-clock timing helper for benchmarks and instrumentation.
+
+#ifndef KM_COMMON_STOPWATCH_H_
+#define KM_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace km {
+
+/// Measures elapsed wall-clock time from construction or the last Reset().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since start.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since start.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed microseconds since start.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace km
+
+#endif  // KM_COMMON_STOPWATCH_H_

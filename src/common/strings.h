@@ -1,0 +1,51 @@
+// Small string utilities shared across the library.
+
+#ifndef KM_COMMON_STRINGS_H_
+#define KM_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace km {
+
+/// Returns the ASCII lower-case copy of `s`.
+std::string ToLower(std::string_view s);
+
+/// Returns the ASCII upper-case copy of `s`.
+std::string ToUpper(std::string_view s);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits `s` on any ASCII whitespace run, dropping empty pieces.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True iff `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True iff `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// True iff `s` contains `needle`.
+bool Contains(std::string_view s, std::string_view needle);
+
+/// Splits an identifier into lower-case word pieces: "personName" and
+/// "person_name" and "Person-Name" all yield {"person", "name"}.
+std::vector<std::string> SplitIdentifierWords(std::string_view ident);
+
+/// True iff every character of `s` is an ASCII digit (and s is non-empty).
+bool IsAllDigits(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace km
+
+#endif  // KM_COMMON_STRINGS_H_

@@ -1,0 +1,39 @@
+#include "core/feedback.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace km {
+
+FeedbackManager::FeedbackManager(const Terminology& terminology,
+                                 const DatabaseSchema& schema,
+                                 FeedbackOptions options)
+    : options_(options), trainer_(terminology, schema) {}
+
+void FeedbackManager::Accept(const Configuration& config) {
+  trainer_.AddSequence(config.term_for_keyword);
+  ++accepted_;
+}
+
+void FeedbackManager::Reject() { ++rejected_; }
+
+double FeedbackManager::ConfidenceFeedback() const {
+  double conf = options_.initial_confidence +
+                options_.gain_per_doubling *
+                    std::log2(1.0 + static_cast<double>(accepted_)) -
+                options_.rejection_penalty * static_cast<double>(rejected_);
+  return std::clamp(conf, 0.0, options_.max_confidence);
+}
+
+void FeedbackManager::Configure(EngineOptions* options) const {
+  if (accepted_ < options_.combination_threshold) {
+    // Cold start: the metadata approach alone is the most reliable ranker.
+    options->forward_mode = ForwardMode::kHungarian;
+  } else {
+    options->forward_mode = ForwardMode::kCombinedDst;
+  }
+  options->conf_hmm = ConfidenceFeedback();
+  options->conf_hungarian = ConfidenceApriori();
+}
+
+}  // namespace km

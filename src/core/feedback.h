@@ -1,0 +1,84 @@
+// User-feedback management: the adaptive part of the framework.
+//
+// The paper family describes a system that "promptly adapts to different
+// working conditions": the confidence placed on the feedback-trained
+// forward implementation starts low on a fresh database, grows as users
+// accept answers (which double as HMM training data), and drops again when
+// answers are rejected. This module implements that loop:
+//
+//   * accepted configurations are accumulated as supervised training
+//     sequences for the HMM forward step;
+//   * Conf_fdback follows the amount of accumulated (positive) feedback
+//     with a logarithmic saturation, and is damped by recent rejections;
+//   * Configure() projects the current state onto EngineOptions — fresh
+//     systems run the metadata approach alone, experienced systems run the
+//     DST combination with a strong trained-HMM vote.
+
+#ifndef KM_CORE_FEEDBACK_H_
+#define KM_CORE_FEEDBACK_H_
+
+#include <cstddef>
+
+#include "core/keymantic.h"
+#include "hmm/model_builder.h"
+#include "metadata/configuration.h"
+#include "metadata/term.h"
+
+namespace km {
+
+/// Tuning of the confidence adaptation.
+struct FeedbackOptions {
+  /// Confidence in the feedback-trained ranker with zero feedback.
+  double initial_confidence = 0.15;
+  /// Upper bound the confidence saturates towards.
+  double max_confidence = 0.85;
+  /// Confidence gained per doubling of accepted answers.
+  double gain_per_doubling = 0.1;
+  /// Confidence lost per rejection (recovered by further acceptances).
+  double rejection_penalty = 0.05;
+  /// Number of accepted answers after which the engine switches from
+  /// pure-metadata forward mode to the DST combination.
+  size_t combination_threshold = 10;
+};
+
+/// Accumulates feedback and derives engine configuration from it.
+class FeedbackManager {
+ public:
+  FeedbackManager(const Terminology& terminology, const DatabaseSchema& schema,
+                  FeedbackOptions options = {});
+
+  /// Records that the user accepted an answer with this configuration.
+  /// The mapping becomes HMM training data.
+  void Accept(const Configuration& config);
+
+  /// Records that the user rejected the top answer.
+  void Reject();
+
+  size_t accepted() const { return accepted_; }
+  size_t rejected() const { return rejected_; }
+
+  /// Current confidence in the feedback-trained ranker, in
+  /// [0, max_confidence].
+  double ConfidenceFeedback() const;
+
+  /// Complement: confidence in the a-priori/metadata ranker.
+  double ConfidenceApriori() const { return 1.0 - ConfidenceFeedback(); }
+
+  /// The HMM trained on everything accepted so far.
+  Hmm TrainedModel() const { return trainer_.Train(); }
+
+  /// Projects the current state onto engine options: forward mode and the
+  /// DST confidences. Call on a fresh EngineOptions, then rebuild/refresh
+  /// the engine and install TrainedModel() via SetTrainedHmm().
+  void Configure(EngineOptions* options) const;
+
+ private:
+  FeedbackOptions options_;
+  HmmTrainer trainer_;
+  size_t accepted_ = 0;
+  size_t rejected_ = 0;
+};
+
+}  // namespace km
+
+#endif  // KM_CORE_FEEDBACK_H_

@@ -1,0 +1,307 @@
+#include "core/keymantic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "core/translate.h"
+#include "dst/dst.h"
+#include "engine/executor.h"
+#include "graph/mi.h"
+
+namespace km {
+
+std::string Explanation::ToString(const std::vector<std::string>& keywords,
+                                  const Terminology& terminology) const {
+  std::string out = "score=" + StrFormat("%.4f", score) + "\n";
+  out += "configuration: " + configuration.ToString(keywords, terminology) + "\n";
+  out += "join tree cost: " + StrFormat("%.3f", interpretation.cost) + "\n";
+  out += sql.ToSql();
+  return out;
+}
+
+KeymanticEngine::KeymanticEngine(const Database& db, EngineOptions options)
+    : db_(db),
+      options_(options),
+      terminology_(db.schema()),
+      graph_(terminology_, db.schema()),
+      apriori_hmm_(BuildAprioriHmm(terminology_, db.schema())) {
+  if (options_.use_mi_weights) {
+    // Best effort: fall back to unit weights when statistics are missing.
+    (void)ApplyMiWeights(db_, &graph_);
+  }
+  if (options_.backward_mode == BackwardMode::kSummary) {
+    summary_ = std::make_unique<SummaryGraph>(graph_);
+  }
+  weights_ = std::make_unique<WeightMatrixBuilder>(terminology_, &db_,
+                                                   options_.weights);
+  generator_ = std::make_unique<ConfigurationGenerator>(terminology_, db_.schema(),
+                                                        *weights_, options_.forward);
+  if (options_.build_phrase_vocabulary) {
+    for (const auto& [value, entries] : db_.BuildVocabulary()) {
+      if (value.find(' ') == std::string::npos) continue;
+      std::string key = NormalizePhraseKey(value);
+      if (key.find(' ') != std::string::npos) {
+        tokenizer_options_.phrase_vocabulary.insert(std::move(key));
+      }
+    }
+  }
+}
+
+void KeymanticEngine::SetTrainedHmm(Hmm hmm) {
+  trained_hmm_ = std::make_unique<Hmm>(std::move(hmm));
+}
+
+std::vector<KeymanticEngine::KeywordMatch> KeymanticEngine::ExplainKeyword(
+    const std::string& keyword, size_t limit) const {
+  std::vector<KeywordMatch> matches;
+  for (size_t t = 0; t < terminology_.size(); ++t) {
+    double w = weights_->Weight(keyword, terminology_.term(t));
+    if (w > 0) matches.push_back({t, w});
+  }
+  std::stable_sort(matches.begin(), matches.end(),
+                   [](const KeywordMatch& a, const KeywordMatch& b) {
+                     return a.weight > b.weight;
+                   });
+  if (matches.size() > limit) matches.resize(limit);
+  return matches;
+}
+
+StatusOr<std::vector<Explanation>> KeymanticEngine::Search(const std::string& query,
+                                                           size_t k) const {
+  std::vector<std::string> keywords = Tokenize(query, tokenizer_options_);
+  if (keywords.empty()) {
+    return Status::InvalidArgument("query contains no keywords");
+  }
+  return SearchKeywords(keywords, k);
+}
+
+StatusOr<std::vector<Configuration>> KeymanticEngine::HmmConfigurations(
+    const std::vector<std::string>& keywords, size_t k, const Hmm& hmm) const {
+  Matrix sim = weights_->Build(keywords);
+  Matrix emission = EmissionFromSimilarity(sim);
+  KM_ASSIGN_OR_RETURN(std::vector<HmmPath> paths,
+                      hmm.ListViterbi(emission, k, /*distinct_states=*/true));
+  std::vector<Configuration> configs;
+  configs.reserve(paths.size());
+  for (HmmPath& p : paths) {
+    Configuration c;
+    c.term_for_keyword = std::move(p.states);
+    c.score = p.log_prob;
+    configs.push_back(std::move(c));
+  }
+  return configs;
+}
+
+StatusOr<std::vector<Configuration>> KeymanticEngine::Configurations(
+    const std::vector<std::string>& keywords, size_t k) const {
+  switch (options_.forward_mode) {
+    case ForwardMode::kHungarian:
+      return generator_->Generate(keywords, k);
+    case ForwardMode::kHmmApriori:
+      return HmmConfigurations(keywords, k, apriori_hmm_);
+    case ForwardMode::kHmmTrained: {
+      const Hmm& hmm = trained_hmm_ != nullptr ? *trained_hmm_ : apriori_hmm_;
+      return HmmConfigurations(keywords, k, hmm);
+    }
+    case ForwardMode::kCombinedDst: {
+      KM_ASSIGN_OR_RETURN(std::vector<Configuration> hung,
+                          generator_->Generate(keywords, k));
+      const Hmm& hmm = trained_hmm_ != nullptr ? *trained_hmm_ : apriori_hmm_;
+      KM_ASSIGN_OR_RETURN(std::vector<Configuration> hmm_configs,
+                          HmmConfigurations(keywords, k, hmm));
+      // Universe: union of both lists, keyed by the term vector.
+      std::vector<Configuration> universe;
+      auto id_of = [&universe](const Configuration& c) -> size_t {
+        for (size_t i = 0; i < universe.size(); ++i) {
+          if (universe[i] == c) return i;
+        }
+        universe.push_back(c);
+        return universe.size() - 1;
+      };
+      std::vector<std::pair<size_t, double>> ev_h, ev_m;
+      for (const Configuration& c : hung) ev_h.emplace_back(id_of(c), c.score);
+      for (const Configuration& c : hmm_configs) ev_m.emplace_back(id_of(c), c.score);
+      MassFunction mh = MassFunction::FromScores(ev_h, options_.conf_hungarian);
+      MassFunction mm = MassFunction::FromScores(ev_m, options_.conf_hmm);
+      auto combined = MassFunction::Combine(mh, mm);
+      if (!combined.ok()) return combined.status();
+      std::vector<Configuration> out;
+      for (const auto& [id, mass] : combined->Ranked()) {
+        Configuration c = universe[id];
+        c.score = mass;
+        out.push_back(std::move(c));
+        if (out.size() >= k) break;
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unknown forward mode");
+}
+
+StatusOr<std::vector<Interpretation>> KeymanticEngine::Interpretations(
+    const Configuration& config, size_t k) const {
+  std::vector<size_t> terminals = TerminalsOfConfiguration(config);
+  SteinerOptions opts = options_.steiner;
+  opts.k = k;
+  std::vector<Interpretation> trees;
+  if (options_.backward_mode == BackwardMode::kSummary && summary_ != nullptr) {
+    KM_ASSIGN_OR_RETURN(trees, summary_->TopKTrees(terminals, opts));
+  } else {
+    KM_ASSIGN_OR_RETURN(trees, TopKSteinerTrees(graph_, terminals, opts));
+  }
+  RankInterpretations(&trees);
+  return trees;
+}
+
+StatusOr<SpjQuery> KeymanticEngine::Translate(
+    const std::vector<std::string>& keywords, const Configuration& config,
+    const Interpretation& interpretation) const {
+  return TranslateToSql(keywords, config, interpretation, terminology_,
+                        db_.schema(), graph_);
+}
+
+StatusOr<std::vector<Explanation>> KeymanticEngine::SearchKeywords(
+    const std::vector<std::string>& keywords, size_t k) const {
+  if (keywords.empty()) {
+    return Status::InvalidArgument("keyword query is empty");
+  }
+  KM_ASSIGN_OR_RETURN(std::vector<Configuration> configs,
+                      Configurations(keywords, options_.config_k));
+  if (configs.empty()) {
+    return Status::NotFound("no configuration found for the query");
+  }
+
+  // Candidate (configuration, interpretation) pairs.
+  struct Candidate {
+    size_t config_index;
+    Interpretation interp;
+  };
+  std::vector<Candidate> candidates;
+  for (size_t ci = 0; ci < configs.size(); ++ci) {
+    auto interps = Interpretations(configs[ci], options_.interp_per_config);
+    if (!interps.ok()) continue;  // disconnected images: orphan configuration
+    for (Interpretation& interp : *interps) {
+      candidates.push_back({ci, std::move(interp)});
+    }
+  }
+  if (candidates.empty()) {
+    return Status::NotFound("no interpretation connects the keyword images");
+  }
+
+  // Normalized forward scores (configurations may carry log-probabilities;
+  // shift-normalize like MassFunction does).
+  std::vector<double> fwd(configs.size());
+  {
+    double mn = configs[0].score;
+    for (const Configuration& c : configs) mn = std::min(mn, c.score);
+    double shift = mn < 0 ? -mn : 0.0;
+    double total = 0;
+    for (const Configuration& c : configs) total += c.score + shift;
+    for (size_t i = 0; i < configs.size(); ++i) {
+      fwd[i] = total > 0 ? (configs[i].score + shift) / total
+                         : 1.0 / static_cast<double>(configs.size());
+    }
+  }
+  // Normalized backward scores. A configuration is not punished for
+  // *intrinsically* needing a long join path: the dominant component is the
+  // tree's excess cost over the best tree of its own configuration, plus a
+  // weak absolute-coherence component so that, between configurations the
+  // forward step cannot separate, the more tightly connected one wins.
+  std::vector<double> bwd(candidates.size());
+  {
+    std::unordered_map<size_t, double> min_cost;  // per configuration
+    for (const Candidate& c : candidates) {
+      auto it = min_cost.find(c.config_index);
+      if (it == min_cost.end() || c.interp.cost < it->second) {
+        min_cost[c.config_index] = c.interp.cost;
+      }
+    }
+    double total = 0;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      double rel = candidates[i].interp.cost - min_cost[candidates[i].config_index];
+      bwd[i] = 0.8 / (1.0 + rel) + 0.2 / (1.0 + candidates[i].interp.cost);
+      total += bwd[i];
+    }
+    if (total > 0) {
+      for (double& b : bwd) b /= total;
+    }
+  }
+
+  // Combine.
+  std::vector<double> combined(candidates.size(), 0.0);
+  switch (options_.combine_mode) {
+    case CombineMode::kForwardOnly:
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        combined[i] = fwd[candidates[i].config_index] + 1e-9 * bwd[i];
+      }
+      break;
+    case CombineMode::kBackwardOnly:
+      for (size_t i = 0; i < candidates.size(); ++i) combined[i] = bwd[i];
+      break;
+    case CombineMode::kLinear: {
+      double cf = std::clamp(options_.conf_forward, 0.0, 1.0);
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        combined[i] = cf * fwd[candidates[i].config_index] + (1.0 - cf) * bwd[i];
+      }
+      break;
+    }
+    case CombineMode::kDst: {
+      std::vector<std::pair<size_t, double>> ev_f, ev_b;
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        ev_f.emplace_back(i, fwd[candidates[i].config_index]);
+        ev_b.emplace_back(i, bwd[i]);
+      }
+      double cf = std::clamp(options_.conf_forward, 0.0, 1.0);
+      MassFunction mf = MassFunction::FromScores(ev_f, cf);
+      MassFunction mb = MassFunction::FromScores(ev_b, 1.0 - cf);
+      auto m = MassFunction::Combine(mf, mb);
+      if (!m.ok()) return m.status();
+      for (size_t i = 0; i < candidates.size(); ++i) combined[i] = m->MassOf(i);
+      break;
+    }
+  }
+
+  // Translate, deduplicate by SQL signature (keep the best score), rank.
+  std::unordered_map<std::string, size_t> by_signature;
+  std::vector<Explanation> results;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    auto sql = Translate(keywords, configs[candidates[i].config_index],
+                         candidates[i].interp);
+    if (!sql.ok()) continue;
+    Explanation ex;
+    ex.sql = std::move(*sql);
+    ex.configuration = configs[candidates[i].config_index];
+    ex.interpretation = candidates[i].interp;
+    ex.forward_score = fwd[candidates[i].config_index];
+    ex.backward_score = bwd[i];
+    ex.score = combined[i];
+    std::string sig = ex.sql.CanonicalSignature();
+    auto it = by_signature.find(sig);
+    if (it != by_signature.end()) {
+      if (results[it->second].score < ex.score) results[it->second] = std::move(ex);
+      continue;
+    }
+    by_signature[sig] = results.size();
+    results.push_back(std::move(ex));
+  }
+
+  if (options_.penalize_empty_results) {
+    Executor exec(db_);
+    for (Explanation& ex : results) {
+      auto count = exec.Count(ex.sql);
+      if (count.ok() && *count == 0) ex.score *= 0.25;
+    }
+  }
+
+  std::stable_sort(results.begin(), results.end(),
+                   [](const Explanation& a, const Explanation& b) {
+                     return a.score > b.score;
+                   });
+  if (results.size() > k) results.resize(k);
+  return results;
+}
+
+}  // namespace km

@@ -1,0 +1,172 @@
+// KeymanticEngine: the end-to-end keyword-search pipeline.
+//
+//   keyword query ──tokenize──► keywords
+//     ──forward (weights + extended Hungarian / HMM)──► top configurations
+//     ──backward (schema-graph Steiner trees)─────────► interpretations
+//     ──combine (DST / linear)────────────────────────► ranked list
+//     ──translate─────────────────────────────────────► SQL explanations
+//
+// The engine is constructed once per database (metadata extraction, graph
+// construction and — when instance access is granted — value indexing and
+// MI edge weighting happen here) and can then answer any number of queries.
+
+#ifndef KM_CORE_KEYMANTIC_H_
+#define KM_CORE_KEYMANTIC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/query.h"
+#include "graph/interpretation.h"
+#include "graph/schema_graph.h"
+#include "graph/summary.h"
+#include "hmm/hmm.h"
+#include "hmm/model_builder.h"
+#include "matching/config_gen.h"
+#include "metadata/configuration.h"
+#include "metadata/term.h"
+#include "metadata/weights.h"
+#include "relational/database.h"
+#include "text/tokenizer.h"
+
+namespace km {
+
+/// Which forward-analysis implementation produces configurations.
+enum class ForwardMode {
+  kHungarian = 0,   ///< the metadata approach (extended bipartite matching)
+  kHmmApriori = 1,  ///< HMM with a-priori heuristic parameters
+  kHmmTrained = 2,  ///< HMM trained via HmmTrainer (see SetTrainedHmm)
+  kCombinedDst = 3, ///< DST combination of Hungarian and HMM lists
+};
+
+/// Which graph the backward step searches.
+enum class BackwardMode {
+  kFullGraph = 0,  ///< k-best Steiner trees on the term-level graph
+  kSummary = 1,    ///< relation-level summary graph, expanded afterwards
+};
+
+/// How configuration and interpretation rankings are merged.
+enum class CombineMode {
+  kDst = 0,          ///< Dempster–Shafer combination (the paper family's choice)
+  kLinear = 1,       ///< conf_fw·s_fw + conf_bw·s_bw on normalized scores
+  kForwardOnly = 2,  ///< ignore interpretation scores
+  kBackwardOnly = 3, ///< ignore configuration scores
+};
+
+/// Engine-wide options.
+struct EngineOptions {
+  WeightOptions weights;
+  ConfigGenOptions forward;
+  SteinerOptions steiner;
+  ForwardMode forward_mode = ForwardMode::kHungarian;
+  BackwardMode backward_mode = BackwardMode::kFullGraph;
+  CombineMode combine_mode = CombineMode::kDst;
+  /// Confidence placed on the forward (configuration) ranking; the
+  /// backward confidence is 1 − conf_forward.
+  double conf_forward = 0.5;
+  /// Confidences of the two forward implementations in kCombinedDst mode.
+  double conf_hungarian = 0.6;
+  double conf_hmm = 0.4;
+  /// Number of configurations taken from the forward step.
+  size_t config_k = 10;
+  /// Number of interpretations per configuration from the backward step.
+  size_t interp_per_config = 3;
+  /// Use mutual-information weights on FK edges (needs instance access).
+  bool use_mi_weights = true;
+  /// Build the multi-word phrase vocabulary from the instance (needs
+  /// instance access).
+  bool build_phrase_vocabulary = true;
+  /// Drop explanations whose SQL returns zero tuples (needs instance
+  /// access; the engine still returns them when everything is empty).
+  bool penalize_empty_results = false;
+};
+
+/// One ranked answer: the SQL explanation with its provenance.
+struct Explanation {
+  SpjQuery sql;
+  Configuration configuration;
+  Interpretation interpretation;
+  double score = 0.0;          ///< final combined score
+  double forward_score = 0.0;  ///< normalized configuration score
+  double backward_score = 0.0; ///< normalized interpretation score
+
+  /// Human-readable multi-line rendering.
+  std::string ToString(const std::vector<std::string>& keywords,
+                       const Terminology& terminology) const;
+};
+
+/// The end-to-end engine.
+class KeymanticEngine {
+ public:
+  /// Builds the engine over `db`. The database must outlive the engine.
+  /// `db` is also the source of instance statistics; pass
+  /// options.weights.use_instance_vocabulary = false (and
+  /// use_mi_weights = false) for the deep-web scenario.
+  KeymanticEngine(const Database& db, EngineOptions options = {});
+
+  /// Answers a raw keyword query: tokenizes and delegates to
+  /// SearchKeywords.
+  StatusOr<std::vector<Explanation>> Search(const std::string& query, size_t k) const;
+
+  /// Answers a pre-tokenized keyword query.
+  StatusOr<std::vector<Explanation>> SearchKeywords(
+      const std::vector<std::string>& keywords, size_t k) const;
+
+  /// Forward step only: ranked configurations.
+  StatusOr<std::vector<Configuration>> Configurations(
+      const std::vector<std::string>& keywords, size_t k) const;
+
+  /// Backward step only: ranked interpretations of one configuration.
+  StatusOr<std::vector<Interpretation>> Interpretations(const Configuration& config,
+                                                        size_t k) const;
+
+  /// Translates a (configuration, interpretation) pair into SQL
+  /// (Definition 3.1).
+  StatusOr<SpjQuery> Translate(const std::vector<std::string>& keywords,
+                               const Configuration& config,
+                               const Interpretation& interpretation) const;
+
+  /// Installs the trained HMM used by ForwardMode::kHmmTrained.
+  void SetTrainedHmm(Hmm hmm);
+
+  /// One keyword↔term match with its weight (introspection/debugging).
+  struct KeywordMatch {
+    size_t term_index;
+    double weight;
+  };
+
+  /// The strongest `limit` database-term matches of a single keyword,
+  /// sorted by descending intrinsic weight (zero-weight terms omitted).
+  /// This exposes the engine's view of a keyword for debugging and for
+  /// user-facing "why did it match this?" explanations.
+  std::vector<KeywordMatch> ExplainKeyword(const std::string& keyword,
+                                           size_t limit = 10) const;
+
+  const Terminology& terminology() const { return terminology_; }
+  const SchemaGraph& graph() const { return graph_; }
+  const WeightMatrixBuilder& weight_builder() const { return *weights_; }
+  const Database& database() const { return db_; }
+  const EngineOptions& options() const { return options_; }
+  const TokenizerOptions& tokenizer_options() const { return tokenizer_options_; }
+
+ private:
+  StatusOr<std::vector<Configuration>> HmmConfigurations(
+      const std::vector<std::string>& keywords, size_t k, const Hmm& hmm) const;
+
+  const Database& db_;
+  EngineOptions options_;
+  Terminology terminology_;
+  SchemaGraph graph_;
+  std::unique_ptr<SummaryGraph> summary_;
+  std::unique_ptr<WeightMatrixBuilder> weights_;
+  std::unique_ptr<ConfigurationGenerator> generator_;
+  Hmm apriori_hmm_;
+  std::unique_ptr<Hmm> trained_hmm_;
+  TokenizerOptions tokenizer_options_;
+};
+
+}  // namespace km
+
+#endif  // KM_CORE_KEYMANTIC_H_

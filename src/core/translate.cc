@@ -1,0 +1,83 @@
+#include "core/translate.h"
+
+#include <set>
+
+namespace km {
+
+StatusOr<SpjQuery> TranslateToSql(const std::vector<std::string>& keywords,
+                                  const Configuration& config,
+                                  const Interpretation& interpretation,
+                                  const Terminology& terminology,
+                                  const DatabaseSchema& schema,
+                                  const SchemaGraph& graph) {
+  if (keywords.size() != config.term_for_keyword.size()) {
+    return Status::InvalidArgument("keyword/configuration arity mismatch");
+  }
+  SpjQuery sql;
+
+  // FROM: every relation owning a node of the tree.
+  std::set<std::string> relations;
+  for (size_t n : interpretation.nodes) {
+    relations.insert(terminology.term(n).relation);
+  }
+  for (size_t t : config.term_for_keyword) {
+    relations.insert(terminology.term(t).relation);
+  }
+  sql.relations.assign(relations.begin(), relations.end());
+
+  // JOIN: one equi-join per FK edge of the tree.
+  for (size_t e : interpretation.edges) {
+    const GraphEdge& edge = graph.edges()[e];
+    if (edge.kind != EdgeKind::kForeignKey || edge.fk_index < 0) continue;
+    const ForeignKey& fk = schema.foreign_keys()[static_cast<size_t>(edge.fk_index)];
+    sql.joins.push_back(
+        {{fk.from_relation, fk.from_attribute}, {fk.to_relation, fk.to_attribute}});
+  }
+
+  // WHERE: one predicate per keyword mapped to a domain term.
+  for (size_t i = 0; i < keywords.size(); ++i) {
+    const DatabaseTerm& term = terminology.term(config.term_for_keyword[i]);
+    if (term.kind != TermKind::kDomain) continue;
+    Predicate p;
+    p.attr = {term.relation, term.attribute};
+    auto parsed = Value::Parse(keywords[i], term.type);
+    if (parsed.ok() && !parsed->is_null()) {
+      if (term.type == DataType::kText && term.tag == DomainTag::kFreeText) {
+        // Free-text domains (titles, abstracts): substring semantics,
+        // mirroring full-text CONTAINS.
+        p.op = PredicateOp::kContains;
+      } else {
+        p.op = PredicateOp::kEq;
+      }
+      p.value = std::move(*parsed);
+    } else {
+      p.op = PredicateOp::kContains;
+      p.value = Value::Text(keywords[i]);
+    }
+    sql.predicates.push_back(std::move(p));
+  }
+
+  // SELECT: attributes of relations explicitly named by a relation-term
+  // node, plus attribute-term images of keywords. An empty select falls
+  // back to SELECT R.* over every involved relation (handled by ToSql).
+  std::set<std::pair<std::string, std::string>> selected;
+  for (size_t n : interpretation.nodes) {
+    const DatabaseTerm& t = terminology.term(n);
+    if (t.kind != TermKind::kRelation) continue;
+    const RelationSchema* rel = schema.FindRelation(t.relation);
+    if (rel == nullptr) continue;
+    for (const AttributeDef& a : rel->attributes()) {
+      selected.insert({t.relation, a.name});
+    }
+  }
+  for (size_t t : config.term_for_keyword) {
+    const DatabaseTerm& term = terminology.term(t);
+    if (term.kind == TermKind::kAttribute) {
+      selected.insert({term.relation, term.attribute});
+    }
+  }
+  for (const auto& [rel, attr] : selected) sql.select.push_back({rel, attr});
+  return sql;
+}
+
+}  // namespace km

@@ -1,0 +1,37 @@
+// Translation of (configuration, interpretation) pairs into SQL
+// (Definition 3.1), as a free function so that both the engine and the
+// workload generator share one implementation.
+
+#ifndef KM_CORE_TRANSLATE_H_
+#define KM_CORE_TRANSLATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/query.h"
+#include "graph/interpretation.h"
+#include "graph/schema_graph.h"
+#include "metadata/configuration.h"
+#include "metadata/term.h"
+#include "relational/schema.h"
+
+namespace km {
+
+/// Builds the SPJ explanation of `config` under `interpretation`:
+///   FROM   — every relation owning a node of the tree (plus image terms),
+///   JOIN   — one equi-join per foreign-key edge of the tree,
+///   WHERE  — `A = keyword` for every keyword mapped to Dom(A)
+///            (CONTAINS for free-text domains and unparseable literals),
+///   SELECT — attributes of relations named by a relation-term node plus
+///            attribute-term images; empty select means SELECT R.*.
+StatusOr<SpjQuery> TranslateToSql(const std::vector<std::string>& keywords,
+                                  const Configuration& config,
+                                  const Interpretation& interpretation,
+                                  const Terminology& terminology,
+                                  const DatabaseSchema& schema,
+                                  const SchemaGraph& graph);
+
+}  // namespace km
+
+#endif  // KM_CORE_TRANSLATE_H_

@@ -1,0 +1,278 @@
+#include "datasets/dblp.h"
+
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "datasets/namepools.h"
+
+namespace km {
+
+namespace {
+
+Status CreateSchema(Database* db) {
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "PERSON", {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+                 {"Name", DataType::kText, DomainTag::kPersonName},
+                 {"Homepage", DataType::kText, DomainTag::kUrl}})));
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "JOURNAL", {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+                  {"Name", DataType::kText, DomainTag::kFreeText},
+                  {"Publisher", DataType::kText, DomainTag::kIdentifier}})));
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "CONFERENCE", {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+                     {"Name", DataType::kText, DomainTag::kFreeText},
+                     {"Acronym", DataType::kText, DomainTag::kProperNoun}})));
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "PUBLISHER", {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+                    {"Name", DataType::kText, DomainTag::kProperNoun},
+                    {"Headquarters", DataType::kText, DomainTag::kCityName}})));
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "SERIES", {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+                 {"Name", DataType::kText, DomainTag::kFreeText}})));
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "PROCEEDINGS", {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+                      {"Title", DataType::kText, DomainTag::kFreeText},
+                      {"Conference", DataType::kText, DomainTag::kIdentifier},
+                      {"Year", DataType::kInt, DomainTag::kYear},
+                      {"Publisher", DataType::kText, DomainTag::kIdentifier}})));
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "PROCEEDINGS_SERIES",
+      {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+       {"Proceedings", DataType::kText, DomainTag::kIdentifier},
+       {"Series", DataType::kText, DomainTag::kIdentifier},
+       {"Volume", DataType::kInt, DomainTag::kQuantity}})));
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "ARTICLE", {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+                  {"Title", DataType::kText, DomainTag::kFreeText},
+                  {"Journal", DataType::kText, DomainTag::kIdentifier},
+                  {"Year", DataType::kInt, DomainTag::kYear},
+                  {"Volume", DataType::kInt, DomainTag::kQuantity},
+                  {"Pages", DataType::kText, DomainTag::kNone}})));
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "INPROCEEDINGS", {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+                        {"Title", DataType::kText, DomainTag::kFreeText},
+                        {"Proceedings", DataType::kText, DomainTag::kIdentifier},
+                        {"Year", DataType::kInt, DomainTag::kYear},
+                        {"Pages", DataType::kText, DomainTag::kNone}})));
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "AUTHOR_ARTICLE", {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+                         {"Person", DataType::kText, DomainTag::kIdentifier},
+                         {"Article", DataType::kText, DomainTag::kIdentifier},
+                         {"Position", DataType::kInt, DomainTag::kQuantity}})));
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "AUTHOR_INPROCEEDINGS",
+      {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+       {"Person", DataType::kText, DomainTag::kIdentifier},
+       {"Inproceedings", DataType::kText, DomainTag::kIdentifier},
+       {"Position", DataType::kInt, DomainTag::kQuantity}})));
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "EDITOR", {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+                 {"Person", DataType::kText, DomainTag::kIdentifier},
+                 {"Proceedings", DataType::kText, DomainTag::kIdentifier}})));
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "PHDTHESIS", {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+                    {"Title", DataType::kText, DomainTag::kFreeText},
+                    {"Person", DataType::kText, DomainTag::kIdentifier},
+                    {"School", DataType::kText, DomainTag::kProperNoun},
+                    {"Year", DataType::kInt, DomainTag::kYear}})));
+
+  KM_RETURN_IF_ERROR(db->AddForeignKey({"JOURNAL", "Publisher", "PUBLISHER", "Id"}));
+  KM_RETURN_IF_ERROR(
+      db->AddForeignKey({"PROCEEDINGS", "Conference", "CONFERENCE", "Id"}));
+  KM_RETURN_IF_ERROR(db->AddForeignKey({"PROCEEDINGS", "Publisher", "PUBLISHER", "Id"}));
+  KM_RETURN_IF_ERROR(db->AddForeignKey(
+      {"PROCEEDINGS_SERIES", "Proceedings", "PROCEEDINGS", "Id"}));
+  KM_RETURN_IF_ERROR(db->AddForeignKey({"PROCEEDINGS_SERIES", "Series", "SERIES", "Id"}));
+  KM_RETURN_IF_ERROR(db->AddForeignKey({"ARTICLE", "Journal", "JOURNAL", "Id"}));
+  KM_RETURN_IF_ERROR(
+      db->AddForeignKey({"INPROCEEDINGS", "Proceedings", "PROCEEDINGS", "Id"}));
+  KM_RETURN_IF_ERROR(db->AddForeignKey({"AUTHOR_ARTICLE", "Person", "PERSON", "Id"}));
+  KM_RETURN_IF_ERROR(db->AddForeignKey({"AUTHOR_ARTICLE", "Article", "ARTICLE", "Id"}));
+  KM_RETURN_IF_ERROR(
+      db->AddForeignKey({"AUTHOR_INPROCEEDINGS", "Person", "PERSON", "Id"}));
+  KM_RETURN_IF_ERROR(db->AddForeignKey(
+      {"AUTHOR_INPROCEEDINGS", "Inproceedings", "INPROCEEDINGS", "Id"}));
+  KM_RETURN_IF_ERROR(db->AddForeignKey({"EDITOR", "Person", "PERSON", "Id"}));
+  KM_RETURN_IF_ERROR(db->AddForeignKey({"EDITOR", "Proceedings", "PROCEEDINGS", "Id"}));
+  KM_RETURN_IF_ERROR(db->AddForeignKey({"PHDTHESIS", "Person", "PERSON", "Id"}));
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<Database> BuildDblpDatabase(const DblpOptions& options) {
+  Database db("dblp");
+  KM_RETURN_IF_ERROR(CreateSchema(&db));
+  Rng rng(options.seed);
+  auto T = [](const std::string& s) { return Value::Text(s); };
+  auto I = [](int64_t v) { return Value::Int(v); };
+
+  // Publishers.
+  const char* kPublishers[] = {"ACM", "IEEE", "Springer", "Elsevier", "Morgan Kaufmann",
+                               "Wiley", "MIT Press", "Cambridge Press", "Oxford Press",
+                               "CRC Press", "Now Publishers", "IOS Press",
+                               "World Scientific", "De Gruyter", "SIAM"};
+  std::vector<std::string> publisher_ids;
+  for (size_t i = 0; i < options.publishers && i < 15; ++i) {
+    std::string id = "pub" + std::to_string(i);
+    KM_RETURN_IF_ERROR(
+        db.Insert("PUBLISHER", {T(id), T(kPublishers[i]), T(rng.Pick(RealCities()))}));
+    publisher_ids.push_back(id);
+  }
+
+  // Journals.
+  std::vector<std::string> journal_ids;
+  for (size_t i = 0; i < options.journals; ++i) {
+    std::string id = "j" + std::to_string(i);
+    std::string name = "Journal of " + rng.Pick(TitleNouns());
+    if (i % 3 == 0) name = "Transactions on " + rng.Pick(TitleNouns());
+    KM_RETURN_IF_ERROR(db.Insert("JOURNAL", {T(id), T(name), T(rng.Pick(publisher_ids))}));
+    journal_ids.push_back(id);
+  }
+
+  // Conferences and proceedings.
+  std::vector<std::string> conference_ids, proceedings_ids;
+  const auto& acronyms = ConferenceAcronyms();
+  for (size_t i = 0; i < options.conferences && i < acronyms.size(); ++i) {
+    std::string id = "conf" + std::to_string(i);
+    KM_RETURN_IF_ERROR(db.Insert(
+        "CONFERENCE",
+        {T(id), T("International Conference on " + TitleNouns()[i % TitleNouns().size()]),
+         T(acronyms[i])}));
+    conference_ids.push_back(id);
+    for (size_t y = 0; y < options.years_of_proceedings; ++y) {
+      int64_t year = 2023 - static_cast<int64_t>(y);
+      std::string pid = "proc_" + acronyms[i] + "_" + std::to_string(year);
+      KM_RETURN_IF_ERROR(db.Insert(
+          "PROCEEDINGS",
+          {T(pid), T("Proceedings of " + acronyms[i] + " " + std::to_string(year)),
+           T(id), I(year), T(rng.Pick(publisher_ids))}));
+      proceedings_ids.push_back(pid);
+    }
+  }
+
+  // Series.
+  std::vector<std::string> series_ids;
+  const char* kSeries[] = {"LNCS", "LNAI", "CEUR Workshop Proceedings",
+                           "ACM International Conference Proceeding Series",
+                           "Advances in Database Technology"};
+  for (size_t i = 0; i < 5; ++i) {
+    std::string id = "ser" + std::to_string(i);
+    KM_RETURN_IF_ERROR(db.Insert("SERIES", {T(id), T(kSeries[i])}));
+    series_ids.push_back(id);
+  }
+  for (size_t i = 0; i < proceedings_ids.size(); ++i) {
+    if (!rng.Bernoulli(0.6)) continue;
+    KM_RETURN_IF_ERROR(db.Insert(
+        "PROCEEDINGS_SERIES",
+        {T("ps" + std::to_string(i)), T(proceedings_ids[i]), T(rng.Pick(series_ids)),
+         I(static_cast<int64_t>(1 + rng.Uniform(14000)))}));
+  }
+
+  // People. Names may repeat in reality, but unique names keep gold labels
+  // unambiguous for the workload generator.
+  std::vector<std::string> person_ids;
+  std::unordered_set<std::string> used_names;
+  for (size_t i = 0; i < options.persons; ++i) {
+    std::string name;
+    for (int attempt = 0; attempt < 20; ++attempt) {
+      name = MakePersonName(&rng);
+      if (used_names.insert(name).second) break;
+      name.clear();
+    }
+    if (name.empty()) {
+      name = MakePersonName(&rng) + " " + std::to_string(i);
+      used_names.insert(name);
+    }
+    std::string id = "prs" + std::to_string(i);
+    KM_RETURN_IF_ERROR(db.Insert(
+        "PERSON", {T(id), T(name),
+                   rng.Bernoulli(0.3)
+                       ? T("https://people.example.org/" + std::to_string(i))
+                       : Value::Null()}));
+    person_ids.push_back(id);
+  }
+
+  // Articles.
+  ZipfSampler person_zipf(person_ids.size(), 1.05);
+  std::vector<std::string> article_ids;
+  size_t author_seq = 0;
+  for (size_t i = 0; i < options.articles; ++i) {
+    std::string id = "art" + std::to_string(i);
+    KM_RETURN_IF_ERROR(db.Insert(
+        "ARTICLE", {T(id), T(MakePaperTitle(&rng)), T(rng.Pick(journal_ids)),
+                    I(static_cast<int64_t>(1995 + rng.Uniform(29))),
+                    I(static_cast<int64_t>(1 + rng.Uniform(60))),
+                    T(std::to_string(1 + rng.Uniform(800)) + "-" +
+                      std::to_string(801 + rng.Uniform(100)))}));
+    article_ids.push_back(id);
+    size_t num_authors =
+        1 + rng.Uniform(static_cast<uint64_t>(2 * options.authors_per_paper_mean));
+    std::unordered_set<size_t> chosen;
+    for (size_t a = 0; a < num_authors; ++a) {
+      size_t p = person_zipf.Sample(&rng);
+      if (!chosen.insert(p).second) continue;
+      KM_RETURN_IF_ERROR(db.Insert(
+          "AUTHOR_ARTICLE", {T("aa" + std::to_string(author_seq++)), T(person_ids[p]),
+                             T(id), I(static_cast<int64_t>(a + 1))}));
+    }
+  }
+
+  // Inproceedings.
+  std::vector<std::string> inproc_ids;
+  for (size_t i = 0; i < options.inproceedings; ++i) {
+    std::string id = "inp" + std::to_string(i);
+    const std::string& proc = rng.Pick(proceedings_ids);
+    // Year must match the proceedings year for realism; re-derive it.
+    int64_t year = 2023;
+    {
+      const Table* t = db.FindTable("PROCEEDINGS");
+      auto row = t->LookupByKey(Value::Text(proc));
+      if (row) year = t->rows()[*row][3].AsInt();
+    }
+    KM_RETURN_IF_ERROR(db.Insert(
+        "INPROCEEDINGS", {T(id), T(MakePaperTitle(&rng)), T(proc), I(year),
+                          T(std::to_string(1 + rng.Uniform(900)) + "-" +
+                            std::to_string(901 + rng.Uniform(20)))}));
+    inproc_ids.push_back(id);
+    size_t num_authors =
+        1 + rng.Uniform(static_cast<uint64_t>(2 * options.authors_per_paper_mean));
+    std::unordered_set<size_t> chosen;
+    for (size_t a = 0; a < num_authors; ++a) {
+      size_t p = person_zipf.Sample(&rng);
+      if (!chosen.insert(p).second) continue;
+      KM_RETURN_IF_ERROR(db.Insert(
+          "AUTHOR_INPROCEEDINGS",
+          {T("ai" + std::to_string(author_seq++)), T(person_ids[p]), T(id),
+           I(static_cast<int64_t>(a + 1))}));
+    }
+  }
+
+  // Editors.
+  size_t ed_seq = 0;
+  for (const std::string& proc : proceedings_ids) {
+    size_t n = 1 + rng.Uniform(3);
+    std::unordered_set<size_t> chosen;
+    for (size_t e = 0; e < n; ++e) {
+      size_t p = person_zipf.Sample(&rng);
+      if (!chosen.insert(p).second) continue;
+      KM_RETURN_IF_ERROR(db.Insert(
+          "EDITOR", {T("ed" + std::to_string(ed_seq++)), T(person_ids[p]), T(proc)}));
+    }
+  }
+
+  // PhD theses.
+  for (size_t i = 0; i < options.phd_theses; ++i) {
+    KM_RETURN_IF_ERROR(db.Insert(
+        "PHDTHESIS",
+        {T("phd" + std::to_string(i)), T(MakePaperTitle(&rng)),
+         T(person_ids[rng.Uniform(person_ids.size())]),
+         T(rng.Pick(RealCities()) + " University"),
+         I(static_cast<int64_t>(1995 + rng.Uniform(29)))}));
+  }
+
+  KM_RETURN_IF_ERROR(db.CheckIntegrity());
+  return db;
+}
+
+}  // namespace km

@@ -1,0 +1,40 @@
+// A DBLP-like bibliography database: a flat schema (most relation pairs are
+// joined by a unique path) with a large instance — the "big, simple" pole
+// of the paper's evaluation.
+//
+// 13 relations: PERSON, JOURNAL, CONFERENCE, PUBLISHER, PROCEEDINGS,
+// ARTICLE, INPROCEEDINGS, AUTHOR_ARTICLE, AUTHOR_INPROCEEDINGS, EDITOR,
+// PHDTHESIS, SERIES, PROCEEDINGS_SERIES.
+
+#ifndef KM_DATASETS_DBLP_H_
+#define KM_DATASETS_DBLP_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "relational/database.h"
+
+namespace km {
+
+/// Instance-size knobs. The defaults produce a test-size instance; the
+/// benchmarks scale `persons`/`articles`/`inproceedings` up to stress the
+/// full-text simulation.
+struct DblpOptions {
+  size_t persons = 2000;
+  size_t journals = 40;
+  size_t conferences = 20;
+  size_t publishers = 15;
+  size_t years_of_proceedings = 12;  ///< proceedings per conference
+  size_t articles = 3000;
+  size_t inproceedings = 5000;
+  size_t phd_theses = 150;
+  double authors_per_paper_mean = 2.5;
+  uint64_t seed = 13;
+};
+
+/// Builds the bibliography database.
+StatusOr<Database> BuildDblpDatabase(const DblpOptions& options = {});
+
+}  // namespace km
+
+#endif  // KM_DATASETS_DBLP_H_

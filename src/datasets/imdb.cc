@@ -1,0 +1,202 @@
+#include "datasets/imdb.h"
+
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "datasets/namepools.h"
+
+namespace km {
+
+namespace {
+
+Status CreateSchema(Database* db) {
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "MOVIE", {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+                {"Title", DataType::kText, DomainTag::kFreeText},
+                {"Year", DataType::kInt, DomainTag::kYear},
+                {"Runtime", DataType::kInt, DomainTag::kQuantity}})));
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "PERSON", {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+                 {"Name", DataType::kText, DomainTag::kPersonName},
+                 {"BirthYear", DataType::kInt, DomainTag::kYear}})));
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "CASTING", {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+                  {"Movie", DataType::kText, DomainTag::kIdentifier},
+                  {"Person", DataType::kText, DomainTag::kIdentifier},
+                  {"Character", DataType::kText, DomainTag::kPersonName}})));
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "DIRECTS", {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+                  {"Movie", DataType::kText, DomainTag::kIdentifier},
+                  {"Person", DataType::kText, DomainTag::kIdentifier}})));
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "GENRE", {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+                {"Name", DataType::kText, DomainTag::kProperNoun}})));
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "MOVIE_GENRE", {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+                      {"Movie", DataType::kText, DomainTag::kIdentifier},
+                      {"Genre", DataType::kText, DomainTag::kIdentifier}})));
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "COMPANY", {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+                  {"Name", DataType::kText, DomainTag::kProperNoun},
+                  {"Country", DataType::kText, DomainTag::kCountryCode}})));
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "PRODUCED_BY", {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+                      {"Movie", DataType::kText, DomainTag::kIdentifier},
+                      {"Company", DataType::kText, DomainTag::kIdentifier}})));
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "RATING", {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+                 {"Movie", DataType::kText, DomainTag::kIdentifier},
+                 {"Score", DataType::kReal, DomainTag::kQuantity},
+                 {"Votes", DataType::kInt, DomainTag::kQuantity}})));
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "KEYWORD", {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+                  {"Word", DataType::kText, DomainTag::kFreeText}})));
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "MOVIE_KEYWORD", {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+                        {"Movie", DataType::kText, DomainTag::kIdentifier},
+                        {"Keyword", DataType::kText, DomainTag::kIdentifier}})));
+
+  KM_RETURN_IF_ERROR(db->AddForeignKey({"CASTING", "Movie", "MOVIE", "Id"}));
+  KM_RETURN_IF_ERROR(db->AddForeignKey({"CASTING", "Person", "PERSON", "Id"}));
+  KM_RETURN_IF_ERROR(db->AddForeignKey({"DIRECTS", "Movie", "MOVIE", "Id"}));
+  KM_RETURN_IF_ERROR(db->AddForeignKey({"DIRECTS", "Person", "PERSON", "Id"}));
+  KM_RETURN_IF_ERROR(db->AddForeignKey({"MOVIE_GENRE", "Movie", "MOVIE", "Id"}));
+  KM_RETURN_IF_ERROR(db->AddForeignKey({"MOVIE_GENRE", "Genre", "GENRE", "Id"}));
+  KM_RETURN_IF_ERROR(db->AddForeignKey({"PRODUCED_BY", "Movie", "MOVIE", "Id"}));
+  KM_RETURN_IF_ERROR(db->AddForeignKey({"PRODUCED_BY", "Company", "COMPANY", "Id"}));
+  KM_RETURN_IF_ERROR(db->AddForeignKey({"RATING", "Movie", "MOVIE", "Id"}));
+  KM_RETURN_IF_ERROR(db->AddForeignKey({"MOVIE_KEYWORD", "Movie", "MOVIE", "Id"}));
+  KM_RETURN_IF_ERROR(db->AddForeignKey({"MOVIE_KEYWORD", "Keyword", "KEYWORD", "Id"}));
+  return Status::OK();
+}
+
+std::string MakeMovieTitle(Rng* rng) {
+  static const std::vector<std::string>* kAdj = new std::vector<std::string>{
+      "Silent",  "Crimson", "Hidden",  "Broken",  "Golden", "Midnight",
+      "Eternal", "Savage",  "Gentle",  "Frozen",  "Burning","Lost",
+      "Final",   "Distant", "Electric","Hollow",  "Iron",   "Wild"};
+  static const std::vector<std::string>* kNoun = new std::vector<std::string>{
+      "Valley",  "Horizon", "Empire",  "River",  "Garden",  "Station",
+      "Harbor",  "Mirror",  "Shadow",  "Voyage", "Kingdom", "Letter",
+      "Winter",  "Promise", "Road",    "Island", "Tide",    "Echo"};
+  std::string title;
+  if (rng->Bernoulli(0.5)) title += "The ";
+  title += rng->Pick(*kAdj) + " " + rng->Pick(*kNoun);
+  if (rng->Bernoulli(0.12)) title += " II";
+  return title;
+}
+
+}  // namespace
+
+StatusOr<Database> BuildImdbDatabase(const ImdbOptions& options) {
+  Database db("imdb");
+  KM_RETURN_IF_ERROR(CreateSchema(&db));
+  Rng rng(options.seed);
+  auto T = [](const std::string& s) { return Value::Text(s); };
+  auto I = [](int64_t v) { return Value::Int(v); };
+
+  // Genres.
+  const char* kGenres[] = {"Drama",   "Comedy",  "Thriller", "Horror",
+                           "Romance", "Action",  "Adventure","Documentary",
+                           "Animation","Fantasy","Crime",    "Western"};
+  std::vector<std::string> genre_ids;
+  for (size_t i = 0; i < 12; ++i) {
+    std::string id = "g" + std::to_string(i);
+    KM_RETURN_IF_ERROR(db.Insert("GENRE", {T(id), T(kGenres[i])}));
+    genre_ids.push_back(id);
+  }
+
+  // Companies.
+  std::vector<std::string> company_ids;
+  for (size_t i = 0; i < options.companies; ++i) {
+    std::string id = "c" + std::to_string(i);
+    std::string name = rng.Pick(LastNames()) + " " +
+                       (rng.Bernoulli(0.5) ? "Pictures" : "Studios");
+    KM_RETURN_IF_ERROR(db.Insert(
+        "COMPANY", {T(id), T(name), T(rng.Pick(Countries()).code)}));
+    company_ids.push_back(id);
+  }
+
+  // Keywords.
+  std::vector<std::string> keyword_ids;
+  for (size_t i = 0; i < options.keywords; ++i) {
+    std::string id = "k" + std::to_string(i);
+    KM_RETURN_IF_ERROR(db.Insert(
+        "KEYWORD", {T(id), T(ToLower(rng.Pick(TitleNouns())) + "-" +
+                             std::to_string(i % 17))}));
+    keyword_ids.push_back(id);
+  }
+
+  // People.
+  std::vector<std::string> person_ids;
+  std::unordered_set<std::string> used_names;
+  for (size_t i = 0; i < options.persons; ++i) {
+    std::string name;
+    for (int attempt = 0; attempt < 20; ++attempt) {
+      name = MakePersonName(&rng);
+      if (used_names.insert(name).second) break;
+      name.clear();
+    }
+    if (name.empty()) {
+      name = MakePersonName(&rng) + " " + std::to_string(i);
+      used_names.insert(name);
+    }
+    std::string id = "p" + std::to_string(i);
+    KM_RETURN_IF_ERROR(db.Insert(
+        "PERSON", {T(id), T(name), I(static_cast<int64_t>(1930 + rng.Uniform(75)))}));
+    person_ids.push_back(id);
+  }
+
+  // Movies with castings, directors, genres, producers, ratings, keywords.
+  ZipfSampler person_zipf(person_ids.size(), 1.1);
+  size_t link_seq = 0;
+  for (size_t i = 0; i < options.movies; ++i) {
+    std::string id = "m" + std::to_string(i);
+    KM_RETURN_IF_ERROR(db.Insert(
+        "MOVIE", {T(id), T(MakeMovieTitle(&rng)),
+                  I(static_cast<int64_t>(1950 + rng.Uniform(74))),
+                  I(static_cast<int64_t>(70 + rng.Uniform(120)))}));
+    size_t cast_n =
+        1 + rng.Uniform(static_cast<uint64_t>(2 * options.cast_per_movie_mean));
+    std::unordered_set<size_t> chosen;
+    for (size_t c = 0; c < cast_n; ++c) {
+      size_t p = person_zipf.Sample(&rng);
+      if (!chosen.insert(p).second) continue;
+      KM_RETURN_IF_ERROR(db.Insert(
+          "CASTING", {T("cast" + std::to_string(link_seq++)), T(id),
+                      T(person_ids[p]), T(MakePersonName(&rng))}));
+    }
+    KM_RETURN_IF_ERROR(db.Insert(
+        "DIRECTS", {T("dir" + std::to_string(link_seq++)), T(id),
+                    T(person_ids[person_zipf.Sample(&rng)])}));
+    size_t genres = 1 + rng.Uniform(3);
+    std::unordered_set<std::string> gset;
+    for (size_t g = 0; g < genres; ++g) {
+      const std::string& gid = rng.Pick(genre_ids);
+      if (!gset.insert(gid).second) continue;
+      KM_RETURN_IF_ERROR(db.Insert(
+          "MOVIE_GENRE", {T("mg" + std::to_string(link_seq++)), T(id), T(gid)}));
+    }
+    KM_RETURN_IF_ERROR(db.Insert(
+        "PRODUCED_BY", {T("pb" + std::to_string(link_seq++)), T(id),
+                        T(rng.Pick(company_ids))}));
+    KM_RETURN_IF_ERROR(db.Insert(
+        "RATING", {T("r" + std::to_string(link_seq++)), T(id),
+                   Value::Real(1.0 + rng.UniformDouble() * 9.0),
+                   I(static_cast<int64_t>(10 + rng.Uniform(500000)))}));
+    size_t kws = rng.Uniform(4);
+    std::unordered_set<std::string> kwset;
+    for (size_t k = 0; k < kws; ++k) {
+      const std::string& kid = rng.Pick(keyword_ids);
+      if (!kwset.insert(kid).second) continue;
+      KM_RETURN_IF_ERROR(db.Insert(
+          "MOVIE_KEYWORD", {T("mk" + std::to_string(link_seq++)), T(id), T(kid)}));
+    }
+  }
+
+  KM_RETURN_IF_ERROR(db.CheckIntegrity());
+  return db;
+}
+
+}  // namespace km

@@ -1,0 +1,33 @@
+// An IMDB-like movie database: mid-size schema with two hub relations
+// (MOVIE, PERSON) connected through several link tables — the third
+// classic evaluation source of keyword-search benchmarks.
+//
+// 11 relations: MOVIE, PERSON, CASTING, DIRECTS, GENRE, MOVIE_GENRE,
+// COMPANY, PRODUCED_BY, RATING, KEYWORD, MOVIE_KEYWORD.
+
+#ifndef KM_DATASETS_IMDB_H_
+#define KM_DATASETS_IMDB_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "relational/database.h"
+
+namespace km {
+
+/// Instance-size knobs.
+struct ImdbOptions {
+  size_t movies = 1500;
+  size_t persons = 2000;
+  size_t companies = 60;
+  size_t keywords = 150;
+  double cast_per_movie_mean = 4.0;
+  uint64_t seed = 29;
+};
+
+/// Builds the movie database.
+StatusOr<Database> BuildImdbDatabase(const ImdbOptions& options = {});
+
+}  // namespace km
+
+#endif  // KM_DATASETS_IMDB_H_

@@ -1,0 +1,316 @@
+#include "datasets/mondial.h"
+
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "datasets/namepools.h"
+
+namespace km {
+
+namespace {
+
+Status CreateSchema(Database* db) {
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "COUNTRY", {{"Code", DataType::kText, DomainTag::kCountryCode, true},
+                  {"Name", DataType::kText, DomainTag::kCountryName},
+                  {"Capital", DataType::kText, DomainTag::kCityName},
+                  {"Population", DataType::kInt, DomainTag::kQuantity},
+                  {"Area", DataType::kReal, DomainTag::kQuantity}})));
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "CONTINENT", {{"Name", DataType::kText, DomainTag::kProperNoun, true},
+                    {"Area", DataType::kReal, DomainTag::kQuantity}})));
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "ENCOMPASSES", {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+                      {"Country", DataType::kText, DomainTag::kCountryCode},
+                      {"Continent", DataType::kText, DomainTag::kProperNoun},
+                      {"Percentage", DataType::kReal, DomainTag::kQuantity}})));
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "PROVINCE", {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+                   {"Name", DataType::kText, DomainTag::kProperNoun},
+                   {"Country", DataType::kText, DomainTag::kCountryCode},
+                   {"Population", DataType::kInt, DomainTag::kQuantity},
+                   {"Area", DataType::kReal, DomainTag::kQuantity}})));
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "CITY", {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+               {"Name", DataType::kText, DomainTag::kCityName},
+               {"Country", DataType::kText, DomainTag::kCountryCode},
+               {"Province", DataType::kText, DomainTag::kIdentifier},
+               {"Population", DataType::kInt, DomainTag::kQuantity}})));
+
+  // Physical features plus their located-in link tables.
+  const struct {
+    const char* feature;
+    const char* link;
+    const char* metric;
+  } kFeatures[] = {
+      {"RIVER", "GEO_RIVER", "Length"},     {"LAKE", "GEO_LAKE", "Area"},
+      {"MOUNTAIN", "GEO_MOUNTAIN", "Elevation"}, {"SEA", "GEO_SEA", "Depth"},
+      {"ISLAND", "GEO_ISLAND", "Area"},     {"DESERT", "GEO_DESERT", "Area"},
+  };
+  for (const auto& f : kFeatures) {
+    KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+        f.feature, {{"Name", DataType::kText, DomainTag::kProperNoun, true},
+                    {f.metric, DataType::kReal, DomainTag::kQuantity}})));
+    KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+        f.link, {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+                 {"Feature", DataType::kText, DomainTag::kProperNoun},
+                 {"Country", DataType::kText, DomainTag::kCountryCode},
+                 {"Province", DataType::kText, DomainTag::kIdentifier}})));
+    KM_RETURN_IF_ERROR(db->AddForeignKey({f.link, "Feature", f.feature, "Name"}));
+    KM_RETURN_IF_ERROR(db->AddForeignKey({f.link, "Country", "COUNTRY", "Code"}));
+    KM_RETURN_IF_ERROR(db->AddForeignKey({f.link, "Province", "PROVINCE", "Id"}));
+  }
+
+  const struct {
+    const char* rel;
+  } kDemographics[] = {{"LANGUAGE"}, {"RELIGION"}, {"ETHNICGROUP"}};
+  for (const auto& d : kDemographics) {
+    KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+        d.rel, {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+                {"Country", DataType::kText, DomainTag::kCountryCode},
+                {"Name", DataType::kText, DomainTag::kProperNoun},
+                {"Percentage", DataType::kReal, DomainTag::kQuantity}})));
+    KM_RETURN_IF_ERROR(db->AddForeignKey({d.rel, "Country", "COUNTRY", "Code"}));
+  }
+
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "BORDERS", {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+                  {"Country1", DataType::kText, DomainTag::kCountryCode},
+                  {"Country2", DataType::kText, DomainTag::kCountryCode},
+                  {"Length", DataType::kReal, DomainTag::kQuantity}})));
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "ORGANIZATION", {{"Abbreviation", DataType::kText, DomainTag::kProperNoun, true},
+                       {"Name", DataType::kText, DomainTag::kFreeText},
+                       {"City", DataType::kText, DomainTag::kIdentifier},
+                       {"Established", DataType::kInt, DomainTag::kYear}})));
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "ISMEMBER", {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+                   {"Country", DataType::kText, DomainTag::kCountryCode},
+                   {"Organization", DataType::kText, DomainTag::kProperNoun},
+                   {"Type", DataType::kText, DomainTag::kNone}})));
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "ECONOMY", {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+                  {"Country", DataType::kText, DomainTag::kCountryCode},
+                  {"GDP", DataType::kReal, DomainTag::kMoney},
+                  {"Inflation", DataType::kReal, DomainTag::kQuantity},
+                  {"Currency", DataType::kText, DomainTag::kProperNoun}})));
+
+  KM_RETURN_IF_ERROR(db->AddForeignKey({"ENCOMPASSES", "Country", "COUNTRY", "Code"}));
+  KM_RETURN_IF_ERROR(
+      db->AddForeignKey({"ENCOMPASSES", "Continent", "CONTINENT", "Name"}));
+  KM_RETURN_IF_ERROR(db->AddForeignKey({"PROVINCE", "Country", "COUNTRY", "Code"}));
+  KM_RETURN_IF_ERROR(db->AddForeignKey({"CITY", "Country", "COUNTRY", "Code"}));
+  KM_RETURN_IF_ERROR(db->AddForeignKey({"CITY", "Province", "PROVINCE", "Id"}));
+  KM_RETURN_IF_ERROR(db->AddForeignKey({"BORDERS", "Country1", "COUNTRY", "Code"}));
+  KM_RETURN_IF_ERROR(db->AddForeignKey({"BORDERS", "Country2", "COUNTRY", "Code"}));
+  KM_RETURN_IF_ERROR(db->AddForeignKey({"ORGANIZATION", "City", "CITY", "Id"}));
+  KM_RETURN_IF_ERROR(db->AddForeignKey({"ISMEMBER", "Country", "COUNTRY", "Code"}));
+  KM_RETURN_IF_ERROR(
+      db->AddForeignKey({"ISMEMBER", "Organization", "ORGANIZATION", "Abbreviation"}));
+  KM_RETURN_IF_ERROR(db->AddForeignKey({"ECONOMY", "Country", "COUNTRY", "Code"}));
+  return Status::OK();
+}
+
+// Real capitals for the countries of the name pool; countries not listed
+// get a drawn city name.
+const char* RealCapital(const std::string& code) {
+  static const std::unordered_map<std::string, const char*>* kCapitals =
+      new std::unordered_map<std::string, const char*>{
+          {"US", "Washington"},  {"IT", "Rome"},      {"ES", "Madrid"},
+          {"FR", "Paris"},       {"DE", "Berlin"},    {"GB", "London"},
+          {"IE", "Dublin"},      {"PT", "Lisbon"},    {"NL", "Amsterdam"},
+          {"BE", "Brussels"},    {"CH", "Bern"},      {"AT", "Vienna"},
+          {"GR", "Athens"},      {"SE", "Stockholm"}, {"NO", "Oslo"},
+          {"FI", "Helsinki"},    {"DK", "Copenhagen"},{"PL", "Warsaw"},
+          {"CZ", "Prague"},      {"HU", "Budapest"},  {"RO", "Bucharest"},
+          {"BG", "Sofia"},       {"HR", "Zagreb"},    {"RS", "Belgrade"},
+          {"SI", "Ljubljana"},   {"UA", "Kiev"},      {"TR", "Ankara"},
+          {"RU", "Moscow"},      {"CN", "Beijing"},   {"JP", "Tokyo"},
+          {"IN", "Delhi"},       {"KR", "Seoul"},     {"VN", "Hanoi"},
+          {"TH", "Bangkok"},     {"ID", "Jakarta"},   {"SG", "Singapore"},
+          {"IL", "Jerusalem"},   {"SA", "Riyadh"},    {"IR", "Tehran"},
+          {"CA", "Ottawa"},      {"MX", "Mexico City"},{"BR", "Brasilia"},
+          {"AR", "Buenos Aires"},{"CL", "Santiago"},  {"CO", "Bogota"},
+          {"PE", "Lima"},        {"UY", "Montevideo"},{"EG", "Cairo"},
+          {"MA", "Rabat"},       {"NG", "Abuja"},     {"KE", "Nairobi"},
+          {"ZA", "Pretoria"},    {"TN", "Tunis"},     {"GH", "Accra"},
+          {"AU", "Canberra"},    {"NZ", "Wellington"},
+      };
+  auto it = kCapitals->find(code);
+  return it == kCapitals->end() ? nullptr : it->second;
+}
+
+}  // namespace
+
+StatusOr<Database> BuildMondialDatabase(const MondialOptions& options) {
+  Database db("mondial");
+  KM_RETURN_IF_ERROR(CreateSchema(&db));
+  Rng rng(options.seed);
+  auto T = [](const std::string& s) { return Value::Text(s); };
+  auto I = [](int64_t v) { return Value::Int(v); };
+  auto R = [](double v) { return Value::Real(v); };
+
+  // Continents.
+  const char* kContinents[] = {"Europe", "Asia", "America", "Africa", "Oceania"};
+  for (const char* c : kContinents) {
+    KM_RETURN_IF_ERROR(
+        db.Insert("CONTINENT", {T(c), R(5e6 + rng.UniformDouble() * 4e7)}));
+  }
+
+  // Countries with provinces and cities; real city names are used first,
+  // synthesized ones afterwards.
+  std::vector<std::string> city_ids;
+  std::vector<std::string> province_ids;
+  size_t city_seq = 0, prov_seq = 0, enc_seq = 0;
+  std::vector<std::string> unused_cities = RealCities();
+  rng.Shuffle(&unused_cities);
+  size_t real_city_next = 0;
+
+  for (const CountryInfo& c : Countries()) {
+    const char* real_capital = RealCapital(c.code);
+    std::string capital =
+        real_capital != nullptr ? real_capital
+        : real_city_next < unused_cities.size() ? unused_cities[real_city_next++]
+                                                : MakePlaceName(&rng);
+    KM_RETURN_IF_ERROR(db.Insert(
+        "COUNTRY", {T(c.code), T(c.name), T(capital),
+                    I(static_cast<int64_t>(1 + rng.Uniform(1400)) * 1000000),
+                    R(1e4 + rng.UniformDouble() * 9e6)}));
+    KM_RETURN_IF_ERROR(db.Insert(
+        "ENCOMPASSES", {T("e" + std::to_string(enc_seq++)), T(c.code),
+                        T(c.continent), R(100.0)}));
+
+    size_t num_prov = 2 + rng.Uniform(options.provinces_per_country_max - 1);
+    for (size_t p = 0; p < num_prov; ++p) {
+      std::string prov_id = "prov" + std::to_string(prov_seq++);
+      KM_RETURN_IF_ERROR(db.Insert(
+          "PROVINCE", {T(prov_id), T(MakePlaceName(&rng)), T(c.code),
+                       I(static_cast<int64_t>(1 + rng.Uniform(40)) * 100000),
+                       R(1e3 + rng.UniformDouble() * 2e5)}));
+      province_ids.push_back(prov_id);
+
+      size_t num_cities = 1 + rng.Uniform(options.cities_per_province_max);
+      for (size_t ci = 0; ci < num_cities; ++ci) {
+        std::string city_id = "city" + std::to_string(city_seq++);
+        std::string name = (p == 0 && ci == 0) ? capital
+                           : (real_city_next < unused_cities.size() &&
+                              rng.Bernoulli(0.25))
+                               ? unused_cities[real_city_next++]
+                               : MakePlaceName(&rng);
+        KM_RETURN_IF_ERROR(db.Insert(
+            "CITY", {T(city_id), T(name), T(c.code), T(prov_id),
+                     I(static_cast<int64_t>(1 + rng.Uniform(9000)) * 1000)}));
+        city_ids.push_back(city_id);
+      }
+    }
+  }
+
+  // Physical features.
+  const struct {
+    const char* feature;
+    const char* link;
+    size_t count;
+    double metric_lo, metric_hi;
+  } kFeatures[] = {
+      {"RIVER", "GEO_RIVER", options.num_rivers, 100, 6500},
+      {"LAKE", "GEO_LAKE", options.num_lakes, 10, 80000},
+      {"MOUNTAIN", "GEO_MOUNTAIN", options.num_mountains, 800, 8800},
+      {"SEA", "GEO_SEA", options.num_seas, 100, 11000},
+      {"ISLAND", "GEO_ISLAND", options.num_islands, 5, 500000},
+      {"DESERT", "GEO_DESERT", options.num_deserts, 1000, 9000000},
+  };
+  size_t geo_seq = 0;
+  for (const auto& f : kFeatures) {
+    std::unordered_set<std::string> used;
+    for (size_t i = 0; i < f.count; ++i) {
+      std::string name = MakePlaceName(&rng);
+      if (!used.insert(name).second) continue;  // skip duplicate names
+      KM_RETURN_IF_ERROR(db.Insert(
+          f.feature,
+          {T(name), R(f.metric_lo + rng.UniformDouble() * (f.metric_hi - f.metric_lo))}));
+      // Each feature is located in 1–3 countries (subject to coverage).
+      if (!rng.Bernoulli(options.link_coverage)) continue;
+      size_t spans = 1 + rng.Uniform(3);
+      std::unordered_set<std::string> in;
+      for (size_t s = 0; s < spans; ++s) {
+        const CountryInfo& c = rng.Pick(Countries());
+        if (!in.insert(c.code).second) continue;
+        KM_RETURN_IF_ERROR(db.Insert(
+            f.link, {T("g" + std::to_string(geo_seq++)), T(name), T(c.code),
+                     T(rng.Pick(province_ids))}));
+      }
+    }
+  }
+
+  // Demographics.
+  const char* kLanguages[] = {"English", "Spanish", "French",  "German",  "Italian",
+                              "Mandarin", "Hindi",  "Arabic",  "Russian", "Japanese",
+                              "Portuguese", "Dutch", "Greek",  "Turkish", "Korean"};
+  const char* kReligions[] = {"Christianity", "Islam", "Hinduism", "Buddhism",
+                              "Judaism", "Taoism", "Shinto", "Sikhism"};
+  const char* kEthnic[] = {"Latin", "Slavic", "Germanic", "Celtic", "Arab",
+                           "Han", "Bantu", "Turkic", "Persian", "Malay"};
+  size_t demo_seq = 0;
+  for (const CountryInfo& c : Countries()) {
+    size_t nl = 1 + rng.Uniform(3);
+    for (size_t i = 0; i < nl; ++i) {
+      KM_RETURN_IF_ERROR(db.Insert(
+          "LANGUAGE", {T("l" + std::to_string(demo_seq++)), T(c.code),
+                       T(kLanguages[rng.Uniform(15)]), R(rng.UniformDouble() * 100)}));
+    }
+    KM_RETURN_IF_ERROR(db.Insert(
+        "RELIGION", {T("r" + std::to_string(demo_seq++)), T(c.code),
+                     T(kReligions[rng.Uniform(8)]), R(rng.UniformDouble() * 100)}));
+    KM_RETURN_IF_ERROR(db.Insert(
+        "ETHNICGROUP", {T("eg" + std::to_string(demo_seq++)), T(c.code),
+                        T(kEthnic[rng.Uniform(10)]), R(rng.UniformDouble() * 100)}));
+    KM_RETURN_IF_ERROR(db.Insert(
+        "ECONOMY", {T("ec" + std::to_string(demo_seq++)), T(c.code),
+                    R(1e9 + rng.UniformDouble() * 2e13), R(rng.UniformDouble() * 15),
+                    T(std::string(c.code) + "D")}));
+  }
+
+  // Borders among countries of the same continent.
+  size_t border_seq = 0;
+  const auto& countries = Countries();
+  for (size_t i = 0; i < countries.size(); ++i) {
+    for (size_t j = i + 1; j < countries.size(); ++j) {
+      if (std::string(countries[i].continent) != countries[j].continent) continue;
+      if (!rng.Bernoulli(0.12)) continue;
+      KM_RETURN_IF_ERROR(db.Insert(
+          "BORDERS", {T("b" + std::to_string(border_seq++)), T(countries[i].code),
+                      T(countries[j].code), R(10 + rng.UniformDouble() * 4000)}));
+    }
+  }
+
+  // Organizations and memberships.
+  const char* kOrgs[] = {"UN",   "EU",    "NATO", "OECD", "WTO",  "IMF",  "WHO",
+                         "OPEC", "ASEAN", "AU",   "OAS",  "G7",   "G20",  "APEC",
+                         "EFTA", "CERN",  "ESA",  "FAO",  "ILO",  "UNESCO"};
+  std::vector<std::string> org_names;
+  for (size_t i = 0; i < options.num_organizations && i < 20; ++i) {
+    KM_RETURN_IF_ERROR(db.Insert(
+        "ORGANIZATION",
+        {T(kOrgs[i]), T(std::string("The ") + kOrgs[i] + " international organization"),
+         T(rng.Pick(city_ids)), I(static_cast<int64_t>(1900 + rng.Uniform(100)))}));
+    org_names.push_back(kOrgs[i]);
+  }
+  size_t mem_seq = 0;
+  for (const CountryInfo& c : Countries()) {
+    if (!rng.Bernoulli(options.link_coverage)) continue;
+    size_t n = 1 + rng.Uniform(5);
+    std::unordered_set<std::string> in;
+    for (size_t i = 0; i < n; ++i) {
+      const std::string& org = rng.Pick(org_names);
+      if (!in.insert(org).second) continue;
+      KM_RETURN_IF_ERROR(db.Insert(
+          "ISMEMBER", {T("im" + std::to_string(mem_seq++)), T(c.code), T(org),
+                       T(rng.Bernoulli(0.8) ? "member" : "observer")}));
+    }
+  }
+
+  KM_RETURN_IF_ERROR(db.CheckIntegrity());
+  return db;
+}
+
+}  // namespace km

@@ -1,0 +1,46 @@
+// A Mondial-like geography database: many relations, rich foreign-key
+// fabric, multiple join paths between most relation pairs — the "complex
+// schema" pole of the paper's evaluation.
+//
+// 24 relations: COUNTRY, CONTINENT, ENCOMPASSES, PROVINCE, CITY, RIVER,
+// LAKE, MOUNTAIN, SEA, ISLAND, DESERT, GEO_RIVER, GEO_LAKE, GEO_MOUNTAIN,
+// GEO_SEA, GEO_ISLAND, GEO_DESERT, LANGUAGE, RELIGION, ETHNICGROUP,
+// BORDERS, ORGANIZATION, ISMEMBER, ECONOMY.
+
+#ifndef KM_DATASETS_MONDIAL_H_
+#define KM_DATASETS_MONDIAL_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "relational/database.h"
+
+namespace km {
+
+/// Instance-size knobs (defaults give a Mondial-scale instance: a few
+/// thousand cities, hundreds of everything else).
+struct MondialOptions {
+  size_t provinces_per_country_max = 6;
+  size_t cities_per_province_max = 4;
+  size_t num_rivers = 120;
+  size_t num_lakes = 80;
+  size_t num_mountains = 100;
+  size_t num_seas = 30;
+  size_t num_islands = 60;
+  size_t num_deserts = 30;
+  size_t num_organizations = 40;
+  /// Fraction of feature/membership link rows actually inserted. 1.0 gives
+  /// densely populated foreign keys; low values simulate sparse joins
+  /// (most features located nowhere), the regime where mutual-information
+  /// edge weights earn their keep.
+  double link_coverage = 1.0;
+  uint64_t seed = 7;
+};
+
+/// Builds the geography database over the ~60 real countries of the name
+/// pool.
+StatusOr<Database> BuildMondialDatabase(const MondialOptions& options = {});
+
+}  // namespace km
+
+#endif  // KM_DATASETS_MONDIAL_H_

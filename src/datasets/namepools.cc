@@ -1,0 +1,221 @@
+#include "datasets/namepools.h"
+
+#include "common/strings.h"
+
+namespace km {
+
+const std::vector<CountryInfo>& Countries() {
+  static const std::vector<CountryInfo>* kCountries = new std::vector<CountryInfo>{
+      {"United States", "US", "America"}, {"Italy", "IT", "Europe"},
+      {"Spain", "ES", "Europe"},          {"France", "FR", "Europe"},
+      {"Germany", "DE", "Europe"},        {"United Kingdom", "GB", "Europe"},
+      {"Ireland", "IE", "Europe"},        {"Portugal", "PT", "Europe"},
+      {"Netherlands", "NL", "Europe"},    {"Belgium", "BE", "Europe"},
+      {"Switzerland", "CH", "Europe"},    {"Austria", "AT", "Europe"},
+      {"Greece", "GR", "Europe"},         {"Sweden", "SE", "Europe"},
+      {"Norway", "NO", "Europe"},         {"Finland", "FI", "Europe"},
+      {"Denmark", "DK", "Europe"},        {"Poland", "PL", "Europe"},
+      {"Czechia", "CZ", "Europe"},        {"Hungary", "HU", "Europe"},
+      {"Romania", "RO", "Europe"},        {"Bulgaria", "BG", "Europe"},
+      {"Croatia", "HR", "Europe"},        {"Serbia", "RS", "Europe"},
+      {"Slovenia", "SI", "Europe"},       {"Slovakia", "SK", "Europe"},
+      {"Ukraine", "UA", "Europe"},        {"Turkey", "TR", "Asia"},
+      {"Russia", "RU", "Asia"},           {"China", "CN", "Asia"},
+      {"Japan", "JP", "Asia"},            {"India", "IN", "Asia"},
+      {"South Korea", "KR", "Asia"},      {"Vietnam", "VN", "Asia"},
+      {"Thailand", "TH", "Asia"},         {"Indonesia", "ID", "Asia"},
+      {"Malaysia", "MY", "Asia"},         {"Singapore", "SG", "Asia"},
+      {"Israel", "IL", "Asia"},           {"Saudi Arabia", "SA", "Asia"},
+      {"Iran", "IR", "Asia"},             {"Pakistan", "PK", "Asia"},
+      {"Canada", "CA", "America"},        {"Mexico", "MX", "America"},
+      {"Brazil", "BR", "America"},        {"Argentina", "AR", "America"},
+      {"Chile", "CL", "America"},         {"Colombia", "CO", "America"},
+      {"Peru", "PE", "America"},          {"Uruguay", "UY", "America"},
+      {"Egypt", "EG", "Africa"},          {"Morocco", "MA", "Africa"},
+      {"Nigeria", "NG", "Africa"},        {"Kenya", "KE", "Africa"},
+      {"Ethiopia", "ET", "Africa"},       {"South Africa", "ZA", "Africa"},
+      {"Tunisia", "TN", "Africa"},        {"Ghana", "GH", "Africa"},
+      {"Australia", "AU", "Oceania"},     {"New Zealand", "NZ", "Oceania"},
+  };
+  return *kCountries;
+}
+
+const std::vector<std::string>& FirstNames() {
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+      "James",   "Mary",    "Robert",  "Patricia", "John",    "Jennifer",
+      "Michael", "Linda",   "David",   "Elizabeth","William", "Barbara",
+      "Richard", "Susan",   "Joseph",  "Jessica",  "Thomas",  "Sarah",
+      "Charles", "Karen",   "Daniel",  "Lisa",     "Matthew", "Nancy",
+      "Anthony", "Betty",   "Mark",    "Margaret", "Paul",    "Sandra",
+      "Steven",  "Ashley",  "Andrew",  "Kimberly", "Kenneth", "Emily",
+      "Joshua",  "Donna",   "Kevin",   "Michelle", "Brian",   "Carol",
+      "George",  "Amanda",  "Edward",  "Dorothy",  "Ronald",  "Melissa",
+      "Timothy", "Deborah", "Jason",   "Stephanie","Jeffrey", "Rebecca",
+      "Ryan",    "Sharon",  "Jacob",   "Laura",    "Gary",    "Cynthia",
+      "Sonia",   "Francesco","Matteo", "Raquel",   "Yannis",  "Giovanni",
+      "Elena",   "Marco",   "Lucia",   "Andrea",   "Paolo",   "Chiara",
+      "Hans",    "Ingrid",  "Pierre",  "Camille",  "Akira",   "Yuki",
+      "Wei",     "Mei",     "Ivan",    "Olga",     "Pedro",   "Ines",
+  };
+  return *kNames;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+      "Smith",     "Johnson",   "Williams",  "Brown",    "Jones",    "Garcia",
+      "Miller",    "Davis",     "Rodriguez", "Martinez", "Hernandez","Lopez",
+      "Gonzalez",  "Wilson",    "Anderson",  "Thomas",   "Taylor",   "Moore",
+      "Jackson",   "Martin",    "Lee",       "Perez",    "Thompson", "White",
+      "Harris",    "Sanchez",   "Clark",     "Ramirez",  "Lewis",    "Robinson",
+      "Walker",    "Young",     "Allen",     "King",     "Wright",   "Scott",
+      "Torres",    "Nguyen",    "Hill",      "Flores",   "Green",    "Adams",
+      "Nelson",    "Baker",     "Hall",      "Rivera",   "Campbell", "Mitchell",
+      "Carter",    "Roberts",   "Rossi",     "Russo",    "Ferrari",  "Esposito",
+      "Bianchi",   "Romano",    "Colombo",   "Ricci",    "Marino",   "Greco",
+      "Bruno",     "Gallo",     "Conti",     "Costa",    "Giordano", "Mancini",
+      "Rizzo",     "Lombardi",  "Moretti",   "Mueller",  "Schmidt",  "Schneider",
+      "Fischer",   "Weber",     "Meyer",     "Wagner",   "Becker",   "Schulz",
+      "Hoffmann",  "Koch",      "Dubois",    "Moreau",   "Laurent",  "Simon",
+      "Michel",    "Leroy",     "Tanaka",    "Suzuki",   "Takahashi","Watanabe",
+      "Ito",       "Yamamoto",  "Chen",      "Wang",     "Zhang",    "Liu",
+      "Yang",      "Huang",     "Kim",       "Park",     "Choi",     "Singh",
+      "Kumar",     "Sharma",    "Patel",     "Gupta",    "Silva",    "Santos",
+      "Oliveira",  "Souza",     "Pereira",   "Ivanov",   "Petrov",   "Volkov",
+      "Bergamaschi","Guerra",   "Interlandi","Velegrakis","Trillo",  "Domnori",
+  };
+  return *kNames;
+}
+
+const std::vector<std::string>& RealCities() {
+  static const std::vector<std::string>* kCities = new std::vector<std::string>{
+      "Rome",      "Milan",     "Trento",     "Modena",   "Naples",   "Turin",
+      "Madrid",    "Barcelona", "Zaragoza",   "Seville",  "Valencia", "Paris",
+      "Lyon",      "Marseille", "Berlin",     "Munich",   "Hamburg",  "London",
+      "Manchester","Edinburgh", "Dublin",     "Lisbon",   "Porto",    "Amsterdam",
+      "Brussels",  "Zurich",    "Geneva",     "Vienna",   "Athens",   "Stockholm",
+      "Oslo",      "Helsinki",  "Copenhagen", "Warsaw",   "Prague",   "Budapest",
+      "Bucharest", "Sofia",     "Zagreb",     "Belgrade", "Ljubljana","Kiev",
+      "Istanbul",  "Ankara",    "Moscow",     "Beijing",  "Shanghai", "Tokyo",
+      "Osaka",     "Delhi",     "Mumbai",     "Seoul",    "Hanoi",    "Bangkok",
+      "Jakarta",   "Singapore", "Tel Aviv",   "Riyadh",   "Tehran",   "Karachi",
+      "Toronto",   "Vancouver", "Mexico City","Sao Paulo","Buenos Aires","Santiago",
+      "Bogota",    "Lima",      "Montevideo", "Cairo",    "Casablanca","Lagos",
+      "Nairobi",   "Cape Town", "Tunis",      "Accra",    "Sydney",   "Melbourne",
+      "Auckland",  "New York",  "Boston",     "Chicago",  "Stanford", "Cambridge",
+  };
+  return *kCities;
+}
+
+const std::vector<std::string>& TitleAdjectives() {
+  static const std::vector<std::string>* kWords = new std::vector<std::string>{
+      "Efficient", "Scalable",  "Adaptive",   "Robust",    "Incremental",
+      "Parallel",  "Distributed","Approximate","Effective", "Principled",
+      "Fast",      "Interactive","Semantic",   "Probabilistic","Declarative",
+      "Unified",   "Holistic",  "Dynamic",    "Learned",   "Hybrid",
+  };
+  return *kWords;
+}
+
+const std::vector<std::string>& TitleNouns() {
+  static const std::vector<std::string>* kWords = new std::vector<std::string>{
+      "Keyword Search", "Query Processing", "Join Optimization", "Indexing",
+      "Data Integration", "Schema Matching", "Entity Resolution", "Ranking",
+      "Query Answering", "Data Cleaning",  "Sampling",          "Caching",
+      "Summarization",  "Partitioning",    "Compression",       "Provenance",
+      "Top-k Retrieval","View Selection",  "Cardinality Estimation", "Sketching",
+  };
+  return *kWords;
+}
+
+const std::vector<std::string>& TitleDomains() {
+  static const std::vector<std::string>* kWords = new std::vector<std::string>{
+      "Relational Databases", "Data Streams",  "Graph Data",      "the Deep Web",
+      "Column Stores",        "Key-Value Stores","Social Networks","XML Repositories",
+      "Federated Systems",    "Sensor Networks","Spatial Data",   "Temporal Databases",
+      "Probabilistic Data",   "Crowdsourced Data","Scientific Workflows","Main Memory",
+  };
+  return *kWords;
+}
+
+const std::vector<std::string>& ConferenceAcronyms() {
+  static const std::vector<std::string>* kWords = new std::vector<std::string>{
+      "SIGMOD", "VLDB",  "ICDE",  "EDBT",  "CIKM",  "KDD",   "WWW",
+      "ICDT",   "PODS",  "WSDM",  "SIGIR", "ISWC",  "ESWC",  "ER",
+      "DASFAA", "SSDBM", "TREC",  "ECIR",  "ICML",  "SDM",
+  };
+  return *kWords;
+}
+
+std::string MakePersonName(Rng* rng) {
+  std::string name = rng->Pick(FirstNames());
+  if (rng->Bernoulli(0.12)) {
+    name += " ";
+    name += static_cast<char>('A' + rng->Uniform(26));
+    name += ".";
+  }
+  name += " " + rng->Pick(LastNames());
+  return name;
+}
+
+std::string MakePlaceName(Rng* rng) {
+  static const std::vector<std::string>* kPrefix = new std::vector<std::string>{
+      "North", "South", "East", "West", "New", "Old", "Upper", "Lower", "Port",
+      "Lake", "Mount", "Saint"};
+  static const std::vector<std::string>* kStem = new std::vector<std::string>{
+      "Veleth", "Karuna", "Doria",  "Maren",  "Tolva", "Ebris",  "Canda",
+      "Soria",  "Ilmar",  "Vesta",  "Orlen",  "Tarvi", "Belmor", "Quira",
+      "Zerin",  "Aldana", "Feria",  "Goran",  "Halden","Istria", "Jurno",
+      "Kelva",  "Lorin",  "Mirel",  "Nersa",  "Ovana", "Pelda",  "Rovan",
+      "Selka",  "Tirane", "Umbra",  "Varga",  "Welda", "Ylva",   "Zoric"};
+  static const std::vector<std::string>* kSuffix = new std::vector<std::string>{
+      "", "", "", " Bay", " Falls", " Hills", " Valley", " Springs", "ia",
+      "ville", "burg", "ton"};
+  std::string name;
+  if (rng->Bernoulli(0.35)) name += rng->Pick(*kPrefix) + " ";
+  std::string stem = rng->Pick(*kStem);
+  std::string suffix = rng->Pick(*kSuffix);
+  if (!suffix.empty() && suffix[0] != ' ') {
+    // Gluing suffixes lowers the stem ending naturally.
+    name += stem + suffix;
+  } else {
+    name += stem + suffix;
+  }
+  return name;
+}
+
+std::string MakePaperTitle(Rng* rng) {
+  std::string title = rng->Pick(TitleAdjectives()) + " " + rng->Pick(TitleNouns()) +
+                      " over " + rng->Pick(TitleDomains());
+  return title;
+}
+
+std::string MakePhone(Rng* rng) {
+  std::string phone;
+  phone += static_cast<char>('1' + rng->Uniform(9));
+  for (int i = 0; i < 6; ++i) phone += static_cast<char>('0' + rng->Uniform(10));
+  return phone;
+}
+
+std::string MakeEmail(const std::string& person_name, Rng* rng) {
+  static const std::vector<std::string>* kDomains = new std::vector<std::string>{
+      "example.edu", "mail.org", "univ.edu", "research.net", "dept.edu"};
+  std::string user;
+  for (char c : ToLower(person_name)) {
+    if (c == ' ') {
+      user += '.';
+    } else if (c != '.') {
+      user += c;
+    }
+  }
+  return user + "@" + rng->Pick(*kDomains);
+}
+
+std::string MakeAddress(Rng* rng) {
+  static const std::vector<std::string>* kStreets = new std::vector<std::string>{
+      "Maple Street", "Oak Avenue", "Main Street", "Hill Road", "Park Lane",
+      "River Drive",  "Elm Street", "Church Road", "Mill Lane", "Station Road",
+      "Blicker",      "Tribeca",    "West Ocean",  "High Street", "College Avenue"};
+  return std::to_string(1 + rng->Uniform(99)) + " " + rng->Pick(*kStreets);
+}
+
+}  // namespace km

@@ -1,0 +1,66 @@
+// Shared name pools for the synthetic dataset generators.
+//
+// Realistic-looking surface strings matter here: the forward step matches
+// keywords against schema names and value shapes, so the generators draw
+// from curated pools (real country names/codes, plausible person and city
+// names, research-paper title vocabulary) instead of random strings.
+
+#ifndef KM_DATASETS_NAMEPOOLS_H_
+#define KM_DATASETS_NAMEPOOLS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace km {
+
+/// A country with its ISO-like alpha-2 code and continent.
+struct CountryInfo {
+  const char* name;
+  const char* code;
+  const char* continent;
+};
+
+/// ~60 real countries (name, code, continent).
+const std::vector<CountryInfo>& Countries();
+
+/// Common given names (~80).
+const std::vector<std::string>& FirstNames();
+
+/// Common family names (~120).
+const std::vector<std::string>& LastNames();
+
+/// Real large-city names (~70), used as anchors in the geo dataset.
+const std::vector<std::string>& RealCities();
+
+/// Words used to synthesize research-paper titles.
+const std::vector<std::string>& TitleAdjectives();
+const std::vector<std::string>& TitleNouns();
+const std::vector<std::string>& TitleDomains();
+
+/// Conference acronym pool ("SIGMOD", "VLDB", ...).
+const std::vector<std::string>& ConferenceAcronyms();
+
+/// Draws "First Last" with an optional middle initial.
+std::string MakePersonName(Rng* rng);
+
+/// Synthesizes a plausible place name ("North Veleth", "Karuna Bay", ...).
+std::string MakePlaceName(Rng* rng);
+
+/// Synthesizes a paper title ("Efficient Keyword Search over Streaming
+/// Graphs").
+std::string MakePaperTitle(Rng* rng);
+
+/// Synthesizes a phone number string of 7 digits.
+std::string MakePhone(Rng* rng);
+
+/// Synthesizes an e-mail for a person name at one of a few domains.
+std::string MakeEmail(const std::string& person_name, Rng* rng);
+
+/// Synthesizes a street address ("17 Maple Street").
+std::string MakeAddress(Rng* rng);
+
+}  // namespace km
+
+#endif  // KM_DATASETS_NAMEPOOLS_H_

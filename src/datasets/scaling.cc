@@ -1,0 +1,139 @@
+#include "datasets/scaling.h"
+
+#include "common/rng.h"
+#include "datasets/namepools.h"
+
+namespace km {
+
+StatusOr<Database> BuildScalingDatabase(const ScalingOptions& options) {
+  if (options.num_relations == 0 || options.attributes_per_relation < 2) {
+    return Status::InvalidArgument("scaling database needs >=1 relation and >=2 attrs");
+  }
+  Database db("scaling");
+  Rng rng(options.seed);
+
+  static const char* kPayloadNames[] = {"Name",  "Title",  "City",   "Country",
+                                        "Email", "Phone",  "Year",   "Amount",
+                                        "Label", "Status", "Code",   "Owner"};
+  static const DomainTag kPayloadTags[] = {
+      DomainTag::kPersonName, DomainTag::kFreeText, DomainTag::kCityName,
+      DomainTag::kCountryCode, DomainTag::kEmail,   DomainTag::kPhone,
+      DomainTag::kYear,        DomainTag::kQuantity, DomainTag::kProperNoun,
+      DomainTag::kNone,        DomainTag::kIdentifier, DomainTag::kPersonName};
+
+  // Relations REL0..RELn-1: PK "Id", FK "Prev" to the previous relation
+  // (except REL0), payload attributes cycling through the pools.
+  for (size_t r = 0; r < options.num_relations; ++r) {
+    std::vector<AttributeDef> attrs;
+    attrs.push_back({"Id", DataType::kText, DomainTag::kIdentifier, true});
+    size_t payload = options.attributes_per_relation - 1;
+    bool has_fk = r > 0;
+    if (has_fk && payload > 0) --payload;
+    if (has_fk) attrs.push_back({"Prev", DataType::kText, DomainTag::kIdentifier});
+    for (size_t a = 0; a < payload; ++a) {
+      size_t pick = (r + a) % 12;
+      DataType type = kPayloadTags[pick] == DomainTag::kYear ||
+                              kPayloadTags[pick] == DomainTag::kQuantity
+                          ? DataType::kInt
+                          : DataType::kText;
+      std::string name = kPayloadNames[pick];
+      if (a >= 12) name += std::to_string(a / 12);
+      attrs.push_back({name, type, kPayloadTags[pick]});
+    }
+    KM_RETURN_IF_ERROR(
+        db.CreateRelation(RelationSchema("REL" + std::to_string(r), attrs)));
+  }
+  for (size_t r = 1; r < options.num_relations; ++r) {
+    KM_RETURN_IF_ERROR(db.AddForeignKey({"REL" + std::to_string(r), "Prev",
+                                         "REL" + std::to_string(r - 1), "Id"}));
+  }
+  // Chord foreign keys for join-path multiplicity: RELr gets an extra FK
+  // column referencing a random earlier relation.
+  size_t chords =
+      static_cast<size_t>(options.extra_fk_fraction * options.num_relations);
+  for (size_t c = 0; c < chords; ++c) {
+    size_t r = 2 + rng.Uniform(options.num_relations > 2 ? options.num_relations - 2 : 1);
+    if (r >= options.num_relations) continue;
+    size_t target = rng.Uniform(r - 1);
+    // Chords are realized as link relations to keep schemas valid (an ALTER
+    // would require rebuilding the table).
+    std::string link = "LINK" + std::to_string(c);
+    if (db.schema().FindRelation(link) != nullptr) continue;
+    KM_RETURN_IF_ERROR(db.CreateRelation(RelationSchema(
+        link, {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+               {"A", DataType::kText, DomainTag::kIdentifier},
+               {"B", DataType::kText, DomainTag::kIdentifier}})));
+    KM_RETURN_IF_ERROR(
+        db.AddForeignKey({link, "A", "REL" + std::to_string(r), "Id"}));
+    KM_RETURN_IF_ERROR(
+        db.AddForeignKey({link, "B", "REL" + std::to_string(target), "Id"}));
+  }
+
+  // Rows.
+  auto T = [](const std::string& s) { return Value::Text(s); };
+  for (size_t r = 0; r < options.num_relations; ++r) {
+    const RelationSchema* rel = db.schema().FindRelation("REL" + std::to_string(r));
+    for (size_t i = 0; i < options.rows_per_relation; ++i) {
+      Row row;
+      for (const AttributeDef& a : rel->attributes()) {
+        if (a.name == "Id") {
+          row.push_back(T("r" + std::to_string(r) + "_" + std::to_string(i)));
+        } else if (a.name == "Prev") {
+          row.push_back(T("r" + std::to_string(r - 1) + "_" +
+                          std::to_string(rng.Uniform(options.rows_per_relation))));
+        } else if (a.type == DataType::kInt) {
+          row.push_back(Value::Int(static_cast<int64_t>(
+              a.tag == DomainTag::kYear ? 1990 + rng.Uniform(34) : rng.Uniform(1000))));
+        } else {
+          switch (a.tag) {
+            case DomainTag::kPersonName:
+              row.push_back(T(MakePersonName(&rng)));
+              break;
+            case DomainTag::kCityName:
+              row.push_back(T(rng.Pick(RealCities())));
+              break;
+            case DomainTag::kCountryCode:
+              row.push_back(T(rng.Pick(Countries()).code));
+              break;
+            case DomainTag::kEmail:
+              row.push_back(T(MakeEmail("user" + std::to_string(i), &rng)));
+              break;
+            case DomainTag::kPhone:
+              row.push_back(T(MakePhone(&rng)));
+              break;
+            case DomainTag::kFreeText:
+              row.push_back(T(MakePaperTitle(&rng)));
+              break;
+            default:
+              row.push_back(T("v" + std::to_string(rng.Uniform(100))));
+          }
+        }
+      }
+      KM_RETURN_IF_ERROR(db.Insert(rel->name(), std::move(row)));
+    }
+  }
+  for (size_t c = 0;; ++c) {
+    const RelationSchema* rel = db.schema().FindRelation("LINK" + std::to_string(c));
+    if (rel == nullptr) break;
+    // Link rows: resolve the FK targets from the schema's foreign keys.
+    std::string ra, rb;
+    for (const ForeignKey& fk : db.schema().foreign_keys()) {
+      if (fk.from_relation != rel->name()) continue;
+      if (fk.from_attribute == "A") ra = fk.to_relation;
+      if (fk.from_attribute == "B") rb = fk.to_relation;
+    }
+    for (size_t i = 0; i < options.rows_per_relation / 2; ++i) {
+      KM_RETURN_IF_ERROR(db.Insert(
+          rel->name(),
+          {T("l" + std::to_string(c) + "_" + std::to_string(i)),
+           T("r" + ra.substr(3) + "_" + std::to_string(rng.Uniform(options.rows_per_relation))),
+           T("r" + rb.substr(3) + "_" +
+             std::to_string(rng.Uniform(options.rows_per_relation)))}));
+    }
+  }
+
+  KM_RETURN_IF_ERROR(db.CheckIntegrity());
+  return db;
+}
+
+}  // namespace km

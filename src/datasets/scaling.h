@@ -1,0 +1,33 @@
+// Synthetic schema-scaling databases for the efficiency experiments:
+// parametric number of relations/attributes so the terminology size |T(D)|
+// can be swept over orders of magnitude.
+
+#ifndef KM_DATASETS_SCALING_H_
+#define KM_DATASETS_SCALING_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "relational/database.h"
+
+namespace km {
+
+/// Knobs of the scaling generator.
+struct ScalingOptions {
+  size_t num_relations = 10;
+  size_t attributes_per_relation = 5;  ///< including the primary key
+  /// Extra foreign keys beyond the connecting chain (adds join-path
+  /// multiplicity), as a fraction of the relation count.
+  double extra_fk_fraction = 0.3;
+  /// Rows per relation (small; the scaling experiments stress the schema).
+  size_t rows_per_relation = 20;
+  uint64_t seed = 3;
+};
+
+/// Builds a connected chain-plus-chords schema of `num_relations` relations
+/// with |T(D)| = num_relations · (1 + 2·attributes_per_relation).
+StatusOr<Database> BuildScalingDatabase(const ScalingOptions& options = {});
+
+}  // namespace km
+
+#endif  // KM_DATASETS_SCALING_H_

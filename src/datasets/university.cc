@@ -1,0 +1,204 @@
+#include "datasets/university.h"
+
+#include "common/rng.h"
+#include "datasets/namepools.h"
+
+namespace km {
+
+namespace {
+
+Status CreateSchema(Database* db) {
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "PEOPLE",
+      {{"Id", DataType::kText, DomainTag::kIdentifier, /*pk=*/true},
+       {"Name", DataType::kText, DomainTag::kPersonName},
+       {"Phone", DataType::kText, DomainTag::kPhone},
+       {"Country", DataType::kText, DomainTag::kCountryCode},
+       {"Email", DataType::kText, DomainTag::kEmail}})));
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "UNIVERSITY",
+      {{"Name", DataType::kText, DomainTag::kProperNoun, /*pk=*/true},
+       {"City", DataType::kText, DomainTag::kCityName},
+       {"Country", DataType::kText, DomainTag::kCountryCode}})));
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "DEPARTMENT",
+      {{"Id", DataType::kText, DomainTag::kIdentifier, /*pk=*/true},
+       {"Name", DataType::kText, DomainTag::kProperNoun},
+       {"Address", DataType::kText, DomainTag::kAddress},
+       {"University", DataType::kText, DomainTag::kProperNoun},
+       {"Director", DataType::kText, DomainTag::kIdentifier}})));
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "AFFILIATED",
+      {{"Id", DataType::kText, DomainTag::kIdentifier, /*pk=*/true},
+       {"IdPrs", DataType::kText, DomainTag::kIdentifier},
+       {"IdDpt", DataType::kText, DomainTag::kIdentifier},
+       {"Year", DataType::kInt, DomainTag::kYear}})));
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "PROJECT",
+      {{"Id", DataType::kText, DomainTag::kIdentifier, /*pk=*/true},
+       {"Name", DataType::kText, DomainTag::kProperNoun},
+       {"Year", DataType::kInt, DomainTag::kYear},
+       {"Topic", DataType::kText, DomainTag::kFreeText}})));
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "MEMBEROF",
+      {{"Id", DataType::kText, DomainTag::kIdentifier, /*pk=*/true},
+       {"Person", DataType::kText, DomainTag::kIdentifier},
+       {"Project", DataType::kText, DomainTag::kIdentifier},
+       {"Date", DataType::kDate, DomainTag::kDate}})));
+  KM_RETURN_IF_ERROR(db->CreateRelation(RelationSchema(
+      "PARTICIPATION",
+      {{"Id", DataType::kText, DomainTag::kIdentifier, /*pk=*/true},
+       {"Project", DataType::kText, DomainTag::kIdentifier},
+       {"University", DataType::kText, DomainTag::kProperNoun}})));
+
+  KM_RETURN_IF_ERROR(db->AddForeignKey({"DEPARTMENT", "University", "UNIVERSITY", "Name"}));
+  KM_RETURN_IF_ERROR(db->AddForeignKey({"DEPARTMENT", "Director", "PEOPLE", "Id"}));
+  KM_RETURN_IF_ERROR(db->AddForeignKey({"AFFILIATED", "IdPrs", "PEOPLE", "Id"}));
+  KM_RETURN_IF_ERROR(db->AddForeignKey({"AFFILIATED", "IdDpt", "DEPARTMENT", "Id"}));
+  KM_RETURN_IF_ERROR(db->AddForeignKey({"MEMBEROF", "Person", "PEOPLE", "Id"}));
+  KM_RETURN_IF_ERROR(db->AddForeignKey({"MEMBEROF", "Project", "PROJECT", "Id"}));
+  KM_RETURN_IF_ERROR(db->AddForeignKey({"PARTICIPATION", "Project", "PROJECT", "Id"}));
+  KM_RETURN_IF_ERROR(
+      db->AddForeignKey({"PARTICIPATION", "University", "UNIVERSITY", "Name"}));
+  return Status::OK();
+}
+
+// The exact instance of the paper's Fig. 2.
+Status InsertFigureTuples(Database* db) {
+  auto T = [](const char* s) { return Value::Text(s); };
+  auto I = [](int64_t v) { return Value::Int(v); };
+
+  KM_RETURN_IF_ERROR(db->Insert(
+      "PEOPLE", {T("p1"), T("Vokram"), T("4631234"), T("US"), T("vokram@univ.edu")}));
+  KM_RETURN_IF_ERROR(db->Insert(
+      "PEOPLE", {T("p2"), T("Reniets"), T("6987654"), T("IT"), T("reniets@univ.edu")}));
+  KM_RETURN_IF_ERROR(db->Insert(
+      "PEOPLE", {T("p3"), T("Refahs D."), T("1937842"), T("ES"), T("refahs@univ.edu")}));
+  // The figure's DEPARTMENT references directors p122, p54, p432.
+  KM_RETURN_IF_ERROR(db->Insert(
+      "PEOPLE", {T("p122"), T("Anaid"), T("5550101"), T("US"), T("anaid@univ.edu")}));
+  KM_RETURN_IF_ERROR(db->Insert(
+      "PEOPLE", {T("p54"), T("Otrebla"), T("5550102"), T("IT"), T("otrebla@univ.edu")}));
+  KM_RETURN_IF_ERROR(db->Insert(
+      "PEOPLE", {T("p432"), T("Airam"), T("5550103"), T("IT"), T("airam@univ.edu")}));
+
+  KM_RETURN_IF_ERROR(db->Insert("UNIVERSITY", {T("MIT"), T("Cambridge"), T("US")}));
+  KM_RETURN_IF_ERROR(db->Insert("UNIVERSITY", {T("UR"), T("Rome"), T("IT")}));
+  KM_RETURN_IF_ERROR(db->Insert("UNIVERSITY", {T("UTN"), T("Trento"), T("IT")}));
+  KM_RETURN_IF_ERROR(db->Insert("UNIVERSITY", {T("SU"), T("Stanford"), T("US")}));
+  KM_RETURN_IF_ERROR(db->Insert("UNIVERSITY", {T("UM"), T("Modena"), T("IT")}));
+
+  KM_RETURN_IF_ERROR(db->Insert(
+      "DEPARTMENT", {T("x123"), T("CS"), T("25 Blicker"), T("SU"), T("p122")}));
+  KM_RETURN_IF_ERROR(db->Insert(
+      "DEPARTMENT", {T("cs34"), T("EE"), T("15 Tribeca"), T("UM"), T("p54")}));
+  KM_RETURN_IF_ERROR(db->Insert(
+      "DEPARTMENT", {T("ee67"), T("ME"), T("5 West Ocean"), T("UTN"), T("p432")}));
+
+  KM_RETURN_IF_ERROR(db->Insert("AFFILIATED", {T("a1"), T("p1"), T("x123"), I(2009)}));
+  KM_RETURN_IF_ERROR(db->Insert("AFFILIATED", {T("a2"), T("p2"), T("cs34"), I(2012)}));
+  KM_RETURN_IF_ERROR(db->Insert("AFFILIATED", {T("a3"), T("p3"), T("cs34"), I(2010)}));
+
+  KM_RETURN_IF_ERROR(
+      db->Insert("PROJECT", {T("Rx1"), T("Search it!"), I(2011), T("DB&IR")}));
+  KM_RETURN_IF_ERROR(
+      db->Insert("PROJECT", {T("Rt1"), T("Analyze it!"), I(2012), T("DB&ML")}));
+
+  KM_RETURN_IF_ERROR(
+      db->Insert("MEMBEROF", {T("m1"), T("p1"), T("Rx1"), Value::Date("2012-04-05")}));
+  KM_RETURN_IF_ERROR(
+      db->Insert("MEMBEROF", {T("m2"), T("p2"), T("Rx1"), Value::Date("2012-03-09")}));
+
+  KM_RETURN_IF_ERROR(db->Insert("PARTICIPATION", {T("pt1"), T("Rx1"), T("UR")}));
+  KM_RETURN_IF_ERROR(db->Insert("PARTICIPATION", {T("pt2"), T("Rx1"), T("UTN")}));
+  KM_RETURN_IF_ERROR(db->Insert("PARTICIPATION", {T("pt3"), T("Rt1"), T("UM")}));
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<Database> BuildUniversityDatabase(const UniversityOptions& options) {
+  Database db("university");
+  KM_RETURN_IF_ERROR(CreateSchema(&db));
+  KM_RETURN_IF_ERROR(InsertFigureTuples(&db));
+
+  Rng rng(options.seed);
+  auto T = [](const std::string& s) { return Value::Text(s); };
+
+  // Extra universities.
+  std::vector<std::string> uni_names = {"MIT", "UR", "UTN", "SU", "UM"};
+  for (size_t i = 0; i < options.extra_universities; ++i) {
+    std::string name = "U" + std::to_string(i + 10);
+    const CountryInfo& c = rng.Pick(Countries());
+    KM_RETURN_IF_ERROR(
+        db.Insert("UNIVERSITY", {T(name), T(rng.Pick(RealCities())), T(c.code)}));
+    uni_names.push_back(name);
+  }
+
+  // Extra people.
+  std::vector<std::string> people_ids = {"p1", "p2", "p3", "p122", "p54", "p432"};
+  for (size_t i = 0; i < options.extra_people; ++i) {
+    std::string id = "q" + std::to_string(i + 1);
+    std::string name = MakePersonName(&rng);
+    const CountryInfo& c = rng.Pick(Countries());
+    KM_RETURN_IF_ERROR(db.Insert("PEOPLE", {T(id), T(name), T(MakePhone(&rng)),
+                                            T(c.code), T(MakeEmail(name, &rng))}));
+    people_ids.push_back(id);
+  }
+
+  // Extra departments.
+  static const char* kDeptNames[] = {"Math", "Physics", "Biology", "Chemistry",
+                                     "Economics", "Law", "History", "Philosophy",
+                                     "Medicine", "Engineering", "Statistics",
+                                     "Linguistics"};
+  std::vector<std::string> dept_ids = {"x123", "cs34", "ee67"};
+  for (size_t i = 0; i < options.extra_departments; ++i) {
+    std::string id = "d" + std::to_string(i + 100);
+    KM_RETURN_IF_ERROR(db.Insert(
+        "DEPARTMENT",
+        {T(id), T(kDeptNames[i % (sizeof(kDeptNames) / sizeof(kDeptNames[0]))]),
+         T(MakeAddress(&rng)), T(rng.Pick(uni_names)), T(rng.Pick(people_ids))}));
+    dept_ids.push_back(id);
+  }
+
+  // Extra projects plus membership/participation fabric.
+  std::vector<std::string> project_ids = {"Rx1", "Rt1"};
+  for (size_t i = 0; i < options.extra_projects; ++i) {
+    std::string id = "Pr" + std::to_string(i + 1);
+    KM_RETURN_IF_ERROR(db.Insert(
+        "PROJECT", {T(id), T(MakePaperTitle(&rng)),
+                    Value::Int(static_cast<int64_t>(2005 + rng.Uniform(18))),
+                    T(rng.Pick(TitleNouns()))}));
+    project_ids.push_back(id);
+  }
+  size_t link = 0;
+  for (const std::string& pid : people_ids) {
+    if (!rng.Bernoulli(0.7)) continue;
+    KM_RETURN_IF_ERROR(db.Insert(
+        "AFFILIATED", {T("a" + std::to_string(100 + link)), T(pid),
+                       T(rng.Pick(dept_ids)),
+                       Value::Int(static_cast<int64_t>(2000 + rng.Uniform(23)))}));
+    ++link;
+    if (rng.Bernoulli(0.5)) {
+      std::string month = std::to_string(1 + rng.Uniform(12));
+      if (month.size() == 1) month = "0" + month;
+      std::string day = std::to_string(1 + rng.Uniform(28));
+      if (day.size() == 1) day = "0" + day;
+      KM_RETURN_IF_ERROR(db.Insert(
+          "MEMBEROF",
+          {T("m" + std::to_string(100 + link)), T(pid), T(rng.Pick(project_ids)),
+           Value::Date(std::to_string(2010 + rng.Uniform(13)) + "-" + month + "-" +
+                       day)}));
+    }
+  }
+  for (size_t i = 0; i < project_ids.size(); ++i) {
+    KM_RETURN_IF_ERROR(db.Insert("PARTICIPATION",
+                                 {T("pt" + std::to_string(100 + i)),
+                                  T(project_ids[i]), T(rng.Pick(uni_names))}));
+  }
+
+  KM_RETURN_IF_ERROR(db.CheckIntegrity());
+  return db;
+}
+
+}  // namespace km

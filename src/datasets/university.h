@@ -1,0 +1,42 @@
+// The university database: the paper's running example (its Fig. 2),
+// optionally scaled up with generated tuples.
+//
+// Schema:
+//   PEOPLE(Id, Name, Phone, Country, Email)
+//   UNIVERSITY(Name, City, Country)
+//   DEPARTMENT(Id, Name, Address, University→UNIVERSITY, Director→PEOPLE)
+//   AFFILIATED(Id, IdPrs→PEOPLE, IdDpt→DEPARTMENT, Year)
+//   PROJECT(Id, Name, Year, Topic)
+//   MEMBEROF(Id, Person→PEOPLE, Project→PROJECT, Date)
+//   PARTICIPATION(Id, Project→PROJECT, University→UNIVERSITY)
+
+#ifndef KM_DATASETS_UNIVERSITY_H_
+#define KM_DATASETS_UNIVERSITY_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "relational/database.h"
+
+namespace km {
+
+/// Scaling knobs; the defaults reproduce exactly the paper's figure plus a
+/// small generated extension.
+struct UniversityOptions {
+  /// Additional generated people beyond the three of the figure.
+  size_t extra_people = 60;
+  /// Additional generated departments / universities / projects.
+  size_t extra_departments = 10;
+  size_t extra_universities = 8;
+  size_t extra_projects = 12;
+  uint64_t seed = 42;
+};
+
+/// Builds the university database. Always contains the exact tuples of the
+/// paper's Fig. 2 (Vokram, Reniets, Refahs D., MIT/UR/UTN/SU, ...) so the
+/// running-example queries behave as in the paper.
+StatusOr<Database> BuildUniversityDatabase(const UniversityOptions& options = {});
+
+}  // namespace km
+
+#endif  // KM_DATASETS_UNIVERSITY_H_

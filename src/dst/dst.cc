@@ -1,0 +1,98 @@
+#include "dst/dst.h"
+
+#include <algorithm>
+
+namespace km {
+
+MassFunction MassFunction::FromScores(
+    const std::vector<std::pair<size_t, double>>& scores, double confidence) {
+  MassFunction m;
+  if (scores.empty()) return m;
+  confidence = std::clamp(confidence, 0.0, 1.0);
+
+  // Shift scores to non-negative (scores may be log-probabilities).
+  double min_score = scores[0].second;
+  for (const auto& [id, s] : scores) min_score = std::min(min_score, s);
+  double shift = min_score < 0 ? -min_score : 0.0;
+
+  double total = 0;
+  for (const auto& [id, s] : scores) total += s + shift;
+  if (total <= 0) {
+    // All scores equal (possibly all zero): uniform masses.
+    double each = confidence / static_cast<double>(scores.size());
+    for (const auto& [id, s] : scores) m.singleton_[id] += each;
+    m.uncertainty_ = 1.0 - confidence;
+    return m;
+  }
+  for (const auto& [id, s] : scores) {
+    m.singleton_[id] += confidence * (s + shift) / total;
+  }
+  m.uncertainty_ = 1.0 - confidence;
+  return m;
+}
+
+double MassFunction::MassOf(size_t id) const {
+  auto it = singleton_.find(id);
+  return it == singleton_.end() ? 0.0 : it->second;
+}
+
+std::vector<size_t> MassFunction::FocalIds() const {
+  std::vector<size_t> ids;
+  ids.reserve(singleton_.size());
+  for (const auto& [id, mass] : singleton_) {
+    if (mass > 0) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+double MassFunction::TotalMass() const {
+  double t = uncertainty_;
+  for (const auto& [id, mass] : singleton_) t += mass;
+  return t;
+}
+
+double MassFunction::ConflictMass(const MassFunction& a, const MassFunction& b) {
+  // K = Σ_{A∩B=∅} m1(A) m2(B); with singleton/universe focal elements the
+  // only empty intersections are distinct singletons.
+  double k = 0;
+  for (const auto& [ida, ma] : a.singleton_) {
+    for (const auto& [idb, mb] : b.singleton_) {
+      if (ida != idb) k += ma * mb;
+    }
+  }
+  return k;
+}
+
+StatusOr<MassFunction> MassFunction::Combine(const MassFunction& a,
+                                             const MassFunction& b) {
+  double k = ConflictMass(a, b);
+  if (k >= 1.0 - 1e-12) {
+    return Status::FailedPrecondition("totally conflicting evidence (K = 1)");
+  }
+  double z = 1.0 / (1.0 - k);
+
+  MassFunction out;
+  out.uncertainty_ = z * a.uncertainty_ * b.uncertainty_;
+  // {x}∩{x}, {x}∩U, U∩{x}
+  for (const auto& [id, ma] : a.singleton_) {
+    double combined = ma * b.MassOf(id) + ma * b.uncertainty_;
+    if (combined > 0) out.singleton_[id] += z * combined;
+  }
+  for (const auto& [id, mb] : b.singleton_) {
+    double combined = mb * a.uncertainty_;
+    if (combined > 0) out.singleton_[id] += z * combined;
+  }
+  return out;
+}
+
+std::vector<std::pair<size_t, double>> MassFunction::Ranked() const {
+  std::vector<std::pair<size_t, double>> out(singleton_.begin(), singleton_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace km

@@ -1,0 +1,65 @@
+// Dempster–Shafer evidence combination for merging ranked lists.
+//
+// Two points of the pipeline merge ranked lists whose scores come from
+// different processes: (1) the two forward-analysis implementations, and
+// (2) the configuration ranking with the interpretation ranking. DST models
+// each list as a mass function over the candidate universe — normalized
+// scores scaled by the list's confidence, with the residual mass assigned
+// to the whole universe (ignorance) — and combines them with Dempster's
+// rule, renormalizing by the conflict mass K.
+
+#ifndef KM_DST_DST_H_
+#define KM_DST_DST_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace km {
+
+/// A mass function whose focal elements are singletons {id} plus the
+/// universe U. Masses are non-negative and sum to 1.
+class MassFunction {
+ public:
+  MassFunction() : uncertainty_(1.0) {}
+
+  /// Builds a mass function from (id, score) evidence. Scores are shifted
+  /// to be non-negative if needed, normalized to sum 1, and scaled by
+  /// `confidence` ∈ [0,1]; mass 1 − confidence goes to the universe.
+  /// An empty list yields total ignorance (all mass on U).
+  static MassFunction FromScores(const std::vector<std::pair<size_t, double>>& scores,
+                                 double confidence);
+
+  /// Mass on the singleton {id} (0 when not focal).
+  double MassOf(size_t id) const;
+
+  /// Mass on the universe (ignorance).
+  double uncertainty() const { return uncertainty_; }
+
+  /// Ids with non-zero singleton mass.
+  std::vector<size_t> FocalIds() const;
+
+  /// Sum of all masses (should be 1; exposed for tests).
+  double TotalMass() const;
+
+  /// Dempster's rule of combination. Returns FailedPrecondition when the
+  /// conflict mass K is 1 (totally conflicting evidence).
+  static StatusOr<MassFunction> Combine(const MassFunction& a, const MassFunction& b);
+
+  /// Conflict mass K of a combination (diagnostic; 0 when any side is
+  /// vacuous).
+  static double ConflictMass(const MassFunction& a, const MassFunction& b);
+
+  /// Final ranking: ids by descending combined singleton mass.
+  std::vector<std::pair<size_t, double>> Ranked() const;
+
+ private:
+  std::unordered_map<size_t, double> singleton_;
+  double uncertainty_;
+};
+
+}  // namespace km
+
+#endif  // KM_DST_DST_H_

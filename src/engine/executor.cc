@@ -1,0 +1,289 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace km {
+
+std::optional<size_t> ResultSet::ColumnIndex(const std::string& relation,
+                                             const std::string& attribute) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i].relation == relation && header[i].attribute == attribute) return i;
+  }
+  return std::nullopt;
+}
+
+bool EvalPredicateOp(const Value& value, PredicateOp op, const Value& literal) {
+  if (value.is_null()) return false;  // SQL three-valued logic: NULL never matches.
+  switch (op) {
+    case PredicateOp::kEq:
+      if (value.is_text() && literal.is_text()) {
+        return ToLower(value.AsText()) == ToLower(literal.AsText());
+      }
+      return value == literal;
+    case PredicateOp::kNe:
+      return !EvalPredicateOp(value, PredicateOp::kEq, literal);
+    case PredicateOp::kLt:
+      return value < literal;
+    case PredicateOp::kLe:
+      return value < literal || value == literal;
+    case PredicateOp::kGt:
+      return literal < value;
+    case PredicateOp::kGe:
+      return literal < value || value == literal;
+    case PredicateOp::kContains: {
+      if (!value.is_text() || !literal.is_text()) return false;
+      return Contains(ToLower(value.AsText()), ToLower(literal.AsText()));
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// Intermediate tuples: concatenation of rows of the relations joined so
+// far, with a column map from (relation, attribute) to position.
+struct Intermediate {
+  std::vector<AttributeRef> header;
+  std::vector<Row> rows;
+
+  std::optional<size_t> Col(const AttributeRef& a) const {
+    for (size_t i = 0; i < header.size(); ++i) {
+      if (header[i] == a) return i;
+    }
+    return std::nullopt;
+  }
+};
+
+// Scans a base table applying its local predicates.
+Intermediate ScanRelation(const Table& table,
+                          const std::vector<Predicate>& predicates) {
+  Intermediate out;
+  const RelationSchema& rs = table.schema();
+  out.header.reserve(rs.arity());
+  for (size_t i = 0; i < rs.arity(); ++i) {
+    out.header.push_back({rs.name(), rs.attribute(i).name});
+  }
+  std::vector<std::pair<size_t, const Predicate*>> local;
+  for (const Predicate& p : predicates) {
+    if (p.attr.relation != rs.name()) continue;
+    auto idx = rs.AttributeIndex(p.attr.attribute);
+    if (idx) local.push_back({*idx, &p});
+  }
+  for (const Row& row : table.rows()) {
+    bool pass = true;
+    for (const auto& [idx, p] : local) {
+      if (!EvalPredicateOp(row[idx], p->op, p->value)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) out.rows.push_back(row);
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<ResultSet> Executor::Execute(const SpjQuery& query) const {
+  return ExecuteInternal(query, /*project=*/true);
+}
+
+StatusOr<size_t> Executor::Count(const SpjQuery& query) const {
+  auto rs = ExecuteInternal(query, /*project=*/false);
+  if (!rs.ok()) return rs.status();
+  return rs->rows.size();
+}
+
+StatusOr<ResultSet> Executor::ExecuteInternal(const SpjQuery& query,
+                                              bool project) const {
+  if (query.relations.empty()) {
+    return Status::InvalidArgument("query has no relations");
+  }
+  // Validate relations and attribute references up front.
+  std::unordered_set<std::string> rel_set;
+  for (const auto& r : query.relations) {
+    if (db_.FindTable(r) == nullptr) {
+      return Status::NotFound("relation '" + r + "' does not exist");
+    }
+    if (!rel_set.insert(r).second) {
+      return Status::InvalidArgument("relation '" + r + "' listed twice (self-joins are "
+                                     "not supported)");
+    }
+  }
+  auto check_attr = [&](const AttributeRef& a) -> Status {
+    if (rel_set.count(a.relation) == 0) {
+      return Status::InvalidArgument("attribute " + a.ToString() +
+                                     " references a relation not in FROM");
+    }
+    const Table* t = db_.FindTable(a.relation);
+    if (!t->schema().AttributeIndex(a.attribute)) {
+      return Status::NotFound("attribute " + a.ToString() + " does not exist");
+    }
+    return Status::OK();
+  };
+  for (const auto& j : query.joins) {
+    KM_RETURN_IF_ERROR(check_attr(j.left));
+    KM_RETURN_IF_ERROR(check_attr(j.right));
+  }
+  for (const auto& p : query.predicates) KM_RETURN_IF_ERROR(check_attr(p.attr));
+  for (const auto& s : query.select) KM_RETURN_IF_ERROR(check_attr(s));
+
+  // Selectivity-aware greedy join order: scan every relation once (with its
+  // local predicates pushed down), start from the smallest filtered scan and
+  // repeatedly hash-join the smallest relation connected to the current
+  // intermediate. This keeps intermediates small when one relation carries
+  // a highly selective predicate.
+  std::unordered_map<std::string, size_t> scan_size;
+  for (const auto& r : query.relations) {
+    const Table* t = db_.FindTable(r);
+    size_t filtered = t->size();
+    for (const Predicate& p : query.predicates) {
+      if (p.attr.relation == r) {
+        // Count the filtered cardinality exactly (cheap single scan).
+        Intermediate scanned = ScanRelation(*t, query.predicates);
+        filtered = scanned.rows.size();
+        break;
+      }
+    }
+    scan_size[r] = filtered;
+  }
+  std::string start = query.relations[0];
+  for (const auto& r : query.relations) {
+    if (scan_size[r] < scan_size[start]) start = r;
+  }
+
+  std::unordered_set<std::string> joined;
+  Intermediate acc = ScanRelation(*db_.FindTable(start), query.predicates);
+  joined.insert(start);
+  std::vector<bool> used(query.joins.size(), false);
+
+  while (joined.size() < query.relations.size()) {
+    // Find the unused join edge with exactly one side joined whose fresh
+    // relation has the smallest filtered scan.
+    ssize_t pick = -1;
+    bool fresh_is_left = false;
+    size_t best_size = 0;
+    for (size_t j = 0; j < query.joins.size(); ++j) {
+      if (used[j]) continue;
+      bool l_in = joined.count(query.joins[j].left.relation) != 0;
+      bool r_in = joined.count(query.joins[j].right.relation) != 0;
+      if (l_in != r_in) {
+        const std::string& fresh_rel =
+            l_in ? query.joins[j].right.relation : query.joins[j].left.relation;
+        size_t sz = scan_size[fresh_rel];
+        if (pick < 0 || sz < best_size) {
+          pick = static_cast<ssize_t>(j);
+          fresh_is_left = !l_in;
+          best_size = sz;
+        }
+      }
+    }
+    if (pick < 0) {
+      // Disconnected query: cross-join the next unjoined relation.
+      std::string fresh;
+      for (const auto& r : query.relations) {
+        if (joined.count(r) == 0) {
+          fresh = r;
+          break;
+        }
+      }
+      Intermediate side = ScanRelation(*db_.FindTable(fresh), query.predicates);
+      Intermediate next;
+      next.header = acc.header;
+      next.header.insert(next.header.end(), side.header.begin(), side.header.end());
+      next.rows.reserve(acc.rows.size() * side.rows.size());
+      for (const Row& a : acc.rows) {
+        for (const Row& b : side.rows) {
+          Row merged = a;
+          merged.insert(merged.end(), b.begin(), b.end());
+          next.rows.push_back(std::move(merged));
+        }
+      }
+      acc = std::move(next);
+      joined.insert(fresh);
+      continue;
+    }
+
+    const JoinEdge& e = query.joins[static_cast<size_t>(pick)];
+    const AttributeRef& fresh_attr = fresh_is_left ? e.left : e.right;
+    const AttributeRef& acc_attr = fresh_is_left ? e.right : e.left;
+    const std::string& fresh = fresh_attr.relation;
+
+    Intermediate side = ScanRelation(*db_.FindTable(fresh), query.predicates);
+    auto side_col = side.Col(fresh_attr);
+    auto acc_col = acc.Col(acc_attr);
+    if (!side_col || !acc_col) return Status::Internal("join column resolution failed");
+
+    // Build hash table on the smaller side (the fresh scan).
+    std::unordered_map<Value, std::vector<size_t>, ValueHash> hash;
+    for (size_t i = 0; i < side.rows.size(); ++i) {
+      const Value& key = side.rows[i][*side_col];
+      if (key.is_null()) continue;  // NULLs never join.
+      hash[key].push_back(i);
+    }
+
+    Intermediate next;
+    next.header = acc.header;
+    next.header.insert(next.header.end(), side.header.begin(), side.header.end());
+    for (const Row& a : acc.rows) {
+      const Value& key = a[*acc_col];
+      if (key.is_null()) continue;
+      auto it = hash.find(key);
+      if (it == hash.end()) continue;
+      for (size_t i : it->second) {
+        Row merged = a;
+        merged.insert(merged.end(), side.rows[i].begin(), side.rows[i].end());
+        next.rows.push_back(std::move(merged));
+      }
+    }
+    acc = std::move(next);
+    joined.insert(fresh);
+    used[static_cast<size_t>(pick)] = true;
+
+    // Apply any other now-evaluable join edges (cycle edges) as filters.
+    for (size_t j = 0; j < query.joins.size(); ++j) {
+      if (used[j]) continue;
+      auto lc = acc.Col(query.joins[j].left);
+      auto rc = acc.Col(query.joins[j].right);
+      if (lc && rc) {
+        std::vector<Row> kept;
+        kept.reserve(acc.rows.size());
+        for (Row& row : acc.rows) {
+          if (!row[*lc].is_null() && row[*lc] == row[*rc]) kept.push_back(std::move(row));
+        }
+        acc.rows = std::move(kept);
+        used[j] = true;
+      }
+    }
+  }
+
+  ResultSet result;
+  if (!project || query.select.empty()) {
+    result.header = std::move(acc.header);
+    result.rows = std::move(acc.rows);
+    return result;
+  }
+  // Project.
+  std::vector<size_t> cols;
+  cols.reserve(query.select.size());
+  for (const auto& s : query.select) {
+    auto c = acc.Col(s);
+    if (!c) return Status::Internal("projection column resolution failed");
+    cols.push_back(*c);
+  }
+  result.header = query.select;
+  result.rows.reserve(acc.rows.size());
+  for (const Row& row : acc.rows) {
+    Row out;
+    out.reserve(cols.size());
+    for (size_t c : cols) out.push_back(row[c]);
+    result.rows.push_back(std::move(out));
+  }
+  return result;
+}
+
+}  // namespace km

@@ -1,0 +1,63 @@
+// In-memory execution of SPJ queries.
+//
+// The executor lets the reproduction actually *run* the SQL explanations
+// that the keymantic pipeline generates (the paper executes them on MySQL),
+// and supplies the joint distributions needed by the mutual-information
+// edge weights of the backward step.
+
+#ifndef KM_ENGINE_EXECUTOR_H_
+#define KM_ENGINE_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/query.h"
+#include "relational/database.h"
+
+namespace km {
+
+/// A materialized query result: a header naming each output column and the
+/// result rows.
+struct ResultSet {
+  std::vector<AttributeRef> header;
+  std::vector<Row> rows;
+
+  size_t size() const { return rows.size(); }
+  bool empty() const { return rows.empty(); }
+
+  /// Index of the named output column, or nullopt.
+  std::optional<size_t> ColumnIndex(const std::string& relation,
+                                    const std::string& attribute) const;
+};
+
+/// Executes SPJ queries against an in-memory Database.
+///
+/// Join processing is hash-based: the plan greedily joins one relation at a
+/// time, always picking a relation connected by at least one join edge to
+/// the tuples built so far (cross products are only used when a query has
+/// disconnected relations). Selection predicates are applied as early as
+/// possible (pushed to the scan of their relation).
+class Executor {
+ public:
+  explicit Executor(const Database& db) : db_(db) {}
+
+  /// Runs the query and materializes the full result.
+  StatusOr<ResultSet> Execute(const SpjQuery& query) const;
+
+  /// Runs the query and returns only the result cardinality (still executes
+  /// fully, but avoids materializing projections).
+  StatusOr<size_t> Count(const SpjQuery& query) const;
+
+ private:
+  StatusOr<ResultSet> ExecuteInternal(const SpjQuery& query, bool project) const;
+
+  const Database& db_;
+};
+
+/// Evaluates `value op literal` (used by the executor and tests).
+bool EvalPredicateOp(const Value& value, PredicateOp op, const Value& literal);
+
+}  // namespace km
+
+#endif  // KM_ENGINE_EXECUTOR_H_

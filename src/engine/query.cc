@@ -1,0 +1,158 @@
+#include "engine/query.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace km {
+
+namespace {
+
+// Renders the literal of a predicate; CONTAINS predicates become LIKE
+// patterns.
+std::string RenderLiteral(const Predicate& p) {
+  if (p.op != PredicateOp::kContains) return p.value.ToSqlLiteral();
+  std::string pattern = "%";
+  pattern += p.value.ToString();
+  pattern += "%";
+  return Value::Text(pattern).ToSqlLiteral();
+}
+
+}  // namespace
+
+const char* PredicateOpSql(PredicateOp op) {
+  switch (op) {
+    case PredicateOp::kEq: return "=";
+    case PredicateOp::kNe: return "<>";
+    case PredicateOp::kLt: return "<";
+    case PredicateOp::kLe: return "<=";
+    case PredicateOp::kGt: return ">";
+    case PredicateOp::kGe: return ">=";
+    case PredicateOp::kContains: return "LIKE";
+  }
+  return "?";
+}
+
+std::string SpjQuery::ToSql() const {
+  std::string sql = "SELECT ";
+  if (select.empty()) {
+    std::vector<std::string> stars;
+    stars.reserve(relations.size());
+    for (const auto& r : relations) stars.push_back(r + ".*");
+    sql += Join(stars, ", ");
+  } else {
+    std::vector<std::string> cols;
+    cols.reserve(select.size());
+    for (const auto& a : select) cols.push_back(a.ToString());
+    sql += Join(cols, ", ");
+  }
+  sql += "\nFROM ";
+  if (relations.empty()) {
+    sql += "<empty>";
+  } else if (joins.empty()) {
+    sql += Join(relations, ", ");
+  } else {
+    // Render as R1 JOIN R2 ON ... JOIN R3 ON ... following the order in
+    // which joins connect new relations.
+    std::vector<std::string> joined;
+    joined.push_back(relations[0]);
+    sql += relations[0];
+    std::vector<bool> used(joins.size(), false);
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (size_t j = 0; j < joins.size(); ++j) {
+        if (used[j]) continue;
+        const JoinEdge& e = joins[j];
+        bool l_in = std::find(joined.begin(), joined.end(), e.left.relation) != joined.end();
+        bool r_in = std::find(joined.begin(), joined.end(), e.right.relation) != joined.end();
+        if (l_in == r_in) {
+          if (l_in) {
+            // Both already joined: extra join condition, render as ON later
+            // via WHERE-style condition appended to the last JOIN; simplest
+            // correct form is to keep it in the WHERE clause text.
+            continue;
+          }
+          continue;
+        }
+        const std::string& fresh = l_in ? e.right.relation : e.left.relation;
+        sql += "\n  JOIN " + fresh + " ON " + e.left.ToString() + " = " + e.right.ToString();
+        joined.push_back(fresh);
+        used[j] = true;
+        progress = true;
+      }
+    }
+    // Relations never reached by a join edge are cross-joined.
+    for (const auto& r : relations) {
+      if (std::find(joined.begin(), joined.end(), r) == joined.end()) {
+        sql += "\n  CROSS JOIN " + r;
+        joined.push_back(r);
+      }
+    }
+    // Remaining (cycle-closing) join conditions.
+    std::vector<std::string> extra;
+    for (size_t j = 0; j < joins.size(); ++j) {
+      if (!used[j]) {
+        extra.push_back(joins[j].left.ToString() + " = " + joins[j].right.ToString());
+      }
+    }
+    if (!extra.empty()) {
+      sql += "\nWHERE ";
+      sql += Join(extra, " AND ");
+      if (!predicates.empty()) sql += " AND ";
+      std::vector<std::string> preds;
+      for (const auto& p : predicates) {
+        preds.push_back(p.attr.ToString() + " " + PredicateOpSql(p.op) + " " +
+                        RenderLiteral(p));
+      }
+      sql += Join(preds, " AND ");
+      sql += ";";
+      return sql;
+    }
+  }
+  if (!predicates.empty()) {
+    std::vector<std::string> preds;
+    preds.reserve(predicates.size());
+    for (const auto& p : predicates) {
+      preds.push_back(p.attr.ToString() + " " + PredicateOpSql(p.op) + " " +
+                      RenderLiteral(p));
+    }
+    sql += "\nWHERE ";
+    sql += Join(preds, " AND ");
+  }
+  sql += ";";
+  return sql;
+}
+
+std::string SpjQuery::CanonicalSignature() const {
+  std::vector<std::string> rels = relations;
+  std::sort(rels.begin(), rels.end());
+
+  std::vector<std::string> join_sigs;
+  join_sigs.reserve(joins.size());
+  for (const auto& j : joins) {
+    std::string a = j.left.ToString();
+    std::string b = j.right.ToString();
+    if (b < a) std::swap(a, b);
+    join_sigs.push_back(a + "=" + b);
+  }
+  std::sort(join_sigs.begin(), join_sigs.end());
+
+  std::vector<std::string> pred_sigs;
+  pred_sigs.reserve(predicates.size());
+  for (const auto& p : predicates) {
+    pred_sigs.push_back(p.attr.ToString() + PredicateOpSql(p.op) +
+                        ToLower(p.value.ToString()));
+  }
+  std::sort(pred_sigs.begin(), pred_sigs.end());
+
+  std::vector<std::string> sel_sigs;
+  sel_sigs.reserve(select.size());
+  for (const auto& a : select) sel_sigs.push_back(a.ToString());
+  std::sort(sel_sigs.begin(), sel_sigs.end());
+
+  return "R[" + Join(rels, ",") + "]J[" + Join(join_sigs, ",") + "]P[" +
+         Join(pred_sigs, ",") + "]S[" + Join(sel_sigs, ",") + "]";
+}
+
+}  // namespace km

@@ -1,0 +1,94 @@
+// Select-project-join query representation and SQL rendering.
+//
+// Explanations produced by the keymantic pipeline are SpjQuery values;
+// ToSql() renders them as standard SQL text and CanonicalSignature()
+// produces an order-insensitive normal form used to compare a generated
+// explanation against a gold standard.
+
+#ifndef KM_ENGINE_QUERY_H_
+#define KM_ENGINE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/value.h"
+
+namespace km {
+
+/// A reference to `relation.attribute`.
+struct AttributeRef {
+  std::string relation;
+  std::string attribute;
+
+  bool operator==(const AttributeRef& o) const {
+    return relation == o.relation && attribute == o.attribute;
+  }
+  std::string ToString() const { return relation + "." + attribute; }
+};
+
+/// An equi-join condition `left = right`.
+struct JoinEdge {
+  AttributeRef left;
+  AttributeRef right;
+
+  bool operator==(const JoinEdge& o) const {
+    return (left == o.left && right == o.right) ||
+           (left == o.right && right == o.left);
+  }
+};
+
+/// Comparison operators supported in WHERE predicates.
+enum class PredicateOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kContains,  ///< Case-insensitive substring match on text.
+};
+
+/// Rendering of a predicate operator ("=", "<>", "LIKE", ...).
+const char* PredicateOpSql(PredicateOp op);
+
+/// A selection predicate `attr op value`.
+struct Predicate {
+  AttributeRef attr;
+  PredicateOp op = PredicateOp::kEq;
+  Value value;
+
+  bool operator==(const Predicate& o) const {
+    return attr == o.attr && op == o.op && value == o.value;
+  }
+};
+
+/// A select-project-join query.
+///
+/// `relations` is the FROM list; `joins` the equi-join conditions;
+/// `predicates` the WHERE conditions; `select` the projection (empty means
+/// SELECT * over all listed relations).
+struct SpjQuery {
+  std::vector<std::string> relations;
+  std::vector<JoinEdge> joins;
+  std::vector<Predicate> predicates;
+  std::vector<AttributeRef> select;
+
+  /// Renders standard SQL text.
+  std::string ToSql() const;
+
+  /// Order-insensitive normal form: relations, joins and predicates are
+  /// each sorted and joined into a single string. Two queries with the same
+  /// signature retrieve the same tuples (projection differences included in
+  /// the signature only when explicitly selected).
+  std::string CanonicalSignature() const;
+
+  /// True iff both queries have the same canonical signature.
+  bool EquivalentTo(const SpjQuery& other) const {
+    return CanonicalSignature() == other.CanonicalSignature();
+  }
+};
+
+}  // namespace km
+
+#endif  // KM_ENGINE_QUERY_H_

@@ -1,0 +1,329 @@
+#include "graph/interpretation.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace km {
+
+std::string Interpretation::Signature() const {
+  std::vector<size_t> sorted_edges = edges;
+  std::sort(sorted_edges.begin(), sorted_edges.end());
+  std::string sig = "E:";
+  for (size_t e : sorted_edges) {
+    sig += std::to_string(e);
+    sig += ",";
+  }
+  if (sorted_edges.empty()) {
+    sig += "N:";
+    for (size_t n : nodes) {
+      sig += std::to_string(n);
+      sig += ",";
+    }
+  }
+  return sig;
+}
+
+std::vector<size_t> Interpretation::SteinerNodes() const {
+  std::vector<size_t> out;
+  for (size_t n : nodes) {
+    if (std::find(terminals.begin(), terminals.end(), n) == terminals.end()) {
+      out.push_back(n);
+    }
+  }
+  return out;
+}
+
+bool Interpretation::SubsumedBy(const Interpretation& other) const {
+  std::vector<size_t> ta = terminals, tb = other.terminals;
+  std::sort(ta.begin(), ta.end());
+  std::sort(tb.begin(), tb.end());
+  if (ta != tb) return false;
+  std::vector<size_t> sa = SteinerNodes(), sb = other.SteinerNodes();
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  return std::includes(sb.begin(), sb.end(), sa.begin(), sa.end());
+}
+
+std::vector<size_t> TerminalsOfConfiguration(const Configuration& config) {
+  std::vector<size_t> out;
+  for (size_t t : config.term_for_keyword) {
+    if (std::find(out.begin(), out.end(), t) == out.end()) out.push_back(t);
+  }
+  return out;
+}
+
+void RankInterpretations(std::vector<Interpretation>* interpretations) {
+  for (Interpretation& i : *interpretations) i.score = 1.0 / (1.0 + i.cost);
+  std::stable_sort(interpretations->begin(), interpretations->end(),
+                   [](const Interpretation& a, const Interpretation& b) {
+                     return a.score > b.score;
+                   });
+}
+
+namespace {
+
+// Provenance of a DP entry.
+enum class Prov : uint8_t { kInit, kGrow, kMerge };
+
+struct Entry {
+  double cost;
+  Prov prov;
+  uint32_t edge = 0;       // kGrow: edge index used
+  uint32_t a_state = 0;    // kGrow/kMerge: first parent state
+  uint32_t a_idx = 0;      // first parent entry index
+  uint32_t b_state = 0;    // kMerge: second parent state
+  uint32_t b_idx = 0;      // second parent entry index
+};
+
+struct Candidate {
+  double cost;
+  uint32_t state;
+  Entry entry;
+  bool operator>(const Candidate& o) const { return cost > o.cost; }
+};
+
+// Reconstructs the edge set of an entry recursively.
+void CollectEdges(const std::vector<std::vector<Entry>>& states, uint32_t state,
+                  uint32_t idx, std::set<size_t>* edges) {
+  const Entry& e = states[state][idx];
+  switch (e.prov) {
+    case Prov::kInit:
+      return;
+    case Prov::kGrow:
+      edges->insert(e.edge);
+      CollectEdges(states, e.a_state, e.a_idx, edges);
+      return;
+    case Prov::kMerge:
+      CollectEdges(states, e.a_state, e.a_idx, edges);
+      CollectEdges(states, e.b_state, e.b_idx, edges);
+      return;
+  }
+}
+
+// Checks that `edge_set` forms a tree containing all terminals, fills the
+// interpretation's node list, and recomputes the exact cost.
+bool BuildTree(const SchemaGraph& graph, const std::vector<size_t>& terminals,
+               const std::set<size_t>& edge_set, size_t root,
+               Interpretation* out) {
+  std::set<size_t> nodes;
+  nodes.insert(root);
+  double cost = 0;
+  for (size_t e : edge_set) {
+    const GraphEdge& edge = graph.edges()[e];
+    nodes.insert(edge.from);
+    nodes.insert(edge.to);
+    cost += edge.weight;
+  }
+  // Tree check: |E| = |V| - 1 and connected.
+  if (edge_set.size() + 1 != nodes.size()) return false;
+  // Connectivity via BFS restricted to edge_set.
+  std::unordered_set<size_t> allowed(edge_set.begin(), edge_set.end());
+  std::unordered_set<size_t> visited;
+  std::vector<size_t> stack = {root};
+  visited.insert(root);
+  while (!stack.empty()) {
+    size_t v = stack.back();
+    stack.pop_back();
+    for (size_t e : graph.EdgesOf(v)) {
+      if (allowed.count(e) == 0) continue;
+      size_t u = graph.OtherEnd(e, v);
+      if (visited.insert(u).second) stack.push_back(u);
+    }
+  }
+  if (visited.size() != nodes.size()) return false;
+  for (size_t t : terminals) {
+    if (nodes.count(t) == 0) return false;
+  }
+  out->terminals = terminals;
+  out->edges.assign(edge_set.begin(), edge_set.end());
+  out->nodes.assign(nodes.begin(), nodes.end());
+  out->cost = cost;
+  return true;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Interpretation>> TopKSteinerTrees(
+    const SchemaGraph& graph, const std::vector<size_t>& terminals,
+    const SteinerOptions& options) {
+  if (terminals.empty()) {
+    return Status::InvalidArgument("terminal set is empty");
+  }
+  if (terminals.size() >= 16) {
+    return Status::InvalidArgument("too many terminals for Steiner search");
+  }
+  {
+    std::unordered_set<size_t> uniq(terminals.begin(), terminals.end());
+    if (uniq.size() != terminals.size()) {
+      return Status::InvalidArgument("terminals must be distinct");
+    }
+    for (size_t t : terminals) {
+      if (t >= graph.node_count()) {
+        return Status::OutOfRange("terminal node out of range");
+      }
+    }
+  }
+
+  const size_t g = terminals.size();
+  const uint32_t full = static_cast<uint32_t>((1u << g) - 1);
+  const size_t cap = options.per_state_cap > 0 ? options.per_state_cap
+                                               : std::max<size_t>(options.k, 1);
+  const size_t num_states = graph.node_count() << g;
+
+  std::vector<std::vector<Entry>> states(num_states);
+  auto state_id = [&](size_t v, uint32_t mask) -> uint32_t {
+    return static_cast<uint32_t>((v << g) | mask);
+  };
+
+  std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>> pq;
+  for (size_t i = 0; i < g; ++i) {
+    Candidate c;
+    c.cost = 0;
+    c.state = state_id(terminals[i], 1u << i);
+    c.entry = Entry{0.0, Prov::kInit};
+    pq.push(c);
+  }
+
+  std::vector<Interpretation> results;
+  std::unordered_set<std::string> seen;
+  size_t pops = 0;
+
+  while (!pq.empty() && results.size() < options.k && pops < options.max_pops) {
+    Candidate cand = pq.top();
+    pq.pop();
+    ++pops;
+
+    std::vector<Entry>& list = states[cand.state];
+    if (list.size() >= cap) continue;
+    uint32_t my_idx = static_cast<uint32_t>(list.size());
+    list.push_back(cand.entry);
+
+    size_t v = cand.state >> g;
+    uint32_t mask = cand.state & full;
+
+    if (mask == full) {
+      // A complete tree: materialize it.
+      std::set<size_t> edge_set;
+      CollectEdges(states, cand.state, my_idx, &edge_set);
+      Interpretation interp;
+      if (BuildTree(graph, terminals, edge_set, v, &interp)) {
+        if (seen.insert(interp.Signature()).second) {
+          bool subsumed = false;
+          if (options.prune_supertrees) {
+            for (const Interpretation& prev : results) {
+              if (prev.SubsumedBy(interp)) {
+                subsumed = true;
+                break;
+              }
+            }
+          }
+          if (!subsumed) results.push_back(std::move(interp));
+        }
+      }
+      continue;  // growing a full tree further is never useful
+    }
+
+    // Grow along incident edges.
+    for (size_t e : graph.EdgesOf(v)) {
+      size_t u = graph.OtherEnd(e, v);
+      Candidate next;
+      next.cost = cand.cost + graph.EdgeWeight(e);
+      next.state = state_id(u, mask);
+      next.entry =
+          Entry{next.cost, Prov::kGrow, static_cast<uint32_t>(e), cand.state, my_idx};
+      pq.push(next);
+    }
+
+    // Merge with disjoint subtrees rooted at the same node.
+    uint32_t comp = full & ~mask;
+    for (uint32_t sub = comp; sub != 0; sub = (sub - 1) & comp) {
+      uint32_t other_state = state_id(v, sub);
+      const std::vector<Entry>& other = states[other_state];
+      for (uint32_t j = 0; j < other.size(); ++j) {
+        Candidate next;
+        next.cost = cand.cost + other[j].cost;
+        next.state = state_id(v, mask | sub);
+        next.entry = Entry{next.cost, Prov::kMerge, 0, cand.state, my_idx,
+                           other_state, j};
+        pq.push(next);
+      }
+    }
+  }
+
+  std::stable_sort(results.begin(), results.end(),
+                   [](const Interpretation& a, const Interpretation& b) {
+                     return a.cost < b.cost;
+                   });
+  return results;
+}
+
+StatusOr<std::vector<Interpretation>> ShortestPathTrees(
+    const SchemaGraph& graph, const std::vector<size_t>& terminals, size_t k) {
+  if (terminals.empty()) {
+    return Status::InvalidArgument("terminal set is empty");
+  }
+  std::vector<Interpretation> results;
+  std::unordered_set<std::string> seen;
+
+  for (size_t start = 0; start < terminals.size() && results.size() < k; ++start) {
+    // Grow a tree from terminals[start], attaching the closest unconnected
+    // terminal by its shortest path to any tree node.
+    std::set<size_t> tree_nodes = {terminals[start]};
+    std::set<size_t> tree_edges;
+    std::vector<size_t> remaining;
+    for (size_t i = 0; i < terminals.size(); ++i) {
+      if (i != start) remaining.push_back(terminals[i]);
+    }
+    bool failed = false;
+    while (!remaining.empty()) {
+      double best_cost = -1;
+      size_t best_terminal_pos = 0;
+      std::vector<size_t> best_path;
+      for (size_t p = 0; p < remaining.size(); ++p) {
+        // Shortest path from the terminal to the nearest tree node.
+        for (size_t node : tree_nodes) {
+          auto path = graph.ShortestPath(remaining[p], node);
+          if (!path) continue;
+          double c = 0;
+          for (size_t e : *path) c += graph.EdgeWeight(e);
+          if (best_cost < 0 || c < best_cost) {
+            best_cost = c;
+            best_terminal_pos = p;
+            best_path = *path;
+          }
+        }
+      }
+      if (best_cost < 0) {
+        failed = true;
+        break;
+      }
+      size_t cur = remaining[best_terminal_pos];
+      for (size_t e : best_path) {
+        tree_edges.insert(e);
+        tree_nodes.insert(graph.edges()[e].from);
+        tree_nodes.insert(graph.edges()[e].to);
+        cur = graph.OtherEnd(e, cur);
+      }
+      tree_nodes.insert(remaining[best_terminal_pos]);
+      remaining.erase(remaining.begin() + static_cast<ssize_t>(best_terminal_pos));
+    }
+    if (failed) continue;
+
+    Interpretation interp;
+    if (BuildTree(graph, terminals, tree_edges, terminals[start], &interp)) {
+      if (seen.insert(interp.Signature()).second) results.push_back(std::move(interp));
+    }
+  }
+  std::stable_sort(results.begin(), results.end(),
+                   [](const Interpretation& a, const Interpretation& b) {
+                     return a.cost < b.cost;
+                   });
+  if (results.size() > k) results.resize(k);
+  return results;
+}
+
+}  // namespace km

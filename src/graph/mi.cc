@@ -1,0 +1,124 @@
+#include "graph/mi.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace km {
+
+StatusOr<MiStats> ComputeMiDistance(const Database& db, const ForeignKey& fk) {
+  const Table* from = db.FindTable(fk.from_relation);
+  const Table* to = db.FindTable(fk.to_relation);
+  if (from == nullptr || to == nullptr) {
+    return Status::NotFound("foreign key references missing table");
+  }
+  auto from_idx = from->schema().AttributeIndex(fk.from_attribute);
+  auto to_idx = to->schema().AttributeIndex(fk.to_attribute);
+  if (!from_idx || !to_idx) {
+    return Status::NotFound("foreign key references missing attribute");
+  }
+
+  // Joint distribution over the full outer join on A1 = A2. Because A2 is
+  // the primary key of `to`, every from-tuple with a non-NULL A1 matches
+  // exactly one to-tuple, producing pair (v, v); from-tuples with NULL A1
+  // produce (NULL, NULL-side) pairs; to-tuples never referenced produce
+  // (NULL, v). We track counts keyed by (left value or NULL, right value or
+  // NULL) where matched pairs share the same value.
+  std::unordered_map<Value, size_t, ValueHash> ref_count;  // value -> #references
+  size_t null_fk = 0;
+  for (const Row& row : from->rows()) {
+    const Value& v = row[*from_idx];
+    if (v.is_null()) {
+      ++null_fk;
+    } else {
+      ++ref_count[v];
+    }
+  }
+
+  // Outcome categories of the joint distribution:
+  //   for each to-tuple key v: either matched (count c(v) pairs (v,v)) or
+  //   unmatched (one pair (NULL, v));
+  //   for each from-tuple with NULL FK: one pair (NULL-left marker).
+  // Marginals: X_left takes values {v...} ∪ {NULL}; X_right likewise.
+  double total = 0;
+  std::vector<std::pair<double, std::pair<int, int>>> cells;  // (count, (l,r)) ids
+  // We only need probabilities, identified per distinct (left,right) pair:
+  // (v, v) cells: one per referenced key with count c(v).
+  // (NULL, v) cells: one per unreferenced key with count 1 — these are
+  //   identical in *type* but distinct in value; for entropy purposes each
+  //   distinct v is its own outcome.
+  // (v, NULL): impossible under FK integrity (a reference always matches).
+  // (NULL, NULL): from-tuples with NULL FK.
+  //
+  // For MI we need marginal probabilities of left values and right values.
+  std::unordered_map<Value, double, ValueHash> left_marginal, right_marginal;
+  double left_null = 0, right_null = 0;
+
+  std::vector<std::pair<double, std::pair<const Value*, const Value*>>> joint;
+  for (const Row& row : to->rows()) {
+    const Value& key = row[*to_idx];
+    auto it = ref_count.find(key);
+    double c = it == ref_count.end() ? 0 : static_cast<double>(it->second);
+    if (c > 0) {
+      joint.push_back({c, {&key, &key}});
+      left_marginal[key] += c;
+      right_marginal[key] += c;
+      total += c;
+    } else {
+      joint.push_back({1.0, {nullptr, &key}});
+      left_null += 1.0;
+      right_marginal[key] += 1.0;
+      total += 1.0;
+    }
+  }
+  if (null_fk > 0) {
+    joint.push_back({static_cast<double>(null_fk), {nullptr, nullptr}});
+    left_null += static_cast<double>(null_fk);
+    right_null += static_cast<double>(null_fk);
+    total += static_cast<double>(null_fk);
+  }
+
+  MiStats stats;
+  if (total <= 0) return stats;  // both sides empty: distance 1
+
+  auto lm = [&](const Value* v) {
+    return (v == nullptr ? left_null : left_marginal[*v]) / total;
+  };
+  auto rm = [&](const Value* v) {
+    return (v == nullptr ? right_null : right_marginal[*v]) / total;
+  };
+
+  double mi = 0, h = 0;
+  for (const auto& [count, pair] : joint) {
+    double p = count / total;
+    if (p <= 0) continue;
+    h -= p * std::log2(p);
+    double pl = lm(pair.first);
+    double pr = rm(pair.second);
+    if (pl > 0 && pr > 0) mi += p * std::log2(p / (pl * pr));
+  }
+  stats.mutual_information = mi;
+  stats.joint_entropy = h;
+  stats.distance = h > 0 ? 1.0 - mi / h : 1.0;
+  if (stats.distance < 0) stats.distance = 0;
+  if (stats.distance > 1) stats.distance = 1;
+  return stats;
+}
+
+Status ApplyMiWeights(const Database& db, SchemaGraph* graph, double min_weight) {
+  const auto& fks = db.schema().foreign_keys();
+  for (size_t e = 0; e < graph->edge_count(); ++e) {
+    const GraphEdge& edge = graph->edges()[e];
+    if (edge.kind != EdgeKind::kForeignKey || edge.fk_index < 0) continue;
+    if (static_cast<size_t>(edge.fk_index) >= fks.size()) {
+      return Status::Internal("foreign-key edge index out of range");
+    }
+    KM_ASSIGN_OR_RETURN(MiStats stats,
+                        ComputeMiDistance(db, fks[static_cast<size_t>(edge.fk_index)]));
+    double w = stats.distance;
+    if (w < min_weight) w = min_weight;
+    graph->SetEdgeWeight(e, w);
+  }
+  return Status::OK();
+}
+
+}  // namespace km

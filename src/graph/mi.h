@@ -1,0 +1,43 @@
+// Mutual-information edge weights for foreign-key edges (Section 3.2 of
+// the QUEST family; Yang et al.'s database-summarization distance).
+//
+// For a foreign key A1 → A2, the joint distribution of (X_A1, X_A2) is
+// taken over the full outer join of the two relations on A1 = A2, so that
+// dangling tuples contribute (value, NULL) / (NULL, value) pairs. The edge
+// weight is the distance
+//
+//     D(A1, A2) = 1 − I(A1; A2) / H(A1, A2)   ∈ [0, 1]
+//
+// which is small (informative, likely-joinable) when the join covers most
+// tuples and large when the join is sparse. Applying these weights makes
+// the Steiner-tree step prefer join paths that actually produce tuples.
+
+#ifndef KM_GRAPH_MI_H_
+#define KM_GRAPH_MI_H_
+
+#include "common/status.h"
+#include "graph/schema_graph.h"
+#include "relational/database.h"
+
+namespace km {
+
+/// Mutual information and joint entropy of one foreign-key pair.
+struct MiStats {
+  double mutual_information = 0.0;
+  double joint_entropy = 0.0;
+  /// 1 − I/H (1 when H is 0, i.e. both sides empty).
+  double distance = 1.0;
+};
+
+/// Computes the MI distance of a single foreign key from the instance.
+StatusOr<MiStats> ComputeMiDistance(const Database& db, const ForeignKey& fk);
+
+/// Overwrites the weight of every foreign-key edge of `graph` with its MI
+/// distance, clamped to [min_weight, 1] (a zero weight would let Steiner
+/// trees traverse joins for free). Structural edges keep their weights.
+Status ApplyMiWeights(const Database& db, SchemaGraph* graph,
+                      double min_weight = 0.05);
+
+}  // namespace km
+
+#endif  // KM_GRAPH_MI_H_

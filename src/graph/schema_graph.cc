@@ -1,0 +1,99 @@
+#include "graph/schema_graph.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace km {
+
+SchemaGraph::SchemaGraph(const Terminology& terminology, const DatabaseSchema& schema)
+    : terminology_(&terminology) {
+  adjacency_.resize(terminology.size());
+
+  for (size_t i = 0; i < terminology.size(); ++i) {
+    const DatabaseTerm& t = terminology.term(i);
+    if (t.kind == TermKind::kAttribute) {
+      auto rel = terminology.RelationTerm(t.relation);
+      if (rel) AddEdge(*rel, i, EdgeKind::kRelationAttribute, 1.0, -1);
+      auto dom = terminology.DomainTerm(t.relation, t.attribute);
+      if (dom) AddEdge(i, *dom, EdgeKind::kAttributeDomain, 1.0, -1);
+    }
+  }
+
+  const auto& fks = schema.foreign_keys();
+  for (size_t f = 0; f < fks.size(); ++f) {
+    auto d1 = terminology.DomainTerm(fks[f].from_relation, fks[f].from_attribute);
+    auto d2 = terminology.DomainTerm(fks[f].to_relation, fks[f].to_attribute);
+    if (d1 && d2) {
+      AddEdge(*d1, *d2, EdgeKind::kForeignKey, 1.0, static_cast<int>(f));
+    }
+  }
+}
+
+void SchemaGraph::AddEdge(size_t a, size_t b, EdgeKind kind, double w, int fk_index) {
+  GraphEdge e{a, b, kind, w, fk_index};
+  size_t idx = edges_.size();
+  edges_.push_back(e);
+  adjacency_[a].push_back(idx);
+  adjacency_[b].push_back(idx);
+}
+
+std::vector<double> SchemaGraph::Distances(size_t source) const {
+  std::vector<double> dist(node_count(), std::numeric_limits<double>::infinity());
+  dist[source] = 0;
+  using Item = std::pair<double, size_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  pq.push({0, source});
+  while (!pq.empty()) {
+    auto [d, v] = pq.top();
+    pq.pop();
+    if (d > dist[v]) continue;
+    for (size_t e : adjacency_[v]) {
+      size_t u = OtherEnd(e, v);
+      double nd = d + edges_[e].weight;
+      if (nd < dist[u]) {
+        dist[u] = nd;
+        pq.push({nd, u});
+      }
+    }
+  }
+  return dist;
+}
+
+std::optional<std::vector<size_t>> SchemaGraph::ShortestPath(size_t source,
+                                                             size_t target) const {
+  if (source == target) return std::vector<size_t>{};
+  std::vector<double> dist(node_count(), std::numeric_limits<double>::infinity());
+  std::vector<ssize_t> via_edge(node_count(), -1);
+  dist[source] = 0;
+  using Item = std::pair<double, size_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  pq.push({0, source});
+  while (!pq.empty()) {
+    auto [d, v] = pq.top();
+    pq.pop();
+    if (d > dist[v]) continue;
+    if (v == target) break;
+    for (size_t e : adjacency_[v]) {
+      size_t u = OtherEnd(e, v);
+      double nd = d + edges_[e].weight;
+      if (nd < dist[u]) {
+        dist[u] = nd;
+        via_edge[u] = static_cast<ssize_t>(e);
+        pq.push({nd, u});
+      }
+    }
+  }
+  if (via_edge[target] < 0) return std::nullopt;
+  std::vector<size_t> path;
+  size_t cur = target;
+  while (cur != source) {
+    size_t e = static_cast<size_t>(via_edge[cur]);
+    path.push_back(e);
+    cur = OtherEnd(e, cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace km

@@ -1,0 +1,83 @@
+// The database graph of the paper (Definition 2.2), built over the schema.
+//
+// Nodes are database terms (relation, attribute, domain); edges connect
+//   * each relation with each of its attributes,
+//   * each attribute with its domain,
+//   * the domains of two attributes linked by a foreign key.
+// Edge weights default to 1 for structural edges; FK edges can carry a
+// mutual-information-based distance computed from the instance (see mi.h),
+// falling back to 1 when no instance is available (deep-web mode).
+
+#ifndef KM_GRAPH_SCHEMA_GRAPH_H_
+#define KM_GRAPH_SCHEMA_GRAPH_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "metadata/term.h"
+#include "relational/database.h"
+
+namespace km {
+
+/// Classification of a database-graph edge.
+enum class EdgeKind {
+  kRelationAttribute = 0,  ///< relation ↔ one of its attributes
+  kAttributeDomain = 1,    ///< attribute ↔ its domain
+  kForeignKey = 2,         ///< Dom(A1) ↔ Dom(A2) for FK A1→A2
+};
+
+/// One (undirected) edge of the database graph.
+struct GraphEdge {
+  size_t from;  ///< terminology index
+  size_t to;    ///< terminology index
+  EdgeKind kind;
+  double weight;
+  /// Index into DatabaseSchema::foreign_keys() for kForeignKey edges.
+  int fk_index = -1;
+};
+
+/// The database graph over a Terminology.
+class SchemaGraph {
+ public:
+  /// Builds the graph with unit weights on every edge.
+  SchemaGraph(const Terminology& terminology, const DatabaseSchema& schema);
+
+  const Terminology& terminology() const { return *terminology_; }
+  size_t node_count() const { return adjacency_.size(); }
+  size_t edge_count() const { return edges_.size(); }
+  const std::vector<GraphEdge>& edges() const { return edges_; }
+
+  /// Edge indices incident to `node`.
+  const std::vector<size_t>& EdgesOf(size_t node) const { return adjacency_[node]; }
+
+  /// The endpoint of edge `e` that is not `node`.
+  size_t OtherEnd(size_t e, size_t node) const {
+    const GraphEdge& edge = edges_[e];
+    return edge.from == node ? edge.to : edge.from;
+  }
+
+  double EdgeWeight(size_t e) const { return edges_[e].weight; }
+
+  /// Overwrites the weight of edge `e` (used by the MI weighting pass).
+  void SetEdgeWeight(size_t e, double w) { edges_[e].weight = w; }
+
+  /// Single-source shortest-path distances (Dijkstra) from `source`;
+  /// unreachable nodes get +infinity.
+  std::vector<double> Distances(size_t source) const;
+
+  /// Shortest path between two nodes as a list of edge indices (empty when
+  /// source == target; nullopt when unreachable).
+  std::optional<std::vector<size_t>> ShortestPath(size_t source, size_t target) const;
+
+ private:
+  void AddEdge(size_t a, size_t b, EdgeKind kind, double w, int fk_index);
+
+  const Terminology* terminology_;
+  std::vector<GraphEdge> edges_;
+  std::vector<std::vector<size_t>> adjacency_;
+};
+
+}  // namespace km
+
+#endif  // KM_GRAPH_SCHEMA_GRAPH_H_

@@ -1,0 +1,238 @@
+#include "graph/summary.h"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+#include <set>
+#include <unordered_set>
+
+namespace km {
+
+SummaryGraph::SummaryGraph(const SchemaGraph& full) : full_(&full) {
+  const Terminology& terminology = full.terminology();
+  for (size_t i = 0; i < terminology.size(); ++i) {
+    const DatabaseTerm& t = terminology.term(i);
+    if (t.kind == TermKind::kRelation && ordinal_.count(t.relation) == 0) {
+      ordinal_[t.relation] = relations_.size();
+      relations_.push_back(t.relation);
+    }
+  }
+  adjacency_.resize(relations_.size());
+  for (size_t e = 0; e < full.edge_count(); ++e) {
+    const GraphEdge& edge = full.edges()[e];
+    if (edge.kind != EdgeKind::kForeignKey) continue;
+    const DatabaseTerm& a = terminology.term(edge.from);
+    const DatabaseTerm& b = terminology.term(edge.to);
+    auto ra = ordinal_.find(a.relation);
+    auto rb = ordinal_.find(b.relation);
+    if (ra == ordinal_.end() || rb == ordinal_.end()) continue;
+    MetaEdge meta;
+    meta.from_rel = ra->second;
+    meta.to_rel = rb->second;
+    // The meta-edge stands for rel—attr—dom—[FK]—dom—attr—rel: the FK
+    // weight plus four structural unit hops.
+    meta.weight = edge.weight + 4.0;
+    meta.fk_edge = e;
+    size_t idx = edges_.size();
+    edges_.push_back(meta);
+    adjacency_[meta.from_rel].push_back(idx);
+    adjacency_[meta.to_rel].push_back(idx);
+  }
+}
+
+std::optional<size_t> SummaryGraph::RelationOrdinal(const std::string& relation) const {
+  auto it = ordinal_.find(relation);
+  if (it == ordinal_.end()) return std::nullopt;
+  return it->second;
+}
+
+namespace {
+
+// Finds the full-graph edge of the given kind between two nodes.
+std::optional<size_t> FindEdge(const SchemaGraph& g, size_t u, size_t v) {
+  for (size_t e : g.EdgesOf(u)) {
+    if (g.OtherEnd(e, u) == v) return e;
+  }
+  return std::nullopt;
+}
+
+// Adds the structural chain of a term into the edge set: relation terms add
+// nothing; attribute terms add rel—attr; domain terms add rel—attr—dom.
+bool AddTermChain(const SchemaGraph& g, size_t term_index, std::set<size_t>* edges) {
+  const Terminology& t = g.terminology();
+  const DatabaseTerm& term = t.term(term_index);
+  if (term.kind == TermKind::kRelation) return true;
+  auto rel = t.RelationTerm(term.relation);
+  auto attr = t.AttributeTerm(term.relation, term.attribute);
+  if (!rel || !attr) return false;
+  auto rel_attr = FindEdge(g, *rel, *attr);
+  if (!rel_attr) return false;
+  edges->insert(*rel_attr);
+  if (term.kind == TermKind::kDomain) {
+    auto dom = t.DomainTerm(term.relation, term.attribute);
+    if (!dom) return false;
+    auto attr_dom = FindEdge(g, *attr, *dom);
+    if (!attr_dom) return false;
+    edges->insert(*attr_dom);
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Interpretation>> SummaryGraph::TopKTrees(
+    const std::vector<size_t>& terminals, const SteinerOptions& options) const {
+  if (terminals.empty()) {
+    return Status::InvalidArgument("terminal set is empty");
+  }
+  const Terminology& terminology = full_->terminology();
+
+  // Terminal relations (deduplicated, order-preserving).
+  std::vector<size_t> term_rels;
+  for (size_t t : terminals) {
+    if (t >= terminology.size()) return Status::OutOfRange("terminal out of range");
+    auto ord = RelationOrdinal(terminology.term(t).relation);
+    if (!ord) return Status::NotFound("terminal relation not in summary");
+    if (std::find(term_rels.begin(), term_rels.end(), *ord) == term_rels.end()) {
+      term_rels.push_back(*ord);
+    }
+  }
+  if (term_rels.size() >= 16) {
+    return Status::InvalidArgument("too many terminal relations");
+  }
+
+  // k-best DPBF over the summary graph (same scheme as the full-graph
+  // search, on a graph one order of magnitude smaller).
+  const size_t g = term_rels.size();
+  const uint32_t full_mask = static_cast<uint32_t>((1u << g) - 1);
+  const size_t cap = options.per_state_cap > 0 ? options.per_state_cap
+                                               : std::max<size_t>(options.k, 1);
+  struct Entry {
+    double cost;
+    int prov;  // -1 init; >=0: grow via edge; -2: merge
+    uint32_t edge = 0;
+    uint32_t a_state = 0, a_idx = 0, b_state = 0, b_idx = 0;
+  };
+  struct Candidate {
+    double cost;
+    uint32_t state;
+    Entry entry;
+    bool operator>(const Candidate& o) const { return cost > o.cost; }
+  };
+  const size_t num_states = relations_.size() << g;
+  std::vector<std::vector<Entry>> states(num_states);
+  auto state_id = [&](size_t v, uint32_t mask) {
+    return static_cast<uint32_t>((v << g) | mask);
+  };
+  std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>> pq;
+  for (size_t i = 0; i < g; ++i) {
+    pq.push({0.0, state_id(term_rels[i], 1u << i), Entry{0.0, -1}});
+  }
+
+  // Collected relation-level trees as sets of meta-edge indices + root.
+  struct RelTree {
+    std::set<size_t> meta_edges;
+    size_t root;
+    double cost;
+  };
+  std::vector<RelTree> rel_trees;
+  std::unordered_set<std::string> seen;
+  size_t pops = 0;
+
+  std::function<void(uint32_t, uint32_t, std::set<size_t>*)> collect =
+      [&](uint32_t state, uint32_t idx, std::set<size_t>* out) {
+        const Entry& e = states[state][idx];
+        if (e.prov == -1) return;
+        if (e.prov >= 0) {
+          out->insert(e.edge);
+          collect(e.a_state, e.a_idx, out);
+        } else {
+          collect(e.a_state, e.a_idx, out);
+          collect(e.b_state, e.b_idx, out);
+        }
+      };
+
+  while (!pq.empty() && rel_trees.size() < options.k && pops < options.max_pops) {
+    Candidate cand = pq.top();
+    pq.pop();
+    ++pops;
+    std::vector<Entry>& list = states[cand.state];
+    if (list.size() >= cap) continue;
+    uint32_t my_idx = static_cast<uint32_t>(list.size());
+    list.push_back(cand.entry);
+    size_t v = cand.state >> g;
+    uint32_t mask = cand.state & full_mask;
+
+    if (mask == full_mask) {
+      RelTree tree;
+      tree.root = v;
+      tree.cost = cand.cost;
+      collect(cand.state, my_idx, &tree.meta_edges);
+      std::string sig;
+      for (size_t e : tree.meta_edges) sig += std::to_string(e) + ",";
+      if (sig.empty()) sig = "@" + std::to_string(v);
+      if (seen.insert(sig).second) rel_trees.push_back(std::move(tree));
+      continue;
+    }
+    for (size_t e : adjacency_[v]) {
+      const MetaEdge& me = edges_[e];
+      size_t u = me.from_rel == v ? me.to_rel : me.from_rel;
+      pq.push({cand.cost + me.weight, state_id(u, mask),
+               Entry{cand.cost + me.weight, static_cast<int>(0), /*edge=*/
+                     static_cast<uint32_t>(e), cand.state, my_idx}});
+    }
+    uint32_t comp = full_mask & ~mask;
+    for (uint32_t sub = comp; sub != 0; sub = (sub - 1) & comp) {
+      uint32_t other_state = state_id(v, sub);
+      const auto& other = states[other_state];
+      for (uint32_t j = 0; j < other.size(); ++j) {
+        Entry entry{cand.cost + other[j].cost, -2, 0, cand.state, my_idx,
+                    other_state, j};
+        pq.push({entry.cost, state_id(v, mask | sub), entry});
+      }
+    }
+  }
+
+  // Expand each relation-level tree into a full interpretation.
+  std::vector<Interpretation> out;
+  std::unordered_set<std::string> out_seen;
+  for (const RelTree& tree : rel_trees) {
+    std::set<size_t> full_edges;
+    bool ok = true;
+    for (size_t me_idx : tree.meta_edges) {
+      const MetaEdge& me = edges_[me_idx];
+      const GraphEdge& fk = full_->edges()[me.fk_edge];
+      full_edges.insert(me.fk_edge);
+      ok &= AddTermChain(*full_, fk.from, &full_edges);
+      ok &= AddTermChain(*full_, fk.to, &full_edges);
+    }
+    for (size_t t : terminals) ok &= AddTermChain(*full_, t, &full_edges);
+    if (!ok) continue;
+
+    Interpretation interp;
+    interp.terminals = terminals;
+    interp.edges.assign(full_edges.begin(), full_edges.end());
+    std::set<size_t> nodes;
+    // Seed with the terminal nodes (covers the single-relation case).
+    for (size_t t : terminals) nodes.insert(t);
+    double cost = 0;
+    for (size_t e : interp.edges) {
+      nodes.insert(full_->edges()[e].from);
+      nodes.insert(full_->edges()[e].to);
+      cost += full_->edges()[e].weight;
+    }
+    // The relation node of a lone terminal relation is not needed; only
+    // include relation nodes introduced by edges. (Already handled: nodes
+    // come from edges + terminals.)
+    interp.nodes.assign(nodes.begin(), nodes.end());
+    interp.cost = cost;
+    if (out_seen.insert(interp.Signature()).second) out.push_back(std::move(interp));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Interpretation& a, const Interpretation& b) {
+                     return a.cost < b.cost;
+                   });
+  return out;
+}
+
+}  // namespace km

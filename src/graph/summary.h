@@ -1,0 +1,69 @@
+// Summary graphs: the condensed relation-level view of the database graph
+// (the paper family's optimization for large schemas).
+//
+// The full database graph has a node per term (relation, attribute,
+// domain); its Steiner search scales with 3^terminals · nodes. The summary
+// graph keeps one node per *relation* and one meta-edge per foreign key,
+// each meta-edge standing for the Dom—Dom path of the full graph (and
+// carrying its weight). Steiner search over the summary graph is an order
+// of magnitude smaller; the resulting relation trees are then expanded
+// back into full interpretations by re-inserting the attribute/domain
+// nodes of the keyword images.
+
+#ifndef KM_GRAPH_SUMMARY_H_
+#define KM_GRAPH_SUMMARY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/interpretation.h"
+#include "graph/schema_graph.h"
+
+namespace km {
+
+/// The condensed relation-level graph.
+class SummaryGraph {
+ public:
+  /// Builds the summary of `full`: one node per relation, one meta-edge
+  /// per foreign-key edge of the full graph (weight = FK edge weight plus
+  /// the structural hops it stands for).
+  explicit SummaryGraph(const SchemaGraph& full);
+
+  size_t relation_count() const { return relations_.size(); }
+  const std::vector<std::string>& relations() const { return relations_; }
+
+  /// Ordinal of a relation in the summary (nullopt when unknown).
+  std::optional<size_t> RelationOrdinal(const std::string& relation) const;
+
+  /// Finds up to k cheapest relation-level trees covering the relations of
+  /// `terminals` (terminology indices into the *full* graph), then expands
+  /// each back into a full Interpretation over the full graph.
+  ///
+  /// Expansion re-attaches, for every terminal term, the structural path
+  /// from its relation node (relation → attribute → domain), and maps
+  /// every meta-edge back to its FK edge plus the attribute/domain hops.
+  StatusOr<std::vector<Interpretation>> TopKTrees(
+      const std::vector<size_t>& terminals, const SteinerOptions& options = {}) const;
+
+  /// Underlying full graph.
+  const SchemaGraph& full() const { return *full_; }
+
+ private:
+  struct MetaEdge {
+    size_t from_rel;
+    size_t to_rel;
+    double weight;
+    size_t fk_edge;  ///< edge index in the full graph
+  };
+
+  const SchemaGraph* full_;
+  std::vector<std::string> relations_;
+  std::unordered_map<std::string, size_t> ordinal_;
+  std::vector<MetaEdge> edges_;
+  std::vector<std::vector<size_t>> adjacency_;  // relation ordinal -> edge idx
+};
+
+}  // namespace km
+
+#endif  // KM_GRAPH_SUMMARY_H_

@@ -1,0 +1,128 @@
+#include "hmm/hmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+namespace km {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+double SafeLog(double p) { return p > 0 ? std::log(p) : kNegInf; }
+}  // namespace
+
+Hmm::Hmm(Matrix transition, std::vector<double> initial)
+    : transition_(std::move(transition)), initial_(std::move(initial)) {}
+
+Matrix EmissionFromSimilarity(const Matrix& similarity) {
+  Matrix e = similarity;
+  e.NormalizeRows();
+  return e;
+}
+
+StatusOr<HmmPath> Hmm::Viterbi(const Matrix& emission) const {
+  KM_ASSIGN_OR_RETURN(std::vector<HmmPath> paths,
+                      ListViterbi(emission, 1, /*distinct_states=*/false));
+  if (paths.empty()) return Status::NotFound("no feasible state sequence");
+  return paths[0];
+}
+
+StatusOr<std::vector<HmmPath>> Hmm::ListViterbi(const Matrix& emission, size_t k,
+                                                bool distinct_states) const {
+  const size_t T = emission.rows();
+  const size_t N = num_states();
+  if (T == 0) return Status::InvalidArgument("empty observation sequence");
+  if (emission.cols() != N) {
+    return Status::InvalidArgument("emission matrix has wrong number of states");
+  }
+  if (k == 0) return std::vector<HmmPath>{};
+
+  // Internal beam: decode more paths than requested so that injectivity
+  // filtering still leaves k survivors.
+  const size_t kk = distinct_states ? 3 * k + 5 : k;
+
+  struct Cell {
+    double lp;
+    int prev_state;  // -1 at t=0
+    int prev_rank;
+  };
+  // dp[t][s] = up to kk best partial paths ending in state s at time t.
+  std::vector<std::vector<std::vector<Cell>>> dp(
+      T, std::vector<std::vector<Cell>>(N));
+
+  for (size_t s = 0; s < N; ++s) {
+    double lp = SafeLog(initial_[s]) + SafeLog(emission.At(0, s));
+    if (lp > kNegInf) dp[0][s].push_back({lp, -1, -1});
+  }
+
+  std::vector<Cell> candidates;
+  for (size_t t = 1; t < T; ++t) {
+    for (size_t s = 0; s < N; ++s) {
+      double e = SafeLog(emission.At(t, s));
+      if (e == kNegInf) continue;
+      candidates.clear();
+      for (size_t p = 0; p < N; ++p) {
+        if (dp[t - 1][p].empty()) continue;
+        double a = SafeLog(transition_.At(p, s));
+        if (a == kNegInf) continue;
+        const auto& prev = dp[t - 1][p];
+        for (size_t r = 0; r < prev.size(); ++r) {
+          candidates.push_back(
+              {prev[r].lp + a + e, static_cast<int>(p), static_cast<int>(r)});
+        }
+      }
+      if (candidates.empty()) continue;
+      size_t keep = std::min(kk, candidates.size());
+      std::partial_sort(candidates.begin(),
+                        candidates.begin() + static_cast<ssize_t>(keep),
+                        candidates.end(),
+                        [](const Cell& a, const Cell& b) { return a.lp > b.lp; });
+      dp[t][s].assign(candidates.begin(),
+                      candidates.begin() + static_cast<ssize_t>(keep));
+    }
+  }
+
+  // Collect final cells across all states, best first.
+  struct Final {
+    double lp;
+    size_t state;
+    size_t rank;
+  };
+  std::vector<Final> finals;
+  for (size_t s = 0; s < N; ++s) {
+    for (size_t r = 0; r < dp[T - 1][s].size(); ++r) {
+      finals.push_back({dp[T - 1][s][r].lp, s, r});
+    }
+  }
+  std::sort(finals.begin(), finals.end(),
+            [](const Final& a, const Final& b) { return a.lp > b.lp; });
+
+  std::vector<HmmPath> results;
+  for (const Final& f : finals) {
+    if (results.size() >= k) break;
+    // Backtrack.
+    HmmPath path;
+    path.log_prob = f.lp;
+    path.states.assign(T, 0);
+    size_t s = f.state;
+    int r = static_cast<int>(f.rank);
+    for (size_t t = T; t-- > 0;) {
+      path.states[t] = s;
+      const Cell& cell = dp[t][s][static_cast<size_t>(r)];
+      if (t > 0) {
+        s = static_cast<size_t>(cell.prev_state);
+        r = cell.prev_rank;
+      }
+    }
+    if (distinct_states) {
+      std::unordered_set<size_t> seen(path.states.begin(), path.states.end());
+      if (seen.size() != path.states.size()) continue;
+    }
+    results.push_back(std::move(path));
+  }
+  return results;
+}
+
+}  // namespace km

@@ -1,0 +1,64 @@
+// First-order Hidden Markov Model over database terms.
+//
+// This module implements the authors' follow-up forward-analysis technique
+// (KEYRY/QUEST) as a comparison baseline for the metadata/Hungarian
+// approach: keywords are observations, database terms are hidden states.
+// Decoding uses the List Viterbi algorithm (top-k state sequences); the
+// transition matrix comes either from the a-priori schema heuristics or
+// from (self-)training; the initial distribution comes from an HITS-style
+// authority computation on the schema graph.
+
+#ifndef KM_HMM_HMM_H_
+#define KM_HMM_HMM_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace km {
+
+/// One decoded state sequence with its log-probability.
+struct HmmPath {
+  std::vector<size_t> states;
+  double log_prob = 0.0;
+};
+
+/// A first-order HMM with N states. Emissions are supplied per query as a
+/// T × N matrix (rows = observations in order, columns = states), because
+/// in keyword search the observation alphabet is unbounded: emission
+/// probabilities are derived on the fly from keyword/term similarity.
+class Hmm {
+ public:
+  /// `transition` must be N × N row-stochastic; `initial` length N summing
+  /// to 1 (both validated loosely; rows of zeros are allowed and treated as
+  /// dead ends).
+  Hmm(Matrix transition, std::vector<double> initial);
+
+  size_t num_states() const { return initial_.size(); }
+  const Matrix& transition() const { return transition_; }
+  const std::vector<double>& initial() const { return initial_; }
+
+  /// Standard Viterbi: the single most likely state sequence for the given
+  /// emission matrix.
+  StatusOr<HmmPath> Viterbi(const Matrix& emission) const;
+
+  /// List Viterbi: the `k` most likely state sequences, best first. When
+  /// `distinct_states` is true, sequences visiting a state twice are
+  /// discarded (configurations are injective).
+  StatusOr<std::vector<HmmPath>> ListViterbi(const Matrix& emission, size_t k,
+                                             bool distinct_states = true) const;
+
+ private:
+  Matrix transition_;
+  std::vector<double> initial_;
+};
+
+/// Converts a keyword×term similarity matrix into an emission matrix by
+/// Bayesian inversion with uniform state prior: each row is normalized to
+/// sum 1 (rows of all zeros stay zero).
+Matrix EmissionFromSimilarity(const Matrix& similarity);
+
+}  // namespace km
+
+#endif  // KM_HMM_HMM_H_

@@ -1,0 +1,206 @@
+#include "hmm/model_builder.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace km {
+
+namespace {
+
+// Relation-level FK adjacency with 2-hop closure, shared by the
+// transition heuristics.
+struct RelationHops {
+  std::unordered_map<std::string, size_t> ordinal;
+  std::vector<std::vector<bool>> one_hop;
+  std::vector<std::vector<bool>> two_hop;
+
+  explicit RelationHops(const DatabaseSchema& schema) {
+    for (const RelationSchema& r : schema.relations()) {
+      ordinal[r.name()] = ordinal.size();
+    }
+    size_t n = ordinal.size();
+    one_hop.assign(n, std::vector<bool>(n, false));
+    for (const ForeignKey& fk : schema.foreign_keys()) {
+      auto a = ordinal.find(fk.from_relation);
+      auto b = ordinal.find(fk.to_relation);
+      if (a != ordinal.end() && b != ordinal.end()) {
+        one_hop[a->second][b->second] = true;
+        one_hop[b->second][a->second] = true;
+      }
+    }
+    two_hop.assign(n, std::vector<bool>(n, false));
+    for (size_t a = 0; a < n; ++a) {
+      for (size_t mid = 0; mid < n; ++mid) {
+        if (!one_hop[a][mid]) continue;
+        for (size_t b = 0; b < n; ++b) {
+          if (b != a && !one_hop[a][b] && one_hop[mid][b]) two_hop[a][b] = true;
+        }
+      }
+    }
+  }
+};
+
+// Relative transition mass between two terms under the a-priori heuristics.
+double HeuristicMass(const Terminology& terminology, const RelationHops& hops,
+                     const AprioriParams& params, size_t from, size_t to) {
+  const DatabaseTerm& a = terminology.term(from);
+  const DatabaseTerm& b = terminology.term(to);
+  if (a.relation == b.relation) {
+    bool attr_domain_pair =
+        a.attribute == b.attribute && !a.attribute.empty() &&
+        ((a.kind == TermKind::kAttribute && b.kind == TermKind::kDomain) ||
+         (a.kind == TermKind::kDomain && b.kind == TermKind::kAttribute));
+    if (attr_domain_pair) return params.attr_own_domain;
+    return params.same_relation;
+  }
+  auto ra = hops.ordinal.find(a.relation);
+  auto rb = hops.ordinal.find(b.relation);
+  if (ra != hops.ordinal.end() && rb != hops.ordinal.end()) {
+    if (hops.one_hop[ra->second][rb->second]) return params.fk_adjacent;
+    if (hops.two_hop[ra->second][rb->second]) return params.fk_two_hop;
+  }
+  return params.unrelated;
+}
+
+// HITS authority scores over the term connectivity graph (terms of the
+// same relation are mutually linked; FK-connected relations link their
+// domain terms).
+std::vector<double> HitsAuthority(const Terminology& terminology,
+                                  const DatabaseSchema& schema, size_t iterations) {
+  const size_t n = terminology.size();
+  // Build adjacency.
+  std::vector<std::vector<size_t>> adj(n);
+  std::unordered_map<std::string, std::vector<size_t>> by_relation;
+  for (size_t i = 0; i < n; ++i) by_relation[terminology.term(i).relation].push_back(i);
+  for (const auto& [rel, terms] : by_relation) {
+    for (size_t i : terms) {
+      for (size_t j : terms) {
+        if (i != j) adj[i].push_back(j);
+      }
+    }
+  }
+  for (const ForeignKey& fk : schema.foreign_keys()) {
+    auto d1 = terminology.DomainTerm(fk.from_relation, fk.from_attribute);
+    auto d2 = terminology.DomainTerm(fk.to_relation, fk.to_attribute);
+    if (d1 && d2) {
+      adj[*d1].push_back(*d2);
+      adj[*d2].push_back(*d1);
+    }
+  }
+
+  std::vector<double> auth(n, 1.0), hub(n, 1.0);
+  for (size_t it = 0; it < iterations; ++it) {
+    std::vector<double> new_auth(n, 0.0);
+    for (size_t v = 0; v < n; ++v) {
+      for (size_t u : adj[v]) new_auth[u] += hub[v];
+    }
+    std::vector<double> new_hub(n, 0.0);
+    for (size_t v = 0; v < n; ++v) {
+      for (size_t u : adj[v]) new_hub[v] += new_auth[u];
+    }
+    double an = 0, hn = 0;
+    for (size_t v = 0; v < n; ++v) {
+      an += new_auth[v] * new_auth[v];
+      hn += new_hub[v] * new_hub[v];
+    }
+    an = std::sqrt(an);
+    hn = std::sqrt(hn);
+    for (size_t v = 0; v < n; ++v) {
+      auth[v] = an > 0 ? new_auth[v] / an : 0;
+      hub[v] = hn > 0 ? new_hub[v] / hn : 0;
+    }
+  }
+  // Normalize to a probability distribution; guard against all-zero.
+  double sum = 0;
+  for (double a : auth) sum += a;
+  if (sum <= 0) {
+    return std::vector<double>(n, 1.0 / static_cast<double>(n));
+  }
+  for (double& a : auth) a /= sum;
+  return auth;
+}
+
+}  // namespace
+
+Hmm BuildAprioriHmm(const Terminology& terminology, const DatabaseSchema& schema,
+                    const AprioriParams& params) {
+  const size_t n = terminology.size();
+  RelationHops hops(schema);
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;  // self transitions excluded (injective configs)
+      a.At(i, j) = HeuristicMass(terminology, hops, params, i, j);
+    }
+  }
+  a.NormalizeRows();
+  std::vector<double> pi = HitsAuthority(terminology, schema, params.hits_iterations);
+  double mix = params.hits_mixture;
+  double uniform = 1.0 / static_cast<double>(n);
+  for (double& p : pi) p = mix * p + (1.0 - mix) * uniform;
+  return Hmm(std::move(a), std::move(pi));
+}
+
+Hmm BuildUniformHmm(const Terminology& terminology) {
+  const size_t n = terminology.size();
+  Matrix a(n, n, n > 1 ? 1.0 / static_cast<double>(n - 1) : 1.0);
+  for (size_t i = 0; i < n; ++i) a.At(i, i) = 0;
+  return Hmm(std::move(a), std::vector<double>(n, 1.0 / static_cast<double>(n)));
+}
+
+HmmTrainer::HmmTrainer(const Terminology& terminology, const DatabaseSchema& schema,
+                       AprioriParams apriori, double prior_strength)
+    : terminology_(terminology),
+      apriori_(BuildAprioriHmm(terminology, schema, apriori)),
+      prior_strength_(prior_strength),
+      transition_counts_(terminology.size(), terminology.size()),
+      initial_counts_(terminology.size(), 0.0) {}
+
+void HmmTrainer::AddSequence(const std::vector<size_t>& term_sequence) {
+  if (term_sequence.empty()) return;
+  initial_counts_[term_sequence[0]] += 1.0;
+  for (size_t i = 1; i < term_sequence.size(); ++i) {
+    transition_counts_.At(term_sequence[i - 1], term_sequence[i]) += 1.0;
+  }
+  ++sequences_;
+}
+
+bool HmmTrainer::AddSelfLabelled(const Matrix& emission) {
+  auto path = apriori_.Viterbi(emission);
+  if (!path.ok()) return false;
+  AddSequence(path->states);
+  return true;
+}
+
+Hmm HmmTrainer::Train() const {
+  const size_t n = terminology_.size();
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    double row_total = 0;
+    for (size_t j = 0; j < n; ++j) row_total += transition_counts_.At(i, j);
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      double prior = apriori_.transition().At(i, j);
+      a.At(i, j) = (transition_counts_.At(i, j) + prior_strength_ * prior) /
+                   (row_total + prior_strength_);
+    }
+  }
+  a.NormalizeRows();
+
+  std::vector<double> pi(n, 0.0);
+  double total = 0;
+  for (double c : initial_counts_) total += c;
+  for (size_t i = 0; i < n; ++i) {
+    pi[i] = (initial_counts_[i] + prior_strength_ * apriori_.initial()[i]) /
+            (total + prior_strength_);
+  }
+  // Normalize.
+  double s = 0;
+  for (double p : pi) s += p;
+  if (s > 0) {
+    for (double& p : pi) p /= s;
+  }
+  return Hmm(std::move(a), std::move(pi));
+}
+
+}  // namespace km

@@ -1,0 +1,87 @@
+// Construction of HMM parameters from schema metadata and from training
+// data.
+//
+// A-priori mode (no training data): transition probabilities follow the
+// schema heuristics — transitions between terms of the same relation get
+// high mass (attribute ↔ own domain highest), terms of FK-connected
+// relations intermediate mass, unrelated terms low mass. The initial
+// distribution is the normalized authority vector of an HITS computation
+// over the term connectivity graph.
+//
+// Feedback mode: maximum-likelihood transition/initial estimates from
+// observed (possibly self-labelled) term sequences, Laplace-smoothed and
+// interpolated with the a-priori matrix.
+
+#ifndef KM_HMM_MODEL_BUILDER_H_
+#define KM_HMM_MODEL_BUILDER_H_
+
+#include <vector>
+
+#include "hmm/hmm.h"
+#include "metadata/term.h"
+
+namespace km {
+
+/// Heuristic transition masses (relative; rows are normalized afterwards).
+///
+/// The tiers are intentionally gentle: users routinely pair keywords from
+/// relations that are two joins apart ("author 2015"), so harsh contrast
+/// between the tiers makes the prior override even strong emission evidence
+/// and collapses accuracy on cross-relation queries.
+struct AprioriParams {
+  double attr_own_domain = 0.4;   ///< attribute → its own domain
+  double same_relation = 0.22;    ///< other terms of the same relation
+  double fk_adjacent = 0.17;      ///< terms of FK-connected relations
+  double fk_two_hop = 0.14;       ///< relations two FK hops away
+  double unrelated = 0.08;        ///< everything else
+  /// HITS iterations for the initial distribution.
+  size_t hits_iterations = 30;
+  /// Mixture weight of the HITS authority vector in the initial state
+  /// distribution; the remainder is uniform. Pure authority concentrates
+  /// all prior mass on the terms of large relations and starves queries
+  /// that start elsewhere.
+  double hits_mixture = 0.15;
+};
+
+/// Builds the a-priori HMM for a terminology.
+Hmm BuildAprioriHmm(const Terminology& terminology, const DatabaseSchema& schema,
+                    const AprioriParams& params = {});
+
+/// Builds an HMM whose transition matrix is uniform (the no-heuristics
+/// reference of the paper's Fig. 6).
+Hmm BuildUniformHmm(const Terminology& terminology);
+
+/// Accumulates training sequences and produces trained models.
+class HmmTrainer {
+ public:
+  /// `prior_strength` controls interpolation with the a-priori model:
+  /// the trained estimate is (counts + s·apriori) / (total + s).
+  HmmTrainer(const Terminology& terminology, const DatabaseSchema& schema,
+             AprioriParams apriori = {}, double prior_strength = 5.0);
+
+  /// Adds one gold (supervised) term sequence.
+  void AddSequence(const std::vector<size_t>& term_sequence);
+
+  /// Adds a self-labelled sequence: decodes `emission` with the current
+  /// a-priori model and counts the best path (the unsupervised mimicking of
+  /// the paper's experiments). Returns false when decoding fails.
+  bool AddSelfLabelled(const Matrix& emission);
+
+  /// Number of sequences absorbed so far.
+  size_t sequence_count() const { return sequences_; }
+
+  /// Builds the trained HMM from the counts accumulated so far.
+  Hmm Train() const;
+
+ private:
+  const Terminology& terminology_;
+  Hmm apriori_;
+  double prior_strength_;
+  size_t sequences_ = 0;
+  Matrix transition_counts_;
+  std::vector<double> initial_counts_;
+};
+
+}  // namespace km
+
+#endif  // KM_HMM_MODEL_BUILDER_H_

@@ -1,0 +1,152 @@
+#include "matching/config_gen.h"
+
+#include <algorithm>
+
+#include "matching/munkres.h"
+#include "matching/murty.h"
+
+namespace km {
+
+ConfigurationGenerator::ConfigurationGenerator(const Terminology& terminology,
+                                               const DatabaseSchema& schema,
+                                               const WeightMatrixBuilder& weights,
+                                               ConfigGenOptions options)
+    : terminology_(terminology),
+      weights_(weights),
+      contextualizer_(terminology, schema, options.contextualize),
+      options_(options) {}
+
+StatusOr<std::vector<Configuration>> ConfigurationGenerator::Generate(
+    const std::vector<std::string>& keywords, size_t k) const {
+  if (keywords.empty()) {
+    return Status::InvalidArgument("keyword query is empty");
+  }
+  if (keywords.size() > terminology_.size()) {
+    return Status::InvalidArgument(
+        "more keywords than database terms; no injective configuration exists");
+  }
+  Matrix intrinsic = weights_.Build(keywords);
+  return GenerateFromMatrix(intrinsic, k);
+}
+
+StatusOr<std::vector<Configuration>> ConfigurationGenerator::GenerateFromMatrix(
+    const Matrix& intrinsic, size_t k) const {
+  if (k == 0) return std::vector<Configuration>{};
+
+  const size_t pool =
+      options_.mode == ConfigGenMode::kIntrinsicOnly
+          ? k
+          : std::max(k, options_.candidate_pool);
+
+  KM_ASSIGN_OR_RETURN(std::vector<Assignment> candidates,
+                      TopKAssignments(intrinsic, pool));
+
+  std::vector<Configuration> configs;
+  configs.reserve(candidates.size());
+  for (const Assignment& a : candidates) {
+    Configuration c;
+    c.term_for_keyword.reserve(a.col_for_row.size());
+    bool valid = true;
+    for (int col : a.col_for_row) {
+      if (col < 0) {
+        valid = false;
+        break;
+      }
+      c.term_for_keyword.push_back(static_cast<size_t>(col));
+    }
+    if (!valid) continue;
+    c.score = a.total_weight;
+    configs.push_back(std::move(c));
+  }
+
+  if (options_.mode == ConfigGenMode::kIntrinsicOnly) {
+    if (configs.size() > k) configs.resize(k);
+    return configs;
+  }
+
+  // Contextual re-ranking: score every candidate sequentially.
+  for (Configuration& c : configs) {
+    c.score = contextualizer_.ScoreSequence(intrinsic, c.term_for_keyword);
+  }
+
+  if (options_.mode == ConfigGenMode::kGreedyExtended) {
+    auto greedy = GreedyExtended(intrinsic);
+    if (greedy.ok()) {
+      // Put the greedy solution first if it is not already in the pool.
+      auto it = std::find(configs.begin(), configs.end(), *greedy);
+      if (it == configs.end()) {
+        configs.push_back(std::move(*greedy));
+      } else {
+        it->score = std::max(it->score, greedy->score);
+      }
+    }
+  }
+
+  std::stable_sort(configs.begin(), configs.end(),
+                   [](const Configuration& a, const Configuration& b) {
+                     return a.score > b.score;
+                   });
+  if (configs.size() > k) configs.resize(k);
+  return configs;
+}
+
+StatusOr<Configuration> ConfigurationGenerator::GreedyExtended(
+    const Matrix& intrinsic) const {
+  const size_t n = intrinsic.rows();
+  const size_t m = intrinsic.cols();
+  Matrix factors(n, m, 1.0);
+  std::vector<bool> done(n, false);
+  std::vector<size_t> chosen(n, 0);
+  std::vector<bool> used_col(m, false);
+  double total = 0;
+
+  for (size_t step = 0; step < n; ++step) {
+    // Effective weights: intrinsic × contextual factor, with committed rows
+    // frozen to their choice and committed columns excluded.
+    Matrix w(n, m, kForbidden);
+    for (size_t r = 0; r < n; ++r) {
+      if (done[r]) {
+        w.At(r, chosen[r]) = intrinsic.At(r, chosen[r]) * factors.At(r, chosen[r]);
+        continue;
+      }
+      for (size_t c = 0; c < m; ++c) {
+        if (!used_col[c]) w.At(r, c) = intrinsic.At(r, c) * factors.At(r, c);
+      }
+    }
+    KM_ASSIGN_OR_RETURN(Assignment sol, MaxWeightAssignment(w));
+    if (!sol.complete()) {
+      return Status::FailedPrecondition("no complete assignment under constraints");
+    }
+    // Commit the pending row with the highest current weight.
+    double best = -1;
+    size_t best_row = 0;
+    for (size_t r = 0; r < n; ++r) {
+      if (done[r]) continue;
+      double v = w.At(r, static_cast<size_t>(sol.col_for_row[r]));
+      if (v > best) {
+        best = v;
+        best_row = r;
+      }
+    }
+    size_t col = static_cast<size_t>(sol.col_for_row[best_row]);
+    done[best_row] = true;
+    chosen[best_row] = col;
+    used_col[col] = true;
+    total += best;
+    // Contextualize the remaining rows.
+    std::vector<size_t> pending;
+    for (size_t r = 0; r < n; ++r) {
+      if (!done[r]) pending.push_back(r);
+    }
+    if (!pending.empty()) {
+      contextualizer_.Apply(best_row, col, pending, &factors);
+    }
+  }
+
+  Configuration out;
+  out.term_for_keyword = std::move(chosen);
+  out.score = total;
+  return out;
+}
+
+}  // namespace km

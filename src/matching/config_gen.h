@@ -1,0 +1,80 @@
+// Configuration discovery: the forward analysis step.
+//
+// Combines the intrinsic weight matrix, the contextualization rules and
+// the assignment machinery into ranked configurations. Three operating
+// modes are provided:
+//
+//  * kIntrinsicOnly     — Murty top-k directly on the intrinsic weights
+//                         (no contextualization; an ablation baseline).
+//  * kContextualRerank  — enumerate a candidate pool of assignments on the
+//                         intrinsic weights, then re-score each candidate
+//                         sequentially with the contextualization rules and
+//                         keep the best k (the default; mirrors the paper's
+//                         extended bipartite matching in a generate+re-rank
+//                         formulation).
+//  * kGreedyExtended    — the iterative extended Hungarian: solve, commit
+//                         the single most confident pair, re-contextualize
+//                         the remaining rows, repeat. Produces the paper's
+//                         greedy best configuration first and fills the
+//                         rest of the top-k from the re-ranked pool.
+
+#ifndef KM_MATCHING_CONFIG_GEN_H_
+#define KM_MATCHING_CONFIG_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "metadata/configuration.h"
+#include "metadata/contextualize.h"
+#include "metadata/weights.h"
+
+namespace km {
+
+/// Operating mode of the generator.
+enum class ConfigGenMode {
+  kIntrinsicOnly = 0,
+  kContextualRerank = 1,
+  kGreedyExtended = 2,
+};
+
+/// Options of the configuration generator.
+struct ConfigGenOptions {
+  ConfigGenMode mode = ConfigGenMode::kContextualRerank;
+  /// Size of the intrinsic candidate pool enumerated before re-ranking
+  /// (must be >= the requested k; larger pools trade time for recall).
+  size_t candidate_pool = 50;
+  ContextualizeOptions contextualize;
+};
+
+/// Generates ranked configurations for keyword queries.
+class ConfigurationGenerator {
+ public:
+  ConfigurationGenerator(const Terminology& terminology, const DatabaseSchema& schema,
+                         const WeightMatrixBuilder& weights,
+                         ConfigGenOptions options = {});
+
+  /// Top-k configurations for `keywords`, best first. Scores are the
+  /// (contextualized) total assignment weights.
+  StatusOr<std::vector<Configuration>> Generate(
+      const std::vector<std::string>& keywords, size_t k) const;
+
+  /// Same, starting from a prebuilt intrinsic matrix (used by tests, the
+  /// HMM comparison and the benchmarks).
+  StatusOr<std::vector<Configuration>> GenerateFromMatrix(const Matrix& intrinsic,
+                                                          size_t k) const;
+
+  const ConfigGenOptions& options() const { return options_; }
+
+ private:
+  StatusOr<Configuration> GreedyExtended(const Matrix& intrinsic) const;
+
+  const Terminology& terminology_;
+  const WeightMatrixBuilder& weights_;
+  Contextualizer contextualizer_;
+  ConfigGenOptions options_;
+};
+
+}  // namespace km
+
+#endif  // KM_MATCHING_CONFIG_GEN_H_

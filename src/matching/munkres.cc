@@ -1,0 +1,90 @@
+#include "matching/munkres.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace km {
+
+namespace {
+// Large finite cost standing in for "forbidden" so potential arithmetic
+// never overflows.
+constexpr double kBigCost = 1e15;
+}  // namespace
+
+StatusOr<Assignment> MaxWeightAssignment(const Matrix& weights) {
+  const size_t n = weights.rows();
+  const size_t m = weights.cols();
+  if (n == 0 || m == 0) {
+    return Status::InvalidArgument("assignment matrix must be non-empty");
+  }
+  if (n > m) {
+    return Status::InvalidArgument("assignment requires rows <= cols (" +
+                                   std::to_string(n) + " > " + std::to_string(m) + ")");
+  }
+
+  // Min-cost transformation: cost = -weight, forbidden pairs get kBigCost.
+  auto cost = [&](size_t r, size_t c) -> double {
+    double w = weights.At(r, c);
+    if (w <= kForbidden) return kBigCost;
+    return -w;
+  };
+
+  // Potential-based Hungarian algorithm (rows 1..n, cols 1..m; index 0 is
+  // the virtual root).
+  std::vector<double> u(n + 1, 0.0), v(m + 1, 0.0);
+  std::vector<size_t> p(m + 1, 0);    // p[j]: row matched to column j
+  std::vector<size_t> way(m + 1, 0);  // way[j]: previous column on the path
+
+  for (size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    size_t j0 = 0;
+    std::vector<double> minv(m + 1, std::numeric_limits<double>::infinity());
+    std::vector<bool> used(m + 1, false);
+    do {
+      used[j0] = true;
+      size_t i0 = p[j0], j1 = 0;
+      double delta = std::numeric_limits<double>::infinity();
+      for (size_t j = 1; j <= m; ++j) {
+        if (used[j]) continue;
+        double cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= m; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    // Augment along the path.
+    do {
+      size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  Assignment out;
+  out.col_for_row.assign(n, -1);
+  for (size_t j = 1; j <= m; ++j) {
+    if (p[j] == 0) continue;
+    size_t row = p[j] - 1;
+    size_t col = j - 1;
+    if (weights.At(row, col) <= kForbidden) continue;  // forced onto forbidden
+    out.col_for_row[row] = static_cast<int>(col);
+    out.total_weight += weights.At(row, col);
+  }
+  return out;
+}
+
+}  // namespace km

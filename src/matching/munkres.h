@@ -1,0 +1,46 @@
+// Maximal-weight bipartite assignment (Hungarian / Munkres algorithm).
+//
+// The forward step of the paper selects the best configuration as a
+// maximal-weight assignment of keywords (rows) to database terms (columns).
+// This implementation is the O(n²·m) potential-based Hungarian algorithm on
+// rectangular matrices with rows ≤ cols.
+
+#ifndef KM_MATCHING_MUNKRES_H_
+#define KM_MATCHING_MUNKRES_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace km {
+
+/// Result of an assignment problem.
+struct Assignment {
+  /// column chosen for each row; -1 for rows that could not be assigned
+  /// (only when every available column has weight kForbidden).
+  std::vector<int> col_for_row;
+  /// Sum of the chosen weights.
+  double total_weight = 0.0;
+
+  bool complete() const {
+    for (int c : col_for_row) {
+      if (c < 0) return false;
+    }
+    return true;
+  }
+};
+
+/// Sentinel weight marking a (row, col) pair as forbidden. Any pair with a
+/// weight at or below this value will never be selected; if a row has only
+/// forbidden columns the returned assignment is incomplete.
+inline constexpr double kForbidden = -1e18;
+
+/// Solves max-weight assignment for `weights` (rows ≤ cols required).
+///
+/// Returns InvalidArgument when rows > cols or the matrix is empty.
+StatusOr<Assignment> MaxWeightAssignment(const Matrix& weights);
+
+}  // namespace km
+
+#endif  // KM_MATCHING_MUNKRES_H_

@@ -1,0 +1,92 @@
+#include "matching/murty.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <utility>
+
+namespace km {
+
+namespace {
+
+// A search-tree node: the base matrix with some pairs forbidden and some
+// rows forced to specific columns, together with its optimal solution.
+struct Node {
+  // (row, col) pairs excluded in this subproblem.
+  std::vector<std::pair<size_t, size_t>> forbidden;
+  // col forced for row r (or -1). Forcing is encoded by forbidding every
+  // other column of the row.
+  std::vector<int> forced;
+  Assignment solution;
+
+  bool operator<(const Node& other) const {
+    // max-heap by solution weight
+    return solution.total_weight < other.solution.total_weight;
+  }
+};
+
+Matrix ApplyConstraints(const Matrix& base, const Node& node) {
+  Matrix w = base;
+  for (const auto& [r, c] : node.forbidden) w.At(r, c) = kForbidden;
+  for (size_t r = 0; r < w.rows(); ++r) {
+    if (node.forced[r] < 0) continue;
+    for (size_t c = 0; c < w.cols(); ++c) {
+      if (c != static_cast<size_t>(node.forced[r])) w.At(r, c) = kForbidden;
+    }
+  }
+  return w;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Assignment>> TopKAssignments(const Matrix& weights, size_t k) {
+  std::vector<Assignment> results;
+  if (k == 0) return results;
+
+  Node root;
+  root.forced.assign(weights.rows(), -1);
+  {
+    auto sol = MaxWeightAssignment(weights);
+    if (!sol.ok()) return sol.status();
+    if (!sol->complete()) return results;  // no complete assignment at all
+    root.solution = std::move(*sol);
+  }
+
+  std::priority_queue<Node> queue;
+  queue.push(std::move(root));
+  // Deduplicate assignments (different constraint sets can yield the same
+  // solution when weights tie).
+  std::set<std::vector<int>> seen;
+
+  while (!queue.empty() && results.size() < k) {
+    Node best = queue.top();
+    queue.pop();
+    if (!seen.insert(best.solution.col_for_row).second) continue;
+    results.push_back(best.solution);
+    if (results.size() >= k) break;
+
+    // Partition: child i forbids edge i of the solution and forces edges
+    // 0..i-1.
+    Node child_base = best;
+    for (size_t r = 0; r < best.solution.col_for_row.size(); ++r) {
+      int col = best.solution.col_for_row[r];
+      if (col < 0) continue;
+      if (child_base.forced[r] >= 0) continue;  // already forced; cannot vary
+      Node child = child_base;
+      child.forbidden.emplace_back(r, static_cast<size_t>(col));
+      Matrix constrained = ApplyConstraints(weights, child);
+      auto sol = MaxWeightAssignment(constrained);
+      if (sol.ok() && sol->complete()) {
+        // Recompute total on the *original* weights (constraints only
+        // selected the support, weights are unchanged for allowed pairs).
+        child.solution = std::move(*sol);
+        queue.push(std::move(child));
+      }
+      // Force this row's edge for subsequent children.
+      child_base.forced[r] = col;
+    }
+  }
+  return results;
+}
+
+}  // namespace km

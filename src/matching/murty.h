@@ -1,0 +1,26 @@
+// Top-k enumeration of bipartite assignments (Murty's algorithm).
+//
+// The paper needs not just the best configuration but a ranked list of the
+// k best ones. Murty's partitioning scheme enumerates assignments in
+// non-increasing weight order: each solved node of the search tree is split
+// into subproblems that respectively forbid one edge of the solution and
+// force all preceding edges.
+
+#ifndef KM_MATCHING_MURTY_H_
+#define KM_MATCHING_MURTY_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+#include "matching/munkres.h"
+
+namespace km {
+
+/// Returns up to `k` complete assignments in non-increasing total-weight
+/// order. Fewer are returned when fewer complete assignments exist.
+StatusOr<std::vector<Assignment>> TopKAssignments(const Matrix& weights, size_t k);
+
+}  // namespace km
+
+#endif  // KM_MATCHING_MURTY_H_

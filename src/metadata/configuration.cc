@@ -1,0 +1,32 @@
+#include "metadata/configuration.h"
+
+#include <unordered_set>
+
+namespace km {
+
+std::string Configuration::ToString(const std::vector<std::string>& keywords,
+                                    const Terminology& terminology) const {
+  std::string out;
+  for (size_t i = 0; i < term_for_keyword.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (i < keywords.size()) {
+      out += keywords[i];
+    } else {
+      out += "k";
+      out += std::to_string(i + 1);
+    }
+    out += "→";
+    out += terminology.term(term_for_keyword[i]).ToString();
+  }
+  return out;
+}
+
+bool Configuration::IsInjective() const {
+  std::unordered_set<size_t> seen;
+  for (size_t t : term_for_keyword) {
+    if (!seen.insert(t).second) return false;
+  }
+  return true;
+}
+
+}  // namespace km

@@ -1,0 +1,34 @@
+// Configurations: injective mappings of query keywords into database terms.
+
+#ifndef KM_METADATA_CONFIGURATION_H_
+#define KM_METADATA_CONFIGURATION_H_
+
+#include <string>
+#include <vector>
+
+#include "metadata/term.h"
+
+namespace km {
+
+/// A configuration assigns the i-th query keyword to terminology index
+/// `term_for_keyword[i]`. The mapping is injective by construction.
+struct Configuration {
+  std::vector<size_t> term_for_keyword;
+  /// Confidence score; comparable within one ranked list (higher = better).
+  double score = 0.0;
+
+  bool operator==(const Configuration& o) const {
+    return term_for_keyword == o.term_for_keyword;
+  }
+
+  /// "k1→PEOPLE.Name, k2→Dom(UNIVERSITY.Country)" rendering.
+  std::string ToString(const std::vector<std::string>& keywords,
+                       const Terminology& terminology) const;
+
+  /// True iff no two keywords share a term (sanity check used in tests).
+  bool IsInjective() const;
+};
+
+}  // namespace km
+
+#endif  // KM_METADATA_CONFIGURATION_H_

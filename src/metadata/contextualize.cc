@@ -1,0 +1,129 @@
+#include "metadata/contextualize.h"
+
+#include <algorithm>
+
+namespace km {
+
+Contextualizer::Contextualizer(const Terminology& terminology,
+                               const DatabaseSchema& schema,
+                               ContextualizeOptions options)
+    : terminology_(terminology), schema_(schema), options_(options) {
+  for (const RelationSchema& rel : schema_.relations()) {
+    relation_ordinal_[rel.name()] = relation_names_.size();
+    relation_names_.push_back(rel.name());
+  }
+  terms_of_relation_.resize(relation_names_.size());
+  for (size_t t = 0; t < terminology_.size(); ++t) {
+    auto it = relation_ordinal_.find(terminology_.term(t).relation);
+    if (it != relation_ordinal_.end()) terms_of_relation_[it->second].push_back(t);
+  }
+  joinable_.assign(relation_names_.size(),
+                   std::vector<bool>(relation_names_.size(), false));
+  for (const ForeignKey& fk : schema_.foreign_keys()) {
+    auto a = relation_ordinal_.find(fk.from_relation);
+    auto b = relation_ordinal_.find(fk.to_relation);
+    if (a != relation_ordinal_.end() && b != relation_ordinal_.end()) {
+      joinable_[a->second][b->second] = true;
+      joinable_[b->second][a->second] = true;
+    }
+  }
+  // Two-hop reachability (excluding self and direct neighbours).
+  const size_t n = relation_names_.size();
+  joinable2_.assign(n, std::vector<bool>(n, false));
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t mid = 0; mid < n; ++mid) {
+      if (!joinable_[a][mid]) continue;
+      for (size_t b = 0; b < n; ++b) {
+        if (b != a && !joinable_[a][b] && joinable_[mid][b]) joinable2_[a][b] = true;
+      }
+    }
+  }
+}
+
+void Contextualizer::Boost(Matrix* factors, size_t row, size_t col,
+                           double factor) const {
+  double& f = factors->At(row, col);
+  f = std::min(f * factor, options_.max_total_boost);
+}
+
+void Contextualizer::Apply(size_t assigned_keyword, size_t assigned_term,
+                           const std::vector<size_t>& pending_rows,
+                           Matrix* weights) const {
+  if (!options_.enabled) return;
+  const DatabaseTerm& term = terminology_.term(assigned_term);
+  auto rel_it = relation_ordinal_.find(term.relation);
+  if (rel_it == relation_ordinal_.end()) return;
+  size_t rel = rel_it->second;
+
+  for (size_t row : pending_rows) {
+    bool adjacent = (row + 1 == assigned_keyword) || (assigned_keyword + 1 == row);
+    if (!adjacent) continue;  // proximity gate: see header comment
+
+    // R1: attribute assigned → its domain for adjacent keywords.
+    if (term.kind == TermKind::kAttribute) {
+      auto dom = terminology_.DomainTerm(term.relation, term.attribute);
+      if (dom) Boost(weights, row, *dom, options_.adjacent_domain_boost);
+    }
+    // R5: domain assigned → its attribute for adjacent keywords.
+    if (term.kind == TermKind::kDomain) {
+      auto attr = terminology_.AttributeTerm(term.relation, term.attribute);
+      if (attr) Boost(weights, row, *attr, options_.adjacent_domain_boost);
+    }
+
+    // Relation-level coherence rates: asymmetric for schema-term
+    // assignments (R2/R3/R4), symmetric for value assignments (see the
+    // header on value_coherence_boost).
+    const bool value_assigned = term.kind == TermKind::kDomain;
+    const double same_rel_rate =
+        value_assigned ? options_.value_coherence_boost : options_.same_relation_boost;
+    const double fk_rate =
+        value_assigned ? options_.value_coherence_boost : options_.fk_adjacent_boost;
+
+    for (size_t t : terms_of_relation_[rel]) {
+      if (t == assigned_term) continue;
+      const DatabaseTerm& other = terminology_.term(t);
+      // R2: relation assigned → members of the relation.
+      if (term.kind == TermKind::kRelation && other.kind != TermKind::kRelation) {
+        Boost(weights, row, t, options_.relation_member_boost);
+      } else if (value_assigned && other.is_schema_term()) {
+        // A value followed/preceded by a *schema* keyword usually names an
+        // aspect of the same concept ("Veleth Population"): full R3 rate.
+        Boost(weights, row, t, options_.same_relation_boost);
+      } else {
+        // R3: same-relation affinity.
+        Boost(weights, row, t, same_rel_rate);
+      }
+    }
+
+    // R4: FK-adjacent relations, plus decayed two-hop coherence for value
+    // assignments (concepts linked through a join table).
+    for (size_t other_rel = 0; other_rel < relation_names_.size(); ++other_rel) {
+      if (joinable_[rel][other_rel]) {
+        for (size_t t : terms_of_relation_[other_rel]) {
+          Boost(weights, row, t, fk_rate);
+        }
+      } else if (value_assigned && joinable2_[rel][other_rel]) {
+        for (size_t t : terms_of_relation_[other_rel]) {
+          Boost(weights, row, t, options_.value_coherence_2hop);
+        }
+      }
+    }
+  }
+}
+
+double Contextualizer::ScoreSequence(const Matrix& intrinsic,
+                                     const std::vector<size_t>& assignment) const {
+  Matrix factors(intrinsic.rows(), intrinsic.cols(), 1.0);
+  double total = 0;
+  std::vector<size_t> pending;
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    total += intrinsic.At(i, assignment[i]) * factors.At(i, assignment[i]);
+    // Contextualize the not-yet-scored rows.
+    pending.clear();
+    for (size_t j = i + 1; j < assignment.size(); ++j) pending.push_back(j);
+    if (!pending.empty()) Apply(i, assignment[i], pending, &factors);
+  }
+  return total;
+}
+
+}  // namespace km

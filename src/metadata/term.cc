@@ -1,0 +1,92 @@
+#include "metadata/term.h"
+
+namespace km {
+
+const char* TermKindName(TermKind kind) {
+  switch (kind) {
+    case TermKind::kRelation: return "Relation";
+    case TermKind::kAttribute: return "Attribute";
+    case TermKind::kDomain: return "Domain";
+  }
+  return "Unknown";
+}
+
+std::string DatabaseTerm::ToString() const {
+  switch (kind) {
+    case TermKind::kRelation:
+      return relation;
+    case TermKind::kAttribute:
+      return relation + "." + attribute;
+    case TermKind::kDomain:
+      return "Dom(" + relation + "." + attribute + ")";
+  }
+  return "?";
+}
+
+Terminology::Terminology(const DatabaseSchema& schema) {
+  for (const RelationSchema& rel : schema.relations()) {
+    DatabaseTerm rt;
+    rt.kind = TermKind::kRelation;
+    rt.relation = rel.name();
+    index_[Key(rt.kind, rt.relation, "")] = terms_.size();
+    terms_.push_back(rt);
+    for (const AttributeDef& attr : rel.attributes()) {
+      DatabaseTerm at;
+      at.kind = TermKind::kAttribute;
+      at.relation = rel.name();
+      at.attribute = attr.name;
+      at.type = attr.type;
+      at.tag = attr.tag;
+      at.is_foreign_key = attr.is_foreign_key;
+      index_[Key(at.kind, at.relation, at.attribute)] = terms_.size();
+      terms_.push_back(at);
+
+      DatabaseTerm dt = at;
+      dt.kind = TermKind::kDomain;
+      index_[Key(dt.kind, dt.relation, dt.attribute)] = terms_.size();
+      terms_.push_back(dt);
+    }
+  }
+}
+
+std::string Terminology::Key(TermKind kind, const std::string& rel,
+                             const std::string& attr) const {
+  return std::to_string(static_cast<int>(kind)) + "\x1f" + rel + "\x1f" + attr;
+}
+
+std::optional<size_t> Terminology::RelationTerm(const std::string& relation) const {
+  auto it = index_.find(Key(TermKind::kRelation, relation, ""));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<size_t> Terminology::AttributeTerm(const std::string& relation,
+                                                 const std::string& attribute) const {
+  auto it = index_.find(Key(TermKind::kAttribute, relation, attribute));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<size_t> Terminology::DomainTerm(const std::string& relation,
+                                              const std::string& attribute) const {
+  auto it = index_.find(Key(TermKind::kDomain, relation, attribute));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<size_t> Terminology::TermsOfRelation(const std::string& relation) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < terms_.size(); ++i) {
+    if (terms_[i].relation == relation) out.push_back(i);
+  }
+  return out;
+}
+
+std::optional<size_t> Terminology::PairedTerm(size_t term_index) const {
+  const DatabaseTerm& t = terms_[term_index];
+  if (t.kind == TermKind::kAttribute) return DomainTerm(t.relation, t.attribute);
+  if (t.kind == TermKind::kDomain) return AttributeTerm(t.relation, t.attribute);
+  return std::nullopt;
+}
+
+}  // namespace km

@@ -1,0 +1,92 @@
+// Database terms and the terminology of a database.
+//
+// The terminology T(D) contains, for every relation R(A1..An): the relation
+// name R, every attribute name R.Ai, and every attribute domain Dom(R.Ai).
+// A configuration maps query keywords into these terms.
+
+#ifndef KM_METADATA_TERM_H_
+#define KM_METADATA_TERM_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/schema.h"
+
+namespace km {
+
+/// The three kinds of database terms.
+enum class TermKind {
+  kRelation = 0,  ///< A relation name.
+  kAttribute = 1, ///< An attribute name (schema term).
+  kDomain = 2,    ///< The domain of an attribute (value term).
+};
+
+/// Name of a term kind ("Relation", "Attribute", "Domain").
+const char* TermKindName(TermKind kind);
+
+/// One element of the database terminology.
+struct DatabaseTerm {
+  TermKind kind = TermKind::kRelation;
+  std::string relation;
+  std::string attribute;          ///< Empty for relation terms.
+  DataType type = DataType::kText;///< Attribute storage type (attr/domain terms).
+  DomainTag tag = DomainTag::kNone;///< Declared domain tag (attr/domain terms).
+  /// True when the attribute participates in a foreign key (its values are
+  /// copies of another relation's key — the value's semantic "home" is the
+  /// referenced attribute, so matches here are discounted).
+  bool is_foreign_key = false;
+
+  bool operator==(const DatabaseTerm& o) const {
+    return kind == o.kind && relation == o.relation && attribute == o.attribute;
+  }
+
+  /// "PEOPLE", "PEOPLE.Name" or "Dom(PEOPLE.Name)".
+  std::string ToString() const;
+
+  bool is_schema_term() const { return kind != TermKind::kDomain; }
+  bool is_value_term() const { return kind == TermKind::kDomain; }
+};
+
+/// The indexed terminology of a database schema.
+class Terminology {
+ public:
+  /// Extracts all terms from `schema` in deterministic order: for each
+  /// relation (catalog order): the relation term, then attribute and domain
+  /// terms per attribute.
+  explicit Terminology(const DatabaseSchema& schema);
+
+  size_t size() const { return terms_.size(); }
+  const DatabaseTerm& term(size_t i) const { return terms_[i]; }
+  const std::vector<DatabaseTerm>& terms() const { return terms_; }
+
+  /// Index of the relation term for `relation`, if present.
+  std::optional<size_t> RelationTerm(const std::string& relation) const;
+
+  /// Index of the attribute term `relation.attribute`, if present.
+  std::optional<size_t> AttributeTerm(const std::string& relation,
+                                      const std::string& attribute) const;
+
+  /// Index of the domain term Dom(relation.attribute), if present.
+  std::optional<size_t> DomainTerm(const std::string& relation,
+                                   const std::string& attribute) const;
+
+  /// Indices of all terms belonging to `relation` (the relation term, its
+  /// attributes and their domains).
+  std::vector<size_t> TermsOfRelation(const std::string& relation) const;
+
+  /// For a domain term index, the index of its attribute term (and vice
+  /// versa). Returns nullopt for relation terms.
+  std::optional<size_t> PairedTerm(size_t term_index) const;
+
+ private:
+  std::string Key(TermKind kind, const std::string& rel, const std::string& attr) const;
+
+  std::vector<DatabaseTerm> terms_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace km
+
+#endif  // KM_METADATA_TERM_H_

@@ -1,0 +1,196 @@
+#include "metadata/weights.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "text/recognizers.h"
+#include "text/stemmer.h"
+#include "text/similarity.h"
+
+namespace km {
+
+WeightMatrixBuilder::WeightMatrixBuilder(const Terminology& terminology,
+                                         const Database* db, WeightOptions options)
+    : terminology_(terminology), db_(db), options_(options) {
+  thesaurus_ = options_.thesaurus != nullptr ? options_.thesaurus : &BuiltinThesaurus();
+  // Precompute per-domain-term value indexes so ValueWeight is O(1) per
+  // lookup instead of scanning the instance for every (keyword, term) pair.
+  if (db_ != nullptr && options_.use_instance_vocabulary) {
+    value_index_.resize(terminology_.size());
+    for (size_t i = 0; i < terminology_.size(); ++i) {
+      const DatabaseTerm& term = terminology_.term(i);
+      if (term.kind != TermKind::kDomain) continue;
+      const Table* table = db_->FindTable(term.relation);
+      if (table == nullptr) continue;
+      auto idx = table->schema().AttributeIndex(term.attribute);
+      if (!idx) continue;
+      const AttributeDef& attr = table->schema().attribute(*idx);
+      ValueIndex& vi = value_index_[i];
+      for (const Row& row : table->rows()) {
+        const Value& v = row[*idx];
+        if (v.is_null()) continue;
+        if (attr.type == DataType::kText || attr.type == DataType::kDate) {
+          if (v.is_text()) ++vi.text_values[ToLower(v.AsText())];
+        } else {
+          ++vi.other_values[v];
+        }
+      }
+    }
+  }
+}
+
+Matrix WeightMatrixBuilder::Build(const std::vector<std::string>& keywords) const {
+  Matrix w(keywords.size(), terminology_.size());
+  for (size_t r = 0; r < keywords.size(); ++r) {
+    for (size_t c = 0; c < terminology_.size(); ++c) {
+      w.At(r, c) = Weight(keywords[r], terminology_.term(c));
+    }
+  }
+  return w;
+}
+
+double WeightMatrixBuilder::Weight(const std::string& keyword,
+                                   const DatabaseTerm& term) const {
+  return term.is_schema_term() ? SchemaWeight(keyword, term)
+                               : ValueWeight(keyword, term);
+}
+
+double WeightMatrixBuilder::SchemaWeight(const std::string& keyword,
+                                         const DatabaseTerm& term) const {
+  const std::string& name =
+      term.kind == TermKind::kRelation ? term.relation : term.attribute;
+
+  double score = 0.0;
+  if (options_.use_string_similarity) {
+    if (keyword.size() < 3) {
+      // Edit-distance measures are pure noise on 1–2 character keywords
+      // ("IT" vs "Id"); require an exact match there.
+      score = ToLower(keyword) == ToLower(name) ? 1.0 : 0.0;
+    } else {
+      score = NameSimilarity(keyword, name);
+    }
+    // For attribute terms, a keyword may also name the qualified concept
+    // ("department name"): compare against "<relation> <attribute>" too.
+    if (term.kind == TermKind::kAttribute && keyword.size() >= 3) {
+      score = std::max(score, NameSimilarity(keyword, term.relation + " " + name) * 0.9);
+    }
+  } else if (ToLower(keyword) == ToLower(name)) {
+    // Even with string similarity disabled, exact matches count (otherwise
+    // the ablation disables the forward step entirely).
+    score = 1.0;
+  }
+
+  if (options_.use_synonyms) {
+    // Compare identifier words of both sides through the thesaurus and keep
+    // the best aligned average, mirroring NameSimilarity's shape.
+    std::vector<std::string> kw = SplitIdentifierWords(keyword);
+    std::vector<std::string> tw = SplitIdentifierWords(name);
+    if (!kw.empty() && !tw.empty()) {
+      double total = 0;
+      for (const auto& a : kw) {
+        double best = 0;
+        for (const auto& b : tw) {
+          best = std::max(best, thesaurus_->Similarity(a, b));
+          // Inflected keywords still hit the thesaurus via their stem
+          // ("publications" → "publication" ~ "article").
+          best = std::max(best,
+                          thesaurus_->Similarity(PorterStem(a), PorterStem(b)));
+        }
+        total += best;
+      }
+      double sem = total / static_cast<double>(std::max(kw.size(), tw.size()));
+      score = std::max(score, sem);
+    }
+  }
+
+  // Noise floor with rescaling: edit-distance similarities routinely score
+  // unrelated words around 0.4-0.5, so scores are re-mapped from
+  // [floor, 1] onto [0, 1]; everything below the floor is zeroed.
+  if (score < options_.sw_floor) return 0.0;
+  score = std::min(score, 1.0);
+  score = (score - options_.sw_floor) / (1.0 - options_.sw_floor);
+  if (term.is_foreign_key) score *= options_.fk_reference_penalty;
+  return score;
+}
+
+double WeightMatrixBuilder::ValueWeight(const std::string& keyword,
+                                        const DatabaseTerm& term) const {
+  double score = 0.0;
+
+  if (options_.use_domain_patterns) {
+    score = DomainCompatibility(keyword, term.type, term.tag);
+  } else {
+    // Pattern matching disabled: only storage-type compatibility at a flat
+    // weight, so the ablation keeps the pipeline runnable.
+    LiteralShape lit = DetectLiteralShape(keyword);
+    switch (term.type) {
+      case DataType::kInt:
+        score = lit.is_int ? 0.5 : 0.0;
+        break;
+      case DataType::kReal:
+        score = lit.is_real ? 0.5 : 0.0;
+        break;
+      case DataType::kBool:
+        score = lit.is_bool ? 0.5 : 0.0;
+        break;
+      case DataType::kDate:
+        score = lit.is_date ? 0.5 : 0.0;
+        break;
+      case DataType::kText:
+        score = 0.35;
+        break;
+    }
+  }
+
+  if (!value_index_.empty()) {
+    auto term_idx = terminology_.DomainTerm(term.relation, term.attribute);
+    if (term_idx && *term_idx < value_index_.size()) {
+      const ValueIndex& vi = value_index_[*term_idx];
+      bool hit = false;
+      // Full-text-style hit weight with a small frequency bonus: ties among
+      // several exact hits break toward the attribute where the value is
+      // common (matching DBMS full-text relevance behaviour).
+      auto hit_weight = [this](size_t count) {
+        double bonus = 0.04 * std::min(1.0, std::log2(1.0 + static_cast<double>(count)) / 12.0);
+        return std::min(0.99, options_.instance_hit_weight + bonus);
+      };
+      if (term.type == DataType::kText || term.type == DataType::kDate) {
+        std::string lk = ToLower(keyword);
+        auto it = vi.text_values.find(lk);
+        if (it != vi.text_values.end()) {
+          score = std::max(score, hit_weight(it->second));
+          hit = true;
+        } else if (lk.size() >= 4) {
+          // Substring hit (full-text CONTAINS simulation). Bounded scan of
+          // the distinct-value index, acceptable because the index holds
+          // distinct values only.
+          for (const auto& [v, count] : vi.text_values) {
+            if (Contains(v, lk)) {
+              score = std::max(score, options_.instance_partial_weight);
+              hit = true;
+              break;
+            }
+          }
+        }
+      } else {
+        auto parsed = Value::Parse(keyword, term.type);
+        if (parsed.ok() && !parsed->is_null()) {
+          auto it = vi.other_values.find(*parsed);
+          if (it != vi.other_values.end()) {
+            score = std::max(score, hit_weight(it->second));
+            hit = true;
+          }
+        }
+      }
+      // Absence under full-text access is evidence against the mapping.
+      if (!hit) score *= options_.instance_miss_penalty;
+    }
+  }
+
+  score = std::min(score, 1.0);
+  if (term.is_foreign_key) score *= options_.fk_reference_penalty;
+  return score;
+}
+
+}  // namespace km

@@ -1,0 +1,99 @@
+// Intrinsic weight matrix construction (the SW/VW matrices of the paper).
+//
+// For a keyword query (k1..km) and a terminology T(D), the builder produces
+// an m × |T(D)| matrix of intrinsic weights in [0,1]:
+//
+//   * columns of *schema terms* (relations, attributes) form the SW
+//     sub-matrix — populated with string similarity between the keyword and
+//     the term name plus semantic (thesaurus) similarity;
+//   * columns of *value terms* (attribute domains) form the VW sub-matrix —
+//     populated with data-type / domain-pattern compatibility and, when
+//     instance access is available, membership of the keyword in the
+//     attribute's actual value set (the full-text-index scenario).
+
+#ifndef KM_METADATA_WEIGHTS_H_
+#define KM_METADATA_WEIGHTS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/matrix.h"
+#include "metadata/term.h"
+#include "relational/database.h"
+#include "text/thesaurus.h"
+
+namespace km {
+
+/// Feature toggles of the weight builder (the E2 ablation switches).
+struct WeightOptions {
+  /// String similarity (Jaro-Winkler / trigram / abbreviation) in SW.
+  bool use_string_similarity = true;
+  /// Thesaurus lookups in SW.
+  bool use_synonyms = true;
+  /// Domain-tag / regex pattern compatibility in VW.
+  bool use_domain_patterns = true;
+  /// Instance vocabulary lookups in VW (requires a Database with content).
+  /// Turning this off is the paper's core "metadata-only" scenario.
+  bool use_instance_vocabulary = true;
+  /// Weight given to an exact instance-value hit (full-text simulation).
+  double instance_hit_weight = 0.95;
+  /// Weight of a partial (substring/prefix) instance hit.
+  double instance_partial_weight = 0.75;
+  /// Multiplier applied to the pattern-based domain score when instance
+  /// access is available and the keyword does NOT occur in the attribute:
+  /// with a full-text index, absence is evidence of a mismatch.
+  double instance_miss_penalty = 0.25;
+  /// Minimum SW score kept; weaker similarities are zeroed (noise floor).
+  double sw_floor = 0.30;
+  /// Multiplier applied to matches on foreign-key attributes and their
+  /// domains: FK columns hold copies of another relation's key, so the
+  /// referenced attribute is the preferred image of the keyword.
+  double fk_reference_penalty = 0.85;
+  /// Thesaurus to use; nullptr selects the built-in one.
+  const Thesaurus* thesaurus = nullptr;
+};
+
+/// Builds intrinsic keyword × term weight matrices.
+class WeightMatrixBuilder {
+ public:
+  /// `db` may be nullptr for the no-instance-access scenario; instance
+  /// vocabulary lookups are then skipped regardless of the options.
+  WeightMatrixBuilder(const Terminology& terminology, const Database* db,
+                      WeightOptions options = {});
+
+  /// The m × |T| intrinsic weight matrix for `keywords`.
+  Matrix Build(const std::vector<std::string>& keywords) const;
+
+  /// Weight of a single keyword against a single term (exposed for tests
+  /// and for HMM emission probabilities).
+  double Weight(const std::string& keyword, const DatabaseTerm& term) const;
+
+  /// SW entry: keyword vs schema term name.
+  double SchemaWeight(const std::string& keyword, const DatabaseTerm& term) const;
+
+  /// VW entry: keyword vs attribute domain.
+  double ValueWeight(const std::string& keyword, const DatabaseTerm& term) const;
+
+  const Terminology& terminology() const { return terminology_; }
+  const WeightOptions& options() const { return options_; }
+
+ private:
+  // Per-domain-term index of instance values with occurrence counts, built
+  // once at construction: lower-cased text values for TEXT/DATE attributes,
+  // raw values otherwise. Counts feed the full-text-style frequency bonus.
+  struct ValueIndex {
+    std::unordered_map<std::string, size_t> text_values;
+    std::unordered_map<Value, size_t, ValueHash> other_values;
+  };
+
+  const Terminology& terminology_;
+  const Database* db_;
+  WeightOptions options_;
+  const Thesaurus* thesaurus_;
+  std::vector<ValueIndex> value_index_;  // parallel to terminology terms
+};
+
+}  // namespace km
+
+#endif  // KM_METADATA_WEIGHTS_H_

@@ -1,0 +1,144 @@
+#include "relational/csv.h"
+
+#include <istream>
+#include <ostream>
+
+namespace km {
+
+std::string CsvEscape(const std::string& field) {
+  bool needs_quotes = field.empty();
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+StatusOr<std::vector<std::string>> ParseCsvLine(const std::string& line,
+                                                std::vector<bool>* was_quoted) {
+  std::vector<std::string> fields;
+  if (was_quoted != nullptr) was_quoted->clear();
+  std::string current;
+  bool in_quotes = false;
+  bool quoted_field = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      if (!current.empty()) {
+        return Status::InvalidArgument("quote in the middle of an unquoted field");
+      }
+      in_quotes = true;
+      quoted_field = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      if (was_quoted != nullptr) was_quoted->push_back(quoted_field);
+      current.clear();
+      quoted_field = false;
+    } else {
+      current += c;
+    }
+  }
+  if (in_quotes) return Status::InvalidArgument("unterminated quoted field");
+  fields.push_back(std::move(current));
+  if (was_quoted != nullptr) was_quoted->push_back(quoted_field);
+  return fields;
+}
+
+Status WriteTableCsv(const Table& table, std::ostream* out) {
+  const RelationSchema& rs = table.schema();
+  for (size_t a = 0; a < rs.arity(); ++a) {
+    if (a > 0) *out << ',';
+    *out << CsvEscape(rs.attribute(a).name);
+  }
+  *out << '\n';
+  for (const Row& row : table.rows()) {
+    for (size_t a = 0; a < row.size(); ++a) {
+      if (a > 0) *out << ',';
+      if (row[a].is_null()) continue;  // NULL = empty unquoted
+      std::string text = row[a].ToString();
+      // Empty text must be quoted to stay distinguishable from NULL.
+      *out << CsvEscape(text);
+    }
+    *out << '\n';
+  }
+  if (!out->good()) return Status::Internal("stream write failure");
+  return Status::OK();
+}
+
+Status LoadTableCsv(Database* db, const std::string& relation, std::istream* in) {
+  Table* table = db->FindMutableTable(relation);
+  if (table == nullptr) {
+    return Status::NotFound("relation '" + relation + "' does not exist");
+  }
+  const RelationSchema& rs = table->schema();
+
+  std::string line;
+  if (!std::getline(*in, line)) {
+    return Status::InvalidArgument("missing CSV header");
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  KM_ASSIGN_OR_RETURN(std::vector<std::string> header, ParseCsvLine(line, nullptr));
+  std::vector<size_t> column_to_attr(header.size());
+  for (size_t c = 0; c < header.size(); ++c) {
+    auto idx = rs.AttributeIndex(header[c]);
+    if (!idx) {
+      return Status::NotFound("CSV column '" + header[c] + "' not in relation '" +
+                              relation + "'");
+    }
+    column_to_attr[c] = *idx;
+  }
+
+  size_t line_no = 1;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::vector<bool> quoted;
+    KM_ASSIGN_OR_RETURN(std::vector<std::string> fields, ParseCsvLine(line, &quoted));
+    if (fields.size() != header.size()) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) + ": expected " +
+                                     std::to_string(header.size()) + " fields, got " +
+                                     std::to_string(fields.size()));
+    }
+    Row row(rs.arity(), Value::Null());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      size_t attr = column_to_attr[c];
+      if (fields[c].empty() && !quoted[c]) continue;  // NULL
+      DataType type = rs.attribute(attr).type;
+      auto value = Value::Parse(fields[c], type);
+      if (!value.ok()) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) + ", column '" +
+                                       header[c] + "': " + value.status().message());
+      }
+      // Parse("") yields NULL for an explicitly quoted empty string; force
+      // empty text in that case.
+      row[attr] = (fields[c].empty() && type == DataType::kText)
+                      ? Value::Text("")
+                      : std::move(*value);
+    }
+    KM_RETURN_IF_ERROR(table->Insert(std::move(row)));
+  }
+  return Status::OK();
+}
+
+}  // namespace km

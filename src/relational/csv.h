@@ -1,0 +1,39 @@
+// CSV import/export for tables, databases and query results.
+//
+// RFC-4180-style quoting: fields containing commas, quotes or newlines are
+// double-quoted; embedded quotes are doubled. NULL is encoded as an empty
+// unquoted field (an explicitly quoted empty string "" is the empty text
+// value).
+
+#ifndef KM_RELATIONAL_CSV_H_
+#define KM_RELATIONAL_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/database.h"
+#include "relational/table.h"
+
+namespace km {
+
+/// Escapes one CSV field.
+std::string CsvEscape(const std::string& field);
+
+/// Splits one CSV line into fields; `was_quoted[i]` tells whether field i
+/// was written in quotes (distinguishes NULL from empty text).
+StatusOr<std::vector<std::string>> ParseCsvLine(const std::string& line,
+                                                std::vector<bool>* was_quoted);
+
+/// Writes a table with a header row of attribute names.
+Status WriteTableCsv(const Table& table, std::ostream* out);
+
+/// Loads rows into an existing relation of `db`. The first line must be a
+/// header matching the relation's attribute names (any order); values are
+/// parsed per the schema's types.
+Status LoadTableCsv(Database* db, const std::string& relation, std::istream* in);
+
+}  // namespace km
+
+#endif  // KM_RELATIONAL_CSV_H_

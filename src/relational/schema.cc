@@ -1,0 +1,142 @@
+#include "relational/schema.h"
+
+namespace km {
+
+const char* DomainTagName(DomainTag tag) {
+  switch (tag) {
+    case DomainTag::kNone: return "None";
+    case DomainTag::kIdentifier: return "Identifier";
+    case DomainTag::kPersonName: return "PersonName";
+    case DomainTag::kProperNoun: return "ProperNoun";
+    case DomainTag::kCountryCode: return "CountryCode";
+    case DomainTag::kCountryName: return "CountryName";
+    case DomainTag::kCityName: return "CityName";
+    case DomainTag::kPhone: return "Phone";
+    case DomainTag::kEmail: return "Email";
+    case DomainTag::kUrl: return "Url";
+    case DomainTag::kYear: return "Year";
+    case DomainTag::kDate: return "Date";
+    case DomainTag::kMoney: return "Money";
+    case DomainTag::kQuantity: return "Quantity";
+    case DomainTag::kAddress: return "Address";
+    case DomainTag::kFreeText: return "FreeText";
+  }
+  return "Unknown";
+}
+
+void RelationSchema::Reindex() {
+  index_.clear();
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    index_[attributes_[i].name] = i;
+  }
+}
+
+std::optional<size_t> RelationSchema::AttributeIndex(const std::string& attr) const {
+  auto it = index_.find(attr);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<size_t> RelationSchema::PrimaryKeyIndex() const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].is_primary_key) return i;
+  }
+  return std::nullopt;
+}
+
+void RelationSchema::MarkForeignKey(const std::string& attr) {
+  auto idx = AttributeIndex(attr);
+  if (idx) attributes_[*idx].is_foreign_key = true;
+}
+
+Status DatabaseSchema::AddRelation(RelationSchema relation) {
+  if (relation.name().empty()) {
+    return Status::InvalidArgument("relation name must be non-empty");
+  }
+  if (relation_index_.count(relation.name()) != 0) {
+    return Status::AlreadyExists("relation '" + relation.name() + "' already exists");
+  }
+  // Duplicate attribute names are detectable via the index size.
+  std::unordered_map<std::string, int> seen;
+  for (const auto& a : relation.attributes()) {
+    if (a.name.empty()) {
+      return Status::InvalidArgument("attribute name must be non-empty in relation '" +
+                                     relation.name() + "'");
+    }
+    if (++seen[a.name] > 1) {
+      return Status::AlreadyExists("duplicate attribute '" + a.name + "' in relation '" +
+                                   relation.name() + "'");
+    }
+  }
+  relation_index_[relation.name()] = relations_.size();
+  relations_.push_back(std::move(relation));
+  return Status::OK();
+}
+
+Status DatabaseSchema::AddForeignKey(ForeignKey fk) {
+  auto from_it = relation_index_.find(fk.from_relation);
+  if (from_it == relation_index_.end()) {
+    return Status::NotFound("foreign key source relation '" + fk.from_relation +
+                            "' does not exist");
+  }
+  auto to_it = relation_index_.find(fk.to_relation);
+  if (to_it == relation_index_.end()) {
+    return Status::NotFound("foreign key target relation '" + fk.to_relation +
+                            "' does not exist");
+  }
+  RelationSchema& from_rel = relations_[from_it->second];
+  RelationSchema& to_rel = relations_[to_it->second];
+  if (!from_rel.AttributeIndex(fk.from_attribute)) {
+    return Status::NotFound("attribute '" + fk.from_attribute + "' not in relation '" +
+                            fk.from_relation + "'");
+  }
+  auto to_attr = to_rel.AttributeIndex(fk.to_attribute);
+  if (!to_attr) {
+    return Status::NotFound("attribute '" + fk.to_attribute + "' not in relation '" +
+                            fk.to_relation + "'");
+  }
+  if (!to_rel.attribute(*to_attr).is_primary_key) {
+    return Status::InvalidArgument("foreign key target " + fk.to_relation + "." +
+                                   fk.to_attribute + " is not a primary key");
+  }
+  for (const auto& existing : foreign_keys_) {
+    if (existing == fk) {
+      return Status::AlreadyExists("duplicate foreign key");
+    }
+  }
+  from_rel.MarkForeignKey(fk.from_attribute);
+  foreign_keys_.push_back(std::move(fk));
+  return Status::OK();
+}
+
+const RelationSchema* DatabaseSchema::FindRelation(const std::string& name) const {
+  auto it = relation_index_.find(name);
+  if (it == relation_index_.end()) return nullptr;
+  return &relations_[it->second];
+}
+
+size_t DatabaseSchema::TerminologySize() const {
+  size_t terms = relations_.size();
+  for (const auto& r : relations_) terms += 2 * r.arity();
+  return terms;
+}
+
+std::vector<ForeignKey> DatabaseSchema::ForeignKeysOf(const std::string& relation) const {
+  std::vector<ForeignKey> out;
+  for (const auto& fk : foreign_keys_) {
+    if (fk.from_relation == relation || fk.to_relation == relation) out.push_back(fk);
+  }
+  return out;
+}
+
+bool DatabaseSchema::DirectlyJoinable(const std::string& r1, const std::string& r2) const {
+  for (const auto& fk : foreign_keys_) {
+    if ((fk.from_relation == r1 && fk.to_relation == r2) ||
+        (fk.from_relation == r2 && fk.to_relation == r1)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace km

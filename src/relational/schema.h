@@ -1,0 +1,147 @@
+// Relational schemas: attributes, relations, referential constraints and
+// the database catalog.
+//
+// The metadata layer of the paper operates exclusively on the objects
+// defined here: relation names, attribute names, attribute domains, and
+// key/foreign-key relationships.
+
+#ifndef KM_RELATIONAL_SCHEMA_H_
+#define KM_RELATIONAL_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/value.h"
+
+namespace km {
+
+/// Semantic category of an attribute's domain, used by the metadata layer
+/// to match keywords against domains without reading the instance.
+///
+/// This encodes the "regular expression / domain description" metadata the
+/// paper attaches to attributes (e.g. a phone-number column is kPhone even
+/// though its storage type is TEXT).
+enum class DomainTag {
+  kNone = 0,       ///< No special semantics; match by storage type only.
+  kIdentifier,     ///< Opaque keys/codes ("p1", "cs34", surrogate ids).
+  kPersonName,     ///< Human names.
+  kProperNoun,     ///< Names of named entities (orgs, places, titles...).
+  kCountryCode,    ///< ISO-like 2/3-letter country codes.
+  kCountryName,    ///< Full country names.
+  kCityName,       ///< City names.
+  kPhone,          ///< Phone numbers.
+  kEmail,          ///< E-mail addresses.
+  kUrl,            ///< URLs.
+  kYear,           ///< 4-digit years.
+  kDate,           ///< Calendar dates.
+  kMoney,          ///< Monetary amounts.
+  kQuantity,       ///< General numeric quantities (population, area, ...).
+  kAddress,        ///< Street addresses.
+  kFreeText,       ///< Titles, abstracts, descriptions.
+};
+
+/// Name of a domain tag ("PersonName", "Phone", ...).
+const char* DomainTagName(DomainTag tag);
+
+/// Definition of one attribute of a relation.
+struct AttributeDef {
+  std::string name;
+  DataType type = DataType::kText;
+  DomainTag tag = DomainTag::kNone;
+  bool is_primary_key = false;
+  /// Attribute participates in some foreign key (filled by the catalog).
+  bool is_foreign_key = false;
+};
+
+/// A single-attribute referential constraint:
+/// `from_relation.from_attribute` references `to_relation.to_attribute`.
+///
+/// Multi-attribute keys are not supported (the paper makes the same
+/// simplification; surrogate keys substitute for composite keys).
+struct ForeignKey {
+  std::string from_relation;
+  std::string from_attribute;
+  std::string to_relation;
+  std::string to_attribute;
+
+  bool operator==(const ForeignKey& o) const {
+    return from_relation == o.from_relation && from_attribute == o.from_attribute &&
+           to_relation == o.to_relation && to_attribute == o.to_attribute;
+  }
+};
+
+/// Schema of one relation: a name plus an ordered list of attributes.
+class RelationSchema {
+ public:
+  RelationSchema() = default;
+  RelationSchema(std::string name, std::vector<AttributeDef> attributes)
+      : name_(std::move(name)), attributes_(std::move(attributes)) {
+    Reindex();
+  }
+
+  const std::string& name() const { return name_; }
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+  size_t arity() const { return attributes_.size(); }
+
+  /// Index of the named attribute, or nullopt.
+  std::optional<size_t> AttributeIndex(const std::string& attr) const;
+
+  /// The named attribute definition; must exist.
+  const AttributeDef& attribute(size_t i) const { return attributes_[i]; }
+
+  /// Index of the primary-key attribute, if the relation has one.
+  std::optional<size_t> PrimaryKeyIndex() const;
+
+  /// Marks the named attribute as a foreign key (catalog bookkeeping).
+  void MarkForeignKey(const std::string& attr);
+
+ private:
+  void Reindex();
+
+  std::string name_;
+  std::vector<AttributeDef> attributes_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+/// The database catalog: relation schemas plus referential constraints.
+class DatabaseSchema {
+ public:
+  DatabaseSchema() = default;
+
+  /// Adds a relation schema. Fails on duplicate relation names or duplicate
+  /// attribute names within the relation.
+  Status AddRelation(RelationSchema relation);
+
+  /// Adds a foreign key. All referenced relations/attributes must exist and
+  /// the target attribute must be the primary key of the target relation.
+  Status AddForeignKey(ForeignKey fk);
+
+  const std::vector<RelationSchema>& relations() const { return relations_; }
+  const std::vector<ForeignKey>& foreign_keys() const { return foreign_keys_; }
+
+  /// Looks up a relation schema by name (nullptr if absent).
+  const RelationSchema* FindRelation(const std::string& name) const;
+
+  /// Number of database terms |T(D)| = 2 * (sum of arities) + |relations|:
+  /// every relation name, attribute name, and attribute domain is a term.
+  size_t TerminologySize() const;
+
+  /// All foreign keys incident to `relation` (either side).
+  std::vector<ForeignKey> ForeignKeysOf(const std::string& relation) const;
+
+  /// True iff two relations are connected by some foreign key (either
+  /// direction).
+  bool DirectlyJoinable(const std::string& r1, const std::string& r2) const;
+
+ private:
+  std::vector<RelationSchema> relations_;
+  std::vector<ForeignKey> foreign_keys_;
+  std::unordered_map<std::string, size_t> relation_index_;
+};
+
+}  // namespace km
+
+#endif  // KM_RELATIONAL_SCHEMA_H_

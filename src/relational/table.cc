@@ -1,0 +1,59 @@
+#include "relational/table.h"
+
+namespace km {
+
+Status Table::Insert(Row row) {
+  if (row.size() != schema_.arity()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match schema arity " +
+        std::to_string(schema_.arity()) + " of relation '" + schema_.name() + "'");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!row[i].CompatibleWith(schema_.attribute(i).type)) {
+      return Status::InvalidArgument(
+          "value '" + row[i].ToString() + "' incompatible with " + schema_.name() + "." +
+          schema_.attribute(i).name + " of type " +
+          DataTypeName(schema_.attribute(i).type));
+    }
+  }
+  if (pk_index_) {
+    const Value& key = row[*pk_index_];
+    if (key.is_null()) {
+      return Status::InvalidArgument("NULL primary key in relation '" + schema_.name() +
+                                     "'");
+    }
+    if (pk_map_.count(key) != 0) {
+      return Status::AlreadyExists("duplicate primary key '" + key.ToString() +
+                                   "' in relation '" + schema_.name() + "'");
+    }
+    pk_map_[key] = rows_.size();
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+std::optional<size_t> Table::LookupByKey(const Value& key) const {
+  auto it = pk_map_.find(key);
+  if (it == pk_map_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<Value> Table::DistinctValues(size_t attr_index) const {
+  std::unordered_set<Value, ValueHash> seen;
+  std::vector<Value> out;
+  for (const Row& row : rows_) {
+    const Value& v = row[attr_index];
+    if (v.is_null()) continue;
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+bool Table::ContainsValue(size_t attr_index, const Value& v) const {
+  for (const Row& row : rows_) {
+    if (row[attr_index] == v) return true;
+  }
+  return false;
+}
+
+}  // namespace km

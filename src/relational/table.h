@@ -1,0 +1,57 @@
+// In-memory relation instances.
+
+#ifndef KM_RELATIONAL_TABLE_H_
+#define KM_RELATIONAL_TABLE_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace km {
+
+/// A tuple: one value per attribute of the owning relation's schema.
+using Row = std::vector<Value>;
+
+/// An in-memory relation instance.
+///
+/// Rows are stored in insertion order. A hash index over the primary key
+/// (when the schema declares one) enforces key uniqueness and supports
+/// point lookups used by the executor and by integrity checking.
+class Table {
+ public:
+  explicit Table(RelationSchema schema) : schema_(std::move(schema)) {
+    pk_index_ = schema_.PrimaryKeyIndex();
+  }
+
+  const RelationSchema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Appends a row after checking arity, per-attribute type compatibility
+  /// and primary-key uniqueness.
+  Status Insert(Row row);
+
+  /// Row position holding primary key `key`, or nullopt.
+  std::optional<size_t> LookupByKey(const Value& key) const;
+
+  /// Distinct non-NULL values of attribute `attr_index`.
+  std::vector<Value> DistinctValues(size_t attr_index) const;
+
+  /// True iff some row holds `v` (by equality) in attribute `attr_index`.
+  bool ContainsValue(size_t attr_index, const Value& v) const;
+
+ private:
+  RelationSchema schema_;
+  std::vector<Row> rows_;
+  std::optional<size_t> pk_index_;
+  std::unordered_map<Value, size_t, ValueHash> pk_map_;
+};
+
+}  // namespace km
+
+#endif  // KM_RELATIONAL_TABLE_H_

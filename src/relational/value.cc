@@ -1,0 +1,154 @@
+#include "relational/value.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+
+#include "common/strings.h"
+
+namespace km {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt:
+      return "INT";
+    case DataType::kReal:
+      return "REAL";
+    case DataType::kText:
+      return "TEXT";
+    case DataType::kBool:
+      return "BOOL";
+    case DataType::kDate:
+      return "DATE";
+  }
+  return "UNKNOWN";
+}
+
+Value Value::Date(std::string iso) {
+  Value v{Rep(std::move(iso))};
+  v.is_date_ = true;
+  return v;
+}
+
+bool Value::CompatibleWith(DataType type) const {
+  if (is_null()) return true;
+  switch (type) {
+    case DataType::kInt:
+      return is_int();
+    case DataType::kReal:
+      return is_real() || is_int();
+    case DataType::kText:
+      return is_text() && !is_date_;
+    case DataType::kBool:
+      return is_bool();
+    case DataType::kDate:
+      return is_text() && is_date_;
+  }
+  return false;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return std::to_string(AsInt());
+  if (is_real()) {
+    std::string s = StrFormat("%g", AsReal());
+    return s;
+  }
+  if (is_bool()) return AsBool() ? "true" : "false";
+  return AsText();
+}
+
+std::string Value::ToSqlLiteral() const {
+  if (is_null()) return "NULL";
+  if (is_text()) {
+    std::string out = "'";
+    for (char c : AsText()) {
+      if (c == '\'') out += "''";
+      else out += c;
+    }
+    out += "'";
+    return out;
+  }
+  return ToString();
+}
+
+StatusOr<Value> Value::Parse(const std::string& text, DataType type) {
+  if (text.empty()) return Value::Null();
+  switch (type) {
+    case DataType::kInt: {
+      char* end = nullptr;
+      long long v = std::strtoll(text.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        return Status::InvalidArgument("not an integer: '" + text + "'");
+      }
+      return Value::Int(v);
+    }
+    case DataType::kReal: {
+      char* end = nullptr;
+      double v = std::strtod(text.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        return Status::InvalidArgument("not a real: '" + text + "'");
+      }
+      return Value::Real(v);
+    }
+    case DataType::kBool: {
+      std::string lower = ToLower(text);
+      if (lower == "true" || lower == "1" || lower == "t") return Value::Bool(true);
+      if (lower == "false" || lower == "0" || lower == "f") return Value::Bool(false);
+      return Status::InvalidArgument("not a bool: '" + text + "'");
+    }
+    case DataType::kDate:
+      return Value::Date(text);
+    case DataType::kText:
+      return Value::Text(text);
+  }
+  return Status::InvalidArgument("unknown data type");
+}
+
+namespace {
+
+// Alternative rank used to order values of different dynamic types.
+int AltRank(const Value& v) {
+  if (v.is_null()) return 0;
+  if (v.is_int() || v.is_real()) return 1;
+  if (v.is_text()) return 2;
+  return 3;  // bool
+}
+
+double AsNumeric(const Value& v) {
+  return v.is_int() ? static_cast<double>(v.AsInt()) : v.AsReal();
+}
+
+}  // namespace
+
+bool Value::operator<(const Value& other) const {
+  int ra = AltRank(*this), rb = AltRank(other);
+  if (ra != rb) return ra < rb;
+  if (is_null()) return false;  // both null: equal
+  if (ra == 1) return AsNumeric(*this) < AsNumeric(other);
+  if (ra == 2) return AsText() < other.AsText();
+  return AsBool() < other.AsBool();
+}
+
+bool Value::operator==(const Value& other) const {
+  int ra = AltRank(*this), rb = AltRank(other);
+  if (ra != rb) return false;
+  if (is_null()) return true;
+  if (ra == 1) return AsNumeric(*this) == AsNumeric(other);
+  if (ra == 2) return AsText() == other.AsText();
+  return AsBool() == other.AsBool();
+}
+
+size_t Value::Hash() const {
+  if (is_null()) return 0x9E3779B9u;
+  if (is_int() || is_real()) {
+    double d = AsNumeric(*this);
+    // Normalize -0.0 so hash matches operator==.
+    if (d == 0.0) d = 0.0;
+    return std::hash<double>{}(d);
+  }
+  if (is_text()) return std::hash<std::string>{}(AsText());
+  return std::hash<bool>{}(AsBool());
+}
+
+}  // namespace km

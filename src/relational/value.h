@@ -1,0 +1,98 @@
+// Typed values and the data-type system of the relational substrate.
+
+#ifndef KM_RELATIONAL_VALUE_H_
+#define KM_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace km {
+
+/// Logical data types supported by the relational substrate.
+///
+/// kDate values are stored as ISO-8601 text ("YYYY-MM-DD") but carry the
+/// kDate type so recognizers and the metadata layer can distinguish them
+/// from free text.
+enum class DataType {
+  kInt = 0,
+  kReal = 1,
+  kText = 2,
+  kBool = 3,
+  kDate = 4,
+};
+
+/// Name of a data type ("INT", "REAL", "TEXT", "BOOL", "DATE").
+const char* DataTypeName(DataType type);
+
+/// A single attribute value: NULL or a typed scalar.
+class Value {
+ public:
+  /// Constructs a SQL NULL.
+  Value() : rep_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Rep(v)); }
+  static Value Real(double v) { return Value(Rep(v)); }
+  static Value Text(std::string v) { return Value(Rep(std::move(v))); }
+  static Value Bool(bool v) { return Value(Rep(v)); }
+  /// A date value; `iso` must be "YYYY-MM-DD" (not validated here).
+  static Value Date(std::string iso);
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(rep_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(rep_); }
+  bool is_real() const { return std::holds_alternative<double>(rep_); }
+  bool is_text() const { return std::holds_alternative<std::string>(rep_); }
+  bool is_bool() const { return std::holds_alternative<bool>(rep_); }
+  bool is_date() const { return is_date_; }
+
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsReal() const { return std::get<double>(rep_); }
+  const std::string& AsText() const { return std::get<std::string>(rep_); }
+  bool AsBool() const { return std::get<bool>(rep_); }
+
+  /// True iff this value's dynamic type is compatible with `type`
+  /// (NULL is compatible with everything; INT is accepted where REAL is
+  /// expected).
+  bool CompatibleWith(DataType type) const;
+
+  /// Renders the value for display and SQL literals. NULL renders as "NULL",
+  /// text as its raw characters (unquoted).
+  std::string ToString() const;
+
+  /// Renders the value as a SQL literal (text quoted and escaped).
+  std::string ToSqlLiteral() const;
+
+  /// Parses `text` into a value of the requested type. An empty string
+  /// parses as NULL.
+  static StatusOr<Value> Parse(const std::string& text, DataType type);
+
+  /// Total order used by the executor and tests: NULL < everything;
+  /// numerics compare numerically across INT/REAL; otherwise compare within
+  /// the same alternative. Values of incomparable alternatives order by
+  /// alternative index.
+  bool operator<(const Value& other) const;
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Hash compatible with operator==.
+  size_t Hash() const;
+
+ private:
+  using Rep = std::variant<std::monostate, int64_t, double, std::string, bool>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+  bool is_date_ = false;
+};
+
+/// std::hash adapter for Value.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace km
+
+#endif  // KM_RELATIONAL_VALUE_H_

@@ -1,0 +1,99 @@
+#include "text/gazetteer.h"
+
+#include <string>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace km {
+
+namespace {
+
+const std::unordered_set<std::string>& CountryNames() {
+  static const std::unordered_set<std::string>* kSet =
+      new std::unordered_set<std::string>{
+          "united states", "italy",        "spain",        "france",
+          "germany",       "united kingdom","ireland",     "portugal",
+          "netherlands",   "belgium",      "switzerland",  "austria",
+          "greece",        "sweden",       "norway",       "finland",
+          "denmark",       "poland",       "czechia",      "hungary",
+          "romania",       "bulgaria",     "croatia",      "serbia",
+          "slovenia",      "slovakia",     "ukraine",      "turkey",
+          "russia",        "china",        "japan",        "india",
+          "south korea",   "vietnam",      "thailand",     "indonesia",
+          "malaysia",      "singapore",    "israel",       "saudi arabia",
+          "iran",          "pakistan",     "canada",       "mexico",
+          "brazil",        "argentina",    "chile",        "colombia",
+          "peru",          "uruguay",      "egypt",        "morocco",
+          "nigeria",       "kenya",        "ethiopia",     "south africa",
+          "tunisia",       "ghana",        "australia",    "new zealand",
+          "usa",           "uk",           "holland",      "england",
+      };
+  return *kSet;
+}
+
+const std::unordered_set<std::string>& CountryCodes() {
+  static const std::unordered_set<std::string>* kSet =
+      new std::unordered_set<std::string>{
+          "us", "it", "es", "fr", "de", "gb", "ie", "pt", "nl", "be", "ch",
+          "at", "gr", "se", "no", "fi", "dk", "pl", "cz", "hu", "ro", "bg",
+          "hr", "rs", "si", "sk", "ua", "tr", "ru", "cn", "jp", "in", "kr",
+          "vn", "th", "id", "my", "sg", "il", "sa", "ir", "pk", "ca", "mx",
+          "br", "ar", "cl", "co", "pe", "uy", "eg", "ma", "ng", "ke", "et",
+          "za", "tn", "gh", "au", "nz"};
+  return *kSet;
+}
+
+const std::unordered_set<std::string>& Months() {
+  static const std::unordered_set<std::string>* kSet =
+      new std::unordered_set<std::string>{
+          "january", "february", "march",    "april",   "may",      "june",
+          "july",    "august",   "september","october", "november", "december",
+          "jan",     "feb",      "mar",      "apr",     "jun",      "jul",
+          "aug",     "sep",      "oct",      "nov",     "dec"};
+  return *kSet;
+}
+
+const std::unordered_set<std::string>& GivenNames() {
+  static const std::unordered_set<std::string>* kSet =
+      new std::unordered_set<std::string>{
+          "james",   "mary",     "robert",  "patricia", "john",     "jennifer",
+          "michael", "linda",    "david",   "elizabeth","william",  "barbara",
+          "richard", "susan",    "joseph",  "jessica",  "thomas",   "sarah",
+          "charles", "karen",    "daniel",  "lisa",     "matthew",  "nancy",
+          "anthony", "betty",    "mark",    "margaret", "paul",     "sandra",
+          "steven",  "ashley",   "andrew",  "kimberly", "kenneth",  "emily",
+          "joshua",  "donna",    "kevin",   "michelle", "brian",    "carol",
+          "george",  "amanda",   "edward",  "dorothy",  "ronald",   "melissa",
+          "timothy", "deborah",  "jason",   "stephanie","jeffrey",  "rebecca",
+          "ryan",    "sharon",   "jacob",   "laura",    "gary",     "cynthia",
+          "sonia",   "francesco","matteo",  "raquel",   "yannis",   "giovanni",
+          "elena",   "marco",    "lucia",   "andrea",   "paolo",    "chiara",
+          "hans",    "ingrid",   "pierre",  "camille",  "akira",    "yuki",
+          "wei",     "mei",      "ivan",    "olga",     "pedro",    "ines"};
+  return *kSet;
+}
+
+}  // namespace
+
+bool IsKnownCountryName(std::string_view word) {
+  return CountryNames().count(ToLower(word)) != 0;
+}
+
+bool IsKnownCountryCode(std::string_view word) {
+  if (word.size() != 2) return false;
+  return CountryCodes().count(ToLower(word)) != 0;
+}
+
+bool IsMonthName(std::string_view word) {
+  return Months().count(ToLower(word)) != 0;
+}
+
+bool StartsWithGivenName(std::string_view word) {
+  std::string lower = ToLower(word);
+  size_t space = lower.find(' ');
+  std::string first = space == std::string::npos ? lower : lower.substr(0, space);
+  return GivenNames().count(first) != 0;
+}
+
+}  // namespace km

@@ -1,0 +1,35 @@
+// A small built-in gazetteer: closed word classes whose membership is a
+// much stronger domain signal than surface shape alone.
+//
+// "Italy" is capitalized like any proper noun, but *knowing* it is a
+// country name lets the metadata-only matcher score Dom(COUNTRY.Name) far
+// above Dom(PERSON.Name). The paper allows exactly this kind of auxiliary
+// external knowledge (public ontologies, vocabularies); this module ships
+// a compact offline subset: country names and ISO codes, month names, and
+// frequent given names.
+
+#ifndef KM_TEXT_GAZETTEER_H_
+#define KM_TEXT_GAZETTEER_H_
+
+#include <string_view>
+
+namespace km {
+
+/// True iff `word` is a known country name ("Italy", "South Korea").
+/// Case-insensitive.
+bool IsKnownCountryName(std::string_view word);
+
+/// True iff `word` is a known ISO-like alpha-2 country code ("IT", "us").
+/// Case-insensitive.
+bool IsKnownCountryCode(std::string_view word);
+
+/// True iff `word` is a month name or 3-letter month abbreviation.
+bool IsMonthName(std::string_view word);
+
+/// True iff the first token of `word` is a frequent given name
+/// ("Sonia", "james martinez"). Case-insensitive.
+bool StartsWithGivenName(std::string_view word);
+
+}  // namespace km
+
+#endif  // KM_TEXT_GAZETTEER_H_

@@ -1,0 +1,252 @@
+#include "text/recognizers.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strings.h"
+#include "text/gazetteer.h"
+
+namespace km {
+
+namespace {
+
+bool AllAlpha(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isalpha(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+bool ContainsDigit(std::string_view s) {
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) return true;
+  }
+  return false;
+}
+
+bool ContainsAlpha(std::string_view s) {
+  for (char c : s) {
+    if (std::isalpha(static_cast<unsigned char>(c))) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool LooksLikeYear(std::string_view s) {
+  if (s.size() != 4 || !IsAllDigits(s)) return false;
+  return s[0] == '1' || s[0] == '2';
+}
+
+bool LooksLikeDate(std::string_view s) {
+  // YYYY-MM-DD or D/M/YYYY or DD/MM/YYYY.
+  auto is_sep = [](char c) { return c == '-' || c == '/'; };
+  size_t seps = 0;
+  size_t digits = 0;
+  for (char c : s) {
+    if (is_sep(c)) {
+      ++seps;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      ++digits;
+    } else {
+      return false;
+    }
+  }
+  return seps == 2 && digits >= 4 && digits <= 8;
+}
+
+bool LooksLikeEmail(std::string_view s) {
+  size_t at = s.find('@');
+  if (at == std::string_view::npos || at == 0 || at + 1 >= s.size()) return false;
+  std::string_view domain = s.substr(at + 1);
+  size_t dot = domain.find('.');
+  return dot != std::string_view::npos && dot > 0 && dot + 1 < domain.size() &&
+         s.find('@', at + 1) == std::string_view::npos;
+}
+
+bool LooksLikeUrl(std::string_view s) {
+  std::string lower = ToLower(s);
+  return StartsWith(lower, "http://") || StartsWith(lower, "https://") ||
+         StartsWith(lower, "www.");
+}
+
+bool LooksLikePhone(std::string_view s) {
+  size_t digits = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      ++digits;
+    } else if (c == '+' && i == 0) {
+      continue;
+    } else if (c == '-' || c == ' ' || c == '(' || c == ')') {
+      continue;
+    } else {
+      return false;
+    }
+  }
+  return digits >= 6 && digits <= 15;
+}
+
+bool LooksLikeCountryCode(std::string_view s) {
+  return (s.size() == 2 || s.size() == 3) && AllAlpha(s);
+}
+
+bool LooksCapitalized(std::string_view s) {
+  if (s.empty()) return false;
+  if (!std::isupper(static_cast<unsigned char>(s[0]))) return false;
+  for (size_t i = 1; i < s.size(); ++i) {
+    char c = s[i];
+    if (!std::isalpha(static_cast<unsigned char>(c)) && c != ' ' && c != '.' &&
+        c != '\'' && c != '-') {
+      return false;
+    }
+  }
+  return true;
+}
+
+LiteralShape DetectLiteralShape(std::string_view keyword) {
+  LiteralShape shape;
+  if (keyword.empty()) return shape;
+  std::string s(keyword);
+  char* end = nullptr;
+  std::strtoll(s.c_str(), &end, 10);
+  shape.is_int = end != nullptr && *end == '\0' && end != s.c_str();
+  end = nullptr;
+  std::strtod(s.c_str(), &end);
+  shape.is_real = end != nullptr && *end == '\0' && end != s.c_str();
+  shape.is_date = LooksLikeDate(keyword);
+  std::string lower = ToLower(keyword);
+  shape.is_bool = lower == "true" || lower == "false";
+  return shape;
+}
+
+std::vector<ShapeMatch> DetectShapes(std::string_view keyword) {
+  std::vector<ShapeMatch> out;
+  LiteralShape lit = DetectLiteralShape(keyword);
+
+  if (LooksLikeEmail(keyword)) out.push_back({DomainTag::kEmail, 0.97});
+  if (LooksLikeUrl(keyword)) out.push_back({DomainTag::kUrl, 0.95});
+  if (LooksLikeDate(keyword)) out.push_back({DomainTag::kDate, 0.95});
+  if (LooksLikeYear(keyword)) out.push_back({DomainTag::kYear, 0.9});
+  if (LooksLikePhone(keyword) && !LooksLikeYear(keyword)) {
+    out.push_back({DomainTag::kPhone, 0.8});
+  }
+  if (LooksLikeCountryCode(keyword)) {
+    // Upper-case original text is a stronger signal ("IT" vs "it").
+    bool all_upper = std::all_of(keyword.begin(), keyword.end(), [](char c) {
+      return std::isupper(static_cast<unsigned char>(c));
+    });
+    out.push_back({DomainTag::kCountryCode, all_upper ? 0.85 : 0.5});
+  }
+  if (LooksCapitalized(keyword) && !LooksLikeCountryCode(keyword)) {
+    out.push_back({DomainTag::kPersonName, 0.55});
+    out.push_back({DomainTag::kProperNoun, 0.55});
+    out.push_back({DomainTag::kCityName, 0.5});
+    out.push_back({DomainTag::kCountryName, 0.5});
+  }
+  if (lit.is_int || lit.is_real) out.push_back({DomainTag::kQuantity, 0.6});
+  if (ContainsDigit(keyword) && ContainsAlpha(keyword)) {
+    out.push_back({DomainTag::kIdentifier, 0.6});
+    out.push_back({DomainTag::kAddress, 0.45});
+  }
+  out.push_back({DomainTag::kFreeText, 0.3});
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ShapeMatch& a, const ShapeMatch& b) {
+                     return a.confidence > b.confidence;
+                   });
+  return out;
+}
+
+double DomainCompatibility(std::string_view keyword, DataType type, DomainTag tag) {
+  if (keyword.empty()) return 0.0;
+  LiteralShape lit = DetectLiteralShape(keyword);
+
+  switch (type) {
+    case DataType::kInt: {
+      if (!lit.is_int) return 0.0;
+      switch (tag) {
+        case DomainTag::kYear:
+          return LooksLikeYear(keyword) ? 0.9 : 0.1;
+        case DomainTag::kPhone:
+          return LooksLikePhone(keyword) ? 0.85 : 0.3;
+        case DomainTag::kQuantity:
+        case DomainTag::kMoney:
+          return 0.7;
+        case DomainTag::kIdentifier:
+          return 0.5;
+        default:
+          return 0.55;
+      }
+    }
+    case DataType::kReal: {
+      if (!lit.is_real) return 0.0;
+      switch (tag) {
+        case DomainTag::kQuantity:
+        case DomainTag::kMoney:
+          return 0.75;
+        default:
+          return 0.55;
+      }
+    }
+    case DataType::kBool:
+      return lit.is_bool ? 0.9 : 0.0;
+    case DataType::kDate: {
+      if (lit.is_date) return 0.9;
+      if (LooksLikeYear(keyword)) return 0.35;
+      return 0.0;
+    }
+    case DataType::kText:
+      break;  // handled below
+  }
+
+  // TEXT storage: everything is possible; the tag decides specificity.
+  switch (tag) {
+    case DomainTag::kEmail:
+      return LooksLikeEmail(keyword) ? 0.95 : 0.02;
+    case DomainTag::kUrl:
+      return LooksLikeUrl(keyword) ? 0.95 : 0.02;
+    case DomainTag::kPhone:
+      return LooksLikePhone(keyword) ? 0.9 : 0.02;
+    case DomainTag::kCountryCode:
+      if (IsKnownCountryCode(keyword)) return 0.95;
+      return LooksLikeCountryCode(keyword) ? 0.85 : 0.02;
+    case DomainTag::kYear:
+      return LooksLikeYear(keyword) ? 0.85 : 0.02;
+    case DomainTag::kDate:
+      return lit.is_date ? 0.9 : 0.02;
+    case DomainTag::kPersonName:
+      if (ContainsDigit(keyword)) return 0.05;
+      if (IsKnownCountryName(keyword)) return 0.15;  // gazetteer says place
+      if (StartsWithGivenName(keyword)) return 0.85;
+      return LooksCapitalized(keyword) ? 0.65 : 0.4;
+    case DomainTag::kCountryName:
+      if (IsKnownCountryName(keyword)) return 0.95;
+      if (ContainsDigit(keyword)) return 0.05;
+      if (StartsWithGivenName(keyword)) return 0.2;  // gazetteer says person
+      return LooksCapitalized(keyword) ? 0.55 : 0.35;
+    case DomainTag::kCityName:
+    case DomainTag::kProperNoun:
+      if (ContainsDigit(keyword)) return 0.05;
+      if (IsKnownCountryName(keyword)) return 0.25;  // gazetteer says country
+      return LooksCapitalized(keyword) ? 0.6 : 0.4;
+    case DomainTag::kIdentifier:
+      if (ContainsDigit(keyword) && ContainsAlpha(keyword)) return 0.65;
+      return 0.3;
+    case DomainTag::kAddress:
+      if (ContainsDigit(keyword) && ContainsAlpha(keyword)) return 0.7;
+      return 0.3;
+    case DomainTag::kFreeText:
+      return 0.45;
+    case DomainTag::kMoney:
+    case DomainTag::kQuantity:
+      return (lit.is_int || lit.is_real) ? 0.6 : 0.05;
+    case DomainTag::kNone:
+      return 0.35;
+  }
+  return 0.3;
+}
+
+}  // namespace km

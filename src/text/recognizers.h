@@ -1,0 +1,75 @@
+// Value-domain recognizers: the metadata used to match keywords against
+// attribute *domains* without reading the instance.
+//
+// The paper attaches to each attribute a description of its domain (a data
+// type plus, where known, a regular-expression-like pattern: phone numbers,
+// e-mails, years, country codes, ...). A keyword is compatible with a
+// domain when its syntactic shape matches the pattern. This file implements
+// both sides: shape detection for keywords and compatibility scoring
+// against an attribute's (DataType, DomainTag) pair.
+
+#ifndef KM_TEXT_RECOGNIZERS_H_
+#define KM_TEXT_RECOGNIZERS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "relational/schema.h"
+
+namespace km {
+
+/// One detected shape for a keyword, with detection confidence in (0,1].
+struct ShapeMatch {
+  DomainTag tag;
+  double confidence;
+};
+
+/// Detects all plausible domain shapes of a keyword ("4631234" → Phone,
+/// Quantity; "IT" → CountryCode; "1997-07-04" → Date; ...). Results are
+/// sorted by descending confidence. Every keyword at minimum matches
+/// kFreeText with low confidence.
+std::vector<ShapeMatch> DetectShapes(std::string_view keyword);
+
+/// Syntactic type of a keyword considered as a literal: can it parse as an
+/// integer, a real, a date?
+struct LiteralShape {
+  bool is_int = false;
+  bool is_real = false;
+  bool is_date = false;
+  bool is_bool = false;
+};
+LiteralShape DetectLiteralShape(std::string_view keyword);
+
+/// Compatibility of `keyword` with an attribute whose storage type is
+/// `type` and whose declared domain tag is `tag`. Returns a score in [0,1]:
+/// 0 = impossible (e.g. alphabetic keyword vs INT column), higher = the
+/// keyword's shape matches the declared pattern more specifically.
+double DomainCompatibility(std::string_view keyword, DataType type, DomainTag tag);
+
+/// True iff `s` looks like a 4-digit year (1000..2999).
+bool LooksLikeYear(std::string_view s);
+
+/// True iff `s` looks like an ISO date (YYYY-MM-DD) or slash date.
+bool LooksLikeDate(std::string_view s);
+
+/// True iff `s` looks like an e-mail address.
+bool LooksLikeEmail(std::string_view s);
+
+/// True iff `s` looks like a URL.
+bool LooksLikeUrl(std::string_view s);
+
+/// True iff `s` looks like a phone number (6+ digits, optional +,-,space).
+bool LooksLikePhone(std::string_view s);
+
+/// True iff `s` is a 2- or 3-letter all-alphabetic code (upper-cased in the
+/// original query text scores higher; this predicate is case-insensitive).
+bool LooksLikeCountryCode(std::string_view s);
+
+/// True iff `s` starts with an upper-case letter followed by lower-case
+/// letters (a capitalized proper-noun-ish token).
+bool LooksCapitalized(std::string_view s);
+
+}  // namespace km
+
+#endif  // KM_TEXT_RECOGNIZERS_H_

@@ -1,0 +1,165 @@
+#include "text/similarity.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_set>
+#include <vector>
+
+#include "common/strings.h"
+#include "text/stemmer.h"
+
+namespace km {
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  const size_t n = a.size(), m = b.size();
+  if (n == 0) return m;
+  if (m == 0) return n;
+  std::vector<size_t> prev(m + 1), cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + cost});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+double NormalizedLevenshtein(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  std::string la = ToLower(a), lb = ToLower(b);
+  size_t d = LevenshteinDistance(la, lb);
+  size_t mx = std::max(la.size(), lb.size());
+  return 1.0 - static_cast<double>(d) / static_cast<double>(mx);
+}
+
+double JaroSimilarity(std::string_view sa, std::string_view sb) {
+  std::string a = ToLower(sa), b = ToLower(sb);
+  const size_t n = a.size(), m = b.size();
+  if (n == 0 && m == 0) return 1.0;
+  if (n == 0 || m == 0) return 0.0;
+  const size_t window = std::max(n, m) / 2 == 0 ? 0 : std::max(n, m) / 2 - 1;
+
+  std::vector<bool> a_match(n, false), b_match(m, false);
+  size_t matches = 0;
+  for (size_t i = 0; i < n; ++i) {
+    size_t lo = i > window ? i - window : 0;
+    size_t hi = std::min(m, i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (b_match[j] || a[i] != b[j]) continue;
+      a_match[i] = b_match[j] = true;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Transpositions.
+  size_t t = 0, k = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!a_match[i]) continue;
+    while (!b_match[k]) ++k;
+    if (a[i] != b[k]) ++t;
+    ++k;
+  }
+  double mm = static_cast<double>(matches);
+  return (mm / n + mm / m + (mm - t / 2.0) / mm) / 3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
+  double jaro = JaroSimilarity(a, b);
+  std::string la = ToLower(a), lb = ToLower(b);
+  size_t prefix = 0;
+  for (size_t i = 0; i < std::min({la.size(), lb.size(), size_t{4}}); ++i) {
+    if (la[i] == lb[i]) ++prefix;
+    else break;
+  }
+  return jaro + static_cast<double>(prefix) * 0.1 * (1.0 - jaro);
+}
+
+namespace {
+
+std::unordered_set<std::string> Trigrams(std::string_view s) {
+  std::string padded = "##" + ToLower(s) + "##";
+  std::unordered_set<std::string> grams;
+  for (size_t i = 0; i + 3 <= padded.size(); ++i) grams.insert(padded.substr(i, 3));
+  return grams;
+}
+
+}  // namespace
+
+double TrigramJaccard(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  auto ga = Trigrams(a);
+  auto gb = Trigrams(b);
+  if (ga.empty() || gb.empty()) return 0.0;
+  size_t inter = 0;
+  for (const auto& g : ga) inter += gb.count(g);
+  size_t uni = ga.size() + gb.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double AbbreviationScore(std::string_view abbrev_raw, std::string_view full_raw) {
+  std::string abbrev = ToLower(abbrev_raw), full = ToLower(full_raw);
+  if (abbrev.empty() || full.empty()) return 0.0;
+  if (abbrev.size() >= full.size()) return 0.0;
+  // Must start with the same character to count as an abbreviation.
+  if (abbrev[0] != full[0]) return 0.0;
+  if (full.compare(0, abbrev.size(), abbrev) == 0) {
+    // Prefix: coverage-scaled, at least 0.6.
+    double coverage = static_cast<double>(abbrev.size()) / static_cast<double>(full.size());
+    return 0.6 + 0.4 * coverage;
+  }
+  // Subsequence check.
+  size_t j = 0;
+  for (char c : full) {
+    if (j < abbrev.size() && c == abbrev[j]) ++j;
+  }
+  if (j == abbrev.size()) {
+    double coverage = static_cast<double>(abbrev.size()) / static_cast<double>(full.size());
+    return 0.4 + 0.3 * coverage;
+  }
+  return 0.0;
+}
+
+double NameSimilarity(std::string_view a, std::string_view b) {
+  std::vector<std::string> wa = SplitIdentifierWords(a);
+  std::vector<std::string> wb = SplitIdentifierWords(b);
+  if (wa.empty() || wb.empty()) return 0.0;
+
+  auto word_sim = [](const std::string& x, const std::string& y) {
+    if (x == y) return 1.0;
+    // Inflection variants ("departments"/"department") are near-identical.
+    if (SameStem(x, y)) return 0.97;
+    double s = std::max(JaroWinklerSimilarity(x, y), TrigramJaccard(x, y));
+    s = std::max(s, AbbreviationScore(x, y));
+    s = std::max(s, AbbreviationScore(y, x));
+    return s;
+  };
+
+  // Greedy best-pair alignment of the smaller word list onto the larger.
+  const auto& small = wa.size() <= wb.size() ? wa : wb;
+  const auto& large = wa.size() <= wb.size() ? wb : wa;
+  std::vector<bool> used(large.size(), false);
+  double total = 0;
+  for (const auto& w : small) {
+    double best = 0;
+    ssize_t best_j = -1;
+    for (size_t j = 0; j < large.size(); ++j) {
+      if (used[j]) continue;
+      double s = word_sim(w, large[j]);
+      if (s > best) {
+        best = s;
+        best_j = static_cast<ssize_t>(j);
+      }
+    }
+    if (best_j >= 0) used[static_cast<size_t>(best_j)] = true;
+    total += best;
+  }
+  // Average over the larger list so unmatched words dilute the score.
+  return total / static_cast<double>(large.size());
+}
+
+}  // namespace km

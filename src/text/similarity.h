@@ -1,0 +1,43 @@
+// String similarity measures used to score keyword ↔ schema-term matches.
+//
+// All measures return a score in [0, 1], 1 meaning identical. Inputs are
+// compared case-insensitively.
+
+#ifndef KM_TEXT_SIMILARITY_H_
+#define KM_TEXT_SIMILARITY_H_
+
+#include <string>
+#include <string_view>
+
+namespace km {
+
+/// Classic Levenshtein edit distance (insert/delete/substitute, unit cost).
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// 1 − distance/max(|a|,|b|); 1 for two empty strings.
+double NormalizedLevenshtein(std::string_view a, std::string_view b);
+
+/// Jaro similarity.
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro–Winkler similarity (prefix bonus p=0.1, max prefix 4).
+double JaroWinklerSimilarity(std::string_view a, std::string_view b);
+
+/// Jaccard coefficient over character trigrams (strings are padded with
+/// two sentinels on each side, so short strings still produce trigrams).
+double TrigramJaccard(std::string_view a, std::string_view b);
+
+/// Score for `abbrev` being an abbreviation/prefix of `full`:
+/// exact prefix ("dept"/"department") scores by coverage; subsequence
+/// matches ("dpt"/"department") score lower; 0 when not a subsequence.
+double AbbreviationScore(std::string_view abbrev, std::string_view full);
+
+/// The composite identifier similarity used by the metadata layer:
+/// both sides are split into identifier words ("personName" → person,name)
+/// and the best word-pair alignments are averaged, where each word pair is
+/// scored with max(JaroWinkler, trigram, abbreviation). Case-insensitive.
+double NameSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace km
+
+#endif  // KM_TEXT_SIMILARITY_H_

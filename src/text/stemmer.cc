@@ -1,0 +1,211 @@
+#include "text/stemmer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace km {
+
+namespace {
+
+// The working buffer with the helper predicates of Porter's paper.
+class Stem {
+ public:
+  explicit Stem(std::string word) : b_(std::move(word)) {}
+
+  const std::string& str() const { return b_; }
+
+  bool IsConsonant(size_t i) const {
+    char c = b_[i];
+    if (c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u') return false;
+    if (c == 'y') return i == 0 ? true : !IsConsonant(i - 1);
+    return true;
+  }
+
+  // m(): the number of VC sequences in the stem prefix [0, j].
+  size_t Measure(size_t j) const {
+    size_t n = 0;
+    size_t i = 0;
+    // skip initial consonants
+    while (i <= j && IsConsonant(i)) ++i;
+    while (true) {
+      if (i > j) return n;
+      // skip vowels
+      while (i <= j && !IsConsonant(i)) ++i;
+      if (i > j) return n;
+      ++n;
+      while (i <= j && IsConsonant(i)) ++i;
+    }
+  }
+
+  size_t MeasureAll() const { return b_.empty() ? 0 : Measure(b_.size() - 1); }
+
+  bool HasVowel(size_t j) const {
+    for (size_t i = 0; i <= j && i < b_.size(); ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  bool DoubleConsonant() const {
+    size_t n = b_.size();
+    return n >= 2 && b_[n - 1] == b_[n - 2] && IsConsonant(n - 1);
+  }
+
+  // *o: stem ends cvc where the final c is not w, x or y.
+  bool EndsCvc() const {
+    size_t n = b_.size();
+    if (n < 3) return false;
+    if (!IsConsonant(n - 3) || IsConsonant(n - 2) || !IsConsonant(n - 1)) return false;
+    char c = b_[n - 1];
+    return c != 'w' && c != 'x' && c != 'y';
+  }
+
+  bool EndsWith(std::string_view suffix) const {
+    return b_.size() >= suffix.size() &&
+           b_.compare(b_.size() - suffix.size(), suffix.size(), suffix) == 0;
+  }
+
+  // Measure of the stem that remains after removing `suffix`.
+  size_t MeasureWithout(std::string_view suffix) const {
+    if (b_.size() < suffix.size() + 1) return 0;
+    return Measure(b_.size() - suffix.size() - 1);
+  }
+
+  bool HasVowelWithout(std::string_view suffix) const {
+    if (b_.size() < suffix.size() + 1) return false;
+    return HasVowel(b_.size() - suffix.size() - 1);
+  }
+
+  void Chop(size_t count) { b_.resize(b_.size() - count); }
+
+  void Replace(std::string_view suffix, std::string_view with) {
+    Chop(suffix.size());
+    b_ += with;
+  }
+
+  // Applies "(condition) S1 -> S2" if the word ends with S1 and the stem
+  // measure (without S1) is > min_m. Returns true when the rule fired.
+  bool Rule(std::string_view s1, std::string_view s2, size_t min_m) {
+    if (!EndsWith(s1)) return false;
+    if (MeasureWithout(s1) <= min_m) return true;  // matched but blocked
+    Replace(s1, s2);
+    return true;
+  }
+
+  std::string b_;
+};
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  std::string lower = ToLower(word);
+  if (lower.size() < 3) return lower;
+  for (char c : lower) {
+    if (!std::isalpha(static_cast<unsigned char>(c))) return lower;  // not a word
+  }
+  Stem s(lower);
+
+  // Step 1a: plurals.
+  if (s.EndsWith("sses")) {
+    s.Chop(2);
+  } else if (s.EndsWith("ies")) {
+    s.Replace("ies", "i");
+  } else if (s.EndsWith("ss")) {
+    // keep
+  } else if (s.EndsWith("s")) {
+    s.Chop(1);
+  }
+
+  // Step 1b: -ed / -ing.
+  bool cleanup = false;
+  if (s.EndsWith("eed")) {
+    if (s.MeasureWithout("eed") > 0) s.Chop(1);
+  } else if (s.EndsWith("ed") && s.HasVowelWithout("ed")) {
+    s.Chop(2);
+    cleanup = true;
+  } else if (s.EndsWith("ing") && s.HasVowelWithout("ing")) {
+    s.Chop(3);
+    cleanup = true;
+  }
+  if (cleanup) {
+    if (s.EndsWith("at") || s.EndsWith("bl") || s.EndsWith("iz")) {
+      s.b_ += 'e';
+    } else if (s.DoubleConsonant()) {
+      char c = s.b_.back();
+      if (c != 'l' && c != 's' && c != 'z') s.Chop(1);
+    } else if (s.MeasureAll() == 1 && s.EndsCvc()) {
+      s.b_ += 'e';
+    }
+  }
+
+  // Step 1c: y -> i when the stem has a vowel.
+  if (s.EndsWith("y") && s.HasVowelWithout("y")) s.b_.back() = 'i';
+
+  // Step 2.
+  static const struct {
+    const char* s1;
+    const char* s2;
+  } kStep2[] = {{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+                {"anci", "ance"},   {"izer", "ize"},    {"abli", "able"},
+                {"alli", "al"},     {"entli", "ent"},   {"eli", "e"},
+                {"ousli", "ous"},   {"ization", "ize"}, {"ation", "ate"},
+                {"ator", "ate"},    {"alism", "al"},    {"iveness", "ive"},
+                {"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+                {"iviti", "ive"},   {"biliti", "ble"}};
+  for (const auto& r : kStep2) {
+    if (s.Rule(r.s1, r.s2, 0)) break;
+  }
+
+  // Step 3.
+  static const struct {
+    const char* s1;
+    const char* s2;
+  } kStep3[] = {{"icate", "ic"}, {"ative", ""},  {"alize", "al"}, {"iciti", "ic"},
+                {"ical", "ic"},  {"ful", ""},    {"ness", ""}};
+  for (const auto& r : kStep3) {
+    if (s.Rule(r.s1, r.s2, 0)) break;
+  }
+
+  // Step 4: drop suffixes when m > 1.
+  static const char* kStep4[] = {"al",   "ance", "ence", "er",   "ic",  "able",
+                                 "ible", "ant",  "ement","ment", "ent", "ou",
+                                 "ism",  "ate",  "iti",  "ous",  "ive", "ize"};
+  bool fired = false;
+  for (const char* suf : kStep4) {
+    if (s.EndsWith(suf)) {
+      if (s.MeasureWithout(suf) > 1) s.Chop(std::string_view(suf).size());
+      fired = true;
+      break;
+    }
+  }
+  if (!fired && s.EndsWith("ion") && s.MeasureWithout("ion") > 1) {
+    size_t n = s.str().size();
+    if (n > 3 && (s.str()[n - 4] == 's' || s.str()[n - 4] == 't')) s.Chop(3);
+  }
+
+  // Step 5a: drop final e.
+  if (s.EndsWith("e")) {
+    size_t m = s.MeasureWithout("e");
+    if (m > 1) {
+      s.Chop(1);
+    } else if (m == 1) {
+      // remove unless the remaining stem ends cvc.
+      std::string without = s.str().substr(0, s.str().size() - 1);
+      Stem t(without);
+      if (!t.EndsCvc()) s.Chop(1);
+    }
+  }
+  // Step 5b: -ll -> -l when m > 1.
+  if (s.DoubleConsonant() && s.str().back() == 'l' && s.MeasureAll() > 1) {
+    s.Chop(1);
+  }
+
+  return s.str();
+}
+
+bool SameStem(std::string_view a, std::string_view b) {
+  return PorterStem(a) == PorterStem(b);
+}
+
+}  // namespace km

@@ -1,0 +1,25 @@
+// Porter stemmer (the classic 1980 algorithm, steps 1a–5b).
+//
+// Schema vocabularies and user keywords differ in inflection constantly
+// ("departments" vs DEPARTMENT, "publications" vs publication); stemming
+// both sides before comparison removes that noise. The implementation is
+// the standard Porter algorithm for English, ASCII-only and lower-case.
+
+#ifndef KM_TEXT_STEMMER_H_
+#define KM_TEXT_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace km {
+
+/// Returns the Porter stem of `word` (lower-cased first). Words shorter
+/// than 3 characters are returned unchanged (lower-cased).
+std::string PorterStem(std::string_view word);
+
+/// True iff both words share a Porter stem (case-insensitive).
+bool SameStem(std::string_view a, std::string_view b);
+
+}  // namespace km
+
+#endif  // KM_TEXT_STEMMER_H_

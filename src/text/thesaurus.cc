@@ -1,0 +1,145 @@
+#include "text/thesaurus.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace km {
+
+void Thesaurus::AddSynonyms(const std::vector<std::string>& words) {
+  std::vector<std::string> lower;
+  lower.reserve(words.size());
+  for (const auto& w : words) lower.push_back(ToLower(w));
+  for (const auto& w : lower) {
+    auto& group = synonyms_[w];
+    for (const auto& other : lower) {
+      if (other == w) continue;
+      if (std::find(group.begin(), group.end(), other) == group.end()) {
+        group.push_back(other);
+      }
+    }
+  }
+}
+
+void Thesaurus::AddRelated(const std::string& a, const std::string& b) {
+  std::string la = ToLower(a), lb = ToLower(b);
+  auto add = [this](const std::string& x, const std::string& y) {
+    auto& v = related_[x];
+    if (std::find(v.begin(), v.end(), y) == v.end()) v.push_back(y);
+  };
+  add(la, lb);
+  add(lb, la);
+}
+
+bool Thesaurus::AreSynonyms(std::string_view a, std::string_view b) const {
+  std::string la = ToLower(a), lb = ToLower(b);
+  auto it = synonyms_.find(la);
+  if (it == synonyms_.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), lb) != it->second.end();
+}
+
+double Thesaurus::Similarity(std::string_view a, std::string_view b) const {
+  std::string la = ToLower(a), lb = ToLower(b);
+  if (la == lb) return 1.0;
+  if (AreSynonyms(la, lb)) return kSynonymScore;
+  auto it = related_.find(la);
+  if (it != related_.end() &&
+      std::find(it->second.begin(), it->second.end(), lb) != it->second.end()) {
+    return kRelatedScore;
+  }
+  return 0.0;
+}
+
+std::vector<std::string> Thesaurus::SynonymsOf(std::string_view word) const {
+  auto it = synonyms_.find(ToLower(word));
+  if (it == synonyms_.end()) return {};
+  return it->second;
+}
+
+const Thesaurus& BuiltinThesaurus() {
+  static const Thesaurus* kThesaurus = [] {
+    auto* t = new Thesaurus();
+    // People and roles.
+    t->AddSynonyms({"person", "people", "individual", "human"});
+    t->AddSynonyms({"author", "writer", "creator"});
+    t->AddSynonyms({"director", "head", "chief", "leader"});
+    t->AddSynonyms({"member", "participant", "affiliate"});
+    t->AddSynonyms({"employee", "staff", "worker", "personnel"});
+    t->AddSynonyms({"student", "pupil", "scholar"});
+    t->AddSynonyms({"professor", "instructor", "lecturer", "teacher"});
+    // Organizations.
+    t->AddSynonyms({"university", "college", "academy"});
+    t->AddSynonyms({"department", "dept", "division", "unit"});
+    t->AddSynonyms({"organization", "organisation", "org", "institution"});
+    t->AddSynonyms({"company", "firm", "corporation", "enterprise"});
+    t->AddSynonyms({"conference", "symposium", "workshop", "venue"});
+    t->AddSynonyms({"journal", "periodical", "magazine"});
+    // Geography.
+    t->AddSynonyms({"country", "nation", "state", "land"});
+    t->AddSynonyms({"city", "town", "municipality", "metropolis"});
+    t->AddSynonyms({"province", "region", "district", "territory"});
+    t->AddSynonyms({"capital", "seat"});
+    t->AddSynonyms({"river", "stream", "waterway"});
+    t->AddSynonyms({"lake", "reservoir"});
+    t->AddSynonyms({"mountain", "peak", "mount", "summit"});
+    t->AddSynonyms({"sea", "ocean"});
+    t->AddSynonyms({"island", "isle"});
+    t->AddSynonyms({"desert", "wasteland"});
+    t->AddSynonyms({"border", "boundary", "frontier"});
+    t->AddSynonyms({"population", "inhabitants", "residents"});
+    t->AddSynonyms({"area", "surface", "extent", "size"});
+    t->AddSynonyms({"language", "tongue", "idiom"});
+    t->AddSynonyms({"religion", "faith", "creed"});
+    t->AddSynonyms({"ethnicity", "ethnic", "ethnicgroup"});
+    t->AddSynonyms({"currency", "money"});
+    t->AddSynonyms({"government", "regime", "administration"});
+    t->AddSynonyms({"independence", "sovereignty"});
+    t->AddSynonyms({"elevation", "altitude", "height"});
+    t->AddSynonyms({"depth", "deepness"});
+    t->AddSynonyms({"length", "extension"});
+    t->AddSynonyms({"abbreviation", "abbrev", "acronym", "code"});
+    t->AddSynonyms({"headquarters", "hq", "seat"});
+    // Publications.
+    t->AddSynonyms({"paper", "article", "publication", "manuscript"});
+    t->AddSynonyms({"proceedings", "proc"});
+    t->AddSynonyms({"inproceedings", "inproc", "conferencepaper"});
+    t->AddSynonyms({"title", "name", "caption"});
+    t->AddSynonyms({"abstract", "summary"});
+    t->AddSynonyms({"volume", "vol"});
+    t->AddSynonyms({"pages", "pp"});
+    t->AddSynonyms({"editor", "curator"});
+    t->AddSynonyms({"citation", "reference", "cite"});
+    t->AddSynonyms({"topic", "subject", "theme", "keyword"});
+    // Projects and generic schema words.
+    t->AddSynonyms({"project", "initiative", "programme", "program"});
+    t->AddSynonyms({"participation", "involvement"});
+    t->AddSynonyms({"affiliation", "membership"});
+    t->AddSynonyms({"phone", "telephone", "tel"});
+    t->AddSynonyms({"email", "mail", "e-mail"});
+    t->AddSynonyms({"address", "location", "addr"});
+    t->AddSynonyms({"year", "yr"});
+    t->AddSynonyms({"date", "day"});
+    t->AddSynonyms({"id", "identifier", "key", "code"});
+    t->AddSynonyms({"number", "num", "no", "count"});
+    t->AddSynonyms({"type", "kind", "category", "class"});
+    // Related (weaker) links.
+    t->AddRelated("author", "person");
+    t->AddRelated("author", "people");
+    t->AddRelated("director", "person");
+    t->AddRelated("capital", "city");
+    t->AddRelated("university", "department");
+    t->AddRelated("country", "capital");
+    t->AddRelated("paper", "proceedings");
+    t->AddRelated("paper", "journal");
+    t->AddRelated("conference", "proceedings");
+    t->AddRelated("city", "province");
+    t->AddRelated("province", "country");
+    t->AddRelated("member", "organization");
+    t->AddRelated("student", "university");
+    t->AddRelated("professor", "department");
+    return t;
+  }();
+  return *kThesaurus;
+}
+
+}  // namespace km

@@ -1,0 +1,61 @@
+// A lightweight synonym/related-term thesaurus.
+//
+// The paper's metadata approach augments pure string similarity with
+// "auxiliary external knowledge" (ontologies, thesauri). This component
+// provides that oracle: synonym groups score high, related terms
+// (broader/narrower concepts) score lower, unrelated terms score 0.
+// A built-in vocabulary covering common database-schema words ships with
+// the library (see BuiltinThesaurus); applications can extend it.
+
+#ifndef KM_TEXT_THESAURUS_H_
+#define KM_TEXT_THESAURUS_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace km {
+
+/// Synonym and related-term knowledge used for semantic matching.
+class Thesaurus {
+ public:
+  Thesaurus() = default;
+
+  /// Registers a synonym group: every pair within `words` becomes mutually
+  /// synonymous (score kSynonymScore). Case-insensitive.
+  void AddSynonyms(const std::vector<std::string>& words);
+
+  /// Registers a related pair (weaker than synonymy, score kRelatedScore).
+  void AddRelated(const std::string& a, const std::string& b);
+
+  /// Semantic similarity in [0,1]: 1 for equal (case-insensitive) words,
+  /// kSynonymScore for synonyms, kRelatedScore for related terms, else 0.
+  double Similarity(std::string_view a, std::string_view b) const;
+
+  /// True iff the two words are in the same synonym group.
+  bool AreSynonyms(std::string_view a, std::string_view b) const;
+
+  /// All synonyms registered for `word` (excluding itself).
+  std::vector<std::string> SynonymsOf(std::string_view word) const;
+
+  /// Number of distinct words known to the thesaurus.
+  size_t size() const { return synonyms_.size(); }
+
+  static constexpr double kSynonymScore = 0.9;
+  static constexpr double kRelatedScore = 0.6;
+
+ private:
+  // word -> set of synonym words (lower-cased).
+  std::unordered_map<std::string, std::vector<std::string>> synonyms_;
+  std::unordered_map<std::string, std::vector<std::string>> related_;
+};
+
+/// The thesaurus bundled with the library: synonym groups for common
+/// schema vocabulary (person/people/author, country/nation/state,
+/// department/dept, paper/article/publication, ...).
+const Thesaurus& BuiltinThesaurus();
+
+}  // namespace km
+
+#endif  // KM_TEXT_THESAURUS_H_

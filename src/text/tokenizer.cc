@@ -1,0 +1,119 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace km {
+
+namespace {
+
+// Trims punctuation that is not meaningful inside a keyword (commas,
+// question marks...) while preserving e-mail/url/date characters.
+std::string TrimPunct(const std::string& w) {
+  size_t b = 0, e = w.size();
+  auto strip = [](char c) {
+    return c == ',' || c == ';' || c == '?' || c == '!' || c == '"' || c == '(' ||
+           c == ')' || c == '[' || c == ']';
+  };
+  while (b < e && strip(w[b])) ++b;
+  while (e > b && strip(w[e - 1])) --e;
+  // A trailing period is punctuation unless the token looks like an
+  // initial ("D.") or contains other periods (e.g. "www.x.org").
+  bool is_initial = (e == b + 2) && std::isupper(static_cast<unsigned char>(w[b])) &&
+                    w[e - 1] == '.';
+  if (!is_initial && e > b + 1 && w[e - 1] == '.' && w.find('.', b) == e - 1) --e;
+  return w.substr(b, e - b);
+}
+
+}  // namespace
+
+std::string NormalizePhraseKey(const std::string& phrase) {
+  std::vector<std::string> words = SplitWhitespace(phrase);
+  std::vector<std::string> trimmed;
+  trimmed.reserve(words.size());
+  for (const std::string& w : words) {
+    std::string t = TrimPunct(w);
+    if (!t.empty()) trimmed.push_back(t);
+  }
+  return ToLower(Join(trimmed, " "));
+}
+
+std::vector<std::string> Tokenize(const std::string& query,
+                                  const TokenizerOptions& options) {
+  // Pass 1: split into raw tokens, honoring double quotes.
+  std::vector<std::string> raw;
+  std::vector<bool> quoted;
+  size_t i = 0;
+  while (i < query.size()) {
+    unsigned char c = static_cast<unsigned char>(query[i]);
+    if (std::isspace(c)) {
+      ++i;
+      continue;
+    }
+    if (query[i] == '"') {
+      size_t close = query.find('"', i + 1);
+      if (close == std::string::npos) close = query.size();
+      std::string token(Trim(query.substr(i + 1, close - i - 1)));
+      if (!token.empty()) {
+        raw.push_back(token);
+        quoted.push_back(true);
+      }
+      i = close < query.size() ? close + 1 : close;
+      continue;
+    }
+    size_t start = i;
+    while (i < query.size() && !std::isspace(static_cast<unsigned char>(query[i])) &&
+           query[i] != '"') {
+      ++i;
+    }
+    std::string token = TrimPunct(query.substr(start, i - start));
+    if (!token.empty()) {
+      raw.push_back(token);
+      quoted.push_back(false);
+    }
+  }
+
+  // Pass 2: fold multi-word phrases and drop stopwords.
+  std::vector<std::string> out;
+  size_t n = raw.size();
+  size_t pos = 0;
+  while (pos < n) {
+    if (quoted[pos]) {
+      out.push_back(raw[pos]);
+      ++pos;
+      continue;
+    }
+    // Greedy longest phrase starting here.
+    size_t best_len = 0;
+    std::string best_phrase;
+    size_t max_len = std::min(options.max_phrase_words, n - pos);
+    std::string candidate;
+    for (size_t len = 1; len <= max_len; ++len) {
+      if (quoted[pos + len - 1]) break;  // never merge across quotes
+      if (len == 1) {
+        candidate = raw[pos];
+      } else {
+        candidate += " " + raw[pos + len - 1];
+      }
+      if (len >= 2 && options.phrase_vocabulary.count(ToLower(candidate)) != 0) {
+        best_len = len;
+        best_phrase = candidate;
+      }
+    }
+    if (best_len >= 2) {
+      out.push_back(best_phrase);
+      pos += best_len;
+      continue;
+    }
+    if (options.drop_stopwords && options.stopwords.count(ToLower(raw[pos])) != 0) {
+      ++pos;
+      continue;
+    }
+    out.push_back(raw[pos]);
+    ++pos;
+  }
+  return out;
+}
+
+}  // namespace km

@@ -1,0 +1,52 @@
+// Keyword-query tokenization.
+//
+// Per the paper, a "keyword" is not always a single word: words that
+// together form a value of some attribute domain ("United States") are one
+// keyword. The tokenizer folds multi-word units using either explicit
+// quoting in the query text or a vocabulary of known multi-word values.
+
+#ifndef KM_TEXT_TOKENIZER_H_
+#define KM_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+
+namespace km {
+
+/// Options controlling tokenization.
+struct TokenizerOptions {
+  /// Lower-cased multi-word values known to appear in some domain; used to
+  /// fold adjacent words into one keyword ("united states").
+  std::unordered_set<std::string> phrase_vocabulary;
+  /// Maximum number of words folded into one keyword.
+  size_t max_phrase_words = 4;
+  /// Words dropped entirely (articles etc.). Lower-cased.
+  std::unordered_set<std::string> stopwords = {"the", "a", "an", "of", "in", "by",
+                                               "with", "and", "or"};
+  /// When false, stopwords are kept.
+  bool drop_stopwords = true;
+};
+
+/// Canonical form of a phrase-vocabulary key: each whitespace-separated
+/// word is punctuation-trimmed the way the tokenizer trims query words, and
+/// the result is lower-cased. Use this when populating
+/// TokenizerOptions::phrase_vocabulary from instance values ("Search it!" →
+/// "search it"), so lookups built from trimmed query tokens match.
+std::string NormalizePhraseKey(const std::string& phrase);
+
+/// Splits a raw query string into keywords.
+///
+/// Rules: double-quoted spans are single keywords verbatim; outside quotes,
+/// words are split on whitespace and punctuation-trimmed; maximal runs of
+/// adjacent words found in `phrase_vocabulary` fold into one keyword;
+/// stopwords are dropped (unless quoted). The original character case is
+/// preserved (recognizers use it as a signal).
+std::vector<std::string> Tokenize(const std::string& query,
+                                  const TokenizerOptions& options = {});
+
+}  // namespace km
+
+#endif  // KM_TEXT_TOKENIZER_H_

@@ -1,0 +1,66 @@
+#include "workload/metrics.h"
+
+#include "common/strings.h"
+
+namespace km {
+
+int RankOfConfiguration(const std::vector<Configuration>& ranked,
+                        const Configuration& gold) {
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (ranked[i] == gold) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int RankOfInterpretation(const std::vector<Interpretation>& ranked,
+                         const std::string& gold_signature) {
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (ranked[i].Signature() == gold_signature) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int RankOfExplanation(const std::vector<Explanation>& ranked,
+                      const std::string& gold_sql_signature) {
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (ranked[i].sql.CanonicalSignature() == gold_sql_signature) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void TopKAccuracy::Add(int rank) {
+  ranks_.push_back(rank);
+  ++total_;
+}
+
+double TopKAccuracy::AtK(size_t k) const {
+  if (total_ == 0) return 0.0;
+  size_t hits = 0;
+  for (int r : ranks_) {
+    if (r >= 0 && static_cast<size_t>(r) < k) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(total_);
+}
+
+double TopKAccuracy::Mrr() const {
+  if (total_ == 0) return 0.0;
+  double sum = 0;
+  for (int r : ranks_) {
+    if (r >= 0) sum += 1.0 / static_cast<double>(r + 1);
+  }
+  return sum / static_cast<double>(total_);
+}
+
+std::string FormatAccuracyRow(const std::string& label, const TopKAccuracy& acc,
+                              const std::vector<size_t>& ks) {
+  std::string row = StrFormat("%-34s", label.c_str());
+  for (size_t k : ks) {
+    row += StrFormat("  top-%-2zu %5.1f%%", k, 100.0 * acc.AtK(k));
+  }
+  row += StrFormat("  MRR %.3f  (n=%zu)", acc.Mrr(), acc.total());
+  return row;
+}
+
+}  // namespace km

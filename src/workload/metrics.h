@@ -1,0 +1,58 @@
+// Evaluation metrics: top-k cumulative accuracy, ranks, MRR.
+//
+// The paper evaluates effectiveness as "accuracy of the top-k results": the
+// fraction of queries whose gold configuration / interpretation /
+// explanation appears among the first k answers.
+
+#ifndef KM_WORKLOAD_METRICS_H_
+#define KM_WORKLOAD_METRICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/keymantic.h"
+#include "graph/interpretation.h"
+#include "metadata/configuration.h"
+
+namespace km {
+
+/// 0-based rank of the gold configuration in a ranked list (-1 if absent).
+int RankOfConfiguration(const std::vector<Configuration>& ranked,
+                        const Configuration& gold);
+
+/// 0-based rank of the interpretation with the given signature (-1 absent).
+int RankOfInterpretation(const std::vector<Interpretation>& ranked,
+                         const std::string& gold_signature);
+
+/// 0-based rank of the explanation whose SQL has the given canonical
+/// signature (-1 absent).
+int RankOfExplanation(const std::vector<Explanation>& ranked,
+                      const std::string& gold_sql_signature);
+
+/// Accumulates ranks and reports cumulative top-k accuracy.
+class TopKAccuracy {
+ public:
+  /// Records one query outcome; pass rank = -1 for "gold not returned".
+  void Add(int rank);
+
+  size_t total() const { return total_; }
+
+  /// Fraction of recorded queries with rank < k (0 when nothing recorded).
+  double AtK(size_t k) const;
+
+  /// Mean reciprocal rank (missing gold contributes 0).
+  double Mrr() const;
+
+ private:
+  std::vector<int> ranks_;
+  size_t total_ = 0;
+};
+
+/// Formats "top-1 .. top-k" accuracy values as a single table row.
+std::string FormatAccuracyRow(const std::string& label, const TopKAccuracy& acc,
+                              const std::vector<size_t>& ks);
+
+}  // namespace km
+
+#endif  // KM_WORKLOAD_METRICS_H_

@@ -1,0 +1,308 @@
+#include "workload/workload.h"
+
+#include <set>
+
+#include "common/strings.h"
+#include "core/translate.h"
+#include "engine/executor.h"
+#include "graph/interpretation.h"
+#include "text/thesaurus.h"
+
+namespace km {
+
+WorkloadGenerator::WorkloadGenerator(const Database& db, const Terminology& terminology,
+                                     const SchemaGraph& graph, WorkloadOptions options)
+    : db_(db), terminology_(terminology), graph_(graph), options_(options) {}
+
+StatusOr<std::vector<WorkloadQuery>> WorkloadGenerator::Generate(
+    const std::vector<QueryTemplate>& templates) const {
+  Rng rng(options_.seed);
+  std::vector<WorkloadQuery> out;
+  for (size_t ti = 0; ti < templates.size(); ++ti) {
+    for (size_t q = 0; q < options_.queries_per_template; ++q) {
+      auto query = Instantiate(templates[ti], ti, &rng);
+      if (query.ok()) out.push_back(std::move(*query));
+    }
+  }
+  if (out.empty()) {
+    return Status::FailedPrecondition("no template could be instantiated");
+  }
+  return out;
+}
+
+StatusOr<WorkloadQuery> WorkloadGenerator::Instantiate(const QueryTemplate& tmpl,
+                                                       size_t template_index,
+                                                       Rng* rng) const {
+  WorkloadQuery query;
+  query.template_index = template_index;
+  const Thesaurus& thesaurus = BuiltinThesaurus();
+
+  // Pass 1: resolve the gold term of every keyword slot.
+  for (const KeywordSpec& spec : tmpl.keywords) {
+    std::optional<size_t> idx;
+    switch (spec.term_kind) {
+      case TermKind::kRelation:
+        idx = terminology_.RelationTerm(spec.relation);
+        break;
+      case TermKind::kAttribute:
+        idx = terminology_.AttributeTerm(spec.relation, spec.attribute);
+        break;
+      case TermKind::kDomain:
+        idx = terminology_.DomainTerm(spec.relation, spec.attribute);
+        break;
+    }
+    if (!idx) {
+      return Status::NotFound("template references unknown term " + spec.relation +
+                              "." + spec.attribute);
+    }
+    query.gold_config.term_for_keyword.push_back(*idx);
+  }
+  if (!query.gold_config.IsInjective()) {
+    return Status::FailedPrecondition("template instantiation produced a "
+                                      "non-injective gold configuration");
+  }
+
+  // Pass 2: gold interpretation — the minimum Steiner tree over the
+  // generator's graph (unit weights unless the caller installed others).
+  std::vector<size_t> terminals = TerminalsOfConfiguration(query.gold_config);
+  SteinerOptions steiner;
+  steiner.k = 1;
+  KM_ASSIGN_OR_RETURN(std::vector<Interpretation> trees,
+                      TopKSteinerTrees(graph_, terminals, steiner));
+  if (trees.empty()) {
+    return Status::FailedPrecondition("gold terminals are disconnected");
+  }
+  const Interpretation& gold_tree = trees[0];
+  query.gold_interp_signature = gold_tree.Signature();
+
+  // Pass 3: draw *correlated* values for the value slots by sampling one
+  // row of the gold join. Users query facts that exist: "Vokram IT" is
+  // asked by someone who knows Vokram relates to IT, so the instantiated
+  // values must co-occur in the database. Falls back to independent
+  // per-attribute draws when the gold join is empty.
+  std::vector<Value> drawn(tmpl.keywords.size());
+  {
+    SpjQuery join_query;
+    std::set<std::string> rels;
+    for (size_t n : gold_tree.nodes) rels.insert(terminology_.term(n).relation);
+    join_query.relations.assign(rels.begin(), rels.end());
+    for (size_t e : gold_tree.edges) {
+      const GraphEdge& edge = graph_.edges()[e];
+      if (edge.kind != EdgeKind::kForeignKey || edge.fk_index < 0) continue;
+      const ForeignKey& fk =
+          db_.schema().foreign_keys()[static_cast<size_t>(edge.fk_index)];
+      join_query.joins.push_back(
+          {{fk.from_relation, fk.from_attribute}, {fk.to_relation, fk.to_attribute}});
+    }
+    for (const KeywordSpec& spec : tmpl.keywords) {
+      if (spec.term_kind == TermKind::kDomain) {
+        join_query.select.push_back({spec.relation, spec.attribute});
+      }
+    }
+    Executor exec(db_);
+    bool correlated = false;
+    if (options_.correlate_values && !join_query.select.empty()) {
+      auto rs = exec.Execute(join_query);
+      if (rs.ok() && !rs->empty()) {
+        // Try a few rows until every selected value is non-NULL.
+        for (int attempt = 0; attempt < 16 && !correlated; ++attempt) {
+          const Row& row = rs->rows[rng->Uniform(rs->size())];
+          bool all_set = true;
+          size_t col = 0;
+          for (size_t i = 0; i < tmpl.keywords.size(); ++i) {
+            if (tmpl.keywords[i].term_kind != TermKind::kDomain) continue;
+            if (row[col].is_null()) {
+              all_set = false;
+              break;
+            }
+            drawn[i] = row[col];
+            ++col;
+          }
+          correlated = all_set;
+        }
+      }
+    }
+    if (!join_query.select.empty() && !correlated) {
+      // Fallback: independent draws per attribute.
+      for (size_t i = 0; i < tmpl.keywords.size(); ++i) {
+        const KeywordSpec& spec = tmpl.keywords[i];
+        if (spec.term_kind != TermKind::kDomain) continue;
+        const Table* table = db_.FindTable(spec.relation);
+        if (table == nullptr || table->empty()) {
+          return Status::FailedPrecondition("empty relation " + spec.relation);
+        }
+        auto attr = table->schema().AttributeIndex(spec.attribute);
+        if (!attr) return Status::NotFound("missing attribute");
+        for (int attempt = 0; attempt < 32 && drawn[i].is_null(); ++attempt) {
+          const Row& row = table->rows()[rng->Uniform(table->size())];
+          drawn[i] = row[*attr];
+        }
+        if (drawn[i].is_null()) {
+          return Status::FailedPrecondition("attribute " + spec.relation + "." +
+                                            spec.attribute + " has only NULLs");
+        }
+      }
+    }
+  }
+
+  // Pass 4: render keywords with perturbations (synonyms for schema words,
+  // random lower-casing for any keyword).
+  for (size_t i = 0; i < tmpl.keywords.size(); ++i) {
+    const KeywordSpec& spec = tmpl.keywords[i];
+    std::string keyword;
+    switch (spec.term_kind) {
+      case TermKind::kRelation:
+        keyword = spec.relation;
+        break;
+      case TermKind::kAttribute:
+        keyword = spec.attribute;
+        break;
+      case TermKind::kDomain:
+        keyword = drawn[i].ToString();
+        break;
+    }
+    if (spec.term_kind != TermKind::kDomain && rng->Bernoulli(options_.synonym_prob)) {
+      std::vector<std::string> syns = thesaurus.SynonymsOf(keyword);
+      if (!syns.empty()) keyword = rng->Pick(syns);
+    }
+    if (rng->Bernoulli(options_.lowercase_prob)) keyword = ToLower(keyword);
+    query.keywords.push_back(keyword);
+  }
+
+  KM_ASSIGN_OR_RETURN(query.gold_sql,
+                      TranslateToSql(query.keywords, query.gold_config, gold_tree,
+                                     terminology_, db_.schema(), graph_));
+  query.gold_sql_signature = query.gold_sql.CanonicalSignature();
+  return query;
+}
+
+std::vector<QueryTemplate> UniversityTemplates() {
+  using KS = KeywordSpec;
+  return {
+      {"person-by-name", {KS::ValueOf("PEOPLE", "Name")}},
+      {"person-country",
+       {KS::ValueOf("PEOPLE", "Name"), KS::ValueOf("UNIVERSITY", "Country")}},
+      {"schema-value-name",
+       {KS::Attribute("PEOPLE", "Name"), KS::ValueOf("PEOPLE", "Name")}},
+      {"dept-of-university",
+       {KS::ValueOf("DEPARTMENT", "Name"), KS::ValueOf("UNIVERSITY", "Name")}},
+      {"person-project",
+       {KS::ValueOf("PEOPLE", "Name"), KS::ValueOf("PROJECT", "Name")}},
+      {"projects-topic-year",
+       {KS::Relation("PROJECT"), KS::ValueOf("PROJECT", "Topic"),
+        KS::ValueOf("PROJECT", "Year")}},
+      {"university-city",
+       {KS::Relation("UNIVERSITY"), KS::ValueOf("UNIVERSITY", "City")}},
+      {"person-email", {KS::ValueOf("PEOPLE", "Email")}},
+      {"person-phone-country",
+       {KS::ValueOf("PEOPLE", "Phone"), KS::ValueOf("PEOPLE", "Country")}},
+      {"affiliation-year",
+       {KS::ValueOf("PEOPLE", "Name"), KS::ValueOf("DEPARTMENT", "Name"),
+        KS::ValueOf("AFFILIATED", "Year")}},
+      {"project-university",
+       {KS::ValueOf("PROJECT", "Name"), KS::ValueOf("UNIVERSITY", "Name")}},
+      {"director-of-dept",
+       {KS::Attribute("DEPARTMENT", "Director"), KS::ValueOf("DEPARTMENT", "Name")}},
+      {"people-of-city-5kw",
+       {KS::Relation("PEOPLE"), KS::Attribute("PEOPLE", "Name"),
+        KS::ValueOf("UNIVERSITY", "City"), KS::ValueOf("UNIVERSITY", "Country"),
+        KS::ValueOf("DEPARTMENT", "Name")}},
+  };
+}
+
+std::vector<QueryTemplate> MondialTemplates() {
+  using KS = KeywordSpec;
+  return {
+      {"country-by-name", {KS::ValueOf("COUNTRY", "Name")}},
+      {"city-of-country",
+       {KS::ValueOf("CITY", "Name"), KS::ValueOf("COUNTRY", "Name")}},
+      {"capital-of", {KS::Attribute("COUNTRY", "Capital"), KS::ValueOf("COUNTRY", "Name")}},
+      {"river-in-country",
+       {KS::ValueOf("RIVER", "Name"), KS::ValueOf("COUNTRY", "Name")}},
+      {"mountain-elevation",
+       {KS::Relation("MOUNTAIN"), KS::Attribute("MOUNTAIN", "Elevation"),
+        KS::ValueOf("MOUNTAIN", "Name")}},
+      {"language-of-country",
+       {KS::ValueOf("LANGUAGE", "Name"), KS::ValueOf("COUNTRY", "Name")}},
+      {"religion-percentage",
+       {KS::Relation("RELIGION"), KS::ValueOf("RELIGION", "Name")}},
+      {"org-members", {KS::ValueOf("ORGANIZATION", "Abbreviation"),
+                       KS::Relation("COUNTRY")}},
+      {"province-population",
+       {KS::ValueOf("PROVINCE", "Name"), KS::Attribute("PROVINCE", "Population")}},
+      {"lake-in-province",
+       {KS::ValueOf("LAKE", "Name"), KS::ValueOf("PROVINCE", "Name")}},
+      {"country-continent",
+       {KS::ValueOf("COUNTRY", "Name"), KS::ValueOf("CONTINENT", "Name")}},
+      {"city-population-country",
+       {KS::Relation("CITY"), KS::Attribute("CITY", "Population"),
+        KS::ValueOf("COUNTRY", "Name")}},
+      {"economy-currency",
+       {KS::ValueOf("ECONOMY", "Currency"), KS::ValueOf("COUNTRY", "Name")}},
+      {"island-area-5kw",
+       {KS::Relation("ISLAND"), KS::Attribute("ISLAND", "Area"),
+        KS::ValueOf("ISLAND", "Name"), KS::ValueOf("COUNTRY", "Name"),
+        KS::ValueOf("PROVINCE", "Name")}},
+  };
+}
+
+std::vector<QueryTemplate> DblpTemplates() {
+  using KS = KeywordSpec;
+  return {
+      {"author-by-name", {KS::ValueOf("PERSON", "Name")}},
+      {"papers-of-author",
+       {KS::Relation("ARTICLE"), KS::ValueOf("PERSON", "Name")}},
+      {"author-year",
+       {KS::ValueOf("PERSON", "Name"), KS::ValueOf("INPROCEEDINGS", "Year")}},
+      {"paper-title", {KS::ValueOf("ARTICLE", "Title")}},
+      {"conference-year",
+       {KS::ValueOf("CONFERENCE", "Acronym"), KS::ValueOf("PROCEEDINGS", "Year")}},
+      {"author-conference",
+       {KS::ValueOf("PERSON", "Name"), KS::ValueOf("CONFERENCE", "Acronym")}},
+      {"journal-volume",
+       {KS::ValueOf("JOURNAL", "Name"), KS::Attribute("ARTICLE", "Volume")}},
+      {"editor-of-proceedings",
+       {KS::Relation("EDITOR"), KS::ValueOf("PROCEEDINGS", "Title")}},
+      {"thesis-school",
+       {KS::Relation("PHDTHESIS"), KS::ValueOf("PHDTHESIS", "School")}},
+      {"publisher-proceedings",
+       {KS::ValueOf("PUBLISHER", "Name"), KS::Relation("PROCEEDINGS")}},
+      {"author-title-year",
+       {KS::ValueOf("PERSON", "Name"), KS::ValueOf("INPROCEEDINGS", "Title"),
+        KS::ValueOf("INPROCEEDINGS", "Year")}},
+      {"series-volume",
+       {KS::ValueOf("SERIES", "Name"), KS::Attribute("PROCEEDINGS_SERIES", "Volume")}},
+      {"coauthors-5kw",
+       {KS::Relation("PERSON"), KS::Attribute("PERSON", "Name"),
+        KS::ValueOf("ARTICLE", "Title"), KS::ValueOf("ARTICLE", "Year"),
+        KS::ValueOf("JOURNAL", "Name")}},
+  };
+}
+
+
+std::vector<QueryTemplate> ImdbTemplates() {
+  using KS = KeywordSpec;
+  return {
+      {"movie-by-title", {KS::ValueOf("MOVIE", "Title")}},
+      {"movies-of-actor", {KS::Relation("MOVIE"), KS::ValueOf("PERSON", "Name")}},
+      {"actor-movie",
+       {KS::ValueOf("PERSON", "Name"), KS::ValueOf("MOVIE", "Title")}},
+      {"movie-year", {KS::ValueOf("MOVIE", "Title"), KS::ValueOf("MOVIE", "Year")}},
+      {"genre-movies", {KS::ValueOf("GENRE", "Name"), KS::Relation("MOVIE")}},
+      {"director-of", {KS::Relation("DIRECTS"), KS::ValueOf("MOVIE", "Title")}},
+      {"company-country",
+       {KS::ValueOf("COMPANY", "Name"), KS::ValueOf("COMPANY", "Country")}},
+      {"movie-rating",
+       {KS::ValueOf("MOVIE", "Title"), KS::Attribute("RATING", "Score")}},
+      {"actor-genre",
+       {KS::ValueOf("PERSON", "Name"), KS::ValueOf("GENRE", "Name")}},
+      {"movie-company",
+       {KS::ValueOf("MOVIE", "Title"), KS::ValueOf("COMPANY", "Name")}},
+      {"keyword-movies", {KS::ValueOf("KEYWORD", "Word"), KS::Relation("MOVIE")}},
+      {"actor-year-genre-4kw",
+       {KS::ValueOf("PERSON", "Name"), KS::ValueOf("MOVIE", "Year"),
+        KS::ValueOf("GENRE", "Name"), KS::Attribute("MOVIE", "Title")}},
+  };
+}
+
+}  // namespace km

@@ -1,0 +1,109 @@
+// Keyword-query workload generation with gold labels.
+//
+// Following the paper's methodology, large evaluation workloads are
+// generated from a seed set of query *templates*: each template fixes the
+// intended configuration symbolically (this keyword is the name of relation
+// X; that keyword is a value of attribute Y) and the generator instantiates
+// it against the instance — drawing concrete values, optionally replacing
+// schema words with synonyms and perturbing case — while recording the gold
+// configuration, gold interpretation and gold SQL for scoring.
+
+#ifndef KM_WORKLOAD_WORKLOAD_H_
+#define KM_WORKLOAD_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "engine/query.h"
+#include "graph/schema_graph.h"
+#include "metadata/configuration.h"
+#include "metadata/term.h"
+#include "relational/database.h"
+
+namespace km {
+
+/// Symbolic description of one keyword slot of a template.
+struct KeywordSpec {
+  /// The gold database term of the keyword.
+  TermKind term_kind = TermKind::kDomain;
+  std::string relation;
+  std::string attribute;  ///< empty when term_kind == kRelation
+
+  /// Convenience factories.
+  static KeywordSpec Relation(std::string rel) {
+    return {TermKind::kRelation, std::move(rel), ""};
+  }
+  static KeywordSpec Attribute(std::string rel, std::string attr) {
+    return {TermKind::kAttribute, std::move(rel), std::move(attr)};
+  }
+  static KeywordSpec ValueOf(std::string rel, std::string attr) {
+    return {TermKind::kDomain, std::move(rel), std::move(attr)};
+  }
+};
+
+/// A query template: an ordered list of keyword slots.
+struct QueryTemplate {
+  std::string name;
+  std::vector<KeywordSpec> keywords;
+};
+
+/// A generated query with its gold labels.
+struct WorkloadQuery {
+  std::vector<std::string> keywords;
+  Configuration gold_config;              ///< resolved against the Terminology
+  std::string gold_interp_signature;      ///< signature of the gold join tree
+  SpjQuery gold_sql;
+  std::string gold_sql_signature;
+  size_t template_index = 0;
+};
+
+/// Generation knobs.
+struct WorkloadOptions {
+  size_t queries_per_template = 20;
+  /// Probability of replacing a schema keyword with a thesaurus synonym.
+  double synonym_prob = 0.25;
+  /// Probability of lower-casing a keyword.
+  double lowercase_prob = 0.2;
+  /// When true (default), value keywords are drawn from one row of the
+  /// gold join, so the instantiated facts co-occur in the database. When
+  /// false, values are drawn independently per attribute — many resulting
+  /// queries then have empty gold answers (used to study the
+  /// empty-interpretation problem).
+  bool correlate_values = true;
+  uint64_t seed = 101;
+};
+
+/// Generates labelled workloads for a database.
+class WorkloadGenerator {
+ public:
+  /// The graph supplies gold interpretations (minimum Steiner tree over
+  /// unit weights) and must be built over `terminology`.
+  WorkloadGenerator(const Database& db, const Terminology& terminology,
+                    const SchemaGraph& graph, WorkloadOptions options = {});
+
+  /// Instantiates every template `queries_per_template` times. Templates
+  /// whose value slots reference empty attributes are skipped.
+  StatusOr<std::vector<WorkloadQuery>> Generate(
+      const std::vector<QueryTemplate>& templates) const;
+
+ private:
+  StatusOr<WorkloadQuery> Instantiate(const QueryTemplate& tmpl,
+                                      size_t template_index, Rng* rng) const;
+
+  const Database& db_;
+  const Terminology& terminology_;
+  const SchemaGraph& graph_;
+  WorkloadOptions options_;
+};
+
+/// The built-in template sets for the three datasets.
+std::vector<QueryTemplate> UniversityTemplates();
+std::vector<QueryTemplate> MondialTemplates();
+std::vector<QueryTemplate> DblpTemplates();
+std::vector<QueryTemplate> ImdbTemplates();
+
+}  // namespace km
+
+#endif  // KM_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,276 @@
+// Tests for km_common: Status/StatusOr, string utilities, Rng, Matrix.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+
+namespace km {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, NamedConstructorsCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::NotFound("missing relation").ToString(),
+            "NotFound: missing relation");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v = std::string("hello");
+  std::string s = std::move(v).value();
+  EXPECT_EQ(s, "hello");
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+StatusOr<int> Quarter(int x) {
+  KM_ASSIGN_OR_RETURN(int h, Half(x));
+  KM_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(StatusOrTest, AssignOrReturnMacroPropagates) {
+  auto ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  auto bad = Quarter(6);  // 6/2=3 is odd
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --------------------------------------------------------------- strings
+
+TEST(StringsTest, ToLowerUpper) {
+  EXPECT_EQ(ToLower("AbC12"), "abc12");
+  EXPECT_EQ(ToUpper("AbC12"), "ABC12");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  a b  "), "a b");
+  EXPECT_EQ(Trim("\t\nx"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringsTest, SplitKeepsEmptyPieces) {
+  EXPECT_EQ(Split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, SplitWhitespaceDropsEmpties) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(StringsTest, StartsEndsContains) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+  EXPECT_TRUE(EndsWith("hello", "lo"));
+  EXPECT_FALSE(EndsWith("lo", "hello"));
+  EXPECT_TRUE(Contains("hello", "ell"));
+  EXPECT_FALSE(Contains("hello", "xyz"));
+}
+
+struct IdentCase {
+  const char* input;
+  std::vector<std::string> expected;
+};
+
+class SplitIdentifierWordsTest : public ::testing::TestWithParam<IdentCase> {};
+
+TEST_P(SplitIdentifierWordsTest, SplitsAsExpected) {
+  EXPECT_EQ(SplitIdentifierWords(GetParam().input), GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SplitIdentifierWordsTest,
+    ::testing::Values(
+        IdentCase{"personName", {"person", "name"}},
+        IdentCase{"person_name", {"person", "name"}},
+        IdentCase{"Person-Name", {"person", "name"}},
+        IdentCase{"PEOPLE", {"people"}},
+        IdentCase{"HTTPServer", {"http", "server"}},
+        IdentCase{"author_inproceedings", {"author", "inproceedings"}},
+        IdentCase{"IdPrs", {"id", "prs"}},
+        IdentCase{"a", {"a"}},
+        IdentCase{"", {}},
+        IdentCase{"GDP", {"gdp"}},
+        IdentCase{"some.dotted.name", {"some", "dotted", "name"}}));
+
+TEST(StringsTest, IsAllDigits) {
+  EXPECT_TRUE(IsAllDigits("0123"));
+  EXPECT_FALSE(IsAllDigits("12a"));
+  EXPECT_FALSE(IsAllDigits(""));
+  EXPECT_FALSE(IsAllDigits("-12"));
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+// ------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.Next() != b.Next());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Uniform(17), 17u);
+}
+
+TEST(RngTest, UniformIntRespectsRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-3, 4);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 4);
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ZipfSamplerTest, SkewsTowardLowRanks) {
+  Rng rng(17);
+  ZipfSampler zipf(100, 1.2);
+  size_t low = 0, total = 20000;
+  for (size_t i = 0; i < total; ++i) {
+    if (zipf.Sample(&rng) < 10) ++low;
+  }
+  // With s=1.2 the first 10 of 100 ranks should get well over a third.
+  EXPECT_GT(low, total / 3);
+}
+
+TEST(ZipfSamplerTest, ZeroExponentIsUniformish) {
+  Rng rng(19);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<size_t> counts(10, 0);
+  for (size_t i = 0; i < 10000; ++i) ++counts[zipf.Sample(&rng)];
+  for (size_t c : counts) {
+    EXPECT_GT(c, 700u);
+    EXPECT_LT(c, 1300u);
+  }
+}
+
+// ---------------------------------------------------------------- Matrix
+
+TEST(MatrixTest, FillAndAccess) {
+  Matrix m(2, 3, 0.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 0.5);
+  m.At(0, 1) = 2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+}
+
+TEST(MatrixTest, MaxOverEntries) {
+  Matrix m(2, 2);
+  m.At(0, 0) = -1;
+  m.At(1, 1) = 3;
+  EXPECT_DOUBLE_EQ(m.Max(), 3.0);
+  EXPECT_DOUBLE_EQ(Matrix().Max(), 0.0);
+}
+
+TEST(MatrixTest, NormalizeRows) {
+  Matrix m(2, 2);
+  m.At(0, 0) = 1;
+  m.At(0, 1) = 3;
+  // Row 1 is all zeros and must stay zero.
+  m.NormalizeRows();
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 0.25);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 0.75);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 0.0);
+}
+
+TEST(StopwatchTest, MeasuresNonNegativeTime) {
+  Stopwatch sw;
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+  sw.Reset();
+  EXPECT_GE(sw.ElapsedMicros(), 0.0);
+}
+
+}  // namespace
+}  // namespace km

@@ -1,0 +1,429 @@
+// End-to-end tests for km_core: the KeymanticEngine pipeline and the SQL
+// translation (Definition 3.1).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+#include "core/feedback.h"
+#include "core/keymantic.h"
+#include "core/translate.h"
+#include "datasets/university.h"
+#include "engine/executor.h"
+
+namespace km {
+namespace {
+
+class CoreTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    UniversityOptions opts;
+    opts.extra_people = 20;
+    opts.extra_departments = 3;
+    opts.extra_universities = 2;
+    opts.extra_projects = 3;
+    auto db = BuildUniversityDatabase(opts);
+    ASSERT_TRUE(db.ok());
+    db_ = new Database(std::move(*db));
+    engine_ = new KeymanticEngine(*db_);
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete db_;
+  }
+  static Database* db_;
+  static KeymanticEngine* engine_;
+};
+
+Database* CoreTest::db_ = nullptr;
+KeymanticEngine* CoreTest::engine_ = nullptr;
+
+// --------------------------------------------------------------- Search
+
+TEST_F(CoreTest, RunningExampleTopExplanation) {
+  auto results = engine_->Search("Vokram IT", 5);
+  ASSERT_TRUE(results.ok());
+  ASSERT_FALSE(results->empty());
+  const Explanation& top = (*results)[0];
+  // Vokram must be a PEOPLE.Name predicate; IT a country predicate.
+  bool has_name_pred = false, has_country_pred = false;
+  for (const Predicate& p : top.sql.predicates) {
+    if (p.attr.attribute == "Name" && p.value == Value::Text("Vokram")) {
+      has_name_pred = true;
+    }
+    if (p.attr.attribute == "Country" && p.value == Value::Text("IT")) {
+      has_country_pred = true;
+    }
+  }
+  EXPECT_TRUE(has_name_pred) << top.sql.ToSql();
+  EXPECT_TRUE(has_country_pred) << top.sql.ToSql();
+}
+
+TEST_F(CoreTest, ResultsAreRankedAndDeduplicated) {
+  auto results = engine_->Search("Vokram IT", 10);
+  ASSERT_TRUE(results.ok());
+  std::set<std::string> sigs;
+  for (size_t i = 0; i < results->size(); ++i) {
+    EXPECT_TRUE(sigs.insert((*results)[i].sql.CanonicalSignature()).second);
+    if (i > 0) {
+      EXPECT_GE((*results)[i - 1].score + 1e-12, (*results)[i].score);
+    }
+  }
+}
+
+TEST_F(CoreTest, AllExplanationsAreExecutable) {
+  auto results = engine_->Search("Reniets EE 2012", 8);
+  ASSERT_TRUE(results.ok());
+  Executor exec(*db_);
+  for (const Explanation& ex : *results) {
+    auto rs = exec.Execute(ex.sql);
+    EXPECT_TRUE(rs.ok()) << rs.status().ToString() << "\n" << ex.sql.ToSql();
+  }
+}
+
+TEST_F(CoreTest, SingleKeywordQueries) {
+  auto results = engine_->Search("Vokram", 3);
+  ASSERT_TRUE(results.ok());
+  ASSERT_FALSE(results->empty());
+  const Explanation& top = (*results)[0];
+  EXPECT_EQ(top.sql.relations.size(), 1u);
+  EXPECT_EQ(top.sql.relations[0], "PEOPLE");
+}
+
+TEST_F(CoreTest, EmptyQueryRejected) {
+  EXPECT_EQ(engine_->Search("", 5).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine_->Search("   ", 5).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CoreTest, MultiWordValueFoldsViaPhraseVocabulary) {
+  // "Search it!" is a PROJECT.Name value containing a space; the engine's
+  // tokenizer learned it from the instance.
+  std::vector<std::string> keywords =
+      Tokenize("Search it!", engine_->tokenizer_options());
+  ASSERT_EQ(keywords.size(), 1u);
+  EXPECT_EQ(km::ToLower(keywords[0]), "search it");
+}
+
+TEST_F(CoreTest, SearchKeywordsMatchesSearch) {
+  auto a = engine_->Search("Vokram IT", 3);
+  auto b = engine_->SearchKeywords({"Vokram", "IT"}, 3);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].sql.CanonicalSignature(), (*b)[i].sql.CanonicalSignature());
+  }
+}
+
+TEST_F(CoreTest, ScoresAreNormalizedComponents) {
+  auto results = engine_->Search("Vokram IT", 5);
+  ASSERT_TRUE(results.ok());
+  for (const Explanation& ex : *results) {
+    EXPECT_GE(ex.forward_score, 0.0);
+    EXPECT_LE(ex.forward_score, 1.0);
+    EXPECT_GE(ex.backward_score, 0.0);
+    EXPECT_LE(ex.backward_score, 1.0);
+    EXPECT_GE(ex.score, 0.0);
+  }
+}
+
+// -------------------------------------------------------- Forward modes
+
+TEST_F(CoreTest, HmmAprioriModeWorks) {
+  EngineOptions opts;
+  opts.forward_mode = ForwardMode::kHmmApriori;
+  KeymanticEngine hmm_engine(*db_, opts);
+  auto results = hmm_engine.Search("Vokram IT", 5);
+  ASSERT_TRUE(results.ok());
+  EXPECT_FALSE(results->empty());
+}
+
+TEST_F(CoreTest, CombinedDstModeWorks) {
+  EngineOptions opts;
+  opts.forward_mode = ForwardMode::kCombinedDst;
+  KeymanticEngine comb_engine(*db_, opts);
+  auto results = comb_engine.Search("Vokram IT", 5);
+  ASSERT_TRUE(results.ok());
+  EXPECT_FALSE(results->empty());
+}
+
+TEST_F(CoreTest, TrainedModeFallsBackToApriori) {
+  EngineOptions opts;
+  opts.forward_mode = ForwardMode::kHmmTrained;
+  KeymanticEngine e(*db_, opts);  // no trained model installed
+  auto results = e.Search("Vokram", 3);
+  ASSERT_TRUE(results.ok());
+  EXPECT_FALSE(results->empty());
+}
+
+// -------------------------------------------------------- Combine modes
+
+TEST_F(CoreTest, CombineModesAllProduceResults) {
+  for (CombineMode mode : {CombineMode::kDst, CombineMode::kLinear,
+                           CombineMode::kForwardOnly, CombineMode::kBackwardOnly}) {
+    EngineOptions opts;
+    opts.combine_mode = mode;
+    KeymanticEngine e(*db_, opts);
+    auto results = e.Search("Vokram IT", 3);
+    ASSERT_TRUE(results.ok()) << static_cast<int>(mode);
+    EXPECT_FALSE(results->empty()) << static_cast<int>(mode);
+  }
+}
+
+TEST_F(CoreTest, BackwardOnlyPrefersShorterTrees) {
+  EngineOptions opts;
+  opts.combine_mode = CombineMode::kBackwardOnly;
+  KeymanticEngine e(*db_, opts);
+  auto results = e.Search("Vokram IT", 10);
+  ASSERT_TRUE(results.ok());
+  ASSERT_GT(results->size(), 1u);
+  for (size_t i = 1; i < results->size(); ++i) {
+    EXPECT_LE((*results)[i - 1].interpretation.cost,
+              (*results)[i].interpretation.cost + 1e-9);
+  }
+}
+
+// -------------------------------------------------------- Deep-web mode
+
+TEST_F(CoreTest, MetadataOnlyModeStillAnswers) {
+  EngineOptions opts;
+  opts.weights.use_instance_vocabulary = false;
+  opts.use_mi_weights = false;
+  opts.build_phrase_vocabulary = false;
+  KeymanticEngine deep_web(*db_, opts);
+  auto results = deep_web.Search("Vokram IT", 5);
+  ASSERT_TRUE(results.ok());
+  ASSERT_FALSE(results->empty());
+  // The shape recognizers alone should still put IT on a country column
+  // somewhere in the top-5.
+  bool country_found = false;
+  for (const Explanation& ex : *results) {
+    for (const Predicate& p : ex.sql.predicates) {
+      if (p.attr.attribute == "Country") country_found = true;
+    }
+  }
+  EXPECT_TRUE(country_found);
+}
+
+// ------------------------------------------------------------- Translate
+
+TEST_F(CoreTest, TranslateRunningExampleConfigurationA1) {
+  // Configuration A: Vokram→Dom(PEOPLE.Name), IT→Dom(UNIVERSITY.Country);
+  // interpretation [A.1] connects them through DEPARTMENT (director).
+  const Terminology& t = engine_->terminology();
+  Configuration config;
+  config.term_for_keyword = {*t.DomainTerm("PEOPLE", "Name"),
+                             *t.DomainTerm("UNIVERSITY", "Country")};
+  auto interps = engine_->Interpretations(config, 5);
+  ASSERT_TRUE(interps.ok());
+  ASSERT_FALSE(interps->empty());
+  // Find an interpretation that uses DEPARTMENT.
+  const Interpretation* dep_interp = nullptr;
+  for (const Interpretation& i : *interps) {
+    for (size_t n : i.nodes) {
+      if (t.term(n).relation == "DEPARTMENT") {
+        dep_interp = &i;
+        break;
+      }
+    }
+    if (dep_interp != nullptr) break;
+  }
+  ASSERT_NE(dep_interp, nullptr);
+  auto sql = engine_->Translate({"Vokram", "IT"}, config, *dep_interp);
+  ASSERT_TRUE(sql.ok());
+  // FROM must contain PEOPLE, DEPARTMENT, UNIVERSITY.
+  for (const char* rel : {"PEOPLE", "DEPARTMENT", "UNIVERSITY"}) {
+    EXPECT_NE(std::find(sql->relations.begin(), sql->relations.end(), rel),
+              sql->relations.end());
+  }
+  // WHERE must bind both keywords.
+  EXPECT_EQ(sql->predicates.size(), 2u);
+  // It must be executable.
+  Executor exec(*db_);
+  EXPECT_TRUE(exec.Execute(*sql).ok());
+}
+
+TEST_F(CoreTest, TranslateAddsJoinPerFkEdge) {
+  const Terminology& t = engine_->terminology();
+  Configuration config;
+  config.term_for_keyword = {*t.DomainTerm("PEOPLE", "Name"),
+                             *t.DomainTerm("PROJECT", "Name")};
+  auto interps = engine_->Interpretations(config, 1);
+  ASSERT_TRUE(interps.ok());
+  ASSERT_FALSE(interps->empty());
+  auto sql = engine_->Translate({"Vokram", "Search it!"}, config, (*interps)[0]);
+  ASSERT_TRUE(sql.ok());
+  size_t fk_edges = 0;
+  for (size_t e : (*interps)[0].edges) {
+    if (engine_->graph().edges()[e].kind == EdgeKind::kForeignKey) ++fk_edges;
+  }
+  EXPECT_EQ(sql->joins.size(), fk_edges);
+  EXPECT_GE(fk_edges, 2u);  // PEOPLE–MEMBEROF–PROJECT at least
+}
+
+TEST_F(CoreTest, TranslateRejectsArityMismatch) {
+  Configuration config;
+  config.term_for_keyword = {0, 1};
+  Interpretation interp;
+  interp.nodes = {0};
+  EXPECT_EQ(engine_->Translate({"one"}, config, interp).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(CoreTest, RelationKeywordSelectsItsAttributes) {
+  const Terminology& t = engine_->terminology();
+  Configuration config;
+  config.term_for_keyword = {*t.RelationTerm("PEOPLE"),
+                             *t.DomainTerm("PEOPLE", "Country")};
+  auto interps = engine_->Interpretations(config, 1);
+  ASSERT_TRUE(interps.ok());
+  ASSERT_FALSE(interps->empty());
+  auto sql = engine_->Translate({"people", "IT"}, config, (*interps)[0]);
+  ASSERT_TRUE(sql.ok());
+  // The relation term PEOPLE is in the tree → its attributes are selected.
+  EXPECT_FALSE(sql->select.empty());
+  for (const AttributeRef& a : sql->select) EXPECT_EQ(a.relation, "PEOPLE");
+}
+
+TEST_F(CoreTest, ExplanationToStringMentionsSqlAndScores) {
+  auto results = engine_->Search("Vokram IT", 1);
+  ASSERT_TRUE(results.ok());
+  ASSERT_FALSE(results->empty());
+  std::string s =
+      (*results)[0].ToString({"Vokram", "IT"}, engine_->terminology());
+  EXPECT_NE(s.find("SELECT"), std::string::npos);
+  EXPECT_NE(s.find("configuration:"), std::string::npos);
+  EXPECT_NE(s.find("score="), std::string::npos);
+}
+
+// ---------------------------------------------------------- Other paths
+
+TEST_F(CoreTest, PenalizeEmptyResultsDowngradesEmptySql) {
+  EngineOptions opts;
+  opts.penalize_empty_results = true;
+  KeymanticEngine e(*db_, opts);
+  // "Vokram" is from the US in the figure data; "Vokram IT" explanations
+  // over PEOPLE alone return zero tuples and should sink.
+  auto results = e.Search("Vokram US", 5);
+  ASSERT_TRUE(results.ok());
+  ASSERT_FALSE(results->empty());
+  Executor exec(*db_);
+  auto top_count = exec.Count((*results)[0].sql);
+  ASSERT_TRUE(top_count.ok());
+  EXPECT_GT(*top_count, 0u);
+}
+
+TEST_F(CoreTest, ConfigurationsEndpointExposesForwardStep) {
+  auto configs = engine_->Configurations({"Vokram", "IT"}, 5);
+  ASSERT_TRUE(configs.ok());
+  ASSERT_FALSE(configs->empty());
+  for (const Configuration& c : *configs) {
+    EXPECT_TRUE(c.IsInjective());
+    EXPECT_EQ(c.term_for_keyword.size(), 2u);
+  }
+}
+
+
+
+TEST_F(CoreTest, SummaryBackwardModeAnswersEquivalently) {
+  EngineOptions opts;
+  opts.backward_mode = BackwardMode::kSummary;
+  KeymanticEngine summary_engine(*db_, opts);
+  auto full = engine_->Search("Vokram IT", 3);
+  auto condensed = summary_engine.Search("Vokram IT", 3);
+  ASSERT_TRUE(full.ok() && condensed.ok());
+  ASSERT_FALSE(condensed->empty());
+  // The top answer must agree between the two backward modes.
+  EXPECT_EQ((*full)[0].sql.CanonicalSignature(),
+            (*condensed)[0].sql.CanonicalSignature());
+  // And every summary-mode explanation must be executable.
+  Executor exec(*db_);
+  for (const Explanation& ex : *condensed) {
+    EXPECT_TRUE(exec.Execute(ex.sql).ok()) << ex.sql.ToSql();
+  }
+}
+
+
+TEST_F(CoreTest, ExplainKeywordRanksAndLimits) {
+  auto matches = engine_->ExplainKeyword("Vokram", 5);
+  ASSERT_FALSE(matches.empty());
+  EXPECT_LE(matches.size(), 5u);
+  // Best match must be the actual home of the value.
+  EXPECT_EQ(engine_->terminology().term(matches[0].term_index).ToString(),
+            "Dom(PEOPLE.Name)");
+  for (size_t i = 1; i < matches.size(); ++i) {
+    EXPECT_GE(matches[i - 1].weight + 1e-12, matches[i].weight);
+  }
+  for (const auto& m : matches) EXPECT_GT(m.weight, 0.0);
+}
+
+TEST_F(CoreTest, ExplainKeywordSchemaWord) {
+  auto matches = engine_->ExplainKeyword("people", 3);
+  ASSERT_FALSE(matches.empty());
+  EXPECT_EQ(engine_->terminology().term(matches[0].term_index).ToString(), "PEOPLE");
+}
+
+// ------------------------------------------------------------- Feedback
+
+TEST_F(CoreTest, FeedbackConfidenceGrowsAndSaturates) {
+  Terminology terminology(db_->schema());
+  FeedbackManager fm(terminology, db_->schema());
+  double start = fm.ConfidenceFeedback();
+  Configuration c;
+  c.term_for_keyword = {*terminology.DomainTerm("PEOPLE", "Name")};
+  for (int i = 0; i < 100; ++i) fm.Accept(c);
+  double grown = fm.ConfidenceFeedback();
+  EXPECT_GT(grown, start);
+  FeedbackOptions defaults;
+  EXPECT_LE(grown, defaults.max_confidence + 1e-12);
+  EXPECT_NEAR(fm.ConfidenceApriori(), 1.0 - grown, 1e-12);
+}
+
+TEST_F(CoreTest, FeedbackRejectionsLowerConfidence) {
+  Terminology terminology(db_->schema());
+  FeedbackManager fm(terminology, db_->schema());
+  Configuration c;
+  c.term_for_keyword = {*terminology.DomainTerm("PEOPLE", "Name")};
+  for (int i = 0; i < 20; ++i) fm.Accept(c);
+  double before = fm.ConfidenceFeedback();
+  fm.Reject();
+  fm.Reject();
+  EXPECT_LT(fm.ConfidenceFeedback(), before);
+  EXPECT_EQ(fm.rejected(), 2u);
+}
+
+TEST_F(CoreTest, FeedbackConfigureSwitchesModeAtThreshold) {
+  Terminology terminology(db_->schema());
+  FeedbackOptions fopts;
+  fopts.combination_threshold = 3;
+  FeedbackManager fm(terminology, db_->schema(), fopts);
+  EngineOptions opts;
+  fm.Configure(&opts);
+  EXPECT_EQ(opts.forward_mode, ForwardMode::kHungarian);  // cold start
+  Configuration c;
+  c.term_for_keyword = {*terminology.DomainTerm("PEOPLE", "Name")};
+  for (int i = 0; i < 3; ++i) fm.Accept(c);
+  fm.Configure(&opts);
+  EXPECT_EQ(opts.forward_mode, ForwardMode::kCombinedDst);
+  EXPECT_NEAR(opts.conf_hmm + opts.conf_hungarian, 1.0, 1e-12);
+}
+
+TEST_F(CoreTest, FeedbackTrainedModelImprovesDecodingOfSeenPattern) {
+  // Teach the trainer an unusual mapping repeatedly; the trained HMM must
+  // assign it a higher probability than the untrained a-priori model.
+  Terminology terminology(db_->schema());
+  FeedbackManager fm(terminology, db_->schema());
+  size_t name_attr = *terminology.AttributeTerm("PEOPLE", "Name");
+  size_t uni_city = *terminology.DomainTerm("UNIVERSITY", "City");
+  Configuration c;
+  c.term_for_keyword = {name_attr, uni_city};
+  for (int i = 0; i < 50; ++i) fm.Accept(c);
+  Hmm trained = fm.TrainedModel();
+  Hmm apriori = BuildAprioriHmm(terminology, db_->schema());
+  EXPECT_GT(trained.transition().At(name_attr, uni_city),
+            apriori.transition().At(name_attr, uni_city));
+}
+
+}  // namespace
+}  // namespace km

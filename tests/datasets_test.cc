@@ -1,0 +1,308 @@
+// Tests for km_datasets: the three databases plus the scaling generator.
+
+#include <gtest/gtest.h>
+
+#include "datasets/dblp.h"
+#include "datasets/imdb.h"
+#include "datasets/mondial.h"
+#include "datasets/namepools.h"
+#include "datasets/scaling.h"
+#include "datasets/university.h"
+
+namespace km {
+namespace {
+
+// ------------------------------------------------------------ namepools
+
+TEST(NamePoolsTest, PoolsAreNonTrivial) {
+  EXPECT_GE(Countries().size(), 50u);
+  EXPECT_GE(FirstNames().size(), 60u);
+  EXPECT_GE(LastNames().size(), 100u);
+  EXPECT_GE(RealCities().size(), 60u);
+  EXPECT_GE(ConferenceAcronyms().size(), 15u);
+}
+
+TEST(NamePoolsTest, CountryCodesAreTwoLetters) {
+  for (const CountryInfo& c : Countries()) {
+    EXPECT_EQ(std::string(c.code).size(), 2u) << c.name;
+  }
+}
+
+TEST(NamePoolsTest, GeneratorsAreDeterministic) {
+  Rng a(5), b(5);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(MakePersonName(&a), MakePersonName(&b));
+    EXPECT_EQ(MakePlaceName(&a), MakePlaceName(&b));
+    EXPECT_EQ(MakePaperTitle(&a), MakePaperTitle(&b));
+  }
+}
+
+TEST(NamePoolsTest, PhoneIsSevenDigits) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    std::string p = MakePhone(&rng);
+    EXPECT_EQ(p.size(), 7u);
+    for (char c : p) EXPECT_TRUE(isdigit(static_cast<unsigned char>(c)));
+  }
+}
+
+TEST(NamePoolsTest, EmailLooksValid) {
+  Rng rng(2);
+  std::string e = MakeEmail("Ann Lee", &rng);
+  EXPECT_NE(e.find('@'), std::string::npos);
+  EXPECT_EQ(e.find(' '), std::string::npos);
+}
+
+// ----------------------------------------------------------- university
+
+TEST(UniversityTest, ContainsFigureTuples) {
+  auto db = BuildUniversityDatabase();
+  ASSERT_TRUE(db.ok());
+  const Table* people = db->FindTable("PEOPLE");
+  ASSERT_NE(people, nullptr);
+  EXPECT_TRUE(people->LookupByKey(Value::Text("p1")).has_value());
+  EXPECT_TRUE(people->ContainsValue(1, Value::Text("Vokram")));
+  const Table* uni = db->FindTable("UNIVERSITY");
+  EXPECT_TRUE(uni->LookupByKey(Value::Text("MIT")).has_value());
+  EXPECT_TRUE(uni->LookupByKey(Value::Text("UTN")).has_value());
+  const Table* dept = db->FindTable("DEPARTMENT");
+  EXPECT_TRUE(dept->LookupByKey(Value::Text("x123")).has_value());
+}
+
+TEST(UniversityTest, IntegrityHolds) {
+  auto db = BuildUniversityDatabase();
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE(db->CheckIntegrity().ok());
+}
+
+TEST(UniversityTest, SevenRelationsEightForeignKeys) {
+  auto db = BuildUniversityDatabase();
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->schema().relations().size(), 7u);
+  EXPECT_EQ(db->schema().foreign_keys().size(), 8u);
+}
+
+TEST(UniversityTest, ScalingKnobsGrowTheInstance) {
+  UniversityOptions small;
+  small.extra_people = 0;
+  small.extra_departments = 0;
+  small.extra_universities = 0;
+  small.extra_projects = 0;
+  UniversityOptions large;
+  large.extra_people = 100;
+  auto s = BuildUniversityDatabase(small);
+  auto l = BuildUniversityDatabase(large);
+  ASSERT_TRUE(s.ok() && l.ok());
+  EXPECT_GT(l->TotalRows(), s->TotalRows() + 100);
+}
+
+TEST(UniversityTest, DeterministicForSameSeed) {
+  auto a = BuildUniversityDatabase();
+  auto b = BuildUniversityDatabase();
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->TotalRows(), b->TotalRows());
+  const Table* ta = a->FindTable("PEOPLE");
+  const Table* tb = b->FindTable("PEOPLE");
+  ASSERT_EQ(ta->size(), tb->size());
+  for (size_t i = 0; i < ta->size(); ++i) EXPECT_EQ(ta->rows()[i], tb->rows()[i]);
+}
+
+// -------------------------------------------------------------- mondial
+
+class MondialTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto db = BuildMondialDatabase();
+    ASSERT_TRUE(db.ok());
+    db_ = new Database(std::move(*db));
+  }
+  static void TearDownTestSuite() { delete db_; }
+  static Database* db_;
+};
+
+Database* MondialTest::db_ = nullptr;
+
+TEST_F(MondialTest, HasComplexSchema) {
+  EXPECT_GE(db_->schema().relations().size(), 20u);
+  EXPECT_GE(db_->schema().foreign_keys().size(), 25u);
+}
+
+TEST_F(MondialTest, IntegrityHolds) { EXPECT_TRUE(db_->CheckIntegrity().ok()); }
+
+TEST_F(MondialTest, CountriesUseRealCodes) {
+  const Table* country = db_->FindTable("COUNTRY");
+  ASSERT_NE(country, nullptr);
+  EXPECT_EQ(country->size(), Countries().size());
+  EXPECT_TRUE(country->LookupByKey(Value::Text("IT")).has_value());
+  EXPECT_TRUE(country->LookupByKey(Value::Text("US")).has_value());
+}
+
+TEST_F(MondialTest, CitiesPopulated) {
+  const Table* city = db_->FindTable("CITY");
+  ASSERT_NE(city, nullptr);
+  EXPECT_GT(city->size(), 100u);
+}
+
+TEST_F(MondialTest, BordersStayWithinContinent) {
+  // Construction property: borders only between same-continent countries.
+  const Table* borders = db_->FindTable("BORDERS");
+  ASSERT_NE(borders, nullptr);
+  EXPECT_GT(borders->size(), 10u);
+}
+
+// ----------------------------------------------------------------- dblp
+
+class DblpTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DblpOptions opts;
+    opts.persons = 300;
+    opts.articles = 400;
+    opts.inproceedings = 500;
+    opts.phd_theses = 30;
+    auto db = BuildDblpDatabase(opts);
+    ASSERT_TRUE(db.ok());
+    db_ = new Database(std::move(*db));
+  }
+  static void TearDownTestSuite() { delete db_; }
+  static Database* db_;
+};
+
+Database* DblpTest::db_ = nullptr;
+
+TEST_F(DblpTest, HasFlatSchema) {
+  EXPECT_EQ(db_->schema().relations().size(), 13u);
+  EXPECT_GE(db_->schema().foreign_keys().size(), 13u);
+}
+
+TEST_F(DblpTest, IntegrityHolds) { EXPECT_TRUE(db_->CheckIntegrity().ok()); }
+
+TEST_F(DblpTest, SizesMatchOptions) {
+  EXPECT_EQ(db_->FindTable("PERSON")->size(), 300u);
+  EXPECT_EQ(db_->FindTable("ARTICLE")->size(), 400u);
+  EXPECT_EQ(db_->FindTable("INPROCEEDINGS")->size(), 500u);
+}
+
+TEST_F(DblpTest, EveryPaperHasAnAuthor) {
+  const Table* aa = db_->FindTable("AUTHOR_ARTICLE");
+  const Table* ai = db_->FindTable("AUTHOR_INPROCEEDINGS");
+  EXPECT_GE(aa->size(), db_->FindTable("ARTICLE")->size());
+  EXPECT_GE(ai->size(), db_->FindTable("INPROCEEDINGS")->size());
+}
+
+TEST_F(DblpTest, InproceedingsYearMatchesProceedings) {
+  const Table* inp = db_->FindTable("INPROCEEDINGS");
+  const Table* proc = db_->FindTable("PROCEEDINGS");
+  auto proc_col = inp->schema().AttributeIndex("Proceedings");
+  auto year_col = inp->schema().AttributeIndex("Year");
+  auto pyear_col = proc->schema().AttributeIndex("Year");
+  ASSERT_TRUE(proc_col && year_col && pyear_col);
+  for (size_t i = 0; i < std::min<size_t>(inp->size(), 100); ++i) {
+    const Row& row = inp->rows()[i];
+    auto p = proc->LookupByKey(row[*proc_col]);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(row[*year_col], proc->rows()[*p][*pyear_col]);
+  }
+}
+
+TEST_F(DblpTest, PersonNamesAreUnique) {
+  const Table* person = db_->FindTable("PERSON");
+  auto name_col = person->schema().AttributeIndex("Name");
+  ASSERT_TRUE(name_col.has_value());
+  EXPECT_EQ(person->DistinctValues(*name_col).size(), person->size());
+}
+
+
+// ----------------------------------------------------------------- imdb
+
+class ImdbTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ImdbOptions opts;
+    opts.movies = 200;
+    opts.persons = 300;
+    auto db = BuildImdbDatabase(opts);
+    ASSERT_TRUE(db.ok());
+    db_ = new Database(std::move(*db));
+  }
+  static void TearDownTestSuite() { delete db_; }
+  static Database* db_;
+};
+
+Database* ImdbTest::db_ = nullptr;
+
+TEST_F(ImdbTest, SchemaShape) {
+  EXPECT_EQ(db_->schema().relations().size(), 11u);
+  EXPECT_EQ(db_->schema().foreign_keys().size(), 11u);
+}
+
+TEST_F(ImdbTest, IntegrityHolds) { EXPECT_TRUE(db_->CheckIntegrity().ok()); }
+
+TEST_F(ImdbTest, EveryMovieHasCastDirectorAndRating) {
+  EXPECT_EQ(db_->FindTable("MOVIE")->size(), 200u);
+  EXPECT_GE(db_->FindTable("CASTING")->size(), 200u);
+  EXPECT_EQ(db_->FindTable("DIRECTS")->size(), 200u);
+  EXPECT_EQ(db_->FindTable("RATING")->size(), 200u);
+  EXPECT_EQ(db_->FindTable("PRODUCED_BY")->size(), 200u);
+}
+
+TEST_F(ImdbTest, GenresAreFixedVocabulary) {
+  const Table* genre = db_->FindTable("GENRE");
+  EXPECT_EQ(genre->size(), 12u);
+  EXPECT_TRUE(genre->ContainsValue(1, Value::Text("Drama")));
+}
+
+TEST_F(ImdbTest, DeterministicForSameSeed) {
+  ImdbOptions opts;
+  opts.movies = 50;
+  opts.persons = 80;
+  auto a = BuildImdbDatabase(opts);
+  auto b = BuildImdbDatabase(opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->TotalRows(), b->TotalRows());
+}
+
+// -------------------------------------------------------------- scaling
+
+TEST(ScalingTest, TerminologySizeFormula) {
+  ScalingOptions opts;
+  opts.num_relations = 8;
+  opts.attributes_per_relation = 4;
+  opts.extra_fk_fraction = 0.0;
+  auto db = BuildScalingDatabase(opts);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->schema().TerminologySize(), 8u * (1 + 2 * 4));
+}
+
+TEST(ScalingTest, ChainIsConnected) {
+  ScalingOptions opts;
+  opts.num_relations = 6;
+  auto db = BuildScalingDatabase(opts);
+  ASSERT_TRUE(db.ok());
+  EXPECT_GE(db->schema().foreign_keys().size(), 5u);
+  EXPECT_TRUE(db->CheckIntegrity().ok());
+}
+
+TEST(ScalingTest, ChordsAddJoinPaths) {
+  ScalingOptions with, without;
+  with.num_relations = 10;
+  with.extra_fk_fraction = 0.5;
+  without.num_relations = 10;
+  without.extra_fk_fraction = 0.0;
+  auto a = BuildScalingDatabase(with);
+  auto b = BuildScalingDatabase(without);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_GT(a->schema().foreign_keys().size(), b->schema().foreign_keys().size());
+}
+
+TEST(ScalingTest, RejectsDegenerateOptions) {
+  ScalingOptions opts;
+  opts.num_relations = 0;
+  EXPECT_FALSE(BuildScalingDatabase(opts).ok());
+  opts.num_relations = 3;
+  opts.attributes_per_relation = 1;
+  EXPECT_FALSE(BuildScalingDatabase(opts).ok());
+}
+
+}  // namespace
+}  // namespace km

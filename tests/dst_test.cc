@@ -1,0 +1,131 @@
+// Tests for km_dst: mass functions and Dempster's rule of combination.
+
+#include <gtest/gtest.h>
+
+#include "dst/dst.h"
+
+namespace km {
+namespace {
+
+TEST(MassFunctionTest, EmptyEvidenceIsVacuous) {
+  MassFunction m = MassFunction::FromScores({}, 0.8);
+  EXPECT_DOUBLE_EQ(m.uncertainty(), 1.0);
+  EXPECT_TRUE(m.FocalIds().empty());
+  EXPECT_NEAR(m.TotalMass(), 1.0, 1e-12);
+}
+
+TEST(MassFunctionTest, FromScoresNormalizesAndScales) {
+  MassFunction m = MassFunction::FromScores({{1, 3.0}, {2, 1.0}}, 0.8);
+  EXPECT_NEAR(m.MassOf(1), 0.6, 1e-12);
+  EXPECT_NEAR(m.MassOf(2), 0.2, 1e-12);
+  EXPECT_NEAR(m.uncertainty(), 0.2, 1e-12);
+  EXPECT_NEAR(m.TotalMass(), 1.0, 1e-12);
+}
+
+TEST(MassFunctionTest, NegativeScoresAreShifted) {
+  // Log-probability-style scores.
+  MassFunction m = MassFunction::FromScores({{1, -1.0}, {2, -3.0}}, 1.0);
+  EXPECT_GT(m.MassOf(1), m.MassOf(2));
+  EXPECT_NEAR(m.TotalMass(), 1.0, 1e-12);
+  // The worst element gets zero mass after shifting.
+  EXPECT_DOUBLE_EQ(m.MassOf(2), 0.0);
+}
+
+TEST(MassFunctionTest, AllEqualScoresSplitUniformly) {
+  MassFunction m = MassFunction::FromScores({{1, 0.0}, {2, 0.0}}, 0.6);
+  EXPECT_NEAR(m.MassOf(1), 0.3, 1e-12);
+  EXPECT_NEAR(m.MassOf(2), 0.3, 1e-12);
+  EXPECT_NEAR(m.uncertainty(), 0.4, 1e-12);
+}
+
+TEST(MassFunctionTest, ZeroConfidenceIsVacuous) {
+  MassFunction m = MassFunction::FromScores({{1, 5.0}}, 0.0);
+  EXPECT_DOUBLE_EQ(m.MassOf(1), 0.0);
+  EXPECT_DOUBLE_EQ(m.uncertainty(), 1.0);
+}
+
+TEST(MassFunctionTest, DuplicateIdsAccumulate) {
+  MassFunction m = MassFunction::FromScores({{1, 1.0}, {1, 1.0}}, 1.0);
+  EXPECT_NEAR(m.MassOf(1), 1.0, 1e-12);
+}
+
+TEST(CombineTest, VacuousIsNeutralElement) {
+  MassFunction m = MassFunction::FromScores({{1, 2.0}, {2, 1.0}}, 0.9);
+  MassFunction vac = MassFunction::FromScores({}, 0.5);
+  auto combined = MassFunction::Combine(m, vac);
+  ASSERT_TRUE(combined.ok());
+  EXPECT_NEAR(combined->MassOf(1), m.MassOf(1), 1e-12);
+  EXPECT_NEAR(combined->MassOf(2), m.MassOf(2), 1e-12);
+  EXPECT_NEAR(combined->uncertainty(), m.uncertainty(), 1e-12);
+}
+
+TEST(CombineTest, AgreementReinforces) {
+  MassFunction a = MassFunction::FromScores({{1, 1.0}}, 0.6);
+  MassFunction b = MassFunction::FromScores({{1, 1.0}}, 0.6);
+  auto c = MassFunction::Combine(a, b);
+  ASSERT_TRUE(c.ok());
+  // Two independent 0.6 beliefs combine to 0.84.
+  EXPECT_NEAR(c->MassOf(1), 0.84, 1e-12);
+  EXPECT_NEAR(c->uncertainty(), 0.16, 1e-12);
+}
+
+TEST(CombineTest, ConflictIsRenormalized) {
+  // Zadeh-style example with singletons + uncertainty.
+  MassFunction a = MassFunction::FromScores({{1, 1.0}}, 0.8);
+  MassFunction b = MassFunction::FromScores({{2, 1.0}}, 0.8);
+  double k = MassFunction::ConflictMass(a, b);
+  EXPECT_NEAR(k, 0.64, 1e-12);
+  auto c = MassFunction::Combine(a, b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NEAR(c->TotalMass(), 1.0, 1e-12);
+  // Symmetric conflict: equal masses survive.
+  EXPECT_NEAR(c->MassOf(1), c->MassOf(2), 1e-12);
+}
+
+TEST(CombineTest, TotalConflictFails) {
+  MassFunction a = MassFunction::FromScores({{1, 1.0}}, 1.0);
+  MassFunction b = MassFunction::FromScores({{2, 1.0}}, 1.0);
+  EXPECT_EQ(MassFunction::Combine(a, b).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(CombineTest, HigherConfidenceSourceDominates) {
+  MassFunction strong = MassFunction::FromScores({{1, 1.0}}, 0.9);
+  MassFunction weak = MassFunction::FromScores({{2, 1.0}}, 0.3);
+  auto c = MassFunction::Combine(strong, weak);
+  ASSERT_TRUE(c.ok());
+  EXPECT_GT(c->MassOf(1), c->MassOf(2));
+}
+
+TEST(CombineTest, CombinationIsCommutative) {
+  MassFunction a = MassFunction::FromScores({{1, 2.0}, {2, 1.0}}, 0.7);
+  MassFunction b = MassFunction::FromScores({{2, 3.0}, {3, 1.0}}, 0.5);
+  auto ab = MassFunction::Combine(a, b);
+  auto ba = MassFunction::Combine(b, a);
+  ASSERT_TRUE(ab.ok() && ba.ok());
+  for (size_t id : {1u, 2u, 3u}) {
+    EXPECT_NEAR(ab->MassOf(id), ba->MassOf(id), 1e-12);
+  }
+}
+
+TEST(RankedTest, SortsByMassThenId) {
+  MassFunction m = MassFunction::FromScores({{5, 1.0}, {2, 3.0}, {9, 1.0}}, 1.0);
+  auto ranked = m.Ranked();
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].first, 2u);
+  EXPECT_EQ(ranked[1].first, 5u);  // ties broken by id
+  EXPECT_EQ(ranked[2].first, 9u);
+}
+
+TEST(RankedTest, CombinationReordersByEvidence) {
+  // Source 1 slightly prefers A; source 2 strongly prefers B.
+  MassFunction a = MassFunction::FromScores({{1, 1.1}, {2, 1.0}}, 0.4);
+  MassFunction b = MassFunction::FromScores({{2, 5.0}, {1, 1.0}}, 0.8);
+  auto c = MassFunction::Combine(a, b);
+  ASSERT_TRUE(c.ok());
+  auto ranked = c->Ranked();
+  EXPECT_EQ(ranked[0].first, 2u);
+}
+
+}  // namespace
+}  // namespace km

@@ -1,0 +1,420 @@
+// Tests for km_engine: SPJ queries, SQL rendering, canonical signatures,
+// and the in-memory executor.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "engine/executor.h"
+#include "engine/query.h"
+#include "relational/database.h"
+
+namespace km {
+namespace {
+
+// A small two-table database with a foreign key.
+Database MakeDb() {
+  Database db("test");
+  EXPECT_TRUE(db.CreateRelation(RelationSchema(
+                                    "PEOPLE",
+                                    {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+                                     {"Name", DataType::kText, DomainTag::kPersonName},
+                                     {"Age", DataType::kInt, DomainTag::kQuantity}}))
+                  .ok());
+  EXPECT_TRUE(db.CreateRelation(RelationSchema(
+                                    "DEPT",
+                                    {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+                                     {"Name", DataType::kText, DomainTag::kProperNoun},
+                                     {"Head", DataType::kText, DomainTag::kIdentifier}}))
+                  .ok());
+  EXPECT_TRUE(db.AddForeignKey({"DEPT", "Head", "PEOPLE", "Id"}).ok());
+  auto T = [](const char* s) { return Value::Text(s); };
+  EXPECT_TRUE(db.Insert("PEOPLE", {T("p1"), T("Ann"), Value::Int(30)}).ok());
+  EXPECT_TRUE(db.Insert("PEOPLE", {T("p2"), T("Bob"), Value::Int(45)}).ok());
+  EXPECT_TRUE(db.Insert("PEOPLE", {T("p3"), T("Cara"), Value::Int(28)}).ok());
+  EXPECT_TRUE(db.Insert("DEPT", {T("d1"), T("CS"), T("p1")}).ok());
+  EXPECT_TRUE(db.Insert("DEPT", {T("d2"), T("EE"), T("p2")}).ok());
+  return db;
+}
+
+// ----------------------------------------------------------- PredicateOp
+
+struct PredCase {
+  Value value;
+  PredicateOp op;
+  Value literal;
+  bool expected;
+};
+
+class EvalPredicateOpTest : public ::testing::TestWithParam<PredCase> {};
+
+TEST_P(EvalPredicateOpTest, Evaluates) {
+  const PredCase& c = GetParam();
+  EXPECT_EQ(EvalPredicateOp(c.value, c.op, c.literal), c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, EvalPredicateOpTest,
+    ::testing::Values(
+        PredCase{Value::Int(3), PredicateOp::kEq, Value::Int(3), true},
+        PredCase{Value::Int(3), PredicateOp::kEq, Value::Int(4), false},
+        PredCase{Value::Text("Ann"), PredicateOp::kEq, Value::Text("ann"), true},
+        PredCase{Value::Int(3), PredicateOp::kNe, Value::Int(4), true},
+        PredCase{Value::Int(3), PredicateOp::kLt, Value::Int(4), true},
+        PredCase{Value::Int(4), PredicateOp::kLt, Value::Int(4), false},
+        PredCase{Value::Int(4), PredicateOp::kLe, Value::Int(4), true},
+        PredCase{Value::Int(5), PredicateOp::kGt, Value::Int(4), true},
+        PredCase{Value::Int(4), PredicateOp::kGe, Value::Int(4), true},
+        PredCase{Value::Int(3), PredicateOp::kGe, Value::Int(4), false},
+        PredCase{Value::Text("Hello World"), PredicateOp::kContains,
+                 Value::Text("lo wo"), true},
+        PredCase{Value::Text("Hello"), PredicateOp::kContains, Value::Text("xyz"),
+                 false},
+        // NULL never matches anything (SQL semantics).
+        PredCase{Value::Null(), PredicateOp::kEq, Value::Null(), false},
+        PredCase{Value::Null(), PredicateOp::kNe, Value::Int(1), false},
+        // Cross numeric comparison.
+        PredCase{Value::Real(2.5), PredicateOp::kGt, Value::Int(2), true}));
+
+// ------------------------------------------------------------- SpjQuery
+
+TEST(SpjQueryTest, ToSqlSingleRelation) {
+  SpjQuery q;
+  q.relations = {"PEOPLE"};
+  q.predicates = {{{"PEOPLE", "Name"}, PredicateOp::kEq, Value::Text("Ann")}};
+  std::string sql = q.ToSql();
+  EXPECT_NE(sql.find("SELECT PEOPLE.*"), std::string::npos);
+  EXPECT_NE(sql.find("FROM PEOPLE"), std::string::npos);
+  EXPECT_NE(sql.find("WHERE PEOPLE.Name = 'Ann'"), std::string::npos);
+}
+
+TEST(SpjQueryTest, ToSqlRendersJoins) {
+  SpjQuery q;
+  q.relations = {"DEPT", "PEOPLE"};
+  q.joins = {{{"DEPT", "Head"}, {"PEOPLE", "Id"}}};
+  std::string sql = q.ToSql();
+  EXPECT_NE(sql.find("JOIN"), std::string::npos);
+  EXPECT_NE(sql.find("DEPT.Head = PEOPLE.Id"), std::string::npos);
+}
+
+TEST(SpjQueryTest, ToSqlContainsBecomesLike) {
+  SpjQuery q;
+  q.relations = {"PEOPLE"};
+  q.predicates = {{{"PEOPLE", "Name"}, PredicateOp::kContains, Value::Text("nn")}};
+  std::string sql = q.ToSql();
+  EXPECT_NE(sql.find("LIKE '%nn%'"), std::string::npos);
+}
+
+TEST(SpjQueryTest, CanonicalSignatureOrderInsensitive) {
+  SpjQuery a, b;
+  a.relations = {"PEOPLE", "DEPT"};
+  b.relations = {"DEPT", "PEOPLE"};
+  a.joins = {{{"DEPT", "Head"}, {"PEOPLE", "Id"}}};
+  b.joins = {{{"PEOPLE", "Id"}, {"DEPT", "Head"}}};  // flipped
+  a.predicates = {{{"PEOPLE", "Name"}, PredicateOp::kEq, Value::Text("Ann")},
+                  {{"DEPT", "Name"}, PredicateOp::kEq, Value::Text("CS")}};
+  b.predicates = {{{"DEPT", "Name"}, PredicateOp::kEq, Value::Text("CS")},
+                  {{"PEOPLE", "Name"}, PredicateOp::kEq, Value::Text("ann")}};
+  EXPECT_EQ(a.CanonicalSignature(), b.CanonicalSignature());
+  EXPECT_TRUE(a.EquivalentTo(b));
+}
+
+TEST(SpjQueryTest, CanonicalSignatureDistinguishesQueries) {
+  SpjQuery a, b;
+  a.relations = {"PEOPLE"};
+  b.relations = {"DEPT"};
+  EXPECT_NE(a.CanonicalSignature(), b.CanonicalSignature());
+}
+
+// -------------------------------------------------------------- Executor
+
+TEST(ExecutorTest, ScanAll) {
+  Database db = MakeDb();
+  Executor exec(db);
+  SpjQuery q;
+  q.relations = {"PEOPLE"};
+  auto rs = exec.Execute(q);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->size(), 3u);
+  EXPECT_EQ(rs->header.size(), 3u);
+}
+
+TEST(ExecutorTest, ScanWithPredicate) {
+  Database db = MakeDb();
+  Executor exec(db);
+  SpjQuery q;
+  q.relations = {"PEOPLE"};
+  q.predicates = {{{"PEOPLE", "Age"}, PredicateOp::kGt, Value::Int(29)}};
+  auto rs = exec.Execute(q);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->size(), 2u);  // Ann(30), Bob(45)
+}
+
+TEST(ExecutorTest, CaseInsensitiveTextEquality) {
+  Database db = MakeDb();
+  Executor exec(db);
+  SpjQuery q;
+  q.relations = {"PEOPLE"};
+  q.predicates = {{{"PEOPLE", "Name"}, PredicateOp::kEq, Value::Text("ann")}};
+  auto rs = exec.Execute(q);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->size(), 1u);
+}
+
+TEST(ExecutorTest, HashJoin) {
+  Database db = MakeDb();
+  Executor exec(db);
+  SpjQuery q;
+  q.relations = {"DEPT", "PEOPLE"};
+  q.joins = {{{"DEPT", "Head"}, {"PEOPLE", "Id"}}};
+  auto rs = exec.Execute(q);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->size(), 2u);  // two departments, each with its head
+  // Check the joined values line up.
+  auto head = rs->ColumnIndex("DEPT", "Head");
+  auto id = rs->ColumnIndex("PEOPLE", "Id");
+  ASSERT_TRUE(head && id);
+  for (const Row& row : rs->rows) EXPECT_EQ(row[*head], row[*id]);
+}
+
+TEST(ExecutorTest, JoinWithSelectionPushdown) {
+  Database db = MakeDb();
+  Executor exec(db);
+  SpjQuery q;
+  q.relations = {"DEPT", "PEOPLE"};
+  q.joins = {{{"DEPT", "Head"}, {"PEOPLE", "Id"}}};
+  q.predicates = {{{"PEOPLE", "Name"}, PredicateOp::kEq, Value::Text("Ann")}};
+  auto rs = exec.Execute(q);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->size(), 1u);
+  auto dept = rs->ColumnIndex("DEPT", "Name");
+  ASSERT_TRUE(dept.has_value());
+  EXPECT_EQ(rs->rows[0][*dept], Value::Text("CS"));
+}
+
+TEST(ExecutorTest, Projection) {
+  Database db = MakeDb();
+  Executor exec(db);
+  SpjQuery q;
+  q.relations = {"PEOPLE"};
+  q.select = {{"PEOPLE", "Name"}};
+  auto rs = exec.Execute(q);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->header.size(), 1u);
+  EXPECT_EQ(rs->rows[0].size(), 1u);
+}
+
+TEST(ExecutorTest, DisconnectedRelationsCrossJoin) {
+  Database db = MakeDb();
+  Executor exec(db);
+  SpjQuery q;
+  q.relations = {"PEOPLE", "DEPT"};  // no join edges
+  auto rs = exec.Execute(q);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->size(), 6u);  // 3 × 2
+}
+
+TEST(ExecutorTest, CountMatchesExecute) {
+  Database db = MakeDb();
+  Executor exec(db);
+  SpjQuery q;
+  q.relations = {"DEPT", "PEOPLE"};
+  q.joins = {{{"DEPT", "Head"}, {"PEOPLE", "Id"}}};
+  auto n = exec.Count(q);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2u);
+}
+
+TEST(ExecutorTest, EmptyResultIsOk) {
+  Database db = MakeDb();
+  Executor exec(db);
+  SpjQuery q;
+  q.relations = {"PEOPLE"};
+  q.predicates = {{{"PEOPLE", "Name"}, PredicateOp::kEq, Value::Text("Nobody")}};
+  auto rs = exec.Execute(q);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(rs->empty());
+}
+
+TEST(ExecutorTest, ErrorsOnUnknownRelation) {
+  Database db = MakeDb();
+  Executor exec(db);
+  SpjQuery q;
+  q.relations = {"NOPE"};
+  EXPECT_EQ(exec.Execute(q).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ExecutorTest, ErrorsOnUnknownAttribute) {
+  Database db = MakeDb();
+  Executor exec(db);
+  SpjQuery q;
+  q.relations = {"PEOPLE"};
+  q.predicates = {{{"PEOPLE", "Salary"}, PredicateOp::kEq, Value::Int(1)}};
+  EXPECT_EQ(exec.Execute(q).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ExecutorTest, ErrorsOnDuplicateRelation) {
+  Database db = MakeDb();
+  Executor exec(db);
+  SpjQuery q;
+  q.relations = {"PEOPLE", "PEOPLE"};
+  EXPECT_EQ(exec.Execute(q).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExecutorTest, ErrorsOnEmptyQuery) {
+  Database db = MakeDb();
+  Executor exec(db);
+  EXPECT_EQ(exec.Execute(SpjQuery{}).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExecutorTest, NullsNeverJoin) {
+  Database db("t");
+  ASSERT_TRUE(db.CreateRelation(RelationSchema(
+                                    "A", {{"Id", DataType::kText, DomainTag::kNone, true},
+                                          {"Ref", DataType::kText, DomainTag::kNone}}))
+                  .ok());
+  ASSERT_TRUE(db.CreateRelation(RelationSchema(
+                                    "B", {{"Id", DataType::kText, DomainTag::kNone, true}}))
+                  .ok());
+  ASSERT_TRUE(db.Insert("A", {Value::Text("a1"), Value::Null()}).ok());
+  ASSERT_TRUE(db.Insert("B", {Value::Text("b1")}).ok());
+  Executor exec(db);
+  SpjQuery q;
+  q.relations = {"A", "B"};
+  q.joins = {{{"A", "Ref"}, {"B", "Id"}}};
+  auto rs = exec.Execute(q);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(rs->empty());
+}
+
+TEST(ExecutorTest, ThreeWayJoinChain) {
+  Database db("t");
+  ASSERT_TRUE(db.CreateRelation(RelationSchema(
+                                    "A", {{"Id", DataType::kText, DomainTag::kNone, true}}))
+                  .ok());
+  ASSERT_TRUE(db.CreateRelation(RelationSchema(
+                                    "B", {{"Id", DataType::kText, DomainTag::kNone, true},
+                                          {"A", DataType::kText, DomainTag::kNone}}))
+                  .ok());
+  ASSERT_TRUE(db.CreateRelation(RelationSchema(
+                                    "C", {{"Id", DataType::kText, DomainTag::kNone, true},
+                                          {"B", DataType::kText, DomainTag::kNone}}))
+                  .ok());
+  ASSERT_TRUE(db.Insert("A", {Value::Text("a1")}).ok());
+  ASSERT_TRUE(db.Insert("B", {Value::Text("b1"), Value::Text("a1")}).ok());
+  ASSERT_TRUE(db.Insert("B", {Value::Text("b2"), Value::Text("a1")}).ok());
+  ASSERT_TRUE(db.Insert("C", {Value::Text("c1"), Value::Text("b1")}).ok());
+  Executor exec(db);
+  SpjQuery q;
+  q.relations = {"A", "B", "C"};
+  q.joins = {{{"B", "A"}, {"A", "Id"}}, {{"C", "B"}, {"B", "Id"}}};
+  auto rs = exec.Execute(q);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->size(), 1u);
+}
+
+
+TEST(SpjQueryTest, ToSqlCycleJoinFallsBackToWhere) {
+  // Two join edges over the same pair of relations: the second closes a
+  // cycle and must be rendered as a WHERE condition.
+  SpjQuery q;
+  q.relations = {"A", "B"};
+  q.joins = {{{"A", "X"}, {"B", "X"}}, {{"A", "Y"}, {"B", "Y"}}};
+  std::string sql = q.ToSql();
+  EXPECT_NE(sql.find("JOIN B"), std::string::npos);
+  EXPECT_NE(sql.find("WHERE"), std::string::npos);
+  EXPECT_NE(sql.find("A.Y = B.Y"), std::string::npos);
+}
+
+TEST(SpjQueryTest, ToSqlCrossJoinForDisconnectedRelations) {
+  SpjQuery q;
+  q.relations = {"A", "B", "C"};
+  q.joins = {{{"A", "X"}, {"B", "X"}}};  // C unreachable by joins
+  std::string sql = q.ToSql();
+  EXPECT_NE(sql.find("CROSS JOIN C"), std::string::npos);
+}
+
+TEST(SpjQueryTest, EmptyFromRendersPlaceholder) {
+  SpjQuery q;
+  EXPECT_NE(q.ToSql().find("<empty>"), std::string::npos);
+}
+
+TEST(ExecutorTest, ExecutesCycleJoins) {
+  Database db("t");
+  ASSERT_TRUE(db.CreateRelation(RelationSchema(
+                                    "A", {{"Id", DataType::kText, DomainTag::kNone, true},
+                                          {"X", DataType::kInt, DomainTag::kNone},
+                                          {"Y", DataType::kInt, DomainTag::kNone}}))
+                  .ok());
+  ASSERT_TRUE(db.CreateRelation(RelationSchema(
+                                    "B", {{"Id", DataType::kText, DomainTag::kNone, true},
+                                          {"X", DataType::kInt, DomainTag::kNone},
+                                          {"Y", DataType::kInt, DomainTag::kNone}}))
+                  .ok());
+  ASSERT_TRUE(db.Insert("A", {Value::Text("a1"), Value::Int(1), Value::Int(1)}).ok());
+  ASSERT_TRUE(db.Insert("A", {Value::Text("a2"), Value::Int(1), Value::Int(2)}).ok());
+  ASSERT_TRUE(db.Insert("B", {Value::Text("b1"), Value::Int(1), Value::Int(1)}).ok());
+  Executor exec(db);
+  SpjQuery q;
+  q.relations = {"A", "B"};
+  q.joins = {{{"A", "X"}, {"B", "X"}}, {{"A", "Y"}, {"B", "Y"}}};
+  auto rs = exec.Execute(q);
+  ASSERT_TRUE(rs.ok());
+  // Only (a1, b1) satisfies both join conditions.
+  EXPECT_EQ(rs->size(), 1u);
+}
+
+TEST(ExecutorTest, SelectivityAwareOrderHandlesStarJoins) {
+  // One hub joined by two satellites; whatever the declaration order, the
+  // result must be correct.
+  Database db("t");
+  ASSERT_TRUE(db.CreateRelation(RelationSchema(
+                                    "HUB", {{"Id", DataType::kText, DomainTag::kNone, true}}))
+                  .ok());
+  for (const char* sat : {"S1", "S2"}) {
+    ASSERT_TRUE(db.CreateRelation(RelationSchema(
+                                      sat, {{"Id", DataType::kText, DomainTag::kNone, true},
+                                            {"Hub", DataType::kText, DomainTag::kNone}}))
+                    .ok());
+  }
+  ASSERT_TRUE(db.Insert("HUB", {Value::Text("h1")}).ok());
+  ASSERT_TRUE(db.Insert("HUB", {Value::Text("h2")}).ok());
+  ASSERT_TRUE(db.Insert("S1", {Value::Text("s1a"), Value::Text("h1")}).ok());
+  ASSERT_TRUE(db.Insert("S1", {Value::Text("s1b"), Value::Text("h2")}).ok());
+  ASSERT_TRUE(db.Insert("S2", {Value::Text("s2a"), Value::Text("h1")}).ok());
+  Executor exec(db);
+  SpjQuery q;
+  q.relations = {"S1", "HUB", "S2"};
+  q.joins = {{{"S1", "Hub"}, {"HUB", "Id"}}, {{"S2", "Hub"}, {"HUB", "Id"}}};
+  auto n = exec.Count(q);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1u);  // only h1 has both satellites
+}
+
+TEST(ExecutorTest, ProjectionOfJoinedColumns) {
+  Database db = MakeDb();
+  Executor exec(db);
+  SpjQuery q;
+  q.relations = {"DEPT", "PEOPLE"};
+  q.joins = {{{"DEPT", "Head"}, {"PEOPLE", "Id"}}};
+  q.select = {{"DEPT", "Name"}, {"PEOPLE", "Name"}};
+  auto rs = exec.Execute(q);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->header.size(), 2u);
+  for (const Row& row : rs->rows) EXPECT_EQ(row.size(), 2u);
+}
+
+TEST(ResultSetTest, ColumnIndexLookup) {
+  Database db = MakeDb();
+  Executor exec(db);
+  SpjQuery q;
+  q.relations = {"PEOPLE"};
+  auto rs = exec.Execute(q);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(rs->ColumnIndex("PEOPLE", "Age").has_value());
+  EXPECT_FALSE(rs->ColumnIndex("PEOPLE", "Nope").has_value());
+  EXPECT_FALSE(rs->ColumnIndex("DEPT", "Age").has_value());
+}
+
+}  // namespace
+}  // namespace km

@@ -1,0 +1,438 @@
+// Tests for km_graph: the database graph, MI weights, Steiner trees and
+// the shortest-path baseline.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "datasets/university.h"
+#include "graph/interpretation.h"
+#include "graph/mi.h"
+#include "graph/schema_graph.h"
+#include "graph/summary.h"
+#include "core/translate.h"
+#include "engine/executor.h"
+
+namespace km {
+namespace {
+
+class GraphTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    UniversityOptions opts;
+    opts.extra_people = 20;
+    opts.extra_departments = 4;
+    opts.extra_universities = 2;
+    opts.extra_projects = 4;
+    auto db = BuildUniversityDatabase(opts);
+    ASSERT_TRUE(db.ok());
+    db_ = new Database(std::move(*db));
+    terminology_ = new Terminology(db_->schema());
+    graph_ = new SchemaGraph(*terminology_, db_->schema());
+  }
+  static void TearDownTestSuite() {
+    delete graph_;
+    delete terminology_;
+    delete db_;
+  }
+
+  static Database* db_;
+  static Terminology* terminology_;
+  static SchemaGraph* graph_;
+};
+
+Database* GraphTest::db_ = nullptr;
+Terminology* GraphTest::terminology_ = nullptr;
+SchemaGraph* GraphTest::graph_ = nullptr;
+
+// ------------------------------------------------------------ SchemaGraph
+
+TEST_F(GraphTest, NodeAndEdgeCounts) {
+  EXPECT_EQ(graph_->node_count(), terminology_->size());
+  // Edges: per attribute 2 structural edges (rel-attr, attr-dom) plus one
+  // edge per foreign key.
+  size_t attrs = 0;
+  for (const auto& r : db_->schema().relations()) attrs += r.arity();
+  EXPECT_EQ(graph_->edge_count(), 2 * attrs + db_->schema().foreign_keys().size());
+}
+
+TEST_F(GraphTest, StructuralEdgesHaveUnitWeight) {
+  for (const GraphEdge& e : graph_->edges()) {
+    if (e.kind != EdgeKind::kForeignKey) {
+      EXPECT_DOUBLE_EQ(e.weight, 1.0);
+    }
+  }
+}
+
+TEST_F(GraphTest, AttributeConnectsRelationAndDomain) {
+  auto rel = terminology_->RelationTerm("PEOPLE");
+  auto attr = terminology_->AttributeTerm("PEOPLE", "Name");
+  auto dom = terminology_->DomainTerm("PEOPLE", "Name");
+  ASSERT_TRUE(rel && attr && dom);
+  // Distances: rel-attr = 1, attr-dom = 1, rel-dom = 2.
+  auto dist = graph_->Distances(*rel);
+  EXPECT_DOUBLE_EQ(dist[*attr], 1.0);
+  EXPECT_DOUBLE_EQ(dist[*dom], 2.0);
+}
+
+TEST_F(GraphTest, ForeignKeyConnectsDomains) {
+  auto d1 = terminology_->DomainTerm("AFFILIATED", "IdPrs");
+  auto d2 = terminology_->DomainTerm("PEOPLE", "Id");
+  ASSERT_TRUE(d1 && d2);
+  auto dist = graph_->Distances(*d1);
+  EXPECT_DOUBLE_EQ(dist[*d2], 1.0);
+}
+
+TEST_F(GraphTest, GraphIsConnected) {
+  auto dist = graph_->Distances(0);
+  for (size_t v = 0; v < graph_->node_count(); ++v) {
+    EXPECT_TRUE(std::isfinite(dist[v])) << "node " << v << " unreachable";
+  }
+}
+
+TEST_F(GraphTest, ShortestPathReconstruction) {
+  auto name_dom = terminology_->DomainTerm("PEOPLE", "Name");
+  auto uni_country = terminology_->DomainTerm("UNIVERSITY", "Country");
+  ASSERT_TRUE(name_dom && uni_country);
+  auto path = graph_->ShortestPath(*name_dom, *uni_country);
+  ASSERT_TRUE(path.has_value());
+  ASSERT_FALSE(path->empty());
+  // The path's edges must chain from source to target.
+  size_t cur = *name_dom;
+  for (size_t e : *path) cur = graph_->OtherEnd(e, cur);
+  EXPECT_EQ(cur, *uni_country);
+}
+
+TEST_F(GraphTest, ShortestPathToSelfIsEmpty) {
+  auto path = graph_->ShortestPath(3, 3);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_TRUE(path->empty());
+}
+
+// ------------------------------------------------------------------- MI
+
+TEST_F(GraphTest, MiDistanceWithinBounds) {
+  for (const ForeignKey& fk : db_->schema().foreign_keys()) {
+    auto stats = ComputeMiDistance(*db_, fk);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_GE(stats->distance, 0.0);
+    EXPECT_LE(stats->distance, 1.0);
+    EXPECT_GE(stats->joint_entropy, 0.0);
+  }
+}
+
+TEST(MiTest, PerfectJoinHasLowDistance) {
+  // A: every key referenced exactly once; B: no key referenced.
+  Database db("t");
+  ASSERT_TRUE(db.CreateRelation(RelationSchema(
+                                    "P", {{"Id", DataType::kText, DomainTag::kNone, true}}))
+                  .ok());
+  ASSERT_TRUE(db.CreateRelation(RelationSchema(
+                                    "R", {{"Id", DataType::kText, DomainTag::kNone, true},
+                                          {"Ref", DataType::kText, DomainTag::kNone}}))
+                  .ok());
+  ASSERT_TRUE(db.AddForeignKey({"R", "Ref", "P", "Id"}).ok());
+  for (int i = 0; i < 20; ++i) {
+    std::string key = "p" + std::to_string(i);
+    ASSERT_TRUE(db.Insert("P", {Value::Text(key)}).ok());
+    ASSERT_TRUE(db.Insert("R", {Value::Text("r" + std::to_string(i)), Value::Text(key)})
+                    .ok());
+  }
+  auto covered = ComputeMiDistance(db, db.schema().foreign_keys()[0]);
+  ASSERT_TRUE(covered.ok());
+
+  // Now a sparse join: same tables, but only one key referenced.
+  Database db2("t2");
+  ASSERT_TRUE(db2.CreateRelation(RelationSchema(
+                                     "P", {{"Id", DataType::kText, DomainTag::kNone, true}}))
+                  .ok());
+  ASSERT_TRUE(db2.CreateRelation(RelationSchema(
+                                     "R", {{"Id", DataType::kText, DomainTag::kNone, true},
+                                           {"Ref", DataType::kText, DomainTag::kNone}}))
+                  .ok());
+  ASSERT_TRUE(db2.AddForeignKey({"R", "Ref", "P", "Id"}).ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(db2.Insert("P", {Value::Text("p" + std::to_string(i))}).ok());
+  }
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        db2.Insert("R", {Value::Text("r" + std::to_string(i)), Value::Text("p0")}).ok());
+  }
+  auto sparse = ComputeMiDistance(db2, db2.schema().foreign_keys()[0]);
+  ASSERT_TRUE(sparse.ok());
+  EXPECT_LT(covered->distance, sparse->distance);
+}
+
+TEST(MiTest, EmptyTablesGiveMaxDistance) {
+  Database db("t");
+  ASSERT_TRUE(db.CreateRelation(RelationSchema(
+                                    "P", {{"Id", DataType::kText, DomainTag::kNone, true}}))
+                  .ok());
+  ASSERT_TRUE(db.CreateRelation(RelationSchema(
+                                    "R", {{"Id", DataType::kText, DomainTag::kNone, true},
+                                          {"Ref", DataType::kText, DomainTag::kNone}}))
+                  .ok());
+  ASSERT_TRUE(db.AddForeignKey({"R", "Ref", "P", "Id"}).ok());
+  auto stats = ComputeMiDistance(db, db.schema().foreign_keys()[0]);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_DOUBLE_EQ(stats->distance, 1.0);
+}
+
+TEST_F(GraphTest, ApplyMiWeightsChangesOnlyFkEdges) {
+  SchemaGraph g(*terminology_, db_->schema());
+  ASSERT_TRUE(ApplyMiWeights(*db_, &g).ok());
+  for (const GraphEdge& e : g.edges()) {
+    if (e.kind == EdgeKind::kForeignKey) {
+      EXPECT_GE(e.weight, 0.05);
+      EXPECT_LE(e.weight, 1.0);
+    } else {
+      EXPECT_DOUBLE_EQ(e.weight, 1.0);
+    }
+  }
+}
+
+// -------------------------------------------------------- Interpretation
+
+TEST_F(GraphTest, SingleTerminalYieldsTrivialTree) {
+  auto dom = terminology_->DomainTerm("PEOPLE", "Name");
+  auto trees = TopKSteinerTrees(*graph_, {*dom});
+  ASSERT_TRUE(trees.ok());
+  ASSERT_FALSE(trees->empty());
+  EXPECT_TRUE((*trees)[0].edges.empty());
+  EXPECT_DOUBLE_EQ((*trees)[0].cost, 0.0);
+  EXPECT_EQ((*trees)[0].nodes, (std::vector<size_t>{*dom}));
+}
+
+TEST_F(GraphTest, TwoTerminalsBestTreeIsShortestPath) {
+  auto a = terminology_->DomainTerm("PEOPLE", "Name");
+  auto b = terminology_->DomainTerm("PEOPLE", "Country");
+  auto trees = TopKSteinerTrees(*graph_, {*a, *b});
+  ASSERT_TRUE(trees.ok());
+  ASSERT_FALSE(trees->empty());
+  // Shortest path: Dom(Name)-Name-PEOPLE-Country-Dom(Country) = 4 edges.
+  EXPECT_DOUBLE_EQ((*trees)[0].cost, 4.0);
+  EXPECT_EQ((*trees)[0].edges.size(), 4u);
+}
+
+TEST_F(GraphTest, TreesAreSortedByCost) {
+  auto a = terminology_->DomainTerm("PEOPLE", "Name");
+  auto b = terminology_->DomainTerm("UNIVERSITY", "Country");
+  SteinerOptions opts;
+  opts.k = 8;
+  auto trees = TopKSteinerTrees(*graph_, {*a, *b}, opts);
+  ASSERT_TRUE(trees.ok());
+  ASSERT_GT(trees->size(), 1u);
+  for (size_t i = 1; i < trees->size(); ++i) {
+    EXPECT_LE((*trees)[i - 1].cost, (*trees)[i].cost + 1e-9);
+  }
+}
+
+TEST_F(GraphTest, EveryTreeContainsAllTerminals) {
+  auto a = terminology_->DomainTerm("PEOPLE", "Name");
+  auto b = terminology_->DomainTerm("UNIVERSITY", "Country");
+  auto c = terminology_->DomainTerm("PROJECT", "Year");
+  SteinerOptions opts;
+  opts.k = 6;
+  auto trees = TopKSteinerTrees(*graph_, {*a, *b, *c}, opts);
+  ASSERT_TRUE(trees.ok());
+  ASSERT_FALSE(trees->empty());
+  for (const Interpretation& t : *trees) {
+    for (size_t term : {*a, *b, *c}) {
+      EXPECT_NE(std::find(t.nodes.begin(), t.nodes.end(), term), t.nodes.end());
+    }
+    // Tree property: |E| = |V| - 1.
+    EXPECT_EQ(t.edges.size() + 1, t.nodes.size());
+  }
+}
+
+TEST_F(GraphTest, TreesAreDistinct) {
+  auto a = terminology_->DomainTerm("PEOPLE", "Name");
+  auto b = terminology_->DomainTerm("UNIVERSITY", "Country");
+  SteinerOptions opts;
+  opts.k = 10;
+  auto trees = TopKSteinerTrees(*graph_, {*a, *b}, opts);
+  ASSERT_TRUE(trees.ok());
+  std::set<std::string> sigs;
+  for (const Interpretation& t : *trees) {
+    EXPECT_TRUE(sigs.insert(t.Signature()).second);
+  }
+}
+
+TEST_F(GraphTest, MultipleJoinPathsProduceMultipleTrees) {
+  // PEOPLE and UNIVERSITY connect via DEPARTMENT (director/affiliation) and
+  // via MEMBEROF-PROJECT-PARTICIPATION: at least two distinct trees.
+  auto a = terminology_->DomainTerm("PEOPLE", "Name");
+  auto b = terminology_->DomainTerm("UNIVERSITY", "Country");
+  SteinerOptions opts;
+  opts.k = 10;
+  auto trees = TopKSteinerTrees(*graph_, {*a, *b}, opts);
+  ASSERT_TRUE(trees.ok());
+  EXPECT_GE(trees->size(), 2u);
+}
+
+TEST_F(GraphTest, ErrorsOnEmptyOrDuplicateTerminals) {
+  EXPECT_EQ(TopKSteinerTrees(*graph_, {}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(TopKSteinerTrees(*graph_, {1, 1}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(TopKSteinerTrees(*graph_, {graph_->node_count()}).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(GraphTest, SupertreePruningDiscardRedundantTrees) {
+  auto a = terminology_->DomainTerm("PEOPLE", "Name");
+  auto b = terminology_->DomainTerm("PEOPLE", "Country");
+  SteinerOptions opts;
+  opts.k = 10;
+  opts.prune_supertrees = true;
+  auto pruned = TopKSteinerTrees(*graph_, {*a, *b}, opts);
+  opts.prune_supertrees = false;
+  auto unpruned = TopKSteinerTrees(*graph_, {*a, *b}, opts);
+  ASSERT_TRUE(pruned.ok() && unpruned.ok());
+  EXPECT_LE(pruned->size(), unpruned->size());
+  // No tree in the pruned list subsumes another.
+  for (size_t i = 0; i < pruned->size(); ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      EXPECT_FALSE((*pruned)[j].SubsumedBy((*pruned)[i]));
+    }
+  }
+}
+
+TEST_F(GraphTest, ShortestPathBaselineProducesValidTrees) {
+  auto a = terminology_->DomainTerm("PEOPLE", "Name");
+  auto b = terminology_->DomainTerm("UNIVERSITY", "Country");
+  auto c = terminology_->DomainTerm("DEPARTMENT", "Name");
+  auto trees = ShortestPathTrees(*graph_, {*a, *b, *c}, 3);
+  ASSERT_TRUE(trees.ok());
+  ASSERT_FALSE(trees->empty());
+  for (const Interpretation& t : *trees) {
+    EXPECT_EQ(t.edges.size() + 1, t.nodes.size());
+    for (size_t term : {*a, *b, *c}) {
+      EXPECT_NE(std::find(t.nodes.begin(), t.nodes.end(), term), t.nodes.end());
+    }
+  }
+}
+
+TEST_F(GraphTest, SteinerOptimumNotWorseThanBaseline) {
+  auto a = terminology_->DomainTerm("PEOPLE", "Name");
+  auto b = terminology_->DomainTerm("UNIVERSITY", "Country");
+  auto c = terminology_->DomainTerm("PROJECT", "Topic");
+  auto steiner = TopKSteinerTrees(*graph_, {*a, *b, *c});
+  auto baseline = ShortestPathTrees(*graph_, {*a, *b, *c}, 1);
+  ASSERT_TRUE(steiner.ok() && baseline.ok());
+  ASSERT_FALSE(steiner->empty());
+  ASSERT_FALSE(baseline->empty());
+  EXPECT_LE((*steiner)[0].cost, (*baseline)[0].cost + 1e-9);
+}
+
+TEST_F(GraphTest, RankInterpretationsOrdersByScore) {
+  auto a = terminology_->DomainTerm("PEOPLE", "Name");
+  auto b = terminology_->DomainTerm("UNIVERSITY", "Country");
+  SteinerOptions opts;
+  opts.k = 5;
+  auto trees = TopKSteinerTrees(*graph_, {*a, *b}, opts);
+  ASSERT_TRUE(trees.ok());
+  RankInterpretations(&*trees);
+  for (size_t i = 1; i < trees->size(); ++i) {
+    EXPECT_GE((*trees)[i - 1].score + 1e-12, (*trees)[i].score);
+  }
+  for (const Interpretation& t : *trees) {
+    EXPECT_NEAR(t.score, 1.0 / (1.0 + t.cost), 1e-12);
+  }
+}
+
+TEST_F(GraphTest, TerminalsOfConfigurationDeduplicates) {
+  Configuration c;
+  c.term_for_keyword = {4, 7, 4};
+  EXPECT_EQ(TerminalsOfConfiguration(c), (std::vector<size_t>{4, 7}));
+}
+
+TEST_F(GraphTest, SignatureDistinguishesNodeOnlyTrees) {
+  Interpretation t1, t2;
+  t1.nodes = {1};
+  t2.nodes = {2};
+  EXPECT_NE(t1.Signature(), t2.Signature());
+}
+
+
+// --------------------------------------------------------- Summary graph
+
+TEST_F(GraphTest, SummaryGraphHasOneNodePerRelation) {
+  SummaryGraph summary(*graph_);
+  EXPECT_EQ(summary.relation_count(), db_->schema().relations().size());
+  EXPECT_TRUE(summary.RelationOrdinal("PEOPLE").has_value());
+  EXPECT_FALSE(summary.RelationOrdinal("NOPE").has_value());
+}
+
+TEST_F(GraphTest, SummaryTreesCoverTerminalsAndAreTrees) {
+  SummaryGraph summary(*graph_);
+  auto a = terminology_->DomainTerm("PEOPLE", "Name");
+  auto b = terminology_->DomainTerm("UNIVERSITY", "Country");
+  SteinerOptions opts;
+  opts.k = 5;
+  auto trees = summary.TopKTrees({*a, *b}, opts);
+  ASSERT_TRUE(trees.ok());
+  ASSERT_FALSE(trees->empty());
+  for (const Interpretation& t : *trees) {
+    for (size_t term : {*a, *b}) {
+      EXPECT_NE(std::find(t.nodes.begin(), t.nodes.end(), term), t.nodes.end());
+    }
+    EXPECT_EQ(t.edges.size() + 1, t.nodes.size());  // tree property
+  }
+  // Sorted by cost.
+  for (size_t i = 1; i < trees->size(); ++i) {
+    EXPECT_LE((*trees)[i - 1].cost, (*trees)[i].cost + 1e-9);
+  }
+}
+
+TEST_F(GraphTest, SummaryBestTreeMatchesFullSearchCost) {
+  // On unit weights the summary expansion reproduces the full-graph
+  // optimum for cross-relation terminal pairs.
+  SummaryGraph summary(*graph_);
+  auto a = terminology_->DomainTerm("PEOPLE", "Name");
+  auto b = terminology_->DomainTerm("PROJECT", "Name");
+  auto full = TopKSteinerTrees(*graph_, {*a, *b});
+  auto condensed = summary.TopKTrees({*a, *b});
+  ASSERT_TRUE(full.ok() && condensed.ok());
+  ASSERT_FALSE(full->empty());
+  ASSERT_FALSE(condensed->empty());
+  EXPECT_NEAR((*full)[0].cost, (*condensed)[0].cost, 1e-9);
+}
+
+TEST_F(GraphTest, SummarySingleRelationTerminals) {
+  SummaryGraph summary(*graph_);
+  auto a = terminology_->DomainTerm("PEOPLE", "Name");
+  auto b = terminology_->DomainTerm("PEOPLE", "Country");
+  auto trees = summary.TopKTrees({*a, *b});
+  ASSERT_TRUE(trees.ok());
+  ASSERT_FALSE(trees->empty());
+  // Both chains through PEOPLE: Dom-attr-rel-attr-Dom, cost 4.
+  EXPECT_DOUBLE_EQ((*trees)[0].cost, 4.0);
+}
+
+TEST_F(GraphTest, SummaryRejectsBadTerminals) {
+  SummaryGraph summary(*graph_);
+  EXPECT_FALSE(summary.TopKTrees({}).ok());
+  EXPECT_FALSE(summary.TopKTrees({graph_->node_count() + 10}).ok());
+}
+
+TEST_F(GraphTest, SummaryTranslatesToExecutableSql) {
+  SummaryGraph summary(*graph_);
+  auto a = terminology_->DomainTerm("PEOPLE", "Name");
+  auto b = terminology_->DomainTerm("UNIVERSITY", "Country");
+  auto trees = summary.TopKTrees({*a, *b});
+  ASSERT_TRUE(trees.ok());
+  ASSERT_FALSE(trees->empty());
+  Configuration config;
+  config.term_for_keyword = {*a, *b};
+  auto sql = TranslateToSql({"Vokram", "IT"}, config, (*trees)[0], *terminology_,
+                            db_->schema(), *graph_);
+  ASSERT_TRUE(sql.ok());
+  Executor exec(*db_);
+  EXPECT_TRUE(exec.Execute(*sql).ok());
+}
+
+}  // namespace
+}  // namespace km

@@ -1,0 +1,285 @@
+// Tests for km_hmm: Viterbi decoding, List Viterbi, a-priori model
+// construction, HITS initial distribution and training.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "datasets/university.h"
+#include "hmm/hmm.h"
+#include "hmm/model_builder.h"
+
+namespace km {
+namespace {
+
+// A classic 2-state weather HMM used as a decoding ground truth.
+//   states: 0 = Rainy, 1 = Sunny
+Hmm WeatherHmm() {
+  Matrix a(2, 2);
+  a.At(0, 0) = 0.7;
+  a.At(0, 1) = 0.3;
+  a.At(1, 0) = 0.4;
+  a.At(1, 1) = 0.6;
+  return Hmm(std::move(a), {0.6, 0.4});
+}
+
+// Observations: walk, shop, clean with the textbook emissions.
+Matrix WeatherEmissions(const std::vector<int>& obs) {
+  // emission[state][symbol]: rainy {walk .1, shop .4, clean .5},
+  //                          sunny {walk .6, shop .3, clean .1}
+  const double e[2][3] = {{0.1, 0.4, 0.5}, {0.6, 0.3, 0.1}};
+  Matrix m(obs.size(), 2);
+  for (size_t t = 0; t < obs.size(); ++t) {
+    m.At(t, 0) = e[0][obs[t]];
+    m.At(t, 1) = e[1][obs[t]];
+  }
+  return m;
+}
+
+TEST(HmmTest, ViterbiTextbookExample) {
+  Hmm hmm = WeatherHmm();
+  // walk, shop, clean → the standard answer is Sunny, Rainy, Rainy.
+  auto path = hmm.Viterbi(WeatherEmissions({0, 1, 2}));
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->states, (std::vector<size_t>{1, 0, 0}));
+  EXPECT_NEAR(std::exp(path->log_prob), 0.01344, 1e-5);
+}
+
+TEST(HmmTest, ListViterbiOrderedAndDistinctPaths) {
+  Hmm hmm = WeatherHmm();
+  auto paths = hmm.ListViterbi(WeatherEmissions({0, 1, 2}), 8,
+                               /*distinct_states=*/false);
+  ASSERT_TRUE(paths.ok());
+  EXPECT_EQ(paths->size(), 8u);  // 2^3 possible paths
+  std::set<std::vector<size_t>> seen;
+  double prev = 1e9;
+  double total = 0;
+  for (const HmmPath& p : *paths) {
+    EXPECT_TRUE(seen.insert(p.states).second);
+    EXPECT_LE(p.log_prob, prev + 1e-12);
+    prev = p.log_prob;
+    total += std::exp(p.log_prob);
+  }
+  // All paths together account for the full observation probability.
+  EXPECT_NEAR(total, 0.0336 + 0.0, 0.15);  // loose: just a sanity bound
+}
+
+TEST(HmmTest, ListViterbiTopOneMatchesViterbi) {
+  Hmm hmm = WeatherHmm();
+  Matrix e = WeatherEmissions({2, 0, 1});
+  auto best = hmm.Viterbi(e);
+  auto list = hmm.ListViterbi(e, 3, /*distinct_states=*/false);
+  ASSERT_TRUE(best.ok() && list.ok());
+  ASSERT_FALSE(list->empty());
+  EXPECT_EQ(best->states, (*list)[0].states);
+  EXPECT_NEAR(best->log_prob, (*list)[0].log_prob, 1e-12);
+}
+
+TEST(HmmTest, DistinctStatesFiltersRevisits) {
+  Hmm hmm = WeatherHmm();
+  auto paths = hmm.ListViterbi(WeatherEmissions({0, 1}), 10,
+                               /*distinct_states=*/true);
+  ASSERT_TRUE(paths.ok());
+  for (const HmmPath& p : *paths) {
+    std::set<size_t> s(p.states.begin(), p.states.end());
+    EXPECT_EQ(s.size(), p.states.size());
+  }
+  EXPECT_EQ(paths->size(), 2u);  // only (0,1) and (1,0) are injective
+}
+
+TEST(HmmTest, EmptyObservationRejected) {
+  Hmm hmm = WeatherHmm();
+  EXPECT_EQ(hmm.Viterbi(Matrix(0, 2)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(HmmTest, WrongEmissionWidthRejected) {
+  Hmm hmm = WeatherHmm();
+  EXPECT_EQ(hmm.ListViterbi(Matrix(2, 3, 0.5), 2).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(HmmTest, ZeroEmissionStateIsUnreachable) {
+  Hmm hmm = WeatherHmm();
+  Matrix e(2, 2);
+  e.At(0, 0) = 1.0;  // state 1 impossible at t=0
+  e.At(1, 1) = 1.0;  // state 0 impossible at t=1
+  auto paths = hmm.ListViterbi(e, 4, false);
+  ASSERT_TRUE(paths.ok());
+  ASSERT_EQ(paths->size(), 1u);
+  EXPECT_EQ((*paths)[0].states, (std::vector<size_t>{0, 1}));
+}
+
+TEST(EmissionTest, RowsNormalizeToOne) {
+  Matrix sim(2, 3);
+  sim.At(0, 0) = 2;
+  sim.At(0, 1) = 2;
+  sim.At(1, 2) = 5;
+  Matrix e = EmissionFromSimilarity(sim);
+  EXPECT_DOUBLE_EQ(e.At(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(e.At(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(e.At(1, 2), 1.0);
+}
+
+// ----------------------------------------------------------- model builder
+
+class HmmModelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    UniversityOptions opts;
+    opts.extra_people = 5;
+    auto db = BuildUniversityDatabase(opts);
+    ASSERT_TRUE(db.ok());
+    db_ = new Database(std::move(*db));
+    terminology_ = new Terminology(db_->schema());
+  }
+  static void TearDownTestSuite() {
+    delete terminology_;
+    delete db_;
+  }
+  static Database* db_;
+  static Terminology* terminology_;
+};
+
+Database* HmmModelTest::db_ = nullptr;
+Terminology* HmmModelTest::terminology_ = nullptr;
+
+TEST_F(HmmModelTest, AprioriRowsAreStochastic) {
+  Hmm hmm = BuildAprioriHmm(*terminology_, db_->schema());
+  const Matrix& a = hmm.transition();
+  for (size_t i = 0; i < a.rows(); ++i) {
+    double sum = 0;
+    for (size_t j = 0; j < a.cols(); ++j) sum += a.At(i, j);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(a.At(i, i), 0.0);  // no self transitions
+  }
+  double pi_sum = 0;
+  for (double p : hmm.initial()) pi_sum += p;
+  EXPECT_NEAR(pi_sum, 1.0, 1e-9);
+}
+
+TEST_F(HmmModelTest, AprioriHeuristicOrdering) {
+  Hmm hmm = BuildAprioriHmm(*terminology_, db_->schema());
+  auto name_attr = terminology_->AttributeTerm("PEOPLE", "Name");
+  auto name_dom = terminology_->DomainTerm("PEOPLE", "Name");
+  auto phone_attr = terminology_->AttributeTerm("PEOPLE", "Phone");
+  auto aff_year = terminology_->DomainTerm("AFFILIATED", "Year");
+  auto uni_city = terminology_->DomainTerm("UNIVERSITY", "City");
+  const Matrix& a = hmm.transition();
+  // attribute→own domain > same relation > FK adjacent > unrelated.
+  EXPECT_GT(a.At(*name_attr, *name_dom), a.At(*name_attr, *phone_attr));
+  EXPECT_GT(a.At(*name_attr, *phone_attr), a.At(*name_attr, *aff_year));
+  EXPECT_GT(a.At(*name_attr, *aff_year), a.At(*name_attr, *uni_city));
+}
+
+TEST_F(HmmModelTest, UniformHmmIsUniform) {
+  Hmm hmm = BuildUniformHmm(*terminology_);
+  const Matrix& a = hmm.transition();
+  double expected = 1.0 / static_cast<double>(terminology_->size() - 1);
+  EXPECT_NEAR(a.At(0, 1), expected, 1e-12);
+  EXPECT_DOUBLE_EQ(a.At(0, 0), 0.0);
+}
+
+TEST_F(HmmModelTest, TrainerLearnsObservedTransitions) {
+  HmmTrainer trainer(*terminology_, db_->schema(), AprioriParams{},
+                     /*prior_strength=*/1.0);
+  auto name_attr = terminology_->AttributeTerm("PEOPLE", "Name");
+  auto uni_city = terminology_->DomainTerm("UNIVERSITY", "City");
+  // Feed many sequences with an "unusual" transition (unrelated tables).
+  for (int i = 0; i < 50; ++i) trainer.AddSequence({*name_attr, *uni_city});
+  EXPECT_EQ(trainer.sequence_count(), 50u);
+  Hmm trained = trainer.Train();
+  Hmm apriori = BuildAprioriHmm(*terminology_, db_->schema());
+  EXPECT_GT(trained.transition().At(*name_attr, *uni_city),
+            apriori.transition().At(*name_attr, *uni_city));
+  // The trained initial distribution should favor the observed start state.
+  EXPECT_GT(trained.initial()[*name_attr], apriori.initial()[*name_attr]);
+}
+
+TEST_F(HmmModelTest, TrainedRowsRemainStochastic) {
+  HmmTrainer trainer(*terminology_, db_->schema());
+  trainer.AddSequence({0, 1, 2});
+  trainer.AddSequence({2, 1});
+  Hmm trained = trainer.Train();
+  const Matrix& a = trained.transition();
+  for (size_t i = 0; i < a.rows(); ++i) {
+    double sum = 0;
+    for (size_t j = 0; j < a.cols(); ++j) sum += a.At(i, j);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST_F(HmmModelTest, SelfLabelledTrainingConsumesEmissions) {
+  HmmTrainer trainer(*terminology_, db_->schema());
+  Matrix emission(2, terminology_->size());
+  auto name_attr = terminology_->AttributeTerm("PEOPLE", "Name");
+  auto name_dom = terminology_->DomainTerm("PEOPLE", "Name");
+  emission.At(0, *name_attr) = 1.0;
+  emission.At(1, *name_dom) = 1.0;
+  EXPECT_TRUE(trainer.AddSelfLabelled(emission));
+  EXPECT_EQ(trainer.sequence_count(), 1u);
+}
+
+TEST_F(HmmModelTest, DecodingWithAprioriPrefersCoherentSequences) {
+  Hmm hmm = BuildAprioriHmm(*terminology_, db_->schema());
+  auto name_attr = terminology_->AttributeTerm("PEOPLE", "Name");
+  auto name_dom = terminology_->DomainTerm("PEOPLE", "Name");
+  auto uni_city_dom = terminology_->DomainTerm("UNIVERSITY", "City");
+  // Keyword 0 clearly the Name attribute; keyword 1 equally plausible as
+  // Dom(PEOPLE.Name) or Dom(UNIVERSITY.City) by emission alone — the
+  // transition prior must break the tie toward the same relation.
+  Matrix emission(2, terminology_->size());
+  emission.At(0, *name_attr) = 1.0;
+  emission.At(1, *name_dom) = 0.5;
+  emission.At(1, *uni_city_dom) = 0.5;
+  auto path = hmm.Viterbi(emission);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->states[1], *name_dom);
+}
+
+
+TEST(HmmTest, KLargerThanPathCountReturnsAll) {
+  Hmm hmm = WeatherHmm();
+  auto paths = hmm.ListViterbi(WeatherEmissions({0}), 50, false);
+  ASSERT_TRUE(paths.ok());
+  EXPECT_EQ(paths->size(), 2u);  // only two states exist at T=1
+}
+
+TEST(HmmTest, KZeroReturnsEmpty) {
+  Hmm hmm = WeatherHmm();
+  auto paths = hmm.ListViterbi(WeatherEmissions({0, 1}), 0, false);
+  ASSERT_TRUE(paths.ok());
+  EXPECT_TRUE(paths->empty());
+}
+
+TEST(HmmTest, AllZeroEmissionYieldsNoPaths) {
+  Hmm hmm = WeatherHmm();
+  Matrix e(2, 2, 0.0);
+  auto paths = hmm.ListViterbi(e, 3, false);
+  ASSERT_TRUE(paths.ok());
+  EXPECT_TRUE(paths->empty());
+}
+
+TEST_F(HmmModelTest, TwoHopTierSitsBetweenAdjacentAndUnrelated) {
+  Hmm hmm = BuildAprioriHmm(*terminology_, db_->schema());
+  const Matrix& a = hmm.transition();
+  auto people_name = terminology_->DomainTerm("PEOPLE", "Name");
+  auto aff_year = terminology_->DomainTerm("AFFILIATED", "Year");      // 1 hop
+  auto uni_city = terminology_->DomainTerm("UNIVERSITY", "City");      // 2 hops
+  // PEOPLE—AFFILIATED direct; PEOPLE—UNIVERSITY via DEPARTMENT (2 hops).
+  EXPECT_GT(a.At(*people_name, *aff_year), a.At(*people_name, *uni_city));
+  EXPECT_GT(a.At(*people_name, *uni_city), 0.0);
+}
+
+TEST_F(HmmModelTest, InitialDistributionIsSmoothedMixture) {
+  Hmm hmm = BuildAprioriHmm(*terminology_, db_->schema());
+  // No state's prior may be zero: the uniform mixture guarantees a floor.
+  AprioriParams defaults;
+  double uniform_part =
+      (1.0 - defaults.hits_mixture) / static_cast<double>(terminology_->size());
+  for (double p : hmm.initial()) EXPECT_GE(p, uniform_part - 1e-12);
+}
+
+}  // namespace
+}  // namespace km

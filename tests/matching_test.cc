@@ -1,0 +1,344 @@
+// Tests for km_matching: Hungarian assignment, Murty top-k enumeration,
+// configuration generation. Includes randomized property tests against
+// brute-force enumeration.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "common/rng.h"
+#include "datasets/university.h"
+#include "matching/config_gen.h"
+#include "matching/munkres.h"
+#include "matching/murty.h"
+
+namespace km {
+namespace {
+
+// Brute-force best assignment by permutation enumeration (rows <= cols).
+double BruteForceBest(const Matrix& w) {
+  std::vector<size_t> cols(w.cols());
+  for (size_t i = 0; i < w.cols(); ++i) cols[i] = i;
+  double best = -1e30;
+  // Enumerate injective mappings rows -> cols via permutations of column
+  // subsets (fine for tiny matrices).
+  std::vector<size_t> pick(w.rows());
+  std::vector<bool> used(w.cols(), false);
+  double current = 0;
+  std::function<void(size_t)> rec = [&](size_t row) {
+    if (row == w.rows()) {
+      best = std::max(best, current);
+      return;
+    }
+    for (size_t c = 0; c < w.cols(); ++c) {
+      if (used[c] || w.At(row, c) <= kForbidden) continue;
+      used[c] = true;
+      current += w.At(row, c);
+      rec(row + 1);
+      current -= w.At(row, c);
+      used[c] = false;
+    }
+  };
+  rec(0);
+  return best;
+}
+
+// All complete assignment weights, sorted descending.
+std::vector<double> BruteForceAll(const Matrix& w) {
+  std::vector<double> out;
+  std::vector<bool> used(w.cols(), false);
+  double current = 0;
+  std::function<void(size_t)> rec = [&](size_t row) {
+    if (row == w.rows()) {
+      out.push_back(current);
+      return;
+    }
+    for (size_t c = 0; c < w.cols(); ++c) {
+      if (used[c] || w.At(row, c) <= kForbidden) continue;
+      used[c] = true;
+      current += w.At(row, c);
+      rec(row + 1);
+      current -= w.At(row, c);
+      used[c] = false;
+    }
+  };
+  rec(0);
+  std::sort(out.rbegin(), out.rend());
+  return out;
+}
+
+// -------------------------------------------------------------- Munkres
+
+TEST(MunkresTest, SimpleDiagonal) {
+  Matrix w(2, 2);
+  w.At(0, 0) = 5;
+  w.At(0, 1) = 1;
+  w.At(1, 0) = 1;
+  w.At(1, 1) = 5;
+  auto a = MaxWeightAssignment(w);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->col_for_row, (std::vector<int>{0, 1}));
+  EXPECT_DOUBLE_EQ(a->total_weight, 10.0);
+}
+
+TEST(MunkresTest, ChoosesCrossWhenBetter) {
+  Matrix w(2, 2);
+  w.At(0, 0) = 1;
+  w.At(0, 1) = 5;
+  w.At(1, 0) = 5;
+  w.At(1, 1) = 1;
+  auto a = MaxWeightAssignment(w);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->col_for_row, (std::vector<int>{1, 0}));
+  EXPECT_DOUBLE_EQ(a->total_weight, 10.0);
+}
+
+TEST(MunkresTest, RectangularUsesBestColumns) {
+  Matrix w(1, 4);
+  w.At(0, 2) = 0.9;
+  auto a = MaxWeightAssignment(w);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->col_for_row[0], 2);
+}
+
+TEST(MunkresTest, RejectsMoreRowsThanCols) {
+  Matrix w(3, 2, 1.0);
+  EXPECT_EQ(MaxWeightAssignment(w).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MunkresTest, RejectsEmpty) {
+  EXPECT_FALSE(MaxWeightAssignment(Matrix()).ok());
+}
+
+TEST(MunkresTest, ForbiddenPairsAreAvoided) {
+  Matrix w(2, 2);
+  w.At(0, 0) = kForbidden;
+  w.At(0, 1) = 0.2;
+  w.At(1, 0) = 0.3;
+  w.At(1, 1) = 0.9;  // tempting but forces row 0 onto forbidden
+  auto a = MaxWeightAssignment(w);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->col_for_row, (std::vector<int>{1, 0}));
+}
+
+TEST(MunkresTest, IncompleteWhenRowFullyForbidden) {
+  Matrix w(2, 2, kForbidden);
+  w.At(1, 0) = 1.0;
+  auto a = MaxWeightAssignment(w);
+  ASSERT_TRUE(a.ok());
+  EXPECT_FALSE(a->complete());
+  EXPECT_EQ(a->col_for_row[1], 0);
+  EXPECT_EQ(a->col_for_row[0], -1);
+}
+
+class MunkresPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MunkresPropertyTest, MatchesBruteForceOptimum) {
+  Rng rng(GetParam());
+  size_t rows = 1 + rng.Uniform(5);
+  size_t cols = rows + rng.Uniform(4);
+  Matrix w(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) w.At(r, c) = rng.UniformDouble();
+  }
+  auto a = MaxWeightAssignment(w);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(a->complete());
+  EXPECT_NEAR(a->total_weight, BruteForceBest(w), 1e-9);
+  // Injectivity.
+  std::set<int> used(a->col_for_row.begin(), a->col_for_row.end());
+  EXPECT_EQ(used.size(), rows);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMatrices, MunkresPropertyTest,
+                         ::testing::Range<uint64_t>(1, 26));
+
+// ---------------------------------------------------------------- Murty
+
+TEST(MurtyTest, EnumeratesAllPermutationsInOrder) {
+  Matrix w(2, 2);
+  w.At(0, 0) = 5;
+  w.At(0, 1) = 1;
+  w.At(1, 0) = 2;
+  w.At(1, 1) = 4;
+  auto top = TopKAssignments(w, 10);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 2u);  // only two complete assignments exist
+  EXPECT_DOUBLE_EQ((*top)[0].total_weight, 9.0);
+  EXPECT_DOUBLE_EQ((*top)[1].total_weight, 3.0);
+}
+
+TEST(MurtyTest, KZeroReturnsEmpty) {
+  Matrix w(1, 1, 1.0);
+  auto top = TopKAssignments(w, 0);
+  ASSERT_TRUE(top.ok());
+  EXPECT_TRUE(top->empty());
+}
+
+TEST(MurtyTest, NoFeasibleAssignment) {
+  Matrix w(1, 1, kForbidden);
+  auto top = TopKAssignments(w, 3);
+  ASSERT_TRUE(top.ok());
+  EXPECT_TRUE(top->empty());
+}
+
+TEST(MurtyTest, ResultsAreDistinct) {
+  Matrix w(3, 4, 0.5);
+  auto top = TopKAssignments(w, 24);
+  ASSERT_TRUE(top.ok());
+  std::set<std::vector<int>> seen;
+  for (const auto& a : *top) EXPECT_TRUE(seen.insert(a.col_for_row).second);
+  EXPECT_EQ(top->size(), 24u);  // 4P3 = 24 injective assignments
+}
+
+class MurtyPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MurtyPropertyTest, TopKMatchesBruteForceOrder) {
+  Rng rng(GetParam() * 977);
+  size_t rows = 1 + rng.Uniform(4);
+  size_t cols = rows + rng.Uniform(3);
+  Matrix w(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) w.At(r, c) = rng.UniformDouble();
+  }
+  size_t k = 1 + rng.Uniform(8);
+  auto top = TopKAssignments(w, k);
+  ASSERT_TRUE(top.ok());
+  std::vector<double> expected = BruteForceAll(w);
+  size_t expect_count = std::min(k, expected.size());
+  ASSERT_EQ(top->size(), expect_count);
+  for (size_t i = 0; i < expect_count; ++i) {
+    EXPECT_NEAR((*top)[i].total_weight, expected[i], 1e-9) << "rank " << i;
+  }
+  // Non-increasing order.
+  for (size_t i = 1; i < top->size(); ++i) {
+    EXPECT_GE((*top)[i - 1].total_weight + 1e-12, (*top)[i].total_weight);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMatrices, MurtyPropertyTest,
+                         ::testing::Range<uint64_t>(1, 26));
+
+// ----------------------------------------------------- ConfigurationGen
+
+class ConfigGenTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    UniversityOptions opts;
+    opts.extra_people = 5;
+    opts.extra_departments = 1;
+    opts.extra_universities = 1;
+    opts.extra_projects = 1;
+    auto db = BuildUniversityDatabase(opts);
+    ASSERT_TRUE(db.ok());
+    db_ = new Database(std::move(*db));
+    terminology_ = new Terminology(db_->schema());
+    weights_ = new WeightMatrixBuilder(*terminology_, db_);
+  }
+  static void TearDownTestSuite() {
+    delete weights_;
+    delete terminology_;
+    delete db_;
+  }
+
+  static Database* db_;
+  static Terminology* terminology_;
+  static WeightMatrixBuilder* weights_;
+};
+
+Database* ConfigGenTest::db_ = nullptr;
+Terminology* ConfigGenTest::terminology_ = nullptr;
+WeightMatrixBuilder* ConfigGenTest::weights_ = nullptr;
+
+TEST_F(ConfigGenTest, GeneratesInjectiveRankedConfigurations) {
+  ConfigurationGenerator gen(*terminology_, db_->schema(), *weights_);
+  auto configs = gen.Generate({"Vokram", "IT"}, 10);
+  ASSERT_TRUE(configs.ok());
+  ASSERT_FALSE(configs->empty());
+  for (size_t i = 0; i < configs->size(); ++i) {
+    EXPECT_TRUE((*configs)[i].IsInjective());
+    EXPECT_EQ((*configs)[i].term_for_keyword.size(), 2u);
+    if (i > 0) {
+      EXPECT_GE((*configs)[i - 1].score + 1e-12, (*configs)[i].score);
+    }
+  }
+}
+
+TEST_F(ConfigGenTest, RunningExampleTopConfiguration) {
+  ConfigurationGenerator gen(*terminology_, db_->schema(), *weights_);
+  auto configs = gen.Generate({"Vokram", "IT"}, 5);
+  ASSERT_TRUE(configs.ok());
+  ASSERT_FALSE(configs->empty());
+  // The best configuration must map Vokram to Dom(PEOPLE.Name); IT must go
+  // to a country domain (PEOPLE.Country or UNIVERSITY.Country).
+  auto name_dom = terminology_->DomainTerm("PEOPLE", "Name");
+  EXPECT_EQ((*configs)[0].term_for_keyword[0], *name_dom);
+  const DatabaseTerm& it_term =
+      terminology_->term((*configs)[0].term_for_keyword[1]);
+  EXPECT_EQ(it_term.attribute, "Country");
+  EXPECT_EQ(it_term.kind, TermKind::kDomain);
+}
+
+TEST_F(ConfigGenTest, SchemaKeywordMapsToSchemaTerm) {
+  ConfigurationGenerator gen(*terminology_, db_->schema(), *weights_);
+  auto configs = gen.Generate({"department", "EE"}, 5);
+  ASSERT_TRUE(configs.ok());
+  ASSERT_FALSE(configs->empty());
+  const DatabaseTerm& t0 = terminology_->term((*configs)[0].term_for_keyword[0]);
+  EXPECT_EQ(t0.relation, "DEPARTMENT");
+}
+
+TEST_F(ConfigGenTest, EmptyQueryRejected) {
+  ConfigurationGenerator gen(*terminology_, db_->schema(), *weights_);
+  EXPECT_EQ(gen.Generate({}, 5).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ConfigGenTest, KZeroYieldsEmpty) {
+  ConfigurationGenerator gen(*terminology_, db_->schema(), *weights_);
+  auto configs = gen.Generate({"Vokram"}, 0);
+  ASSERT_TRUE(configs.ok());
+  EXPECT_TRUE(configs->empty());
+}
+
+TEST_F(ConfigGenTest, IntrinsicModeSkipsContextualization) {
+  ConfigGenOptions opts;
+  opts.mode = ConfigGenMode::kIntrinsicOnly;
+  ConfigurationGenerator gen(*terminology_, db_->schema(), *weights_, opts);
+  auto configs = gen.Generate({"Vokram", "IT"}, 5);
+  ASSERT_TRUE(configs.ok());
+  EXPECT_FALSE(configs->empty());
+}
+
+TEST_F(ConfigGenTest, GreedyExtendedModeProducesResults) {
+  ConfigGenOptions opts;
+  opts.mode = ConfigGenMode::kGreedyExtended;
+  ConfigurationGenerator gen(*terminology_, db_->schema(), *weights_, opts);
+  auto configs = gen.Generate({"Vokram", "IT"}, 5);
+  ASSERT_TRUE(configs.ok());
+  ASSERT_FALSE(configs->empty());
+  for (const Configuration& c : *configs) EXPECT_TRUE(c.IsInjective());
+}
+
+TEST_F(ConfigGenTest, ContextualizationImprovesCoherence) {
+  // With contextualization, the top config for "Name Vokram" should place
+  // both keywords in PEOPLE (attribute + its domain).
+  ConfigurationGenerator gen(*terminology_, db_->schema(), *weights_);
+  auto configs = gen.Generate({"Name", "Vokram"}, 3);
+  ASSERT_TRUE(configs.ok());
+  ASSERT_FALSE(configs->empty());
+  const DatabaseTerm& t0 = terminology_->term((*configs)[0].term_for_keyword[0]);
+  const DatabaseTerm& t1 = terminology_->term((*configs)[0].term_for_keyword[1]);
+  EXPECT_EQ(t0.attribute, "Name");
+  EXPECT_EQ(t1.ToString(), "Dom(PEOPLE.Name)");
+}
+
+TEST_F(ConfigGenTest, MoreKeywordsThanTermsRejected) {
+  ConfigurationGenerator gen(*terminology_, db_->schema(), *weights_);
+  std::vector<std::string> too_many(terminology_->size() + 1, "x");
+  EXPECT_EQ(gen.Generate(too_many, 1).status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace km

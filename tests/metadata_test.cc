@@ -1,0 +1,378 @@
+// Tests for km_metadata: terminology, weight matrices, contextualization,
+// configurations.
+
+#include <gtest/gtest.h>
+
+#include "datasets/university.h"
+#include "metadata/configuration.h"
+#include "metadata/contextualize.h"
+#include "metadata/term.h"
+#include "metadata/weights.h"
+
+namespace km {
+namespace {
+
+class MetadataTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    UniversityOptions opts;
+    opts.extra_people = 10;
+    opts.extra_departments = 2;
+    opts.extra_universities = 2;
+    opts.extra_projects = 2;
+    auto db = BuildUniversityDatabase(opts);
+    ASSERT_TRUE(db.ok());
+    db_ = new Database(std::move(*db));
+    terminology_ = new Terminology(db_->schema());
+  }
+  static void TearDownTestSuite() {
+    delete terminology_;
+    delete db_;
+    terminology_ = nullptr;
+    db_ = nullptr;
+  }
+
+  static Database* db_;
+  static Terminology* terminology_;
+};
+
+Database* MetadataTest::db_ = nullptr;
+Terminology* MetadataTest::terminology_ = nullptr;
+
+// ----------------------------------------------------------- Terminology
+
+TEST_F(MetadataTest, TerminologySizeMatchesFormula) {
+  EXPECT_EQ(terminology_->size(), db_->schema().TerminologySize());
+}
+
+TEST_F(MetadataTest, TermLookups) {
+  auto rel = terminology_->RelationTerm("PEOPLE");
+  ASSERT_TRUE(rel.has_value());
+  EXPECT_EQ(terminology_->term(*rel).kind, TermKind::kRelation);
+  EXPECT_EQ(terminology_->term(*rel).ToString(), "PEOPLE");
+
+  auto attr = terminology_->AttributeTerm("PEOPLE", "Name");
+  ASSERT_TRUE(attr.has_value());
+  EXPECT_EQ(terminology_->term(*attr).ToString(), "PEOPLE.Name");
+  EXPECT_TRUE(terminology_->term(*attr).is_schema_term());
+
+  auto dom = terminology_->DomainTerm("PEOPLE", "Name");
+  ASSERT_TRUE(dom.has_value());
+  EXPECT_EQ(terminology_->term(*dom).ToString(), "Dom(PEOPLE.Name)");
+  EXPECT_TRUE(terminology_->term(*dom).is_value_term());
+
+  EXPECT_FALSE(terminology_->RelationTerm("NOPE").has_value());
+  EXPECT_FALSE(terminology_->AttributeTerm("PEOPLE", "Nope").has_value());
+}
+
+TEST_F(MetadataTest, PairedTermLinksAttributeAndDomain) {
+  auto attr = terminology_->AttributeTerm("PEOPLE", "Name");
+  auto dom = terminology_->DomainTerm("PEOPLE", "Name");
+  ASSERT_TRUE(attr && dom);
+  EXPECT_EQ(terminology_->PairedTerm(*attr), *dom);
+  EXPECT_EQ(terminology_->PairedTerm(*dom), *attr);
+  auto rel = terminology_->RelationTerm("PEOPLE");
+  EXPECT_FALSE(terminology_->PairedTerm(*rel).has_value());
+}
+
+TEST_F(MetadataTest, TermsOfRelationCoversAllKinds) {
+  auto terms = terminology_->TermsOfRelation("UNIVERSITY");
+  // UNIVERSITY(Name, City, Country): 1 relation + 3 attrs + 3 domains = 7.
+  EXPECT_EQ(terms.size(), 7u);
+}
+
+TEST_F(MetadataTest, DomainTermsCarryTypeAndTag) {
+  auto dom = terminology_->DomainTerm("PEOPLE", "Phone");
+  ASSERT_TRUE(dom.has_value());
+  EXPECT_EQ(terminology_->term(*dom).type, DataType::kText);
+  EXPECT_EQ(terminology_->term(*dom).tag, DomainTag::kPhone);
+}
+
+// --------------------------------------------------------------- Weights
+
+TEST_F(MetadataTest, ExactSchemaNameGetsTopWeight) {
+  WeightMatrixBuilder builder(*terminology_, db_);
+  auto rel = terminology_->RelationTerm("PEOPLE");
+  EXPECT_DOUBLE_EQ(builder.Weight("people", terminology_->term(*rel)), 1.0);
+}
+
+TEST_F(MetadataTest, SynonymGetsHighSchemaWeight) {
+  WeightMatrixBuilder builder(*terminology_, db_);
+  auto rel = terminology_->RelationTerm("PEOPLE");
+  // "person" is a synonym of "people" in the builtin thesaurus; after the
+  // floor rescaling the synonym score 0.9 maps to (0.9-f)/(1-f).
+  WeightOptions defaults;
+  double expected =
+      (Thesaurus::kSynonymScore - defaults.sw_floor) / (1.0 - defaults.sw_floor);
+  EXPECT_GE(builder.Weight("person", terminology_->term(*rel)), expected - 1e-9);
+}
+
+TEST_F(MetadataTest, SynonymsDisabledDropsTheBoost) {
+  WeightOptions opts;
+  opts.use_synonyms = false;
+  WeightMatrixBuilder builder(*terminology_, db_, opts);
+  auto rel = terminology_->RelationTerm("PEOPLE");
+  double w = builder.Weight("individual", terminology_->term(*rel));
+  EXPECT_LT(w, 0.5);  // string similarity alone cannot link these
+}
+
+TEST_F(MetadataTest, ShortKeywordsRequireExactSchemaMatch) {
+  WeightMatrixBuilder builder(*terminology_, db_);
+  auto id_attr = terminology_->AttributeTerm("PEOPLE", "Id");
+  ASSERT_TRUE(id_attr.has_value());
+  EXPECT_DOUBLE_EQ(builder.Weight("IT", terminology_->term(*id_attr)), 0.0);
+  EXPECT_DOUBLE_EQ(builder.Weight("id", terminology_->term(*id_attr)), 1.0);
+}
+
+TEST_F(MetadataTest, InstanceHitDominatesValueWeight) {
+  WeightMatrixBuilder builder(*terminology_, db_);
+  auto dom = terminology_->DomainTerm("PEOPLE", "Name");
+  // "Vokram" is an actual PEOPLE.Name value.
+  EXPECT_GE(builder.Weight("Vokram", terminology_->term(*dom)), 0.9);
+  // Case-insensitive.
+  EXPECT_GE(builder.Weight("vokram", terminology_->term(*dom)), 0.9);
+}
+
+TEST_F(MetadataTest, MetadataOnlyModeStillScoresShapes) {
+  WeightOptions opts;
+  opts.use_instance_vocabulary = false;
+  WeightMatrixBuilder builder(*terminology_, db_, opts);
+  auto phone_dom = terminology_->DomainTerm("PEOPLE", "Phone");
+  auto name_dom = terminology_->DomainTerm("PEOPLE", "Name");
+  double phone_w = builder.Weight("4631234", terminology_->term(*phone_dom));
+  double name_w = builder.Weight("4631234", terminology_->term(*name_dom));
+  EXPECT_GT(phone_w, name_w);  // shape recognizers still work
+}
+
+TEST_F(MetadataTest, TypeMismatchZeroesValueWeight) {
+  WeightMatrixBuilder builder(*terminology_, db_);
+  auto year_dom = terminology_->DomainTerm("AFFILIATED", "Year");
+  EXPECT_DOUBLE_EQ(builder.Weight("Vokram", terminology_->term(*year_dom)), 0.0);
+}
+
+TEST_F(MetadataTest, BuildProducesFullMatrix) {
+  WeightMatrixBuilder builder(*terminology_, db_);
+  Matrix m = builder.Build({"Vokram", "IT"});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), terminology_->size());
+  // All weights in [0,1].
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) {
+      EXPECT_GE(m.At(r, c), 0.0);
+      EXPECT_LE(m.At(r, c), 1.0);
+    }
+  }
+}
+
+TEST_F(MetadataTest, DomainPatternsDisabledFlattensVW) {
+  WeightOptions opts;
+  opts.use_domain_patterns = false;
+  opts.use_instance_vocabulary = false;
+  WeightMatrixBuilder builder(*terminology_, db_, opts);
+  auto phone_dom = terminology_->DomainTerm("PEOPLE", "Phone");
+  auto name_dom = terminology_->DomainTerm("PEOPLE", "Name");
+  EXPECT_DOUBLE_EQ(builder.Weight("4631234", terminology_->term(*phone_dom)),
+                   builder.Weight("4631234", terminology_->term(*name_dom)));
+}
+
+// -------------------------------------------------------- Contextualizer
+
+TEST_F(MetadataTest, AttributeAssignmentBoostsAdjacentDomain) {
+  Contextualizer ctx(*terminology_, db_->schema());
+  auto name_attr = terminology_->AttributeTerm("PEOPLE", "Name");
+  auto name_dom = terminology_->DomainTerm("PEOPLE", "Name");
+  Matrix f(2, terminology_->size(), 1.0);
+  ctx.Apply(/*assigned_keyword=*/0, *name_attr, {1}, &f);
+  EXPECT_GT(f.At(1, *name_dom), 1.0);
+  // The attribute's own domain gets the strongest boost of the row.
+  for (size_t c = 0; c < f.cols(); ++c) {
+    EXPECT_LE(f.At(1, c), f.At(1, *name_dom));
+  }
+}
+
+TEST_F(MetadataTest, NonAdjacentKeywordIsLeftUntouched) {
+  Contextualizer ctx(*terminology_, db_->schema());
+  auto name_attr = terminology_->AttributeTerm("PEOPLE", "Name");
+  Matrix f(3, terminology_->size(), 1.0);
+  ctx.Apply(0, *name_attr, {2}, &f);  // keyword 2 is not adjacent to 0
+  // The proximity gate keeps all of keyword 2's factors neutral.
+  for (size_t c = 0; c < f.cols(); ++c) EXPECT_DOUBLE_EQ(f.At(2, c), 1.0);
+}
+
+TEST_F(MetadataTest, ZeroIntrinsicWeightsAreNeverResurrected) {
+  // Contextualized weight = intrinsic × factor, so an impossible (zero)
+  // match stays zero regardless of boosts.
+  Contextualizer ctx(*terminology_, db_->schema());
+  auto name_attr = terminology_->AttributeTerm("PEOPLE", "Name");
+  auto name_dom = terminology_->DomainTerm("PEOPLE", "Name");
+  Matrix intrinsic(2, terminology_->size(), 0.0);
+  intrinsic.At(0, *name_attr) = 1.0;
+  double score = ctx.ScoreSequence(intrinsic, {*name_attr, *name_dom});
+  EXPECT_DOUBLE_EQ(score, 1.0);  // second keyword contributes 0 × factor
+}
+
+TEST_F(MetadataTest, TotalBoostIsCapped) {
+  Contextualizer ctx(*terminology_, db_->schema());
+  auto name_attr = terminology_->AttributeTerm("PEOPLE", "Name");
+  auto name_dom = terminology_->DomainTerm("PEOPLE", "Name");
+  Matrix f(3, terminology_->size(), 1.0);
+  // Two assignments in the same relation both boost row 1's factors; the
+  // accumulated factor must not exceed the cap.
+  ctx.Apply(0, *name_attr, {1}, &f);
+  ctx.Apply(2, *terminology_->AttributeTerm("PEOPLE", "Phone"), {1}, &f);
+  EXPECT_LE(f.At(1, *name_dom), ctx.options().max_total_boost + 1e-12);
+}
+
+TEST_F(MetadataTest, DisabledContextualizerIsNoOp) {
+  ContextualizeOptions opts;
+  opts.enabled = false;
+  Contextualizer ctx(*terminology_, db_->schema(), opts);
+  auto name_attr = terminology_->AttributeTerm("PEOPLE", "Name");
+  Matrix f(2, terminology_->size(), 1.0);
+  ctx.Apply(0, *name_attr, {1}, &f);
+  for (size_t c = 0; c < f.cols(); ++c) {
+    EXPECT_DOUBLE_EQ(f.At(1, c), 1.0);
+  }
+}
+
+TEST_F(MetadataTest, ValueAssignmentBoostsCoherentRelationsSymmetrically) {
+  Contextualizer ctx(*terminology_, db_->schema());
+  auto name_dom_people = terminology_->DomainTerm("PEOPLE", "Name");
+  auto phone_dom_people = terminology_->DomainTerm("PEOPLE", "Phone");
+  auto aff_year = terminology_->DomainTerm("AFFILIATED", "Year");
+  auto uni_city = terminology_->DomainTerm("UNIVERSITY", "City");
+  Matrix f(2, terminology_->size(), 1.0);
+  ctx.Apply(0, *name_dom_people, {1}, &f);
+  // AFFILIATED is FK-adjacent to PEOPLE; UNIVERSITY is two hops away
+  // (through DEPARTMENT). A *value* assignment treats same-relation and
+  // FK-adjacent coherence equally and reaches two hops at a decayed rate.
+  EXPECT_GT(f.At(1, *aff_year), 1.0);
+  EXPECT_DOUBLE_EQ(f.At(1, *phone_dom_people), f.At(1, *aff_year));
+  EXPECT_NEAR(f.At(1, *uni_city), ctx.options().value_coherence_2hop, 1e-9);
+  EXPECT_LT(f.At(1, *uni_city), f.At(1, *aff_year));
+  // The assigned term itself is never boosted for other keywords: the
+  // mapping is injective, so reusing it is impossible anyway.
+  EXPECT_DOUBLE_EQ(f.At(1, *name_dom_people), 1.0);
+}
+
+TEST_F(MetadataTest, SchemaAssignmentPrefersSameRelationOverFkAdjacent) {
+  Contextualizer ctx(*terminology_, db_->schema());
+  auto name_attr = terminology_->AttributeTerm("PEOPLE", "Name");
+  auto phone_dom_people = terminology_->DomainTerm("PEOPLE", "Phone");
+  auto aff_year = terminology_->DomainTerm("AFFILIATED", "Year");
+  Matrix f(2, terminology_->size(), 1.0);
+  ctx.Apply(0, *name_attr, {1}, &f);
+  EXPECT_GT(f.At(1, *phone_dom_people), f.At(1, *aff_year));
+  EXPECT_GT(f.At(1, *aff_year), 1.0);
+}
+
+TEST_F(MetadataTest, ScoreSequenceExceedsIntrinsicSumWhenCoherent) {
+  Contextualizer ctx(*terminology_, db_->schema());
+  auto name_attr = terminology_->AttributeTerm("PEOPLE", "Name");
+  auto name_dom = terminology_->DomainTerm("PEOPLE", "Name");
+  Matrix w(2, terminology_->size(), 0.5);
+  double coherent = ctx.ScoreSequence(w, {*name_attr, *name_dom});
+  // An incoherent assignment (unrelated relations) gets no boost.
+  auto uni_city = terminology_->DomainTerm("UNIVERSITY", "City");
+  double incoherent = ctx.ScoreSequence(w, {*name_attr, *uni_city});
+  EXPECT_GT(coherent, incoherent);
+  EXPECT_DOUBLE_EQ(incoherent, 1.0);  // 0.5 + 0.5, no boosts apply
+}
+
+// ---------------------------------------------------------- Configuration
+
+TEST_F(MetadataTest, ConfigurationInjectivity) {
+  Configuration c;
+  c.term_for_keyword = {1, 2, 3};
+  EXPECT_TRUE(c.IsInjective());
+  c.term_for_keyword = {1, 2, 1};
+  EXPECT_FALSE(c.IsInjective());
+}
+
+TEST_F(MetadataTest, ConfigurationToString) {
+  auto name_dom = terminology_->DomainTerm("PEOPLE", "Name");
+  auto country_dom = terminology_->DomainTerm("UNIVERSITY", "Country");
+  Configuration c;
+  c.term_for_keyword = {*name_dom, *country_dom};
+  std::string s = c.ToString({"Vokram", "IT"}, *terminology_);
+  EXPECT_NE(s.find("Vokram→Dom(PEOPLE.Name)"), std::string::npos);
+  EXPECT_NE(s.find("IT→Dom(UNIVERSITY.Country)"), std::string::npos);
+}
+
+TEST_F(MetadataTest, ConfigurationEqualityIgnoresScore) {
+  Configuration a, b;
+  a.term_for_keyword = {1, 2};
+  a.score = 0.5;
+  b.term_for_keyword = {1, 2};
+  b.score = 0.9;
+  EXPECT_TRUE(a == b);
+}
+
+
+// ---------------------------------------------------- newer weight rules
+
+
+TEST_F(MetadataTest, ForeignKeyAttributesAreDiscounted) {
+  WeightMatrixBuilder builder(*terminology_, db_);
+  // AFFILIATED.IdPrs is a foreign key to PEOPLE.Id; a keyword matching the
+  // value "p1" must score higher on the referenced key's domain than on the
+  // referencing column's domain.
+  auto fk_dom = terminology_->DomainTerm("AFFILIATED", "IdPrs");
+  auto pk_dom = terminology_->DomainTerm("PEOPLE", "Id");
+  ASSERT_TRUE(fk_dom && pk_dom);
+  double fk_w = builder.Weight("p1", terminology_->term(*fk_dom));
+  double pk_w = builder.Weight("p1", terminology_->term(*pk_dom));
+  EXPECT_GT(pk_w, fk_w);
+  EXPECT_GT(fk_w, 0.0);
+}
+
+TEST_F(MetadataTest, InstanceMissPenalizesPatternScore) {
+  // "Zanzibar" is capitalized (name-shaped) but absent from the instance;
+  // with full access its PersonName-domain score must drop well below an
+  // actual instance value's score, and below the metadata-only score.
+  WeightMatrixBuilder full(*terminology_, db_);
+  WeightOptions meta_opts;
+  meta_opts.use_instance_vocabulary = false;
+  WeightMatrixBuilder meta(*terminology_, db_, meta_opts);
+  auto name_dom = terminology_->DomainTerm("PEOPLE", "Name");
+  double full_missing = full.Weight("Zanzibar", terminology_->term(*name_dom));
+  double meta_missing = meta.Weight("Zanzibar", terminology_->term(*name_dom));
+  double full_hit = full.Weight("Vokram", terminology_->term(*name_dom));
+  EXPECT_LT(full_missing, meta_missing);
+  EXPECT_LT(full_missing, full_hit / 3);
+}
+
+TEST_F(MetadataTest, FrequencyBonusBreaksTiesTowardCommonValues) {
+  // "IT" appears multiple times in PEOPLE.Country and UNIVERSITY.Country;
+  // the weight of the more frequent column must be at least as high, and
+  // both must exceed plain instance_hit_weight only through the bonus.
+  WeightMatrixBuilder builder(*terminology_, db_);
+  auto people_c = terminology_->DomainTerm("PEOPLE", "Country");
+  auto uni_c = terminology_->DomainTerm("UNIVERSITY", "Country");
+  double wp = builder.Weight("IT", terminology_->term(*people_c));
+  double wu = builder.Weight("IT", terminology_->term(*uni_c));
+  WeightOptions defaults;
+  EXPECT_GE(wp, defaults.instance_hit_weight);
+  EXPECT_GE(wu, defaults.instance_hit_weight);
+  EXPECT_LE(wp, 0.99);
+  EXPECT_LE(wu, 0.99);
+}
+
+TEST_F(MetadataTest, SubstringValuesGetPartialWeight) {
+  WeightMatrixBuilder builder(*terminology_, db_);
+  auto email_dom = terminology_->DomainTerm("PEOPLE", "Email");
+  // "vokram" is a substring of "vokram@univ.edu" (>=4 chars → partial hit).
+  double w = builder.Weight("vokram", terminology_->term(*email_dom));
+  WeightOptions defaults;
+  EXPECT_GE(w, defaults.instance_partial_weight - 1e-9);
+}
+
+TEST_F(MetadataTest, SwFloorZeroesWeakMatches) {
+  WeightMatrixBuilder builder(*terminology_, db_);
+  auto name_attr = terminology_->AttributeTerm("PEOPLE", "Name");
+  // A random-ish token should not get any schema weight against "Name".
+  EXPECT_DOUBLE_EQ(builder.Weight("xylophone", terminology_->term(*name_attr)), 0.0);
+}
+
+}  // namespace
+}  // namespace km

@@ -1,0 +1,350 @@
+// Cross-module property tests: randomized checks against brute-force
+// reference implementations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "common/rng.h"
+#include "engine/executor.h"
+#include "graph/interpretation.h"
+#include "metadata/term.h"
+#include "relational/csv.h"
+#include "relational/database.h"
+#include "text/similarity.h"
+#include "text/stemmer.h"
+#include "text/tokenizer.h"
+
+namespace km {
+namespace {
+
+// ------------------------------------------------- executor vs reference
+
+// Builds a random 3-relation database with FK chain A <- B <- C.
+Database RandomChainDb(Rng* rng) {
+  Database db("prop");
+  EXPECT_TRUE(db.CreateRelation(RelationSchema(
+                                    "A", {{"Id", DataType::kText, DomainTag::kNone, true},
+                                          {"X", DataType::kInt, DomainTag::kNone}}))
+                  .ok());
+  EXPECT_TRUE(db.CreateRelation(RelationSchema(
+                                    "B", {{"Id", DataType::kText, DomainTag::kNone, true},
+                                          {"A", DataType::kText, DomainTag::kNone},
+                                          {"Y", DataType::kInt, DomainTag::kNone}}))
+                  .ok());
+  EXPECT_TRUE(db.CreateRelation(RelationSchema(
+                                    "C", {{"Id", DataType::kText, DomainTag::kNone, true},
+                                          {"B", DataType::kText, DomainTag::kNone},
+                                          {"Z", DataType::kInt, DomainTag::kNone}}))
+                  .ok());
+  EXPECT_TRUE(db.AddForeignKey({"B", "A", "A", "Id"}).ok());
+  EXPECT_TRUE(db.AddForeignKey({"C", "B", "B", "Id"}).ok());
+  size_t na = 2 + rng->Uniform(6), nb = 2 + rng->Uniform(8), nc = 2 + rng->Uniform(8);
+  for (size_t i = 0; i < na; ++i) {
+    EXPECT_TRUE(db.Insert("A", {Value::Text("a" + std::to_string(i)),
+                                Value::Int(static_cast<int64_t>(rng->Uniform(5)))})
+                    .ok());
+  }
+  for (size_t i = 0; i < nb; ++i) {
+    EXPECT_TRUE(db.Insert("B", {Value::Text("b" + std::to_string(i)),
+                                rng->Bernoulli(0.15)
+                                    ? Value::Null()
+                                    : Value::Text("a" + std::to_string(rng->Uniform(na))),
+                                Value::Int(static_cast<int64_t>(rng->Uniform(5)))})
+                    .ok());
+  }
+  for (size_t i = 0; i < nc; ++i) {
+    EXPECT_TRUE(db.Insert("C", {Value::Text("c" + std::to_string(i)),
+                                Value::Text("b" + std::to_string(rng->Uniform(nb))),
+                                Value::Int(static_cast<int64_t>(rng->Uniform(5)))})
+                    .ok());
+  }
+  return db;
+}
+
+// Reference: nested-loop evaluation of the same SPJ query.
+size_t NestedLoopCount(const Database& db, const SpjQuery& q) {
+  const Table* ta = db.FindTable("A");
+  const Table* tb = db.FindTable("B");
+  const Table* tc = db.FindTable("C");
+  size_t count = 0;
+  for (const Row& a : ta->rows()) {
+    for (const Row& b : tb->rows()) {
+      if (b[1].is_null() || !(b[1] == a[0])) continue;
+      for (const Row& c : tc->rows()) {
+        if (!(c[1] == b[0])) continue;
+        bool pass = true;
+        for (const Predicate& p : q.predicates) {
+          const Row* row = p.attr.relation == "A" ? &a
+                           : p.attr.relation == "B" ? &b
+                                                    : &c;
+          const Table* t = db.FindTable(p.attr.relation);
+          auto idx = t->schema().AttributeIndex(p.attr.attribute);
+          if (!EvalPredicateOp((*row)[*idx], p.op, p.value)) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+class ExecutorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExecutorPropertyTest, ChainJoinMatchesNestedLoops) {
+  Rng rng(GetParam() * 31337);
+  Database db = RandomChainDb(&rng);
+  Executor exec(db);
+  SpjQuery q;
+  q.relations = {"A", "B", "C"};
+  q.joins = {{{"B", "A"}, {"A", "Id"}}, {{"C", "B"}, {"B", "Id"}}};
+  // 0-2 random predicates.
+  size_t preds = rng.Uniform(3);
+  const char* rels[] = {"A", "B", "C"};
+  const char* attrs[] = {"X", "Y", "Z"};
+  for (size_t i = 0; i < preds; ++i) {
+    size_t pick = rng.Uniform(3);
+    PredicateOp op = rng.Bernoulli(0.5) ? PredicateOp::kEq : PredicateOp::kLe;
+    q.predicates.push_back({{rels[pick], attrs[pick]},
+                            op,
+                            Value::Int(static_cast<int64_t>(rng.Uniform(5)))});
+  }
+  auto count = exec.Count(q);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, NestedLoopCount(db, q));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDbs, ExecutorPropertyTest,
+                         ::testing::Range<uint64_t>(1, 31));
+
+// ------------------------------------------------- Steiner vs brute force
+
+// Brute-force minimum Steiner tree by enumerating edge subsets (tiny
+// graphs only).
+double BruteForceSteiner(const SchemaGraph& g, const std::vector<size_t>& terminals) {
+  const size_t m = g.edge_count();
+  double best = -1;
+  for (uint32_t mask = 0; mask < (1u << m); ++mask) {
+    // Collect nodes and cost.
+    std::set<size_t> nodes(terminals.begin(), terminals.end());
+    double cost = 0;
+    for (size_t e = 0; e < m; ++e) {
+      if (mask & (1u << e)) {
+        nodes.insert(g.edges()[e].from);
+        nodes.insert(g.edges()[e].to);
+        cost += g.edges()[e].weight;
+      }
+    }
+    if (best >= 0 && cost >= best) continue;
+    // Connectivity of terminals over chosen edges.
+    std::set<size_t> visited = {terminals[0]};
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (size_t e = 0; e < m; ++e) {
+        if (!(mask & (1u << e))) continue;
+        bool f = visited.count(g.edges()[e].from) != 0;
+        bool t = visited.count(g.edges()[e].to) != 0;
+        if (f != t) {
+          visited.insert(f ? g.edges()[e].to : g.edges()[e].from);
+          grew = true;
+        }
+      }
+    }
+    bool all = true;
+    for (size_t t : terminals) all &= visited.count(t) != 0;
+    if (all) best = cost;
+  }
+  return best;
+}
+
+// A small random schema so the graph stays brute-forceable (< 20 edges).
+Database RandomTinySchema(Rng* rng) {
+  Database db("tiny");
+  size_t num_rel = 2 + rng->Uniform(2);  // 2-3 relations
+  for (size_t r = 0; r < num_rel; ++r) {
+    std::vector<AttributeDef> attrs;
+    attrs.push_back({"Id", DataType::kText, DomainTag::kNone, true});
+    size_t extra = 1 + rng->Uniform(2);
+    for (size_t a = 0; a < extra; ++a) {
+      attrs.push_back({"P" + std::to_string(a), DataType::kText, DomainTag::kNone});
+    }
+    EXPECT_TRUE(db.CreateRelation(RelationSchema("R" + std::to_string(r), attrs)).ok());
+  }
+  // FK chain plus a possible chord via payload attributes.
+  for (size_t r = 1; r < num_rel; ++r) {
+    EXPECT_TRUE(db.AddForeignKey({"R" + std::to_string(r), "P0",
+                                  "R" + std::to_string(r - 1), "Id"})
+                    .ok());
+  }
+  return db;
+}
+
+class SteinerPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SteinerPropertyTest, TopTreeMatchesBruteForceOptimum) {
+  Rng rng(GetParam() * 7919);
+  Database db = RandomTinySchema(&rng);
+  Terminology terminology(db.schema());
+  SchemaGraph graph(terminology, db.schema());
+  if (graph.edge_count() >= 20) GTEST_SKIP() << "graph too large for brute force";
+  // Random terminals (2-3 distinct nodes).
+  size_t g = 2 + rng.Uniform(2);
+  std::vector<size_t> all(graph.node_count());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  rng.Shuffle(&all);
+  std::vector<size_t> terminals(all.begin(), all.begin() + static_cast<ssize_t>(g));
+
+  auto trees = TopKSteinerTrees(graph, terminals);
+  double brute = BruteForceSteiner(graph, terminals);
+  if (brute < 0) {
+    ASSERT_TRUE(!trees.ok() || trees->empty());
+    return;
+  }
+  ASSERT_TRUE(trees.ok());
+  ASSERT_FALSE(trees->empty());
+  EXPECT_NEAR((*trees)[0].cost, brute, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSchemas, SteinerPropertyTest,
+                         ::testing::Range<uint64_t>(1, 31));
+
+// ------------------------------------------ canonical signature stability
+
+class SignaturePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SignaturePropertyTest, PermutationInvariant) {
+  Rng rng(GetParam() * 131);
+  SpjQuery q;
+  size_t nrel = 1 + rng.Uniform(4);
+  for (size_t i = 0; i < nrel; ++i) q.relations.push_back("R" + std::to_string(i));
+  for (size_t i = 1; i < nrel; ++i) {
+    q.joins.push_back({{"R" + std::to_string(i), "fk"},
+                       {"R" + std::to_string(i - 1), "Id"}});
+  }
+  for (size_t i = 0; i < rng.Uniform(4); ++i) {
+    q.predicates.push_back({{"R" + std::to_string(rng.Uniform(nrel)), "A"},
+                            PredicateOp::kEq,
+                            Value::Int(static_cast<int64_t>(rng.Uniform(10)))});
+  }
+  SpjQuery shuffled = q;
+  rng.Shuffle(&shuffled.relations);
+  rng.Shuffle(&shuffled.joins);
+  rng.Shuffle(&shuffled.predicates);
+  // Also flip join sides.
+  for (JoinEdge& j : shuffled.joins) {
+    if (rng.Bernoulli(0.5)) std::swap(j.left, j.right);
+  }
+  EXPECT_EQ(q.CanonicalSignature(), shuffled.CanonicalSignature());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomQueries, SignaturePropertyTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+
+// ------------------------------------------------------------ text fuzzing
+
+class TextFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TextFuzzTest, TokenizerNeverCrashesOrEmitsEmptyTokens) {
+  Rng rng(GetParam() * 2654435761u);
+  // Random printable garbage with quotes and punctuation sprinkled in.
+  std::string query;
+  size_t len = rng.Uniform(60);
+  for (size_t i = 0; i < len; ++i) {
+    static const char kChars[] =
+        "abcXYZ0189 \t\"\"''.,;?!@-_/\\()[]{}#$%&*+=<>~";
+    query += kChars[rng.Uniform(sizeof(kChars) - 1)];
+  }
+  auto tokens = Tokenize(query);
+  for (const std::string& t : tokens) EXPECT_FALSE(t.empty());
+}
+
+TEST_P(TextFuzzTest, StemmerNeverLengthensAndIsDeterministic) {
+  Rng rng(GetParam() * 11400714819323198485ull);
+  std::string word;
+  size_t len = 1 + rng.Uniform(14);
+  for (size_t i = 0; i < len; ++i) {
+    word += static_cast<char>('a' + rng.Uniform(26));
+  }
+  std::string s1 = PorterStem(word);
+  std::string s2 = PorterStem(word);
+  EXPECT_EQ(s1, s2);
+  EXPECT_LE(s1.size(), word.size());
+  EXPECT_FALSE(s1.empty());
+}
+
+TEST_P(TextFuzzTest, SimilaritiesStayInUnitInterval) {
+  Rng rng(GetParam() * 97531);
+  auto random_word = [&rng]() {
+    std::string w;
+    size_t len = rng.Uniform(12);
+    for (size_t i = 0; i < len; ++i) {
+      w += static_cast<char>('a' + rng.Uniform(26));
+    }
+    return w;
+  };
+  std::string a = random_word(), b = random_word();
+  for (double s : {JaroWinklerSimilarity(a, b), TrigramJaccard(a, b),
+                   NormalizedLevenshtein(a, b), NameSimilarity(a, b),
+                   AbbreviationScore(a, b)}) {
+    EXPECT_GE(s, 0.0) << a << " / " << b;
+    EXPECT_LE(s, 1.0) << a << " / " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, TextFuzzTest, ::testing::Range<uint64_t>(1, 41));
+
+// --------------------------------------------------- value round-tripping
+
+class ValueRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ValueRoundTripTest, ParseToStringRoundTripsInts) {
+  Rng rng(GetParam() * 613);
+  int64_t v = rng.UniformInt(-1000000, 1000000);
+  Value value = Value::Int(v);
+  auto reparsed = Value::Parse(value.ToString(), DataType::kInt);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(*reparsed, value);
+}
+
+TEST_P(ValueRoundTripTest, CsvLineRoundTripsArbitraryFields) {
+  Rng rng(GetParam() * 50021);
+  std::vector<std::string> fields;
+  size_t n = 1 + rng.Uniform(5);
+  for (size_t i = 0; i < n; ++i) {
+    std::string f;
+    size_t len = rng.Uniform(10);
+    for (size_t j = 0; j < len; ++j) {
+      static const char kChars[] = "ab\",'x ";
+      f += kChars[rng.Uniform(sizeof(kChars) - 1)];
+    }
+    fields.push_back(f);
+  }
+  std::string line;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) line += ',';
+    // Quote everything so empty fields survive as empty strings.
+    std::string quoted = "\"";
+    for (char c : fields[i]) {
+      if (c == '"') quoted += "\"\"";
+      else quoted += c;
+    }
+    quoted += "\"";
+    line += quoted;
+  }
+  std::vector<bool> was_quoted;
+  auto parsed = ParseCsvLine(line, &was_quoted);
+  ASSERT_TRUE(parsed.ok()) << line;
+  EXPECT_EQ(*parsed, fields);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, ValueRoundTripTest, ::testing::Range<uint64_t>(1, 31));
+
+}  // namespace
+}  // namespace km

@@ -1,0 +1,390 @@
+// Tests for km_relational: values, schemas, tables, databases.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "relational/csv.h"
+#include "relational/database.h"
+#include "relational/schema.h"
+#include "relational/table.h"
+#include "relational/value.h"
+
+namespace km {
+namespace {
+
+// ----------------------------------------------------------------- Value
+
+TEST(ValueTest, NullProperties) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.ToString(), "NULL");
+  EXPECT_EQ(v.ToSqlLiteral(), "NULL");
+  EXPECT_TRUE(v.CompatibleWith(DataType::kInt));
+  EXPECT_TRUE(v.CompatibleWith(DataType::kText));
+}
+
+TEST(ValueTest, TypePredicates) {
+  EXPECT_TRUE(Value::Int(3).is_int());
+  EXPECT_TRUE(Value::Real(3.5).is_real());
+  EXPECT_TRUE(Value::Text("x").is_text());
+  EXPECT_TRUE(Value::Bool(true).is_bool());
+  EXPECT_TRUE(Value::Date("2020-01-01").is_date());
+  EXPECT_TRUE(Value::Date("2020-01-01").is_text());  // stored as text
+  EXPECT_FALSE(Value::Text("x").is_date());
+}
+
+TEST(ValueTest, Compatibility) {
+  EXPECT_TRUE(Value::Int(3).CompatibleWith(DataType::kInt));
+  EXPECT_TRUE(Value::Int(3).CompatibleWith(DataType::kReal));  // widening
+  EXPECT_FALSE(Value::Real(3.5).CompatibleWith(DataType::kInt));
+  EXPECT_FALSE(Value::Text("x").CompatibleWith(DataType::kInt));
+  EXPECT_TRUE(Value::Date("2020-01-01").CompatibleWith(DataType::kDate));
+  EXPECT_FALSE(Value::Text("x").CompatibleWith(DataType::kDate));
+  EXPECT_FALSE(Value::Date("2020-01-01").CompatibleWith(DataType::kText));
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Int(-7).ToString(), "-7");
+  EXPECT_EQ(Value::Text("abc").ToString(), "abc");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Date("2012-04-05").ToString(), "2012-04-05");
+}
+
+TEST(ValueTest, SqlLiteralEscapesQuotes) {
+  EXPECT_EQ(Value::Text("O'Brien").ToSqlLiteral(), "'O''Brien'");
+  EXPECT_EQ(Value::Int(5).ToSqlLiteral(), "5");
+}
+
+TEST(ValueTest, ParseInt) {
+  auto v = Value::Parse("42", DataType::kInt);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt(), 42);
+  EXPECT_FALSE(Value::Parse("4x", DataType::kInt).ok());
+  EXPECT_FALSE(Value::Parse("4.5", DataType::kInt).ok());
+}
+
+TEST(ValueTest, ParseReal) {
+  auto v = Value::Parse("-2.25", DataType::kReal);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->AsReal(), -2.25);
+  EXPECT_FALSE(Value::Parse("abc", DataType::kReal).ok());
+}
+
+TEST(ValueTest, ParseBool) {
+  EXPECT_TRUE(Value::Parse("true", DataType::kBool)->AsBool());
+  EXPECT_TRUE(Value::Parse("T", DataType::kBool)->AsBool());
+  EXPECT_FALSE(Value::Parse("0", DataType::kBool)->AsBool());
+  EXPECT_FALSE(Value::Parse("yes", DataType::kBool).ok());
+}
+
+TEST(ValueTest, ParseEmptyIsNull) {
+  auto v = Value::Parse("", DataType::kInt);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+}
+
+TEST(ValueTest, OrderingAcrossNumerics) {
+  EXPECT_TRUE(Value::Int(2) < Value::Real(2.5));
+  EXPECT_TRUE(Value::Real(1.5) < Value::Int(2));
+  EXPECT_TRUE(Value::Int(2) == Value::Real(2.0));
+}
+
+TEST(ValueTest, NullSortsFirstAndEqualsNull) {
+  EXPECT_TRUE(Value::Null() < Value::Int(0));
+  EXPECT_TRUE(Value::Null() == Value::Null());
+  EXPECT_FALSE(Value::Null() == Value::Int(0));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(2).Hash(), Value::Real(2.0).Hash());
+  EXPECT_EQ(Value::Text("ab").Hash(), Value::Text("ab").Hash());
+}
+
+// ---------------------------------------------------------------- Schema
+
+RelationSchema PeopleSchema() {
+  return RelationSchema("PEOPLE",
+                        {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+                         {"Name", DataType::kText, DomainTag::kPersonName},
+                         {"Age", DataType::kInt, DomainTag::kQuantity}});
+}
+
+TEST(RelationSchemaTest, BasicAccessors) {
+  RelationSchema rs = PeopleSchema();
+  EXPECT_EQ(rs.name(), "PEOPLE");
+  EXPECT_EQ(rs.arity(), 3u);
+  EXPECT_EQ(rs.AttributeIndex("Name"), 1u);
+  EXPECT_FALSE(rs.AttributeIndex("Missing").has_value());
+  ASSERT_TRUE(rs.PrimaryKeyIndex().has_value());
+  EXPECT_EQ(*rs.PrimaryKeyIndex(), 0u);
+}
+
+TEST(RelationSchemaTest, NoPrimaryKey) {
+  RelationSchema rs("LINK", {{"A", DataType::kText, DomainTag::kNone},
+                             {"B", DataType::kText, DomainTag::kNone}});
+  EXPECT_FALSE(rs.PrimaryKeyIndex().has_value());
+}
+
+TEST(DatabaseSchemaTest, AddRelationRejectsDuplicates) {
+  DatabaseSchema schema;
+  EXPECT_TRUE(schema.AddRelation(PeopleSchema()).ok());
+  Status dup = schema.AddRelation(PeopleSchema());
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DatabaseSchemaTest, AddRelationRejectsDuplicateAttributes) {
+  DatabaseSchema schema;
+  RelationSchema bad("R", {{"A", DataType::kText, DomainTag::kNone},
+                           {"A", DataType::kInt, DomainTag::kNone}});
+  EXPECT_EQ(schema.AddRelation(bad).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DatabaseSchemaTest, AddRelationRejectsEmptyNames) {
+  DatabaseSchema schema;
+  EXPECT_EQ(schema.AddRelation(RelationSchema("", {})).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DatabaseSchemaTest, ForeignKeyValidation) {
+  DatabaseSchema schema;
+  ASSERT_TRUE(schema.AddRelation(PeopleSchema()).ok());
+  ASSERT_TRUE(schema
+                  .AddRelation(RelationSchema(
+                      "DEPT", {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+                               {"Head", DataType::kText, DomainTag::kIdentifier}}))
+                  .ok());
+  // Valid FK.
+  EXPECT_TRUE(schema.AddForeignKey({"DEPT", "Head", "PEOPLE", "Id"}).ok());
+  // Duplicate FK.
+  EXPECT_EQ(schema.AddForeignKey({"DEPT", "Head", "PEOPLE", "Id"}).code(),
+            StatusCode::kAlreadyExists);
+  // Missing source relation.
+  EXPECT_EQ(schema.AddForeignKey({"NOPE", "Head", "PEOPLE", "Id"}).code(),
+            StatusCode::kNotFound);
+  // Missing target attribute.
+  EXPECT_EQ(schema.AddForeignKey({"DEPT", "Head", "PEOPLE", "Zip"}).code(),
+            StatusCode::kNotFound);
+  // Target is not a primary key.
+  EXPECT_EQ(schema.AddForeignKey({"DEPT", "Head", "PEOPLE", "Name"}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DatabaseSchemaTest, TerminologySizeFormula) {
+  DatabaseSchema schema;
+  ASSERT_TRUE(schema.AddRelation(PeopleSchema()).ok());  // 1 + 2*3 = 7
+  ASSERT_TRUE(schema
+                  .AddRelation(RelationSchema(
+                      "X", {{"A", DataType::kText, DomainTag::kNone}}))
+                  .ok());  // 1 + 2*1 = 3
+  EXPECT_EQ(schema.TerminologySize(), 10u);
+}
+
+TEST(DatabaseSchemaTest, DirectlyJoinable) {
+  DatabaseSchema schema;
+  ASSERT_TRUE(schema.AddRelation(PeopleSchema()).ok());
+  ASSERT_TRUE(schema
+                  .AddRelation(RelationSchema(
+                      "DEPT", {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+                               {"Head", DataType::kText, DomainTag::kIdentifier}}))
+                  .ok());
+  EXPECT_FALSE(schema.DirectlyJoinable("DEPT", "PEOPLE"));
+  ASSERT_TRUE(schema.AddForeignKey({"DEPT", "Head", "PEOPLE", "Id"}).ok());
+  EXPECT_TRUE(schema.DirectlyJoinable("DEPT", "PEOPLE"));
+  EXPECT_TRUE(schema.DirectlyJoinable("PEOPLE", "DEPT"));  // symmetric
+}
+
+// ----------------------------------------------------------------- Table
+
+TEST(TableTest, InsertChecksArity) {
+  Table t(PeopleSchema());
+  Status s = t.Insert({Value::Text("p1"), Value::Text("Ann")});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, InsertChecksTypes) {
+  Table t(PeopleSchema());
+  Status s = t.Insert({Value::Text("p1"), Value::Text("Ann"), Value::Text("old")});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, InsertEnforcesPrimaryKey) {
+  Table t(PeopleSchema());
+  ASSERT_TRUE(t.Insert({Value::Text("p1"), Value::Text("Ann"), Value::Int(30)}).ok());
+  EXPECT_EQ(t.Insert({Value::Text("p1"), Value::Text("Bob"), Value::Int(31)}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(t.Insert({Value::Null(), Value::Text("Bob"), Value::Int(31)}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(TableTest, LookupByKey) {
+  Table t(PeopleSchema());
+  ASSERT_TRUE(t.Insert({Value::Text("p1"), Value::Text("Ann"), Value::Int(30)}).ok());
+  ASSERT_TRUE(t.Insert({Value::Text("p2"), Value::Text("Bob"), Value::Int(40)}).ok());
+  ASSERT_TRUE(t.LookupByKey(Value::Text("p2")).has_value());
+  EXPECT_EQ(*t.LookupByKey(Value::Text("p2")), 1u);
+  EXPECT_FALSE(t.LookupByKey(Value::Text("zz")).has_value());
+}
+
+TEST(TableTest, DistinctValuesSkipsNullsAndDuplicates) {
+  Table t(PeopleSchema());
+  ASSERT_TRUE(t.Insert({Value::Text("p1"), Value::Text("Ann"), Value::Int(30)}).ok());
+  ASSERT_TRUE(t.Insert({Value::Text("p2"), Value::Text("Ann"), Value::Null()}).ok());
+  ASSERT_TRUE(t.Insert({Value::Text("p3"), Value::Null(), Value::Int(30)}).ok());
+  EXPECT_EQ(t.DistinctValues(1).size(), 1u);  // "Ann"
+  EXPECT_EQ(t.DistinctValues(2).size(), 1u);  // 30
+}
+
+TEST(TableTest, ContainsValue) {
+  Table t(PeopleSchema());
+  ASSERT_TRUE(t.Insert({Value::Text("p1"), Value::Text("Ann"), Value::Int(30)}).ok());
+  EXPECT_TRUE(t.ContainsValue(1, Value::Text("Ann")));
+  EXPECT_FALSE(t.ContainsValue(1, Value::Text("Bob")));
+}
+
+// -------------------------------------------------------------- Database
+
+Database MakeDb() {
+  Database db("test");
+  EXPECT_TRUE(db.CreateRelation(PeopleSchema()).ok());
+  EXPECT_TRUE(db.CreateRelation(RelationSchema(
+                                    "DEPT",
+                                    {{"Id", DataType::kText, DomainTag::kIdentifier, true},
+                                     {"Head", DataType::kText, DomainTag::kIdentifier}}))
+                  .ok());
+  EXPECT_TRUE(db.AddForeignKey({"DEPT", "Head", "PEOPLE", "Id"}).ok());
+  return db;
+}
+
+TEST(DatabaseTest, InsertIntoMissingRelationFails) {
+  Database db = MakeDb();
+  EXPECT_EQ(db.Insert("NOPE", {}).code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, IntegrityDetectsDanglingForeignKey) {
+  Database db = MakeDb();
+  ASSERT_TRUE(db.Insert("PEOPLE", {Value::Text("p1"), Value::Text("Ann"),
+                                   Value::Int(30)})
+                  .ok());
+  ASSERT_TRUE(db.Insert("DEPT", {Value::Text("d1"), Value::Text("p1")}).ok());
+  EXPECT_TRUE(db.CheckIntegrity().ok());
+  ASSERT_TRUE(db.Insert("DEPT", {Value::Text("d2"), Value::Text("zz")}).ok());
+  EXPECT_EQ(db.CheckIntegrity().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DatabaseTest, IntegrityAllowsNullForeignKey) {
+  Database db = MakeDb();
+  ASSERT_TRUE(db.Insert("DEPT", {Value::Text("d1"), Value::Null()}).ok());
+  EXPECT_TRUE(db.CheckIntegrity().ok());
+}
+
+TEST(DatabaseTest, VocabularyCollectsLoweredTextValues) {
+  Database db = MakeDb();
+  ASSERT_TRUE(db.Insert("PEOPLE", {Value::Text("p1"), Value::Text("Ann Lee"),
+                                   Value::Int(30)})
+                  .ok());
+  auto vocab = db.BuildVocabulary();
+  ASSERT_EQ(vocab.count("ann lee"), 1u);
+  EXPECT_EQ(vocab["ann lee"][0].relation, "PEOPLE");
+  EXPECT_EQ(vocab["ann lee"][0].attribute, "Name");
+  // Integers are not vocabulary.
+  EXPECT_EQ(vocab.count("30"), 0u);
+}
+
+TEST(DatabaseTest, TotalRows) {
+  Database db = MakeDb();
+  EXPECT_EQ(db.TotalRows(), 0u);
+  ASSERT_TRUE(db.Insert("PEOPLE", {Value::Text("p1"), Value::Text("Ann"),
+                                   Value::Int(30)})
+                  .ok());
+  EXPECT_EQ(db.TotalRows(), 1u);
+}
+
+TEST(DatabaseTest, FindTable) {
+  Database db = MakeDb();
+  EXPECT_NE(db.FindTable("PEOPLE"), nullptr);
+  EXPECT_EQ(db.FindTable("NOPE"), nullptr);
+}
+
+
+// ------------------------------------------------------------------- CSV
+
+TEST(CsvTest, EscapeRules) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape(""), "\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvTest, ParseLineBasics) {
+  std::vector<bool> quoted;
+  auto fields = ParseCsvLine("a,b,,d", &quoted);
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a", "b", "", "d"}));
+  EXPECT_EQ(quoted, (std::vector<bool>{false, false, false, false}));
+}
+
+TEST(CsvTest, ParseLineQuoting) {
+  std::vector<bool> quoted;
+  auto fields = ParseCsvLine("\"a,b\",\"say \"\"hi\"\"\",\"\"", &quoted);
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a,b", "say \"hi\"", ""}));
+  EXPECT_EQ(quoted, (std::vector<bool>{true, true, true}));
+}
+
+TEST(CsvTest, ParseLineErrors) {
+  EXPECT_FALSE(ParseCsvLine("\"unterminated", nullptr).ok());
+  EXPECT_FALSE(ParseCsvLine("ab\"cd", nullptr).ok());
+}
+
+TEST(CsvTest, RoundTripPreservesValuesAndNulls) {
+  Database db = MakeDb();
+  ASSERT_TRUE(db.Insert("PEOPLE", {Value::Text("p1"), Value::Text("Ann, \"Jr\""),
+                                   Value::Int(30)})
+                  .ok());
+  ASSERT_TRUE(db.Insert("PEOPLE", {Value::Text("p2"), Value::Null(), Value::Null()})
+                  .ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteTableCsv(*db.FindTable("PEOPLE"), &out).ok());
+
+  Database db2 = MakeDb();
+  std::istringstream in(out.str());
+  ASSERT_TRUE(LoadTableCsv(&db2, "PEOPLE", &in).ok());
+  const Table* t = db2.FindTable("PEOPLE");
+  ASSERT_EQ(t->size(), 2u);
+  EXPECT_EQ(t->rows()[0][1], Value::Text("Ann, \"Jr\""));
+  EXPECT_EQ(t->rows()[0][2], Value::Int(30));
+  EXPECT_TRUE(t->rows()[1][1].is_null());
+  EXPECT_TRUE(t->rows()[1][2].is_null());
+}
+
+TEST(CsvTest, LoadReordersColumnsByHeader) {
+  Database db = MakeDb();
+  std::istringstream in("Age,Id,Name\n41,p9,Zoe\n");
+  ASSERT_TRUE(LoadTableCsv(&db, "PEOPLE", &in).ok());
+  const Table* t = db.FindTable("PEOPLE");
+  ASSERT_EQ(t->size(), 1u);
+  EXPECT_EQ(t->rows()[0][0], Value::Text("p9"));
+  EXPECT_EQ(t->rows()[0][1], Value::Text("Zoe"));
+  EXPECT_EQ(t->rows()[0][2], Value::Int(41));
+}
+
+TEST(CsvTest, LoadRejectsBadInput) {
+  Database db = MakeDb();
+  std::istringstream missing_header("");
+  EXPECT_FALSE(LoadTableCsv(&db, "PEOPLE", &missing_header).ok());
+  std::istringstream bad_column("Id,Wat\np1,x\n");
+  EXPECT_FALSE(LoadTableCsv(&db, "PEOPLE", &bad_column).ok());
+  std::istringstream bad_arity("Id,Name,Age\np1,x\n");
+  EXPECT_FALSE(LoadTableCsv(&db, "PEOPLE", &bad_arity).ok());
+  std::istringstream bad_type("Id,Name,Age\np1,x,old\n");
+  EXPECT_FALSE(LoadTableCsv(&db, "PEOPLE", &bad_type).ok());
+  std::istringstream no_table("Id\np1\n");
+  EXPECT_FALSE(LoadTableCsv(&db, "NOPE", &no_table).ok());
+}
+
+}  // namespace
+}  // namespace km

@@ -1,0 +1,428 @@
+// Tests for km_text: similarity measures, thesaurus, recognizers,
+// tokenizer.
+
+#include <gtest/gtest.h>
+
+#include "text/recognizers.h"
+#include "text/similarity.h"
+#include "text/thesaurus.h"
+#include "text/gazetteer.h"
+#include "text/stemmer.h"
+#include "text/tokenizer.h"
+
+namespace km {
+namespace {
+
+// ------------------------------------------------------------ similarity
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3u);
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0u);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2u);
+}
+
+TEST(NormalizedLevenshteinTest, RangeAndCase) {
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("ABC", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("abcd", "wxyz"), 0.0);
+  double mid = NormalizedLevenshtein("department", "dept");
+  EXPECT_GT(mid, 0.0);
+  EXPECT_LT(mid, 1.0);
+}
+
+TEST(JaroWinklerTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity("abc", ""), 0.0);
+  // Classic MARTHA/MARHTA example: jaro 0.944, jw 0.961.
+  EXPECT_NEAR(JaroSimilarity("MARTHA", "MARHTA"), 0.9444, 1e-3);
+  EXPECT_NEAR(JaroWinklerSimilarity("MARTHA", "MARHTA"), 0.9611, 1e-3);
+}
+
+TEST(JaroWinklerTest, PrefixBonusHelps) {
+  double with_prefix = JaroWinklerSimilarity("department", "departement");
+  double without = JaroSimilarity("department", "departement");
+  EXPECT_GT(with_prefix, without);
+}
+
+TEST(TrigramJaccardTest, Basics) {
+  EXPECT_DOUBLE_EQ(TrigramJaccard("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(TrigramJaccard("", ""), 1.0);
+  EXPECT_GT(TrigramJaccard("keyword", "keywords"), 0.5);
+  EXPECT_LT(TrigramJaccard("alpha", "omega"), 0.3);
+}
+
+TEST(AbbreviationScoreTest, PrefixAndSubsequence) {
+  // Prefix abbreviation scores at least 0.6.
+  EXPECT_GE(AbbreviationScore("dep", "department"), 0.6);
+  // "dept" is a subsequence (not a prefix) of "department".
+  EXPECT_GE(AbbreviationScore("dept", "department"), 0.5);
+  // Subsequence but not prefix scores lower but positive.
+  double sub = AbbreviationScore("dpt", "department");
+  EXPECT_GT(sub, 0.0);
+  EXPECT_LT(sub, AbbreviationScore("dep", "department"));
+  // Not a subsequence: zero.
+  EXPECT_DOUBLE_EQ(AbbreviationScore("xyz", "department"), 0.0);
+  // Must start with same character.
+  EXPECT_DOUBLE_EQ(AbbreviationScore("ept", "department"), 0.0);
+  // Longer-than-full is never an abbreviation.
+  EXPECT_DOUBLE_EQ(AbbreviationScore("departmental", "dept"), 0.0);
+}
+
+struct NameSimCase {
+  const char* a;
+  const char* b;
+  double min;
+  double max;
+};
+
+class NameSimilarityTest : public ::testing::TestWithParam<NameSimCase> {};
+
+TEST_P(NameSimilarityTest, ScoresInExpectedBand) {
+  const NameSimCase& c = GetParam();
+  double s = NameSimilarity(c.a, c.b);
+  EXPECT_GE(s, c.min) << c.a << " vs " << c.b;
+  EXPECT_LE(s, c.max) << c.a << " vs " << c.b;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, NameSimilarityTest,
+    ::testing::Values(
+        NameSimCase{"name", "Name", 1.0, 1.0},
+        NameSimCase{"personName", "person_name", 1.0, 1.0},
+        NameSimCase{"dept", "DEPARTMENT", 0.6, 1.0},
+        NameSimCase{"country", "Country", 1.0, 1.0},
+        NameSimCase{"phone", "telephone", 0.0, 0.9},
+        NameSimCase{"university", "UNIVERSITY", 1.0, 1.0},
+        NameSimCase{"zzz", "Country", 0.0, 0.3},
+        // Multi-word keyword vs single-word term: diluted by alignment.
+        NameSimCase{"department name", "Name", 0.3, 0.7}));
+
+TEST(NameSimilarityTest, EmptyInputsScoreZero) {
+  EXPECT_DOUBLE_EQ(NameSimilarity("", "x"), 0.0);
+  EXPECT_DOUBLE_EQ(NameSimilarity("x", ""), 0.0);
+}
+
+// ------------------------------------------------------------- thesaurus
+
+TEST(ThesaurusTest, SynonymsAreSymmetricAndScored) {
+  Thesaurus t;
+  t.AddSynonyms({"person", "people", "individual"});
+  EXPECT_TRUE(t.AreSynonyms("person", "PEOPLE"));
+  EXPECT_TRUE(t.AreSynonyms("people", "person"));
+  EXPECT_FALSE(t.AreSynonyms("person", "dog"));
+  EXPECT_DOUBLE_EQ(t.Similarity("person", "people"), Thesaurus::kSynonymScore);
+  EXPECT_DOUBLE_EQ(t.Similarity("person", "person"), 1.0);
+  EXPECT_DOUBLE_EQ(t.Similarity("person", "dog"), 0.0);
+}
+
+TEST(ThesaurusTest, RelatedTermsScoreLower) {
+  Thesaurus t;
+  t.AddRelated("author", "person");
+  EXPECT_DOUBLE_EQ(t.Similarity("author", "person"), Thesaurus::kRelatedScore);
+  EXPECT_DOUBLE_EQ(t.Similarity("person", "author"), Thesaurus::kRelatedScore);
+}
+
+TEST(ThesaurusTest, SynonymsOfReturnsGroup) {
+  Thesaurus t;
+  t.AddSynonyms({"a", "b", "c"});
+  auto syn = t.SynonymsOf("a");
+  EXPECT_EQ(syn.size(), 2u);
+}
+
+TEST(ThesaurusTest, BuiltinCoversSchemaVocabulary) {
+  const Thesaurus& t = BuiltinThesaurus();
+  EXPECT_TRUE(t.AreSynonyms("person", "people"));
+  EXPECT_TRUE(t.AreSynonyms("department", "dept"));
+  EXPECT_TRUE(t.AreSynonyms("country", "nation"));
+  EXPECT_TRUE(t.AreSynonyms("paper", "article"));
+  EXPECT_TRUE(t.AreSynonyms("phone", "telephone"));
+  EXPECT_GT(t.Similarity("author", "person"), 0.0);
+}
+
+// ----------------------------------------------------------- recognizers
+
+TEST(RecognizersTest, YearDetection) {
+  EXPECT_TRUE(LooksLikeYear("2012"));
+  EXPECT_TRUE(LooksLikeYear("1999"));
+  EXPECT_FALSE(LooksLikeYear("3012"));
+  EXPECT_FALSE(LooksLikeYear("123"));
+  EXPECT_FALSE(LooksLikeYear("20a2"));
+}
+
+TEST(RecognizersTest, DateDetection) {
+  EXPECT_TRUE(LooksLikeDate("2012-04-05"));
+  EXPECT_TRUE(LooksLikeDate("5/4/2012"));
+  EXPECT_FALSE(LooksLikeDate("2012"));
+  EXPECT_FALSE(LooksLikeDate("a-b-c"));
+}
+
+TEST(RecognizersTest, EmailDetection) {
+  EXPECT_TRUE(LooksLikeEmail("a@b.com"));
+  EXPECT_TRUE(LooksLikeEmail("first.last@dept.univ.edu"));
+  EXPECT_FALSE(LooksLikeEmail("a@b"));
+  EXPECT_FALSE(LooksLikeEmail("@b.com"));
+  EXPECT_FALSE(LooksLikeEmail("a@@b.com"));
+  EXPECT_FALSE(LooksLikeEmail("plain"));
+}
+
+TEST(RecognizersTest, UrlDetection) {
+  EXPECT_TRUE(LooksLikeUrl("https://x.org/y"));
+  EXPECT_TRUE(LooksLikeUrl("www.example.com"));
+  EXPECT_FALSE(LooksLikeUrl("example.com"));
+}
+
+TEST(RecognizersTest, PhoneDetection) {
+  EXPECT_TRUE(LooksLikePhone("4631234"));
+  EXPECT_TRUE(LooksLikePhone("+1 555 010 1234"));
+  EXPECT_TRUE(LooksLikePhone("(06) 123-4567"));
+  EXPECT_FALSE(LooksLikePhone("12345"));       // too short
+  EXPECT_FALSE(LooksLikePhone("123a4567"));    // letters
+}
+
+TEST(RecognizersTest, CountryCodeDetection) {
+  EXPECT_TRUE(LooksLikeCountryCode("IT"));
+  EXPECT_TRUE(LooksLikeCountryCode("usa"));
+  EXPECT_FALSE(LooksLikeCountryCode("ITAL"));
+  EXPECT_FALSE(LooksLikeCountryCode("I2"));
+}
+
+TEST(RecognizersTest, CapitalizedDetection) {
+  EXPECT_TRUE(LooksCapitalized("Vokram"));
+  EXPECT_TRUE(LooksCapitalized("New York"));
+  EXPECT_TRUE(LooksCapitalized("Refahs D."));
+  EXPECT_FALSE(LooksCapitalized("vokram"));
+  EXPECT_FALSE(LooksCapitalized("R2D2"));
+}
+
+TEST(RecognizersTest, LiteralShape) {
+  LiteralShape s = DetectLiteralShape("42");
+  EXPECT_TRUE(s.is_int);
+  EXPECT_TRUE(s.is_real);
+  s = DetectLiteralShape("4.5");
+  EXPECT_FALSE(s.is_int);
+  EXPECT_TRUE(s.is_real);
+  s = DetectLiteralShape("2012-04-05");
+  EXPECT_TRUE(s.is_date);
+  s = DetectLiteralShape("True");
+  EXPECT_TRUE(s.is_bool);
+  s = DetectLiteralShape("word");
+  EXPECT_FALSE(s.is_int || s.is_real || s.is_date || s.is_bool);
+}
+
+TEST(DetectShapesTest, SortedByConfidenceAndAlwaysHasFreeText) {
+  auto shapes = DetectShapes("vokram@univ.edu");
+  ASSERT_FALSE(shapes.empty());
+  EXPECT_EQ(shapes.front().tag, DomainTag::kEmail);
+  for (size_t i = 1; i < shapes.size(); ++i) {
+    EXPECT_GE(shapes[i - 1].confidence, shapes[i].confidence);
+  }
+  bool has_freetext = false;
+  for (const auto& s : shapes) has_freetext |= (s.tag == DomainTag::kFreeText);
+  EXPECT_TRUE(has_freetext);
+}
+
+TEST(DetectShapesTest, UppercaseCodeScoresHigherThanLowercase) {
+  auto upper = DetectShapes("IT");
+  auto lower = DetectShapes("it");
+  auto find = [](const std::vector<ShapeMatch>& v) {
+    for (const auto& s : v) {
+      if (s.tag == DomainTag::kCountryCode) return s.confidence;
+    }
+    return 0.0;
+  };
+  EXPECT_GT(find(upper), find(lower));
+}
+
+// DomainCompatibility: impossible combinations must be exactly zero.
+TEST(DomainCompatibilityTest, ImpossibleCombinationsAreZero) {
+  EXPECT_DOUBLE_EQ(DomainCompatibility("abc", DataType::kInt, DomainTag::kQuantity), 0.0);
+  EXPECT_DOUBLE_EQ(DomainCompatibility("abc", DataType::kReal, DomainTag::kMoney), 0.0);
+  EXPECT_DOUBLE_EQ(DomainCompatibility("abc", DataType::kDate, DomainTag::kDate), 0.0);
+  EXPECT_DOUBLE_EQ(DomainCompatibility("abc", DataType::kBool, DomainTag::kNone), 0.0);
+  EXPECT_DOUBLE_EQ(DomainCompatibility("", DataType::kText, DomainTag::kNone), 0.0);
+}
+
+TEST(DomainCompatibilityTest, SpecificPatternsBeatGenericText) {
+  // "4631234" against a phone column beats it against a generic text column.
+  double phone = DomainCompatibility("4631234", DataType::kText, DomainTag::kPhone);
+  double generic = DomainCompatibility("4631234", DataType::kText, DomainTag::kNone);
+  EXPECT_GT(phone, generic);
+  // And a non-phone word barely matches a phone column.
+  EXPECT_LT(DomainCompatibility("Vokram", DataType::kText, DomainTag::kPhone), 0.1);
+}
+
+TEST(DomainCompatibilityTest, YearColumn) {
+  EXPECT_GT(DomainCompatibility("2012", DataType::kInt, DomainTag::kYear), 0.8);
+  EXPECT_LT(DomainCompatibility("7", DataType::kInt, DomainTag::kYear), 0.3);
+  EXPECT_DOUBLE_EQ(DomainCompatibility("abcd", DataType::kInt, DomainTag::kYear), 0.0);
+}
+
+TEST(DomainCompatibilityTest, CapitalizedNameVsPersonName) {
+  double cap = DomainCompatibility("Vokram", DataType::kText, DomainTag::kPersonName);
+  double low = DomainCompatibility("vokram", DataType::kText, DomainTag::kPersonName);
+  double digits = DomainCompatibility("v0kr4m", DataType::kText, DomainTag::kPersonName);
+  EXPECT_GT(cap, low);
+  EXPECT_GT(low, digits);
+}
+
+// --------------------------------------------------------------- tokenizer
+
+TEST(TokenizerTest, SplitsOnWhitespace) {
+  EXPECT_EQ(Tokenize("Vokram IT"), (std::vector<std::string>{"Vokram", "IT"}));
+}
+
+TEST(TokenizerTest, DropsStopwords) {
+  EXPECT_EQ(Tokenize("departments of the university"),
+            (std::vector<std::string>{"departments", "university"}));
+}
+
+TEST(TokenizerTest, KeepsStopwordsWhenDisabled) {
+  TokenizerOptions opts;
+  opts.drop_stopwords = false;
+  EXPECT_EQ(Tokenize("the cat", opts), (std::vector<std::string>{"the", "cat"}));
+}
+
+TEST(TokenizerTest, QuotedPhrasesAreSingleKeywords) {
+  auto tokens = Tokenize("\"United States\" capital");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"United States", "capital"}));
+}
+
+TEST(TokenizerTest, UnterminatedQuoteConsumesRest) {
+  auto tokens = Tokenize("x \"a b c");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"x", "a b c"}));
+}
+
+TEST(TokenizerTest, PhraseVocabularyFoldsMultiWordValues) {
+  TokenizerOptions opts;
+  opts.phrase_vocabulary = {"united states", "new york"};
+  auto tokens = Tokenize("capital United States", opts);
+  EXPECT_EQ(tokens, (std::vector<std::string>{"capital", "United States"}));
+}
+
+TEST(TokenizerTest, LongestPhraseWins) {
+  TokenizerOptions opts;
+  opts.phrase_vocabulary = {"new york", "new york city"};
+  auto tokens = Tokenize("in New York City", opts);
+  EXPECT_EQ(tokens, (std::vector<std::string>{"New York City"}));
+}
+
+TEST(TokenizerTest, StripsPunctuation) {
+  auto tokens = Tokenize("Vokram, IT?");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"Vokram", "IT"}));
+}
+
+TEST(TokenizerTest, PreservesEmailAndInitials) {
+  auto tokens = Tokenize("mail vokram@univ.edu Refahs D.");
+  EXPECT_EQ(tokens,
+            (std::vector<std::string>{"mail", "vokram@univ.edu", "Refahs", "D."}));
+}
+
+TEST(TokenizerTest, EmptyQueryYieldsNoKeywords) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("   ").empty());
+  EXPECT_TRUE(Tokenize("the of a").empty());
+}
+
+
+// ----------------------------------------------------------------- stemmer
+
+struct StemCase {
+  const char* word;
+  const char* stem;
+};
+
+class PorterStemTest : public ::testing::TestWithParam<StemCase> {};
+
+TEST_P(PorterStemTest, StemsAsExpected) {
+  EXPECT_EQ(PorterStem(GetParam().word), GetParam().stem);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PorterStemTest,
+    ::testing::Values(
+        StemCase{"caresses", "caress"}, StemCase{"ponies", "poni"},
+        StemCase{"caress", "caress"},   StemCase{"cats", "cat"},
+        StemCase{"agreed", "agre"},     StemCase{"plastered", "plaster"},
+        StemCase{"motoring", "motor"},  StemCase{"sing", "sing"},
+        StemCase{"conflated", "conflat"}, StemCase{"sized", "size"},
+        StemCase{"hopping", "hop"},     StemCase{"falling", "fall"},
+        StemCase{"happy", "happi"},     StemCase{"relational", "relat"},
+        StemCase{"rational", "ration"}, StemCase{"conditional", "condit"},
+        StemCase{"departments", "depart"}, StemCase{"universities", "univers"},
+        StemCase{"publications", "public"}, StemCase{"adjustable", "adjust"},
+        StemCase{"effective", "effect"}, StemCase{"probate", "probat"},
+        StemCase{"controlling", "control"}, StemCase{"roll", "roll"}));
+
+TEST(PorterStemTest, ShortAndNonAlphaUnchanged) {
+  EXPECT_EQ(PorterStem("it"), "it");
+  EXPECT_EQ(PorterStem("a"), "a");
+  EXPECT_EQ(PorterStem("x123"), "x123");
+  EXPECT_EQ(PorterStem("2012"), "2012");
+}
+
+TEST(PorterStemTest, CaseInsensitive) {
+  EXPECT_EQ(PorterStem("Departments"), PorterStem("departments"));
+}
+
+TEST(SameStemTest, InflectionVariantsShareStems) {
+  EXPECT_TRUE(SameStem("department", "departments"));
+  EXPECT_TRUE(SameStem("publication", "publications"));
+  EXPECT_TRUE(SameStem("university", "universities"));
+  EXPECT_FALSE(SameStem("department", "apartment"));
+}
+
+TEST(NameSimilarityTest, PluralsMatchViaStemming) {
+  EXPECT_GE(NameSimilarity("departments", "DEPARTMENT"), 0.9);
+  EXPECT_GE(NameSimilarity("projects", "PROJECT"), 0.9);
+}
+
+// --------------------------------------------------------------- gazetteer
+
+TEST(GazetteerTest, CountryNames) {
+  EXPECT_TRUE(IsKnownCountryName("Italy"));
+  EXPECT_TRUE(IsKnownCountryName("south korea"));
+  EXPECT_TRUE(IsKnownCountryName("UNITED STATES"));
+  EXPECT_FALSE(IsKnownCountryName("Vokram"));
+  EXPECT_FALSE(IsKnownCountryName("Rome"));
+}
+
+TEST(GazetteerTest, CountryCodes) {
+  EXPECT_TRUE(IsKnownCountryCode("IT"));
+  EXPECT_TRUE(IsKnownCountryCode("us"));
+  EXPECT_FALSE(IsKnownCountryCode("ZZ"));
+  EXPECT_FALSE(IsKnownCountryCode("ITA"));
+}
+
+TEST(GazetteerTest, Months) {
+  EXPECT_TRUE(IsMonthName("January"));
+  EXPECT_TRUE(IsMonthName("sep"));
+  EXPECT_FALSE(IsMonthName("janvember"));
+}
+
+TEST(GazetteerTest, GivenNames) {
+  EXPECT_TRUE(StartsWithGivenName("Sonia"));
+  EXPECT_TRUE(StartsWithGivenName("james martinez"));
+  EXPECT_FALSE(StartsWithGivenName("Zanzibar Smith"));
+}
+
+TEST(GazetteerTest, ShapesKnowledgeBeatsShape) {
+  // "Italy" must score far higher on a CountryName domain than on a
+  // PersonName domain even though both are capitalized words.
+  double country = DomainCompatibility("Italy", DataType::kText,
+                                       DomainTag::kCountryName);
+  double person = DomainCompatibility("Italy", DataType::kText,
+                                      DomainTag::kPersonName);
+  EXPECT_GT(country, 0.9);
+  EXPECT_LT(person, 0.3);
+  // And conversely for a known given name.
+  double p2 = DomainCompatibility("Sonia Rossi", DataType::kText,
+                                  DomainTag::kPersonName);
+  double c2 = DomainCompatibility("Sonia Rossi", DataType::kText,
+                                  DomainTag::kCountryName);
+  EXPECT_GT(p2, c2);
+}
+
+}  // namespace
+}  // namespace km

@@ -1,0 +1,195 @@
+// Tests for km_workload: template instantiation, gold labels, metrics.
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "datasets/university.h"
+#include "engine/executor.h"
+#include "workload/metrics.h"
+#include "workload/workload.h"
+
+namespace km {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    UniversityOptions opts;
+    opts.extra_people = 15;
+    opts.extra_departments = 3;
+    opts.extra_universities = 2;
+    opts.extra_projects = 3;
+    auto db = BuildUniversityDatabase(opts);
+    ASSERT_TRUE(db.ok());
+    db_ = new Database(std::move(*db));
+    terminology_ = new Terminology(db_->schema());
+    graph_ = new SchemaGraph(*terminology_, db_->schema());
+  }
+  static void TearDownTestSuite() {
+    delete graph_;
+    delete terminology_;
+    delete db_;
+  }
+  static Database* db_;
+  static Terminology* terminology_;
+  static SchemaGraph* graph_;
+};
+
+Database* WorkloadTest::db_ = nullptr;
+Terminology* WorkloadTest::terminology_ = nullptr;
+SchemaGraph* WorkloadTest::graph_ = nullptr;
+
+TEST_F(WorkloadTest, GeneratesRequestedVolume) {
+  WorkloadOptions opts;
+  opts.queries_per_template = 5;
+  WorkloadGenerator gen(*db_, *terminology_, *graph_, opts);
+  auto queries = gen.Generate(UniversityTemplates());
+  ASSERT_TRUE(queries.ok());
+  EXPECT_EQ(queries->size(), 5 * UniversityTemplates().size());
+}
+
+TEST_F(WorkloadTest, GoldLabelsAreWellFormed) {
+  WorkloadOptions opts;
+  opts.queries_per_template = 4;
+  WorkloadGenerator gen(*db_, *terminology_, *graph_, opts);
+  auto queries = gen.Generate(UniversityTemplates());
+  ASSERT_TRUE(queries.ok());
+  for (const WorkloadQuery& q : *queries) {
+    EXPECT_FALSE(q.keywords.empty());
+    EXPECT_EQ(q.keywords.size(), q.gold_config.term_for_keyword.size());
+    EXPECT_TRUE(q.gold_config.IsInjective());
+    EXPECT_FALSE(q.gold_sql.relations.empty());
+    EXPECT_FALSE(q.gold_sql_signature.empty());
+    EXPECT_FALSE(q.gold_interp_signature.empty());
+    for (const std::string& kw : q.keywords) EXPECT_FALSE(kw.empty());
+  }
+}
+
+TEST_F(WorkloadTest, GoldSqlExecutes) {
+  WorkloadOptions opts;
+  opts.queries_per_template = 3;
+  WorkloadGenerator gen(*db_, *terminology_, *graph_, opts);
+  auto queries = gen.Generate(UniversityTemplates());
+  ASSERT_TRUE(queries.ok());
+  Executor exec(*db_);
+  for (const WorkloadQuery& q : *queries) {
+    auto rs = exec.Execute(q.gold_sql);
+    EXPECT_TRUE(rs.ok()) << q.gold_sql.ToSql();
+  }
+}
+
+TEST_F(WorkloadTest, ValueKeywordsComeFromInstance) {
+  WorkloadOptions opts;
+  opts.queries_per_template = 10;
+  opts.synonym_prob = 0;
+  opts.lowercase_prob = 0;
+  WorkloadGenerator gen(*db_, *terminology_, *graph_, opts);
+  std::vector<QueryTemplate> tmpl = {
+      {"only-names", {KeywordSpec::ValueOf("PEOPLE", "Name")}}};
+  auto queries = gen.Generate(tmpl);
+  ASSERT_TRUE(queries.ok());
+  const Table* people = db_->FindTable("PEOPLE");
+  auto name_col = people->schema().AttributeIndex("Name");
+  for (const WorkloadQuery& q : *queries) {
+    EXPECT_TRUE(people->ContainsValue(*name_col, Value::Text(q.keywords[0])))
+        << q.keywords[0];
+  }
+}
+
+TEST_F(WorkloadTest, SynonymPerturbationChangesSchemaKeywords) {
+  WorkloadOptions opts;
+  opts.queries_per_template = 30;
+  opts.synonym_prob = 1.0;  // always replace
+  opts.lowercase_prob = 0;
+  WorkloadGenerator gen(*db_, *terminology_, *graph_, opts);
+  std::vector<QueryTemplate> tmpl = {
+      {"rel-kw", {KeywordSpec::Relation("PEOPLE")}}};
+  auto queries = gen.Generate(tmpl);
+  ASSERT_TRUE(queries.ok());
+  // With probability 1 the keyword must be a synonym, never "PEOPLE".
+  for (const WorkloadQuery& q : *queries) {
+    EXPECT_NE(km::ToLower(q.keywords[0]), "people");
+  }
+}
+
+TEST_F(WorkloadTest, DeterministicForSameSeed) {
+  WorkloadOptions opts;
+  opts.queries_per_template = 3;
+  WorkloadGenerator g1(*db_, *terminology_, *graph_, opts);
+  WorkloadGenerator g2(*db_, *terminology_, *graph_, opts);
+  auto a = g1.Generate(UniversityTemplates());
+  auto b = g2.Generate(UniversityTemplates());
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].keywords, (*b)[i].keywords);
+    EXPECT_EQ((*a)[i].gold_config.term_for_keyword,
+              (*b)[i].gold_config.term_for_keyword);
+  }
+}
+
+TEST_F(WorkloadTest, UnknownTemplateTermsAreSkipped) {
+  WorkloadGenerator gen(*db_, *terminology_, *graph_);
+  std::vector<QueryTemplate> bad = {
+      {"bad", {KeywordSpec::ValueOf("NOPE", "Name")}}};
+  EXPECT_EQ(gen.Generate(bad).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(WorkloadTest, AllThreeTemplateSetsAreNonEmpty) {
+  EXPECT_GE(UniversityTemplates().size(), 10u);
+  EXPECT_GE(MondialTemplates().size(), 10u);
+  EXPECT_GE(DblpTemplates().size(), 10u);
+}
+
+// ---------------------------------------------------------------- metrics
+
+TEST(MetricsTest, RankOfConfiguration) {
+  Configuration gold;
+  gold.term_for_keyword = {3, 4};
+  Configuration other;
+  other.term_for_keyword = {5, 6};
+  EXPECT_EQ(RankOfConfiguration({other, gold}, gold), 1);
+  EXPECT_EQ(RankOfConfiguration({gold}, gold), 0);
+  EXPECT_EQ(RankOfConfiguration({other}, gold), -1);
+  EXPECT_EQ(RankOfConfiguration({}, gold), -1);
+}
+
+TEST(MetricsTest, TopKAccuracyCumulative) {
+  TopKAccuracy acc;
+  acc.Add(0);   // hit at rank 0
+  acc.Add(2);   // hit at rank 2
+  acc.Add(-1);  // miss
+  acc.Add(9);   // hit at rank 9
+  EXPECT_EQ(acc.total(), 4u);
+  EXPECT_DOUBLE_EQ(acc.AtK(1), 0.25);
+  EXPECT_DOUBLE_EQ(acc.AtK(3), 0.5);
+  EXPECT_DOUBLE_EQ(acc.AtK(10), 0.75);
+  EXPECT_NEAR(acc.Mrr(), (1.0 + 1.0 / 3 + 0.0 + 0.1) / 4, 1e-12);
+}
+
+TEST(MetricsTest, EmptyAccuracyIsZero) {
+  TopKAccuracy acc;
+  EXPECT_DOUBLE_EQ(acc.AtK(1), 0.0);
+  EXPECT_DOUBLE_EQ(acc.Mrr(), 0.0);
+}
+
+TEST(MetricsTest, FormatAccuracyRowContainsNumbers) {
+  TopKAccuracy acc;
+  acc.Add(0);
+  std::string row = FormatAccuracyRow("test", acc, {1, 10});
+  EXPECT_NE(row.find("test"), std::string::npos);
+  EXPECT_NE(row.find("100.0%"), std::string::npos);
+  EXPECT_NE(row.find("n=1"), std::string::npos);
+}
+
+TEST(MetricsTest, RankOfInterpretationBySignature) {
+  Interpretation a, b;
+  a.nodes = {1};
+  b.nodes = {2};
+  std::vector<Interpretation> ranked = {a, b};
+  EXPECT_EQ(RankOfInterpretation(ranked, b.Signature()), 1);
+  EXPECT_EQ(RankOfInterpretation(ranked, "nope"), -1);
+}
+
+}  // namespace
+}  // namespace km

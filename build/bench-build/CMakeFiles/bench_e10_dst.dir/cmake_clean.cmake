@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e10_dst"
+  "../bench/bench_e10_dst.pdb"
+  "CMakeFiles/bench_e10_dst.dir/e10_dst.cc.o"
+  "CMakeFiles/bench_e10_dst.dir/e10_dst.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_dst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e2_ablation"
+  "../bench/bench_e2_ablation.pdb"
+  "CMakeFiles/bench_e2_ablation.dir/e2_ablation.cc.o"
+  "CMakeFiles/bench_e2_ablation.dir/e2_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

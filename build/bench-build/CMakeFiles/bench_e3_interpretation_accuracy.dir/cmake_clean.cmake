@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e3_interpretation_accuracy"
+  "../bench/bench_e3_interpretation_accuracy.pdb"
+  "CMakeFiles/bench_e3_interpretation_accuracy.dir/e3_interpretation_accuracy.cc.o"
+  "CMakeFiles/bench_e3_interpretation_accuracy.dir/e3_interpretation_accuracy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_interpretation_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e4_end2end_accuracy"
+  "../bench/bench_e4_end2end_accuracy.pdb"
+  "CMakeFiles/bench_e4_end2end_accuracy.dir/e4_end2end_accuracy.cc.o"
+  "CMakeFiles/bench_e4_end2end_accuracy.dir/e4_end2end_accuracy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_end2end_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e4_end2end_accuracy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e6_scaling"
+  "../bench/bench_e6_scaling.pdb"
+  "CMakeFiles/bench_e6_scaling.dir/e6_scaling.cc.o"
+  "CMakeFiles/bench_e6_scaling.dir/e6_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

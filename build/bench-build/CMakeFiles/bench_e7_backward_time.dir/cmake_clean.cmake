@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e7_backward_time"
+  "../bench/bench_e7_backward_time.pdb"
+  "CMakeFiles/bench_e7_backward_time.dir/e7_backward_time.cc.o"
+  "CMakeFiles/bench_e7_backward_time.dir/e7_backward_time.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_backward_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

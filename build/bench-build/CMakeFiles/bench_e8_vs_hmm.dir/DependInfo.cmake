@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/e8_vs_hmm.cc" "bench-build/CMakeFiles/bench_e8_vs_hmm.dir/e8_vs_hmm.cc.o" "gcc" "bench-build/CMakeFiles/bench_e8_vs_hmm.dir/e8_vs_hmm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/km_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/km_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/km_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/km_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/km_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/hmm/CMakeFiles/km_hmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dst/CMakeFiles/km_dst.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/km_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadata/CMakeFiles/km_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/km_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/km_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/km_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

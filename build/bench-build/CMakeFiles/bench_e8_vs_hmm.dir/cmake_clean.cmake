@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e8_vs_hmm"
+  "../bench/bench_e8_vs_hmm.pdb"
+  "CMakeFiles/bench_e8_vs_hmm.dir/e8_vs_hmm.cc.o"
+  "CMakeFiles/bench_e8_vs_hmm.dir/e8_vs_hmm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_vs_hmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e9_metadata_only"
+  "../bench/bench_e9_metadata_only.pdb"
+  "CMakeFiles/bench_e9_metadata_only.dir/e9_metadata_only.cc.o"
+  "CMakeFiles/bench_e9_metadata_only.dir/e9_metadata_only.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_metadata_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_web.dir/deep_web.cpp.o"
+  "CMakeFiles/deep_web.dir/deep_web.cpp.o.d"
+  "deep_web"
+  "deep_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keymantic_cli.dir/keymantic_cli.cpp.o"
+  "CMakeFiles/keymantic_cli.dir/keymantic_cli.cpp.o.d"
+  "keymantic_cli"
+  "keymantic_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keymantic_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mondial_explorer.dir/mondial_explorer.cpp.o"
+  "CMakeFiles/mondial_explorer.dir/mondial_explorer.cpp.o.d"
+  "mondial_explorer"
+  "mondial_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mondial_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

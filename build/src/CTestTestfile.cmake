@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("relational")
+subdirs("engine")
+subdirs("text")
+subdirs("metadata")
+subdirs("matching")
+subdirs("graph")
+subdirs("hmm")
+subdirs("dst")
+subdirs("core")
+subdirs("datasets")
+subdirs("workload")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/km_common.dir/status.cc.o"
+  "CMakeFiles/km_common.dir/status.cc.o.d"
+  "CMakeFiles/km_common.dir/strings.cc.o"
+  "CMakeFiles/km_common.dir/strings.cc.o.d"
+  "libkm_common.a"
+  "libkm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/km_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

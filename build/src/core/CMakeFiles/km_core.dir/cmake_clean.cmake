@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/km_core.dir/feedback.cc.o"
+  "CMakeFiles/km_core.dir/feedback.cc.o.d"
+  "CMakeFiles/km_core.dir/keymantic.cc.o"
+  "CMakeFiles/km_core.dir/keymantic.cc.o.d"
+  "CMakeFiles/km_core.dir/translate.cc.o"
+  "CMakeFiles/km_core.dir/translate.cc.o.d"
+  "libkm_core.a"
+  "libkm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/km_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

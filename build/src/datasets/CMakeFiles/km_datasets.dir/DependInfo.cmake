@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datasets/dblp.cc" "src/datasets/CMakeFiles/km_datasets.dir/dblp.cc.o" "gcc" "src/datasets/CMakeFiles/km_datasets.dir/dblp.cc.o.d"
+  "/root/repo/src/datasets/imdb.cc" "src/datasets/CMakeFiles/km_datasets.dir/imdb.cc.o" "gcc" "src/datasets/CMakeFiles/km_datasets.dir/imdb.cc.o.d"
+  "/root/repo/src/datasets/mondial.cc" "src/datasets/CMakeFiles/km_datasets.dir/mondial.cc.o" "gcc" "src/datasets/CMakeFiles/km_datasets.dir/mondial.cc.o.d"
+  "/root/repo/src/datasets/namepools.cc" "src/datasets/CMakeFiles/km_datasets.dir/namepools.cc.o" "gcc" "src/datasets/CMakeFiles/km_datasets.dir/namepools.cc.o.d"
+  "/root/repo/src/datasets/scaling.cc" "src/datasets/CMakeFiles/km_datasets.dir/scaling.cc.o" "gcc" "src/datasets/CMakeFiles/km_datasets.dir/scaling.cc.o.d"
+  "/root/repo/src/datasets/university.cc" "src/datasets/CMakeFiles/km_datasets.dir/university.cc.o" "gcc" "src/datasets/CMakeFiles/km_datasets.dir/university.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/km_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/km_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

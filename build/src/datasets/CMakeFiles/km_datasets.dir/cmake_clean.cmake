@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/km_datasets.dir/dblp.cc.o"
+  "CMakeFiles/km_datasets.dir/dblp.cc.o.d"
+  "CMakeFiles/km_datasets.dir/imdb.cc.o"
+  "CMakeFiles/km_datasets.dir/imdb.cc.o.d"
+  "CMakeFiles/km_datasets.dir/mondial.cc.o"
+  "CMakeFiles/km_datasets.dir/mondial.cc.o.d"
+  "CMakeFiles/km_datasets.dir/namepools.cc.o"
+  "CMakeFiles/km_datasets.dir/namepools.cc.o.d"
+  "CMakeFiles/km_datasets.dir/scaling.cc.o"
+  "CMakeFiles/km_datasets.dir/scaling.cc.o.d"
+  "CMakeFiles/km_datasets.dir/university.cc.o"
+  "CMakeFiles/km_datasets.dir/university.cc.o.d"
+  "libkm_datasets.a"
+  "libkm_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/km_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

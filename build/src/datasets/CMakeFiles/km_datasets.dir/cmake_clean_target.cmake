@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkm_datasets.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/km_dst.dir/dst.cc.o"
+  "CMakeFiles/km_dst.dir/dst.cc.o.d"
+  "libkm_dst.a"
+  "libkm_dst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/km_dst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for km_dst.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/km_engine.dir/executor.cc.o"
+  "CMakeFiles/km_engine.dir/executor.cc.o.d"
+  "CMakeFiles/km_engine.dir/query.cc.o"
+  "CMakeFiles/km_engine.dir/query.cc.o.d"
+  "libkm_engine.a"
+  "libkm_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/km_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/interpretation.cc" "src/graph/CMakeFiles/km_graph.dir/interpretation.cc.o" "gcc" "src/graph/CMakeFiles/km_graph.dir/interpretation.cc.o.d"
+  "/root/repo/src/graph/mi.cc" "src/graph/CMakeFiles/km_graph.dir/mi.cc.o" "gcc" "src/graph/CMakeFiles/km_graph.dir/mi.cc.o.d"
+  "/root/repo/src/graph/schema_graph.cc" "src/graph/CMakeFiles/km_graph.dir/schema_graph.cc.o" "gcc" "src/graph/CMakeFiles/km_graph.dir/schema_graph.cc.o.d"
+  "/root/repo/src/graph/summary.cc" "src/graph/CMakeFiles/km_graph.dir/summary.cc.o" "gcc" "src/graph/CMakeFiles/km_graph.dir/summary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metadata/CMakeFiles/km_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/km_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/km_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/km_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/km_graph.dir/interpretation.cc.o"
+  "CMakeFiles/km_graph.dir/interpretation.cc.o.d"
+  "CMakeFiles/km_graph.dir/mi.cc.o"
+  "CMakeFiles/km_graph.dir/mi.cc.o.d"
+  "CMakeFiles/km_graph.dir/schema_graph.cc.o"
+  "CMakeFiles/km_graph.dir/schema_graph.cc.o.d"
+  "CMakeFiles/km_graph.dir/summary.cc.o"
+  "CMakeFiles/km_graph.dir/summary.cc.o.d"
+  "libkm_graph.a"
+  "libkm_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/km_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

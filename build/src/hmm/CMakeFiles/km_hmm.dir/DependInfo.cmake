@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hmm/hmm.cc" "src/hmm/CMakeFiles/km_hmm.dir/hmm.cc.o" "gcc" "src/hmm/CMakeFiles/km_hmm.dir/hmm.cc.o.d"
+  "/root/repo/src/hmm/model_builder.cc" "src/hmm/CMakeFiles/km_hmm.dir/model_builder.cc.o" "gcc" "src/hmm/CMakeFiles/km_hmm.dir/model_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metadata/CMakeFiles/km_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/km_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/km_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/km_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

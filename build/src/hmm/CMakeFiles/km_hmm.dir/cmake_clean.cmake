@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/km_hmm.dir/hmm.cc.o"
+  "CMakeFiles/km_hmm.dir/hmm.cc.o.d"
+  "CMakeFiles/km_hmm.dir/model_builder.cc.o"
+  "CMakeFiles/km_hmm.dir/model_builder.cc.o.d"
+  "libkm_hmm.a"
+  "libkm_hmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/km_hmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matching/config_gen.cc" "src/matching/CMakeFiles/km_matching.dir/config_gen.cc.o" "gcc" "src/matching/CMakeFiles/km_matching.dir/config_gen.cc.o.d"
+  "/root/repo/src/matching/munkres.cc" "src/matching/CMakeFiles/km_matching.dir/munkres.cc.o" "gcc" "src/matching/CMakeFiles/km_matching.dir/munkres.cc.o.d"
+  "/root/repo/src/matching/murty.cc" "src/matching/CMakeFiles/km_matching.dir/murty.cc.o" "gcc" "src/matching/CMakeFiles/km_matching.dir/murty.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metadata/CMakeFiles/km_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/km_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/km_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/km_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

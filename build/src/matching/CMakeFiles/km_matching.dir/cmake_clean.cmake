@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/km_matching.dir/config_gen.cc.o"
+  "CMakeFiles/km_matching.dir/config_gen.cc.o.d"
+  "CMakeFiles/km_matching.dir/munkres.cc.o"
+  "CMakeFiles/km_matching.dir/munkres.cc.o.d"
+  "CMakeFiles/km_matching.dir/murty.cc.o"
+  "CMakeFiles/km_matching.dir/murty.cc.o.d"
+  "libkm_matching.a"
+  "libkm_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/km_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metadata/configuration.cc" "src/metadata/CMakeFiles/km_metadata.dir/configuration.cc.o" "gcc" "src/metadata/CMakeFiles/km_metadata.dir/configuration.cc.o.d"
+  "/root/repo/src/metadata/contextualize.cc" "src/metadata/CMakeFiles/km_metadata.dir/contextualize.cc.o" "gcc" "src/metadata/CMakeFiles/km_metadata.dir/contextualize.cc.o.d"
+  "/root/repo/src/metadata/term.cc" "src/metadata/CMakeFiles/km_metadata.dir/term.cc.o" "gcc" "src/metadata/CMakeFiles/km_metadata.dir/term.cc.o.d"
+  "/root/repo/src/metadata/weights.cc" "src/metadata/CMakeFiles/km_metadata.dir/weights.cc.o" "gcc" "src/metadata/CMakeFiles/km_metadata.dir/weights.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/km_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/km_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/km_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/km_metadata.dir/configuration.cc.o"
+  "CMakeFiles/km_metadata.dir/configuration.cc.o.d"
+  "CMakeFiles/km_metadata.dir/contextualize.cc.o"
+  "CMakeFiles/km_metadata.dir/contextualize.cc.o.d"
+  "CMakeFiles/km_metadata.dir/term.cc.o"
+  "CMakeFiles/km_metadata.dir/term.cc.o.d"
+  "CMakeFiles/km_metadata.dir/weights.cc.o"
+  "CMakeFiles/km_metadata.dir/weights.cc.o.d"
+  "libkm_metadata.a"
+  "libkm_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/km_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

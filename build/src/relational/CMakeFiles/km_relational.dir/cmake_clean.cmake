@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/km_relational.dir/csv.cc.o"
+  "CMakeFiles/km_relational.dir/csv.cc.o.d"
+  "CMakeFiles/km_relational.dir/database.cc.o"
+  "CMakeFiles/km_relational.dir/database.cc.o.d"
+  "CMakeFiles/km_relational.dir/schema.cc.o"
+  "CMakeFiles/km_relational.dir/schema.cc.o.d"
+  "CMakeFiles/km_relational.dir/table.cc.o"
+  "CMakeFiles/km_relational.dir/table.cc.o.d"
+  "CMakeFiles/km_relational.dir/value.cc.o"
+  "CMakeFiles/km_relational.dir/value.cc.o.d"
+  "libkm_relational.a"
+  "libkm_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/km_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/km_text.dir/gazetteer.cc.o"
+  "CMakeFiles/km_text.dir/gazetteer.cc.o.d"
+  "CMakeFiles/km_text.dir/recognizers.cc.o"
+  "CMakeFiles/km_text.dir/recognizers.cc.o.d"
+  "CMakeFiles/km_text.dir/similarity.cc.o"
+  "CMakeFiles/km_text.dir/similarity.cc.o.d"
+  "CMakeFiles/km_text.dir/stemmer.cc.o"
+  "CMakeFiles/km_text.dir/stemmer.cc.o.d"
+  "CMakeFiles/km_text.dir/thesaurus.cc.o"
+  "CMakeFiles/km_text.dir/thesaurus.cc.o.d"
+  "CMakeFiles/km_text.dir/tokenizer.cc.o"
+  "CMakeFiles/km_text.dir/tokenizer.cc.o.d"
+  "libkm_text.a"
+  "libkm_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/km_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/km_workload.dir/metrics.cc.o"
+  "CMakeFiles/km_workload.dir/metrics.cc.o.d"
+  "CMakeFiles/km_workload.dir/workload.cc.o"
+  "CMakeFiles/km_workload.dir/workload.cc.o.d"
+  "libkm_workload.a"
+  "libkm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/km_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

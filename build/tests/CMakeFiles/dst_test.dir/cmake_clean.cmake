@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dst_test.dir/dst_test.cc.o"
+  "CMakeFiles/dst_test.dir/dst_test.cc.o.d"
+  "dst_test"
+  "dst_test.pdb"
+  "dst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,308 @@
+#include "analysis/invariants.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace km {
+
+namespace {
+
+/// Tolerance for comparing recomputed sums of weights against stored totals.
+bool NearlyEqual(double a, double b) {
+  double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= 1e-6 * scale;
+}
+
+Status Violation(const std::string& what) { return Status::Internal(what); }
+
+}  // namespace
+
+Status ValidateWeightMatrix(const Matrix& weights, size_t num_keywords,
+                            size_t num_terms) {
+  if (weights.rows() != num_keywords || weights.cols() != num_terms) {
+    return Violation("weight matrix shape " + std::to_string(weights.rows()) +
+                     "x" + std::to_string(weights.cols()) +
+                     " does not match keywords x terminology " +
+                     std::to_string(num_keywords) + "x" +
+                     std::to_string(num_terms));
+  }
+  for (size_t r = 0; r < weights.rows(); ++r) {
+    for (size_t c = 0; c < weights.cols(); ++c) {
+      double v = weights.At(r, c);
+      if (!std::isfinite(v)) {
+        return Violation("weight matrix entry (" + std::to_string(r) + "," +
+                         std::to_string(c) + ") is not finite");
+      }
+      if (v < 0) {
+        return Violation("weight matrix entry (" + std::to_string(r) + "," +
+                         std::to_string(c) + ") is negative: " +
+                         std::to_string(v));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateAssignment(const Assignment& assignment, const Matrix& weights) {
+  if (assignment.col_for_row.size() != weights.rows()) {
+    return Violation("assignment has " +
+                     std::to_string(assignment.col_for_row.size()) +
+                     " rows but the weight matrix has " +
+                     std::to_string(weights.rows()));
+  }
+  std::unordered_set<int> used_cols;
+  double total = 0.0;
+  for (size_t r = 0; r < assignment.col_for_row.size(); ++r) {
+    int col = assignment.col_for_row[r];
+    if (col < 0) continue;  // unassigned row (all columns forbidden)
+    if (static_cast<size_t>(col) >= weights.cols()) {
+      return Violation("assignment row " + std::to_string(r) +
+                       " selects out-of-range column " + std::to_string(col));
+    }
+    if (!used_cols.insert(col).second) {
+      return Violation("assignment is not injective: column " +
+                       std::to_string(col) + " selected by two rows");
+    }
+    double w = weights.At(r, static_cast<size_t>(col));
+    if (w <= kForbidden) {
+      return Violation("assignment row " + std::to_string(r) +
+                       " selects forbidden column " + std::to_string(col));
+    }
+    total += w;
+  }
+  if (!NearlyEqual(total, assignment.total_weight)) {
+    return Violation("assignment total_weight " +
+                     std::to_string(assignment.total_weight) +
+                     " does not match recomputed sum " + std::to_string(total));
+  }
+  return Status::OK();
+}
+
+Status ValidateConfiguration(const Configuration& config, size_t num_keywords,
+                             const Terminology& terminology) {
+  if (config.term_for_keyword.size() != num_keywords) {
+    return Violation("configuration maps " +
+                     std::to_string(config.term_for_keyword.size()) +
+                     " keywords but the query has " +
+                     std::to_string(num_keywords));
+  }
+  std::unordered_set<size_t> used_terms;
+  for (size_t i = 0; i < config.term_for_keyword.size(); ++i) {
+    size_t t = config.term_for_keyword[i];
+    if (t >= terminology.size()) {
+      return Violation("configuration keyword " + std::to_string(i) +
+                       " maps to out-of-range term " + std::to_string(t));
+    }
+    if (!used_terms.insert(t).second) {
+      return Violation("configuration is not injective: term " +
+                       terminology.term(t).ToString() + " used twice");
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateInterpretation(const Interpretation& interpretation,
+                              const SchemaGraph& graph) {
+  if (interpretation.terminals.empty()) {
+    return Violation("interpretation has no terminals");
+  }
+  std::unordered_set<size_t> terminal_set;
+  for (size_t t : interpretation.terminals) {
+    if (t >= graph.node_count()) {
+      return Violation("interpretation terminal " + std::to_string(t) +
+                       " is out of range");
+    }
+    if (!terminal_set.insert(t).second) {
+      return Violation("interpretation terminal " + std::to_string(t) +
+                       " is duplicated");
+    }
+  }
+
+  // The node set must be exactly terminals ∪ edge endpoints.
+  std::unordered_set<size_t> expected_nodes(terminal_set);
+  std::unordered_set<size_t> edge_set;
+  double cost = 0.0;
+  for (size_t e : interpretation.edges) {
+    if (e >= graph.edge_count()) {
+      return Violation("interpretation edge " + std::to_string(e) +
+                       " is out of range");
+    }
+    if (!edge_set.insert(e).second) {
+      return Violation("interpretation edge " + std::to_string(e) +
+                       " is duplicated");
+    }
+    const GraphEdge& edge = graph.edges()[e];
+    expected_nodes.insert(edge.from);
+    expected_nodes.insert(edge.to);
+    cost += edge.weight;
+  }
+  std::unordered_set<size_t> node_set(interpretation.nodes.begin(),
+                                      interpretation.nodes.end());
+  if (node_set.size() != interpretation.nodes.size()) {
+    return Violation("interpretation node list contains duplicates");
+  }
+  if (node_set != expected_nodes) {
+    return Violation(
+        "interpretation node list does not equal terminals plus edge "
+        "endpoints");
+  }
+
+  // Tree shape: |E| = |V| − 1, and every node reachable through tree edges.
+  if (interpretation.edges.size() + 1 != node_set.size()) {
+    return Violation("interpretation is not a tree: " +
+                     std::to_string(interpretation.edges.size()) +
+                     " edges over " + std::to_string(node_set.size()) +
+                     " nodes");
+  }
+  std::unordered_set<size_t> visited;
+  std::vector<size_t> stack = {interpretation.terminals[0]};
+  visited.insert(interpretation.terminals[0]);
+  while (!stack.empty()) {
+    size_t v = stack.back();
+    stack.pop_back();
+    for (size_t e : graph.EdgesOf(v)) {
+      if (edge_set.count(e) == 0) continue;
+      size_t u = graph.OtherEnd(e, v);
+      if (visited.insert(u).second) stack.push_back(u);
+    }
+  }
+  if (visited.size() != node_set.size()) {
+    return Violation("interpretation is disconnected: only " +
+                     std::to_string(visited.size()) + " of " +
+                     std::to_string(node_set.size()) + " nodes reachable");
+  }
+
+  if (!std::isfinite(interpretation.cost) ||
+      !NearlyEqual(cost, interpretation.cost)) {
+    return Violation("interpretation cost " +
+                     std::to_string(interpretation.cost) +
+                     " does not match recomputed edge-weight sum " +
+                     std::to_string(cost));
+  }
+  return Status::OK();
+}
+
+Status ValidateSchemaGraph(const SchemaGraph& graph,
+                           const DatabaseSchema& schema) {
+  const Terminology& terminology = graph.terminology();
+  if (graph.node_count() != terminology.size()) {
+    return Violation("schema graph has " + std::to_string(graph.node_count()) +
+                     " nodes but the terminology has " +
+                     std::to_string(terminology.size()) + " terms");
+  }
+
+  // No dangling terms: every term must resolve against the catalog.
+  for (size_t i = 0; i < terminology.size(); ++i) {
+    const DatabaseTerm& term = terminology.term(i);
+    const RelationSchema* rel = schema.FindRelation(term.relation);
+    if (rel == nullptr) {
+      return Violation("term " + term.ToString() +
+                       " names unknown relation " + term.relation);
+    }
+    if (term.kind != TermKind::kRelation &&
+        !rel->AttributeIndex(term.attribute)) {
+      return Violation("term " + term.ToString() +
+                       " names unknown attribute " + term.relation + "." +
+                       term.attribute);
+    }
+  }
+
+  const auto& fks = schema.foreign_keys();
+  for (size_t e = 0; e < graph.edge_count(); ++e) {
+    const GraphEdge& edge = graph.edges()[e];
+    const std::string id = "edge " + std::to_string(e);
+    if (edge.from >= graph.node_count() || edge.to >= graph.node_count()) {
+      return Violation(id + " has an out-of-range endpoint");
+    }
+    if (edge.from == edge.to) {
+      return Violation(id + " is a self-loop on node " +
+                       std::to_string(edge.from));
+    }
+    if (!std::isfinite(edge.weight) || edge.weight < 0) {
+      return Violation(id + " has invalid weight " +
+                       std::to_string(edge.weight));
+    }
+    const DatabaseTerm& a = terminology.term(edge.from);
+    const DatabaseTerm& b = terminology.term(edge.to);
+    switch (edge.kind) {
+      case EdgeKind::kRelationAttribute: {
+        const DatabaseTerm& rel = a.kind == TermKind::kRelation ? a : b;
+        const DatabaseTerm& attr = a.kind == TermKind::kRelation ? b : a;
+        if (rel.kind != TermKind::kRelation ||
+            attr.kind != TermKind::kAttribute ||
+            rel.relation != attr.relation) {
+          return Violation(id + " (" + a.ToString() + " — " + b.ToString() +
+                           ") is not a relation—attribute pair");
+        }
+        break;
+      }
+      case EdgeKind::kAttributeDomain: {
+        const DatabaseTerm& attr = a.kind == TermKind::kAttribute ? a : b;
+        const DatabaseTerm& dom = a.kind == TermKind::kAttribute ? b : a;
+        if (attr.kind != TermKind::kAttribute ||
+            dom.kind != TermKind::kDomain || attr.relation != dom.relation ||
+            attr.attribute != dom.attribute) {
+          return Violation(id + " (" + a.ToString() + " — " + b.ToString() +
+                           ") is not an attribute—domain pair");
+        }
+        break;
+      }
+      case EdgeKind::kForeignKey: {
+        if (a.kind != TermKind::kDomain || b.kind != TermKind::kDomain) {
+          return Violation(id + " joins non-domain terms as a foreign key");
+        }
+        if (edge.fk_index < 0 ||
+            static_cast<size_t>(edge.fk_index) >= fks.size()) {
+          return Violation(id + " has out-of-range fk_index " +
+                           std::to_string(edge.fk_index));
+        }
+        const ForeignKey& fk = fks[static_cast<size_t>(edge.fk_index)];
+        auto d_from =
+            terminology.DomainTerm(fk.from_relation, fk.from_attribute);
+        auto d_to = terminology.DomainTerm(fk.to_relation, fk.to_attribute);
+        if (!d_from || !d_to) {
+          return Violation(id + ": foreign key endpoints do not resolve to "
+                           "domain terms");
+        }
+        bool matches = (*d_from == edge.from && *d_to == edge.to) ||
+                       (*d_from == edge.to && *d_to == edge.from);
+        if (!matches) {
+          return Violation(id + " endpoints do not match foreign key " +
+                           fk.from_relation + "." + fk.from_attribute + " → " +
+                           fk.to_relation + "." + fk.to_attribute);
+        }
+        break;
+      }
+    }
+  }
+
+  // Adjacency consistency: every adjacency entry is an incident edge, and
+  // each edge appears exactly twice across all adjacency lists.
+  size_t adjacency_entries = 0;
+  for (size_t n = 0; n < graph.node_count(); ++n) {
+    for (size_t e : graph.EdgesOf(n)) {
+      if (e >= graph.edge_count()) {
+        return Violation("adjacency of node " + std::to_string(n) +
+                         " lists out-of-range edge " + std::to_string(e));
+      }
+      const GraphEdge& edge = graph.edges()[e];
+      if (edge.from != n && edge.to != n) {
+        return Violation("adjacency of node " + std::to_string(n) +
+                         " lists non-incident edge " + std::to_string(e));
+      }
+      ++adjacency_entries;
+    }
+  }
+  if (adjacency_entries != 2 * graph.edge_count()) {
+    return Violation("adjacency lists hold " +
+                     std::to_string(adjacency_entries) +
+                     " entries; expected " +
+                     std::to_string(2 * graph.edge_count()));
+  }
+  return Status::OK();
+}
+
+}  // namespace km

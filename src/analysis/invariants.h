@@ -1,0 +1,67 @@
+// Whole-structure invariant validators for the pipeline's data structures.
+//
+// Each validator re-derives an invariant the pipeline relies on and returns
+// OK or a kInternal Status naming the first violation found. They are
+// deliberately independent of the code that *constructs* the structures, so
+// a bug in a builder cannot hide the same bug here.
+//
+// Intended call sites:
+//   * tests (tests/analysis_test.cc feeds conforming and violating inputs),
+//   * debug builds of the pipeline, via KM_DCHECK_OK(Validate...(x)) — free
+//     in release builds, full validation under -DCMAKE_BUILD_TYPE=Debug,
+//   * ad-hoc debugging of corrupted intermediate state.
+
+#ifndef KM_ANALYSIS_INVARIANTS_H_
+#define KM_ANALYSIS_INVARIANTS_H_
+
+#include "common/matrix.h"
+#include "common/status.h"
+#include "graph/interpretation.h"
+#include "graph/schema_graph.h"
+#include "matching/munkres.h"
+#include "metadata/configuration.h"
+#include "metadata/term.h"
+#include "relational/schema.h"
+
+namespace km {
+
+/// Checks that a keyword×term weight matrix is structurally sound:
+/// shape is `num_keywords` × `num_terms`, and every entry is finite and
+/// non-negative (intrinsic weights and emission probabilities live in
+/// [0, 1]; negative or NaN/Inf entries poison the assignment step).
+Status ValidateWeightMatrix(const Matrix& weights, size_t num_keywords,
+                            size_t num_terms);
+
+/// Checks Munkres/Murty output against the matrix it was computed from:
+/// one column per row (or -1), every assigned column in range, no two rows
+/// sharing a column (injectivity), no forbidden pair selected, and
+/// total_weight equal to the sum of the selected weights.
+Status ValidateAssignment(const Assignment& assignment, const Matrix& weights);
+
+/// Checks that a configuration is a total injective mapping of the
+/// `num_keywords` query keywords into `terminology`: one term per keyword,
+/// all indices in range, no duplicate term use.
+Status ValidateConfiguration(const Configuration& config, size_t num_keywords,
+                             const Terminology& terminology);
+
+/// Checks that an interpretation is a connected join tree over `graph`:
+/// non-empty distinct terminals contained in the node set, all edge/node
+/// indices in range, node set equal to the union of terminals and edge
+/// endpoints, |E| = |V| − 1 with all nodes reachable (tree + connected),
+/// and cost equal to the sum of the tree's edge weights.
+Status ValidateInterpretation(const Interpretation& interpretation,
+                              const SchemaGraph& graph);
+
+/// Checks a schema graph against the terminology and catalog it was built
+/// from: node count matches the terminology, every edge joins two distinct
+/// in-range nodes with a finite non-negative weight and endpoint kinds
+/// matching its EdgeKind, FK edges carry an fk_index resolving to a catalog
+/// foreign key whose endpoint domains are the edge's endpoints, adjacency
+/// lists are consistent with the edge list, and every attribute/domain term
+/// resolves to a live attribute of the catalog (no dangling attributes).
+Status ValidateSchemaGraph(const SchemaGraph& graph,
+                           const DatabaseSchema& schema);
+
+}  // namespace km
+
+#endif  // KM_ANALYSIS_INVARIANTS_H_

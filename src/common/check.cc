@@ -1,0 +1,52 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace km {
+
+std::string CheckFailure::ToString() const {
+  std::string out = std::string(file) + ":" + std::to_string(line) +
+                    ": KM_CHECK failed: " + condition;
+  if (!detail.empty()) {
+    out += " (";
+    out += detail;
+    out += ")";
+  }
+  return out;
+}
+
+namespace {
+
+void DefaultCheckFailureHandler(const CheckFailure& failure) {
+  std::fprintf(stderr, "%s\n", failure.ToString().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+CheckFailureHandler g_handler = &DefaultCheckFailureHandler;
+
+}  // namespace
+
+CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler) {
+  CheckFailureHandler previous = g_handler;
+  g_handler = handler != nullptr ? handler : &DefaultCheckFailureHandler;
+  return previous;
+}
+
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* condition,
+                 std::string detail) {
+  CheckFailure failure{file, line, condition, std::move(detail)};
+  g_handler(failure);
+  // A contract violation must never fall through, even under a handler
+  // that forgot to throw/longjmp.
+  std::fprintf(stderr, "%s\n[check handler returned; aborting]\n",
+               failure.ToString().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace km

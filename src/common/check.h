@@ -1,0 +1,153 @@
+// Contract-checking macros for the keymantic library.
+//
+// Three tiers of checks, from cheapest to most expressive:
+//
+//   * KM_CHECK(cond) / KM_CHECK_EQ/NE/LT/LE/GT/GE(a, b) — always-on
+//     contracts. A failure invokes the installed CheckFailureHandler
+//     (the default prints the violated condition and aborts). Use these
+//     for invariants whose violation means the process must not continue.
+//   * KM_DCHECK(cond) / KM_DCHECK_* / KM_DCHECK_OK(status_expr) —
+//     debug-only contracts, compiled out under NDEBUG (the operands are
+//     still semantically checked but never evaluated). Use these on hot
+//     paths and for expensive whole-structure validation (see
+//     analysis/invariants.h).
+//   * KM_ENSURE(cond, msg) — a *returnable* contract for library
+//     boundaries: evaluates to `return Status::Internal(...)` on failure
+//     instead of aborting, so callers see StatusCode::kInternal. Use it
+//     in Status/StatusOr-returning functions where a violated invariant
+//     should surface as an error value, not a crash.
+//
+// KM_BOUNDS(i, n) is a named shorthand for the pervasive index check.
+//
+// The failure handler is pluggable (SetCheckFailureHandler) so tests can
+// intercept violations instead of dying; a handler that returns normally
+// still aborts the process — a violated KM_CHECK must never fall through.
+
+#ifndef KM_COMMON_CHECK_H_
+#define KM_COMMON_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+#include "common/status.h"
+
+namespace km {
+
+/// Description of one failed contract check, passed to the handler.
+struct CheckFailure {
+  const char* file;        ///< Source file of the failing KM_CHECK.
+  int line;                ///< Source line of the failing KM_CHECK.
+  const char* condition;   ///< Stringified condition, e.g. "rows <= cols".
+  std::string detail;      ///< Operand values ("3 vs 2") or extra context.
+
+  /// "file:line: KM_CHECK failed: condition (detail)".
+  std::string ToString() const;
+};
+
+/// Handler invoked on contract failure. A handler may throw or longjmp to
+/// regain control (tests); if it returns normally the process aborts.
+using CheckFailureHandler = void (*)(const CheckFailure&);
+
+/// Installs a new failure handler and returns the previous one. Passing
+/// nullptr restores the default abort handler. Not thread-safe; intended
+/// for test fixtures and process start-up.
+CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler);
+
+namespace internal {
+
+/// Dispatches a failure to the installed handler; aborts if it returns.
+void CheckFailed(const char* file, int line, const char* condition,
+                 std::string detail);
+
+/// Renders one operand of a failed binary check.
+template <typename T>
+std::string CheckOperandString(const T& v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+/// Failure path of KM_CHECK_<OP>: formats both operand values.
+template <typename A, typename B>
+void CheckOpFailed(const char* file, int line, const char* condition,
+                   const A& a, const B& b) {
+  CheckFailed(file, line, condition,
+              CheckOperandString(a) + " vs " + CheckOperandString(b));
+}
+
+}  // namespace internal
+}  // namespace km
+
+/// Always-on contract check.
+#define KM_CHECK(cond)                                                \
+  ((cond) ? (void)0                                                   \
+          : ::km::internal::CheckFailed(__FILE__, __LINE__, #cond, ""))
+
+/// Always-on binary contract checks; failures report both values.
+#define KM_CHECK_OP_IMPL(a, b, op)                                        \
+  do {                                                                    \
+    auto&& _km_a = (a);                                                   \
+    auto&& _km_b = (b);                                                   \
+    if (!(_km_a op _km_b)) {                                              \
+      ::km::internal::CheckOpFailed(__FILE__, __LINE__, #a " " #op " " #b, \
+                                    _km_a, _km_b);                        \
+    }                                                                     \
+  } while (0)
+
+#define KM_CHECK_EQ(a, b) KM_CHECK_OP_IMPL(a, b, ==)
+#define KM_CHECK_NE(a, b) KM_CHECK_OP_IMPL(a, b, !=)
+#define KM_CHECK_LT(a, b) KM_CHECK_OP_IMPL(a, b, <)
+#define KM_CHECK_LE(a, b) KM_CHECK_OP_IMPL(a, b, <=)
+#define KM_CHECK_GT(a, b) KM_CHECK_OP_IMPL(a, b, >)
+#define KM_CHECK_GE(a, b) KM_CHECK_OP_IMPL(a, b, >=)
+
+/// Index bounds contract: 0 <= i < n (for unsigned index types).
+#define KM_BOUNDS(i, n) KM_CHECK_OP_IMPL(i, n, <)
+
+/// Always-on check that a Status(-like) expression is ok(); the failure
+/// detail carries the status message.
+#define KM_CHECK_OK(expr)                                                  \
+  do {                                                                     \
+    auto _km_st = (expr);                                                  \
+    if (!_km_st.ok()) {                                                    \
+      ::km::internal::CheckFailed(__FILE__, __LINE__, #expr " is OK",      \
+                                  _km_st.ToString());                      \
+    }                                                                      \
+  } while (0)
+
+// Debug-only variants: compiled out under NDEBUG. The operands stay inside
+// an unevaluated sizeof so they are type-checked but never executed (and
+// variables used only in checks do not become "unused" in release builds).
+#ifndef NDEBUG
+#define KM_DCHECK(cond) KM_CHECK(cond)
+#define KM_DCHECK_EQ(a, b) KM_CHECK_EQ(a, b)
+#define KM_DCHECK_NE(a, b) KM_CHECK_NE(a, b)
+#define KM_DCHECK_LT(a, b) KM_CHECK_LT(a, b)
+#define KM_DCHECK_LE(a, b) KM_CHECK_LE(a, b)
+#define KM_DCHECK_GT(a, b) KM_CHECK_GT(a, b)
+#define KM_DCHECK_GE(a, b) KM_CHECK_GE(a, b)
+#define KM_DBOUNDS(i, n) KM_BOUNDS(i, n)
+#define KM_DCHECK_OK(expr) KM_CHECK_OK(expr)
+#else
+#define KM_DCHECK(cond) ((void)sizeof(!(cond)))
+#define KM_DCHECK_EQ(a, b) ((void)sizeof((a) == (b)))
+#define KM_DCHECK_NE(a, b) ((void)sizeof((a) != (b)))
+#define KM_DCHECK_LT(a, b) ((void)sizeof((a) < (b)))
+#define KM_DCHECK_LE(a, b) ((void)sizeof((a) <= (b)))
+#define KM_DCHECK_GT(a, b) ((void)sizeof((a) > (b)))
+#define KM_DCHECK_GE(a, b) ((void)sizeof((a) >= (b)))
+#define KM_DBOUNDS(i, n) ((void)sizeof((i) < (n)))
+#define KM_DCHECK_OK(expr) ((void)sizeof((expr).ok()))
+#endif
+
+/// Returnable contract for Status/StatusOr-returning library boundaries:
+/// on failure, returns StatusCode::kInternal naming the violated condition.
+#define KM_ENSURE(cond, msg)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      return ::km::Status::Internal(std::string("invariant violated: ") + \
+                                    #cond + " — " + (msg));               \
+    }                                                                     \
+  } while (0)
+
+#endif  // KM_COMMON_CHECK_H_

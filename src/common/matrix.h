@@ -3,9 +3,10 @@
 #ifndef KM_COMMON_MATRIX_H_
 #define KM_COMMON_MATRIX_H_
 
-#include <cassert>
 #include <cstddef>
 #include <vector>
+
+#include "common/check.h"
 
 namespace km {
 
@@ -22,20 +23,24 @@ class Matrix {
   bool empty() const { return data_.empty(); }
 
   double& At(size_t r, size_t c) {
-    assert(r < rows_ && c < cols_);
+    KM_DBOUNDS(r, rows_);
+    KM_DBOUNDS(c, cols_);
     return data_[r * cols_ + c];
   }
   double At(size_t r, size_t c) const {
-    assert(r < rows_ && c < cols_);
+    KM_DBOUNDS(r, rows_);
+    KM_DBOUNDS(c, cols_);
     return data_[r * cols_ + c];
   }
 
   double& operator()(size_t r, size_t c) { return At(r, c); }
   double operator()(size_t r, size_t c) const { return At(r, c); }
 
-  /// Largest entry (0 for an empty matrix).
+  /// Largest entry (0 for an empty matrix). Seeded from the first element,
+  /// so all-negative matrices report their true (negative) maximum.
   double Max() const {
-    double m = 0;
+    if (data_.empty()) return 0.0;
+    double m = data_[0];
     for (double v : data_) {
       if (v > m) m = v;
     }

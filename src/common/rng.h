@@ -7,9 +7,10 @@
 #ifndef KM_COMMON_RNG_H_
 #define KM_COMMON_RNG_H_
 
-#include <cassert>
 #include <cstdint>
 #include <vector>
+
+#include "common/check.h"
 
 namespace km {
 
@@ -31,13 +32,13 @@ class Rng {
 
   /// Uniform integer in [0, bound). `bound` must be > 0.
   uint64_t Uniform(uint64_t bound) {
-    assert(bound > 0);
+    KM_CHECK_GT(bound, 0u);
     return Next() % bound;
   }
 
   /// Uniform integer in [lo, hi] inclusive.
   int64_t UniformInt(int64_t lo, int64_t hi) {
-    assert(lo <= hi);
+    KM_CHECK_LE(lo, hi);
     return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
   }
 
@@ -59,7 +60,7 @@ class Rng {
   /// Picks a uniformly random element of a non-empty vector.
   template <typename T>
   const T& Pick(const std::vector<T>& v) {
-    assert(!v.empty());
+    KM_CHECK(!v.empty());
     return v[Uniform(v.size())];
   }
 

@@ -34,7 +34,10 @@ const char* StatusCodeName(StatusCode code);
 ///
 /// A default-constructed Status is OK. Statuses are cheap to copy (the
 /// message is empty in the OK case, which is the common path).
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status hides failures; call sites
+/// that intentionally ignore one must say so with a (void) cast.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -87,7 +90,7 @@ class Status {
 
 /// Either a value of type T or a non-OK Status explaining its absence.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from a value (implicit, to allow `return value;`).
   StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT

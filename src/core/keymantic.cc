@@ -5,6 +5,8 @@
 #include <set>
 #include <unordered_map>
 
+#include "analysis/invariants.h"
+#include "common/check.h"
 #include "common/strings.h"
 #include "core/translate.h"
 #include "dst/dst.h"
@@ -32,6 +34,9 @@ KeymanticEngine::KeymanticEngine(const Database& db, EngineOptions options)
     // Best effort: fall back to unit weights when statistics are missing.
     (void)ApplyMiWeights(db_, &graph_);
   }
+  // The graph is immutable from here on (MI only rescales FK weights), so
+  // one structural validation at construction covers the engine lifetime.
+  KM_DCHECK_OK(ValidateSchemaGraph(graph_, db.schema()));
   if (options_.backward_mode == BackwardMode::kSummary) {
     summary_ = std::make_unique<SummaryGraph>(graph_);
   }
@@ -81,6 +86,7 @@ StatusOr<std::vector<Explanation>> KeymanticEngine::Search(const std::string& qu
 StatusOr<std::vector<Configuration>> KeymanticEngine::HmmConfigurations(
     const std::vector<std::string>& keywords, size_t k, const Hmm& hmm) const {
   Matrix sim = weights_->Build(keywords);
+  KM_DCHECK_OK(ValidateWeightMatrix(sim, keywords.size(), terminology_.size()));
   Matrix emission = EmissionFromSimilarity(sim);
   KM_ASSIGN_OR_RETURN(std::vector<HmmPath> paths,
                       hmm.ListViterbi(emission, k, /*distinct_states=*/true));
@@ -96,6 +102,17 @@ StatusOr<std::vector<Configuration>> KeymanticEngine::HmmConfigurations(
 }
 
 StatusOr<std::vector<Configuration>> KeymanticEngine::Configurations(
+    const std::vector<std::string>& keywords, size_t k) const {
+  KM_ASSIGN_OR_RETURN(std::vector<Configuration> configs,
+                      ConfigurationsImpl(keywords, k));
+  // Every forward implementation must emit total injective mappings.
+  for (const Configuration& c : configs) {
+    KM_DCHECK_OK(ValidateConfiguration(c, keywords.size(), terminology_));
+  }
+  return configs;
+}
+
+StatusOr<std::vector<Configuration>> KeymanticEngine::ConfigurationsImpl(
     const std::vector<std::string>& keywords, size_t k) const {
   switch (options_.forward_mode) {
     case ForwardMode::kHungarian:
@@ -151,6 +168,11 @@ StatusOr<std::vector<Interpretation>> KeymanticEngine::Interpretations(
     KM_ASSIGN_OR_RETURN(trees, summary_->TopKTrees(terminals, opts));
   } else {
     KM_ASSIGN_OR_RETURN(trees, TopKSteinerTrees(graph_, terminals, opts));
+  }
+  // Both search paths must emit connected join trees over the full graph
+  // (the summary path expands its relation-level trees before returning).
+  for (const Interpretation& tree : trees) {
+    KM_DCHECK_OK(ValidateInterpretation(tree, graph_));
   }
   RankInterpretations(&trees);
   return trees;

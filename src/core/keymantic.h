@@ -152,6 +152,11 @@ class KeymanticEngine {
   const TokenizerOptions& tokenizer_options() const { return tokenizer_options_; }
 
  private:
+  /// Forward-mode dispatch behind Configurations(), which wraps the result
+  /// in debug-build invariant validation.
+  StatusOr<std::vector<Configuration>> ConfigurationsImpl(
+      const std::vector<std::string>& keywords, size_t k) const;
+
   StatusOr<std::vector<Configuration>> HmmConfigurations(
       const std::vector<std::string>& keywords, size_t k, const Hmm& hmm) const;
 

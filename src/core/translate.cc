@@ -2,6 +2,9 @@
 
 #include <set>
 
+#include "analysis/invariants.h"
+#include "common/check.h"
+
 namespace km {
 
 StatusOr<SpjQuery> TranslateToSql(const std::vector<std::string>& keywords,
@@ -12,6 +15,21 @@ StatusOr<SpjQuery> TranslateToSql(const std::vector<std::string>& keywords,
                                   const SchemaGraph& graph) {
   if (keywords.size() != config.term_for_keyword.size()) {
     return Status::InvalidArgument("keyword/configuration arity mismatch");
+  }
+  // Upstream stages own these invariants; re-checked here in debug builds
+  // because translation dereferences term and edge indices from both.
+  KM_DCHECK_OK(ValidateConfiguration(config, keywords.size(), terminology));
+  KM_DCHECK_OK(ValidateInterpretation(interpretation, graph));
+  // The returnable contract at the library boundary: malformed indices in
+  // release builds surface as kInternal instead of undefined behaviour.
+  for (size_t t : config.term_for_keyword) {
+    KM_ENSURE(t < terminology.size(), "configuration term index out of range");
+  }
+  for (size_t n : interpretation.nodes) {
+    KM_ENSURE(n < terminology.size(), "interpretation node out of range");
+  }
+  for (size_t e : interpretation.edges) {
+    KM_ENSURE(e < graph.edges().size(), "interpretation edge out of range");
   }
   SpjQuery sql;
 

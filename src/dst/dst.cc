@@ -1,8 +1,26 @@
 #include "dst/dst.h"
 
 #include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
 
 namespace km {
+
+namespace {
+
+// Debug validation shared by the mass-function producers: masses must be
+// non-negative and total 1 (within floating-point tolerance).
+bool IsValidMassFunction(const MassFunction& m) {
+  if (!std::isfinite(m.uncertainty()) || m.uncertainty() < 0.0) return false;
+  for (size_t id : m.FocalIds()) {
+    double mass = m.MassOf(id);
+    if (!std::isfinite(mass) || mass < 0.0) return false;
+  }
+  return std::fabs(m.TotalMass() - 1.0) <= 1e-7;
+}
+
+}  // namespace
 
 MassFunction MassFunction::FromScores(
     const std::vector<std::pair<size_t, double>>& scores, double confidence) {
@@ -22,12 +40,14 @@ MassFunction MassFunction::FromScores(
     double each = confidence / static_cast<double>(scores.size());
     for (const auto& [id, s] : scores) m.singleton_[id] += each;
     m.uncertainty_ = 1.0 - confidence;
+    KM_DCHECK(IsValidMassFunction(m));
     return m;
   }
   for (const auto& [id, s] : scores) {
     m.singleton_[id] += confidence * (s + shift) / total;
   }
   m.uncertainty_ = 1.0 - confidence;
+  KM_DCHECK(IsValidMassFunction(m));
   return m;
 }
 
@@ -83,6 +103,9 @@ StatusOr<MassFunction> MassFunction::Combine(const MassFunction& a,
     double combined = mb * a.uncertainty_;
     if (combined > 0) out.singleton_[id] += z * combined;
   }
+  // Dempster's rule renormalizes by 1 − K, so the combination is again a
+  // valid mass function.
+  KM_DCHECK(IsValidMassFunction(out));
   return out;
 }
 

@@ -4,6 +4,8 @@
 #include <limits>
 #include <queue>
 
+#include "common/check.h"
+
 namespace km {
 
 SchemaGraph::SchemaGraph(const Terminology& terminology, const DatabaseSchema& schema)
@@ -31,6 +33,10 @@ SchemaGraph::SchemaGraph(const Terminology& terminology, const DatabaseSchema& s
 }
 
 void SchemaGraph::AddEdge(size_t a, size_t b, EdgeKind kind, double w, int fk_index) {
+  KM_BOUNDS(a, adjacency_.size());
+  KM_BOUNDS(b, adjacency_.size());
+  KM_CHECK_NE(a, b);
+  KM_CHECK_GE(w, 0.0);
   GraphEdge e{a, b, kind, w, fk_index};
   size_t idx = edges_.size();
   edges_.push_back(e);
@@ -39,6 +45,7 @@ void SchemaGraph::AddEdge(size_t a, size_t b, EdgeKind kind, double w, int fk_in
 }
 
 std::vector<double> SchemaGraph::Distances(size_t source) const {
+  KM_BOUNDS(source, node_count());
   std::vector<double> dist(node_count(), std::numeric_limits<double>::infinity());
   dist[source] = 0;
   using Item = std::pair<double, size_t>;
@@ -62,6 +69,8 @@ std::vector<double> SchemaGraph::Distances(size_t source) const {
 
 std::optional<std::vector<size_t>> SchemaGraph::ShortestPath(size_t source,
                                                              size_t target) const {
+  KM_BOUNDS(source, node_count());
+  KM_BOUNDS(target, node_count());
   if (source == target) return std::vector<size_t>{};
   std::vector<double> dist(node_count(), std::numeric_limits<double>::infinity());
   std::vector<ssize_t> via_edge(node_count(), -1);

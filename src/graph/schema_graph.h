@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 #include "metadata/term.h"
 #include "relational/database.h"
@@ -49,18 +50,31 @@ class SchemaGraph {
   const std::vector<GraphEdge>& edges() const { return edges_; }
 
   /// Edge indices incident to `node`.
-  const std::vector<size_t>& EdgesOf(size_t node) const { return adjacency_[node]; }
+  const std::vector<size_t>& EdgesOf(size_t node) const {
+    KM_DBOUNDS(node, adjacency_.size());
+    return adjacency_[node];
+  }
 
   /// The endpoint of edge `e` that is not `node`.
   size_t OtherEnd(size_t e, size_t node) const {
+    KM_DBOUNDS(e, edges_.size());
     const GraphEdge& edge = edges_[e];
     return edge.from == node ? edge.to : edge.from;
   }
 
-  double EdgeWeight(size_t e) const { return edges_[e].weight; }
+  double EdgeWeight(size_t e) const {
+    KM_DBOUNDS(e, edges_.size());
+    return edges_[e].weight;
+  }
 
   /// Overwrites the weight of edge `e` (used by the MI weighting pass).
-  void SetEdgeWeight(size_t e, double w) { edges_[e].weight = w; }
+  /// Weights are distances; negative values would break Dijkstra and the
+  /// Steiner search.
+  void SetEdgeWeight(size_t e, double w) {
+    KM_BOUNDS(e, edges_.size());
+    KM_CHECK_GE(w, 0.0);
+    edges_[e].weight = w;
+  }
 
   /// Single-source shortest-path distances (Dijkstra) from `source`;
   /// unreachable nodes get +infinity.

@@ -5,6 +5,8 @@
 #include <limits>
 #include <unordered_set>
 
+#include "common/check.h"
+
 namespace km {
 
 namespace {
@@ -14,7 +16,24 @@ double SafeLog(double p) { return p > 0 ? std::log(p) : kNegInf; }
 }  // namespace
 
 Hmm::Hmm(Matrix transition, std::vector<double> initial)
-    : transition_(std::move(transition)), initial_(std::move(initial)) {}
+    : transition_(std::move(transition)), initial_(std::move(initial)) {
+  KM_CHECK_EQ(transition_.rows(), transition_.cols());
+  KM_CHECK_EQ(initial_.size(), transition_.rows());
+  // Loose stochastic validation: probabilities must be finite and
+  // non-negative (rows of zeros are allowed dead ends).
+  KM_DCHECK([this] {
+    for (double p : initial_) {
+      if (!std::isfinite(p) || p < 0.0) return false;
+    }
+    for (size_t r = 0; r < transition_.rows(); ++r) {
+      for (size_t c = 0; c < transition_.cols(); ++c) {
+        double p = transition_.At(r, c);
+        if (!std::isfinite(p) || p < 0.0) return false;
+      }
+    }
+    return true;
+  }());
+}
 
 Matrix EmissionFromSimilarity(const Matrix& similarity) {
   Matrix e = similarity;
@@ -110,6 +129,8 @@ StatusOr<std::vector<HmmPath>> Hmm::ListViterbi(const Matrix& emission, size_t k
     int r = static_cast<int>(f.rank);
     for (size_t t = T; t-- > 0;) {
       path.states[t] = s;
+      KM_DBOUNDS(s, N);
+      KM_DBOUNDS(static_cast<size_t>(r), dp[t][s].size());
       const Cell& cell = dp[t][s][static_cast<size_t>(r)];
       if (t > 0) {
         s = static_cast<size_t>(cell.prev_state);

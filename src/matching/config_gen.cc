@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.h"
 #include "matching/munkres.h"
 #include "matching/murty.h"
 
@@ -56,6 +57,8 @@ StatusOr<std::vector<Configuration>> ConfigurationGenerator::GenerateFromMatrix(
     }
     if (!valid) continue;
     c.score = a.total_weight;
+    // Murty emits injective assignments; configurations inherit that.
+    KM_DCHECK(c.IsInjective());
     configs.push_back(std::move(c));
   }
 
@@ -146,6 +149,9 @@ StatusOr<Configuration> ConfigurationGenerator::GreedyExtended(
   Configuration out;
   out.term_for_keyword = std::move(chosen);
   out.score = total;
+  // Each committed column is excluded from later rounds, so the greedy
+  // extension also yields an injective mapping.
+  KM_DCHECK(out.IsInjective());
   return out;
 }
 

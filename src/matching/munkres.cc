@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/check.h"
+
 namespace km {
 
 namespace {
@@ -79,11 +81,21 @@ StatusOr<Assignment> MaxWeightAssignment(const Matrix& weights) {
   for (size_t j = 1; j <= m; ++j) {
     if (p[j] == 0) continue;
     size_t row = p[j] - 1;
+    KM_BOUNDS(row, n);
     size_t col = j - 1;
     if (weights.At(row, col) <= kForbidden) continue;  // forced onto forbidden
     out.col_for_row[row] = static_cast<int>(col);
     out.total_weight += weights.At(row, col);
   }
+  // The augmenting-path construction matches each column at most once, so
+  // the keyword→term mapping must come out injective.
+  KM_DCHECK([&out] {
+    std::vector<int> cols = out.col_for_row;
+    std::sort(cols.begin(), cols.end());
+    return std::adjacent_find(cols.begin(), cols.end(),
+                              [](int a, int b) { return a >= 0 && a == b; }) ==
+           cols.end();
+  }());
   return out;
 }
 

@@ -1,9 +1,12 @@
 #include "matching/murty.h"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 #include <set>
 #include <utility>
+
+#include "common/check.h"
 
 namespace km {
 
@@ -26,8 +29,13 @@ struct Node {
 };
 
 Matrix ApplyConstraints(const Matrix& base, const Node& node) {
+  KM_CHECK_EQ(node.forced.size(), base.rows());
   Matrix w = base;
-  for (const auto& [r, c] : node.forbidden) w.At(r, c) = kForbidden;
+  for (const auto& [r, c] : node.forbidden) {
+    KM_BOUNDS(r, w.rows());
+    KM_BOUNDS(c, w.cols());
+    w.At(r, c) = kForbidden;
+  }
   for (size_t r = 0; r < w.rows(); ++r) {
     if (node.forced[r] < 0) continue;
     for (size_t c = 0; c < w.cols(); ++c) {
@@ -86,6 +94,18 @@ StatusOr<std::vector<Assignment>> TopKAssignments(const Matrix& weights, size_t 
       child_base.forced[r] = col;
     }
   }
+  // Murty's partitioning pops solutions best-first, so the emitted list
+  // must be non-increasing in total weight — up to rounding: tied solutions
+  // sum the same weights in different orders and can differ by a few ulps.
+  KM_DCHECK([&results] {
+    for (size_t i = 1; i < results.size(); ++i) {
+      double prev = results[i - 1].total_weight;
+      double cur = results[i].total_weight;
+      double tol = 1e-9 * std::max({1.0, std::fabs(prev), std::fabs(cur)});
+      if (cur > prev + tol) return false;
+    }
+    return true;
+  }());
   return results;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
 #include "common/strings.h"
 #include "text/recognizers.h"
 #include "text/stemmer.h"
@@ -47,13 +48,26 @@ Matrix WeightMatrixBuilder::Build(const std::vector<std::string>& keywords) cons
       w.At(r, c) = Weight(keywords[r], terminology_.term(c));
     }
   }
+  // Downstream scoring (SW/VW → Hungarian, HMM emissions) requires finite,
+  // non-negative intrinsic weights in [0, 1].
+  KM_DCHECK([&w] {
+    for (size_t r = 0; r < w.rows(); ++r) {
+      for (size_t c = 0; c < w.cols(); ++c) {
+        double v = w.At(r, c);
+        if (!std::isfinite(v) || v < 0.0 || v > 1.0) return false;
+      }
+    }
+    return true;
+  }());
   return w;
 }
 
 double WeightMatrixBuilder::Weight(const std::string& keyword,
                                    const DatabaseTerm& term) const {
-  return term.is_schema_term() ? SchemaWeight(keyword, term)
-                               : ValueWeight(keyword, term);
+  double w = term.is_schema_term() ? SchemaWeight(keyword, term)
+                                   : ValueWeight(keyword, term);
+  KM_DCHECK(std::isfinite(w) && w >= 0.0 && w <= 1.0);
+  return w;
 }
 
 double WeightMatrixBuilder::SchemaWeight(const std::string& keyword,

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
 
+#include "common/check.h"
 #include "common/matrix.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -254,6 +256,14 @@ TEST(MatrixTest, MaxOverEntries) {
   EXPECT_DOUBLE_EQ(Matrix().Max(), 0.0);
 }
 
+// Regression: Max() used to seed its accumulator with 0 and therefore
+// reported 0 for matrices whose entries are all negative.
+TEST(MatrixTest, MaxOfAllNegativeEntriesIsNegative) {
+  Matrix m(2, 2, -5.0);
+  m.At(0, 1) = -2.5;
+  EXPECT_DOUBLE_EQ(m.Max(), -2.5);
+}
+
 TEST(MatrixTest, NormalizeRows) {
   Matrix m(2, 2);
   m.At(0, 0) = 1;
@@ -263,6 +273,85 @@ TEST(MatrixTest, NormalizeRows) {
   EXPECT_DOUBLE_EQ(m.At(0, 0), 0.25);
   EXPECT_DOUBLE_EQ(m.At(0, 1), 0.75);
   EXPECT_DOUBLE_EQ(m.At(1, 0), 0.0);
+}
+
+// ---------------------------------------------------------------- Check
+
+// Test handler: converts contract violations into exceptions so the test
+// binary can observe them without dying.
+[[noreturn]] void ThrowingCheckHandler(const CheckFailure& failure) {
+  throw std::runtime_error(failure.ToString());
+}
+
+class CheckHandlerScope {
+ public:
+  CheckHandlerScope() : previous_(SetCheckFailureHandler(&ThrowingCheckHandler)) {}
+  ~CheckHandlerScope() { SetCheckFailureHandler(previous_); }
+
+ private:
+  CheckFailureHandler previous_;
+};
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  CheckHandlerScope scope;
+  KM_CHECK(1 + 1 == 2);
+  KM_CHECK_EQ(3, 3);
+  KM_CHECK_NE(3, 4);
+  KM_CHECK_LT(3, 4);
+  KM_CHECK_LE(4, 4);
+  KM_CHECK_GT(5, 4);
+  KM_CHECK_GE(5, 5);
+  KM_BOUNDS(size_t{2}, size_t{3});
+  KM_CHECK_OK(Status::OK());
+}
+
+TEST(CheckTest, FailingCheckInvokesInstalledHandler) {
+  CheckHandlerScope scope;
+  EXPECT_THROW(KM_CHECK(false), std::runtime_error);
+  EXPECT_THROW(KM_CHECK_EQ(1, 2), std::runtime_error);
+  EXPECT_THROW(KM_BOUNDS(size_t{3}, size_t{3}), std::runtime_error);
+  EXPECT_THROW(KM_CHECK_OK(Status::Internal("boom")), std::runtime_error);
+}
+
+TEST(CheckTest, FailureMessageNamesConditionAndValues) {
+  CheckHandlerScope scope;
+  try {
+    KM_CHECK_LT(7, 3);
+    FAIL() << "KM_CHECK_LT(7, 3) did not fail";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("7 < 3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("7 vs 3"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, DcheckCompilesOutInReleaseBuilds) {
+  CheckHandlerScope scope;
+  bool evaluated = false;
+  auto fails_and_marks = [&evaluated] {
+    evaluated = true;
+    return false;
+  };
+#ifndef NDEBUG
+  EXPECT_THROW(KM_DCHECK(fails_and_marks()), std::runtime_error);
+  EXPECT_TRUE(evaluated);
+#else
+  KM_DCHECK(fails_and_marks());
+  EXPECT_FALSE(evaluated);
+#endif
+}
+
+namespace check_ensure {
+Status EnsurePositive(int x) {
+  KM_ENSURE(x > 0, "x must be positive");
+  return Status::OK();
+}
+}  // namespace check_ensure
+
+TEST(CheckTest, EnsureReturnsInternalStatusAtBoundaries) {
+  EXPECT_TRUE(check_ensure::EnsurePositive(1).ok());
+  Status s = check_ensure::EnsurePositive(-1);
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_NE(s.message().find("x > 0"), std::string::npos);
 }
 
 TEST(StopwatchTest, MeasuresNonNegativeTime) {

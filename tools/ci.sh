@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Runs the three CI jobs locally (mirrors .github/workflows/ci.yml):
+#
+#   1. release  — Release build (warnings-as-errors) + full ctest suite
+#   2. sanitize — ASan+UBSan build + full ctest suite
+#   3. lint     — clang-tidy over src/ (skips cleanly when not installed)
+#
+# Usage: tools/ci.sh [release|sanitize|lint]...   (default: all three)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=("$@")
+if [[ ${#JOBS[@]} -eq 0 ]]; then
+  JOBS=(release sanitize lint)
+fi
+
+run_release() {
+  echo "=== CI job: release (KM_WERROR=ON) ==="
+  cmake --preset ci
+  cmake --build --preset ci -j "$(nproc)"
+  ctest --preset ci -j "$(nproc)"
+}
+
+run_sanitize() {
+  echo "=== CI job: sanitize (ASan + UBSan) ==="
+  cmake --preset asan
+  cmake --build --preset asan -j "$(nproc)"
+  ctest --preset asan -j "$(nproc)"
+}
+
+run_lint() {
+  echo "=== CI job: lint (clang-tidy) ==="
+  tools/lint.sh
+}
+
+for job in "${JOBS[@]}"; do
+  case "${job}" in
+    release)  run_release ;;
+    sanitize) run_sanitize ;;
+    lint)     run_lint ;;
+    *) echo "unknown CI job: ${job} (expected release|sanitize|lint)" >&2
+       exit 2 ;;
+  esac
+done
+echo "=== CI: all requested jobs passed ==="

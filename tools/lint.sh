@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# clang-tidy driver: lints every .cc under src/ with the repo's .clang-tidy.
+#
+# Usage: tools/lint.sh [build-dir]
+#
+# The build dir must hold a compile_commands.json (any CMake configure of
+# this repo produces one; CMAKE_EXPORT_COMPILE_COMMANDS is set globally).
+# When no build dir is given, one is configured at build/lint.
+#
+# Exits 0 when clang-tidy is unavailable: the container image for this repo
+# ships only the GCC toolchain, so the lint job degrades to a skip instead
+# of failing every environment that cannot install clang. CI installs
+# clang-tidy explicitly and therefore always runs the real lint.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TIDY="${CLANG_TIDY:-}"
+if [[ -z "${TIDY}" ]]; then
+  for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+                   clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "${candidate}" > /dev/null 2>&1; then
+      TIDY="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${TIDY}" ]]; then
+  echo "lint: clang-tidy not found; skipping (install clang-tidy or set" \
+       "CLANG_TIDY to enable)"
+  exit 0
+fi
+
+BUILD_DIR="${1:-build/lint}"
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  echo "lint: configuring ${BUILD_DIR} for compile_commands.json"
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+fi
+
+mapfile -t SOURCES < <(find src -name '*.cc' | sort)
+echo "lint: ${TIDY} over ${#SOURCES[@]} files (config: .clang-tidy)"
+
+STATUS=0
+for src in "${SOURCES[@]}"; do
+  if ! "${TIDY}" -p "${BUILD_DIR}" --quiet "${src}"; then
+    STATUS=1
+  fi
+done
+
+if [[ ${STATUS} -ne 0 ]]; then
+  echo "lint: FAILED (see diagnostics above)"
+else
+  echo "lint: clean"
+fi
+exit ${STATUS}

@@ -11,10 +11,12 @@
 #define KM_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/query_context.h"
 #include "core/keymantic.h"
 #include "datasets/dblp.h"
 #include "datasets/imdb.h"
@@ -115,6 +117,70 @@ inline void Banner(const char* id, const char* title) {
   std::printf("\n==============================================================\n");
   std::printf("%s — %s\n", id, title);
   std::printf("==============================================================\n");
+}
+
+/// Per-query wall-clock budget for budget-pressure runs, set by the
+/// --deadline_ms flag. 0 (the default) means unlimited: benches measure
+/// the undisturbed pipeline.
+inline double& DeadlineMs() {
+  static double value = 0.0;
+  return value;
+}
+
+/// Strips the harness-specific --deadline_ms=<double> flag out of
+/// (argc, argv). Must run before benchmark::Initialize, which rejects
+/// flags it does not recognize.
+inline void ParseBenchFlags(int* argc, char** argv) {
+  const std::string prefix = "--deadline_ms=";
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      DeadlineMs() = std::atof(arg.substr(prefix.size()).c_str());
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+/// Degraded-vs-complete accounting for budget-pressure runs: every
+/// Answer() outcome lands in exactly one bucket.
+struct QualityTally {
+  uint64_t by_quality[4] = {};  // indexed by ResultQuality
+  uint64_t errors = 0;          // Answer returned a Status
+  uint64_t empties = 0;         // ok but zero explanations (must stay zero)
+  uint64_t total = 0;
+
+  void Count(const StatusOr<AnswerResult>& result) {
+    ++total;
+    if (!result.ok()) {
+      ++errors;
+      return;
+    }
+    if (result->explanations.empty()) ++empties;
+    ++by_quality[static_cast<size_t>(result->quality)];
+  }
+
+  void Report(const char* label) const {
+    if (total == 0) return;
+    auto u = [](uint64_t v) { return static_cast<unsigned long long>(v); };
+    std::printf(
+        "\n%s (deadline_ms=%.3f): queries=%llu complete=%llu degraded=%llu "
+        "partial=%llu deadline_exceeded=%llu errors=%llu empty=%llu\n",
+        label, DeadlineMs(), u(total),
+        u(by_quality[static_cast<size_t>(ResultQuality::kComplete)]),
+        u(by_quality[static_cast<size_t>(ResultQuality::kDegraded)]),
+        u(by_quality[static_cast<size_t>(ResultQuality::kPartial)]),
+        u(by_quality[static_cast<size_t>(ResultQuality::kDeadlineExceeded)]),
+        u(errors), u(empties));
+  }
+};
+
+/// Process-wide tally shared by all benchmark repetitions.
+inline QualityTally& Tally() {
+  static QualityTally tally;
+  return tally;
 }
 
 }  // namespace km::bench

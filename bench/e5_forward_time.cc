@@ -39,7 +39,9 @@ Fixture MakeFixture(EvalDb eval) {
     for (size_t a = 0; a < r.arity() && f.keyword_pool.size() < 4000; ++a) {
       for (int i = 0; i < 3; ++i) {
         const Row& row = t->rows()[rng.Uniform(t->size())];
-        if (!row[a].is_null()) f.keyword_pool.push_back(row[a].ToString());
+        if (row[a].is_null()) continue;
+        std::string v = row[a].ToString();
+        if (!v.empty()) f.keyword_pool.push_back(std::move(v));
       }
     }
   }
@@ -74,8 +76,19 @@ void BM_ForwardStep(benchmark::State& state) {
   }
   size_t qi = 0;
   for (auto _ : state) {
-    auto configs = f->engine->Configurations(queries[qi], k);
-    benchmark::DoNotOptimize(configs);
+    if (DeadlineMs() > 0) {
+      // Budget-pressure mode: run the full pipeline under a per-query
+      // deadline and tally how often it degrades instead of completing.
+      QueryLimits limits;
+      limits.deadline_ms = DeadlineMs();
+      QueryContext ctx(limits);
+      auto result = f->engine->AnswerKeywords(queries[qi], k, &ctx);
+      Tally().Count(result);
+      benchmark::DoNotOptimize(result);
+    } else {
+      auto configs = f->engine->Configurations(queries[qi], k);
+      benchmark::DoNotOptimize(configs);
+    }
     qi = (qi + 1) % queries.size();
   }
   state.SetLabel(f->eval.name);
@@ -103,4 +116,12 @@ BENCHMARK(BM_ForwardStep)
     ->Args({2, 3, 100})
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  km::bench::ParseBenchFlags(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  km::bench::Tally().Report("E5 budget pressure");
+  return 0;
+}

@@ -150,4 +150,15 @@ void CheckOpFailed(const char* file, int line, const char* condition,
     }                                                                     \
   } while (0)
 
+/// Returnable *input* contract: like KM_ENSURE but blames the caller with
+/// StatusCode::kInvalidArgument. Use it to reject hostile or malformed
+/// input (bad queries, out-of-range parameters) at public entry points —
+/// validation failures must surface as error values, never aborts.
+#define KM_ENSURE_ARG(cond, msg)                       \
+  do {                                                 \
+    if (!(cond)) {                                     \
+      return ::km::Status::InvalidArgument((msg));     \
+    }                                                  \
+  } while (0)
+
 #endif  // KM_COMMON_CHECK_H_

@@ -1,0 +1,149 @@
+#include "common/failpoint.h"
+
+#include <mutex>
+#include <unordered_map>
+
+#include "common/query_context.h"
+
+namespace km::failpoints {
+
+const char* const kFailpointSites[] = {
+    "engine.tokenize.fail",          // hostile/failed tokenization
+    "weights.build.corrupt",         // corrupted intrinsic weight matrix
+    "forward.murty.alloc",           // allocation failure in the Murty pool
+    "forward.murty.timeout",         // stage timeout inside the Murty loop
+    "forward.rerank.fail",           // contextual re-ranking failure
+    "backward.steiner.node_missing", // graph node missing at search entry
+    "backward.steiner.timeout",      // stage timeout inside DPBF expansion
+    "backward.summary.fail",         // summary-graph search failure
+    "engine.translate.fail",         // SQL translation failure
+    "executor.join.fail",            // join-loop failure in the executor
+};
+const size_t kNumFailpointSites =
+    sizeof(kFailpointSites) / sizeof(kFailpointSites[0]);
+
+namespace {
+
+struct Armed {
+  Action action;
+  int hits_fired = 0;
+  int hits_seen = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Armed> armed;
+  std::unordered_map<std::string, uint64_t> visits;
+};
+
+Registry& GetRegistry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+}  // namespace
+
+void Enable(const std::string& name, Action action) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.armed[name] = Armed{std::move(action), 0, 0};
+}
+
+void EnableError(const std::string& name, Status error) {
+  Action a;
+  a.kind = ActionKind::kError;
+  a.error = std::move(error);
+  Enable(name, std::move(a));
+}
+
+void EnableExpire(const std::string& name) {
+  Action a;
+  a.kind = ActionKind::kExpireContext;
+  Enable(name, std::move(a));
+}
+
+void EnableCallback(const std::string& name, std::function<void(void*)> callback) {
+  Action a;
+  a.kind = ActionKind::kCallback;
+  a.callback = std::move(callback);
+  Enable(name, std::move(a));
+}
+
+void Disable(const std::string& name) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.armed.erase(name);
+}
+
+void DisableAll() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.armed.clear();
+}
+
+void Reset() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.armed.clear();
+  r.visits.clear();
+}
+
+uint64_t HitCount(const std::string& name) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.visits.find(name);
+  return it == r.visits.end() ? 0 : it->second;
+}
+
+std::vector<std::string> VisitedSites() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string> out;
+  out.reserve(r.visits.size());
+  for (const auto& [name, count] : r.visits) {
+    if (count > 0) out.push_back(name);
+  }
+  return out;
+}
+
+namespace internal {
+
+Status Hit(const char* name, QueryContext* ctx, void* payload) {
+  Registry& r = GetRegistry();
+  // Decide under the lock, act outside it (a callback may re-enter the
+  // registry or touch arbitrary state).
+  Action fire;
+  bool should_fire = false;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    ++r.visits[name];
+    auto it = r.armed.find(name);
+    if (it != r.armed.end()) {
+      Armed& armed = it->second;
+      ++armed.hits_seen;
+      bool past_skip = armed.hits_seen > armed.action.skip;
+      bool under_limit =
+          armed.action.limit < 0 || armed.hits_fired < armed.action.limit;
+      if (past_skip && under_limit) {
+        ++armed.hits_fired;
+        fire = armed.action;
+        should_fire = true;
+      }
+    }
+  }
+  if (!should_fire) return Status::OK();
+  switch (fire.kind) {
+    case ActionKind::kError:
+      return fire.error;
+    case ActionKind::kExpireContext:
+      if (ctx != nullptr) ctx->ForceExpire();
+      return Status::OK();
+    case ActionKind::kCallback:
+      if (fire.callback) fire.callback(payload);
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+}  // namespace internal
+}  // namespace km::failpoints

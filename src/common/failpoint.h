@@ -1,0 +1,140 @@
+// Deterministic fault injection for resilience testing.
+//
+// A *failpoint* is a named hook compiled into a pipeline seam. In normal
+// operation a failpoint site is disabled and (in builds without
+// KM_FAILPOINTS_ENABLED) costs nothing at all — the macros expand to
+// no-ops. Tests script failures through the registry:
+//
+//   failpoints::EnableError("forward.murty.alloc",
+//                           Status::ResourceExhausted("simulated"));
+//   ... drive the engine, assert it degrades instead of aborting ...
+//   failpoints::DisableAll();
+//
+// Supported actions: inject an error Status (the site returns it), expire
+// the current QueryContext (simulating a stage timeout), or run an
+// arbitrary callback against a site-provided payload (e.g. corrupting a
+// weight matrix in place). Actions can be armed to skip the first N hits
+// and to fire at most M times, which makes multi-call scenarios
+// deterministic.
+//
+// Naming scheme: "<stage>.<component>.<fault>" — e.g. "forward.murty.alloc",
+// "backward.steiner.timeout", "executor.join.fail". The full site list
+// lives in kFailpointSites below and in DESIGN.md §Resilience.
+//
+// Build gating: sites are active when KM_FAILPOINTS_ENABLED is defined
+// (CMake: -DKM_FAILPOINTS=ON, or any Debug build). The registry functions
+// are always compiled so tests link unconditionally; they are inert when
+// the sites are compiled out (tests should GTEST_SKIP on
+// !failpoints::Enabled()).
+
+#ifndef KM_COMMON_FAILPOINT_H_
+#define KM_COMMON_FAILPOINT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace km {
+
+class QueryContext;
+
+namespace failpoints {
+
+/// What an armed failpoint does when its site is hit.
+enum class ActionKind : uint8_t {
+  kError = 0,          ///< the site returns the configured Status
+  kExpireContext = 1,  ///< the site's QueryContext is force-expired
+  kCallback = 2,       ///< the callback runs against the site's payload
+};
+
+/// A scripted failure. `skip` hits pass through before the action fires;
+/// after `limit` firings (when >= 0) the failpoint goes dormant again.
+struct Action {
+  ActionKind kind = ActionKind::kError;
+  Status error = Status::Internal("failpoint");  ///< kError payload
+  std::function<void(void*)> callback;           ///< kCallback payload
+  int skip = 0;
+  int limit = -1;
+};
+
+/// True when failpoint sites are compiled into this build.
+constexpr bool Enabled() {
+#ifdef KM_FAILPOINTS_ENABLED
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Arms `name` with `action`. Re-arming replaces the previous action.
+void Enable(const std::string& name, Action action);
+
+/// Shorthands for the three action kinds.
+void EnableError(const std::string& name, Status error);
+void EnableExpire(const std::string& name);
+void EnableCallback(const std::string& name, std::function<void(void*)> callback);
+
+/// Disarms one failpoint / all failpoints (hit counters are kept).
+void Disable(const std::string& name);
+void DisableAll();
+
+/// Resets hit counters (and disarms everything): a clean slate per test.
+void Reset();
+
+/// Number of times the named site was *visited* (armed or not) since the
+/// last Reset(). Always zero when sites are compiled out.
+uint64_t HitCount(const std::string& name);
+
+/// All site names visited at least once since the last Reset().
+std::vector<std::string> VisitedSites();
+
+/// The canonical compiled-in site list (kept in sync with the KM_FAILPOINT
+/// uses across the pipeline; resilience_test iterates it).
+extern const char* const kFailpointSites[];
+extern const size_t kNumFailpointSites;
+
+namespace internal {
+
+/// Site implementation: counts the visit and applies the armed action (if
+/// any). Returns the injected error for kError, OK otherwise.
+Status Hit(const char* name, QueryContext* ctx, void* payload);
+
+}  // namespace internal
+}  // namespace failpoints
+}  // namespace km
+
+// Site macros. Each names one seam; sites live in Status/StatusOr-returning
+// functions (the error action propagates via return) except KM_FAILPOINT_VISIT,
+// which discards the status and therefore supports only the kExpireContext
+// and kCallback actions (use it in infallible code like matrix builders).
+#ifdef KM_FAILPOINTS_ENABLED
+
+#define KM_FAILPOINT(name)                                                   \
+  do {                                                                       \
+    ::km::Status _km_fp =                                                    \
+        ::km::failpoints::internal::Hit((name), nullptr, nullptr);           \
+    if (!_km_fp.ok()) return _km_fp;                                         \
+  } while (0)
+
+#define KM_FAILPOINT_CTX(name, ctx)                                          \
+  do {                                                                       \
+    ::km::Status _km_fp =                                                    \
+        ::km::failpoints::internal::Hit((name), (ctx), nullptr);             \
+    if (!_km_fp.ok()) return _km_fp;                                         \
+  } while (0)
+
+#define KM_FAILPOINT_VISIT(name, ctx, payload) \
+  ((void)::km::failpoints::internal::Hit((name), (ctx), (payload)))
+
+#else  // !KM_FAILPOINTS_ENABLED
+
+#define KM_FAILPOINT(name) ((void)0)
+#define KM_FAILPOINT_CTX(name, ctx) ((void)(ctx))
+#define KM_FAILPOINT_VISIT(name, ctx, payload) ((void)(ctx), (void)(payload))
+
+#endif  // KM_FAILPOINTS_ENABLED
+
+#endif  // KM_COMMON_FAILPOINT_H_

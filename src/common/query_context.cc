@@ -1,0 +1,129 @@
+#include "common/query_context.h"
+
+#include <limits>
+
+#include "common/strings.h"
+
+namespace km {
+
+const char* QueryStageName(QueryStage stage) {
+  switch (stage) {
+    case QueryStage::kTokenize: return "tokenize";
+    case QueryStage::kWeights: return "weights";
+    case QueryStage::kForward: return "forward";
+    case QueryStage::kBackward: return "backward";
+    case QueryStage::kCombine: return "combine";
+    case QueryStage::kExecute: return "execute";
+  }
+  return "unknown";
+}
+
+const char* ResultQualityName(ResultQuality quality) {
+  switch (quality) {
+    case ResultQuality::kComplete: return "complete";
+    case ResultQuality::kDegraded: return "degraded";
+    case ResultQuality::kPartial: return "partial";
+    case ResultQuality::kDeadlineExceeded: return "deadline_exceeded";
+  }
+  return "unknown";
+}
+
+QueryContext::QueryContext(QueryLimits limits)
+    : limits_(limits), start_(Clock::now()) {
+  if (limits_.deadline_ms > 0) {
+    has_deadline_ = true;
+    deadline_ = start_ + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double, std::milli>(
+                                 limits_.deadline_ms));
+  }
+}
+
+bool QueryContext::BudgetEmpty(QueryStage stage) const {
+  uint64_t cap = 0;
+  switch (stage) {
+    case QueryStage::kForward: cap = limits_.max_forward_work; break;
+    case QueryStage::kBackward: cap = limits_.max_backward_work; break;
+    case QueryStage::kExecute: cap = limits_.max_execute_work; break;
+    default: return false;  // the cheap stages carry no work budget
+  }
+  return cap > 0 && spend_[static_cast<size_t>(stage)] >= cap;
+}
+
+bool QueryContext::Recheck() {
+  if (exhausted_) return true;
+  if (cancel_requested()) {
+    exhausted_ = true;
+    return true;
+  }
+  if (has_deadline_ && Clock::now() >= deadline_) {
+    exhausted_ = true;
+    deadline_hit_ = true;
+    return true;
+  }
+  return false;
+}
+
+bool QueryContext::CheckPoint(QueryStage stage, uint64_t work) {
+  spend_[static_cast<size_t>(stage)] += work;
+  if (exhausted_) return true;
+  if (BudgetEmpty(stage)) {
+    exhausted_ = true;
+    work_budget_hit_ = true;
+    return true;
+  }
+  // Amortize the clock read; cancellation is a relaxed atomic load and is
+  // cheap enough to observe on the same stride.
+  if (++ticks_ % kPollStride != 0) return false;
+  return Recheck();
+}
+
+bool QueryContext::Exhausted() const {
+  if (exhausted_) return true;
+  if (cancel_requested()) return true;
+  return has_deadline_ && Clock::now() >= deadline_;
+}
+
+void QueryContext::ForceExpire() {
+  exhausted_ = true;
+  deadline_hit_ = true;
+}
+
+Status QueryContext::ExhaustionStatus() const {
+  if (cancel_requested()) return Status::Cancelled("query cancelled by caller");
+  if (deadline_hit_ || (has_deadline_ && Clock::now() >= deadline_)) {
+    return Status::DeadlineExceeded("query deadline of " +
+                                    StrFormat("%.3f", limits_.deadline_ms) +
+                                    " ms exceeded");
+  }
+  if (work_budget_hit_) {
+    return Status::ResourceExhausted("query work budget exhausted");
+  }
+  return Status::OK();
+}
+
+double QueryContext::ElapsedMillis() const {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+}
+
+double QueryContext::RemainingMillis() const {
+  if (!has_deadline_) return std::numeric_limits<double>::infinity();
+  double rem =
+      std::chrono::duration<double, std::milli>(deadline_ - Clock::now()).count();
+  return rem > 0 ? rem : 0.0;
+}
+
+std::string QueryContext::SpendReport() const {
+  std::string out = "elapsed=" + StrFormat("%.3f", ElapsedMillis()) + "ms";
+  for (size_t s = 0; s < kNumQueryStages; ++s) {
+    if (spend_[s] == 0) continue;
+    out += " ";
+    out += QueryStageName(static_cast<QueryStage>(s));
+    out += "=" + std::to_string(spend_[s]);
+  }
+  if (deadline_hit_) out += " deadline_hit";
+  if (work_budget_hit_) out += " budget_hit";
+  if (cancel_requested()) out += " cancelled";
+  return out;
+}
+
+}  // namespace km

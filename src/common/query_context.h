@@ -1,0 +1,173 @@
+// Per-query resource governance: deadlines, work budgets and cooperative
+// cancellation.
+//
+// KEYMANTIC's two combinatorial stages — Murty top-k assignment enumeration
+// in the forward step and DPBF group Steiner search in the backward step —
+// have worst-case costs that explode with keyword count and terminology
+// size. A QueryContext bounds one query by wall clock (steady_clock
+// deadline) and by work (per-stage operation counters), and carries a
+// cancellation token another thread may set. Long-running loops poll the
+// context through CheckPoint(), which is amortized: it bumps a counter on
+// every call but only reads the clock every kPollStride calls, so polling
+// inside hot loops costs roughly one increment and one branch.
+//
+// Exhaustion is *sticky* and *cooperative*: once the deadline passes, a
+// budget empties or a cancel is requested, CheckPoint()/Exhausted() return
+// true forever and each stage is expected to wind down, returning whatever
+// it has found so far. Nothing is killed; the degradation ladder in the
+// engine (see core/keymantic.h) decides what a useful partial answer is.
+
+#ifndef KM_COMMON_QUERY_CONTEXT_H_
+#define KM_COMMON_QUERY_CONTEXT_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace km {
+
+/// Pipeline stages for per-stage budget accounting and spend reporting.
+enum class QueryStage : uint8_t {
+  kTokenize = 0,  ///< query text → keywords
+  kWeights = 1,   ///< intrinsic weight matrix construction
+  kForward = 2,   ///< configuration discovery (Murty / Hungarian / HMM)
+  kBackward = 3,  ///< interpretation discovery (Steiner search)
+  kCombine = 4,   ///< score combination, translation, ranking
+  kExecute = 5,   ///< SPJ execution (join loops)
+};
+inline constexpr size_t kNumQueryStages = 6;
+
+/// Stable lower-case stage name ("forward", "backward", ...).
+const char* QueryStageName(QueryStage stage);
+
+/// Resource limits of one query. Zero means unlimited for every field, so
+/// a default-constructed QueryLimits never interferes.
+struct QueryLimits {
+  /// Wall-clock budget in milliseconds, measured from QueryContext
+  /// construction (steady clock; immune to system-time jumps).
+  double deadline_ms = 0;
+  /// Murty-loop budget: assignment subproblems solved in the forward step.
+  uint64_t max_forward_work = 0;
+  /// DPBF budget: priority-queue pops in the backward Steiner search.
+  uint64_t max_backward_work = 0;
+  /// Executor budget: intermediate rows materialized by the join loops.
+  uint64_t max_execute_work = 0;
+
+  static QueryLimits Unlimited() { return {}; }
+};
+
+/// One query's deadline, budgets, cancellation token and spend counters.
+/// Created per query by the caller and threaded (as a nullable pointer)
+/// through every pipeline stage. Not copyable; the same object must be
+/// observed by all stages so that spend accumulates in one place.
+///
+/// Thread model: one query thread mutates counters via CheckPoint();
+/// RequestCancel() may be called from any thread.
+class QueryContext {
+ public:
+  QueryContext() : QueryContext(QueryLimits::Unlimited()) {}
+  explicit QueryContext(QueryLimits limits);
+
+  QueryContext(const QueryContext&) = delete;
+  QueryContext& operator=(const QueryContext&) = delete;
+
+  /// Requests cooperative cancellation (safe from any thread). The next
+  /// CheckPoint()/Exhausted() observes it.
+  void RequestCancel() { cancel_requested_.store(true, std::memory_order_relaxed); }
+
+  bool cancel_requested() const {
+    return cancel_requested_.load(std::memory_order_relaxed);
+  }
+
+  /// Records `work` units against `stage` and returns true when the query
+  /// should stop expanding (deadline passed, a budget empty, or cancelled).
+  /// Amortized: the clock is read only every kPollStride calls, so this is
+  /// safe to call once per loop iteration on hot paths.
+  bool CheckPoint(QueryStage stage, uint64_t work = 1);
+
+  /// Non-amortized exhaustion test (reads the clock). Use at stage
+  /// boundaries; prefer CheckPoint() inside loops.
+  bool Exhausted() const;
+
+  /// Forces immediate exhaustion, as if the deadline had just passed.
+  /// Used by the stage-timeout failpoints and by callers that want to turn
+  /// an external signal into a deadline event.
+  void ForceExpire();
+
+  /// True once the wall-clock deadline has been observed exhausted.
+  bool deadline_hit() const { return deadline_hit_; }
+  /// True once some work budget has been observed exhausted.
+  bool work_budget_hit() const { return work_budget_hit_; }
+
+  /// The Status a stage should propagate when it cannot even degrade:
+  /// kCancelled, kDeadlineExceeded or kResourceExhausted. OK when not
+  /// exhausted.
+  Status ExhaustionStatus() const;
+
+  /// Work units recorded against a stage so far.
+  uint64_t Spend(QueryStage stage) const {
+    return spend_[static_cast<size_t>(stage)];
+  }
+
+  /// Milliseconds elapsed since construction.
+  double ElapsedMillis() const;
+
+  /// Remaining wall-clock budget in milliseconds (infinity when no
+  /// deadline is set, never negative).
+  double RemainingMillis() const;
+
+  const QueryLimits& limits() const { return limits_; }
+
+  /// One-line spend report: "elapsed=12.3ms forward=450 backward=2048 ...".
+  std::string SpendReport() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  // Poll the clock once per this many CheckPoint() calls.
+  static constexpr uint64_t kPollStride = 64;
+
+  bool BudgetEmpty(QueryStage stage) const;
+  // Slow path: reads the clock, updates sticky flags.
+  bool Recheck();
+
+  QueryLimits limits_;
+  Clock::time_point start_;
+  Clock::time_point deadline_;  // start_ + deadline_ms (when set)
+  bool has_deadline_ = false;
+
+  std::array<uint64_t, kNumQueryStages> spend_{};
+  uint64_t ticks_ = 0;
+
+  // Sticky exhaustion state (single-writer: the query thread).
+  bool exhausted_ = false;
+  bool deadline_hit_ = false;
+  bool work_budget_hit_ = false;
+  std::atomic<bool> cancel_requested_{false};
+};
+
+/// Fidelity of an answer produced under resource governance, ordered by
+/// increasing severity. Anything above kComplete means the degradation
+/// ladder was engaged; the result is still ranked and usable.
+enum class ResultQuality : uint8_t {
+  kComplete = 0,          ///< full pipeline ran within budget
+  kDegraded = 1,          ///< a cheaper fallback algorithm substituted a stage
+  kPartial = 2,           ///< candidate enumeration was cut short
+  kDeadlineExceeded = 3,  ///< the wall-clock deadline expired; best-effort floor
+};
+
+/// Stable name of a ResultQuality value ("complete", "degraded", ...).
+const char* ResultQualityName(ResultQuality quality);
+
+/// max(a, b) under the severity order above.
+inline ResultQuality WorseQuality(ResultQuality a, ResultQuality b) {
+  return static_cast<uint8_t>(a) >= static_cast<uint8_t>(b) ? a : b;
+}
+
+}  // namespace km
+
+#endif  // KM_COMMON_QUERY_CONTEXT_H_

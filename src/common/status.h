@@ -25,6 +25,9 @@ enum class StatusCode {
   kOutOfRange = 5,        ///< Index or parameter outside the valid range.
   kInternal = 6,          ///< Invariant violation inside the library.
   kUnimplemented = 7,     ///< Feature intentionally not supported.
+  kDeadlineExceeded = 8,  ///< Wall-clock deadline expired before completion.
+  kResourceExhausted = 9, ///< Work budget (or simulated allocation) exhausted.
+  kCancelled = 10,        ///< Cooperatively cancelled by the caller.
 };
 
 /// Human-readable name of a status code ("OK", "InvalidArgument", ...).
@@ -68,6 +71,15 @@ class [[nodiscard]] Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   /// True iff the status carries no error.

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 
 namespace km {
@@ -112,6 +113,46 @@ bool IsAllDigits(std::string_view s) {
   if (s.empty()) return false;
   for (char c : s) {
     if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+bool IsValidUtf8(std::string_view s) {
+  size_t i = 0;
+  const size_t n = s.size();
+  while (i < n) {
+    unsigned char c = static_cast<unsigned char>(s[i]);
+    if (c < 0x80) {
+      ++i;
+      continue;
+    }
+    size_t len;
+    uint32_t cp;
+    if ((c & 0xE0) == 0xC0) {
+      len = 2;
+      cp = c & 0x1Fu;
+    } else if ((c & 0xF0) == 0xE0) {
+      len = 3;
+      cp = c & 0x0Fu;
+    } else if ((c & 0xF8) == 0xF0) {
+      len = 4;
+      cp = c & 0x07u;
+    } else {
+      return false;  // stray continuation byte or invalid lead byte
+    }
+    if (i + len > n) return false;  // truncated sequence
+    for (size_t j = 1; j < len; ++j) {
+      unsigned char cont = static_cast<unsigned char>(s[i + j]);
+      if ((cont & 0xC0) != 0x80) return false;
+      cp = (cp << 6) | (cont & 0x3Fu);
+    }
+    // Overlong encodings, UTF-16 surrogates, out-of-range code points.
+    if (len == 2 && cp < 0x80) return false;
+    if (len == 3 && cp < 0x800) return false;
+    if (len == 4 && cp < 0x10000) return false;
+    if (cp >= 0xD800 && cp <= 0xDFFF) return false;
+    if (cp > 0x10FFFF) return false;
+    i += len;
   }
   return true;
 }

@@ -43,6 +43,11 @@ std::vector<std::string> SplitIdentifierWords(std::string_view ident);
 /// True iff every character of `s` is an ASCII digit (and s is non-empty).
 bool IsAllDigits(std::string_view s);
 
+/// True iff `s` is well-formed UTF-8 (ASCII included). Rejects truncated
+/// sequences, overlong encodings, surrogates and code points above U+10FFFF
+/// — the checks needed to keep hostile query bytes out of the pipeline.
+bool IsValidUtf8(std::string_view s);
+
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 

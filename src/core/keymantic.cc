@@ -7,6 +7,7 @@
 
 #include "analysis/invariants.h"
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "common/strings.h"
 #include "core/translate.h"
 #include "dst/dst.h"
@@ -37,9 +38,9 @@ KeymanticEngine::KeymanticEngine(const Database& db, EngineOptions options)
   // The graph is immutable from here on (MI only rescales FK weights), so
   // one structural validation at construction covers the engine lifetime.
   KM_DCHECK_OK(ValidateSchemaGraph(graph_, db.schema()));
-  if (options_.backward_mode == BackwardMode::kSummary) {
-    summary_ = std::make_unique<SummaryGraph>(graph_);
-  }
+  // The summary graph is built unconditionally: even in kFullGraph mode it
+  // is the middle rung of the backward degradation ladder.
+  summary_ = std::make_unique<SummaryGraph>(graph_);
   weights_ = std::make_unique<WeightMatrixBuilder>(terminology_, &db_,
                                                    options_.weights);
   generator_ = std::make_unique<ConfigurationGenerator>(terminology_, db_.schema(),
@@ -76,17 +77,37 @@ std::vector<KeymanticEngine::KeywordMatch> KeymanticEngine::ExplainKeyword(
 
 StatusOr<std::vector<Explanation>> KeymanticEngine::Search(const std::string& query,
                                                            size_t k) const {
+  KM_ASSIGN_OR_RETURN(AnswerResult result, Answer(query, k, nullptr));
+  return std::move(result.explanations);
+}
+
+StatusOr<std::vector<Explanation>> KeymanticEngine::SearchKeywords(
+    const std::vector<std::string>& keywords, size_t k) const {
+  KM_ASSIGN_OR_RETURN(AnswerResult result, AnswerKeywords(keywords, k, nullptr));
+  return std::move(result.explanations);
+}
+
+StatusOr<AnswerResult> KeymanticEngine::Answer(const std::string& query, size_t k,
+                                               QueryContext* ctx) const {
+  KM_FAILPOINT_CTX("engine.tokenize.fail", ctx);
+  KM_RETURN_IF_ERROR(ValidateQueryText(query));
   std::vector<std::string> keywords = Tokenize(query, tokenizer_options_);
-  if (keywords.empty()) {
-    return Status::InvalidArgument("query contains no keywords");
+  if (ctx != nullptr) {
+    (void)ctx->CheckPoint(QueryStage::kTokenize, keywords.size() + 1);
   }
-  return SearchKeywords(keywords, k);
+  KM_ENSURE_ARG(!keywords.empty(),
+                "query contains no keywords (only stopwords or punctuation)");
+  return AnswerKeywords(keywords, k, ctx);
 }
 
 StatusOr<std::vector<Configuration>> KeymanticEngine::HmmConfigurations(
-    const std::vector<std::string>& keywords, size_t k, const Hmm& hmm) const {
-  Matrix sim = weights_->Build(keywords);
+    const std::vector<std::string>& keywords, size_t k, const Hmm& hmm,
+    QueryContext* ctx) const {
+  Matrix sim = weights_->Build(keywords, ctx);
   KM_DCHECK_OK(ValidateWeightMatrix(sim, keywords.size(), terminology_.size()));
+  // ListViterbi cannot be interrupted midway; when the budget is already
+  // gone, return no paths and let the forward ladder pick the cheap rung.
+  if (ctx != nullptr && ctx->Exhausted()) return std::vector<Configuration>{};
   Matrix emission = EmissionFromSimilarity(sim);
   KM_ASSIGN_OR_RETURN(std::vector<HmmPath> paths,
                       hmm.ListViterbi(emission, k, /*distinct_states=*/true));
@@ -104,7 +125,7 @@ StatusOr<std::vector<Configuration>> KeymanticEngine::HmmConfigurations(
 StatusOr<std::vector<Configuration>> KeymanticEngine::Configurations(
     const std::vector<std::string>& keywords, size_t k) const {
   KM_ASSIGN_OR_RETURN(std::vector<Configuration> configs,
-                      ConfigurationsImpl(keywords, k));
+                      ConfigurationsImpl(keywords, k, nullptr, nullptr));
   // Every forward implementation must emit total injective mappings.
   for (const Configuration& c : configs) {
     KM_DCHECK_OK(ValidateConfiguration(c, keywords.size(), terminology_));
@@ -113,22 +134,47 @@ StatusOr<std::vector<Configuration>> KeymanticEngine::Configurations(
 }
 
 StatusOr<std::vector<Configuration>> KeymanticEngine::ConfigurationsImpl(
-    const std::vector<std::string>& keywords, size_t k) const {
+    const std::vector<std::string>& keywords, size_t k, QueryContext* ctx,
+    bool* degraded) const {
+  // The matching-based rung. Generate() carries its own internal ladder
+  // (Murty top-k → Hungarian optimum → greedy); its report says whether
+  // any of those fallbacks fired.
+  auto hungarian = [&](bool* fell) -> StatusOr<std::vector<Configuration>> {
+    ForwardReport report;
+    auto configs = generator_->Generate(keywords, k, ctx, &report);
+    if (configs.ok() && report.degraded() && fell != nullptr) *fell = true;
+    return configs;
+  };
   switch (options_.forward_mode) {
     case ForwardMode::kHungarian:
-      return generator_->Generate(keywords, k);
+      return hungarian(degraded);
     case ForwardMode::kHmmApriori:
-      return HmmConfigurations(keywords, k, apriori_hmm_);
     case ForwardMode::kHmmTrained: {
-      const Hmm& hmm = trained_hmm_ != nullptr ? *trained_hmm_ : apriori_hmm_;
-      return HmmConfigurations(keywords, k, hmm);
+      const Hmm& hmm =
+          options_.forward_mode == ForwardMode::kHmmTrained && trained_hmm_ != nullptr
+              ? *trained_hmm_
+              : apriori_hmm_;
+      auto paths = HmmConfigurations(keywords, k, hmm, ctx);
+      if (paths.ok() && !paths->empty()) return paths;
+      // Without a budget the caller wants the HMM result as-is, error
+      // included; with one, exhaustion or failure drops to the bounded
+      // Hungarian-optimum rung so a ranked answer still comes back.
+      if (ctx == nullptr) return paths;
+      if (degraded != nullptr) *degraded = true;
+      return hungarian(nullptr);
     }
     case ForwardMode::kCombinedDst: {
-      KM_ASSIGN_OR_RETURN(std::vector<Configuration> hung,
-                          generator_->Generate(keywords, k));
+      KM_ASSIGN_OR_RETURN(std::vector<Configuration> hung, hungarian(degraded));
       const Hmm& hmm = trained_hmm_ != nullptr ? *trained_hmm_ : apriori_hmm_;
+      StatusOr<std::vector<Configuration>> hmm_paths =
+          HmmConfigurations(keywords, k, hmm, ctx);
+      if (ctx != nullptr && (!hmm_paths.ok() || hmm_paths->empty())) {
+        // DST needs both evidence sources; degrade to Hungarian-only.
+        if (degraded != nullptr) *degraded = true;
+        return hung;
+      }
       KM_ASSIGN_OR_RETURN(std::vector<Configuration> hmm_configs,
-                          HmmConfigurations(keywords, k, hmm));
+                          std::move(hmm_paths));
       // Universe: union of both lists, keyed by the term vector.
       std::vector<Configuration> universe;
       auto id_of = [&universe](const Configuration& c) -> size_t {
@@ -158,6 +204,17 @@ StatusOr<std::vector<Configuration>> KeymanticEngine::ConfigurationsImpl(
   return Status::Internal("unknown forward mode");
 }
 
+std::vector<Interpretation> KeymanticEngine::FinishInterpretations(
+    std::vector<Interpretation> trees) const {
+  // Every search rung must emit connected join trees over the full graph
+  // (the summary path expands its relation-level trees before returning).
+  for (const Interpretation& tree : trees) {
+    KM_DCHECK_OK(ValidateInterpretation(tree, graph_));
+  }
+  RankInterpretations(&trees);
+  return trees;
+}
+
 StatusOr<std::vector<Interpretation>> KeymanticEngine::Interpretations(
     const Configuration& config, size_t k) const {
   std::vector<size_t> terminals = TerminalsOfConfiguration(config);
@@ -169,41 +226,93 @@ StatusOr<std::vector<Interpretation>> KeymanticEngine::Interpretations(
   } else {
     KM_ASSIGN_OR_RETURN(trees, TopKSteinerTrees(graph_, terminals, opts));
   }
-  // Both search paths must emit connected join trees over the full graph
-  // (the summary path expands its relation-level trees before returning).
-  for (const Interpretation& tree : trees) {
-    KM_DCHECK_OK(ValidateInterpretation(tree, graph_));
+  return FinishInterpretations(std::move(trees));
+}
+
+StatusOr<std::vector<Interpretation>> KeymanticEngine::InterpretationsLadder(
+    const Configuration& config, size_t k, QueryContext* ctx,
+    bool* degraded) const {
+  std::vector<size_t> terminals = TerminalsOfConfiguration(config);
+  SteinerOptions opts = options_.steiner;
+  opts.k = k;
+  opts.ctx = ctx;
+  const bool prefer_full = options_.backward_mode == BackwardMode::kFullGraph;
+
+  // Rung 1: the configured search. A budget cut inside DPBF surfaces as an
+  // empty (or error) result, not a partial ranking, so anything non-empty
+  // here is trustworthy.
+  if (prefer_full) {
+    auto trees = TopKSteinerTrees(graph_, terminals, opts);
+    if (trees.ok() && !trees->empty()) return FinishInterpretations(std::move(*trees));
   }
-  RankInterpretations(&trees);
-  return trees;
+  // Rung 2: the relation-level summary graph — an order of magnitude fewer
+  // states, so it often finishes on the remaining budget.
+  if (summary_ != nullptr) {
+    auto trees = summary_->TopKTrees(terminals, opts);
+    if (trees.ok() && !trees->empty()) {
+      if (prefer_full && degraded != nullptr) *degraded = true;
+      return FinishInterpretations(std::move(*trees));
+    }
+  }
+  // Rung 3 (floor): shortest-path join trees. Polynomial and budget-free —
+  // it runs to completion even on an expired deadline, so a connected
+  // configuration always yields at least one interpretation.
+  auto trees = ShortestPathTrees(graph_, terminals, k);
+  if (!trees.ok()) return trees.status();
+  if (trees->empty()) {
+    return Status::NotFound("keyword images are not connected in the schema graph");
+  }
+  if (degraded != nullptr) *degraded = true;
+  return FinishInterpretations(std::move(*trees));
 }
 
 StatusOr<SpjQuery> KeymanticEngine::Translate(
     const std::vector<std::string>& keywords, const Configuration& config,
     const Interpretation& interpretation) const {
+  KM_FAILPOINT("engine.translate.fail");
   return TranslateToSql(keywords, config, interpretation, terminology_,
                         db_.schema(), graph_);
 }
 
-StatusOr<std::vector<Explanation>> KeymanticEngine::SearchKeywords(
-    const std::vector<std::string>& keywords, size_t k) const {
-  if (keywords.empty()) {
-    return Status::InvalidArgument("keyword query is empty");
+StatusOr<AnswerResult> KeymanticEngine::AnswerKeywords(
+    const std::vector<std::string>& keywords, size_t k, QueryContext* ctx) const {
+  KM_ENSURE_ARG(!keywords.empty(), "keyword query is empty");
+  KM_ENSURE_ARG(keywords.size() <= kMaxQueryKeywords,
+                "keyword query exceeds the keyword limit");
+  for (const std::string& kw : keywords) {
+    KM_ENSURE_ARG(!kw.empty(), "keyword query contains an empty keyword");
+    KM_ENSURE_ARG(IsValidUtf8(kw), "keyword is not valid UTF-8");
   }
-  KM_ASSIGN_OR_RETURN(std::vector<Configuration> configs,
-                      Configurations(keywords, options_.config_k));
+  AnswerResult result;
+  AnswerStats& stats = result.stats;
+
+  KM_ASSIGN_OR_RETURN(
+      std::vector<Configuration> configs,
+      ConfigurationsImpl(keywords, options_.config_k, ctx, &stats.forward_degraded));
+  for (const Configuration& c : configs) {
+    KM_DCHECK_OK(ValidateConfiguration(c, keywords.size(), terminology_));
+  }
   if (configs.empty()) {
     return Status::NotFound("no configuration found for the query");
   }
 
-  // Candidate (configuration, interpretation) pairs.
+  // Candidate (configuration, interpretation) pairs. On an exhausted
+  // budget the loop stops growing the candidate set — but only after the
+  // first (best-ranked) configuration has been expanded, so an answer
+  // always survives even a zero deadline.
   struct Candidate {
     size_t config_index;
     Interpretation interp;
   };
   std::vector<Candidate> candidates;
   for (size_t ci = 0; ci < configs.size(); ++ci) {
-    auto interps = Interpretations(configs[ci], options_.interp_per_config);
+    if (ci > 0 && ctx != nullptr && ctx->Exhausted()) {
+      stats.candidates_truncated = true;
+      break;
+    }
+    auto interps =
+        InterpretationsLadder(configs[ci], options_.interp_per_config, ctx,
+                              &stats.backward_degraded);
     if (!interps.ok()) continue;  // disconnected images: orphan configuration
     for (Interpretation& interp : *interps) {
       candidates.push_back({ci, std::move(interp)});
@@ -309,12 +418,25 @@ StatusOr<std::vector<Explanation>> KeymanticEngine::SearchKeywords(
     by_signature[sig] = results.size();
     results.push_back(std::move(ex));
   }
+  if (results.empty()) {
+    return Status::NotFound("no candidate could be translated to SQL");
+  }
 
   if (options_.penalize_empty_results) {
-    Executor exec(db_);
-    for (Explanation& ex : results) {
-      auto count = exec.Count(ex.sql);
-      if (count.ok() && *count == 0) ex.score *= 0.25;
+    // Result probing is the most expensive stage and purely a re-ranking
+    // refinement, so it is the first thing dropped under an expired budget.
+    if (ctx != nullptr && ctx->Exhausted()) {
+      stats.execution_truncated = true;
+    } else {
+      Executor exec(db_);
+      for (Explanation& ex : results) {
+        if (ctx != nullptr && ctx->Exhausted()) {
+          stats.execution_truncated = true;
+          break;
+        }
+        auto count = exec.Count(ex.sql, ctx);
+        if (count.ok() && *count == 0) ex.score *= 0.25;
+      }
     }
   }
 
@@ -323,7 +445,32 @@ StatusOr<std::vector<Explanation>> KeymanticEngine::SearchKeywords(
                      return a.score > b.score;
                    });
   if (results.size() > k) results.resize(k);
-  return results;
+  result.explanations = std::move(results);
+
+  // Quality: the worst thing that happened anywhere in the pipeline.
+  ResultQuality q = ResultQuality::kComplete;
+  if (stats.forward_degraded || stats.backward_degraded ||
+      stats.execution_truncated) {
+    q = WorseQuality(q, ResultQuality::kDegraded);
+  }
+  if (stats.candidates_truncated) q = WorseQuality(q, ResultQuality::kPartial);
+  if (ctx != nullptr) {
+    // Exhausted() reads the clock directly: a deadline that expired between
+    // amortized polls is still reported. Work-budget exhaustion means the
+    // answer is merely a subset; an expired deadline (or a cancel) taints
+    // the whole run.
+    if (ctx->Exhausted()) {
+      q = WorseQuality(q, ctx->work_budget_hit()
+                              ? ResultQuality::kPartial
+                              : ResultQuality::kDeadlineExceeded);
+    }
+    for (size_t s = 0; s < kNumQueryStages; ++s) {
+      stats.stage_spend[s] = ctx->Spend(static_cast<QueryStage>(s));
+    }
+    stats.elapsed_ms = ctx->ElapsedMillis();
+  }
+  result.quality = q;
+  return result;
 }
 
 }  // namespace km

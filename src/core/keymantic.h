@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/query_context.h"
 #include "common/status.h"
 #include "engine/query.h"
 #include "graph/interpretation.h"
@@ -97,6 +98,38 @@ struct Explanation {
                        const Terminology& terminology) const;
 };
 
+/// Per-stage work spend and degradation record of one Answer() call.
+struct AnswerStats {
+  /// Work units spent per pipeline stage, indexed by QueryStage. Filled
+  /// from the QueryContext; all zero when the caller passed none.
+  uint64_t stage_spend[kNumQueryStages] = {};
+  /// Wall-clock time since the QueryContext was created (0 without one).
+  double elapsed_ms = 0.0;
+  /// The forward step fell down its ladder (Murty top-k → single Hungarian
+  /// optimum, or HMM → Hungarian) or had its candidate list cut short.
+  bool forward_degraded = false;
+  /// The backward step fell down its ladder (full-graph DPBF → summary
+  /// graph → shortest-path join trees).
+  bool backward_degraded = false;
+  /// Not every configuration was expanded into interpretations.
+  bool candidates_truncated = false;
+  /// Empty-result probing (penalize_empty_results) was skipped or cut.
+  bool execution_truncated = false;
+};
+
+/// Everything Answer() returns: the ranked explanations, how trustworthy
+/// the ranking is, and where the budget went.
+struct AnswerResult {
+  std::vector<Explanation> explanations;
+  /// kComplete: every stage ran its preferred algorithm to completion.
+  /// kDegraded: some stage used a fallback rung; ranking is approximate.
+  /// kPartial: some candidates were never evaluated; results are a subset.
+  /// kDeadlineExceeded: the deadline expired (or the query was cancelled)
+  /// while producing these results.
+  ResultQuality quality = ResultQuality::kComplete;
+  AnswerStats stats;
+};
+
 /// The end-to-end engine.
 class KeymanticEngine {
  public:
@@ -106,8 +139,24 @@ class KeymanticEngine {
   /// use_mi_weights = false) for the deep-web scenario.
   KeymanticEngine(const Database& db, EngineOptions options = {});
 
+  /// Answers a raw keyword query under an optional per-query budget.
+  ///
+  /// Input is validated first (non-empty, valid UTF-8, balanced quotes,
+  /// at most kMaxQueryKeywords keywords) — hostile input yields
+  /// InvalidArgument, never an abort. With a QueryContext, exhaustion is
+  /// absorbed by the degradation ladder: the engine falls back to cheaper
+  /// algorithms stage by stage and returns a ranked (possibly partial)
+  /// result tagged with its ResultQuality instead of an error.
+  StatusOr<AnswerResult> Answer(const std::string& query, size_t k,
+                                QueryContext* ctx = nullptr) const;
+
+  /// Answer() for a pre-tokenized keyword query.
+  StatusOr<AnswerResult> AnswerKeywords(const std::vector<std::string>& keywords,
+                                        size_t k, QueryContext* ctx = nullptr) const;
+
   /// Answers a raw keyword query: tokenizes and delegates to
-  /// SearchKeywords.
+  /// SearchKeywords. Equivalent to Answer() without a budget, keeping only
+  /// the explanations.
   StatusOr<std::vector<Explanation>> Search(const std::string& query, size_t k) const;
 
   /// Answers a pre-tokenized keyword query.
@@ -153,12 +202,27 @@ class KeymanticEngine {
 
  private:
   /// Forward-mode dispatch behind Configurations(), which wraps the result
-  /// in debug-build invariant validation.
+  /// in debug-build invariant validation. With a QueryContext the forward
+  /// ladder applies: exhaustion (or an HMM failure) falls back to the
+  /// bounded Hungarian-optimum rung, setting *degraded, instead of erroring.
   StatusOr<std::vector<Configuration>> ConfigurationsImpl(
-      const std::vector<std::string>& keywords, size_t k) const;
+      const std::vector<std::string>& keywords, size_t k, QueryContext* ctx,
+      bool* degraded) const;
 
   StatusOr<std::vector<Configuration>> HmmConfigurations(
-      const std::vector<std::string>& keywords, size_t k, const Hmm& hmm) const;
+      const std::vector<std::string>& keywords, size_t k, const Hmm& hmm,
+      QueryContext* ctx) const;
+
+  /// Backward ladder: preferred search (per backward_mode) first, then the
+  /// summary graph, then shortest-path join trees (polynomial, budget-free)
+  /// as the floor. Sets *degraded when a fallback rung produced the trees.
+  StatusOr<std::vector<Interpretation>> InterpretationsLadder(
+      const Configuration& config, size_t k, QueryContext* ctx,
+      bool* degraded) const;
+
+  /// Validates (debug), ranks, and returns the trees of one search rung.
+  std::vector<Interpretation> FinishInterpretations(
+      std::vector<Interpretation> trees) const;
 
   const Database& db_;
   EngineOptions options_;

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/failpoint.h"
 #include "common/strings.h"
 
 namespace km {
@@ -88,18 +89,21 @@ Intermediate ScanRelation(const Table& table,
 
 }  // namespace
 
-StatusOr<ResultSet> Executor::Execute(const SpjQuery& query) const {
-  return ExecuteInternal(query, /*project=*/true);
+StatusOr<ResultSet> Executor::Execute(const SpjQuery& query,
+                                      QueryContext* ctx) const {
+  return ExecuteInternal(query, /*project=*/true, ctx);
 }
 
-StatusOr<size_t> Executor::Count(const SpjQuery& query) const {
-  auto rs = ExecuteInternal(query, /*project=*/false);
+StatusOr<size_t> Executor::Count(const SpjQuery& query, QueryContext* ctx) const {
+  auto rs = ExecuteInternal(query, /*project=*/false, ctx);
   if (!rs.ok()) return rs.status();
   return rs->rows.size();
 }
 
 StatusOr<ResultSet> Executor::ExecuteInternal(const SpjQuery& query,
-                                              bool project) const {
+                                              bool project,
+                                              QueryContext* ctx) const {
+  KM_FAILPOINT("executor.join.fail");
   if (query.relations.empty()) {
     return Status::InvalidArgument("query has no relations");
   }
@@ -161,6 +165,22 @@ StatusOr<ResultSet> Executor::ExecuteInternal(const SpjQuery& query,
   joined.insert(start);
   std::vector<bool> used(query.joins.size(), false);
 
+  // Budget observation: one unit per intermediate row emitted. When the
+  // budget runs out the *current* join stops growing its intermediate; the
+  // remaining joins still run to completion over that bounded intermediate
+  // (exhaustion is sticky, so cutting them too would empty the result).
+  // Every returned row is thus a genuine result row — a subset of the full
+  // result, flagged truncated.
+  bool truncated = false;
+  auto out_of_budget = [&]() {
+    if (truncated) return false;  // already cut once; finish what remains
+    if (ctx != nullptr && ctx->CheckPoint(QueryStage::kExecute)) {
+      truncated = true;
+      return true;
+    }
+    return false;
+  };
+
   while (joined.size() < query.relations.size()) {
     // Find the unused join edge with exactly one side joined whose fresh
     // relation has the smallest filtered scan.
@@ -196,8 +216,11 @@ StatusOr<ResultSet> Executor::ExecuteInternal(const SpjQuery& query,
       next.header = acc.header;
       next.header.insert(next.header.end(), side.header.begin(), side.header.end());
       next.rows.reserve(acc.rows.size() * side.rows.size());
+      bool cut = false;
       for (const Row& a : acc.rows) {
+        if (cut) break;
         for (const Row& b : side.rows) {
+          if ((cut = out_of_budget())) break;
           Row merged = a;
           merged.insert(merged.end(), b.begin(), b.end());
           next.rows.push_back(std::move(merged));
@@ -229,12 +252,15 @@ StatusOr<ResultSet> Executor::ExecuteInternal(const SpjQuery& query,
     Intermediate next;
     next.header = acc.header;
     next.header.insert(next.header.end(), side.header.begin(), side.header.end());
+    bool cut = false;
     for (const Row& a : acc.rows) {
+      if (cut) break;
       const Value& key = a[*acc_col];
       if (key.is_null()) continue;
       auto it = hash.find(key);
       if (it == hash.end()) continue;
       for (size_t i : it->second) {
+        if ((cut = out_of_budget())) break;
         Row merged = a;
         merged.insert(merged.end(), side.rows[i].begin(), side.rows[i].end());
         next.rows.push_back(std::move(merged));
@@ -262,6 +288,7 @@ StatusOr<ResultSet> Executor::ExecuteInternal(const SpjQuery& query,
   }
 
   ResultSet result;
+  result.truncated = truncated;
   if (!project || query.select.empty()) {
     result.header = std::move(acc.header);
     result.rows = std::move(acc.rows);

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/query_context.h"
 #include "common/status.h"
 #include "engine/query.h"
 #include "relational/database.h"
@@ -22,6 +23,9 @@ namespace km {
 struct ResultSet {
   std::vector<AttributeRef> header;
   std::vector<Row> rows;
+  /// True when a QueryContext budget stopped execution early: `rows` holds
+  /// a correct subset of the full result, not all of it.
+  bool truncated = false;
 
   size_t size() const { return rows.size(); }
   bool empty() const { return rows.empty(); }
@@ -42,15 +46,21 @@ class Executor {
  public:
   explicit Executor(const Database& db) : db_(db) {}
 
-  /// Runs the query and materializes the full result.
-  StatusOr<ResultSet> Execute(const SpjQuery& query) const;
+  /// Runs the query and materializes the full result. `ctx` (optional) is
+  /// polled inside every join loop (one unit per intermediate row); on
+  /// exhaustion the result built so far is returned with `truncated` set.
+  StatusOr<ResultSet> Execute(const SpjQuery& query,
+                              QueryContext* ctx = nullptr) const;
 
   /// Runs the query and returns only the result cardinality (still executes
-  /// fully, but avoids materializing projections).
-  StatusOr<size_t> Count(const SpjQuery& query) const;
+  /// fully, but avoids materializing projections). Under an exhausted
+  /// budget the count is a lower bound (the truncation is not visible in a
+  /// bare size_t — use Execute() when the distinction matters).
+  StatusOr<size_t> Count(const SpjQuery& query, QueryContext* ctx = nullptr) const;
 
  private:
-  StatusOr<ResultSet> ExecuteInternal(const SpjQuery& query, bool project) const;
+  StatusOr<ResultSet> ExecuteInternal(const SpjQuery& query, bool project,
+                                      QueryContext* ctx) const;
 
   const Database& db_;
 };

@@ -5,6 +5,7 @@
 #include <set>
 #include <unordered_set>
 
+#include "common/failpoint.h"
 #include "common/strings.h"
 
 namespace km {
@@ -150,6 +151,7 @@ bool BuildTree(const SchemaGraph& graph, const std::vector<size_t>& terminals,
 StatusOr<std::vector<Interpretation>> TopKSteinerTrees(
     const SchemaGraph& graph, const std::vector<size_t>& terminals,
     const SteinerOptions& options) {
+  KM_FAILPOINT("backward.steiner.node_missing");
   if (terminals.empty()) {
     return Status::InvalidArgument("terminal set is empty");
   }
@@ -193,6 +195,13 @@ StatusOr<std::vector<Interpretation>> TopKSteinerTrees(
   size_t pops = 0;
 
   while (!pq.empty() && results.size() < options.k && pops < options.max_pops) {
+    // Budget observation: one unit per DP expansion. On exhaustion the
+    // trees materialized so far are returned; the engine's ladder decides
+    // whether they suffice or a cheaper search must take over.
+    if (options.ctx != nullptr && options.ctx->CheckPoint(QueryStage::kBackward)) {
+      break;
+    }
+    KM_FAILPOINT_VISIT("backward.steiner.timeout", options.ctx, nullptr);
     Candidate cand = pq.top();
     pq.pop();
     ++pops;

@@ -6,6 +6,8 @@
 #include <set>
 #include <unordered_set>
 
+#include "common/failpoint.h"
+
 namespace km {
 
 SummaryGraph::SummaryGraph(const SchemaGraph& full) : full_(&full) {
@@ -82,6 +84,7 @@ bool AddTermChain(const SchemaGraph& g, size_t term_index, std::set<size_t>* edg
 
 StatusOr<std::vector<Interpretation>> SummaryGraph::TopKTrees(
     const std::vector<size_t>& terminals, const SteinerOptions& options) const {
+  KM_FAILPOINT("backward.summary.fail");
   if (terminals.empty()) {
     return Status::InvalidArgument("terminal set is empty");
   }
@@ -153,6 +156,11 @@ StatusOr<std::vector<Interpretation>> SummaryGraph::TopKTrees(
       };
 
   while (!pq.empty() && rel_trees.size() < options.k && pops < options.max_pops) {
+    // Same budget observation as the full-graph DPBF; the summary search
+    // is an order of magnitude smaller but still exponential in terminals.
+    if (options.ctx != nullptr && options.ctx->CheckPoint(QueryStage::kBackward)) {
+      break;
+    }
     Candidate cand = pq.top();
     pq.pop();
     ++pops;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "matching/munkres.h"
 #include "matching/murty.h"
 
@@ -18,7 +19,8 @@ ConfigurationGenerator::ConfigurationGenerator(const Terminology& terminology,
       options_(options) {}
 
 StatusOr<std::vector<Configuration>> ConfigurationGenerator::Generate(
-    const std::vector<std::string>& keywords, size_t k) const {
+    const std::vector<std::string>& keywords, size_t k, QueryContext* ctx,
+    ForwardReport* report) const {
   if (keywords.empty()) {
     return Status::InvalidArgument("keyword query is empty");
   }
@@ -26,12 +28,33 @@ StatusOr<std::vector<Configuration>> ConfigurationGenerator::Generate(
     return Status::InvalidArgument(
         "more keywords than database terms; no injective configuration exists");
   }
-  Matrix intrinsic = weights_.Build(keywords);
-  return GenerateFromMatrix(intrinsic, k);
+  Matrix intrinsic = weights_.Build(keywords, ctx);
+  return GenerateFromMatrix(intrinsic, k, ctx, report);
+}
+
+StatusOr<Configuration> ConfigurationGenerator::HungarianOptimum(
+    const Matrix& intrinsic) const {
+  KM_ASSIGN_OR_RETURN(Assignment sol, MaxWeightAssignment(intrinsic));
+  if (!sol.complete()) {
+    return Status::FailedPrecondition("no complete assignment exists");
+  }
+  Configuration c;
+  c.term_for_keyword.reserve(sol.col_for_row.size());
+  for (int col : sol.col_for_row) {
+    c.term_for_keyword.push_back(static_cast<size_t>(col));
+  }
+  c.score = options_.mode == ConfigGenMode::kIntrinsicOnly
+                ? sol.total_weight
+                : contextualizer_.ScoreSequence(intrinsic, c.term_for_keyword);
+  KM_DCHECK(c.IsInjective());
+  return c;
 }
 
 StatusOr<std::vector<Configuration>> ConfigurationGenerator::GenerateFromMatrix(
-    const Matrix& intrinsic, size_t k) const {
+    const Matrix& intrinsic, size_t k, QueryContext* ctx,
+    ForwardReport* report) const {
+  ForwardReport local_report;
+  if (report == nullptr) report = &local_report;
   if (k == 0) return std::vector<Configuration>{};
 
   const size_t pool =
@@ -39,8 +62,29 @@ StatusOr<std::vector<Configuration>> ConfigurationGenerator::GenerateFromMatrix(
           ? k
           : std::max(k, options_.candidate_pool);
 
-  KM_ASSIGN_OR_RETURN(std::vector<Assignment> candidates,
-                      TopKAssignments(intrinsic, pool));
+  auto enumerated = TopKAssignments(intrinsic, pool, ctx);
+  std::vector<Assignment> candidates;
+  if (enumerated.ok()) {
+    report->truncated = enumerated->truncated;
+    report->budget_exhausted = enumerated->budget_exhausted;
+    candidates = std::move(enumerated->assignments);
+  }
+  if (candidates.empty()) {
+    // Forward floor: Murty found nothing (infeasible, failed, or stopped
+    // before its first solution) — fall back to the single optimum, which
+    // is one bounded Hungarian solve and runs even past the deadline.
+    auto floor = HungarianOptimum(intrinsic);
+    if (!floor.ok()) {
+      // Genuinely infeasible (or the matrix itself is bad): report the
+      // original enumeration error when there was one.
+      return enumerated.ok() ? std::vector<Configuration>{}
+                             : StatusOr<std::vector<Configuration>>(
+                                   enumerated.status());
+    }
+    report->fell_back = true;
+    report->truncated = k > 1;
+    return std::vector<Configuration>{std::move(*floor)};
+  }
 
   std::vector<Configuration> configs;
   configs.reserve(candidates.size());
@@ -67,12 +111,27 @@ StatusOr<std::vector<Configuration>> ConfigurationGenerator::GenerateFromMatrix(
     return configs;
   }
 
-  // Contextual re-ranking: score every candidate sequentially.
-  for (Configuration& c : configs) {
-    c.score = contextualizer_.ScoreSequence(intrinsic, c.term_for_keyword);
-  }
+  KM_FAILPOINT("forward.rerank.fail");
 
-  if (options_.mode == ConfigGenMode::kGreedyExtended) {
+  // Contextual re-ranking: score every candidate sequentially. The first
+  // candidate is always scored (so a budget-starved query still gets one
+  // comparable configuration); when the budget runs out mid-pool the
+  // remaining candidates are dropped — their intrinsic scores live on a
+  // different scale and must not be mixed into the ranking.
+  size_t scored = 0;
+  for (Configuration& c : configs) {
+    if (scored > 0 && ctx != nullptr &&
+        ctx->CheckPoint(QueryStage::kForward)) {
+      report->rerank_cut = true;
+      break;
+    }
+    c.score = contextualizer_.ScoreSequence(intrinsic, c.term_for_keyword);
+    ++scored;
+  }
+  if (report->rerank_cut) configs.resize(scored);
+
+  if (options_.mode == ConfigGenMode::kGreedyExtended &&
+      (ctx == nullptr || !ctx->Exhausted())) {
     auto greedy = GreedyExtended(intrinsic);
     if (greedy.ok()) {
       // Put the greedy solution first if it is not already in the pool.
@@ -83,6 +142,8 @@ StatusOr<std::vector<Configuration>> ConfigurationGenerator::GenerateFromMatrix(
         it->score = std::max(it->score, greedy->score);
       }
     }
+  } else if (options_.mode == ConfigGenMode::kGreedyExtended) {
+    report->rerank_cut = true;  // greedy extension skipped under budget
   }
 
   std::stable_sort(configs.begin(), configs.end(),

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/query_context.h"
 #include "common/status.h"
 #include "metadata/configuration.h"
 #include "metadata/contextualize.h"
@@ -47,6 +48,26 @@ struct ConfigGenOptions {
   ContextualizeOptions contextualize;
 };
 
+/// How a Generate() call fared under its budget: which rungs of the
+/// forward degradation ladder were engaged, if any.
+struct ForwardReport {
+  /// Fewer candidates were enumerated than requested.
+  bool truncated = false;
+  /// The QueryContext deadline/budget stopped the Murty enumeration.
+  bool budget_exhausted = false;
+  /// Murty produced nothing (budget or failure) and the single Hungarian
+  /// optimum was substituted — the ladder's forward floor.
+  bool fell_back = false;
+  /// Contextual re-ranking (or the greedy extension) was skipped or cut
+  /// short for part of the pool; affected candidates were dropped to keep
+  /// scores comparable.
+  bool rerank_cut = false;
+
+  bool degraded() const {
+    return truncated || budget_exhausted || fell_back || rerank_cut;
+  }
+};
+
 /// Generates ranked configurations for keyword queries.
 class ConfigurationGenerator {
  public:
@@ -55,19 +76,29 @@ class ConfigurationGenerator {
                          ConfigGenOptions options = {});
 
   /// Top-k configurations for `keywords`, best first. Scores are the
-  /// (contextualized) total assignment weights.
+  /// (contextualized) total assignment weights. `ctx` (optional) bounds
+  /// the enumeration: on exhaustion the generator degrades — first to the
+  /// candidates found so far, then to the single Hungarian optimum — and
+  /// records what happened in `report` (optional).
   StatusOr<std::vector<Configuration>> Generate(
-      const std::vector<std::string>& keywords, size_t k) const;
+      const std::vector<std::string>& keywords, size_t k,
+      QueryContext* ctx = nullptr, ForwardReport* report = nullptr) const;
 
   /// Same, starting from a prebuilt intrinsic matrix (used by tests, the
   /// HMM comparison and the benchmarks).
-  StatusOr<std::vector<Configuration>> GenerateFromMatrix(const Matrix& intrinsic,
-                                                          size_t k) const;
+  StatusOr<std::vector<Configuration>> GenerateFromMatrix(
+      const Matrix& intrinsic, size_t k, QueryContext* ctx = nullptr,
+      ForwardReport* report = nullptr) const;
 
   const ConfigGenOptions& options() const { return options_; }
 
  private:
   StatusOr<Configuration> GreedyExtended(const Matrix& intrinsic) const;
+
+  /// Forward floor: the single optimum assignment, contextually scored.
+  /// Cheap (one Hungarian solve) and run even past the deadline so a
+  /// budget-starved query still gets its best configuration.
+  StatusOr<Configuration> HungarianOptimum(const Matrix& intrinsic) const;
 
   const Terminology& terminology_;
   const WeightMatrixBuilder& weights_;

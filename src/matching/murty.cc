@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 
 namespace km {
 
@@ -47,19 +48,27 @@ Matrix ApplyConstraints(const Matrix& base, const Node& node) {
 
 }  // namespace
 
-StatusOr<std::vector<Assignment>> TopKAssignments(const Matrix& weights, size_t k) {
-  std::vector<Assignment> results;
-  if (k == 0) return results;
+StatusOr<AssignmentList> TopKAssignments(const Matrix& weights, size_t k,
+                                         QueryContext* ctx) {
+  AssignmentList out;
+  if (k == 0) return out;
+
+  KM_FAILPOINT("forward.murty.alloc");
 
   Node root;
   root.forced.assign(weights.rows(), -1);
   {
     auto sol = MaxWeightAssignment(weights);
     if (!sol.ok()) return sol.status();
-    if (!sol->complete()) return results;  // no complete assignment at all
+    if (!sol->complete()) {
+      // No complete assignment at all: an empty (fully truncated) list.
+      out.truncated = true;
+      return out;
+    }
     root.solution = std::move(*sol);
   }
 
+  std::vector<Assignment>& results = out.assignments;
   std::priority_queue<Node> queue;
   queue.push(std::move(root));
   // Deduplicate assignments (different constraint sets can yield the same
@@ -67,6 +76,17 @@ StatusOr<std::vector<Assignment>> TopKAssignments(const Matrix& weights, size_t 
   std::set<std::vector<int>> seen;
 
   while (!queue.empty() && results.size() < k) {
+    // Each iteration solves O(rows) assignment subproblems; charge the
+    // forward budget one unit per popped node and stop — keeping what was
+    // already enumerated — when the budget or deadline runs out. The root
+    // optimum is exempt: it is already solved, so even a spent budget
+    // returns at least the single best assignment.
+    if (ctx != nullptr && ctx->CheckPoint(QueryStage::kForward) &&
+        !results.empty()) {
+      out.budget_exhausted = true;
+      break;
+    }
+    KM_FAILPOINT_CTX("forward.murty.timeout", ctx);
     Node best = queue.top();
     queue.pop();
     if (!seen.insert(best.solution.col_for_row).second) continue;
@@ -94,6 +114,7 @@ StatusOr<std::vector<Assignment>> TopKAssignments(const Matrix& weights, size_t 
       child_base.forced[r] = col;
     }
   }
+  out.truncated = out.budget_exhausted || results.size() < k;
   // Murty's partitioning pops solutions best-first, so the emitted list
   // must be non-increasing in total weight — up to rounding: tied solutions
   // sum the same weights in different orders and can differ by a few ulps.
@@ -106,7 +127,7 @@ StatusOr<std::vector<Assignment>> TopKAssignments(const Matrix& weights, size_t 
     }
     return true;
   }());
-  return results;
+  return out;
 }
 
 }  // namespace km

@@ -12,14 +12,38 @@
 #include <vector>
 
 #include "common/matrix.h"
+#include "common/query_context.h"
 #include "common/status.h"
 #include "matching/munkres.h"
 
 namespace km {
 
-/// Returns up to `k` complete assignments in non-increasing total-weight
-/// order. Fewer are returned when fewer complete assignments exist.
-StatusOr<std::vector<Assignment>> TopKAssignments(const Matrix& weights, size_t k);
+/// Result of a top-k assignment enumeration. Running out of feasible
+/// assignments (or out of budget) is not an error: the list holds whatever
+/// was enumerated, flagged so callers can tell a full answer from a cut.
+struct AssignmentList {
+  /// Complete assignments in non-increasing total-weight order.
+  std::vector<Assignment> assignments;
+  /// True when fewer than the requested k feasible assignments exist.
+  bool truncated = false;
+  /// True when the QueryContext budget/deadline stopped the enumeration
+  /// early (implies truncated).
+  bool budget_exhausted = false;
+
+  /// Container conveniences: the list reads like the vector it wraps.
+  size_t size() const { return assignments.size(); }
+  bool empty() const { return assignments.empty(); }
+  const Assignment& operator[](size_t i) const { return assignments[i]; }
+  std::vector<Assignment>::const_iterator begin() const { return assignments.begin(); }
+  std::vector<Assignment>::const_iterator end() const { return assignments.end(); }
+};
+
+/// Enumerates up to `k` complete assignments, best first. `ctx` (optional)
+/// is polled once per Murty subproblem; on exhaustion the assignments found
+/// so far are returned with budget_exhausted set. The optimal assignment is
+/// always included when one exists, even under an already-spent budget.
+StatusOr<AssignmentList> TopKAssignments(const Matrix& weights, size_t k,
+                                         QueryContext* ctx = nullptr);
 
 }  // namespace km
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "common/strings.h"
 #include "text/recognizers.h"
 #include "text/stemmer.h"
@@ -41,12 +42,16 @@ WeightMatrixBuilder::WeightMatrixBuilder(const Terminology& terminology,
   }
 }
 
-Matrix WeightMatrixBuilder::Build(const std::vector<std::string>& keywords) const {
+Matrix WeightMatrixBuilder::Build(const std::vector<std::string>& keywords,
+                                  QueryContext* ctx) const {
   Matrix w(keywords.size(), terminology_.size());
   for (size_t r = 0; r < keywords.size(); ++r) {
     for (size_t c = 0; c < terminology_.size(); ++c) {
       w.At(r, c) = Weight(keywords[r], terminology_.term(c));
     }
+    // Account one unit per keyword row. The build is never cut short: it
+    // is polynomial work and every forward fallback still needs the matrix.
+    if (ctx != nullptr) ctx->CheckPoint(QueryStage::kWeights);
   }
   // Downstream scoring (SW/VW → Hungarian, HMM emissions) requires finite,
   // non-negative intrinsic weights in [0, 1].
@@ -59,6 +64,22 @@ Matrix WeightMatrixBuilder::Build(const std::vector<std::string>& keywords) cons
     }
     return true;
   }());
+  // Fault-injection seam: a scripted callback may corrupt the matrix here
+  // (NaN, negative, oversized cells) to prove the sanitizer below holds
+  // the line.
+  KM_FAILPOINT_VISIT("weights.build.corrupt", ctx, &w);
+  // Sanitize: the assignment and HMM stages assume weights in [0, 1];
+  // clamp anything a corrupted similarity (or failpoint) produced.
+  for (size_t r = 0; r < w.rows(); ++r) {
+    for (size_t c = 0; c < w.cols(); ++c) {
+      double& v = w.At(r, c);
+      if (!std::isfinite(v) || v < 0.0) {
+        v = 0.0;
+      } else if (v > 1.0) {
+        v = 1.0;
+      }
+    }
+  }
   return w;
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/matrix.h"
+#include "common/query_context.h"
 #include "metadata/term.h"
 #include "relational/database.h"
 #include "text/thesaurus.h"
@@ -62,8 +63,14 @@ class WeightMatrixBuilder {
   WeightMatrixBuilder(const Terminology& terminology, const Database* db,
                       WeightOptions options = {});
 
-  /// The m × |T| intrinsic weight matrix for `keywords`.
-  Matrix Build(const std::vector<std::string>& keywords) const;
+  /// The m × |T| intrinsic weight matrix for `keywords`. `ctx` (optional)
+  /// records the m·|T| cell computations as weights-stage spend; the build
+  /// always runs to completion (it is polynomial and every degradation
+  /// rung below it still needs the matrix), and the result is sanitized:
+  /// non-finite or out-of-range cells are clamped into [0, 1] so one
+  /// corrupted similarity cannot poison the assignment stage.
+  Matrix Build(const std::vector<std::string>& keywords,
+               QueryContext* ctx = nullptr) const;
 
   /// Weight of a single keyword against a single term (exposed for tests
   /// and for HMM emission probabilities).

@@ -28,6 +28,23 @@ std::string TrimPunct(const std::string& w) {
 
 }  // namespace
 
+Status ValidateQueryText(const std::string& query) {
+  if (Trim(query).empty()) {
+    return Status::InvalidArgument("query text is empty");
+  }
+  if (!IsValidUtf8(query)) {
+    return Status::InvalidArgument("query text is not valid UTF-8");
+  }
+  size_t quotes = 0;
+  for (char c : query) {
+    if (c == '"') ++quotes;
+  }
+  if (quotes % 2 != 0) {
+    return Status::InvalidArgument("query text has an unterminated quote");
+  }
+  return Status::OK();
+}
+
 std::string NormalizePhraseKey(const std::string& phrase) {
   std::vector<std::string> words = SplitWhitespace(phrase);
   std::vector<std::string> trimmed;

@@ -37,6 +37,17 @@ struct TokenizerOptions {
 /// "search it"), so lookups built from trimmed query tokens match.
 std::string NormalizePhraseKey(const std::string& phrase);
 
+/// Keyword-count cap enforced at the engine's public entry points: both
+/// combinatorial stages are exponential-ish in keyword count, so a hostile
+/// thousand-keyword query must be rejected up front, not attempted.
+inline constexpr size_t kMaxQueryKeywords = 64;
+
+/// Validates raw query text before tokenization. Rejects with
+/// InvalidArgument: empty/whitespace-only text, non-UTF-8 bytes, and an
+/// unterminated double quote. Never aborts — hostile input is the caller's
+/// prerogative, an error Status is ours.
+Status ValidateQueryText(const std::string& query);
+
 /// Splits a raw query string into keywords.
 ///
 /// Rules: double-quoted spans are single keywords verbatim; outside quotes,
@@ -44,6 +55,10 @@ std::string NormalizePhraseKey(const std::string& phrase);
 /// adjacent words found in `phrase_vocabulary` fold into one keyword;
 /// stopwords are dropped (unless quoted). The original character case is
 /// preserved (recognizers use it as a signal).
+///
+/// Tokenize itself is total (any byte string yields some token list);
+/// engine entry points call ValidateQueryText first so malformed input is
+/// rejected rather than guessed at.
 std::vector<std::string> Tokenize(const std::string& query,
                                   const TokenizerOptions& options = {});
 

@@ -168,6 +168,9 @@ TEST(MurtyTest, EnumeratesAllPermutationsInOrder) {
   ASSERT_EQ(top->size(), 2u);  // only two complete assignments exist
   EXPECT_DOUBLE_EQ((*top)[0].total_weight, 9.0);
   EXPECT_DOUBLE_EQ((*top)[1].total_weight, 3.0);
+  // k exceeded the feasible count: not an error, just a flagged short list.
+  EXPECT_TRUE(top->truncated);
+  EXPECT_FALSE(top->budget_exhausted);
 }
 
 TEST(MurtyTest, KZeroReturnsEmpty) {
@@ -182,6 +185,7 @@ TEST(MurtyTest, NoFeasibleAssignment) {
   auto top = TopKAssignments(w, 3);
   ASSERT_TRUE(top.ok());
   EXPECT_TRUE(top->empty());
+  EXPECT_TRUE(top->truncated);
 }
 
 TEST(MurtyTest, ResultsAreDistinct) {
@@ -191,6 +195,25 @@ TEST(MurtyTest, ResultsAreDistinct) {
   std::set<std::vector<int>> seen;
   for (const auto& a : *top) EXPECT_TRUE(seen.insert(a.col_for_row).second);
   EXPECT_EQ(top->size(), 24u);  // 4P3 = 24 injective assignments
+  EXPECT_FALSE(top->truncated);  // exactly k feasible assignments exist
+}
+
+TEST(MurtyTest, BudgetExhaustionReturnsPrefix) {
+  Matrix w(3, 3);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) w.At(r, c) = 1.0 + static_cast<double>(r + c);
+  }
+  QueryLimits limits;
+  limits.max_forward_work = 1;  // enough for the root solve only
+  QueryContext ctx(limits);
+  auto top = TopKAssignments(w, 6, &ctx);
+  ASSERT_TRUE(top.ok());
+  EXPECT_TRUE(top->budget_exhausted);
+  EXPECT_TRUE(top->truncated);
+  EXPECT_FALSE(top->empty());  // the best assignment still comes back
+  auto full = TopKAssignments(w, 6);
+  ASSERT_TRUE(full.ok());
+  EXPECT_DOUBLE_EQ((*top)[0].total_weight, (*full)[0].total_weight);
 }
 
 class MurtyPropertyTest : public ::testing::TestWithParam<uint64_t> {};

@@ -1,0 +1,412 @@
+// Resilience tests: deadlines, work budgets, cooperative cancellation, the
+// degradation ladder, hostile input, and the deterministic fault-injection
+// harness. The common assertion everywhere: the engine never aborts — it
+// either degrades to a ranked partial answer or returns a clean Status.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/matrix.h"
+#include "common/query_context.h"
+#include "core/keymantic.h"
+#include "datasets/university.h"
+#include "engine/executor.h"
+
+namespace km {
+namespace {
+
+class ResilienceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    UniversityOptions opts;
+    opts.extra_people = 20;
+    opts.extra_departments = 3;
+    opts.extra_universities = 2;
+    opts.extra_projects = 3;
+    auto db = BuildUniversityDatabase(opts);
+    ASSERT_TRUE(db.ok());
+    db_ = new Database(std::move(*db));
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  void TearDown() override { failpoints::Reset(); }
+
+  static KeymanticEngine MakeEngine(ForwardMode fw, BackwardMode bw) {
+    EngineOptions options;
+    options.forward_mode = fw;
+    options.backward_mode = bw;
+    return KeymanticEngine(*db_, options);
+  }
+
+  static Database* db_;
+};
+
+Database* ResilienceTest::db_ = nullptr;
+
+// ------------------------------------------------------------- deadlines
+
+// A query whose deadline expired before it even started must still return
+// a ranked, non-empty answer via the degradation floors — for every
+// forward/backward mode combination.
+TEST_F(ResilienceTest, ZeroDeadlineStillAnswersInEveryMode) {
+  const ForwardMode forward_modes[] = {ForwardMode::kHungarian,
+                                       ForwardMode::kHmmApriori,
+                                       ForwardMode::kHmmTrained,
+                                       ForwardMode::kCombinedDst};
+  const BackwardMode backward_modes[] = {BackwardMode::kFullGraph,
+                                         BackwardMode::kSummary};
+  for (ForwardMode fw : forward_modes) {
+    for (BackwardMode bw : backward_modes) {
+      KeymanticEngine engine = MakeEngine(fw, bw);
+      QueryLimits limits;
+      limits.deadline_ms = 0.0001;  // effectively already expired
+      QueryContext ctx(limits);
+      auto result = engine.Answer("Vokram IT", 5, &ctx);
+      std::string where = "forward=" + std::to_string(static_cast<int>(fw)) +
+                          " backward=" + std::to_string(static_cast<int>(bw));
+      ASSERT_TRUE(result.ok()) << where << ": " << result.status().ToString();
+      EXPECT_FALSE(result->explanations.empty()) << where;
+      EXPECT_NE(result->quality, ResultQuality::kComplete) << where;
+      // Bounded time: the floors are all polynomial — far below a second
+      // on this schema even under sanitizers.
+      EXPECT_LT(ctx.ElapsedMillis(), 10'000.0) << where;
+      // Ranked means non-increasing scores.
+      const auto& ex = result->explanations;
+      for (size_t i = 1; i < ex.size(); ++i) {
+        EXPECT_GE(ex[i - 1].score + 1e-12, ex[i].score) << where;
+      }
+    }
+  }
+}
+
+TEST_F(ResilienceTest, UnlimitedContextReportsComplete) {
+  KeymanticEngine engine = MakeEngine(ForwardMode::kHungarian,
+                                      BackwardMode::kFullGraph);
+  QueryContext ctx;  // no deadline, no budgets
+  auto result = engine.Answer("Vokram IT", 5, &ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->explanations.empty());
+  EXPECT_EQ(result->quality, ResultQuality::kComplete);
+  // Spend was recorded for the combinatorial stages.
+  EXPECT_GT(result->stats.stage_spend[static_cast<size_t>(QueryStage::kForward)],
+            0u);
+  EXPECT_GT(result->stats.stage_spend[static_cast<size_t>(QueryStage::kBackward)],
+            0u);
+}
+
+TEST_F(ResilienceTest, AnswerMatchesSearchWithoutBudget) {
+  KeymanticEngine engine = MakeEngine(ForwardMode::kHungarian,
+                                      BackwardMode::kFullGraph);
+  auto via_answer = engine.Answer("Vokram IT", 5);
+  auto via_search = engine.Search("Vokram IT", 5);
+  ASSERT_TRUE(via_answer.ok());
+  ASSERT_TRUE(via_search.ok());
+  ASSERT_EQ(via_answer->explanations.size(), via_search->size());
+  for (size_t i = 0; i < via_search->size(); ++i) {
+    EXPECT_EQ(via_answer->explanations[i].sql.CanonicalSignature(),
+              (*via_search)[i].sql.CanonicalSignature());
+  }
+  EXPECT_EQ(via_answer->quality, ResultQuality::kComplete);
+}
+
+TEST_F(ResilienceTest, WorkBudgetYieldsPartialNotError) {
+  KeymanticEngine engine = MakeEngine(ForwardMode::kHungarian,
+                                      BackwardMode::kFullGraph);
+  QueryLimits limits;
+  limits.max_forward_work = 2;
+  limits.max_backward_work = 2;
+  QueryContext ctx(limits);
+  auto result = engine.Answer("Vokram IT", 5, &ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->explanations.empty());
+  EXPECT_NE(result->quality, ResultQuality::kComplete);
+  EXPECT_TRUE(ctx.work_budget_hit());
+}
+
+TEST_F(ResilienceTest, CancellationIsObservedAndTagged) {
+  KeymanticEngine engine = MakeEngine(ForwardMode::kHungarian,
+                                      BackwardMode::kFullGraph);
+  QueryContext ctx;
+  ctx.RequestCancel();  // cancelled before the query even starts
+  auto result = engine.Answer("Vokram IT", 5, &ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->explanations.empty());
+  EXPECT_EQ(result->quality, ResultQuality::kDeadlineExceeded);
+}
+
+// --------------------------------------------------------- hostile input
+
+TEST_F(ResilienceTest, EmptyQueryIsInvalidArgument) {
+  KeymanticEngine engine = MakeEngine(ForwardMode::kHungarian,
+                                      BackwardMode::kFullGraph);
+  for (const char* q : {"", "   ", "\t\n"}) {
+    auto result = engine.Answer(q, 5);
+    ASSERT_FALSE(result.ok()) << "query '" << q << "'";
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST_F(ResilienceTest, StopwordOnlyQueryIsInvalidArgument) {
+  KeymanticEngine engine = MakeEngine(ForwardMode::kHungarian,
+                                      BackwardMode::kFullGraph);
+  auto result = engine.Answer("the of and", 5);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ResilienceTest, UnterminatedQuoteIsInvalidArgument) {
+  KeymanticEngine engine = MakeEngine(ForwardMode::kHungarian,
+                                      BackwardMode::kFullGraph);
+  auto result = engine.Answer("\"Vokram IT", 5);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ResilienceTest, NonUtf8QueryIsInvalidArgument) {
+  KeymanticEngine engine = MakeEngine(ForwardMode::kHungarian,
+                                      BackwardMode::kFullGraph);
+  // Overlong encoding, stray continuation byte, truncated sequence.
+  for (const std::string& q :
+       {std::string("Vokram \xC0\xAF"), std::string("\x80 oops"),
+        std::string("tail \xE2\x82")}) {
+    auto result = engine.Answer(q, 5);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST_F(ResilienceTest, TooManyKeywordsIsInvalidArgument) {
+  KeymanticEngine engine = MakeEngine(ForwardMode::kHungarian,
+                                      BackwardMode::kFullGraph);
+  std::vector<std::string> keywords;
+  for (size_t i = 0; i < kMaxQueryKeywords + 1; ++i) {
+    keywords.push_back("kw" + std::to_string(i));
+  }
+  auto result = engine.AnswerKeywords(keywords, 5);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
+  // The same flood as raw text is rejected too (after tokenization).
+  std::string big;
+  for (const std::string& kw : keywords) big += kw + " ";
+  auto via_text = engine.Answer(big, 5);
+  ASSERT_FALSE(via_text.ok());
+  EXPECT_EQ(via_text.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ResilienceTest, EmptyOrMalformedKeywordsAreInvalidArgument) {
+  KeymanticEngine engine = MakeEngine(ForwardMode::kHungarian,
+                                      BackwardMode::kFullGraph);
+  auto with_empty = engine.AnswerKeywords({"Vokram", ""}, 5);
+  ASSERT_FALSE(with_empty.ok());
+  EXPECT_EQ(with_empty.status().code(), StatusCode::kInvalidArgument);
+
+  auto with_binary = engine.AnswerKeywords({"Vokram", "\xFF\xFE"}, 5);
+  ASSERT_FALSE(with_binary.ok());
+  EXPECT_EQ(with_binary.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ResilienceTest, ValidateQueryTextDirectly) {
+  EXPECT_TRUE(ValidateQueryText("Vokram \"IT dept\" 2012").ok());
+  EXPECT_FALSE(ValidateQueryText("").ok());
+  EXPECT_FALSE(ValidateQueryText("unbalanced \"quote").ok());
+  EXPECT_FALSE(ValidateQueryText("bad \xF5\x80\x80\x80 byte").ok());
+}
+
+// ------------------------------------------------------------ failpoints
+
+#define SKIP_WITHOUT_FAILPOINTS()                                      \
+  do {                                                                 \
+    if (!failpoints::Enabled()) {                                      \
+      GTEST_SKIP() << "failpoint sites compiled out (KM_FAILPOINTS)";  \
+    }                                                                  \
+  } while (0)
+
+TEST_F(ResilienceTest, TokenizeFailpointReturnsInjectedError) {
+  SKIP_WITHOUT_FAILPOINTS();
+  KeymanticEngine engine = MakeEngine(ForwardMode::kHungarian,
+                                      BackwardMode::kFullGraph);
+  failpoints::EnableError("engine.tokenize.fail",
+                          Status::Internal("injected tokenizer fault"));
+  auto result = engine.Answer("Vokram IT", 5);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_GE(failpoints::HitCount("engine.tokenize.fail"), 1u);
+}
+
+TEST_F(ResilienceTest, WeightCorruptionIsSanitizedAway) {
+  SKIP_WITHOUT_FAILPOINTS();
+  KeymanticEngine engine = MakeEngine(ForwardMode::kHungarian,
+                                      BackwardMode::kFullGraph);
+  failpoints::EnableCallback("weights.build.corrupt", [](void* payload) {
+    auto* m = static_cast<Matrix*>(payload);
+    if (m->rows() > 0 && m->cols() > 0) {
+      m->At(0, 0) = std::numeric_limits<double>::quiet_NaN();
+      if (m->cols() > 1) m->At(0, 1) = -7.0;
+    }
+  });
+  auto result = engine.Answer("Vokram IT", 5);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->explanations.empty());
+  EXPECT_GE(failpoints::HitCount("weights.build.corrupt"), 1u);
+}
+
+TEST_F(ResilienceTest, MurtyAllocFailureFallsToHungarianFloor) {
+  SKIP_WITHOUT_FAILPOINTS();
+  KeymanticEngine engine = MakeEngine(ForwardMode::kHungarian,
+                                      BackwardMode::kFullGraph);
+  failpoints::EnableError("forward.murty.alloc",
+                          Status::ResourceExhausted("injected alloc failure"));
+  auto result = engine.Answer("Vokram IT", 5);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->explanations.empty());
+  EXPECT_NE(result->quality, ResultQuality::kComplete);
+  EXPECT_TRUE(result->stats.forward_degraded);
+  EXPECT_GE(failpoints::HitCount("forward.murty.alloc"), 1u);
+}
+
+TEST_F(ResilienceTest, MurtyTimeoutExpiresContextAndDegrades) {
+  SKIP_WITHOUT_FAILPOINTS();
+  KeymanticEngine engine = MakeEngine(ForwardMode::kHungarian,
+                                      BackwardMode::kFullGraph);
+  failpoints::EnableExpire("forward.murty.timeout");
+  QueryContext ctx;
+  auto result = engine.Answer("Vokram IT", 5, &ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->explanations.empty());
+  EXPECT_NE(result->quality, ResultQuality::kComplete);
+  EXPECT_GE(failpoints::HitCount("forward.murty.timeout"), 1u);
+}
+
+TEST_F(ResilienceTest, RerankFailureSurfacesAsCleanError) {
+  SKIP_WITHOUT_FAILPOINTS();
+  KeymanticEngine engine = MakeEngine(ForwardMode::kHungarian,
+                                      BackwardMode::kFullGraph);
+  failpoints::EnableError("forward.rerank.fail",
+                          Status::Internal("injected rerank fault"));
+  auto result = engine.Answer("Vokram IT", 5);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_GE(failpoints::HitCount("forward.rerank.fail"), 1u);
+}
+
+TEST_F(ResilienceTest, SteinerFailureFallsToSummaryRung) {
+  SKIP_WITHOUT_FAILPOINTS();
+  KeymanticEngine engine = MakeEngine(ForwardMode::kHungarian,
+                                      BackwardMode::kFullGraph);
+  failpoints::EnableError("backward.steiner.node_missing",
+                          Status::Internal("injected node-missing fault"));
+  auto result = engine.Answer("Vokram IT", 5);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->explanations.empty());
+  EXPECT_NE(result->quality, ResultQuality::kComplete);
+  EXPECT_TRUE(result->stats.backward_degraded);
+  EXPECT_GE(failpoints::HitCount("backward.steiner.node_missing"), 1u);
+}
+
+TEST_F(ResilienceTest, SteinerTimeoutFallsDownTheLadder) {
+  SKIP_WITHOUT_FAILPOINTS();
+  KeymanticEngine engine = MakeEngine(ForwardMode::kHungarian,
+                                      BackwardMode::kFullGraph);
+  failpoints::EnableExpire("backward.steiner.timeout");
+  QueryContext ctx;
+  auto result = engine.Answer("Vokram IT", 5, &ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->explanations.empty());
+  EXPECT_NE(result->quality, ResultQuality::kComplete);
+  EXPECT_GE(failpoints::HitCount("backward.steiner.timeout"), 1u);
+}
+
+TEST_F(ResilienceTest, SummaryFailureFallsToShortestPathFloor) {
+  SKIP_WITHOUT_FAILPOINTS();
+  KeymanticEngine engine = MakeEngine(ForwardMode::kHungarian,
+                                      BackwardMode::kSummary);
+  failpoints::EnableError("backward.summary.fail",
+                          Status::Internal("injected summary fault"));
+  auto result = engine.Answer("Vokram IT", 5);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->explanations.empty());
+  EXPECT_NE(result->quality, ResultQuality::kComplete);
+  EXPECT_TRUE(result->stats.backward_degraded);
+  EXPECT_GE(failpoints::HitCount("backward.summary.fail"), 1u);
+}
+
+TEST_F(ResilienceTest, TranslateFailureSkipsOnlyTheFailedCandidate) {
+  SKIP_WITHOUT_FAILPOINTS();
+  KeymanticEngine engine = MakeEngine(ForwardMode::kHungarian,
+                                      BackwardMode::kFullGraph);
+  failpoints::Action action;
+  action.kind = failpoints::ActionKind::kError;
+  action.error = Status::Internal("injected translate fault");
+  action.limit = 1;  // only the first translation fails
+  failpoints::Enable("engine.translate.fail", action);
+  auto result = engine.Answer("Vokram IT", 5);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->explanations.empty());
+  EXPECT_GE(failpoints::HitCount("engine.translate.fail"), 1u);
+}
+
+TEST_F(ResilienceTest, TranslateFailureOnEveryCandidateIsCleanNotFound) {
+  SKIP_WITHOUT_FAILPOINTS();
+  KeymanticEngine engine = MakeEngine(ForwardMode::kHungarian,
+                                      BackwardMode::kFullGraph);
+  failpoints::EnableError("engine.translate.fail",
+                          Status::Internal("injected translate fault"));
+  auto result = engine.Answer("Vokram IT", 5);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ResilienceTest, ExecutorJoinFailureReturnsInjectedError) {
+  SKIP_WITHOUT_FAILPOINTS();
+  KeymanticEngine engine = MakeEngine(ForwardMode::kHungarian,
+                                      BackwardMode::kFullGraph);
+  auto answer = engine.Answer("Vokram IT", 1);
+  ASSERT_TRUE(answer.ok());
+  ASSERT_FALSE(answer->explanations.empty());
+  failpoints::EnableError("executor.join.fail",
+                          Status::Internal("injected join fault"));
+  Executor exec(*db_);
+  auto rs = exec.Execute(answer->explanations[0].sql);
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kInternal);
+  EXPECT_GE(failpoints::HitCount("executor.join.fail"), 1u);
+}
+
+// A single unarmed sweep through the pipeline must visit every canonical
+// failpoint site: the list in failpoint.cc and the KM_FAILPOINT sites in
+// the code cannot drift apart without this test noticing.
+TEST_F(ResilienceTest, EverySiteIsVisitedByTheUnarmedPipeline) {
+  SKIP_WITHOUT_FAILPOINTS();
+  failpoints::Reset();
+  {
+    KeymanticEngine engine = MakeEngine(ForwardMode::kHungarian,
+                                        BackwardMode::kFullGraph);
+    auto full = engine.Answer("Vokram IT", 5);
+    ASSERT_TRUE(full.ok());
+    ASSERT_FALSE(full->explanations.empty());
+    Executor exec(*db_);
+    ASSERT_TRUE(exec.Execute(full->explanations[0].sql).ok());
+  }
+  {
+    KeymanticEngine engine = MakeEngine(ForwardMode::kHungarian,
+                                        BackwardMode::kSummary);
+    ASSERT_TRUE(engine.Answer("Vokram IT", 5).ok());
+  }
+  std::vector<std::string> visited = failpoints::VisitedSites();
+  for (size_t i = 0; i < failpoints::kNumFailpointSites; ++i) {
+    const std::string site = failpoints::kFailpointSites[i];
+    EXPECT_NE(std::find(visited.begin(), visited.end(), site), visited.end())
+        << "site never visited: " << site;
+  }
+}
+
+}  // namespace
+}  // namespace km

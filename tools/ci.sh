@@ -1,18 +1,19 @@
 #!/usr/bin/env bash
 # Runs the three CI jobs locally (mirrors .github/workflows/ci.yml):
 #
-#   1. release  — Release build (warnings-as-errors) + full ctest suite
-#   2. sanitize — ASan+UBSan build + full ctest suite
-#   3. lint     — clang-tidy over src/ (skips cleanly when not installed)
+#   1. release    — Release build (warnings-as-errors) + full ctest suite
+#   2. sanitize   — ASan+UBSan build + full ctest suite
+#   3. failpoints — ASan build with KM_FAILPOINTS=ON + resilience suite
+#   4. lint       — clang-tidy over src/ (skips cleanly when not installed)
 #
-# Usage: tools/ci.sh [release|sanitize|lint]...   (default: all three)
+# Usage: tools/ci.sh [release|sanitize|failpoints|lint]...   (default: all)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS=("$@")
 if [[ ${#JOBS[@]} -eq 0 ]]; then
-  JOBS=(release sanitize lint)
+  JOBS=(release sanitize failpoints lint)
 fi
 
 run_release() {
@@ -29,6 +30,15 @@ run_sanitize() {
   ctest --preset asan -j "$(nproc)"
 }
 
+run_failpoints() {
+  echo "=== CI job: failpoints (ASan + KM_FAILPOINTS=ON) ==="
+  cmake --preset failpoints
+  cmake --build --preset failpoints -j "$(nproc)"
+  # The resilience suite exercises every compiled-in failpoint site; the
+  # matching/engine suites cover the budget plumbing they share.
+  ctest --preset failpoints -j "$(nproc)" -R "Resilience|Murty|Core"
+}
+
 run_lint() {
   echo "=== CI job: lint (clang-tidy) ==="
   tools/lint.sh
@@ -36,10 +46,11 @@ run_lint() {
 
 for job in "${JOBS[@]}"; do
   case "${job}" in
-    release)  run_release ;;
-    sanitize) run_sanitize ;;
-    lint)     run_lint ;;
-    *) echo "unknown CI job: ${job} (expected release|sanitize|lint)" >&2
+    release)    run_release ;;
+    sanitize)   run_sanitize ;;
+    failpoints) run_failpoints ;;
+    lint)       run_lint ;;
+    *) echo "unknown CI job: ${job} (expected release|sanitize|failpoints|lint)" >&2
        exit 2 ;;
   esac
 done

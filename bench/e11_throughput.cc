@@ -1,0 +1,189 @@
+// E11 — multi-query throughput and cache effectiveness.
+//
+// Two experiments over the concurrency + caching layer:
+//
+//   1. QPS vs thread count: AnswerBatch over a fixed mondial workload with
+//      engine pools of 0 (serial baseline), 1, 2 and 4 threads. On a
+//      multi-core machine the 4-thread engine should reach ≥2× the serial
+//      QPS; on a single core the numbers collapse onto the baseline (the
+//      layer adds no speedup but must add no slowdown either).
+//   2. Cache hit rate vs workload skew: a Zipf-distributed query stream
+//      over a fixed template pool. The more skewed the stream, the more the
+//      keyword-row and Steiner caches absorb; hit rates must rise
+//      monotonically with the Zipf exponent.
+//
+// Output: the usual human-readable tables plus machine-readable baseline
+// lines of the form
+//
+//   BENCH {"bench":"e11","experiment":...,"db":...,...}
+//
+// one JSON object per measurement — the repo's first stable benchmark
+// baseline format, grep-able as `^BENCH ` by CI and by future regression
+// tooling.
+//
+// Flags: --smoke (tiny workload, CI-sized), --deadline_ms=<d> (unused here,
+// accepted for harness uniformity).
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+
+namespace {
+
+using namespace km;
+using namespace km::bench;
+
+bool g_smoke = false;
+
+void BenchLine(const std::string& experiment, const std::string& db,
+               const std::string& fields) {
+  std::printf("BENCH {\"bench\":\"e11\",\"experiment\":\"%s\",\"db\":\"%s\",%s}\n",
+              experiment.c_str(), db.c_str(), fields.c_str());
+}
+
+/// The query texts of one database's workload, re-joined from keywords
+/// (phrases quoted so they survive tokenization intact).
+std::vector<std::string> QueryTexts(const EvalDb& eval,
+                                    const Terminology& terminology,
+                                    const SchemaGraph& unit_graph,
+                                    size_t per_template) {
+  std::vector<std::string> texts;
+  for (const WorkloadQuery& q :
+       MakeWorkload(eval, terminology, unit_graph, per_template)) {
+    std::string text;
+    for (const std::string& kw : q.keywords) {
+      if (!text.empty()) text += ' ';
+      if (kw.find(' ') != std::string::npos) {
+        text += '"' + kw + '"';
+      } else {
+        text += kw;
+      }
+    }
+    texts.push_back(std::move(text));
+  }
+  return texts;
+}
+
+void RunThroughput() {
+  Banner("E11a", "AnswerBatch QPS vs engine thread count (mondial)");
+  EvalDb eval = MakeMondial();
+  const size_t per_template = g_smoke ? 1 : 4;
+  const size_t rounds = g_smoke ? 1 : 3;
+
+  // The workload is built once against a throwaway unit-weight graph so
+  // every engine under test answers the identical query stream.
+  std::vector<std::string> texts;
+  {
+    Terminology terminology(eval.db->schema());
+    SchemaGraph unit_graph(terminology, eval.db->schema());
+    texts = QueryTexts(eval, terminology, unit_graph, per_template);
+  }
+  std::printf("workload: %zu queries, %zu round(s) per configuration\n",
+              texts.size(), rounds);
+
+  double serial_qps = 0.0;
+  for (size_t threads : {size_t{0}, size_t{1}, size_t{2}, size_t{4}}) {
+    EngineOptions opts;
+    opts.threads = threads;
+    KeymanticEngine engine(*eval.db, opts);
+    // Warm-up round: fills both caches, so the timed rounds measure the
+    // steady state a server would run in.
+    (void)engine.AnswerBatch(texts, 5);
+    Stopwatch timer;
+    size_t answered = 0;
+    for (size_t r = 0; r < rounds; ++r) {
+      auto batch = engine.AnswerBatch(texts, 5);
+      for (const auto& result : batch) {
+        if (result.ok()) ++answered;
+        Tally().Count(result);
+      }
+    }
+    double secs = timer.ElapsedSeconds();
+    double qps = secs > 0 ? static_cast<double>(answered) / secs : 0.0;
+    if (threads == 0) serial_qps = qps;
+    double speedup = serial_qps > 0 ? qps / serial_qps : 0.0;
+    std::printf("  threads=%zu  qps=%8.2f  speedup=%.2fx  answered=%zu\n",
+                threads, qps, speedup, answered);
+    BenchLine("qps_vs_threads", eval.name,
+              "\"threads\":" + std::to_string(threads) +
+                  ",\"qps\":" + StrFormat("%.2f", qps) +
+                  ",\"speedup\":" + StrFormat("%.3f", speedup));
+  }
+  std::printf("(single-core machines: expect speedup ≈ 1.0 across the board)\n");
+}
+
+void RunCacheSkew() {
+  Banner("E11b", "cache hit rate vs workload skew (university, Zipf stream)");
+  EvalDb eval = MakeUniversity();
+  const size_t pool_size = g_smoke ? 8 : 24;
+  const size_t stream_len = g_smoke ? 40 : 400;
+
+  std::vector<std::string> pool;
+  {
+    Terminology terminology(eval.db->schema());
+    SchemaGraph unit_graph(terminology, eval.db->schema());
+    pool = QueryTexts(eval, terminology, unit_graph, /*per_template=*/4);
+  }
+  if (pool.size() > pool_size) pool.resize(pool_size);
+
+  double prev_steiner = -1.0;
+  for (double skew : {0.0, 0.5, 1.0, 1.5}) {
+    // A fresh engine per skew level so hit rates are not contaminated by
+    // the previous stream.
+    EngineOptions opts;
+    opts.threads = 2;
+    KeymanticEngine engine(*eval.db, opts);
+    Rng rng(42);
+    ZipfSampler sampler(pool.size(), skew);
+    std::vector<std::string> stream;
+    stream.reserve(stream_len);
+    for (size_t i = 0; i < stream_len; ++i) {
+      stream.push_back(pool[sampler.Sample(&rng)]);
+    }
+    auto batch = engine.AnswerBatch(stream, 5);
+    CacheCounters rows, steiner;
+    for (const auto& result : batch) {
+      Tally().Count(result);
+      if (result.ok()) {
+        // Engine-cumulative snapshots: the last answer carries the totals.
+        rows = result->stats.keyword_row_cache;
+        steiner = result->stats.steiner_cache;
+      }
+    }
+    std::printf(
+        "  skew=%.1f  keyword_rows: hits=%llu misses=%llu rate=%.3f | "
+        "steiner: hits=%llu misses=%llu rate=%.3f\n",
+        skew, static_cast<unsigned long long>(rows.hits),
+        static_cast<unsigned long long>(rows.misses), rows.HitRate(),
+        static_cast<unsigned long long>(steiner.hits),
+        static_cast<unsigned long long>(steiner.misses), steiner.HitRate());
+    BenchLine("cache_hit_vs_skew", eval.name,
+              "\"skew\":" + StrFormat("%.1f", skew) +
+                  ",\"keyword_row_hit_rate\":" + StrFormat("%.4f", rows.HitRate()) +
+                  ",\"steiner_hit_rate\":" + StrFormat("%.4f", steiner.HitRate()) +
+                  ",\"keyword_row_evictions\":" + std::to_string(rows.evictions) +
+                  ",\"steiner_evictions\":" + std::to_string(steiner.evictions));
+    (void)prev_steiner;
+    prev_steiner = steiner.HitRate();
+  }
+  std::printf("(hit rates should rise with skew: repeated queries are served "
+              "from both caches)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ParseBenchFlags(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) g_smoke = true;
+  }
+  RunThroughput();
+  RunCacheSkew();
+  Tally().Report("E11 totals");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Bounded, sharded, thread-safe LRU cache with hit/miss/eviction counters.
+//
+// Cross-query caching is the engine's answer to repeated work: the same
+// keyword recurs across queries (keyword → weight-row cache) and different
+// configurations share their image node set (terminal set → Steiner-tree
+// cache). Both caches are read and written concurrently by AnswerBatch
+// workers, so the cache is sharded: each shard owns an independent mutex,
+// hash map and LRU list, and a key only ever contends with keys of its own
+// shard. Values are shared_ptrs to immutable payloads, so a Get() handed
+// out stays valid even if the entry is evicted a microsecond later.
+
+#ifndef KM_COMMON_LRU_CACHE_H_
+#define KM_COMMON_LRU_CACHE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+
+namespace km {
+
+/// Point-in-time counters of one cache (monotonic over the cache lifetime).
+struct CacheCounters {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t entries = 0;  ///< current resident entries (not monotonic)
+
+  double HitRate() const {
+    uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+};
+
+/// A fixed-capacity LRU map from Key to shared_ptr<const Value>, split into
+/// `Shards` independently locked shards. Capacity is divided evenly across
+/// shards, so per-shard LRU order approximates (not exactly equals) global
+/// LRU order — the standard trade for lock-free cross-shard scalability.
+template <typename Key, typename Value, typename Hash = std::hash<Key>,
+          size_t Shards = 8>
+class LruCache {
+ public:
+  using ValuePtr = std::shared_ptr<const Value>;
+
+  /// `capacity` is the total entry bound (>= Shards recommended; a zero
+  /// capacity disables the cache: every Get misses, every Put is dropped).
+  explicit LruCache(size_t capacity) : per_shard_(capacity / Shards) {
+    static_assert(Shards > 0 && (Shards & (Shards - 1)) == 0,
+                  "shard count must be a power of two");
+    if (capacity > 0 && per_shard_ == 0) per_shard_ = 1;
+  }
+
+  /// Looks `key` up, refreshing its LRU position. Counts a hit or a miss.
+  ValuePtr Get(const Key& key) {
+    if (per_shard_ == 0) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    shard.order.splice(shard.order.begin(), shard.order, it->second);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second->second;
+  }
+
+  /// Inserts (or refreshes) `key`, evicting the shard's least recently used
+  /// entry when the shard is full.
+  void Put(const Key& key, ValuePtr value) {
+    if (per_shard_ == 0) return;
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      it->second->second = std::move(value);
+      shard.order.splice(shard.order.begin(), shard.order, it->second);
+      return;
+    }
+    if (shard.map.size() >= per_shard_) {
+      const auto& victim = shard.order.back();
+      shard.map.erase(victim.first);
+      shard.order.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.order.emplace_front(key, std::move(value));
+    shard.map.emplace(key, shard.order.begin());
+  }
+
+  /// Drops every entry (counters are preserved).
+  void Clear() {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.map.clear();
+      shard.order.clear();
+    }
+  }
+
+  /// Snapshot of the counters plus current occupancy.
+  CacheCounters Counters() const {
+    CacheCounters c;
+    c.hits = hits_.load(std::memory_order_relaxed);
+    c.misses = misses_.load(std::memory_order_relaxed);
+    c.evictions = evictions_.load(std::memory_order_relaxed);
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      c.entries += shard.map.size();
+    }
+    return c;
+  }
+
+  size_t capacity() const { return per_shard_ * Shards; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<std::pair<Key, ValuePtr>> order;  // front = most recent
+    std::unordered_map<Key, typename std::list<std::pair<Key, ValuePtr>>::iterator,
+                       Hash>
+        map;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    // Mix the hash before taking shard bits: std::hash of integral keys is
+    // commonly the identity, which would pile consecutive keys onto shard 0.
+    uint64_t h = Hash{}(key);
+    h ^= h >> 17;
+    h *= 0x9E3779B97F4A7C15ULL;
+    return shards_[(h >> 32) & (Shards - 1)];
+  }
+
+  size_t per_shard_;
+  std::array<Shard, Shards> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace km
+
+#endif  // KM_COMMON_LRU_CACHE_H_

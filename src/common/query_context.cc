@@ -46,51 +46,57 @@ bool QueryContext::BudgetEmpty(QueryStage stage) const {
     case QueryStage::kExecute: cap = limits_.max_execute_work; break;
     default: return false;  // the cheap stages carry no work budget
   }
-  return cap > 0 && spend_[static_cast<size_t>(stage)] >= cap;
+  return cap > 0 &&
+         spend_[static_cast<size_t>(stage)].load(std::memory_order_relaxed) >= cap;
 }
 
 bool QueryContext::Recheck() {
-  if (exhausted_) return true;
+  if (exhausted_.load(std::memory_order_relaxed)) return true;
   if (cancel_requested()) {
-    exhausted_ = true;
+    exhausted_.store(true, std::memory_order_relaxed);
     return true;
   }
   if (has_deadline_ && Clock::now() >= deadline_) {
-    exhausted_ = true;
-    deadline_hit_ = true;
+    exhausted_.store(true, std::memory_order_relaxed);
+    deadline_hit_.store(true, std::memory_order_relaxed);
     return true;
   }
   return false;
 }
 
 bool QueryContext::CheckPoint(QueryStage stage, uint64_t work) {
-  spend_[static_cast<size_t>(stage)] += work;
-  if (exhausted_) return true;
+  spend_[static_cast<size_t>(stage)].fetch_add(work, std::memory_order_relaxed);
+  if (exhausted_.load(std::memory_order_relaxed)) return true;
   if (BudgetEmpty(stage)) {
-    exhausted_ = true;
-    work_budget_hit_ = true;
+    exhausted_.store(true, std::memory_order_relaxed);
+    work_budget_hit_.store(true, std::memory_order_relaxed);
     return true;
   }
   // Amortize the clock read; cancellation is a relaxed atomic load and is
-  // cheap enough to observe on the same stride.
-  if (++ticks_ % kPollStride != 0) return false;
+  // cheap enough to observe on the same stride. With several workers on one
+  // context, each increment still lands the stride on *some* thread, so the
+  // clock is polled at least as often as in the serial case.
+  if (ticks_.fetch_add(1, std::memory_order_relaxed) % kPollStride !=
+      kPollStride - 1) {
+    return false;
+  }
   return Recheck();
 }
 
 bool QueryContext::Exhausted() const {
-  if (exhausted_) return true;
+  if (exhausted_.load(std::memory_order_relaxed)) return true;
   if (cancel_requested()) return true;
   return has_deadline_ && Clock::now() >= deadline_;
 }
 
 void QueryContext::ForceExpire() {
-  exhausted_ = true;
-  deadline_hit_ = true;
+  exhausted_.store(true, std::memory_order_relaxed);
+  deadline_hit_.store(true, std::memory_order_relaxed);
 }
 
 Status QueryContext::ExhaustionStatus() const {
   if (cancel_requested()) return Status::Cancelled("query cancelled by caller");
-  if (deadline_hit_ || (has_deadline_ && Clock::now() >= deadline_)) {
+  if (deadline_hit() || (has_deadline_ && Clock::now() >= deadline_)) {
     return Status::DeadlineExceeded("query deadline of " +
                                     StrFormat("%.3f", limits_.deadline_ms) +
                                     " ms exceeded");
@@ -115,13 +121,14 @@ double QueryContext::RemainingMillis() const {
 std::string QueryContext::SpendReport() const {
   std::string out = "elapsed=" + StrFormat("%.3f", ElapsedMillis()) + "ms";
   for (size_t s = 0; s < kNumQueryStages; ++s) {
-    if (spend_[s] == 0) continue;
+    uint64_t spend = spend_[s].load(std::memory_order_relaxed);
+    if (spend == 0) continue;
     out += " ";
     out += QueryStageName(static_cast<QueryStage>(s));
-    out += "=" + std::to_string(spend_[s]);
+    out += "=" + std::to_string(spend);
   }
-  if (deadline_hit_) out += " deadline_hit";
-  if (work_budget_hit_) out += " budget_hit";
+  if (deadline_hit()) out += " deadline_hit";
+  if (work_budget_hit()) out += " budget_hit";
   if (cancel_requested()) out += " cancelled";
   return out;
 }

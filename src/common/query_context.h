@@ -65,8 +65,10 @@ struct QueryLimits {
 /// through every pipeline stage. Not copyable; the same object must be
 /// observed by all stages so that spend accumulates in one place.
 ///
-/// Thread model: one query thread mutates counters via CheckPoint();
-/// RequestCancel() may be called from any thread.
+/// Thread model: fully thread-safe. Counters and sticky exhaustion flags
+/// are atomics, so one context can be checkpointed concurrently by every
+/// worker of a parallel stage (ParallelFor) or a whole AnswerBatch, and
+/// RequestCancel() from any thread stops them all cooperatively.
 class QueryContext {
  public:
   QueryContext() : QueryContext(QueryLimits::Unlimited()) {}
@@ -99,9 +101,11 @@ class QueryContext {
   void ForceExpire();
 
   /// True once the wall-clock deadline has been observed exhausted.
-  bool deadline_hit() const { return deadline_hit_; }
+  bool deadline_hit() const { return deadline_hit_.load(std::memory_order_relaxed); }
   /// True once some work budget has been observed exhausted.
-  bool work_budget_hit() const { return work_budget_hit_; }
+  bool work_budget_hit() const {
+    return work_budget_hit_.load(std::memory_order_relaxed);
+  }
 
   /// The Status a stage should propagate when it cannot even degrade:
   /// kCancelled, kDeadlineExceeded or kResourceExhausted. OK when not
@@ -110,7 +114,7 @@ class QueryContext {
 
   /// Work units recorded against a stage so far.
   uint64_t Spend(QueryStage stage) const {
-    return spend_[static_cast<size_t>(stage)];
+    return spend_[static_cast<size_t>(stage)].load(std::memory_order_relaxed);
   }
 
   /// Milliseconds elapsed since construction.
@@ -140,13 +144,15 @@ class QueryContext {
   Clock::time_point deadline_;  // start_ + deadline_ms (when set)
   bool has_deadline_ = false;
 
-  std::array<uint64_t, kNumQueryStages> spend_{};
-  uint64_t ticks_ = 0;
+  std::array<std::atomic<uint64_t>, kNumQueryStages> spend_{};
+  std::atomic<uint64_t> ticks_{0};
 
-  // Sticky exhaustion state (single-writer: the query thread).
-  bool exhausted_ = false;
-  bool deadline_hit_ = false;
-  bool work_budget_hit_ = false;
+  // Sticky exhaustion state. Multi-writer: any worker of a parallel stage
+  // may observe exhaustion first; flags only ever flip false → true, so
+  // relaxed atomics suffice.
+  std::atomic<bool> exhausted_{false};
+  std::atomic<bool> deadline_hit_{false};
+  std::atomic<bool> work_budget_hit_{false};
   std::atomic<bool> cancel_requested_{false};
 };
 

@@ -1,0 +1,104 @@
+#include "common/thread_pool.h"
+
+#include <memory>
+#include <utility>
+
+namespace km {
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Run(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ set and queue drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+namespace {
+
+// Shared state of one ParallelFor call. Heap-allocated and reference-counted:
+// a helper task may start (and immediately find the range drained) after the
+// caller has already observed completion and returned, so everything it
+// touches — including the callable — must live in here, not on the caller's
+// stack.
+struct ForState {
+  ForState(size_t total, const std::function<void(size_t)>& f) : n(total), fn(f) {}
+  const size_t n;
+  const std::function<void(size_t)> fn;
+  std::atomic<size_t> next{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t done = 0;
+};
+
+// Claims indices until the range is exhausted. Indices are handed out by an
+// atomic counter (dynamic scheduling) but each index writes only its own
+// output slot, so results are deterministic regardless of interleaving.
+void DrainRange(const std::shared_ptr<ForState>& state) {
+  size_t finished = 0;
+  for (;;) {
+    size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= state->n) break;
+    state->fn(i);
+    ++finished;
+  }
+  if (finished == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->done += finished;
+  }
+  state->cv.notify_all();
+}
+
+}  // namespace
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const size_t helpers = pool != nullptr ? std::min(pool->size(), n - 1) : 0;
+  if (helpers == 0) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto state = std::make_shared<ForState>(n, fn);
+  for (size_t h = 0; h < helpers; ++h) {
+    pool->Run([state] { DrainRange(state); });
+  }
+  // The caller participates: even when every pool worker is busy elsewhere
+  // (nested or concurrent ParallelFor calls), the range still drains.
+  DrainRange(state);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&state] { return state->done == state->n; });
+}
+
+}  // namespace km

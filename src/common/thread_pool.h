@@ -1,0 +1,74 @@
+// A small fixed-size task pool and a deterministic parallel-for.
+//
+// KEYMANTIC's hot loops — per-keyword weight rows, the O(rows) child
+// re-solves of one Murty node, per-configuration Steiner discovery, and
+// whole queries in KeymanticEngine::AnswerBatch — are embarrassingly
+// parallel over an index range and write their results into preallocated
+// slots. ParallelFor exploits exactly that shape: workers claim indices
+// from a shared atomic counter (dynamic scheduling, so unevenly sized
+// subproblems balance out) and each index writes only its own slot, so
+// the merged output is byte-identical to a serial run regardless of
+// thread interleaving.
+//
+// A null or single-thread pool degrades to a plain serial loop on the
+// calling thread; every call site can therefore be written once and serve
+// both the serial engine (EngineOptions::threads == 0, the default) and
+// the parallel one.
+
+#ifndef KM_COMMON_THREAD_POOL_H_
+#define KM_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace km {
+
+/// Fixed set of worker threads consuming a FIFO task queue. Tasks must not
+/// throw (the library reports failures through Status, never exceptions).
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(size_t threads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues one task; runs on some worker thread.
+  void Run(std::function<void()> task);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(0) .. fn(n-1), distributing indices over the pool's workers
+/// (the calling thread participates too, so a pool of size T applies T+1
+/// threads and the pool can be shared by concurrent callers without
+/// deadlock). Blocks until every index has completed. With a null pool,
+/// n <= 1, or a single-worker pool shared recursively, the loop runs
+/// serially on the caller.
+///
+/// `fn` must be thread-safe across distinct indices and must not throw.
+/// Determinism contract: fn(i) writes only state owned by index i, so the
+/// overall result does not depend on scheduling.
+void ParallelFor(ThreadPool* pool, size_t n, const std::function<void(size_t)>& fn);
+
+}  // namespace km
+
+#endif  // KM_COMMON_THREAD_POOL_H_

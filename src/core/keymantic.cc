@@ -1,7 +1,9 @@
 #include "core/keymantic.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <optional>
 #include <set>
 #include <unordered_map>
 
@@ -30,7 +32,8 @@ KeymanticEngine::KeymanticEngine(const Database& db, EngineOptions options)
       options_(options),
       terminology_(db.schema()),
       graph_(terminology_, db.schema()),
-      apriori_hmm_(BuildAprioriHmm(terminology_, db.schema())) {
+      apriori_hmm_(BuildAprioriHmm(terminology_, db.schema())),
+      steiner_cache_(options.steiner_cache_capacity) {
   if (options_.use_mi_weights) {
     // Best effort: fall back to unit weights when statistics are missing.
     (void)ApplyMiWeights(db_, &graph_);
@@ -41,6 +44,11 @@ KeymanticEngine::KeymanticEngine(const Database& db, EngineOptions options)
   // The summary graph is built unconditionally: even in kFullGraph mode it
   // is the middle rung of the backward degradation ladder.
   summary_ = std::make_unique<SummaryGraph>(graph_);
+  // The pool must exist before the components that borrow it: the weight
+  // builder and the Murty enumeration receive it through their options.
+  if (options_.threads > 0) pool_ = std::make_unique<ThreadPool>(options_.threads);
+  options_.weights.pool = pool_.get();
+  options_.forward.pool = pool_.get();
   weights_ = std::make_unique<WeightMatrixBuilder>(terminology_, &db_,
                                                    options_.weights);
   generator_ = std::make_unique<ConfigurationGenerator>(terminology_, db_.schema(),
@@ -215,9 +223,29 @@ std::vector<Interpretation> KeymanticEngine::FinishInterpretations(
   return trees;
 }
 
+std::string KeymanticEngine::SteinerCacheKey(std::vector<size_t> terminals,
+                                             size_t k) const {
+  std::sort(terminals.begin(), terminals.end());
+  std::string key;
+  key.reserve(terminals.size() * 4 + 16);
+  for (size_t t : terminals) {
+    key += std::to_string(t);
+    key += ',';
+  }
+  key += "|k=";
+  key += std::to_string(k);
+  key += "|m=";
+  key += std::to_string(static_cast<int>(options_.backward_mode));
+  return key;
+}
+
 StatusOr<std::vector<Interpretation>> KeymanticEngine::Interpretations(
     const Configuration& config, size_t k) const {
   std::vector<size_t> terminals = TerminalsOfConfiguration(config);
+  // The cache holds exactly what the preferred (budget-free) search of this
+  // terminal set produces, so a hit replays this method's own output.
+  std::string key = SteinerCacheKey(terminals, k);
+  if (auto hit = steiner_cache_.Get(key)) return *hit;
   SteinerOptions opts = options_.steiner;
   opts.k = k;
   std::vector<Interpretation> trees;
@@ -226,7 +254,11 @@ StatusOr<std::vector<Interpretation>> KeymanticEngine::Interpretations(
   } else {
     KM_ASSIGN_OR_RETURN(trees, TopKSteinerTrees(graph_, terminals, opts));
   }
-  return FinishInterpretations(std::move(trees));
+  trees = FinishInterpretations(std::move(trees));
+  if (!trees.empty()) {
+    steiner_cache_.Put(key, std::make_shared<std::vector<Interpretation>>(trees));
+  }
+  return trees;
 }
 
 StatusOr<std::vector<Interpretation>> KeymanticEngine::InterpretationsLadder(
@@ -264,6 +296,26 @@ StatusOr<std::vector<Interpretation>> KeymanticEngine::InterpretationsLadder(
   }
   if (degraded != nullptr) *degraded = true;
   return FinishInterpretations(std::move(*trees));
+}
+
+StatusOr<std::vector<Interpretation>>
+KeymanticEngine::CachedInterpretationsLadder(const Configuration& config,
+                                             size_t k, QueryContext* ctx,
+                                             bool* degraded) const {
+  std::string key = SteinerCacheKey(TerminalsOfConfiguration(config), k);
+  if (auto hit = steiner_cache_.Get(key)) return *hit;
+  bool local_degraded = false;
+  auto trees = InterpretationsLadder(config, k, ctx, &local_degraded);
+  if (local_degraded && degraded != nullptr) *degraded = true;
+  // Only full-quality results enter the cache: a fallback-rung or
+  // budget-cut tree list must never be replayed for a later query that
+  // could have afforded the preferred search, so cache hits cannot change
+  // any answer.
+  if (trees.ok() && !trees->empty() && !local_degraded &&
+      (ctx == nullptr || !ctx->Exhausted())) {
+    steiner_cache_.Put(key, std::make_shared<std::vector<Interpretation>>(*trees));
+  }
+  return trees;
 }
 
 StatusOr<SpjQuery> KeymanticEngine::Translate(
@@ -305,17 +357,37 @@ StatusOr<AnswerResult> KeymanticEngine::AnswerKeywords(
     Interpretation interp;
   };
   std::vector<Candidate> candidates;
-  for (size_t ci = 0; ci < configs.size(); ++ci) {
-    if (ci > 0 && ctx != nullptr && ctx->Exhausted()) {
-      stats.candidates_truncated = true;
-      break;
+  {
+    // Per-configuration Steiner discovery is independent: every worker
+    // writes only its own slot, and the merge below walks the slots in
+    // configuration order, so the candidate list matches the serial build
+    // exactly. Exhaustion is sticky, so the "stop after the first
+    // configuration" guarantee carries over: once the budget dies, every
+    // not-yet-started slot beyond index 0 stays empty.
+    std::vector<std::optional<std::vector<Interpretation>>> expanded(configs.size());
+    std::vector<uint8_t> degraded_flags(configs.size(), 0);
+    std::atomic<bool> truncated{false};
+    ParallelFor(pool_.get(), configs.size(), [&](size_t ci) {
+      if (ci > 0 && ctx != nullptr && ctx->Exhausted()) {
+        truncated.store(true, std::memory_order_relaxed);
+        return;
+      }
+      bool local_degraded = false;
+      auto interps = CachedInterpretationsLadder(
+          configs[ci], options_.interp_per_config, ctx, &local_degraded);
+      if (local_degraded) degraded_flags[ci] = 1;
+      // !ok: disconnected images — orphan configuration, slot stays empty.
+      if (interps.ok()) expanded[ci] = std::move(*interps);
+    });
+    for (size_t ci = 0; ci < configs.size(); ++ci) {
+      if (degraded_flags[ci] != 0) stats.backward_degraded = true;
+      if (!expanded[ci].has_value()) continue;
+      for (Interpretation& interp : *expanded[ci]) {
+        candidates.push_back({ci, std::move(interp)});
+      }
     }
-    auto interps =
-        InterpretationsLadder(configs[ci], options_.interp_per_config, ctx,
-                              &stats.backward_degraded);
-    if (!interps.ok()) continue;  // disconnected images: orphan configuration
-    for (Interpretation& interp : *interps) {
-      candidates.push_back({ci, std::move(interp)});
+    if (truncated.load(std::memory_order_relaxed)) {
+      stats.candidates_truncated = true;
     }
   }
   if (candidates.empty()) {
@@ -469,8 +541,25 @@ StatusOr<AnswerResult> KeymanticEngine::AnswerKeywords(
     }
     stats.elapsed_ms = ctx->ElapsedMillis();
   }
+  stats.keyword_row_cache = weights_->RowCacheCounters();
+  stats.steiner_cache = steiner_cache_.Counters();
   result.quality = q;
   return result;
+}
+
+std::vector<StatusOr<AnswerResult>> KeymanticEngine::AnswerBatch(
+    const std::vector<std::string>& queries, size_t k, QueryContext* ctx) const {
+  // Every query reads only immutable prepared state (terminology, graphs,
+  // weight builder) plus the two thread-safe caches, so whole queries can
+  // run concurrently. Each worker owns one result slot; a query that never
+  // ran (the placeholder below) can only be observed if ParallelFor itself
+  // misbehaves.
+  std::vector<StatusOr<AnswerResult>> results(
+      queries.size(),
+      StatusOr<AnswerResult>(Status::Internal("query was not evaluated")));
+  ParallelFor(pool_.get(), queries.size(),
+              [&](size_t i) { results[i] = Answer(queries[i], k, ctx); });
+  return results;
 }
 
 }  // namespace km

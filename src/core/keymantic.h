@@ -17,8 +17,10 @@
 #include <string>
 #include <vector>
 
+#include "common/lru_cache.h"
 #include "common/query_context.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "engine/query.h"
 #include "graph/interpretation.h"
 #include "graph/schema_graph.h"
@@ -82,6 +84,16 @@ struct EngineOptions {
   /// Drop explanations whose SQL returns zero tuples (needs instance
   /// access; the engine still returns them when everything is empty).
   bool penalize_empty_results = false;
+  /// Worker threads of the engine's task pool. 0 (the default) keeps every
+  /// stage on the calling thread. With a pool the engine parallelizes
+  /// per-keyword weight rows, the Murty child re-solves, per-configuration
+  /// Steiner discovery and whole AnswerBatch queries — all with results
+  /// byte-identical to the serial path (workers write disjoint slots).
+  size_t threads = 0;
+  /// Entry bound of the cross-query Steiner-tree cache, keyed by the
+  /// canonical terminal-node set (configurations overlap heavily in their
+  /// image nodes). 0 disables the cache.
+  size_t steiner_cache_capacity = 1024;
 };
 
 /// One ranked answer: the SQL explanation with its provenance.
@@ -115,6 +127,13 @@ struct AnswerStats {
   bool candidates_truncated = false;
   /// Empty-result probing (penalize_empty_results) was skipped or cut.
   bool execution_truncated = false;
+  /// Engine-cumulative snapshot of the keyword → weight-row cache taken as
+  /// this answer finished (hits/misses/evictions since engine construction,
+  /// shared across all queries — deltas between answers give per-query
+  /// figures).
+  CacheCounters keyword_row_cache;
+  /// Same snapshot for the terminal-set → Steiner-tree cache.
+  CacheCounters steiner_cache;
 };
 
 /// Everything Answer() returns: the ranked explanations, how trustworthy
@@ -153,6 +172,19 @@ class KeymanticEngine {
   /// Answer() for a pre-tokenized keyword query.
   StatusOr<AnswerResult> AnswerKeywords(const std::vector<std::string>& keywords,
                                         size_t k, QueryContext* ctx = nullptr) const;
+
+  /// Answers many raw queries over the shared immutable prepared state
+  /// (terminology, schema graph, summary graph are built once, at engine
+  /// construction). With a pool (options.threads > 0) the queries run
+  /// concurrently; either way the returned vector has one entry per input
+  /// query, in input order, each identical to a standalone Answer() call.
+  ///
+  /// `ctx` (optional) is shared by the whole batch: its budgets bound the
+  /// batch's total work, and cancelling or expiring it stops every worker
+  /// cooperatively (each in-flight query degrades to its floor rung).
+  std::vector<StatusOr<AnswerResult>> AnswerBatch(
+      const std::vector<std::string>& queries, size_t k,
+      QueryContext* ctx = nullptr) const;
 
   /// Answers a raw keyword query: tokenizes and delegates to
   /// SearchKeywords. Equivalent to Answer() without a budget, keeping only
@@ -224,16 +256,31 @@ class KeymanticEngine {
   std::vector<Interpretation> FinishInterpretations(
       std::vector<Interpretation> trees) const;
 
+  /// InterpretationsLadder behind the terminal-set cache: full-quality
+  /// results (no fallback rung, no exhaustion) are stored and replayed for
+  /// any configuration with the same image node set.
+  StatusOr<std::vector<Interpretation>> CachedInterpretationsLadder(
+      const Configuration& config, size_t k, QueryContext* ctx,
+      bool* degraded) const;
+
+  /// Cache key of a terminal set at a given k (canonical: sorted, deduped
+  /// by construction of TerminalsOfConfiguration).
+  std::string SteinerCacheKey(std::vector<size_t> terminals, size_t k) const;
+
   const Database& db_;
   EngineOptions options_;
   Terminology terminology_;
   SchemaGraph graph_;
   std::unique_ptr<SummaryGraph> summary_;
+  std::unique_ptr<ThreadPool> pool_;  // null when options_.threads == 0
   std::unique_ptr<WeightMatrixBuilder> weights_;
   std::unique_ptr<ConfigurationGenerator> generator_;
   Hmm apriori_hmm_;
   std::unique_ptr<Hmm> trained_hmm_;
   TokenizerOptions tokenizer_options_;
+  // Cross-query cache: canonical terminal set (+k) → finished ranked trees.
+  // Thread-safe (sharded LRU); mutable because the answer path is const.
+  mutable LruCache<std::string, std::vector<Interpretation>> steiner_cache_;
 };
 
 }  // namespace km

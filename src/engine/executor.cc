@@ -9,12 +9,32 @@
 
 namespace km {
 
+namespace {
+
+// Hash key of one (relation, attribute) pair; '\0' cannot occur in
+// identifiers, so the concatenation is collision-free.
+std::string ColumnKey(const std::string& relation, const std::string& attribute) {
+  std::string key;
+  key.reserve(relation.size() + attribute.size() + 1);
+  key += relation;
+  key += '\0';
+  key += attribute;
+  return key;
+}
+
+}  // namespace
+
 std::optional<size_t> ResultSet::ColumnIndex(const std::string& relation,
                                              const std::string& attribute) const {
-  for (size_t i = 0; i < header.size(); ++i) {
-    if (header[i].relation == relation && header[i].attribute == attribute) return i;
+  if (column_index_.empty() && !header.empty()) {
+    column_index_.reserve(header.size());
+    for (size_t i = 0; i < header.size(); ++i) {
+      column_index_.emplace(ColumnKey(header[i].relation, header[i].attribute), i);
+    }
   }
-  return std::nullopt;
+  auto it = column_index_.find(ColumnKey(relation, attribute));
+  if (it == column_index_.end()) return std::nullopt;
+  return it->second;
 }
 
 bool EvalPredicateOp(const Value& value, PredicateOp op, const Value& literal) {
@@ -46,16 +66,28 @@ bool EvalPredicateOp(const Value& value, PredicateOp op, const Value& literal) {
 namespace {
 
 // Intermediate tuples: concatenation of rows of the relations joined so
-// far, with a column map from (relation, attribute) to position.
+// far, with a column map from (relation, attribute) to position. The map
+// is a hash index rebuilt once per header change (scan or join), so the
+// Col() lookups inside the join/predicate loops are O(1) instead of a
+// linear header scan.
 struct Intermediate {
   std::vector<AttributeRef> header;
   std::vector<Row> rows;
+  std::unordered_map<std::string, size_t> col_index;
+
+  // Must be called whenever `header` is (re)built.
+  void ReindexHeader() {
+    col_index.clear();
+    col_index.reserve(header.size());
+    for (size_t i = 0; i < header.size(); ++i) {
+      col_index.emplace(ColumnKey(header[i].relation, header[i].attribute), i);
+    }
+  }
 
   std::optional<size_t> Col(const AttributeRef& a) const {
-    for (size_t i = 0; i < header.size(); ++i) {
-      if (header[i] == a) return i;
-    }
-    return std::nullopt;
+    auto it = col_index.find(ColumnKey(a.relation, a.attribute));
+    if (it == col_index.end()) return std::nullopt;
+    return it->second;
   }
 };
 
@@ -68,6 +100,7 @@ Intermediate ScanRelation(const Table& table,
   for (size_t i = 0; i < rs.arity(); ++i) {
     out.header.push_back({rs.name(), rs.attribute(i).name});
   }
+  out.ReindexHeader();
   std::vector<std::pair<size_t, const Predicate*>> local;
   for (const Predicate& p : predicates) {
     if (p.attr.relation != rs.name()) continue;
@@ -215,6 +248,7 @@ StatusOr<ResultSet> Executor::ExecuteInternal(const SpjQuery& query,
       Intermediate next;
       next.header = acc.header;
       next.header.insert(next.header.end(), side.header.begin(), side.header.end());
+      next.ReindexHeader();
       next.rows.reserve(acc.rows.size() * side.rows.size());
       bool cut = false;
       for (const Row& a : acc.rows) {
@@ -252,6 +286,7 @@ StatusOr<ResultSet> Executor::ExecuteInternal(const SpjQuery& query,
     Intermediate next;
     next.header = acc.header;
     next.header.insert(next.header.end(), side.header.begin(), side.header.end());
+    next.ReindexHeader();
     bool cut = false;
     for (const Row& a : acc.rows) {
       if (cut) break;

@@ -8,7 +8,9 @@
 #ifndef KM_ENGINE_EXECUTOR_H_
 #define KM_ENGINE_EXECUTOR_H_
 
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/query_context.h"
@@ -30,9 +32,15 @@ struct ResultSet {
   size_t size() const { return rows.size(); }
   bool empty() const { return rows.empty(); }
 
-  /// Index of the named output column, or nullopt.
+  /// Index of the named output column, or nullopt. The first call builds a
+  /// hash index over the header (O(columns) once), so per-row loops may
+  /// call this freely. Not thread-safe with concurrent first calls; a
+  /// ResultSet is a single-consumer object.
   std::optional<size_t> ColumnIndex(const std::string& relation,
                                     const std::string& attribute) const;
+
+ private:
+  mutable std::unordered_map<std::string, size_t> column_index_;
 };
 
 /// Executes SPJ queries against an in-memory Database.

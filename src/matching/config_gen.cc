@@ -62,7 +62,7 @@ StatusOr<std::vector<Configuration>> ConfigurationGenerator::GenerateFromMatrix(
           ? k
           : std::max(k, options_.candidate_pool);
 
-  auto enumerated = TopKAssignments(intrinsic, pool, ctx);
+  auto enumerated = TopKAssignments(intrinsic, pool, ctx, options_.pool);
   std::vector<Assignment> candidates;
   if (enumerated.ok()) {
     report->truncated = enumerated->truncated;

@@ -26,6 +26,7 @@
 
 #include "common/query_context.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "metadata/configuration.h"
 #include "metadata/contextualize.h"
 #include "metadata/weights.h"
@@ -46,6 +47,9 @@ struct ConfigGenOptions {
   /// (must be >= the requested k; larger pools trade time for recall).
   size_t candidate_pool = 50;
   ContextualizeOptions contextualize;
+  /// Worker pool for the Murty child re-solves (not owned, may be null =
+  /// serial). Output is identical either way.
+  ThreadPool* pool = nullptr;
 };
 
 /// How a Generate() call fared under its budget: which rungs of the

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <queue>
 #include <set>
 #include <utility>
 
 #include "common/check.h"
 #include "common/failpoint.h"
+#include "common/thread_pool.h"
 
 namespace km {
 
@@ -46,10 +48,30 @@ Matrix ApplyConstraints(const Matrix& base, const Node& node) {
   return w;
 }
 
+// Forbids every column of row `r` except `keep` (encodes forcing r → keep).
+void ForceRow(Matrix* m, size_t r, size_t keep) {
+  for (size_t c = 0; c < m->cols(); ++c) {
+    if (c != keep) m->At(r, c) = kForbidden;
+  }
+}
+
+// True when `sol` sums the base weights of its support (the partitioning
+// only removes support; it never changes the weight of an allowed pair, so
+// a child's reported total must already be a plain sum over `weights`).
+bool TotalMatchesBase(const Matrix& weights, const Assignment& sol) {
+  double total = 0;
+  for (size_t r = 0; r < sol.col_for_row.size(); ++r) {
+    if (sol.col_for_row[r] < 0) return false;
+    total += weights.At(r, static_cast<size_t>(sol.col_for_row[r]));
+  }
+  double tol = 1e-9 * std::max({1.0, std::fabs(total), std::fabs(sol.total_weight)});
+  return std::fabs(total - sol.total_weight) <= tol;
+}
+
 }  // namespace
 
 StatusOr<AssignmentList> TopKAssignments(const Matrix& weights, size_t k,
-                                         QueryContext* ctx) {
+                                         QueryContext* ctx, ThreadPool* pool) {
   AssignmentList out;
   if (k == 0) return out;
 
@@ -94,24 +116,64 @@ StatusOr<AssignmentList> TopKAssignments(const Matrix& weights, size_t k,
     if (results.size() >= k) break;
 
     // Partition: child i forbids edge i of the solution and forces edges
-    // 0..i-1.
-    Node child_base = best;
+    // 0..i-1 (restricted to the rows that can still vary).
+    std::vector<std::pair<size_t, size_t>> expand;  // (row, col) per child
     for (size_t r = 0; r < best.solution.col_for_row.size(); ++r) {
       int col = best.solution.col_for_row[r];
       if (col < 0) continue;
-      if (child_base.forced[r] >= 0) continue;  // already forced; cannot vary
-      Node child = child_base;
-      child.forbidden.emplace_back(r, static_cast<size_t>(col));
-      Matrix constrained = ApplyConstraints(weights, child);
-      auto sol = MaxWeightAssignment(constrained);
-      if (sol.ok() && sol->complete()) {
-        // Recompute total on the *original* weights (constraints only
-        // selected the support, weights are unchanged for allowed pairs).
-        child.solution = std::move(*sol);
-        queue.push(std::move(child));
+      if (best.forced[r] >= 0) continue;  // already forced; cannot vary
+      expand.emplace_back(r, static_cast<size_t>(col));
+    }
+    if (expand.empty()) continue;
+
+    // One scratch matrix carries the popped node's constraints; children
+    // are derived from it in place (single-cell forbid + undo, then a
+    // persistent row-force for the next child) instead of copying the full
+    // base matrix and constraint lists per child. Node copies are built
+    // only for the children that turn out feasible.
+    Matrix scratch = ApplyConstraints(weights, best);
+    std::vector<std::optional<Assignment>> child_sols(expand.size());
+
+    if (pool == nullptr || pool->size() <= 1 || expand.size() <= 1) {
+      for (size_t i = 0; i < expand.size(); ++i) {
+        const auto [r, c] = expand[i];
+        const double saved = scratch.At(r, c);
+        scratch.At(r, c) = kForbidden;
+        auto sol = MaxWeightAssignment(scratch);
+        if (sol.ok() && sol->complete()) child_sols[i] = std::move(*sol);
+        scratch.At(r, c) = saved;
+        ForceRow(&scratch, r, c);  // persists for children i+1..
       }
-      // Force this row's edge for subsequent children.
-      child_base.forced[r] = col;
+    } else {
+      // Parallel child re-solves: the O(rows) subproblems of one popped
+      // node are independent. Each worker rebuilds its child's constraints
+      // from the shared scratch (one matrix copy — cheap next to the
+      // Hungarian solve) and writes only its own slot, so the merge below
+      // is byte-identical to the serial loop.
+      ParallelFor(pool, expand.size(), [&](size_t i) {
+        Matrix m = scratch;
+        for (size_t j = 0; j < i; ++j) ForceRow(&m, expand[j].first, expand[j].second);
+        m.At(expand[i].first, expand[i].second) = kForbidden;
+        auto sol = MaxWeightAssignment(m);
+        if (sol.ok() && sol->complete()) child_sols[i] = std::move(*sol);
+      });
+    }
+
+    for (size_t i = 0; i < expand.size(); ++i) {
+      if (!child_sols[i].has_value()) continue;  // infeasible: no Node built
+      Node child;
+      child.forbidden = best.forbidden;
+      child.forbidden.push_back(expand[i]);
+      child.forced = best.forced;
+      for (size_t j = 0; j < i; ++j) {
+        child.forced[expand[j].first] = static_cast<int>(expand[j].second);
+      }
+      child.solution = std::move(*child_sols[i]);
+      // Constraints only selected the support; allowed-pair weights are
+      // unchanged by construction, so the child total is already the sum
+      // over the original matrix.
+      KM_DCHECK(TotalMatchesBase(weights, child.solution));
+      queue.push(std::move(child));
     }
   }
   out.truncated = out.budget_exhausted || results.size() < k;

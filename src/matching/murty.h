@@ -14,6 +14,7 @@
 #include "common/matrix.h"
 #include "common/query_context.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "matching/munkres.h"
 
 namespace km {
@@ -42,8 +43,12 @@ struct AssignmentList {
 /// is polled once per Murty subproblem; on exhaustion the assignments found
 /// so far are returned with budget_exhausted set. The optimal assignment is
 /// always included when one exists, even under an already-spent budget.
+/// `pool` (optional) parallelizes the O(rows) independent child re-solves
+/// of each popped node; the enumeration order and output are identical to
+/// the serial run.
 StatusOr<AssignmentList> TopKAssignments(const Matrix& weights, size_t k,
-                                         QueryContext* ctx = nullptr);
+                                         QueryContext* ctx = nullptr,
+                                         ThreadPool* pool = nullptr);
 
 }  // namespace km
 

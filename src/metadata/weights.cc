@@ -14,7 +14,10 @@ namespace km {
 
 WeightMatrixBuilder::WeightMatrixBuilder(const Terminology& terminology,
                                          const Database* db, WeightOptions options)
-    : terminology_(terminology), db_(db), options_(options) {
+    : terminology_(terminology),
+      db_(db),
+      options_(options),
+      row_cache_(options.keyword_row_cache_capacity) {
   thesaurus_ = options_.thesaurus != nullptr ? options_.thesaurus : &BuiltinThesaurus();
   // Precompute per-domain-term value indexes so ValueWeight is O(1) per
   // lookup instead of scanning the instance for every (keyword, term) pair.
@@ -45,14 +48,24 @@ WeightMatrixBuilder::WeightMatrixBuilder(const Terminology& terminology,
 Matrix WeightMatrixBuilder::Build(const std::vector<std::string>& keywords,
                                   QueryContext* ctx) const {
   Matrix w(keywords.size(), terminology_.size());
-  for (size_t r = 0; r < keywords.size(); ++r) {
-    for (size_t c = 0; c < terminology_.size(); ++c) {
-      w.At(r, c) = Weight(keywords[r], terminology_.term(c));
+  // Rows are independent: each is either served from the cross-query
+  // keyword-row cache or computed afresh, and lands in its own matrix row,
+  // so the parallel build is byte-identical to the serial one.
+  ParallelFor(options_.pool, keywords.size(), [&](size_t r) {
+    auto row = row_cache_.Get(keywords[r]);
+    if (row == nullptr) {
+      auto fresh = std::make_shared<std::vector<double>>(terminology_.size());
+      for (size_t c = 0; c < terminology_.size(); ++c) {
+        (*fresh)[c] = Weight(keywords[r], terminology_.term(c));
+      }
+      row_cache_.Put(keywords[r], fresh);
+      row = std::move(fresh);
     }
+    for (size_t c = 0; c < terminology_.size(); ++c) w.At(r, c) = (*row)[c];
     // Account one unit per keyword row. The build is never cut short: it
     // is polynomial work and every forward fallback still needs the matrix.
     if (ctx != nullptr) ctx->CheckPoint(QueryStage::kWeights);
-  }
+  });
   // Downstream scoring (SW/VW → Hungarian, HMM emissions) requires finite,
   // non-negative intrinsic weights in [0, 1].
   KM_DCHECK([&w] {

@@ -14,12 +14,15 @@
 #ifndef KM_METADATA_WEIGHTS_H_
 #define KM_METADATA_WEIGHTS_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/lru_cache.h"
 #include "common/matrix.h"
 #include "common/query_context.h"
+#include "common/thread_pool.h"
 #include "metadata/term.h"
 #include "relational/database.h"
 #include "text/thesaurus.h"
@@ -53,6 +56,14 @@ struct WeightOptions {
   double fk_reference_penalty = 0.85;
   /// Thesaurus to use; nullptr selects the built-in one.
   const Thesaurus* thesaurus = nullptr;
+  /// Worker pool for per-keyword row construction (not owned, may be null =
+  /// serial). Rows land in fixed slots, so the matrix is identical either way.
+  ThreadPool* pool = nullptr;
+  /// Entry bound of the cross-query keyword → weight-row cache (0 disables).
+  /// A row caches every intrinsic weight of one keyword against the full
+  /// terminology, so repeated keywords skip the SW/VW similarity work
+  /// entirely.
+  size_t keyword_row_cache_capacity = 4096;
 };
 
 /// Builds intrinsic keyword × term weight matrices.
@@ -85,6 +96,9 @@ class WeightMatrixBuilder {
   const Terminology& terminology() const { return terminology_; }
   const WeightOptions& options() const { return options_; }
 
+  /// Hit/miss/eviction snapshot of the keyword-row cache.
+  CacheCounters RowCacheCounters() const { return row_cache_.Counters(); }
+
  private:
   // Per-domain-term index of instance values with occurrence counts, built
   // once at construction: lower-cased text values for TEXT/DATE attributes,
@@ -99,6 +113,9 @@ class WeightMatrixBuilder {
   WeightOptions options_;
   const Thesaurus* thesaurus_;
   std::vector<ValueIndex> value_index_;  // parallel to terminology terms
+  // keyword → its full row of intrinsic weights (size = terminology size).
+  // Thread-safe (sharded LRU); mutable because Build() is logically const.
+  mutable LruCache<std::string, std::vector<double>> row_cache_;
 };
 
 }  // namespace km

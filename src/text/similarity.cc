@@ -27,16 +27,16 @@ size_t LevenshteinDistance(std::string_view a, std::string_view b) {
   return prev[m];
 }
 
+namespace lowered {
+
 double NormalizedLevenshtein(std::string_view a, std::string_view b) {
   if (a.empty() && b.empty()) return 1.0;
-  std::string la = ToLower(a), lb = ToLower(b);
-  size_t d = LevenshteinDistance(la, lb);
-  size_t mx = std::max(la.size(), lb.size());
+  size_t d = LevenshteinDistance(a, b);
+  size_t mx = std::max(a.size(), b.size());
   return 1.0 - static_cast<double>(d) / static_cast<double>(mx);
 }
 
-double JaroSimilarity(std::string_view sa, std::string_view sb) {
-  std::string a = ToLower(sa), b = ToLower(sb);
+double JaroSimilarity(std::string_view a, std::string_view b) {
   const size_t n = a.size(), m = b.size();
   if (n == 0 && m == 0) return 1.0;
   if (n == 0 || m == 0) return 0.0;
@@ -70,39 +70,15 @@ double JaroSimilarity(std::string_view sa, std::string_view sb) {
 
 double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
   double jaro = JaroSimilarity(a, b);
-  std::string la = ToLower(a), lb = ToLower(b);
   size_t prefix = 0;
-  for (size_t i = 0; i < std::min({la.size(), lb.size(), size_t{4}}); ++i) {
-    if (la[i] == lb[i]) ++prefix;
+  for (size_t i = 0; i < std::min({a.size(), b.size(), size_t{4}}); ++i) {
+    if (a[i] == b[i]) ++prefix;
     else break;
   }
   return jaro + static_cast<double>(prefix) * 0.1 * (1.0 - jaro);
 }
 
-namespace {
-
-std::unordered_set<std::string> Trigrams(std::string_view s) {
-  std::string padded = "##" + ToLower(s) + "##";
-  std::unordered_set<std::string> grams;
-  for (size_t i = 0; i + 3 <= padded.size(); ++i) grams.insert(padded.substr(i, 3));
-  return grams;
-}
-
-}  // namespace
-
-double TrigramJaccard(std::string_view a, std::string_view b) {
-  if (a.empty() && b.empty()) return 1.0;
-  auto ga = Trigrams(a);
-  auto gb = Trigrams(b);
-  if (ga.empty() || gb.empty()) return 0.0;
-  size_t inter = 0;
-  for (const auto& g : ga) inter += gb.count(g);
-  size_t uni = ga.size() + gb.size() - inter;
-  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
-}
-
-double AbbreviationScore(std::string_view abbrev_raw, std::string_view full_raw) {
-  std::string abbrev = ToLower(abbrev_raw), full = ToLower(full_raw);
+double AbbreviationScore(std::string_view abbrev, std::string_view full) {
   if (abbrev.empty() || full.empty()) return 0.0;
   if (abbrev.size() >= full.size()) return 0.0;
   // Must start with the same character to count as an abbreviation.
@@ -124,7 +100,70 @@ double AbbreviationScore(std::string_view abbrev_raw, std::string_view full_raw)
   return 0.0;
 }
 
+}  // namespace lowered
+
+double NormalizedLevenshtein(std::string_view a, std::string_view b) {
+  std::string la = ToLower(a), lb = ToLower(b);
+  return lowered::NormalizedLevenshtein(la, lb);
+}
+
+double JaroSimilarity(std::string_view sa, std::string_view sb) {
+  std::string a = ToLower(sa), b = ToLower(sb);
+  return lowered::JaroSimilarity(a, b);
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
+  // Lower both sides exactly once; the Jaro core and the common-prefix scan
+  // share the same copies.
+  std::string la = ToLower(a), lb = ToLower(b);
+  return lowered::JaroWinklerSimilarity(la, lb);
+}
+
+namespace {
+
+std::unordered_set<std::string> Trigrams(std::string_view lowered_s) {
+  std::string padded;
+  padded.reserve(lowered_s.size() + 4);
+  padded += "##";
+  padded += lowered_s;
+  padded += "##";
+  std::unordered_set<std::string> grams;
+  for (size_t i = 0; i + 3 <= padded.size(); ++i) grams.insert(padded.substr(i, 3));
+  return grams;
+}
+
+}  // namespace
+
+namespace lowered {
+
+double TrigramJaccard(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  auto ga = Trigrams(a);
+  auto gb = Trigrams(b);
+  if (ga.empty() || gb.empty()) return 0.0;
+  size_t inter = 0;
+  for (const auto& g : ga) inter += gb.count(g);
+  size_t uni = ga.size() + gb.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace lowered
+
+double TrigramJaccard(std::string_view a, std::string_view b) {
+  std::string la = ToLower(a), lb = ToLower(b);
+  return lowered::TrigramJaccard(la, lb);
+}
+
+double AbbreviationScore(std::string_view abbrev_raw, std::string_view full_raw) {
+  std::string abbrev = ToLower(abbrev_raw), full = ToLower(full_raw);
+  return lowered::AbbreviationScore(abbrev, full);
+}
+
 double NameSimilarity(std::string_view a, std::string_view b) {
+  // SplitIdentifierWords emits lower-case words, so the whole alignment
+  // below runs on the allocation-free lowered:: measures — one
+  // normalization per (keyword, term) pair instead of one per word-pair
+  // per measure.
   std::vector<std::string> wa = SplitIdentifierWords(a);
   std::vector<std::string> wb = SplitIdentifierWords(b);
   if (wa.empty() || wb.empty()) return 0.0;
@@ -133,9 +172,10 @@ double NameSimilarity(std::string_view a, std::string_view b) {
     if (x == y) return 1.0;
     // Inflection variants ("departments"/"department") are near-identical.
     if (SameStem(x, y)) return 0.97;
-    double s = std::max(JaroWinklerSimilarity(x, y), TrigramJaccard(x, y));
-    s = std::max(s, AbbreviationScore(x, y));
-    s = std::max(s, AbbreviationScore(y, x));
+    double s = std::max(lowered::JaroWinklerSimilarity(x, y),
+                        lowered::TrigramJaccard(x, y));
+    s = std::max(s, lowered::AbbreviationScore(x, y));
+    s = std::max(s, lowered::AbbreviationScore(y, x));
     return s;
   };
 

@@ -38,6 +38,32 @@ double AbbreviationScore(std::string_view abbrev, std::string_view full);
 /// scored with max(JaroWinkler, trigram, abbreviation). Case-insensitive.
 double NameSimilarity(std::string_view a, std::string_view b);
 
+/// Hot-path variants for inputs that are ALREADY lower-case. The public
+/// measures above lowercase defensively, which used to happen twice per
+/// call on the SW matrix path (JaroWinkler lowered, then Jaro lowered
+/// again); the weight builder normalizes each string once and compares
+/// through these. Passing mixed-case input here silently degrades the
+/// score (bytes are compared as-is) — it never crashes.
+namespace lowered {
+
+/// NormalizedLevenshtein on pre-lowered inputs (no allocations).
+double NormalizedLevenshtein(std::string_view a, std::string_view b);
+
+/// Jaro similarity on pre-lowered inputs (no lowering copies).
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro–Winkler on pre-lowered inputs; lowers neither side, computes the
+/// Jaro core exactly once.
+double JaroWinklerSimilarity(std::string_view a, std::string_view b);
+
+/// Trigram Jaccard on pre-lowered inputs.
+double TrigramJaccard(std::string_view a, std::string_view b);
+
+/// AbbreviationScore on pre-lowered inputs.
+double AbbreviationScore(std::string_view abbrev, std::string_view full);
+
+}  // namespace lowered
+
 }  // namespace km
 
 #endif  // KM_TEXT_SIMILARITY_H_

@@ -1,0 +1,452 @@
+// Concurrency-layer tests: ThreadPool/ParallelFor, the sharded LRU caches,
+// and the engine-level guarantees that ride on them — parallel answers
+// byte-identical to serial ones, cache hits that never change results, and
+// cooperative cancellation stopping a whole AnswerBatch.
+//
+// The cache and pool stress tests are intentionally racy-by-construction
+// (many threads, shared state, no external ordering): they are the payload
+// of the TSan CI job.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/lru_cache.h"
+#include "common/query_context.h"
+#include "common/thread_pool.h"
+#include "core/keymantic.h"
+#include "datasets/dblp.h"
+#include "datasets/imdb.h"
+#include "datasets/mondial.h"
+#include "datasets/university.h"
+#include "graph/schema_graph.h"
+#include "metadata/term.h"
+#include "workload/workload.h"
+
+namespace km {
+namespace {
+
+// ------------------------------------------------------------ ThreadPool
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Run([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  // The destructor drains the queue before joining.
+  {
+    ThreadPool scoped(2);
+    for (int i = 0; i < 50; ++i) {
+      scoped.Run([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  // After the scoped pool joined, its 50 tasks are definitely done; wait
+  // for the outer pool by destroying it too.
+  while (count.load(std::memory_order_relaxed) < 150) {
+    std::this_thread::yield();
+  }
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(&pool, kN, [&hits](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(std::memory_order_relaxed), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForNullPoolAndTinyRangesRunSerially) {
+  std::vector<int> order;
+  ParallelFor(nullptr, 5, [&order](size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  ParallelFor(nullptr, 0, [](size_t) { FAIL() << "n=0 must not invoke fn"; });
+  ThreadPool pool(2);
+  bool ran = false;
+  ParallelFor(&pool, 1, [&ran](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ran = true;
+  });
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // Workers issuing their own ParallelFor on the same pool must finish even
+  // when every pool thread is busy: the caller always participates.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  ParallelFor(&pool, 8, [&pool, &total](size_t) {
+    ParallelFor(&pool, 8, [&total](size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPoolTest, ParallelForCheckpointsSharedContextSafely) {
+  // Many workers hammering one QueryContext: the per-stage counters are
+  // atomics, so the total spend is exact.
+  ThreadPool pool(4);
+  QueryContext ctx;
+  constexpr size_t kN = 5000;
+  ParallelFor(&pool, kN, [&ctx](size_t) {
+    (void)ctx.CheckPoint(QueryStage::kForward);
+  });
+  EXPECT_EQ(ctx.Spend(QueryStage::kForward), kN);
+}
+
+// -------------------------------------------------------------- LruCache
+
+TEST(LruCacheTest, HitMissEvictionCounters) {
+  // One shard per entry would defeat LRU order; use a capacity that gives
+  // each shard a small but non-zero budget.
+  LruCache<int, int> cache(16);
+  EXPECT_EQ(cache.Get(1), nullptr);
+  cache.Put(1, std::make_shared<const int>(10));
+  auto v = cache.Get(1);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 10);
+  CacheCounters c = cache.Counters();
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.evictions, 0u);
+  EXPECT_EQ(c.entries, 1u);
+  EXPECT_DOUBLE_EQ(c.HitRate(), 0.5);
+  // Overfill well past capacity: evictions must fire and the entry count
+  // must stay bounded by the configured capacity.
+  for (int i = 0; i < 1000; ++i) cache.Put(i, std::make_shared<const int>(i));
+  c = cache.Counters();
+  EXPECT_GT(c.evictions, 0u);
+  EXPECT_LE(c.entries, 16u);
+}
+
+TEST(LruCacheTest, ZeroCapacityDisablesCaching) {
+  LruCache<int, int> cache(0);
+  cache.Put(7, std::make_shared<const int>(7));
+  EXPECT_EQ(cache.Get(7), nullptr);
+  EXPECT_EQ(cache.Counters().entries, 0u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsedWithinShard) {
+  // Single-shard capacity behaviour is easiest to pin down with a cache
+  // whose keys all land in one shard: identical hash forces that.
+  struct OneShardHash {
+    size_t operator()(int) const { return 0; }
+  };
+  LruCache<int, int, OneShardHash> cache(16);  // 8 shards → 2 slots in the hot one
+  cache.Put(1, std::make_shared<const int>(1));
+  cache.Put(2, std::make_shared<const int>(2));
+  // Touch 1 so 2 becomes the LRU entry, then overflow the shard.
+  (void)cache.Get(1);
+  cache.Put(3, std::make_shared<const int>(3));
+  EXPECT_EQ(cache.Counters().evictions, 1u);
+  EXPECT_NE(cache.Get(1), nullptr);  // recently used: survived
+  EXPECT_EQ(cache.Get(2), nullptr);  // LRU: evicted
+  EXPECT_NE(cache.Get(3), nullptr);
+}
+
+TEST(LruCacheTest, ConcurrentMixedWorkloadIsRaceFree) {
+  // TSan payload: many threads doing interleaved Get/Put on overlapping
+  // keys. Values are shared_ptr<const int>, so readers may hold a value
+  // while another thread evicts it.
+  LruCache<int, int> cache(64);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 4000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        int key = (t * 31 + i * 7) % 200;
+        auto v = cache.Get(key);
+        if (v != nullptr) {
+          // Read through the pointer: stale values must stay valid.
+          EXPECT_EQ(*v % 200, key);
+        } else {
+          cache.Put(key, std::make_shared<const int>(key + 200 * (i % 3)));
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  CacheCounters c = cache.Counters();
+  EXPECT_EQ(c.hits + c.misses, static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_LE(c.entries, 64u);
+}
+
+// ------------------------------------------- engine-level determinism
+
+struct NamedDb {
+  std::string name;
+  std::unique_ptr<Database> db;
+  std::vector<QueryTemplate> templates;
+};
+
+std::vector<NamedDb> BuildAllDbs() {
+  std::vector<NamedDb> dbs;
+  {
+    UniversityOptions opts;
+    opts.extra_people = 20;
+    opts.extra_departments = 3;
+    opts.extra_universities = 2;
+    opts.extra_projects = 3;
+    auto db = BuildUniversityDatabase(opts);
+    EXPECT_TRUE(db.ok());
+    dbs.push_back({"university", std::make_unique<Database>(std::move(*db)),
+                   UniversityTemplates()});
+  }
+  {
+    auto db = BuildMondialDatabase();
+    EXPECT_TRUE(db.ok());
+    dbs.push_back(
+        {"mondial", std::make_unique<Database>(std::move(*db)), MondialTemplates()});
+  }
+  {
+    DblpOptions opts;
+    opts.persons = 150;
+    opts.articles = 200;
+    opts.inproceedings = 300;
+    opts.phd_theses = 20;
+    auto db = BuildDblpDatabase(opts);
+    EXPECT_TRUE(db.ok());
+    dbs.push_back({"dblp", std::make_unique<Database>(std::move(*db)), DblpTemplates()});
+  }
+  {
+    auto db = BuildImdbDatabase();
+    EXPECT_TRUE(db.ok());
+    dbs.push_back({"imdb", std::make_unique<Database>(std::move(*db)), ImdbTemplates()});
+  }
+  return dbs;
+}
+
+std::vector<WorkloadQuery> SampleQueries(const Database& db,
+                                         const std::vector<QueryTemplate>& templates,
+                                         size_t limit) {
+  Terminology terminology(db.schema());
+  SchemaGraph unit_graph(terminology, db.schema());
+  WorkloadOptions opts;
+  opts.queries_per_template = 1;
+  opts.seed = 77;
+  WorkloadGenerator gen(db, terminology, unit_graph, opts);
+  auto queries = gen.Generate(templates);
+  EXPECT_TRUE(queries.ok());
+  if (!queries.ok()) return {};
+  if (queries->size() > limit) queries->resize(limit);
+  return std::move(*queries);
+}
+
+void ExpectSameExplanations(const std::vector<Explanation>& a,
+                            const std::vector<Explanation>& b,
+                            const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].sql.ToSql(), b[i].sql.ToSql()) << label << " rank " << i;
+    // Bit-identical, not approximately equal: the parallel merge replays
+    // the serial arithmetic in the same order.
+    EXPECT_EQ(a[i].score, b[i].score) << label << " rank " << i;
+    EXPECT_EQ(a[i].forward_score, b[i].forward_score) << label << " rank " << i;
+    EXPECT_EQ(a[i].backward_score, b[i].backward_score) << label << " rank " << i;
+  }
+}
+
+TEST(ConcurrencyDeterminismTest, ParallelEngineMatchesSerialOnAllDatasets) {
+  for (NamedDb& eval : BuildAllDbs()) {
+    EngineOptions serial_opts;
+    serial_opts.threads = 0;
+    EngineOptions parallel_opts;
+    parallel_opts.threads = 4;
+    KeymanticEngine serial(*eval.db, serial_opts);
+    KeymanticEngine parallel(*eval.db, parallel_opts);
+    auto queries = SampleQueries(*eval.db, eval.templates, 5);
+    ASSERT_FALSE(queries.empty()) << eval.name;
+    for (const WorkloadQuery& q : queries) {
+      auto a = serial.AnswerKeywords(q.keywords, 5);
+      auto b = parallel.AnswerKeywords(q.keywords, 5);
+      ASSERT_EQ(a.ok(), b.ok()) << eval.name;
+      if (!a.ok()) continue;  // both failed identically (e.g. disconnected)
+      EXPECT_EQ(a->quality, b->quality) << eval.name;
+      ExpectSameExplanations(a->explanations, b->explanations, eval.name);
+    }
+  }
+}
+
+TEST(ConcurrencyDeterminismTest, AnswerBatchMatchesSequentialAnswers) {
+  for (NamedDb& eval : BuildAllDbs()) {
+    EngineOptions opts;
+    opts.threads = 4;
+    KeymanticEngine engine(*eval.db, opts);
+    auto queries = SampleQueries(*eval.db, eval.templates, 4);
+    ASSERT_FALSE(queries.empty()) << eval.name;
+    std::vector<std::string> texts;
+    for (const WorkloadQuery& q : queries) {
+      std::string text;
+      for (const std::string& kw : q.keywords) {
+        if (!text.empty()) text += ' ';
+        // Keywords with spaces (phrase values) need quoting to survive
+        // re-tokenization as one unit.
+        if (kw.find(' ') != std::string::npos) {
+          text += '"' + kw + '"';
+        } else {
+          text += kw;
+        }
+      }
+      texts.push_back(std::move(text));
+    }
+    // Duplicate a query so batch answering also exercises warm caches.
+    texts.push_back(texts[0]);
+    auto batch = engine.AnswerBatch(texts, 5);
+    ASSERT_EQ(batch.size(), texts.size());
+    for (size_t i = 0; i < texts.size(); ++i) {
+      auto solo = engine.Answer(texts[i], 5);
+      ASSERT_EQ(batch[i].ok(), solo.ok()) << eval.name << " query " << i;
+      if (!solo.ok()) continue;
+      EXPECT_EQ(batch[i]->quality, solo->quality) << eval.name << " query " << i;
+      ExpectSameExplanations(batch[i]->explanations, solo->explanations,
+                             eval.name + " query " + std::to_string(i));
+    }
+  }
+}
+
+// ------------------------------------------------------ caches in anger
+
+class EngineConcurrencyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    UniversityOptions opts;
+    opts.extra_people = 20;
+    opts.extra_departments = 3;
+    opts.extra_universities = 2;
+    opts.extra_projects = 3;
+    auto db = BuildUniversityDatabase(opts);
+    ASSERT_TRUE(db.ok());
+    db_ = new Database(std::move(*db));
+    EngineOptions eopts;
+    eopts.threads = 4;
+    engine_ = new KeymanticEngine(*db_, eopts);
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete db_;
+  }
+  static Database* db_;
+  static KeymanticEngine* engine_;
+};
+
+Database* EngineConcurrencyTest::db_ = nullptr;
+KeymanticEngine* EngineConcurrencyTest::engine_ = nullptr;
+
+TEST_F(EngineConcurrencyTest, RepeatedBatchesHitBothCaches) {
+  // A skewed workload (few distinct queries, many repetitions) must be
+  // served increasingly from the keyword-row and Steiner caches, and the
+  // stats must surface that.
+  std::vector<std::string> queries;
+  for (int rep = 0; rep < 6; ++rep) {
+    queries.push_back("Vokram IT");
+    queries.push_back("Reniets EE 2012");
+    queries.push_back("department university");
+  }
+  auto first = engine_->Answer(queries[0], 5);
+  ASSERT_TRUE(first.ok());
+  auto batch = engine_->AnswerBatch(queries, 5);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (const auto& r : batch) ASSERT_TRUE(r.ok());
+  const AnswerStats& stats = batch.back()->stats;
+  EXPECT_GT(stats.keyword_row_cache.hits, 0u);
+  EXPECT_GT(stats.steiner_cache.hits, 0u);
+  EXPECT_GT(stats.keyword_row_cache.HitRate(), 0.0);
+  // Warm answers replay the cold answer exactly.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (queries[i] != queries[0]) continue;
+    ExpectSameExplanations(first->explanations, batch[i]->explanations,
+                           "warm query " + std::to_string(i));
+  }
+}
+
+TEST_F(EngineConcurrencyTest, ManyThreadsHammeringTheEngineStayConsistent) {
+  // TSan payload: raw threads (not the engine pool) answering overlapping
+  // queries concurrently; each answer must match the single-threaded one.
+  auto golden = engine_->Answer("Vokram IT", 5);
+  ASSERT_TRUE(golden.ok());
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, t, &golden, &failures] {
+      for (int i = 0; i < 4; ++i) {
+        auto r = engine_->Answer(t % 2 == 0 ? "Vokram IT" : "Reniets EE 2012", 5);
+        if (!r.ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (t % 2 == 0 &&
+            (r->explanations.size() != golden->explanations.size() ||
+             r->explanations[0].sql.ToSql() != golden->explanations[0].sql.ToSql())) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// -------------------------------------------------------- cancellation
+
+TEST_F(EngineConcurrencyTest, CancelledContextStopsAllBatchWorkers) {
+  QueryContext ctx;
+  ctx.RequestCancel();
+  std::vector<std::string> queries(8, "Vokram IT");
+  auto batch = engine_->AnswerBatch(queries, 5, &ctx);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    // The degradation ladder still produces a floor answer, but every
+    // worker must observe the cancel and tag its result accordingly.
+    ASSERT_TRUE(batch[i].ok()) << "query " << i << ": "
+                               << batch[i].status().ToString();
+    EXPECT_EQ(batch[i]->quality, ResultQuality::kDeadlineExceeded) << "query " << i;
+  }
+}
+
+TEST_F(EngineConcurrencyTest, MidFlightCancelIsObservedByTheWholeBatch) {
+  // Cancel from outside while the batch runs: whatever each worker had in
+  // flight degrades; nothing hangs. The timing is inherently racy, so the
+  // assertion is only that the batch returns and every result is either
+  // complete (finished before the cancel) or tagged as cut short.
+  QueryContext ctx;
+  std::vector<std::string> queries(12, "Reniets EE 2012");
+  std::thread canceller([&ctx] { ctx.RequestCancel(); });
+  auto batch = engine_->AnswerBatch(queries, 5, &ctx);
+  canceller.join();
+  ASSERT_EQ(batch.size(), queries.size());
+  for (const auto& r : batch) {
+    ASSERT_TRUE(r.ok());
+  }
+  EXPECT_TRUE(ctx.cancel_requested());
+}
+
+TEST_F(EngineConcurrencyTest, ExpiredDeadlineStillYieldsFloorAnswers) {
+  QueryLimits limits;
+  limits.deadline_ms = 0.0001;  // expires essentially immediately
+  QueryContext ctx(limits);
+  std::vector<std::string> queries(4, "Vokram IT");
+  auto batch = engine_->AnswerBatch(queries, 5, &ctx);
+  for (const auto& r : batch) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r->explanations.empty());
+    EXPECT_EQ(r->quality, ResultQuality::kDeadlineExceeded);
+  }
+}
+
+}  // namespace
+}  // namespace km

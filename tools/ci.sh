@@ -1,19 +1,23 @@
 #!/usr/bin/env bash
-# Runs the three CI jobs locally (mirrors .github/workflows/ci.yml):
+# Runs the CI jobs locally (mirrors .github/workflows/ci.yml):
 #
 #   1. release    — Release build (warnings-as-errors) + full ctest suite
 #   2. sanitize   — ASan+UBSan build + full ctest suite
-#   3. failpoints — ASan build with KM_FAILPOINTS=ON + resilience suite
-#   4. lint       — clang-tidy over src/ (skips cleanly when not installed)
+#   3. tsan       — TSan build + the concurrency/pool/cache suites
+#   4. failpoints — ASan build with KM_FAILPOINTS=ON + resilience suite
+#   5. bench      — Release bench smoke: e11 throughput emits the BENCH
+#                   JSON baseline (bench-baseline.json artifact in CI)
+#   6. lint       — clang-tidy over src/ (skips cleanly when not installed)
 #
-# Usage: tools/ci.sh [release|sanitize|failpoints|lint]...   (default: all)
+# Usage: tools/ci.sh [release|sanitize|tsan|failpoints|bench|lint]...
+# (default: all)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS=("$@")
 if [[ ${#JOBS[@]} -eq 0 ]]; then
-  JOBS=(release sanitize failpoints lint)
+  JOBS=(release sanitize tsan failpoints bench lint)
 fi
 
 run_release() {
@@ -28,6 +32,26 @@ run_sanitize() {
   cmake --preset asan
   cmake --build --preset asan -j "$(nproc)"
   ctest --preset asan -j "$(nproc)"
+}
+
+run_tsan() {
+  echo "=== CI job: tsan (ThreadSanitizer) ==="
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$(nproc)"
+  # The concurrency suite is the TSan payload (pool, caches, AnswerBatch
+  # under raw threads); Core and Murty cover the stages the pool touches.
+  ctest --preset tsan -j "$(nproc)" \
+    -R "ThreadPool|LruCache|Concurrency|EngineConcurrency|Murty|Core"
+}
+
+run_bench() {
+  echo "=== CI job: bench (e11 throughput smoke + BENCH baseline) ==="
+  cmake --preset release
+  cmake --build --preset release -j "$(nproc)" --target bench_e11_throughput
+  build/release/bench/bench_e11_throughput --smoke | tee /tmp/e11_smoke.out
+  # The machine-readable baseline: one JSON object per line.
+  grep '^BENCH ' /tmp/e11_smoke.out | sed 's/^BENCH //' > bench-baseline.json
+  echo "wrote $(wc -l < bench-baseline.json) baseline rows to bench-baseline.json"
 }
 
 run_failpoints() {
@@ -48,9 +72,11 @@ for job in "${JOBS[@]}"; do
   case "${job}" in
     release)    run_release ;;
     sanitize)   run_sanitize ;;
+    tsan)       run_tsan ;;
     failpoints) run_failpoints ;;
+    bench)      run_bench ;;
     lint)       run_lint ;;
-    *) echo "unknown CI job: ${job} (expected release|sanitize|failpoints|lint)" >&2
+    *) echo "unknown CI job: ${job} (expected release|sanitize|tsan|failpoints|bench|lint)" >&2
        exit 2 ;;
   esac
 done

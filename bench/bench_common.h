@@ -12,6 +12,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -127,8 +128,16 @@ inline double& DeadlineMs() {
   return value;
 }
 
-/// Strips the harness-specific --deadline_ms=<double> flag out of
-/// (argc, argv). Must run before benchmark::Initialize, which rejects
+/// Whether the harness should run its engines with span tracing on and
+/// report per-stage latency breakdowns (--trace). Off by default so the
+/// headline numbers measure the untraced pipeline.
+inline bool& TraceBench() {
+  static bool value = false;
+  return value;
+}
+
+/// Strips the harness-specific flags (--deadline_ms=<double>, --trace) out
+/// of (argc, argv). Must run before benchmark::Initialize, which rejects
 /// flags it does not recognize.
 inline void ParseBenchFlags(int* argc, char** argv) {
   const std::string prefix = "--deadline_ms=";
@@ -137,12 +146,46 @@ inline void ParseBenchFlags(int* argc, char** argv) {
     std::string arg = argv[i];
     if (arg.rfind(prefix, 0) == 0) {
       DeadlineMs() = std::atof(arg.substr(prefix.size()).c_str());
+    } else if (arg == "--trace") {
+      TraceBench() = true;
     } else {
       argv[out++] = argv[i];
     }
   }
   *argc = out;
 }
+
+/// Per-stage latency accounting over traced Answer() calls. Feeds on the
+/// span tree each AnswerResult carries (so it needs engines built with
+/// options.trace — see TraceBench()) and reports one machine-readable
+///   BENCH {"bench":...,"experiment":"stage_breakdown","stage":...,...}
+/// line per pipeline stage, the per-stage companion of the headline
+/// throughput lines.
+struct StageBreakdown {
+  /// stage name (top-level span under the "answer" root) → total wall ms.
+  std::map<std::string, double> wall_ms;
+  uint64_t queries = 0;
+
+  void Count(const AnswerResult& result) {
+    if (result.trace == nullptr) return;
+    ++queries;
+    for (const auto& child : result.trace->children()) {
+      wall_ms[child->name()] += child->wall_ms();
+    }
+  }
+
+  void Report(const char* bench, const char* db) const {
+    if (queries == 0) return;
+    for (const auto& [stage, total] : wall_ms) {
+      std::printf(
+          "BENCH {\"bench\":\"%s\",\"experiment\":\"stage_breakdown\","
+          "\"db\":\"%s\",\"stage\":\"%s\",\"queries\":%llu,"
+          "\"total_ms\":%.3f,\"mean_ms\":%.4f}\n",
+          bench, db, stage.c_str(), static_cast<unsigned long long>(queries),
+          total, total / static_cast<double>(queries));
+    }
+  }
+};
 
 /// Degraded-vs-complete accounting for budget-pressure runs: every
 /// Answer() outcome lands in exactly one bucket.

@@ -30,7 +30,7 @@
 
 #include "bench/bench_common.h"
 #include "common/rng.h"
-#include "common/stopwatch.h"
+#include "common/trace.h"
 #include "common/strings.h"
 
 namespace {
@@ -87,9 +87,11 @@ void RunThroughput() {
               texts.size(), rounds);
 
   double serial_qps = 0.0;
+  StageBreakdown breakdown;
   for (size_t threads : {size_t{0}, size_t{1}, size_t{2}, size_t{4}}) {
     EngineOptions opts;
     opts.threads = threads;
+    opts.trace = TraceBench();
     KeymanticEngine engine(*eval.db, opts);
     // Warm-up round: fills both caches, so the timed rounds measure the
     // steady state a server would run in.
@@ -99,7 +101,10 @@ void RunThroughput() {
     for (size_t r = 0; r < rounds; ++r) {
       auto batch = engine.AnswerBatch(texts, 5);
       for (const auto& result : batch) {
-        if (result.ok()) ++answered;
+        if (result.ok()) {
+          ++answered;
+          breakdown.Count(*result);
+        }
         Tally().Count(result);
       }
     }
@@ -114,6 +119,7 @@ void RunThroughput() {
                   ",\"qps\":" + StrFormat("%.2f", qps) +
                   ",\"speedup\":" + StrFormat("%.3f", speedup));
   }
+  breakdown.Report("e11", eval.name.c_str());
   std::printf("(single-core machines: expect speedup ≈ 1.0 across the board)\n");
 }
 

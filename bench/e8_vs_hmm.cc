@@ -12,7 +12,7 @@
 
 #include "bench/bench_common.h"
 
-#include "common/stopwatch.h"
+#include "common/trace.h"
 #include "hmm/model_builder.h"
 
 int main() {

@@ -1,7 +1,16 @@
 // Interactive keyword-search shell over the bundled databases.
 //
-//   ./build/examples/keymantic_cli [--db=university|mondial|dblp]
+//   ./build/examples/keymantic_cli [--db=university|mondial|dblp|imdb]
 //                                  [--metadata-only] [--k=N]
+//                                  [--explain] [--trace-json=FILE]
+//                                  ["one-shot query"]
+//
+// With a positional argument the shell answers that one query and exits —
+// the scriptable form. --explain prints the EXPLAIN answer after each
+// query: per-keyword weight provenance (which bonus fired: synonym, regex
+// pattern, instance hit, contextualization) plus the span tree of the
+// pipeline stages. --trace-json writes the same trace as Chrome
+// trace_event JSON (open in about:tracing); it implies tracing on.
 //
 // Type keyword queries at the prompt. Commands:
 //   \schema          list relations and attributes
@@ -72,12 +81,18 @@ void PrintSchema(const Database& db) {
 int main(int argc, char** argv) {
   std::string db_name = "university";
   bool metadata_only = false;
+  bool explain = false;
+  std::string trace_json_path;
+  std::string one_shot;
   size_t k = 5;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--db=", 0) == 0) db_name = arg.substr(5);
     else if (arg == "--metadata-only") metadata_only = true;
+    else if (arg == "--explain") explain = true;
+    else if (arg.rfind("--trace-json=", 0) == 0) trace_json_path = arg.substr(13);
     else if (arg.rfind("--k=", 0) == 0) k = std::stoul(arg.substr(4));
+    else if (arg.rfind("--", 0) != 0) one_shot = arg;
     else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return 2;
@@ -99,6 +114,8 @@ int main(int argc, char** argv) {
     base_options.use_mi_weights = false;
     base_options.build_phrase_vocabulary = false;
   }
+  base_options.explain = explain;
+  base_options.trace = explain || !trace_json_path.empty();
   auto engine = std::make_unique<KeymanticEngine>(*db, base_options);
   Executor exec(*db);
   Terminology terminology(db->schema());
@@ -106,6 +123,42 @@ int main(int argc, char** argv) {
 
   std::vector<Explanation> last;
   std::vector<std::string> last_keywords;
+
+  // Answers one query, printing the ranked answers and — when asked — the
+  // EXPLAIN rendering and the Chrome trace file. Returns false on error.
+  auto answer_query = [&](const std::string& query) {
+    auto result = engine->Answer(query, k);
+    if (!result.ok()) {
+      std::printf("no answer: %s\n", result.status().ToString().c_str());
+      last.clear();
+      return false;
+    }
+    last = result->explanations;
+    last_keywords = Tokenize(query, engine->tokenizer_options());
+    for (size_t i = 0; i < last.size(); ++i) {
+      auto count = exec.Count(last[i].sql);
+      std::printf("#%zu (score %.3f, %zu tuples)  %s\n", i + 1, last[i].score,
+                  count.ok() ? *count : 0,
+                  last[i]
+                      .configuration.ToString(last_keywords, engine->terminology())
+                      .c_str());
+    }
+    if (explain) std::printf("%s", result->Explain().c_str());
+    if (!trace_json_path.empty() && result->trace != nullptr) {
+      std::string json = result->trace->ChromeTraceJson();
+      if (FILE* f = std::fopen(trace_json_path.c_str(), "w")) {
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("trace written to %s (open in chrome://tracing)\n",
+                    trace_json_path.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", trace_json_path.c_str());
+      }
+    }
+    return true;
+  };
+
+  if (!one_shot.empty()) return answer_query(one_shot) ? 0 : 1;
 
   std::string line;
   std::printf("> ");
@@ -204,21 +257,7 @@ int main(int argc, char** argv) {
       continue;
     }
 
-    auto results = engine->Search(input, k);
-    if (!results.ok()) {
-      std::printf("no answer: %s\n", results.status().ToString().c_str());
-      last.clear();
-    } else {
-      last = std::move(*results);
-      last_keywords = Tokenize(input, engine->tokenizer_options());
-      for (size_t i = 0; i < last.size(); ++i) {
-        auto count = exec.Count(last[i].sql);
-        std::printf("#%zu (score %.3f, %zu tuples)  %s\n", i + 1, last[i].score,
-                    count.ok() ? *count : 0,
-                    last[i]
-                        .configuration.ToString(last_keywords, engine->terminology())
-                        .c_str());
-      }
+    if (answer_query(input)) {
       std::printf("(\\sql N, \\run N, \\csv N, \\accept N, \\reject, \\schema, \\quit)\n");
     }
     std::printf("> ");

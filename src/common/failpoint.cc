@@ -3,6 +3,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "common/metrics.h"
 #include "common/query_context.h"
 
 namespace km::failpoints {
@@ -132,6 +133,9 @@ Status Hit(const char* name, QueryContext* ctx, void* payload) {
     }
   }
   if (!should_fire) return Status::OK();
+  static Counter& trips =
+      MetricsRegistry::Default().CounterRef("km.failpoint.trips");
+  trips.Increment();
   switch (fire.kind) {
     case ActionKind::kError:
       return fire.error;

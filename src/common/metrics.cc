@@ -1,0 +1,225 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace km {
+
+Histogram::Histogram(std::vector<double> bucket_bounds)
+    : bounds_(std::move(bucket_bounds)), buckets_(bounds_.size() + 1) {
+  // Bucket bounds must be ascending for the lower_bound in Observe().
+  KM_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const size_t idx = static_cast<size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_micro_.fetch_add(static_cast<int64_t>(value * 1e6),
+                       std::memory_order_relaxed);
+}
+
+double Histogram::Sum() const {
+  return static_cast<double>(sum_micro_.load(std::memory_order_relaxed)) * 1e-6;
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> counts(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_micro_.store(0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& DefaultLatencyBucketsMs() {
+  static const std::vector<double> kBuckets = {
+      0.25, 0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192};
+  return kBuckets;
+}
+
+void MetricsSnapshot::AddCounter(const std::string& name, double delta) {
+  auto& value = values_[name];
+  value.kind = MetricValue::Kind::kCounter;
+  value.value += delta;
+}
+
+void MetricsSnapshot::AddGauge(const std::string& name, double delta) {
+  auto& value = values_[name];
+  value.kind = MetricValue::Kind::kGauge;
+  value.value += delta;
+}
+
+double MetricsSnapshot::value(const std::string& name) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? 0.0 : it->second.value;
+}
+
+namespace {
+
+// Renders doubles without trailing zero noise ("3" not "3.000000").
+std::string NumberString(double value) {
+  char buf[64];
+  if (value == static_cast<double>(static_cast<int64_t>(value))) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  for (const auto& [name, metric] : values_) {
+    if (metric.kind == MetricValue::Kind::kHistogram) {
+      char buf[128];
+      for (size_t i = 0; i < metric.buckets.size(); ++i) {
+        if (i < metric.bounds.size()) {
+          std::snprintf(buf, sizeof(buf), "%s{le=\"%s\"} %" PRIu64 "\n",
+                        name.c_str(), NumberString(metric.bounds[i]).c_str(),
+                        metric.buckets[i]);
+        } else {
+          std::snprintf(buf, sizeof(buf), "%s{le=\"+Inf\"} %" PRIu64 "\n",
+                        name.c_str(), metric.buckets[i]);
+        }
+        out.append(buf);
+      }
+      out.append(name).append(".sum ").append(NumberString(metric.sum));
+      out.push_back('\n');
+      std::snprintf(buf, sizeof(buf), "%s.count %" PRIu64 "\n", name.c_str(),
+                    metric.count);
+      out.append(buf);
+    } else {
+      out.append(name).push_back(' ');
+      out.append(NumberString(metric.value));
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+  char buf[128];
+  for (const auto& [name, metric] : values_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("\n  \"").append(name).append("\": ");
+    if (metric.kind == MetricValue::Kind::kHistogram) {
+      out.append("{\"bounds\": [");
+      for (size_t i = 0; i < metric.bounds.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        out.append(NumberString(metric.bounds[i]));
+      }
+      out.append("], \"buckets\": [");
+      for (size_t i = 0; i < metric.buckets.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, metric.buckets[i]);
+        out.append(buf);
+      }
+      std::snprintf(buf, sizeof(buf), "], \"count\": %" PRIu64 ", \"sum\": %s}",
+                    metric.count, NumberString(metric.sum).c_str());
+      out.append(buf);
+    } else {
+      out.append(NumberString(metric.value));
+    }
+  }
+  out.append("\n}\n");
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::CounterRef(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // A name may only ever bind one instrument kind.
+  KM_CHECK(gauges_.count(name) == 0 && histograms_.count(name) == 0);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GaugeRef(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  KM_CHECK(counters_.count(name) == 0 && histograms_.count(name) == 0);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::HistogramRef(const std::string& name,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  KM_CHECK(counters_.count(name) == 0 && gauges_.count(name) == 0);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(bounds);
+  return *slot;
+}
+
+int64_t MetricsRegistry::AddCollector(
+    std::function<void(MetricsSnapshot*)> collector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t id = next_collector_id_++;
+  collectors_.emplace_back(id, std::move(collector));
+  return id;
+}
+
+void MetricsRegistry::RemoveCollector(int64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.erase(
+      std::remove_if(collectors_.begin(), collectors_.end(),
+                     [id](const auto& entry) { return entry.first == id; }),
+      collectors_.end());
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    auto& value = snapshot.values_[name];
+    value.kind = MetricValue::Kind::kCounter;
+    value.value = static_cast<double>(counter->Value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    auto& value = snapshot.values_[name];
+    value.kind = MetricValue::Kind::kGauge;
+    value.value = static_cast<double>(gauge->Value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    auto& value = snapshot.values_[name];
+    value.kind = MetricValue::Kind::kHistogram;
+    value.bounds = histogram->bounds();
+    value.buckets = histogram->BucketCounts();
+    value.count = histogram->Count();
+    value.sum = histogram->Sum();
+  }
+  for (const auto& [id, collector] : collectors_) {
+    (void)id;
+    collector(&snapshot);
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace km

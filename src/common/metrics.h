@@ -1,0 +1,182 @@
+// Process-wide metrics: counters, gauges, and fixed-bucket histograms.
+//
+// The registry is pull-style: instruments are cheap lock-free atomics on
+// the write path, and a reader calls MetricsRegistry::Default().Snapshot()
+// to get a consistent point-in-time MetricsSnapshot, rendered as
+// Prometheus-like text (ToText) or JSON (ToJson).
+//
+// Two ways for a subsystem to publish:
+//
+//  1. Push — grab a stable instrument reference once and bump it:
+//       static Counter& trips = MetricsRegistry::Default().CounterRef(
+//           "km.failpoint.trips");
+//       trips.Increment();
+//     References stay valid for the process lifetime (instruments are
+//     never destroyed, only reset by ResetForTest()).
+//
+//  2. Collect — for state that lives inside an object (e.g. an engine's
+//     cache counters), register a collector; Snapshot() invokes it and the
+//     collector *adds* its values into the snapshot. Additive merging
+//     means several live engines publishing "km.cache.*" compose instead
+//     of overwriting each other. Collectors must unregister (RemoveCollector)
+//     before their captured state dies.
+//
+// Metric naming: dot-separated "km.<subsystem>.<what>", e.g.
+// "km.cache.keyword_row.hits", "km.stage_spend.forward",
+// "km.answers.quality.complete". (Rendered as-is; the text exposition is
+// Prometheus-*like*, not strict promtext.)
+
+#ifndef KM_COMMON_METRICS_H_
+#define KM_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace km {
+
+/// Monotonically increasing count. Write path is one relaxed atomic add.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written point-in-time value (e.g. current cache entry count).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram: explicit upper bounds plus an implicit overflow
+/// bucket. Observe() is a binary search + one relaxed add per observation.
+/// Invariant (checked by the property suite): sum of bucket counts ==
+/// Count().
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bucket_bounds);
+
+  void Observe(double value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const;
+  /// Upper bounds, one per finite bucket (the overflow bucket is implied).
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts; size() == bounds().size() + 1 (last = overflow).
+  std::vector<uint64_t> BucketCounts() const;
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;  // ascending, immutable after construction
+  std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  // Sum as fixed-point micro-units so it stays a lock-free atomic.
+  std::atomic<int64_t> sum_micro_{0};
+};
+
+/// Default latency buckets (milliseconds): 0.25ms .. 8s, roughly 2x apart.
+const std::vector<double>& DefaultLatencyBucketsMs();
+
+/// One rendered metric in a snapshot.
+struct MetricValue {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  Kind kind = Kind::kCounter;
+  double value = 0;  // counter/gauge value
+  // Histogram payload (kind == kHistogram):
+  std::vector<double> bounds;
+  std::vector<uint64_t> buckets;  // bounds.size() + 1, last = overflow
+  uint64_t count = 0;
+  double sum = 0;
+};
+
+/// Point-in-time view of every instrument plus collector contributions.
+class MetricsSnapshot {
+ public:
+  /// Adds `delta` into the named counter-like value (creates it at 0).
+  /// Collectors use this; additive so concurrent publishers compose.
+  void AddCounter(const std::string& name, double delta);
+  /// Adds `delta` into the named gauge-like value (creates it at 0).
+  void AddGauge(const std::string& name, double delta);
+
+  const std::map<std::string, MetricValue>& values() const { return values_; }
+  /// Value of a counter/gauge by name; 0 when absent.
+  double value(const std::string& name) const;
+  bool has(const std::string& name) const { return values_.count(name) > 0; }
+
+  /// Prometheus-like text exposition:
+  ///   km.cache.keyword_row.hits 42
+  ///   km.answer.latency_ms{le="0.25"} 3
+  ///   km.answer.latency_ms{le="+Inf"} 9
+  ///   km.answer.latency_ms.sum 17.5
+  ///   km.answer.latency_ms.count 9
+  std::string ToText() const;
+  /// JSON object keyed by metric name.
+  std::string ToJson() const;
+
+ private:
+  friend class MetricsRegistry;
+  std::map<std::string, MetricValue> values_;
+};
+
+/// Registry of named instruments + snapshot-time collectors. Production
+/// code shares Default(); isolated instances are constructible for tests.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  /// The process-wide registry.
+  static MetricsRegistry& Default();
+
+  /// Stable reference to the named instrument, created on first use.
+  /// Same name → same instrument; kind mismatches are a programming error
+  /// (checked). References remain valid forever.
+  Counter& CounterRef(const std::string& name);
+  Gauge& GaugeRef(const std::string& name);
+  /// `bounds` only matters on first creation.
+  Histogram& HistogramRef(const std::string& name,
+                          const std::vector<double>& bounds);
+
+  /// Registers a snapshot-time collector; returns an id for RemoveCollector.
+  /// Collectors run under the registry lock — keep them cheap and never
+  /// call back into the registry.
+  int64_t AddCollector(std::function<void(MetricsSnapshot*)> collector);
+  void RemoveCollector(int64_t id);
+
+  /// Consistent point-in-time view: all instruments + collector output.
+  MetricsSnapshot Snapshot();
+
+  /// Zeroes every instrument (references stay valid). Collectors are kept;
+  /// tests that need isolation should diff two snapshots instead when
+  /// engines are live.
+  void ResetForTest();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  int64_t next_collector_id_ = 1;
+  std::vector<std::pair<int64_t, std::function<void(MetricsSnapshot*)>>>
+      collectors_;
+};
+
+}  // namespace km
+
+#endif  // KM_COMMON_METRICS_H_

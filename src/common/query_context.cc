@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "common/metrics.h"
 #include "common/strings.h"
 
 namespace km {
@@ -35,6 +36,36 @@ QueryContext::QueryContext(QueryLimits limits)
     deadline_ = start_ + std::chrono::duration_cast<Clock::duration>(
                              std::chrono::duration<double, std::milli>(
                                  limits_.deadline_ms));
+  }
+}
+
+QueryContext::~QueryContext() {
+  auto& registry = MetricsRegistry::Default();
+  for (size_t s = 0; s < kNumQueryStages; ++s) {
+    const uint64_t spend = spend_[s].load(std::memory_order_relaxed);
+    if (spend == 0) continue;
+    static Counter* const spend_counters[kNumQueryStages] = {
+        &registry.CounterRef("km.query.spend.tokenize"),
+        &registry.CounterRef("km.query.spend.weights"),
+        &registry.CounterRef("km.query.spend.forward"),
+        &registry.CounterRef("km.query.spend.backward"),
+        &registry.CounterRef("km.query.spend.combine"),
+        &registry.CounterRef("km.query.spend.execute"),
+    };
+    spend_counters[s]->Increment(spend);
+  }
+  if (deadline_hit()) {
+    static Counter& deadline_hits =
+        registry.CounterRef("km.query.deadline_hits");
+    deadline_hits.Increment();
+  }
+  if (work_budget_hit()) {
+    static Counter& budget_hits = registry.CounterRef("km.query.budget_hits");
+    budget_hits.Increment();
+  }
+  if (cancel_requested()) {
+    static Counter& cancels = registry.CounterRef("km.query.cancellations");
+    cancels.Increment();
   }
 }
 

@@ -27,6 +27,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "common/trace.h"
 
 namespace km {
 
@@ -73,6 +74,12 @@ class QueryContext {
  public:
   QueryContext() : QueryContext(QueryLimits::Unlimited()) {}
   explicit QueryContext(QueryLimits limits);
+
+  /// Publishes this query's final spend to the process metrics registry
+  /// ("km.query.spend.<stage>" counters plus deadline/budget/cancel hit
+  /// counts). Destructor-time publication keeps batch accounting exact: a
+  /// context shared by a whole AnswerBatch is counted once, not per answer.
+  ~QueryContext();
 
   QueryContext(const QueryContext&) = delete;
   QueryContext& operator=(const QueryContext&) = delete;
@@ -130,7 +137,9 @@ class QueryContext {
   std::string SpendReport() const;
 
  private:
-  using Clock = std::chrono::steady_clock;
+  // The library-wide monotonic clock (common/trace.h): span timings and
+  // deadline checks read the same source and can never disagree.
+  using Clock = MonotonicClock;
 
   // Poll the clock once per this many CheckPoint() calls.
   static constexpr uint64_t kPollStride = 64;

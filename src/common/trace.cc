@@ -1,0 +1,251 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <time.h>  // clock_gettime, CLOCK_THREAD_CPUTIME_ID
+#define KM_HAS_THREAD_CPU_CLOCK 1
+#endif
+
+#include "common/check.h"
+
+namespace km {
+
+int64_t MonotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             MonotonicClock::now().time_since_epoch())
+      .count();
+}
+
+int64_t ThreadCpuNowNs() {
+#ifdef KM_HAS_THREAD_CPU_CLOCK
+  struct timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+  }
+#endif
+  return 0;
+}
+
+TraceNode::TraceNode(std::string name, TraceNode* parent, size_t slot)
+    : name_(std::move(name)),
+      parent_(parent),
+      root_(parent != nullptr ? parent->root_ : this) {
+  if (parent == nullptr) {
+    epoch_ns_ = MonotonicNowNs();
+    start_wall_ns_ = epoch_ns_;
+    slot_ = 0;
+  } else {
+    start_wall_ns_ = MonotonicNowNs();
+    slot_ = slot;
+  }
+  start_offset_ns_ = start_wall_ns_ - root_->epoch_ns_;
+  start_cpu_ns_ = ThreadCpuNowNs();
+  // tid_ is set by the caller (Root / BeginChild): SmallThreadId locks the
+  // root's mutex, which BeginChild on the root already holds here.
+}
+
+std::shared_ptr<TraceNode> TraceNode::Root(std::string name) {
+  // make_shared can't reach the private constructor; the extra allocation
+  // is once per traced query.
+  auto root = std::shared_ptr<TraceNode>(
+      new TraceNode(std::move(name), /*parent=*/nullptr, /*slot=*/0));
+  root->tid_ = root->SmallThreadId();
+  return root;
+}
+
+TraceNode* TraceNode::BeginChild(const char* name, size_t slot) {
+  // Children may not be opened on a span that has already ended.
+  KM_DCHECK(!ended());
+  // Resolved before taking mu_: SmallThreadId locks the root's mutex, and
+  // when this node *is* the root that would self-deadlock under the guard.
+  const int tid = root_->SmallThreadId();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slot == kAutoSlot) {
+    slot = next_slot_.fetch_add(1, std::memory_order_relaxed);
+  }
+  children_.push_back(std::unique_ptr<TraceNode>(new TraceNode(name, this, slot)));
+  children_.back()->tid_ = tid;
+  return children_.back().get();
+}
+
+void TraceNode::End() {
+  if (ended_.exchange(true, std::memory_order_acq_rel)) return;
+  wall_ns_ = MonotonicNowNs() - start_wall_ns_;
+  int64_t cpu = ThreadCpuNowNs();
+  cpu_ns_ = (start_cpu_ns_ > 0 && cpu > 0) ? cpu - start_cpu_ns_ : 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Slot order is program order for serial call sites and loop-index order
+  // for parallel ones — either way, deterministic across thread counts.
+  std::stable_sort(children_.begin(), children_.end(),
+                   [](const std::unique_ptr<TraceNode>& a,
+                      const std::unique_ptr<TraceNode>& b) {
+                     return a->slot_ < b->slot_;
+                   });
+}
+
+void TraceNode::Add(const char* counter, uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, value] : counters_) {
+    if (name == counter) {
+      value += delta;
+      return;
+    }
+  }
+  counters_.emplace_back(counter, delta);
+}
+
+uint64_t TraceNode::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [counter_name, value] : counters_) {
+    if (counter_name == name) return value;
+  }
+  return 0;
+}
+
+size_t TraceNode::SpanCount() const {
+  size_t n = 1;
+  for (const auto& child : children_) n += child->SpanCount();
+  return n;
+}
+
+int TraceNode::SmallThreadId() {
+  const uint64_t hash =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  std::lock_guard<std::mutex> lock(root_->mu_);
+  auto& ids = root_->thread_ids_;
+  for (const auto& [known_hash, ordinal] : ids) {
+    if (known_hash == hash) return ordinal;
+  }
+  ids.emplace_back(hash, static_cast<int>(ids.size()));
+  return ids.back().second;
+}
+
+namespace {
+
+void AppendIndent(std::string* out, size_t depth) {
+  for (size_t i = 0; i < depth; ++i) out->append("  ");
+}
+
+// Counters sorted by name so the rendering never depends on which thread
+// touched a counter first.
+std::vector<std::pair<std::string, uint64_t>> SortedCounters(
+    const std::vector<std::pair<std::string, uint64_t>>& counters) {
+  auto sorted = counters;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void TraceNode::AppendTree(std::string* out, size_t depth, bool timings) const {
+  AppendIndent(out, depth);
+  out->append(name_);
+  if (timings) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "  wall=%.3fms cpu=%.3fms", wall_ms(),
+                  cpu_ms());
+    out->append(buf);
+  }
+  for (const auto& [counter_name, value] : SortedCounters(counters_)) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), " %s=%" PRIu64, counter_name.c_str(),
+                  value);
+    out->append(buf);
+  }
+  out->push_back('\n');
+  for (const auto& child : children_) {
+    child->AppendTree(out, depth + 1, timings);
+  }
+}
+
+void TraceNode::AppendShape(std::string* out, size_t depth) const {
+  AppendIndent(out, depth);
+  out->append(name_);
+  // Counter *names* are structural (which code paths ran); values are not.
+  auto sorted = SortedCounters(counters_);
+  if (!sorted.empty()) {
+    out->append(" [");
+    for (size_t i = 0; i < sorted.size(); ++i) {
+      if (i > 0) out->push_back(' ');
+      out->append(sorted[i].first);
+    }
+    out->push_back(']');
+  }
+  out->push_back('\n');
+  for (const auto& child : children_) {
+    child->AppendShape(out, depth + 1);
+  }
+}
+
+std::string TraceNode::TreeString(bool timings) const {
+  std::string out;
+  AppendTree(&out, 0, timings);
+  return out;
+}
+
+std::string TraceNode::ShapeString() const {
+  std::string out;
+  AppendShape(&out, 0);
+  return out;
+}
+
+void TraceNode::AppendChromeEvents(std::string* out, bool* first) const {
+  if (!*first) out->append(",\n");
+  *first = false;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,"
+                "\"dur\":%.3f,\"name\":\"",
+                tid_, static_cast<double>(start_offset_ns_) * 1e-3,
+                static_cast<double>(wall_ns_) * 1e-3);
+  out->append(buf);
+  AppendJsonEscaped(out, name_);
+  out->append("\",\"args\":{");
+  bool first_arg = true;
+  for (const auto& [counter_name, value] : SortedCounters(counters_)) {
+    if (!first_arg) out->push_back(',');
+    first_arg = false;
+    out->push_back('"');
+    AppendJsonEscaped(out, counter_name);
+    std::snprintf(buf, sizeof(buf), "\":%" PRIu64, value);
+    out->append(buf);
+  }
+  out->append("}}");
+  for (const auto& child : children_) {
+    child->AppendChromeEvents(out, first);
+  }
+}
+
+std::string TraceNode::ChromeTraceJson() const {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  AppendChromeEvents(&out, &first);
+  out.append("\n]}\n");
+  return out;
+}
+
+}  // namespace km

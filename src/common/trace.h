@@ -1,0 +1,229 @@
+// Per-query span tracing and the library's single clock abstraction.
+//
+// A *span* measures one pipeline component over one query: its wall-clock
+// and thread-CPU time, a handful of named counters, and its children.
+// Spans form a tree rooted at the Answer() call; the tree is the EXPLAIN
+// answer (AnswerResult::Explain()) and exports as Chrome trace_event JSON
+// loadable in about:tracing.
+//
+// Tracing is *zero-cost when disabled*: every instrumented function takes
+// a nullable `TraceNode* parent`, and a null parent makes the RAII span a
+// no-op (one pointer test, no allocation, no clock read). The engine only
+// allocates a root when EngineOptions::trace is set, so the default
+// (Release, tracing off) pipeline byte-identically matches the pre-tracing
+// one.
+//
+// Thread model: span *creation* is thread-safe — ParallelFor workers open
+// children of a shared parent concurrently. Determinism under parallelism
+// comes from *slots*: a parallel call site passes its loop index as the
+// child's slot, a serial call site lets the parent assign the next slot in
+// program order, and End() sorts children by slot. A serial and a
+// threads=N run of the same query therefore produce identical trees (the
+// golden-trace suite locks this down). Counters on one span may be bumped
+// from several workers; they are merged under the span's mutex.
+//
+// This header is also the home of the one steady/CPU clock source
+// (MonotonicClock / MonotonicNowNs / ThreadCpuNowNs). QueryContext
+// deadlines, Stopwatch and span timings all read the same clock, so they
+// can never disagree about elapsed time.
+
+#ifndef KM_COMMON_TRACE_H_
+#define KM_COMMON_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace km {
+
+// ------------------------------------------------------------------ clocks
+
+/// The library's single monotonic clock (immune to system-time jumps).
+/// QueryContext deadlines, Stopwatch and span wall times all use it.
+using MonotonicClock = std::chrono::steady_clock;
+
+/// Nanoseconds on the monotonic clock (arbitrary epoch).
+int64_t MonotonicNowNs();
+
+/// Nanoseconds of CPU time consumed by the calling thread, or 0 where the
+/// platform offers no thread CPU clock.
+int64_t ThreadCpuNowNs();
+
+/// Measures elapsed wall-clock time from construction or the last Reset().
+/// (Absorbed from the former common/stopwatch.h; same API, same clock as
+/// the tracer and QueryContext.)
+class Stopwatch {
+ public:
+  Stopwatch() : start_(MonotonicClock::now()) {}
+
+  /// Restarts the measurement.
+  void Reset() { start_ = MonotonicClock::now(); }
+
+  /// Elapsed seconds since start.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(MonotonicClock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since start.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed microseconds since start.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  MonotonicClock::time_point start_;
+};
+
+// ------------------------------------------------------------------- spans
+
+/// One node of a span tree. Created via TraceNode::Root() (the per-query
+/// root) and BeginChild() (everything else, usually through ScopedSpan).
+/// Nodes are owned by their parent; the root is owned by a shared_ptr that
+/// AnswerResult carries, so a trace outlives the engine call that built it.
+class TraceNode {
+ public:
+  /// Sentinel: let the parent assign the next slot in creation order.
+  static constexpr size_t kAutoSlot = static_cast<size_t>(-1);
+
+  /// Allocates a root span and starts its clocks.
+  static std::shared_ptr<TraceNode> Root(std::string name);
+
+  TraceNode(const TraceNode&) = delete;
+  TraceNode& operator=(const TraceNode&) = delete;
+
+  /// Opens a child span (thread-safe). Parallel call sites must pass their
+  /// loop index as `slot` so the tree is deterministic under ParallelFor;
+  /// serial call sites use kAutoSlot. The child is owned by this node;
+  /// the returned pointer stays valid for the tree's lifetime.
+  TraceNode* BeginChild(const char* name, size_t slot = kAutoSlot);
+
+  /// Stops the clocks and sorts children by slot. Idempotent; must be
+  /// called by the thread that opened the span (ScopedSpan does).
+  void End();
+
+  /// Adds `delta` to the named counter (thread-safe; counters of a span
+  /// that several workers touch merge deterministically because addition
+  /// commutes).
+  void Add(const char* counter, uint64_t delta = 1);
+
+  // -- accessors (valid once the span has ended) --
+  const std::string& name() const { return name_; }
+  size_t slot() const { return slot_; }
+  double wall_ms() const { return static_cast<double>(wall_ns_) * 1e-6; }
+  double cpu_ms() const { return static_cast<double>(cpu_ns_) * 1e-6; }
+  /// Start offset from the root span's start, in nanoseconds.
+  int64_t start_offset_ns() const { return start_offset_ns_; }
+  bool ended() const { return ended_.load(std::memory_order_acquire); }
+  const std::vector<std::unique_ptr<TraceNode>>& children() const {
+    return children_;
+  }
+  const std::vector<std::pair<std::string, uint64_t>>& counters() const {
+    return counters_;
+  }
+  /// Counter value by name (0 when absent).
+  uint64_t counter(const std::string& name) const;
+
+  /// Total number of spans in this subtree (including this one).
+  size_t SpanCount() const;
+
+  /// Human-readable indented tree. With `timings`, each line carries wall
+  /// and CPU milliseconds; without, only names, nesting and counters — the
+  /// form the golden-trace suite snapshots.
+  std::string TreeString(bool timings = true) const;
+
+  /// Structural snapshot: names + nesting only (no timings, no counter
+  /// values — those vary run to run). This is the golden-trace format.
+  std::string ShapeString() const;
+
+  /// Chrome trace_event JSON ({"traceEvents":[...]}) for about:tracing.
+  /// Call on the root after the query finished.
+  std::string ChromeTraceJson() const;
+
+ private:
+  TraceNode(std::string name, TraceNode* parent, size_t slot);
+
+  void AppendTree(std::string* out, size_t depth, bool timings) const;
+  void AppendShape(std::string* out, size_t depth) const;
+  void AppendChromeEvents(std::string* out, bool* first) const;
+  int SmallThreadId();
+
+  std::string name_;
+  TraceNode* parent_ = nullptr;  // null for the root
+  TraceNode* root_ = nullptr;    // self for the root
+  size_t slot_ = 0;
+  int tid_ = 0;  // small per-trace thread ordinal (Chrome export)
+
+  int64_t epoch_ns_ = 0;         // root only: MonotonicNowNs() at start
+  int64_t start_offset_ns_ = 0;  // start − root epoch
+  int64_t start_wall_ns_ = 0;
+  int64_t start_cpu_ns_ = 0;
+  int64_t wall_ns_ = 0;
+  int64_t cpu_ns_ = 0;
+  std::atomic<bool> ended_{false};
+
+  mutable std::mutex mu_;  // guards children_, counters_, thread-id map
+  std::atomic<size_t> next_slot_{0};
+  std::vector<std::unique_ptr<TraceNode>> children_;
+  std::vector<std::pair<std::string, uint64_t>> counters_;
+  // Root only: thread::id hash → small ordinal for the Chrome export.
+  std::vector<std::pair<uint64_t, int>> thread_ids_;
+};
+
+/// RAII handle over one span. A null parent (tracing disabled) makes every
+/// member a no-op. The usual shape:
+///
+///   void Stage(..., TraceNode* parent) {
+///     KM_SPAN(span, parent, "stage.component");
+///     ...
+///     span.Add("items", n);
+///     Child(..., span.get());
+///   }
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(TraceNode* parent, const char* name,
+             size_t slot = TraceNode::kAutoSlot)
+      : node_(parent != nullptr ? parent->BeginChild(name, slot) : nullptr) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    if (node_ != nullptr) node_->End();
+  }
+
+  /// The underlying span — pass to callees as their parent. Null when
+  /// tracing is disabled.
+  TraceNode* get() const { return node_; }
+
+  void Add(const char* counter, uint64_t delta = 1) {
+    if (node_ != nullptr) node_->Add(counter, delta);
+  }
+
+  /// Ends the span before scope exit (idempotent; the destructor then
+  /// no-ops). For spans that cannot wrap their region in a block.
+  void End() {
+    if (node_ != nullptr) node_->End();
+  }
+
+  explicit operator bool() const { return node_ != nullptr; }
+
+ private:
+  TraceNode* node_ = nullptr;
+};
+
+/// Declares a ScopedSpan named `var` under `parent` (nullable).
+#define KM_SPAN(var, parent, name) ::km::ScopedSpan var((parent), (name))
+
+/// Same, for parallel loop bodies: `slot` (the loop index) fixes the
+/// child's position so serial and parallel runs build identical trees.
+#define KM_SPAN_SLOT(var, parent, name, slot) \
+  ::km::ScopedSpan var((parent), (name), (slot))
+
+}  // namespace km
+
+#endif  // KM_COMMON_TRACE_H_

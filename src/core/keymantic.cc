@@ -10,6 +10,7 @@
 #include "analysis/invariants.h"
 #include "common/check.h"
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/strings.h"
 #include "core/translate.h"
 #include "dst/dst.h"
@@ -24,6 +25,41 @@ std::string Explanation::ToString(const std::vector<std::string>& keywords,
   out += "configuration: " + configuration.ToString(keywords, terminology) + "\n";
   out += "join tree cost: " + StrFormat("%.3f", interpretation.cost) + "\n";
   out += sql.ToSql();
+  return out;
+}
+
+std::string AnswerResult::Explain(bool include_timings) const {
+  std::string out;
+  if (!provenance.empty()) {
+    out += "weight provenance (top configuration):\n";
+    for (const KeywordProvenance& p : provenance) {
+      out += "  '" + p.keyword + "' -> " + p.term;
+      out += "  w=" + StrFormat("%.3f", p.weight.final_weight);
+      out += " via ";
+      out += p.weight.dominant();
+      if (p.weight.is_schema_term) {
+        out += " (string=" + StrFormat("%.3f", p.weight.string_similarity) +
+               " synonym=" + StrFormat("%.3f", p.weight.synonym) + ")";
+      } else {
+        out += " (pattern=" + StrFormat("%.3f", p.weight.pattern) +
+               " instance=" + StrFormat("%.3f", p.weight.instance) + ")";
+      }
+      if (p.weight.fk_penalized) out += " fk_penalized";
+      if (p.weight.instance_miss_penalized) out += " instance_miss";
+      if (p.contextual_factor != 1.0) {
+        out += " ctx=" + StrFormat("%.3f", p.contextual_factor);
+      }
+      out += "\n";
+    }
+  }
+  out += "quality: ";
+  out += ResultQualityName(quality);
+  out += "\n";
+  if (trace != nullptr) {
+    out += "span tree:\n";
+    out += include_timings ? trace->TreeString(/*timings=*/true)
+                           : trace->ShapeString();
+  }
   return out;
 }
 
@@ -62,6 +98,32 @@ KeymanticEngine::KeymanticEngine(const Database& db, EngineOptions options)
       }
     }
   }
+  // Cache statistics live inside this engine; publish them as snapshot-time
+  // collector contributions. AddGauge merges additively, so several live
+  // engines compose instead of overwriting one another.
+  metrics_collector_id_ = MetricsRegistry::Default().AddCollector(
+      [this](MetricsSnapshot* snap) {
+        const CacheCounters rows = weights_->RowCacheCounters();
+        snap->AddGauge("km.cache.keyword_row.hits", static_cast<double>(rows.hits));
+        snap->AddGauge("km.cache.keyword_row.misses",
+                       static_cast<double>(rows.misses));
+        snap->AddGauge("km.cache.keyword_row.evictions",
+                       static_cast<double>(rows.evictions));
+        snap->AddGauge("km.cache.keyword_row.entries",
+                       static_cast<double>(rows.entries));
+        const CacheCounters steiner = steiner_cache_.Counters();
+        snap->AddGauge("km.cache.steiner.hits", static_cast<double>(steiner.hits));
+        snap->AddGauge("km.cache.steiner.misses",
+                       static_cast<double>(steiner.misses));
+        snap->AddGauge("km.cache.steiner.evictions",
+                       static_cast<double>(steiner.evictions));
+        snap->AddGauge("km.cache.steiner.entries",
+                       static_cast<double>(steiner.entries));
+      });
+}
+
+KeymanticEngine::~KeymanticEngine() {
+  MetricsRegistry::Default().RemoveCollector(metrics_collector_id_);
 }
 
 void KeymanticEngine::SetTrainedHmm(Hmm hmm) {
@@ -97,21 +159,35 @@ StatusOr<std::vector<Explanation>> KeymanticEngine::SearchKeywords(
 
 StatusOr<AnswerResult> KeymanticEngine::Answer(const std::string& query, size_t k,
                                                QueryContext* ctx) const {
-  KM_FAILPOINT_CTX("engine.tokenize.fail", ctx);
-  KM_RETURN_IF_ERROR(ValidateQueryText(query));
-  std::vector<std::string> keywords = Tokenize(query, tokenizer_options_);
-  if (ctx != nullptr) {
-    (void)ctx->CheckPoint(QueryStage::kTokenize, keywords.size() + 1);
+  std::shared_ptr<TraceNode> root;
+  if (options_.trace) root = TraceNode::Root("answer");
+  std::vector<std::string> keywords;
+  {
+    KM_SPAN(tok_span, root.get(), "tokenize");
+    KM_FAILPOINT_CTX("engine.tokenize.fail", ctx);
+    KM_RETURN_IF_ERROR(ValidateQueryText(query));
+    keywords = Tokenize(query, tokenizer_options_);
+    if (ctx != nullptr) {
+      (void)ctx->CheckPoint(QueryStage::kTokenize, keywords.size() + 1);
+    }
+    KM_ENSURE_ARG(!keywords.empty(),
+                  "query contains no keywords (only stopwords or punctuation)");
+    tok_span.Add("keywords", keywords.size());
   }
-  KM_ENSURE_ARG(!keywords.empty(),
-                "query contains no keywords (only stopwords or punctuation)");
-  return AnswerKeywords(keywords, k, ctx);
+  auto result = AnswerInternal(keywords, k, ctx, root.get());
+  if (result.ok() && root != nullptr) {
+    root->End();
+    result->trace = std::move(root);
+  }
+  if (result.ok()) RecordAnswerMetrics(*result);
+  return result;
 }
 
 StatusOr<std::vector<Configuration>> KeymanticEngine::HmmConfigurations(
     const std::vector<std::string>& keywords, size_t k, const Hmm& hmm,
-    QueryContext* ctx) const {
-  Matrix sim = weights_->Build(keywords, ctx);
+    QueryContext* ctx, TraceNode* parent) const {
+  KM_SPAN(span, parent, "forward.hmm");
+  Matrix sim = weights_->Build(keywords, ctx, span.get());
   KM_DCHECK_OK(ValidateWeightMatrix(sim, keywords.size(), terminology_.size()));
   // ListViterbi cannot be interrupted midway; when the budget is already
   // gone, return no paths and let the forward ladder pick the cheap rung.
@@ -143,13 +219,13 @@ StatusOr<std::vector<Configuration>> KeymanticEngine::Configurations(
 
 StatusOr<std::vector<Configuration>> KeymanticEngine::ConfigurationsImpl(
     const std::vector<std::string>& keywords, size_t k, QueryContext* ctx,
-    bool* degraded) const {
+    bool* degraded, TraceNode* parent) const {
   // The matching-based rung. Generate() carries its own internal ladder
   // (Murty top-k → Hungarian optimum → greedy); its report says whether
   // any of those fallbacks fired.
   auto hungarian = [&](bool* fell) -> StatusOr<std::vector<Configuration>> {
     ForwardReport report;
-    auto configs = generator_->Generate(keywords, k, ctx, &report);
+    auto configs = generator_->Generate(keywords, k, ctx, &report, parent);
     if (configs.ok() && report.degraded() && fell != nullptr) *fell = true;
     return configs;
   };
@@ -162,7 +238,7 @@ StatusOr<std::vector<Configuration>> KeymanticEngine::ConfigurationsImpl(
           options_.forward_mode == ForwardMode::kHmmTrained && trained_hmm_ != nullptr
               ? *trained_hmm_
               : apriori_hmm_;
-      auto paths = HmmConfigurations(keywords, k, hmm, ctx);
+      auto paths = HmmConfigurations(keywords, k, hmm, ctx, parent);
       if (paths.ok() && !paths->empty()) return paths;
       // Without a budget the caller wants the HMM result as-is, error
       // included; with one, exhaustion or failure drops to the bounded
@@ -175,7 +251,7 @@ StatusOr<std::vector<Configuration>> KeymanticEngine::ConfigurationsImpl(
       KM_ASSIGN_OR_RETURN(std::vector<Configuration> hung, hungarian(degraded));
       const Hmm& hmm = trained_hmm_ != nullptr ? *trained_hmm_ : apriori_hmm_;
       StatusOr<std::vector<Configuration>> hmm_paths =
-          HmmConfigurations(keywords, k, hmm, ctx);
+          HmmConfigurations(keywords, k, hmm, ctx, parent);
       if (ctx != nullptr && (!hmm_paths.ok() || hmm_paths->empty())) {
         // DST needs both evidence sources; degrade to Hungarian-only.
         if (degraded != nullptr) *degraded = true;
@@ -262,8 +338,8 @@ StatusOr<std::vector<Interpretation>> KeymanticEngine::Interpretations(
 }
 
 StatusOr<std::vector<Interpretation>> KeymanticEngine::InterpretationsLadder(
-    const Configuration& config, size_t k, QueryContext* ctx,
-    bool* degraded) const {
+    const Configuration& config, size_t k, QueryContext* ctx, bool* degraded,
+    TraceNode* parent) const {
   std::vector<size_t> terminals = TerminalsOfConfiguration(config);
   SteinerOptions opts = options_.steiner;
   opts.k = k;
@@ -274,14 +350,22 @@ StatusOr<std::vector<Interpretation>> KeymanticEngine::InterpretationsLadder(
   // empty (or error) result, not a partial ranking, so anything non-empty
   // here is trustworthy.
   if (prefer_full) {
+    KM_SPAN(span, parent, "backward.steiner");
+    span.Add("terminals", terminals.size());
     auto trees = TopKSteinerTrees(graph_, terminals, opts);
-    if (trees.ok() && !trees->empty()) return FinishInterpretations(std::move(*trees));
+    if (trees.ok() && !trees->empty()) {
+      span.Add("trees", trees->size());
+      return FinishInterpretations(std::move(*trees));
+    }
   }
   // Rung 2: the relation-level summary graph — an order of magnitude fewer
   // states, so it often finishes on the remaining budget.
   if (summary_ != nullptr) {
+    KM_SPAN(span, parent, "backward.summary");
+    span.Add("terminals", terminals.size());
     auto trees = summary_->TopKTrees(terminals, opts);
     if (trees.ok() && !trees->empty()) {
+      span.Add("trees", trees->size());
       if (prefer_full && degraded != nullptr) *degraded = true;
       return FinishInterpretations(std::move(*trees));
     }
@@ -289,6 +373,7 @@ StatusOr<std::vector<Interpretation>> KeymanticEngine::InterpretationsLadder(
   // Rung 3 (floor): shortest-path join trees. Polynomial and budget-free —
   // it runs to completion even on an expired deadline, so a connected
   // configuration always yields at least one interpretation.
+  KM_SPAN(floor_span, parent, "backward.floor");
   auto trees = ShortestPathTrees(graph_, terminals, k);
   if (!trees.ok()) return trees.status();
   if (trees->empty()) {
@@ -301,11 +386,15 @@ StatusOr<std::vector<Interpretation>> KeymanticEngine::InterpretationsLadder(
 StatusOr<std::vector<Interpretation>>
 KeymanticEngine::CachedInterpretationsLadder(const Configuration& config,
                                              size_t k, QueryContext* ctx,
-                                             bool* degraded) const {
+                                             bool* degraded,
+                                             TraceNode* parent) const {
   std::string key = SteinerCacheKey(TerminalsOfConfiguration(config), k);
-  if (auto hit = steiner_cache_.Get(key)) return *hit;
+  if (auto hit = steiner_cache_.Get(key)) {
+    if (parent != nullptr) parent->Add("steiner_cache_hits");
+    return *hit;
+  }
   bool local_degraded = false;
-  auto trees = InterpretationsLadder(config, k, ctx, &local_degraded);
+  auto trees = InterpretationsLadder(config, k, ctx, &local_degraded, parent);
   if (local_degraded && degraded != nullptr) *degraded = true;
   // Only full-quality results enter the cache: a fallback-rung or
   // budget-cut tree list must never be replayed for a later query that
@@ -328,6 +417,20 @@ StatusOr<SpjQuery> KeymanticEngine::Translate(
 
 StatusOr<AnswerResult> KeymanticEngine::AnswerKeywords(
     const std::vector<std::string>& keywords, size_t k, QueryContext* ctx) const {
+  std::shared_ptr<TraceNode> root;
+  if (options_.trace) root = TraceNode::Root("answer");
+  auto result = AnswerInternal(keywords, k, ctx, root.get());
+  if (result.ok() && root != nullptr) {
+    root->End();
+    result->trace = std::move(root);
+  }
+  if (result.ok()) RecordAnswerMetrics(*result);
+  return result;
+}
+
+StatusOr<AnswerResult> KeymanticEngine::AnswerInternal(
+    const std::vector<std::string>& keywords, size_t k, QueryContext* ctx,
+    TraceNode* root) const {
   KM_ENSURE_ARG(!keywords.empty(), "keyword query is empty");
   KM_ENSURE_ARG(keywords.size() <= kMaxQueryKeywords,
                 "keyword query exceeds the keyword limit");
@@ -338,9 +441,15 @@ StatusOr<AnswerResult> KeymanticEngine::AnswerKeywords(
   AnswerResult result;
   AnswerStats& stats = result.stats;
 
-  KM_ASSIGN_OR_RETURN(
-      std::vector<Configuration> configs,
-      ConfigurationsImpl(keywords, options_.config_k, ctx, &stats.forward_degraded));
+  std::vector<Configuration> configs;
+  {
+    KM_SPAN(fwd_span, root, "forward");
+    KM_ASSIGN_OR_RETURN(configs,
+                        ConfigurationsImpl(keywords, options_.config_k, ctx,
+                                           &stats.forward_degraded,
+                                           fwd_span.get()));
+    fwd_span.Add("configurations", configs.size());
+  }
   for (const Configuration& c : configs) {
     KM_DCHECK_OK(ValidateConfiguration(c, keywords.size(), terminology_));
   }
@@ -358,12 +467,15 @@ StatusOr<AnswerResult> KeymanticEngine::AnswerKeywords(
   };
   std::vector<Candidate> candidates;
   {
+    KM_SPAN(bwd_span, root, "backward");
     // Per-configuration Steiner discovery is independent: every worker
     // writes only its own slot, and the merge below walks the slots in
     // configuration order, so the candidate list matches the serial build
     // exactly. Exhaustion is sticky, so the "stop after the first
     // configuration" guarantee carries over: once the budget dies, every
-    // not-yet-started slot beyond index 0 stays empty.
+    // not-yet-started slot beyond index 0 stays empty. Each configuration's
+    // span is pinned to its loop index (slot), so the trace tree is also
+    // identical between serial and pooled runs.
     std::vector<std::optional<std::vector<Interpretation>>> expanded(configs.size());
     std::vector<uint8_t> degraded_flags(configs.size(), 0);
     std::atomic<bool> truncated{false};
@@ -372,12 +484,17 @@ StatusOr<AnswerResult> KeymanticEngine::AnswerKeywords(
         truncated.store(true, std::memory_order_relaxed);
         return;
       }
+      KM_SPAN_SLOT(cfg_span, bwd_span.get(), "backward.config", ci);
       bool local_degraded = false;
       auto interps = CachedInterpretationsLadder(
-          configs[ci], options_.interp_per_config, ctx, &local_degraded);
+          configs[ci], options_.interp_per_config, ctx, &local_degraded,
+          cfg_span.get());
       if (local_degraded) degraded_flags[ci] = 1;
       // !ok: disconnected images — orphan configuration, slot stays empty.
-      if (interps.ok()) expanded[ci] = std::move(*interps);
+      if (interps.ok()) {
+        cfg_span.Add("interpretations", interps->size());
+        expanded[ci] = std::move(*interps);
+      }
     });
     for (size_t ci = 0; ci < configs.size(); ++ci) {
       if (degraded_flags[ci] != 0) stats.backward_degraded = true;
@@ -394,6 +511,7 @@ StatusOr<AnswerResult> KeymanticEngine::AnswerKeywords(
     return Status::NotFound("no interpretation connects the keyword images");
   }
 
+  KM_SPAN(combine_span, root, "combine");
   // Normalized forward scores (configurations may carry log-probabilities;
   // shift-normalize like MassFunction does).
   std::vector<double> fwd(configs.size());
@@ -468,6 +586,7 @@ StatusOr<AnswerResult> KeymanticEngine::AnswerKeywords(
   }
 
   // Translate, deduplicate by SQL signature (keep the best score), rank.
+  KM_SPAN(translate_span, combine_span.get(), "combine.translate");
   std::unordered_map<std::string, size_t> by_signature;
   std::vector<Explanation> results;
   for (size_t i = 0; i < candidates.size(); ++i) {
@@ -490,11 +609,15 @@ StatusOr<AnswerResult> KeymanticEngine::AnswerKeywords(
     by_signature[sig] = results.size();
     results.push_back(std::move(ex));
   }
+  translate_span.Add("explanations", results.size());
+  translate_span.End();
+  combine_span.End();
   if (results.empty()) {
     return Status::NotFound("no candidate could be translated to SQL");
   }
 
   if (options_.penalize_empty_results) {
+    KM_SPAN(exec_span, root, "execute");
     // Result probing is the most expensive stage and purely a re-ranking
     // refinement, so it is the first thing dropped under an expired budget.
     if (ctx != nullptr && ctx->Exhausted()) {
@@ -506,7 +629,7 @@ StatusOr<AnswerResult> KeymanticEngine::AnswerKeywords(
           stats.execution_truncated = true;
           break;
         }
-        auto count = exec.Count(ex.sql, ctx);
+        auto count = exec.Count(ex.sql, ctx, exec_span.get());
         if (count.ok() && *count == 0) ex.score *= 0.25;
       }
     }
@@ -544,7 +667,50 @@ StatusOr<AnswerResult> KeymanticEngine::AnswerKeywords(
   stats.keyword_row_cache = weights_->RowCacheCounters();
   stats.steiner_cache = steiner_cache_.Counters();
   result.quality = q;
+  if (options_.explain) FillProvenance(keywords, &result);
   return result;
+}
+
+void KeymanticEngine::FillProvenance(const std::vector<std::string>& keywords,
+                                     AnswerResult* result) const {
+  if (result->explanations.empty()) return;
+  const Configuration& top = result->explanations.front().configuration;
+  if (top.term_for_keyword.size() != keywords.size()) return;
+  // Contextual factors of the winning configuration, scored left-to-right
+  // exactly like the forward re-ranking did.
+  std::vector<double> factors;
+  Matrix intrinsic = weights_->Build(keywords);
+  (void)generator_->contextualizer().ScoreSequenceDetailed(
+      intrinsic, top.term_for_keyword, &factors);
+  result->provenance.reserve(keywords.size());
+  for (size_t i = 0; i < keywords.size(); ++i) {
+    KeywordProvenance p;
+    p.keyword = keywords[i];
+    const DatabaseTerm& term = terminology_.term(top.term_for_keyword[i]);
+    p.term = term.ToString();
+    p.weight = weights_->ExplainWeight(keywords[i], term);
+    p.contextual_factor = i < factors.size() ? factors[i] : 1.0;
+    result->provenance.push_back(std::move(p));
+  }
+}
+
+void KeymanticEngine::RecordAnswerMetrics(const AnswerResult& result) const {
+  auto& registry = MetricsRegistry::Default();
+  static Counter& answers = registry.CounterRef("km.answers.total");
+  answers.Increment();
+  static Counter* const quality_counters[] = {
+      &registry.CounterRef("km.answers.quality.complete"),
+      &registry.CounterRef("km.answers.quality.degraded"),
+      &registry.CounterRef("km.answers.quality.partial"),
+      &registry.CounterRef("km.answers.quality.deadline_exceeded"),
+  };
+  const size_t q = static_cast<size_t>(result.quality);
+  if (q < 4) quality_counters[q]->Increment();
+  if (result.stats.elapsed_ms > 0) {
+    static Histogram& latency = registry.HistogramRef(
+        "km.answer.latency_ms", DefaultLatencyBucketsMs());
+    latency.Observe(result.stats.elapsed_ms);
+  }
 }
 
 std::vector<StatusOr<AnswerResult>> KeymanticEngine::AnswerBatch(

@@ -21,6 +21,7 @@
 #include "common/query_context.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "engine/query.h"
 #include "graph/interpretation.h"
 #include "graph/schema_graph.h"
@@ -94,6 +95,13 @@ struct EngineOptions {
   /// canonical terminal-node set (configurations overlap heavily in their
   /// image nodes). 0 disables the cache.
   size_t steiner_cache_capacity = 1024;
+  /// Collect a per-query span tree (AnswerResult::trace). Off by default:
+  /// the disabled tracer costs one null-pointer test per instrumented
+  /// scope and leaves every answer byte-identical.
+  bool trace = false;
+  /// Fill AnswerResult::provenance (per-keyword weight decomposition of
+  /// the top answer's configuration) for Explain(). Off by default.
+  bool explain = false;
 };
 
 /// One ranked answer: the SQL explanation with its provenance.
@@ -136,6 +144,17 @@ struct AnswerStats {
   CacheCounters steiner_cache;
 };
 
+/// Why one keyword of the winning configuration mapped to its term: the
+/// intrinsic weight decomposition plus the contextual factor it carried.
+struct KeywordProvenance {
+  std::string keyword;
+  std::string term;  ///< rendered database term ("PERSON.name", "Dom(name)")
+  WeightProvenance weight;
+  /// Contextual multiplier in effect when the keyword was scored
+  /// left-to-right (1.0 = no contextualization rule fired).
+  double contextual_factor = 1.0;
+};
+
 /// Everything Answer() returns: the ranked explanations, how trustworthy
 /// the ranking is, and where the budget went.
 struct AnswerResult {
@@ -147,6 +166,16 @@ struct AnswerResult {
   /// while producing these results.
   ResultQuality quality = ResultQuality::kComplete;
   AnswerStats stats;
+  /// Root of the per-query span tree (null unless EngineOptions::trace).
+  std::shared_ptr<const TraceNode> trace;
+  /// Per-keyword weight provenance of the top explanation's configuration
+  /// (empty unless EngineOptions::explain).
+  std::vector<KeywordProvenance> provenance;
+
+  /// The EXPLAIN answer: provenance lines plus the span tree (when
+  /// collected). With include_timings=false the rendering is stable across
+  /// runs — the form the golden-trace suite snapshots.
+  std::string Explain(bool include_timings = true) const;
 };
 
 /// The end-to-end engine.
@@ -157,6 +186,12 @@ class KeymanticEngine {
   /// options.weights.use_instance_vocabulary = false (and
   /// use_mi_weights = false) for the deep-web scenario.
   KeymanticEngine(const Database& db, EngineOptions options = {});
+
+  /// Unregisters the engine's metrics collector (cache gauges).
+  ~KeymanticEngine();
+
+  KeymanticEngine(const KeymanticEngine&) = delete;
+  KeymanticEngine& operator=(const KeymanticEngine&) = delete;
 
   /// Answers a raw keyword query under an optional per-query budget.
   ///
@@ -233,24 +268,37 @@ class KeymanticEngine {
   const TokenizerOptions& tokenizer_options() const { return tokenizer_options_; }
 
  private:
+  /// AnswerKeywords() behind the input validation and root-span setup:
+  /// `root` (nullable) is the per-query trace root the stage spans hang off.
+  StatusOr<AnswerResult> AnswerInternal(const std::vector<std::string>& keywords,
+                                        size_t k, QueryContext* ctx,
+                                        TraceNode* root) const;
+
+  /// Fills result->provenance for the top explanation (options_.explain).
+  void FillProvenance(const std::vector<std::string>& keywords,
+                      AnswerResult* result) const;
+
+  /// Records answer count/quality/latency metrics for one finished answer.
+  void RecordAnswerMetrics(const AnswerResult& result) const;
+
   /// Forward-mode dispatch behind Configurations(), which wraps the result
   /// in debug-build invariant validation. With a QueryContext the forward
   /// ladder applies: exhaustion (or an HMM failure) falls back to the
   /// bounded Hungarian-optimum rung, setting *degraded, instead of erroring.
   StatusOr<std::vector<Configuration>> ConfigurationsImpl(
       const std::vector<std::string>& keywords, size_t k, QueryContext* ctx,
-      bool* degraded) const;
+      bool* degraded, TraceNode* parent = nullptr) const;
 
   StatusOr<std::vector<Configuration>> HmmConfigurations(
       const std::vector<std::string>& keywords, size_t k, const Hmm& hmm,
-      QueryContext* ctx) const;
+      QueryContext* ctx, TraceNode* parent = nullptr) const;
 
   /// Backward ladder: preferred search (per backward_mode) first, then the
   /// summary graph, then shortest-path join trees (polynomial, budget-free)
   /// as the floor. Sets *degraded when a fallback rung produced the trees.
   StatusOr<std::vector<Interpretation>> InterpretationsLadder(
       const Configuration& config, size_t k, QueryContext* ctx,
-      bool* degraded) const;
+      bool* degraded, TraceNode* parent = nullptr) const;
 
   /// Validates (debug), ranks, and returns the trees of one search rung.
   std::vector<Interpretation> FinishInterpretations(
@@ -261,7 +309,7 @@ class KeymanticEngine {
   /// any configuration with the same image node set.
   StatusOr<std::vector<Interpretation>> CachedInterpretationsLadder(
       const Configuration& config, size_t k, QueryContext* ctx,
-      bool* degraded) const;
+      bool* degraded, TraceNode* parent = nullptr) const;
 
   /// Cache key of a terminal set at a given k (canonical: sorted, deduped
   /// by construction of TerminalsOfConfiguration).
@@ -281,6 +329,10 @@ class KeymanticEngine {
   // Cross-query cache: canonical terminal set (+k) → finished ranked trees.
   // Thread-safe (sharded LRU); mutable because the answer path is const.
   mutable LruCache<std::string, std::vector<Interpretation>> steiner_cache_;
+  // Metrics collector (cache gauges) registered at construction; the
+  // engine is non-movable, so the captured `this` stays valid until the
+  // destructor unregisters it.
+  int64_t metrics_collector_id_ = 0;
 };
 
 }  // namespace km

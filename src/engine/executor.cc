@@ -122,20 +122,24 @@ Intermediate ScanRelation(const Table& table,
 
 }  // namespace
 
-StatusOr<ResultSet> Executor::Execute(const SpjQuery& query,
-                                      QueryContext* ctx) const {
-  return ExecuteInternal(query, /*project=*/true, ctx);
+StatusOr<ResultSet> Executor::Execute(const SpjQuery& query, QueryContext* ctx,
+                                      TraceNode* parent) const {
+  return ExecuteInternal(query, /*project=*/true, ctx, parent);
 }
 
-StatusOr<size_t> Executor::Count(const SpjQuery& query, QueryContext* ctx) const {
-  auto rs = ExecuteInternal(query, /*project=*/false, ctx);
+StatusOr<size_t> Executor::Count(const SpjQuery& query, QueryContext* ctx,
+                                 TraceNode* parent) const {
+  auto rs = ExecuteInternal(query, /*project=*/false, ctx, parent);
   if (!rs.ok()) return rs.status();
   return rs->rows.size();
 }
 
 StatusOr<ResultSet> Executor::ExecuteInternal(const SpjQuery& query,
-                                              bool project,
-                                              QueryContext* ctx) const {
+                                              bool project, QueryContext* ctx,
+                                              TraceNode* parent) const {
+  KM_SPAN(span, parent, "execute.query");
+  span.Add("relations", query.relations.size());
+  span.Add("joins", query.joins.size());
   KM_FAILPOINT("executor.join.fail");
   if (query.relations.empty()) {
     return Status::InvalidArgument("query has no relations");
@@ -324,6 +328,7 @@ StatusOr<ResultSet> Executor::ExecuteInternal(const SpjQuery& query,
 
   ResultSet result;
   result.truncated = truncated;
+  span.Add("result_rows", acc.rows.size());
   if (!project || query.select.empty()) {
     result.header = std::move(acc.header);
     result.rows = std::move(acc.rows);

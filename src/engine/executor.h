@@ -15,6 +15,7 @@
 
 #include "common/query_context.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "engine/query.h"
 #include "relational/database.h"
 
@@ -57,18 +58,21 @@ class Executor {
   /// Runs the query and materializes the full result. `ctx` (optional) is
   /// polled inside every join loop (one unit per intermediate row); on
   /// exhaustion the result built so far is returned with `truncated` set.
-  StatusOr<ResultSet> Execute(const SpjQuery& query,
-                              QueryContext* ctx = nullptr) const;
+  /// `parent` (optional) hosts an "execute.query" span with row counters.
+  StatusOr<ResultSet> Execute(const SpjQuery& query, QueryContext* ctx = nullptr,
+                              TraceNode* parent = nullptr) const;
 
   /// Runs the query and returns only the result cardinality (still executes
   /// fully, but avoids materializing projections). Under an exhausted
   /// budget the count is a lower bound (the truncation is not visible in a
   /// bare size_t — use Execute() when the distinction matters).
-  StatusOr<size_t> Count(const SpjQuery& query, QueryContext* ctx = nullptr) const;
+  StatusOr<size_t> Count(const SpjQuery& query, QueryContext* ctx = nullptr,
+                         TraceNode* parent = nullptr) const;
 
  private:
   StatusOr<ResultSet> ExecuteInternal(const SpjQuery& query, bool project,
-                                      QueryContext* ctx) const;
+                                      QueryContext* ctx,
+                                      TraceNode* parent) const;
 
   const Database& db_;
 };

@@ -20,7 +20,7 @@ ConfigurationGenerator::ConfigurationGenerator(const Terminology& terminology,
 
 StatusOr<std::vector<Configuration>> ConfigurationGenerator::Generate(
     const std::vector<std::string>& keywords, size_t k, QueryContext* ctx,
-    ForwardReport* report) const {
+    ForwardReport* report, TraceNode* parent) const {
   if (keywords.empty()) {
     return Status::InvalidArgument("keyword query is empty");
   }
@@ -28,8 +28,8 @@ StatusOr<std::vector<Configuration>> ConfigurationGenerator::Generate(
     return Status::InvalidArgument(
         "more keywords than database terms; no injective configuration exists");
   }
-  Matrix intrinsic = weights_.Build(keywords, ctx);
-  return GenerateFromMatrix(intrinsic, k, ctx, report);
+  Matrix intrinsic = weights_.Build(keywords, ctx, parent);
+  return GenerateFromMatrix(intrinsic, k, ctx, report, parent);
 }
 
 StatusOr<Configuration> ConfigurationGenerator::HungarianOptimum(
@@ -52,7 +52,7 @@ StatusOr<Configuration> ConfigurationGenerator::HungarianOptimum(
 
 StatusOr<std::vector<Configuration>> ConfigurationGenerator::GenerateFromMatrix(
     const Matrix& intrinsic, size_t k, QueryContext* ctx,
-    ForwardReport* report) const {
+    ForwardReport* report, TraceNode* parent) const {
   ForwardReport local_report;
   if (report == nullptr) report = &local_report;
   if (k == 0) return std::vector<Configuration>{};
@@ -62,7 +62,7 @@ StatusOr<std::vector<Configuration>> ConfigurationGenerator::GenerateFromMatrix(
           ? k
           : std::max(k, options_.candidate_pool);
 
-  auto enumerated = TopKAssignments(intrinsic, pool, ctx, options_.pool);
+  auto enumerated = TopKAssignments(intrinsic, pool, ctx, options_.pool, parent);
   std::vector<Assignment> candidates;
   if (enumerated.ok()) {
     report->truncated = enumerated->truncated;
@@ -73,6 +73,7 @@ StatusOr<std::vector<Configuration>> ConfigurationGenerator::GenerateFromMatrix(
     // Forward floor: Murty found nothing (infeasible, failed, or stopped
     // before its first solution) — fall back to the single optimum, which
     // is one bounded Hungarian solve and runs even past the deadline.
+    KM_SPAN(floor_span, parent, "forward.floor");
     auto floor = HungarianOptimum(intrinsic);
     if (!floor.ok()) {
       // Genuinely infeasible (or the matrix itself is bad): report the
@@ -119,19 +120,24 @@ StatusOr<std::vector<Configuration>> ConfigurationGenerator::GenerateFromMatrix(
   // remaining candidates are dropped — their intrinsic scores live on a
   // different scale and must not be mixed into the ranking.
   size_t scored = 0;
-  for (Configuration& c : configs) {
-    if (scored > 0 && ctx != nullptr &&
-        ctx->CheckPoint(QueryStage::kForward)) {
-      report->rerank_cut = true;
-      break;
+  {
+    KM_SPAN(rerank_span, parent, "forward.rerank");
+    for (Configuration& c : configs) {
+      if (scored > 0 && ctx != nullptr &&
+          ctx->CheckPoint(QueryStage::kForward)) {
+        report->rerank_cut = true;
+        break;
+      }
+      c.score = contextualizer_.ScoreSequence(intrinsic, c.term_for_keyword);
+      ++scored;
     }
-    c.score = contextualizer_.ScoreSequence(intrinsic, c.term_for_keyword);
-    ++scored;
+    rerank_span.Add("candidates_scored", scored);
   }
   if (report->rerank_cut) configs.resize(scored);
 
   if (options_.mode == ConfigGenMode::kGreedyExtended &&
       (ctx == nullptr || !ctx->Exhausted())) {
+    KM_SPAN(greedy_span, parent, "forward.greedy");
     auto greedy = GreedyExtended(intrinsic);
     if (greedy.ok()) {
       // Put the greedy solution first if it is not already in the pool.

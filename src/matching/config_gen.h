@@ -27,6 +27,7 @@
 #include "common/query_context.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "metadata/configuration.h"
 #include "metadata/contextualize.h"
 #include "metadata/weights.h"
@@ -84,17 +85,21 @@ class ConfigurationGenerator {
   /// the enumeration: on exhaustion the generator degrades — first to the
   /// candidates found so far, then to the single Hungarian optimum — and
   /// records what happened in `report` (optional).
+  /// `parent` (optional) hosts the forward-stage spans (weights.build,
+  /// forward.murty, forward.rerank, forward.greedy).
   StatusOr<std::vector<Configuration>> Generate(
       const std::vector<std::string>& keywords, size_t k,
-      QueryContext* ctx = nullptr, ForwardReport* report = nullptr) const;
+      QueryContext* ctx = nullptr, ForwardReport* report = nullptr,
+      TraceNode* parent = nullptr) const;
 
   /// Same, starting from a prebuilt intrinsic matrix (used by tests, the
   /// HMM comparison and the benchmarks).
   StatusOr<std::vector<Configuration>> GenerateFromMatrix(
       const Matrix& intrinsic, size_t k, QueryContext* ctx = nullptr,
-      ForwardReport* report = nullptr) const;
+      ForwardReport* report = nullptr, TraceNode* parent = nullptr) const;
 
   const ConfigGenOptions& options() const { return options_; }
+  const Contextualizer& contextualizer() const { return contextualizer_; }
 
  private:
   StatusOr<Configuration> GreedyExtended(const Matrix& intrinsic) const;

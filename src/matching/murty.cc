@@ -71,7 +71,9 @@ bool TotalMatchesBase(const Matrix& weights, const Assignment& sol) {
 }  // namespace
 
 StatusOr<AssignmentList> TopKAssignments(const Matrix& weights, size_t k,
-                                         QueryContext* ctx, ThreadPool* pool) {
+                                         QueryContext* ctx, ThreadPool* pool,
+                                         TraceNode* parent) {
+  KM_SPAN(span, parent, "forward.murty");
   AssignmentList out;
   if (k == 0) return out;
 
@@ -109,6 +111,7 @@ StatusOr<AssignmentList> TopKAssignments(const Matrix& weights, size_t k,
       break;
     }
     KM_FAILPOINT_CTX("forward.murty.timeout", ctx);
+    span.Add("nodes_popped");
     Node best = queue.top();
     queue.pop();
     if (!seen.insert(best.solution.col_for_row).second) continue;
@@ -133,6 +136,7 @@ StatusOr<AssignmentList> TopKAssignments(const Matrix& weights, size_t k,
     // only for the children that turn out feasible.
     Matrix scratch = ApplyConstraints(weights, best);
     std::vector<std::optional<Assignment>> child_sols(expand.size());
+    span.Add("child_solves", expand.size());
 
     if (pool == nullptr || pool->size() <= 1 || expand.size() <= 1) {
       for (size_t i = 0; i < expand.size(); ++i) {
@@ -177,6 +181,7 @@ StatusOr<AssignmentList> TopKAssignments(const Matrix& weights, size_t k,
     }
   }
   out.truncated = out.budget_exhausted || results.size() < k;
+  span.Add("assignments", results.size());
   // Murty's partitioning pops solutions best-first, so the emitted list
   // must be non-increasing in total weight — up to rounding: tied solutions
   // sum the same weights in different orders and can differ by a few ulps.

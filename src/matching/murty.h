@@ -15,6 +15,7 @@
 #include "common/query_context.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "matching/munkres.h"
 
 namespace km {
@@ -45,10 +46,12 @@ struct AssignmentList {
 /// always included when one exists, even under an already-spent budget.
 /// `pool` (optional) parallelizes the O(rows) independent child re-solves
 /// of each popped node; the enumeration order and output are identical to
-/// the serial run.
+/// the serial run. `parent` (optional) hosts a "forward.murty" span
+/// counting popped nodes and child solves.
 StatusOr<AssignmentList> TopKAssignments(const Matrix& weights, size_t k,
                                          QueryContext* ctx = nullptr,
-                                         ThreadPool* pool = nullptr);
+                                         ThreadPool* pool = nullptr,
+                                         TraceNode* parent = nullptr);
 
 }  // namespace km
 

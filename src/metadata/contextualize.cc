@@ -113,11 +113,22 @@ void Contextualizer::Apply(size_t assigned_keyword, size_t assigned_term,
 
 double Contextualizer::ScoreSequence(const Matrix& intrinsic,
                                      const std::vector<size_t>& assignment) const {
+  return ScoreSequenceDetailed(intrinsic, assignment, nullptr);
+}
+
+double Contextualizer::ScoreSequenceDetailed(
+    const Matrix& intrinsic, const std::vector<size_t>& assignment,
+    std::vector<double>* factor_for_keyword) const {
   Matrix factors(intrinsic.rows(), intrinsic.cols(), 1.0);
+  if (factor_for_keyword != nullptr) {
+    factor_for_keyword->assign(assignment.size(), 1.0);
+  }
   double total = 0;
   std::vector<size_t> pending;
   for (size_t i = 0; i < assignment.size(); ++i) {
-    total += intrinsic.At(i, assignment[i]) * factors.At(i, assignment[i]);
+    const double factor = factors.At(i, assignment[i]);
+    if (factor_for_keyword != nullptr) (*factor_for_keyword)[i] = factor;
+    total += intrinsic.At(i, assignment[i]) * factor;
     // Contextualize the not-yet-scored rows.
     pending.clear();
     for (size_t j = i + 1; j < assignment.size(); ++j) pending.push_back(j);

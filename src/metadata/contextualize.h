@@ -82,6 +82,13 @@ class Contextualizer {
   double ScoreSequence(const Matrix& intrinsic,
                        const std::vector<size_t>& assignment) const;
 
+  /// ScoreSequence() that also reports, per keyword, the contextual factor
+  /// its chosen cell carried when it was scored (1.0 = no rule fired).
+  /// Feeds the provenance lines of AnswerResult::Explain().
+  double ScoreSequenceDetailed(const Matrix& intrinsic,
+                               const std::vector<size_t>& assignment,
+                               std::vector<double>* factor_for_keyword) const;
+
   const ContextualizeOptions& options() const { return options_; }
 
  private:

@@ -46,7 +46,10 @@ WeightMatrixBuilder::WeightMatrixBuilder(const Terminology& terminology,
 }
 
 Matrix WeightMatrixBuilder::Build(const std::vector<std::string>& keywords,
-                                  QueryContext* ctx) const {
+                                  QueryContext* ctx, TraceNode* parent) const {
+  KM_SPAN(span, parent, "weights.build");
+  span.Add("keywords", keywords.size());
+  span.Add("terms", terminology_.size());
   Matrix w(keywords.size(), terminology_.size());
   // Rows are independent: each is either served from the cross-query
   // keyword-row cache or computed afresh, and lands in its own matrix row,
@@ -60,6 +63,8 @@ Matrix WeightMatrixBuilder::Build(const std::vector<std::string>& keywords,
       }
       row_cache_.Put(keywords[r], fresh);
       row = std::move(fresh);
+    } else {
+      span.Add("row_cache_hits");
     }
     for (size_t c = 0; c < terminology_.size(); ++c) w.At(r, c) = (*row)[c];
     // Account one unit per keyword row. The build is never cut short: it
@@ -96,16 +101,41 @@ Matrix WeightMatrixBuilder::Build(const std::vector<std::string>& keywords,
   return w;
 }
 
+const char* WeightProvenance::dominant() const {
+  if (final_weight <= 0.0) return "none";
+  if (is_schema_term) {
+    return synonym > string_similarity ? "synonym" : "string";
+  }
+  return instance > pattern ? "instance" : "pattern";
+}
+
 double WeightMatrixBuilder::Weight(const std::string& keyword,
                                    const DatabaseTerm& term) const {
-  double w = term.is_schema_term() ? SchemaWeight(keyword, term)
-                                   : ValueWeight(keyword, term);
+  double w = term.is_schema_term()
+                 ? SchemaWeightImpl(keyword, term, nullptr)
+                 : ValueWeightImpl(keyword, term, nullptr);
   KM_DCHECK(std::isfinite(w) && w >= 0.0 && w <= 1.0);
   return w;
 }
 
+WeightProvenance WeightMatrixBuilder::ExplainWeight(
+    const std::string& keyword, const DatabaseTerm& term) const {
+  WeightProvenance prov;
+  prov.is_schema_term = term.is_schema_term();
+  prov.final_weight = prov.is_schema_term
+                          ? SchemaWeightImpl(keyword, term, &prov)
+                          : ValueWeightImpl(keyword, term, &prov);
+  return prov;
+}
+
 double WeightMatrixBuilder::SchemaWeight(const std::string& keyword,
                                          const DatabaseTerm& term) const {
+  return SchemaWeightImpl(keyword, term, nullptr);
+}
+
+double WeightMatrixBuilder::SchemaWeightImpl(const std::string& keyword,
+                                             const DatabaseTerm& term,
+                                             WeightProvenance* prov) const {
   const std::string& name =
       term.kind == TermKind::kRelation ? term.relation : term.attribute;
 
@@ -128,6 +158,7 @@ double WeightMatrixBuilder::SchemaWeight(const std::string& keyword,
     // the ablation disables the forward step entirely).
     score = 1.0;
   }
+  if (prov != nullptr) prov->string_similarity = score;
 
   if (options_.use_synonyms) {
     // Compare identifier words of both sides through the thesaurus and keep
@@ -148,6 +179,7 @@ double WeightMatrixBuilder::SchemaWeight(const std::string& keyword,
         total += best;
       }
       double sem = total / static_cast<double>(std::max(kw.size(), tw.size()));
+      if (prov != nullptr) prov->synonym = sem;
       score = std::max(score, sem);
     }
   }
@@ -158,12 +190,21 @@ double WeightMatrixBuilder::SchemaWeight(const std::string& keyword,
   if (score < options_.sw_floor) return 0.0;
   score = std::min(score, 1.0);
   score = (score - options_.sw_floor) / (1.0 - options_.sw_floor);
-  if (term.is_foreign_key) score *= options_.fk_reference_penalty;
+  if (term.is_foreign_key) {
+    score *= options_.fk_reference_penalty;
+    if (prov != nullptr) prov->fk_penalized = true;
+  }
   return score;
 }
 
 double WeightMatrixBuilder::ValueWeight(const std::string& keyword,
                                         const DatabaseTerm& term) const {
+  return ValueWeightImpl(keyword, term, nullptr);
+}
+
+double WeightMatrixBuilder::ValueWeightImpl(const std::string& keyword,
+                                            const DatabaseTerm& term,
+                                            WeightProvenance* prov) const {
   double score = 0.0;
 
   if (options_.use_domain_patterns) {
@@ -190,6 +231,7 @@ double WeightMatrixBuilder::ValueWeight(const std::string& keyword,
         break;
     }
   }
+  if (prov != nullptr) prov->pattern = score;
 
   if (!value_index_.empty()) {
     auto term_idx = terminology_.DomainTerm(term.relation, term.attribute);
@@ -207,7 +249,9 @@ double WeightMatrixBuilder::ValueWeight(const std::string& keyword,
         std::string lk = ToLower(keyword);
         auto it = vi.text_values.find(lk);
         if (it != vi.text_values.end()) {
-          score = std::max(score, hit_weight(it->second));
+          const double hw = hit_weight(it->second);
+          if (prov != nullptr) prov->instance = hw;
+          score = std::max(score, hw);
           hit = true;
         } else if (lk.size() >= 4) {
           // Substring hit (full-text CONTAINS simulation). Bounded scan of
@@ -215,6 +259,7 @@ double WeightMatrixBuilder::ValueWeight(const std::string& keyword,
           // distinct values only.
           for (const auto& [v, count] : vi.text_values) {
             if (Contains(v, lk)) {
+              if (prov != nullptr) prov->instance = options_.instance_partial_weight;
               score = std::max(score, options_.instance_partial_weight);
               hit = true;
               break;
@@ -226,18 +271,26 @@ double WeightMatrixBuilder::ValueWeight(const std::string& keyword,
         if (parsed.ok() && !parsed->is_null()) {
           auto it = vi.other_values.find(*parsed);
           if (it != vi.other_values.end()) {
-            score = std::max(score, hit_weight(it->second));
+            const double hw = hit_weight(it->second);
+            if (prov != nullptr) prov->instance = hw;
+            score = std::max(score, hw);
             hit = true;
           }
         }
       }
       // Absence under full-text access is evidence against the mapping.
-      if (!hit) score *= options_.instance_miss_penalty;
+      if (!hit) {
+        score *= options_.instance_miss_penalty;
+        if (prov != nullptr) prov->instance_miss_penalized = true;
+      }
     }
   }
 
   score = std::min(score, 1.0);
-  if (term.is_foreign_key) score *= options_.fk_reference_penalty;
+  if (term.is_foreign_key) {
+    score *= options_.fk_reference_penalty;
+    if (prov != nullptr) prov->fk_penalized = true;
+  }
   return score;
 }
 

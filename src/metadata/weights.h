@@ -23,6 +23,7 @@
 #include "common/matrix.h"
 #include "common/query_context.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "metadata/term.h"
 #include "relational/database.h"
 #include "text/thesaurus.h"
@@ -66,6 +67,26 @@ struct WeightOptions {
   size_t keyword_row_cache_capacity = 4096;
 };
 
+/// Decomposition of one intrinsic weight: which scoring component produced
+/// it. Fills the per-keyword provenance lines of AnswerResult::Explain()
+/// ("which bonus fired" — string similarity, synonym, domain pattern or
+/// instance hit).
+struct WeightProvenance {
+  double final_weight = 0;
+  bool is_schema_term = false;
+  /// SW components (schema terms): raw pre-floor scores.
+  double string_similarity = 0;
+  double synonym = 0;
+  /// VW components (domain terms).
+  double pattern = 0;   ///< domain-tag / regex compatibility
+  double instance = 0;  ///< instance-vocabulary hit weight (0 = no hit)
+  bool instance_miss_penalized = false;
+  bool fk_penalized = false;
+  /// The component that decided the final weight:
+  /// "string" | "synonym" | "pattern" | "instance" | "none".
+  const char* dominant() const;
+};
+
 /// Builds intrinsic keyword × term weight matrices.
 class WeightMatrixBuilder {
  public:
@@ -80,8 +101,10 @@ class WeightMatrixBuilder {
   /// rung below it still needs the matrix), and the result is sanitized:
   /// non-finite or out-of-range cells are clamped into [0, 1] so one
   /// corrupted similarity cannot poison the assignment stage.
+  /// `parent` (optional) hosts a "weights.build" span with row/cache-hit
+  /// counters; null means tracing is off and costs one branch.
   Matrix Build(const std::vector<std::string>& keywords,
-               QueryContext* ctx = nullptr) const;
+               QueryContext* ctx = nullptr, TraceNode* parent = nullptr) const;
 
   /// Weight of a single keyword against a single term (exposed for tests
   /// and for HMM emission probabilities).
@@ -92,6 +115,13 @@ class WeightMatrixBuilder {
 
   /// VW entry: keyword vs attribute domain.
   double ValueWeight(const std::string& keyword, const DatabaseTerm& term) const;
+
+  /// Weight() plus the score decomposition — which component (string
+  /// similarity, synonym, pattern, instance hit) produced the final value.
+  /// Recomputes the cell from scratch (cheap: one keyword × one term); the
+  /// engine calls it only for the winning assignment under --explain.
+  WeightProvenance ExplainWeight(const std::string& keyword,
+                                 const DatabaseTerm& term) const;
 
   const Terminology& terminology() const { return terminology_; }
   const WeightOptions& options() const { return options_; }
@@ -107,6 +137,13 @@ class WeightMatrixBuilder {
     std::unordered_map<std::string, size_t> text_values;
     std::unordered_map<Value, size_t, ValueHash> other_values;
   };
+
+  // Weight computations with optional provenance capture (prov may be
+  // null); the public SchemaWeight/ValueWeight/ExplainWeight wrap these.
+  double SchemaWeightImpl(const std::string& keyword, const DatabaseTerm& term,
+                          WeightProvenance* prov) const;
+  double ValueWeightImpl(const std::string& keyword, const DatabaseTerm& term,
+                         WeightProvenance* prov) const;
 
   const Terminology& terminology_;
   const Database* db_;

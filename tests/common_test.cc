@@ -7,10 +7,11 @@
 
 #include "common/check.h"
 #include "common/matrix.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/status.h"
-#include "common/stopwatch.h"
 #include "common/strings.h"
+#include "common/trace.h"
 
 namespace km {
 namespace {
@@ -359,6 +360,143 @@ TEST(StopwatchTest, MeasuresNonNegativeTime) {
   EXPECT_GE(sw.ElapsedSeconds(), 0.0);
   sw.Reset();
   EXPECT_GE(sw.ElapsedMicros(), 0.0);
+}
+
+// ------------------------------------------------------------------ tracing
+
+TEST(TraceTest, NullParentSpansAreCompleteNoOps) {
+  KM_SPAN(span, nullptr, "disabled");
+  EXPECT_EQ(span.get(), nullptr);
+  EXPECT_FALSE(span);
+  span.Add("counter");  // must be safe
+  span.End();
+}
+
+TEST(TraceTest, TreeRecordsNamesNestingAndCounters) {
+  auto root = TraceNode::Root("answer");
+  {
+    KM_SPAN(fwd, root.get(), "forward");
+    fwd.Add("configurations", 3);
+    { KM_SPAN(murty, fwd.get(), "forward.murty"); murty.Add("nodes_popped", 7); }
+  }
+  { KM_SPAN(bwd, root.get(), "backward"); }
+  root->End();
+
+  EXPECT_EQ(root->SpanCount(), 4u);
+  ASSERT_EQ(root->children().size(), 2u);
+  EXPECT_EQ(root->children()[0]->name(), "forward");
+  EXPECT_EQ(root->children()[1]->name(), "backward");
+  EXPECT_EQ(root->children()[0]->counter("configurations"), 3u);
+  EXPECT_EQ(root->children()[0]->children()[0]->counter("nodes_popped"), 7u);
+  EXPECT_GE(root->wall_ms(), root->children()[0]->wall_ms());
+
+  const std::string shape = root->ShapeString();
+  EXPECT_EQ(shape,
+            "answer\n"
+            "  forward [configurations]\n"
+            "    forward.murty [nodes_popped]\n"
+            "  backward\n");
+  // Timed rendering carries the same structure plus wall/cpu columns.
+  EXPECT_NE(root->TreeString().find("forward  wall="), std::string::npos);
+}
+
+TEST(TraceTest, ExplicitSlotsOrderChildrenDeterministically) {
+  auto root = TraceNode::Root("answer");
+  // Reverse creation order; slots must win.
+  { KM_SPAN_SLOT(c, root.get(), "config", 2); }
+  { KM_SPAN_SLOT(b, root.get(), "config", 1); }
+  { KM_SPAN_SLOT(a, root.get(), "config", 0); }
+  root->End();
+  ASSERT_EQ(root->children().size(), 3u);
+  EXPECT_EQ(root->children()[0]->slot(), 0u);
+  EXPECT_EQ(root->children()[1]->slot(), 1u);
+  EXPECT_EQ(root->children()[2]->slot(), 2u);
+}
+
+TEST(TraceTest, ChromeJsonHasOneCompleteEventPerSpan) {
+  auto root = TraceNode::Root("answer");
+  { KM_SPAN(child, root.get(), "stage \"quoted\""); child.Add("items", 2); }
+  root->End();
+  const std::string json = root->ChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("stage \\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"items\":2"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ metrics
+
+TEST(MetricsTest, CounterGaugeHistogramBasics) {
+  Counter c;
+  c.Increment();
+  c.Increment(4);
+  EXPECT_EQ(c.Value(), 5u);
+
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.Value(), 7);
+
+  Histogram h({1.0, 10.0});
+  h.Observe(0.5);
+  h.Observe(5.0);
+  h.Observe(100.0);  // overflow bucket
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_NEAR(h.Sum(), 105.5, 1e-3);
+  const std::vector<uint64_t> buckets = h.BucketCounts();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+}
+
+TEST(MetricsTest, RegistryReturnsStableReferencesAndSnapshots) {
+  MetricsRegistry registry;
+  Counter& c = registry.CounterRef("test.counter");
+  Counter& c2 = registry.CounterRef("test.counter");
+  EXPECT_EQ(&c, &c2);
+  c.Increment(3);
+  registry.GaugeRef("test.gauge").Set(-4);
+  registry.HistogramRef("test.hist", {1.0, 2.0}).Observe(1.5);
+
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_TRUE(snap.has("test.counter"));
+  EXPECT_EQ(snap.value("test.counter"), 3.0);
+  EXPECT_EQ(snap.value("test.gauge"), -4.0);
+  EXPECT_EQ(snap.values().at("test.hist").count, 1u);
+
+  const std::string text = snap.ToText();
+  EXPECT_NE(text.find("test.counter 3"), std::string::npos);
+  EXPECT_NE(text.find("test.gauge -4"), std::string::npos);
+  EXPECT_NE(text.find("le="), std::string::npos);
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"test.counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.hist\""), std::string::npos);
+}
+
+TEST(MetricsTest, CollectorsAddIntoSnapshotsSoInstancesCompose) {
+  MetricsRegistry registry;
+  // Two "engines" publishing the same gauge name: values must add, the
+  // way the real cache collectors compose across live engines.
+  int64_t id1 = registry.AddCollector(
+      [](MetricsSnapshot* snap) { snap->AddGauge("test.cache.entries", 5); });
+  int64_t id2 = registry.AddCollector(
+      [](MetricsSnapshot* snap) { snap->AddGauge("test.cache.entries", 7); });
+  EXPECT_EQ(registry.Snapshot().value("test.cache.entries"), 12.0);
+  registry.RemoveCollector(id1);
+  EXPECT_EQ(registry.Snapshot().value("test.cache.entries"), 7.0);
+  registry.RemoveCollector(id2);
+  EXPECT_FALSE(registry.Snapshot().has("test.cache.entries"));
+}
+
+TEST(MetricsTest, ResetForTestZeroesButKeepsReferences) {
+  MetricsRegistry registry;
+  Counter& c = registry.CounterRef("test.reset");
+  c.Increment(9);
+  registry.ResetForTest();
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  EXPECT_EQ(registry.Snapshot().value("test.reset"), 1.0);
 }
 
 }  // namespace

@@ -4,10 +4,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
 #include <functional>
+#include <memory>
 #include <set>
 
+#include "common/lru_cache.h"
+#include "common/metrics.h"
 #include "common/rng.h"
+#include "common/trace.h"
+#include "core/keymantic.h"
+#include "datasets/university.h"
 #include "engine/executor.h"
 #include "graph/interpretation.h"
 #include "metadata/term.h"
@@ -345,6 +352,132 @@ TEST_P(ValueRoundTripTest, CsvLineRoundTripsArbitraryFields) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Random, ValueRoundTripTest, ::testing::Range<uint64_t>(1, 31));
+
+// ---------------------------------------------------------------------------
+// Observability invariants: the accounting identities the metrics and
+// tracing layers promise, exercised under randomized inputs.
+
+class MetricsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Every Get() lands in exactly one of {hit, miss}: after any interleaving
+// of lookups and insertions, hits + misses equals the number of lookups.
+TEST_P(MetricsPropertyTest, CacheLookupsPartitionIntoHitsAndMisses) {
+  Rng rng(GetParam());
+  LruCache<int, int> cache(/*capacity=*/8);
+  uint64_t lookups = 0;
+  for (int i = 0; i < 500; ++i) {
+    const int key = static_cast<int>(rng.Uniform(32));
+    if (rng.Uniform(2) == 0) {
+      cache.Put(key, std::make_shared<int>(key));
+    } else {
+      (void)cache.Get(key);
+      ++lookups;
+    }
+  }
+  const CacheCounters c = cache.Counters();
+  EXPECT_EQ(c.hits + c.misses, lookups);
+}
+
+// A histogram never loses or invents observations: the bucket counts
+// (including the overflow bucket) always sum to Count().
+TEST_P(MetricsPropertyTest, HistogramBucketsSumToCount) {
+  Rng rng(GetParam());
+  Histogram hist(DefaultLatencyBucketsMs());
+  uint64_t observed = 0;
+  double expected_sum = 0;
+  for (int i = 0; i < 400; ++i) {
+    // Spread observations across all buckets, overflow included.
+    const double value = rng.UniformDouble() * 20000.0 - 100.0;
+    hist.Observe(value);
+    expected_sum += value;
+    ++observed;
+  }
+  uint64_t in_buckets = 0;
+  for (uint64_t b : hist.BucketCounts()) in_buckets += b;
+  EXPECT_EQ(in_buckets, observed);
+  EXPECT_EQ(hist.Count(), observed);
+  // Sum is kept in fixed-point microseconds; allow that quantization.
+  EXPECT_NEAR(hist.Sum(), expected_sum, 1e-3 * observed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, MetricsPropertyTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+namespace {
+
+const Database& PropertyUniversity() {
+  static auto& db = *[] {
+    auto built = BuildUniversityDatabase();
+    if (!built.ok()) std::abort();
+    return new Database(std::move(*built));
+  }();
+  return db;
+}
+
+void CheckChildWallSums(const TraceNode& node) {
+  double child_sum = 0;
+  for (const auto& child : node.children()) {
+    CheckChildWallSums(*child);
+    child_sum += child->wall_ms();
+  }
+  // Serial execution: children occupy disjoint sub-intervals of the parent
+  // span, so their wall times can never sum past it (tiny epsilon for the
+  // floating-point conversion of the nanosecond readings).
+  EXPECT_LE(child_sum, node.wall_ms() + 1e-6)
+      << "children of '" << node.name() << "' outlast their parent";
+}
+
+}  // namespace
+
+// Wall-clock accounting is conservative: under a serial engine the time
+// attributed to a span's children never exceeds the span's own time, at
+// every level of the tree.
+TEST(TraceInvariantTest, ChildWallTimesSumToAtMostParent) {
+  EngineOptions opts;
+  opts.trace = true;
+  KeymanticEngine engine(PropertyUniversity(), opts);
+  for (const char* query : {"carter", "department physics", "project year"}) {
+    auto result = engine.Answer(query, 5);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_NE(result->trace, nullptr);
+    CheckChildWallSums(*result->trace);
+  }
+}
+
+// The zero-cost promise: an engine with tracing disabled produces answers
+// byte-identical to a traced one — same SQL, same scores (bit-for-bit),
+// same quality — and carries no trace or provenance at all.
+TEST(TraceInvariantTest, DisabledTracerLeavesAnswerBytesIdentical) {
+  EngineOptions plain_opts;
+  KeymanticEngine plain(PropertyUniversity(), plain_opts);
+  EngineOptions traced_opts;
+  traced_opts.trace = true;
+  traced_opts.explain = true;
+  KeymanticEngine traced(PropertyUniversity(), traced_opts);
+
+  for (const char* query : {"carter", "department physics", "project year"}) {
+    auto a = plain.Answer(query, 5);
+    auto b = traced.Answer(query, 5);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_EQ(a->trace, nullptr);
+    EXPECT_TRUE(a->provenance.empty());
+    EXPECT_NE(b->trace, nullptr);
+    EXPECT_EQ(a->quality, b->quality);
+    ASSERT_EQ(a->explanations.size(), b->explanations.size());
+    for (size_t i = 0; i < a->explanations.size(); ++i) {
+      const Explanation& ea = a->explanations[i];
+      const Explanation& eb = b->explanations[i];
+      EXPECT_EQ(ea.sql.ToSql(), eb.sql.ToSql());
+      EXPECT_EQ(ea.configuration.term_for_keyword, eb.configuration.term_for_keyword);
+      // Bit-for-bit, not approximately: tracing must not reorder a single
+      // floating-point operation in the scoring path.
+      EXPECT_EQ(std::memcmp(&ea.score, &eb.score, sizeof(double)), 0);
+      EXPECT_EQ(std::memcmp(&ea.forward_score, &eb.forward_score, sizeof(double)), 0);
+      EXPECT_EQ(std::memcmp(&ea.backward_score, &eb.backward_score, sizeof(double)), 0);
+    }
+  }
+}
 
 }  // namespace
 }  // namespace km

@@ -1,0 +1,210 @@
+// Golden-trace regression suite.
+//
+// Answers a fixed set of canonical queries across all four evaluation
+// databases with tracing + EXPLAIN on, and snapshots the *stable* part of
+// the observability output against checked-in goldens:
+//
+//   * the span-tree shape — stage names, nesting, counter names — via
+//     TraceNode::ShapeString(), and
+//   * the per-keyword weight-provenance lines via AnswerResult::Explain
+//     with include_timings=false.
+//
+// Timings and counter values vary run to run and are deliberately absent
+// from the snapshot. Every query is answered twice, serial (threads=0)
+// and with a 4-thread pool, and both runs must match the same golden:
+// slot-pinned spans make the tree deterministic under ParallelFor, and
+// this suite is the lock on that property (it also runs under tsan).
+//
+// The engines disable both the keyword-row and the Steiner caches — a
+// cache hit legitimately changes the span shape (the cached stage never
+// runs), so cached engines cannot be golden-tested.
+//
+// Refresh after an intentional pipeline change with
+//   ./trace_golden_test --update_goldens
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/keymantic.h"
+#include "datasets/dblp.h"
+#include "datasets/imdb.h"
+#include "datasets/mondial.h"
+#include "datasets/university.h"
+#include "gtest/gtest.h"
+
+namespace km {
+namespace {
+
+bool g_update_goldens = false;
+
+struct GoldenCase {
+  const char* dataset;
+  const char* id;  // golden file stem
+  const char* query;
+};
+
+// Two canonical queries per evaluation database. Chosen to exercise the
+// main shape variants: schema-only vs value keywords, 2 vs 3 keywords,
+// single- vs multi-relation configurations.
+constexpr GoldenCase kCases[] = {
+    {"university", "university_carter", "carter"},
+    {"university", "university_department_physics", "department physics"},
+    {"mondial", "mondial_veleth_population", "Veleth population"},
+    {"mondial", "mondial_river_length", "river length"},
+    {"dblp", "dblp_journal_publisher", "journal publisher"},
+    {"dblp", "dblp_conference_proceedings", "conference proceedings 2004"},
+    {"imdb", "imdb_movie_genre_comedy", "movie genre comedy"},
+    {"imdb", "imdb_person_directs_rating", "person directs rating"},
+};
+
+StatusOr<Database> BuildDataset(const std::string& name) {
+  if (name == "university") return BuildUniversityDatabase();
+  if (name == "mondial") return BuildMondialDatabase();
+  if (name == "imdb") return BuildImdbDatabase();
+  DblpOptions opts;
+  opts.persons = 1000;
+  opts.articles = 1500;
+  opts.inproceedings = 2000;
+  return BuildDblpDatabase(opts);
+}
+
+const Database& Dataset(const std::string& name) {
+  static auto& cache = *new std::map<std::string, std::unique_ptr<Database>>();
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    auto db = BuildDataset(name);
+    if (!db.ok()) {
+      ADD_FAILURE() << name << " build failed: " << db.status().ToString();
+      std::abort();
+    }
+    it = cache.emplace(name, std::make_unique<Database>(std::move(*db))).first;
+  }
+  return *it->second;
+}
+
+// One engine per (dataset, thread count), shared by all cases — engine
+// construction dominates the suite otherwise.
+const KeymanticEngine& Engine(const std::string& dataset, size_t threads) {
+  static auto& cache =
+      *new std::map<std::string, std::unique_ptr<KeymanticEngine>>();
+  const std::string key = dataset + "/" + std::to_string(threads);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    EngineOptions opts;
+    opts.trace = true;
+    opts.explain = true;
+    opts.threads = threads;
+    opts.steiner_cache_capacity = 0;             // cache hits change the shape
+    opts.weights.keyword_row_cache_capacity = 0;  // ditto
+    it = cache
+             .emplace(key, std::make_unique<KeymanticEngine>(Dataset(dataset),
+                                                             opts))
+             .first;
+  }
+  return *it->second;
+}
+
+std::string GoldenPath(const GoldenCase& c) {
+  return std::string(KM_GOLDEN_DIR) + "/" + c.id + ".golden";
+}
+
+StatusOr<std::string> ReadGolden(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("missing golden " + path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// The stable observability snapshot of one answered query.
+std::string Snapshot(const AnswerResult& result) {
+  return result.Explain(/*include_timings=*/false);
+}
+
+class TraceGolden : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(TraceGolden, SerialAndParallelMatchGolden) {
+  const GoldenCase& c = GetParam();
+
+  auto serial = Engine(c.dataset, 0).Answer(c.query, 5);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_FALSE(serial->explanations.empty());
+  ASSERT_NE(serial->trace, nullptr);
+  ASSERT_FALSE(serial->provenance.empty());
+  const std::string snapshot = Snapshot(*serial);
+
+  // Determinism under the pool: the 4-thread engine must produce the
+  // byte-identical snapshot, not merely an equivalent one.
+  auto parallel = Engine(c.dataset, 4).Answer(c.query, 5);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  EXPECT_EQ(snapshot, Snapshot(*parallel))
+      << "serial vs threads=4 span trees diverge for '" << c.query << "'";
+
+  const std::string path = GoldenPath(c);
+  if (g_update_goldens) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << snapshot;
+    return;
+  }
+  auto golden = ReadGolden(path);
+  ASSERT_TRUE(golden.ok()) << golden.status().ToString()
+                           << " (regenerate with --update_goldens)";
+  EXPECT_EQ(*golden, snapshot) << "golden drift for '" << c.query
+                               << "' — intentional pipeline changes need "
+                                  "--update_goldens";
+}
+
+INSTANTIATE_TEST_SUITE_P(Queries, TraceGolden, ::testing::ValuesIn(kCases),
+                         [](const ::testing::TestParamInfo<GoldenCase>& info) {
+                           return std::string(info.param.id);
+                         });
+
+// The golden queries above lock the *shape*; these two lock structural
+// side-conditions of the snapshot machinery itself.
+
+TEST(TraceGoldenMeta, SnapshotHasAllPipelineStages) {
+  auto result = Engine("university", 0).Answer("department physics", 5);
+  ASSERT_TRUE(result.ok());
+  const std::string shape = result->trace->ShapeString();
+  for (const char* stage : {"answer", "tokenize", "forward", "backward",
+                            "combine", "combine.translate"}) {
+    EXPECT_NE(shape.find(stage), std::string::npos)
+        << "stage '" << stage << "' missing from:\n"
+        << shape;
+  }
+}
+
+TEST(TraceGoldenMeta, ChromeExportIsOneEventPerSpan) {
+  auto result = Engine("university", 0).Answer("department physics", 5);
+  ASSERT_TRUE(result.ok());
+  const std::string json = result->trace->ChromeTraceJson();
+  size_t events = 0;
+  for (size_t pos = 0; (pos = json.find("\"ph\":\"X\"", pos)) != std::string::npos;
+       ++pos) {
+    ++events;
+  }
+  EXPECT_EQ(events, result->trace->SpanCount());
+}
+
+}  // namespace
+}  // namespace km
+
+int main(int argc, char** argv) {
+  // Strip the harness flag before gtest sees (and rejects) it.
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update_goldens") {
+      km::g_update_goldens = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

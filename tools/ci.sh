@@ -8,8 +8,12 @@
 #   5. bench      — Release bench smoke: e11 throughput emits the BENCH
 #                   JSON baseline (bench-baseline.json artifact in CI)
 #   6. lint       — clang-tidy over src/ (skips cleanly when not installed)
+#   7. coverage   — gcc --coverage build + full suite, gates src/common and
+#                   src/core on 80% line coverage (gcovr when installed,
+#                   tools/coverage_gate.py over raw gcov otherwise) and
+#                   writes the coverage-html/ artifact
 #
-# Usage: tools/ci.sh [release|sanitize|tsan|failpoints|bench|lint]...
+# Usage: tools/ci.sh [release|sanitize|tsan|failpoints|bench|lint|coverage]...
 # (default: all)
 
 set -euo pipefail
@@ -17,7 +21,7 @@ cd "$(dirname "$0")/.."
 
 JOBS=("$@")
 if [[ ${#JOBS[@]} -eq 0 ]]; then
-  JOBS=(release sanitize tsan failpoints bench lint)
+  JOBS=(release sanitize tsan failpoints bench lint coverage)
 fi
 
 run_release() {
@@ -40,8 +44,10 @@ run_tsan() {
   cmake --build --preset tsan -j "$(nproc)"
   # The concurrency suite is the TSan payload (pool, caches, AnswerBatch
   # under raw threads); Core and Murty cover the stages the pool touches.
+  # TraceGolden pins span-tree determinism under the pool — the exact
+  # property a data race in the tracer would break.
   ctest --preset tsan -j "$(nproc)" \
-    -R "ThreadPool|LruCache|Concurrency|EngineConcurrency|Murty|Core"
+    -R "ThreadPool|LruCache|Concurrency|EngineConcurrency|Murty|Core|TraceGolden"
 }
 
 run_bench() {
@@ -68,6 +74,27 @@ run_lint() {
   tools/lint.sh
 }
 
+run_coverage() {
+  echo "=== CI job: coverage (gcov, 80% line gate on src/common + src/core) ==="
+  cmake --preset coverage
+  cmake --build --preset coverage -j "$(nproc)"
+  ctest --preset coverage -j "$(nproc)"
+  if command -v gcovr >/dev/null 2>&1; then
+    mkdir -p coverage-html
+    gcovr --root . build/coverage \
+      --filter 'src/common/' --filter 'src/core/' \
+      --fail-under-line 80 \
+      --print-summary \
+      --html-details coverage-html/index.html
+  else
+    echo "gcovr not installed; gating with tools/coverage_gate.py (raw gcov)"
+    python3 tools/coverage_gate.py \
+      --build-dir build/coverage --repo-root . --fail-under 80 \
+      --html coverage-html/index.html \
+      src/common src/core
+  fi
+}
+
 for job in "${JOBS[@]}"; do
   case "${job}" in
     release)    run_release ;;
@@ -76,7 +103,8 @@ for job in "${JOBS[@]}"; do
     failpoints) run_failpoints ;;
     bench)      run_bench ;;
     lint)       run_lint ;;
-    *) echo "unknown CI job: ${job} (expected release|sanitize|tsan|failpoints|bench|lint)" >&2
+    coverage)   run_coverage ;;
+    *) echo "unknown CI job: ${job} (expected release|sanitize|tsan|failpoints|bench|lint|coverage)" >&2
        exit 2 ;;
   esac
 done

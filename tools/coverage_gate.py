@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Line-coverage gate over gcov JSON output — the gcovr fallback.
+
+Used by `tools/ci.sh coverage` on machines without gcovr: walks a build
+tree for .gcda files, runs `gcov --json-format --stdout` on each, merges
+the per-line execution counts of every translation unit (a line counts as
+covered when ANY unit executed it), and gates the aggregate line coverage
+of the requested source prefixes. Also emits a minimal per-file HTML
+report, the artifact the CI job uploads.
+
+Usage:
+  coverage_gate.py --build-dir build/coverage --fail-under 80 \
+      --html coverage-html/index.html src/common src/core
+"""
+
+import argparse
+import gzip
+import html
+import json
+import os
+import subprocess
+import sys
+
+
+def find_gcda(build_dir):
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if name.endswith(".gcda"):
+                yield os.path.join(root, name)
+
+
+def gcov_json(gcda):
+    """All gcov JSON documents for one .gcda (one per source file)."""
+    proc = subprocess.run(
+        ["gcov", "--json-format", "--stdout", gcda],
+        capture_output=True,
+        check=False,
+    )
+    if proc.returncode != 0:
+        return
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            # Depending on the gcov version --stdout may still gzip.
+            if line[:1] != b"{":
+                line = gzip.decompress(line)
+            yield json.loads(line)
+        except (ValueError, OSError):
+            continue
+
+
+def relative_source(path, repo_root):
+    path = os.path.normpath(os.path.join(repo_root, path) if not os.path.isabs(path) else path)
+    try:
+        return os.path.relpath(path, repo_root)
+    except ValueError:
+        return path
+
+
+def collect(build_dir, repo_root, prefixes):
+    # file -> line number -> max execution count across translation units.
+    lines = {}
+    for gcda in find_gcda(build_dir):
+        for doc in gcov_json(gcda):
+            for f in doc.get("files", []):
+                rel = relative_source(f.get("file", ""), repo_root)
+                if not any(rel.startswith(p.rstrip("/") + "/") for p in prefixes):
+                    continue
+                per_file = lines.setdefault(rel, {})
+                for ln in f.get("lines", []):
+                    num = ln.get("line_number")
+                    count = ln.get("count", 0)
+                    if num is None:
+                        continue
+                    per_file[num] = max(per_file.get(num, 0), count)
+    return lines
+
+
+def write_html(lines, path):
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    rows = []
+    for rel in sorted(lines):
+        per_file = lines[rel]
+        total = len(per_file)
+        covered = sum(1 for c in per_file.values() if c > 0)
+        pct = 100.0 * covered / total if total else 100.0
+        rows.append(
+            "<tr><td>%s</td><td>%d</td><td>%d</td><td>%.1f%%</td></tr>"
+            % (html.escape(rel), covered, total, pct)
+        )
+    with open(path, "w") as out:
+        out.write(
+            "<html><head><title>line coverage</title></head><body>"
+            "<h1>Line coverage (gcov fallback report)</h1>"
+            "<table border=1 cellpadding=4>"
+            "<tr><th>file</th><th>covered</th><th>lines</th><th>%</th></tr>"
+            + "".join(rows)
+            + "</table></body></html>\n"
+        )
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--build-dir", required=True)
+    parser.add_argument("--repo-root", default=".")
+    parser.add_argument("--fail-under", type=float, default=80.0)
+    parser.add_argument("--html", default="")
+    parser.add_argument("prefixes", nargs="+")
+    args = parser.parse_args()
+
+    repo_root = os.path.abspath(args.repo_root)
+    lines = collect(args.build_dir, repo_root, args.prefixes)
+    if not lines:
+        print("coverage_gate: no coverage data found under", args.build_dir)
+        return 2
+
+    total = sum(len(per_file) for per_file in lines.values())
+    covered = sum(
+        sum(1 for c in per_file.values() if c > 0) for per_file in lines.values()
+    )
+    pct = 100.0 * covered / total if total else 100.0
+
+    for rel in sorted(lines):
+        per_file = lines[rel]
+        file_total = len(per_file)
+        file_covered = sum(1 for c in per_file.values() if c > 0)
+        print(
+            "  %-48s %5d/%5d  %5.1f%%"
+            % (rel, file_covered, file_total, 100.0 * file_covered / file_total)
+        )
+    print(
+        "coverage_gate: %d/%d lines covered (%.2f%%), threshold %.1f%%"
+        % (covered, total, pct, args.fail_under)
+    )
+    if args.html:
+        write_html(lines, args.html)
+        print("coverage_gate: HTML report at", args.html)
+    return 0 if pct >= args.fail_under else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

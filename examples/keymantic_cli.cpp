@@ -3,7 +3,18 @@
 //   ./build/examples/keymantic_cli [--db=university|mondial|dblp|imdb]
 //                                  [--metadata-only] [--k=N]
 //                                  [--explain] [--trace-json=FILE]
+//                                  [--timeout_ms=N] [--retries=N]
+//                                  [--max_inflight=N]
 //                                  ["one-shot query"]
+//
+// The serving flags route queries through the overload-protected
+// EngineServer (src/serve/) instead of calling the engine directly:
+//   --timeout_ms=N     per-query deadline, burned from submit (queue wait
+//                      counts); the engine degrades rather than overruns
+//   --retries=N        retry shed/unavailable answers up to N times with
+//                      budgeted, decorrelated-jitter backoff (common/retry.h)
+//   --max_inflight=N   fix the concurrency limit and queue bound; an
+//                      executor circuit breaker guards SQL probing
 //
 // With a positional argument the shell answers that one query and exits —
 // the scriptable form. --explain prints the EXPLAIN answer after each
@@ -28,16 +39,21 @@
 // engine switches to the DST combination of the metadata ranker and the
 // trained HMM, exactly as the paper family describes.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 
+#include "common/retry.h"
 #include "common/strings.h"
 #include "core/feedback.h"
 #include "core/keymantic.h"
+#include "serve/circuit_breaker.h"
+#include "serve/engine_server.h"
 #include "datasets/dblp.h"
 #include "datasets/imdb.h"
 #include "datasets/mondial.h"
@@ -85,6 +101,9 @@ int main(int argc, char** argv) {
   std::string trace_json_path;
   std::string one_shot;
   size_t k = 5;
+  double timeout_ms = 0;
+  int retries = 0;
+  size_t max_inflight = 0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--db=", 0) == 0) db_name = arg.substr(5);
@@ -92,6 +111,10 @@ int main(int argc, char** argv) {
     else if (arg == "--explain") explain = true;
     else if (arg.rfind("--trace-json=", 0) == 0) trace_json_path = arg.substr(13);
     else if (arg.rfind("--k=", 0) == 0) k = std::stoul(arg.substr(4));
+    else if (arg.rfind("--timeout_ms=", 0) == 0) timeout_ms = std::stod(arg.substr(13));
+    else if (arg.rfind("--retries=", 0) == 0) retries = std::stoi(arg.substr(10));
+    else if (arg.rfind("--max_inflight=", 0) == 0)
+      max_inflight = std::stoul(arg.substr(15));
     else if (arg.rfind("--", 0) != 0) one_shot = arg;
     else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
@@ -116,7 +139,57 @@ int main(int argc, char** argv) {
   }
   base_options.explain = explain;
   base_options.trace = explain || !trace_json_path.empty();
-  auto engine = std::make_unique<KeymanticEngine>(*db, base_options);
+
+  const bool serve_mode = timeout_ms > 0 || retries > 0 || max_inflight > 0;
+  CircuitBreaker breaker("executor");
+  if (serve_mode) base_options.execution_gate = &breaker;
+
+  EngineServerOptions server_options;
+  server_options.default_deadline_ms = timeout_ms;
+  if (max_inflight > 0) {
+    server_options.aimd.initial_limit = static_cast<double>(max_inflight);
+    server_options.aimd.max_limit = static_cast<double>(max_inflight);
+    server_options.admission.max_queue = 2 * max_inflight;
+  }
+  RetryOptions retry_options;
+  retry_options.max_attempts = retries + 1;
+  RetryPolicy retry_policy(retry_options);
+  uint64_t request_counter = 0;
+
+  std::unique_ptr<KeymanticEngine> engine;
+  std::unique_ptr<EngineServer> server;
+  // (Re)builds the engine — and, in serve mode, the server wrapping it.
+  // The old server must go first: its workers reference the old engine.
+  auto rebuild = [&](const EngineOptions& opts) {
+    server.reset();
+    engine = std::make_unique<KeymanticEngine>(*db, opts);
+    if (serve_mode) server = std::make_unique<EngineServer>(*engine, server_options);
+  };
+  rebuild(base_options);
+
+  // Answers through the serving layer when enabled: deadline from submit,
+  // budgeted backoff on shed/unavailable answers.
+  auto answer = [&](const std::string& query) -> StatusOr<AnswerResult> {
+    if (server == nullptr) return engine->Answer(query, k);
+    RetrySchedule schedule = retry_policy.MakeSchedule(request_counter++);
+    retry_policy.OnRequest();
+    int attempts = 0;
+    while (true) {
+      StatusOr<AnswerResult> result = server->Submit(query, k).get();
+      ++attempts;
+      if (result.ok() || !retry_policy.ShouldRetry(result.status(), attempts)) {
+        return result;
+      }
+      double backoff_ms =
+          schedule.NextBackoffMs(SuggestedRetryAfterMs(result.status()));
+      std::printf("  %s; retrying in %.0fms (attempt %d/%d)\n",
+                  result.status().ToString().c_str(), backoff_ms, attempts + 1,
+                  retry_options.max_attempts);
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<int64_t>(backoff_ms * 1000)));
+    }
+  };
+
   Executor exec(*db);
   Terminology terminology(db->schema());
   FeedbackManager feedback(terminology, db->schema());
@@ -127,7 +200,7 @@ int main(int argc, char** argv) {
   // Answers one query, printing the ranked answers and — when asked — the
   // EXPLAIN rendering and the Chrome trace file. Returns false on error.
   auto answer_query = [&](const std::string& query) {
-    auto result = engine->Answer(query, k);
+    auto result = answer(query);
     if (!result.ok()) {
       std::printf("no answer: %s\n", result.status().ToString().c_str());
       last.clear();
@@ -218,7 +291,7 @@ int main(int argc, char** argv) {
           feedback.Accept(last[n - 1].configuration);
           EngineOptions opts = base_options;
           feedback.Configure(&opts);
-          engine = std::make_unique<KeymanticEngine>(*db, opts);
+          rebuild(opts);
           engine->SetTrainedHmm(feedback.TrainedModel());
           std::printf("accepted; conf_feedback=%.2f, forward mode=%s\n",
                       feedback.ConfidenceFeedback(),
@@ -230,7 +303,7 @@ int main(int argc, char** argv) {
         feedback.Reject();
         EngineOptions opts = base_options;
         feedback.Configure(&opts);
-        engine = std::make_unique<KeymanticEngine>(*db, opts);
+        rebuild(opts);
         engine->SetTrainedHmm(feedback.TrainedModel());
         std::printf("rejected; conf_feedback=%.2f\n", feedback.ConfidenceFeedback());
       } else if (cmd == "explain") {

@@ -1,0 +1,134 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/metrics.h"
+
+namespace km {
+
+namespace {
+
+constexpr const char kRetryAfterKey[] = "retry_after_ms=";
+
+}  // namespace
+
+namespace {
+
+std::string WithRetryAfter(const std::string& what, double retry_after_ms) {
+  char hint[64];
+  std::snprintf(hint, sizeof(hint), " (%s%.0f)", kRetryAfterKey,
+                retry_after_ms < 0 ? 0.0 : retry_after_ms);
+  return what + hint;
+}
+
+}  // namespace
+
+Status OverloadedStatus(const std::string& what, double retry_after_ms) {
+  return Status::Overloaded(WithRetryAfter(what, retry_after_ms));
+}
+
+Status UnavailableStatus(const std::string& what, double retry_after_ms) {
+  return Status::Unavailable(WithRetryAfter(what, retry_after_ms));
+}
+
+double SuggestedRetryAfterMs(const Status& status) {
+  const std::string& msg = status.message();
+  size_t pos = msg.find(kRetryAfterKey);
+  if (pos == std::string::npos) return 0.0;
+  double value = std::atof(msg.c_str() + pos + sizeof(kRetryAfterKey) - 1);
+  return value > 0 ? value : 0.0;
+}
+
+bool IsRetryableStatus(const Status& status) {
+  return status.code() == StatusCode::kOverloaded ||
+         status.code() == StatusCode::kUnavailable;
+}
+
+RetryBudget::RetryBudget(const RetryOptions& options)
+    : ratio_milli_(static_cast<int64_t>(options.budget_ratio * 1000.0)),
+      cap_milli_(static_cast<int64_t>(options.budget_cap * 1000.0)),
+      // The bucket starts full: a cold server tolerates a burst of retries
+      // up to the cap before the ratio constraint takes over.
+      milli_tokens_(static_cast<int64_t>(options.budget_cap * 1000.0)) {}
+
+void RetryBudget::OnAttempt() {
+  int64_t cur = milli_tokens_.load(std::memory_order_relaxed);
+  while (true) {
+    int64_t next = std::min(cap_milli_, cur + ratio_milli_);
+    if (next == cur) return;
+    if (milli_tokens_.compare_exchange_weak(cur, next,
+                                            std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+bool RetryBudget::TrySpendRetry() {
+  int64_t cur = milli_tokens_.load(std::memory_order_relaxed);
+  while (cur >= 1000) {
+    if (milli_tokens_.compare_exchange_weak(cur, cur - 1000,
+                                            std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+RetrySchedule::RetrySchedule(const RetryOptions& options, uint64_t request_id)
+    : options_(options),
+      // splitmix64 seeding: mixing the id through one Next() step decorrelates
+      // the streams of consecutive request ids.
+      rng_(options.seed ^ (request_id * 0xD1B54A32D192ED03ULL)),
+      prev_ms_(options.base_backoff_ms) {}
+
+double RetrySchedule::NextBackoffMs(double retry_after_floor_ms) {
+  // Decorrelated jitter: sleep = min(cap, uniform[base, 3·prev]). The first
+  // delay is uniform in [base, 3·base].
+  double lo = options_.base_backoff_ms;
+  double hi = std::max(lo, prev_ms_ * 3.0);
+  double sleep = lo + (hi - lo) * rng_.UniformDouble();
+  sleep = std::min(sleep, options_.max_backoff_ms);
+  sleep = std::max(sleep, retry_after_floor_ms);
+  prev_ms_ = sleep;
+  ++retries_;
+  return sleep;
+}
+
+RetryPolicy::RetryPolicy(RetryOptions options)
+    : options_(options), budget_(options) {}
+
+void RetryPolicy::OnRequest() {
+  static Counter& requests =
+      MetricsRegistry::Default().CounterRef("km.retry.requests");
+  requests.Increment();
+  budget_.OnAttempt();
+}
+
+bool RetryPolicy::ShouldRetry(const Status& status, int attempts_made) {
+  auto& registry = MetricsRegistry::Default();
+  static Counter& retries = registry.CounterRef("km.retry.retries");
+  static Counter& not_retryable =
+      registry.CounterRef("km.retry.suppressed.not_retryable");
+  static Counter& attempt_cap =
+      registry.CounterRef("km.retry.suppressed.attempt_cap");
+  static Counter& budget_empty =
+      registry.CounterRef("km.retry.suppressed.budget");
+  if (!IsRetryableStatus(status)) {
+    not_retryable.Increment();
+    return false;
+  }
+  if (attempts_made >= options_.max_attempts) {
+    attempt_cap.Increment();
+    return false;
+  }
+  if (!budget_.TrySpendRetry()) {
+    budget_empty.Increment();
+    return false;
+  }
+  retries.Increment();
+  return true;
+}
+
+}  // namespace km

@@ -1,0 +1,152 @@
+// Deterministic retry/backoff with a global retry budget.
+//
+// Serving a remote, flaky SQL backend (the deep-web scenario) needs retries,
+// but naive retries *amplify* an outage: N clients × M attempts multiplies
+// the offered load exactly when the backend can least afford it. This module
+// provides the three pieces the serving layer composes:
+//
+//   * RetrySchedule — a per-request exponential backoff with *decorrelated
+//     jitter* (AWS-style: sleep = min(cap, uniform[base, 3·prev])), driven by
+//     the seeded common/rng.h so every schedule is reproducible from
+//     (seed, request id). A server-supplied retry-after hint (see
+//     OverloadedStatus) acts as a floor for the next delay.
+//
+//   * RetryBudget — a process-wide token bucket shared by all requests:
+//     every first attempt deposits a fraction of a token (ratio), every
+//     retry spends a whole one. During an outage the bucket empties and
+//     retries are suppressed, capping the retry amplification factor at
+//     (1 + ratio) regardless of per-request attempt caps. Thread-safe.
+//
+//   * RetryPolicy — the decision: which Status codes are worth retrying
+//     (kOverloaded, kUnavailable — transient server-side conditions; client
+//     errors and deadline exhaustion are not), per-request attempt caps, and
+//     the budget check. Suppressed retries are counted in the metrics
+//     registry ("km.retry.*") so an outage is visible, not silent.
+
+#ifndef KM_COMMON_RETRY_H_
+#define KM_COMMON_RETRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace km {
+
+/// Tuning knobs of a RetryPolicy. The defaults suit a request that costs a
+/// few milliseconds; servers with slower backends should scale the backoff
+/// fields together.
+struct RetryOptions {
+  /// Total tries per request including the first (1 = never retry).
+  int max_attempts = 3;
+  /// First backoff delay and the cap every later delay is clamped to.
+  double base_backoff_ms = 10.0;
+  double max_backoff_ms = 2000.0;
+  /// Token-bucket retry budget: each first attempt deposits `budget_ratio`
+  /// tokens (capped at `budget_cap`), each retry spends 1. A ratio of 0.1
+  /// means sustained retries are capped at 10% of offered load.
+  double budget_ratio = 0.1;
+  double budget_cap = 10.0;
+  /// Seed of the jitter streams; request id is mixed in per schedule.
+  uint64_t seed = 0x9E3779B97F4A7C15ULL;
+};
+
+/// Formats the typed load-shedding Status: admission control answers
+/// kOverloaded and embeds a machine-readable suggested retry-after.
+Status OverloadedStatus(const std::string& what, double retry_after_ms);
+
+/// Same hint with code kUnavailable: the circuit breaker answers this while
+/// open, suggesting the remaining cooldown as the earliest useful retry.
+Status UnavailableStatus(const std::string& what, double retry_after_ms);
+
+/// Parses the "retry_after_ms=<n>" hint out of a Status message; 0 when the
+/// status carries none.
+double SuggestedRetryAfterMs(const Status& status);
+
+/// True for transient server-side conditions worth retrying (kOverloaded,
+/// kUnavailable). Client errors, genuine results and budget exhaustion of
+/// the *request itself* (deadline/cancel) are not retryable.
+bool IsRetryableStatus(const Status& status);
+
+/// Process-wide token bucket bounding total retry volume. All methods are
+/// thread-safe; token arithmetic is fixed-point (milli-tokens) so the hot
+/// path is a lock-free compare-exchange.
+class RetryBudget {
+ public:
+  explicit RetryBudget(const RetryOptions& options);
+
+  /// Records one first attempt: deposits `budget_ratio` tokens up to the cap.
+  void OnAttempt();
+
+  /// Tries to pay for one retry. False (and nothing is spent) when the
+  /// bucket lacks a whole token — the caller must not retry.
+  bool TrySpendRetry();
+
+  /// Whole tokens currently in the bucket (rounded down).
+  double tokens() const {
+    return static_cast<double>(milli_tokens_.load(std::memory_order_relaxed)) /
+           1000.0;
+  }
+
+ private:
+  int64_t ratio_milli_;
+  int64_t cap_milli_;
+  std::atomic<int64_t> milli_tokens_;
+};
+
+/// One request's reproducible backoff sequence. Not thread-safe; a schedule
+/// belongs to the single logical request it was made for.
+class RetrySchedule {
+ public:
+  RetrySchedule(const RetryOptions& options, uint64_t request_id);
+
+  /// Delay before the next retry: decorrelated jitter clamped to
+  /// [base, max], never below `retry_after_floor_ms` (a server hint).
+  double NextBackoffMs(double retry_after_floor_ms = 0.0);
+
+  /// Retries produced so far (excludes the initial attempt).
+  int retries() const { return retries_; }
+
+ private:
+  RetryOptions options_;
+  Rng rng_;
+  double prev_ms_;
+  int retries_ = 0;
+};
+
+/// Policy facade: owns the shared budget, hands out per-request schedules,
+/// and makes the retry decision. Thread-safe (the schedule it returns is
+/// the per-thread part).
+class RetryPolicy {
+ public:
+  explicit RetryPolicy(RetryOptions options = {});
+
+  const RetryOptions& options() const { return options_; }
+  RetryBudget& budget() { return budget_; }
+
+  /// Schedule for one request; `request_id` makes the jitter stream unique
+  /// and reproducible (same seed + id → same delays).
+  RetrySchedule MakeSchedule(uint64_t request_id) const {
+    return RetrySchedule(options_, request_id);
+  }
+
+  /// Call once per logical request before its first attempt (feeds the
+  /// budget and the attempt counter metric).
+  void OnRequest();
+
+  /// Whether a failed attempt should be retried: the status must be
+  /// retryable, `attempts_made` (including the failed one) must be below
+  /// max_attempts, and the budget must have a token (spent on success).
+  /// Suppressions are counted per cause in the metrics registry.
+  bool ShouldRetry(const Status& status, int attempts_made);
+
+ private:
+  RetryOptions options_;
+  RetryBudget budget_;
+};
+
+}  // namespace km
+
+#endif  // KM_COMMON_RETRY_H_

@@ -28,6 +28,8 @@ enum class StatusCode {
   kDeadlineExceeded = 8,  ///< Wall-clock deadline expired before completion.
   kResourceExhausted = 9, ///< Work budget (or simulated allocation) exhausted.
   kCancelled = 10,        ///< Cooperatively cancelled by the caller.
+  kOverloaded = 11,       ///< Shed by admission control; retry after backoff.
+  kUnavailable = 12,      ///< Backend unreachable (e.g. circuit breaker open).
 };
 
 /// Human-readable name of a status code ("OK", "InvalidArgument", ...).
@@ -80,6 +82,12 @@ class [[nodiscard]] Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff the status carries no error.

@@ -437,6 +437,16 @@ StatusOr<AnswerResult> KeymanticEngine::AnswerInternal(
   for (const std::string& kw : keywords) {
     KM_ENSURE_ARG(!kw.empty(), "keyword query contains an empty keyword");
     KM_ENSURE_ARG(IsValidUtf8(kw), "keyword is not valid UTF-8");
+    // Covers pre-tokenized callers and quoted phrases, whose internal
+    // whitespace lets them slip past ValidateQueryText's per-run bound.
+    KM_ENSURE_ARG(kw.size() <= kMaxKeywordLength,
+                  "keyword exceeds " + std::to_string(kMaxKeywordLength) +
+                      " bytes");
+    for (char c : kw) {
+      unsigned char b = static_cast<unsigned char>(c);
+      KM_ENSURE_ARG(b != 0x7f && (b >= 0x20 || b == '\t'),
+                    "keyword contains a control character");
+    }
   }
   AnswerResult result;
   AnswerStats& stats = result.stats;
@@ -624,12 +634,19 @@ StatusOr<AnswerResult> KeymanticEngine::AnswerInternal(
       stats.execution_truncated = true;
     } else {
       Executor exec(db_);
+      exec.set_gate(options_.execution_gate);
       for (Explanation& ex : results) {
         if (ctx != nullptr && ctx->Exhausted()) {
           stats.execution_truncated = true;
           break;
         }
         auto count = exec.Count(ex.sql, ctx, exec_span.get());
+        if (!count.ok() && count.status().code() == StatusCode::kUnavailable) {
+          // The gate failed fast (circuit open): the backend is down, so
+          // stop probing entirely — the un-probed ranking is still valid.
+          stats.execution_truncated = true;
+          break;
+        }
         if (count.ok() && *count == 0) ex.score *= 0.25;
       }
     }

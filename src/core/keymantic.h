@@ -37,6 +37,8 @@
 
 namespace km {
 
+class ExecutionGate;  // engine/executor.h
+
 /// Which forward-analysis implementation produces configurations.
 enum class ForwardMode {
   kHungarian = 0,   ///< the metadata approach (extended bipartite matching)
@@ -102,6 +104,12 @@ struct EngineOptions {
   /// Fill AnswerResult::provenance (per-keyword weight decomposition of
   /// the top answer's configuration) for Explain(). Off by default.
   bool explain = false;
+  /// Admission gate (typically a serve/CircuitBreaker) consulted before
+  /// every executor call the engine makes (penalize_empty_results probing).
+  /// Non-owning and nullable; must outlive the engine. When the gate
+  /// rejects, probing is skipped (execution_truncated) instead of hammering
+  /// a failing backend.
+  ExecutionGate* execution_gate = nullptr;
 };
 
 /// One ranked answer: the SQL explanation with its provenance.

@@ -124,14 +124,27 @@ Intermediate ScanRelation(const Table& table,
 
 StatusOr<ResultSet> Executor::Execute(const SpjQuery& query, QueryContext* ctx,
                                       TraceNode* parent) const {
-  return ExecuteInternal(query, /*project=*/true, ctx, parent);
+  return GatedExecute(query, /*project=*/true, ctx, parent);
 }
 
 StatusOr<size_t> Executor::Count(const SpjQuery& query, QueryContext* ctx,
                                  TraceNode* parent) const {
-  auto rs = ExecuteInternal(query, /*project=*/false, ctx, parent);
+  auto rs = GatedExecute(query, /*project=*/false, ctx, parent);
   if (!rs.ok()) return rs.status();
   return rs->rows.size();
+}
+
+StatusOr<ResultSet> Executor::GatedExecute(const SpjQuery& query, bool project,
+                                           QueryContext* ctx,
+                                           TraceNode* parent) const {
+  if (gate_ != nullptr) {
+    KM_RETURN_IF_ERROR(gate_->Admit());
+  }
+  auto rs = ExecuteInternal(query, project, ctx, parent);
+  if (gate_ != nullptr) {
+    gate_->Record(rs.ok() ? Status::OK() : rs.status());
+  }
+  return rs;
 }
 
 StatusOr<ResultSet> Executor::ExecuteInternal(const SpjQuery& query,

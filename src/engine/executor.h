@@ -44,6 +44,22 @@ struct ResultSet {
   mutable std::unordered_map<std::string, size_t> column_index_;
 };
 
+/// Admission hook in front of SQL execution. The serving layer implements
+/// this with a circuit breaker (serve/circuit_breaker.h): when the backend
+/// is failing, Admit() returns kUnavailable and the executor is never
+/// entered, so result probing fails fast instead of hammering a dead
+/// backend. The interface lives here so km_engine needs no dependency on
+/// the serving layer.
+class ExecutionGate {
+ public:
+  virtual ~ExecutionGate() = default;
+  /// OK to proceed, or a non-OK Status (typically kUnavailable with a
+  /// retry-after hint) the executor returns verbatim.
+  virtual Status Admit() = 0;
+  /// Outcome report of one admitted execution: OK, or the failure Status.
+  virtual void Record(const Status& result) = 0;
+};
+
 /// Executes SPJ queries against an in-memory Database.
 ///
 /// Join processing is hash-based: the plan greedily joins one relation at a
@@ -54,6 +70,10 @@ struct ResultSet {
 class Executor {
  public:
   explicit Executor(const Database& db) : db_(db) {}
+
+  /// Installs the (non-owning, nullable) admission gate consulted by every
+  /// Execute()/Count() call. The gate must outlive the executor.
+  void set_gate(ExecutionGate* gate) { gate_ = gate; }
 
   /// Runs the query and materializes the full result. `ctx` (optional) is
   /// polled inside every join loop (one unit per intermediate row); on
@@ -74,7 +94,14 @@ class Executor {
                                       QueryContext* ctx,
                                       TraceNode* parent) const;
 
+  /// ExecuteInternal behind the gate: Admit() first (a rejection is
+  /// returned without touching the backend and without a Record() call),
+  /// then exactly one Record() with the execution outcome.
+  StatusOr<ResultSet> GatedExecute(const SpjQuery& query, bool project,
+                                   QueryContext* ctx, TraceNode* parent) const;
+
   const Database& db_;
+  ExecutionGate* gate_ = nullptr;
 };
 
 /// Evaluates `value op literal` (used by the executor and tests).

@@ -1,0 +1,157 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+#include "common/retry.h"
+#include "common/trace.h"
+
+namespace km {
+
+AdmissionQueue::AdmissionQueue(AdmissionOptions options)
+    : options_(options) {}
+
+Status AdmissionQueue::Offer(Item item, double estimated_wait_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) {
+    ++shed_shutdown_;
+    return UnavailableStatus("server shutting down", 0.0);
+  }
+  double retry_after =
+      std::max(estimated_wait_ms, options_.min_retry_after_ms);
+  if (items_.size() >= options_.max_queue) {
+    ++shed_full_;
+    return OverloadedStatus("admission queue full", retry_after);
+  }
+  if (item.remaining_deadline_ms > 0 &&
+      estimated_wait_ms > item.remaining_deadline_ms) {
+    // The request would expire before a worker picks it up; shedding now
+    // is strictly cheaper than queueing it to time out.
+    ++shed_deadline_;
+    return OverloadedStatus("predicted queue wait exceeds deadline",
+                            retry_after);
+  }
+  item.enqueued_ns = MonotonicNowNs();
+  items_.push_back(std::move(item));
+  ++admitted_;
+  max_depth_ = std::max(max_depth_, items_.size());
+  cv_.notify_one();
+  return Status::OK();
+}
+
+std::optional<AdmissionQueue::Item> AdmissionQueue::Take() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return shutdown_ || !items_.empty(); });
+  if (items_.empty()) return std::nullopt;  // shut down and drained
+  Item item = std::move(items_.front());
+  items_.pop_front();
+  return item;
+}
+
+void AdmissionQueue::Shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_ = true;
+  cv_.notify_all();
+}
+
+size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+size_t AdmissionQueue::max_depth_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_depth_;
+}
+
+uint64_t AdmissionQueue::admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_;
+}
+
+uint64_t AdmissionQueue::shed_full() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_full_;
+}
+
+uint64_t AdmissionQueue::shed_deadline() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_deadline_;
+}
+
+uint64_t AdmissionQueue::shed_shutdown() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_shutdown_;
+}
+
+bool AdmissionQueue::shutdown() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shutdown_;
+}
+
+AimdLimiter::AimdLimiter(AimdOptions options, std::function<double()> now_ms)
+    : options_(options),
+      now_ms_(std::move(now_ms)),
+      limit_(options.initial_limit) {}
+
+double AimdLimiter::NowMs() const {
+  if (now_ms_) return now_ms_();
+  return static_cast<double>(MonotonicNowNs()) / 1e6;
+}
+
+void AimdLimiter::Acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    return static_cast<double>(inflight_) < limit_;
+  });
+  ++inflight_;
+}
+
+bool AimdLimiter::TryAcquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<double>(inflight_) >= limit_) return false;
+  ++inflight_;
+  return true;
+}
+
+void AimdLimiter::Release(double latency_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (inflight_ > 0) --inflight_;
+  bool overloaded =
+      options_.latency_target_ms > 0 && latency_ms > options_.latency_target_ms;
+  if (overloaded) {
+    DecreaseLocked(NowMs());
+  } else {
+    limit_ = std::min(options_.max_limit, limit_ + options_.increase);
+  }
+  // Waiters wake on the freed slot and on any limit increase.
+  cv_.notify_all();
+}
+
+void AimdLimiter::OnOverload() {
+  std::lock_guard<std::mutex> lock(mu_);
+  DecreaseLocked(NowMs());
+}
+
+void AimdLimiter::DecreaseLocked(double now) {
+  if (now - last_decrease_ms_ < options_.decrease_cooldown_ms) return;
+  last_decrease_ms_ = now;
+  limit_ = std::max(options_.min_limit, limit_ * options_.decrease_factor);
+  ++decreases_;
+}
+
+double AimdLimiter::limit() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return limit_;
+}
+
+size_t AimdLimiter::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+uint64_t AimdLimiter::decreases() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return decreases_;
+}
+
+}  // namespace km

@@ -1,0 +1,166 @@
+// Admission control: a bounded, deadline-aware queue and an AIMD
+// concurrency limiter.
+//
+// The failure mode this prevents is the classic overload collapse: offered
+// load exceeds capacity, the queue grows without bound, every queued
+// request waits longer than its deadline, and the server does 100% work for
+// 0% goodput. The two pieces here enforce the opposite regime:
+//
+//   * AdmissionQueue — FIFO with a hard depth cap. Offer() *sheds* (typed
+//     kOverloaded Status carrying a suggested retry-after) instead of
+//     queueing when the queue is full or when the caller's wait estimate
+//     already exceeds the request's remaining deadline — a request that
+//     would expire in the queue is cheaper to reject at the door.
+//
+//   * AimdLimiter — additive-increase / multiplicative-decrease bound on
+//     concurrent execution, probing upward while observed latencies stay
+//     under target and backing off multiplicatively on overload signals
+//     (slow completions, queue sheds). TCP's congestion rule, applied to a
+//     worker pool: the limit converges near the concurrency the hardware
+//     actually sustains.
+//
+// Both are thread-safe and expose plain counter accessors; the EngineServer
+// (engine_server.h) owns publication to the process metrics registry so
+// short-lived queues in tests don't pollute global metrics.
+
+#ifndef KM_SERVE_ADMISSION_H_
+#define KM_SERVE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "common/status.h"
+
+namespace km {
+
+/// Queue bounds and shed behavior.
+struct AdmissionOptions {
+  /// Hard queue-depth cap; Offer() sheds beyond it.
+  size_t max_queue = 64;
+  /// Floor of the suggested retry-after on sheds (the estimate can be 0
+  /// before the first completion has calibrated service time).
+  double min_retry_after_ms = 25.0;
+};
+
+/// Bounded MPMC FIFO of opaque requests. Offer() never blocks (it admits
+/// or sheds); Take() blocks until an item or shutdown.
+class AdmissionQueue {
+ public:
+  struct Item {
+    uint64_t id = 0;
+    /// Opaque request payload (the server stores its Request here).
+    std::shared_ptr<void> payload;
+    /// Wall-clock budget the request had left when offered; 0 = unlimited.
+    double remaining_deadline_ms = 0;
+    /// MonotonicNowNs() at admission (stamped by Offer).
+    int64_t enqueued_ns = 0;
+  };
+
+  explicit AdmissionQueue(AdmissionOptions options = {});
+
+  /// Admits `item` or sheds it with kOverloaded: when the queue is at its
+  /// cap, when the server is shutting down (kUnavailable), or when
+  /// `estimated_wait_ms` exceeds the item's remaining deadline (it would
+  /// expire before a worker picks it up). The shed status carries a
+  /// retry-after suggestion derived from the wait estimate.
+  Status Offer(Item item, double estimated_wait_ms);
+
+  /// Blocks for the next item. Empty optional once the queue is shut down
+  /// *and* drained — the worker-loop exit condition.
+  std::optional<Item> Take();
+
+  /// Stops admission (Offer returns kUnavailable). Already-queued items
+  /// are still handed out by Take() — shutdown is graceful, not dropping.
+  void Shutdown();
+
+  size_t depth() const;
+  size_t max_depth_seen() const;
+  uint64_t admitted() const;
+  uint64_t shed_full() const;      ///< sheds due to the depth cap
+  uint64_t shed_deadline() const;  ///< sheds due to the wait/deadline test
+  uint64_t shed_shutdown() const;  ///< rejections while shutting down
+  bool shutdown() const;
+
+ private:
+  const AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Item> items_;
+  bool shutdown_ = false;
+  size_t max_depth_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t shed_full_ = 0;
+  uint64_t shed_deadline_ = 0;
+  uint64_t shed_shutdown_ = 0;
+};
+
+/// AIMD tuning. The defaults probe gently and back off hard (the stable
+/// corner of the AIMD family).
+struct AimdOptions {
+  double initial_limit = 8.0;
+  double min_limit = 1.0;
+  double max_limit = 64.0;
+  /// Added to the limit per completion under target latency.
+  double increase = 0.25;
+  /// Multiplied into the limit on an overload signal.
+  double decrease_factor = 0.7;
+  /// Completions slower than this are overload signals; 0 disables the
+  /// latency signal (only explicit OnOverload() calls shrink the limit).
+  double latency_target_ms = 0.0;
+  /// Decreases are rate-limited to one per this many milliseconds, so a
+  /// burst of slow completions counts as one congestion event (TCP's
+  /// once-per-RTT rule).
+  double decrease_cooldown_ms = 100.0;
+};
+
+/// Thread-safe AIMD concurrency limiter. Acquire() blocks while the
+/// in-flight count is at the current limit; Release() reports the
+/// completion latency that drives the limit up or down.
+class AimdLimiter {
+ public:
+  /// `now_ms` (optional) replaces the monotonic clock for deterministic
+  /// cooldown tests.
+  explicit AimdLimiter(AimdOptions options = {},
+                       std::function<double()> now_ms = {});
+
+  /// Blocks until an execution slot is free, then claims it.
+  void Acquire();
+
+  /// Claims a slot iff one is free right now.
+  bool TryAcquire();
+
+  /// Returns a slot. `latency_ms` ≤ target (or no target) is a good sample
+  /// (additive increase); above target is an overload signal
+  /// (multiplicative decrease, cooldown-limited).
+  void Release(double latency_ms);
+
+  /// External overload signal (e.g. the queue shed a request): same
+  /// multiplicative decrease, same cooldown.
+  void OnOverload();
+
+  double limit() const;
+  size_t inflight() const;
+  uint64_t decreases() const;
+
+ private:
+  double NowMs() const;
+  void DecreaseLocked(double now);
+
+  const AimdOptions options_;
+  const std::function<double()> now_ms_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  double limit_;
+  size_t inflight_ = 0;
+  double last_decrease_ms_ = -1e300;
+  uint64_t decreases_ = 0;
+};
+
+}  // namespace km
+
+#endif  // KM_SERVE_ADMISSION_H_

@@ -1,0 +1,149 @@
+#include "serve/circuit_breaker.h"
+
+#include <algorithm>
+
+#include "common/metrics.h"
+#include "common/retry.h"
+#include "common/trace.h"
+
+namespace km {
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(std::string name, CircuitBreakerOptions options,
+                               std::function<double()> now_ms)
+    : name_(std::move(name)), options_(options), now_ms_(std::move(now_ms)) {
+  MetricsRegistry::Default()
+      .GaugeRef("km.breaker." + name_ + ".state")
+      .Set(static_cast<int64_t>(BreakerState::kClosed));
+}
+
+double CircuitBreaker::NowMs() const {
+  if (now_ms_) return now_ms_();
+  return static_cast<double>(MonotonicNowNs()) / 1e6;
+}
+
+bool CircuitBreaker::IsBackendFailure(const Status& result) {
+  return result.code() == StatusCode::kInternal ||
+         result.code() == StatusCode::kUnavailable;
+}
+
+void CircuitBreaker::TransitionLocked(BreakerState next, double now) {
+  if (state_ == next) return;
+  if (next == BreakerState::kOpen) {
+    opened_at_ms_ = now;
+    ++trips_;
+    MetricsRegistry::Default()
+        .CounterRef("km.breaker." + name_ + ".trips")
+        .Increment();
+  }
+  state_ = next;
+  consecutive_failures_ = 0;
+  window_.clear();
+  window_failures_ = 0;
+  half_open_inflight_ = 0;
+  half_open_successes_ = 0;
+  auto& registry = MetricsRegistry::Default();
+  registry.GaugeRef("km.breaker." + name_ + ".state")
+      .Set(static_cast<int64_t>(next));
+  registry
+      .CounterRef("km.breaker." + name_ + ".transitions." +
+                  BreakerStateName(next))
+      .Increment();
+}
+
+Status CircuitBreaker::Admit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  double now = NowMs();
+  if (state_ == BreakerState::kOpen) {
+    double waited = now - opened_at_ms_;
+    if (waited < options_.open_cooldown_ms) {
+      ++rejections_;
+      MetricsRegistry::Default()
+          .CounterRef("km.breaker." + name_ + ".rejections")
+          .Increment();
+      return UnavailableStatus("circuit '" + name_ + "' open",
+                               options_.open_cooldown_ms - waited);
+    }
+    TransitionLocked(BreakerState::kHalfOpen, now);
+  }
+  if (state_ == BreakerState::kHalfOpen) {
+    if (half_open_inflight_ >= options_.half_open_probes) {
+      ++rejections_;
+      MetricsRegistry::Default()
+          .CounterRef("km.breaker." + name_ + ".rejections")
+          .Increment();
+      return UnavailableStatus("circuit '" + name_ + "' half-open, probes busy",
+                               options_.open_cooldown_ms);
+    }
+    ++half_open_inflight_;
+  }
+  return Status::OK();
+}
+
+void CircuitBreaker::Record(const Status& result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  double now = NowMs();
+  bool failure = IsBackendFailure(result);
+  switch (state_) {
+    case BreakerState::kClosed: {
+      consecutive_failures_ = failure ? consecutive_failures_ + 1 : 0;
+      window_.push_back(failure);
+      if (failure) ++window_failures_;
+      while (static_cast<int>(window_.size()) > options_.window) {
+        if (window_.front()) --window_failures_;
+        window_.pop_front();
+      }
+      bool ratio_trip =
+          static_cast<int>(window_.size()) >= options_.window &&
+          static_cast<double>(window_failures_) >
+              options_.failure_ratio * static_cast<double>(window_.size());
+      if (consecutive_failures_ >= options_.consecutive_failures || ratio_trip) {
+        TransitionLocked(BreakerState::kOpen, now);
+      }
+      break;
+    }
+    case BreakerState::kHalfOpen: {
+      if (half_open_inflight_ > 0) --half_open_inflight_;
+      if (failure) {
+        TransitionLocked(BreakerState::kOpen, now);
+        break;
+      }
+      if (++half_open_successes_ >= options_.close_after_successes) {
+        TransitionLocked(BreakerState::kClosed, now);
+      }
+      break;
+    }
+    case BreakerState::kOpen:
+      // Stale outcome of a call admitted before the trip; the cooldown
+      // already charges for this period, nothing to account.
+      break;
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+uint64_t CircuitBreaker::trips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trips_;
+}
+
+uint64_t CircuitBreaker::rejections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejections_;
+}
+
+}  // namespace km

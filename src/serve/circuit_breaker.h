@@ -1,0 +1,115 @@
+// Circuit breaker for the SQL execution backend.
+//
+// The metadata approach is designed for querying sources you do not own —
+// deep-web backends answering the generated SQL remotely. When such a
+// backend starts failing, continuing to send it result-probing queries
+// (penalize_empty_results, workload evaluation) both wastes the query's
+// budget and prolongs the backend's overload. The breaker is the standard
+// three-state machine:
+//
+//            failures reach threshold              cooldown elapses
+//   CLOSED ────────────────────────────► OPEN ────────────────────► HALF-OPEN
+//     ▲                                    ▲                            │
+//     │   probe successes reach target     │      any probe fails       │
+//     └────────────────────────────────────┴────────────────────────────┘
+//
+// CLOSED passes everything through and tracks failures two ways: a
+// consecutive-failure count and a failure ratio over a sliding sample
+// window (either trips). OPEN fails fast: Admit() returns kUnavailable
+// (with a retry-after hint of the remaining cooldown) and the backend is
+// never called. HALF-OPEN admits a bounded number of concurrent probes;
+// enough successes close the circuit, any failure re-opens it.
+//
+// The breaker implements ExecutionGate (engine/executor.h), so handing it
+// to EngineOptions::execution_gate protects every executor call the engine
+// makes. Time is injectable for deterministic tests; state, transitions and
+// fail-fast rejections are published through the metrics registry
+// ("km.breaker.<name>.*").
+
+#ifndef KM_SERVE_CIRCUIT_BREAKER_H_
+#define KM_SERVE_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "engine/executor.h"
+
+namespace km {
+
+/// Trip/recovery tuning. Defaults suit a backend answering in milliseconds.
+struct CircuitBreakerOptions {
+  /// Consecutive failures that trip CLOSED → OPEN.
+  int consecutive_failures = 5;
+  /// Alternative ratio trip: over the last `window` outcomes (once at least
+  /// `window` samples exist), a failure fraction > `failure_ratio` trips.
+  double failure_ratio = 0.5;
+  int window = 20;
+  /// How long OPEN fails fast before probing (HALF-OPEN) is allowed.
+  double open_cooldown_ms = 1000.0;
+  /// Concurrent probes admitted in HALF-OPEN.
+  int half_open_probes = 1;
+  /// Probe successes needed to close the circuit again.
+  int close_after_successes = 2;
+};
+
+enum class BreakerState : uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+/// Stable lower-case state name ("closed", "open", "half_open").
+const char* BreakerStateName(BreakerState state);
+
+/// Thread-safe three-state circuit breaker; see the header comment for the
+/// state machine. Which Status codes count as backend failures is fixed:
+/// kInternal and kUnavailable (the fault classes a dying backend produces);
+/// client errors (invalid SQL, missing relations) and the query's own
+/// budget exhaustion do not trip the breaker.
+class CircuitBreaker : public ExecutionGate {
+ public:
+  /// `name` prefixes the published metrics ("km.breaker.<name>.*").
+  /// `now_ms` (optional) replaces the monotonic clock — tests drive the
+  /// cooldown deterministically through a manual time source.
+  explicit CircuitBreaker(std::string name, CircuitBreakerOptions options = {},
+                          std::function<double()> now_ms = {});
+
+  /// ExecutionGate: OK in CLOSED; OK for up to `half_open_probes` callers
+  /// in HALF-OPEN; kUnavailable (retry-after = remaining cooldown) in OPEN.
+  Status Admit() override;
+
+  /// ExecutionGate: outcome of one admitted call.
+  void Record(const Status& result) override;
+
+  BreakerState state() const;
+
+  /// Counts since construction (monotone, also published as metrics).
+  uint64_t trips() const;       ///< CLOSED/HALF-OPEN → OPEN transitions
+  uint64_t rejections() const;  ///< Admit() calls answered kUnavailable
+
+  /// True when `result` counts as a backend failure for trip accounting.
+  static bool IsBackendFailure(const Status& result);
+
+ private:
+  void TransitionLocked(BreakerState next, double now);
+  double NowMs() const;
+
+  const std::string name_;
+  const CircuitBreakerOptions options_;
+  const std::function<double()> now_ms_;
+
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  std::deque<bool> window_;  // true = failure, newest at the back
+  int window_failures_ = 0;
+  double opened_at_ms_ = 0.0;
+  int half_open_inflight_ = 0;
+  int half_open_successes_ = 0;
+  uint64_t trips_ = 0;
+  uint64_t rejections_ = 0;
+};
+
+}  // namespace km
+
+#endif  // KM_SERVE_CIRCUIT_BREAKER_H_

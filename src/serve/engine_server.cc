@@ -1,0 +1,211 @@
+#include "serve/engine_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/retry.h"
+#include "common/trace.h"
+
+namespace km {
+
+namespace {
+
+double NowMs() { return static_cast<double>(MonotonicNowNs()) / 1e6; }
+
+Counter& ServeCounter(const char* what) {
+  return MetricsRegistry::Default().CounterRef(std::string("km.serve.") + what);
+}
+
+}  // namespace
+
+const char* OverloadStateName(OverloadState state) {
+  switch (state) {
+    case OverloadState::kHealthy:
+      return "healthy";
+    case OverloadState::kThrottling:
+      return "throttling";
+    case OverloadState::kShedding:
+      return "shedding";
+  }
+  return "unknown";
+}
+
+EngineServer::EngineServer(const KeymanticEngine& engine,
+                           EngineServerOptions options)
+    : engine_(engine),
+      options_(options),
+      queue_(options.admission),
+      limiter_(options.aimd) {
+  MetricsRegistry::Default().GaugeRef("km.serve.state").Set(0);
+  size_t workers = std::max<size_t>(1, options_.workers);
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+EngineServer::~EngineServer() { Shutdown(); }
+
+double EngineServer::EstimatedWaitMsLocked() const {
+  if (ema_service_ms_ <= 0) return 0;  // uncalibrated: admit optimistically
+  double concurrency = std::max(1.0, limiter_.limit());
+  return static_cast<double>(queue_.depth()) * ema_service_ms_ / concurrency;
+}
+
+std::future<StatusOr<AnswerResult>> EngineServer::Submit(
+    const std::string& query, size_t k, double deadline_ms) {
+  auto request = std::make_shared<Request>();
+  request->query = query;
+  request->k = k;
+  double deadline =
+      deadline_ms > 0 ? deadline_ms : options_.default_deadline_ms;
+  QueryLimits limits = options_.limits;
+  limits.deadline_ms = deadline;
+  // The context starts its deadline clock here, at submit: queue wait is
+  // part of the request's wall-clock budget.
+  request->ctx = std::make_unique<QueryContext>(limits);
+  std::future<StatusOr<AnswerResult>> future = request->promise.get_future();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++submitted_;
+  ServeCounter("submitted").Increment();
+  AdmissionQueue::Item item;
+  item.id = next_request_id_++;
+  item.payload = request;
+  item.remaining_deadline_ms = deadline;
+  double now = NowMs();
+  Status offered = queue_.Offer(std::move(item), EstimatedWaitMsLocked());
+  if (!offered.ok()) {
+    if (offered.code() == StatusCode::kOverloaded) {
+      last_shed_ms_ = now;
+      // A shed is an overload signal: shrink the concurrency probe too.
+      limiter_.OnOverload();
+    }
+    ServeCounter("shed").Increment();
+    RefreshStateLocked(now);
+    request->promise.set_value(std::move(offered));
+    return future;
+  }
+  ++outstanding_;
+  ServeCounter("admitted").Increment();
+  RefreshStateLocked(now);
+  return future;
+}
+
+void EngineServer::WorkerLoop() {
+  auto& registry = MetricsRegistry::Default();
+  Histogram& queue_wait =
+      registry.HistogramRef("km.serve.queue_wait_ms", DefaultLatencyBucketsMs());
+  Histogram& latency =
+      registry.HistogramRef("km.serve.latency_ms", DefaultLatencyBucketsMs());
+  while (true) {
+    std::optional<AdmissionQueue::Item> item = queue_.Take();
+    if (!item.has_value()) return;  // shut down and drained
+    auto request = std::static_pointer_cast<Request>(item->payload);
+    double waited_ms =
+        static_cast<double>(MonotonicNowNs() - item->enqueued_ns) / 1e6;
+    queue_wait.Observe(waited_ms);
+
+    if (request->ctx->Exhausted()) {
+      // Dead on arrival: the deadline burned out (or the caller cancelled)
+      // while the request sat in the queue. Cheaper to report than to run
+      // the engine just to watch it hit the floor of its ladder.
+      request->promise.set_value(Status::DeadlineExceeded(
+          "request expired while queued (waited " +
+          std::to_string(static_cast<int64_t>(waited_ms)) + "ms)"));
+      ServeCounter("expired_in_queue").Increment();
+      std::lock_guard<std::mutex> lock(mu_);
+      ++expired_in_queue_;
+      if (outstanding_ > 0) --outstanding_;
+      RefreshStateLocked(NowMs());
+      drain_cv_.notify_all();
+      continue;
+    }
+
+    limiter_.Acquire();
+    double start_ms = NowMs();
+    StatusOr<AnswerResult> result =
+        engine_.Answer(request->query, request->k, request->ctx.get());
+    double latency_ms = NowMs() - start_ms;
+    limiter_.Release(latency_ms);
+    latency.Observe(latency_ms);
+    ServeCounter("completed").Increment();
+    request->promise.set_value(std::move(result));
+
+    std::lock_guard<std::mutex> lock(mu_);
+    ++completed_;
+    if (outstanding_ > 0) --outstanding_;
+    // EMA of observed service time feeds the admission wait estimate.
+    ema_service_ms_ = ema_service_ms_ <= 0
+                          ? latency_ms
+                          : 0.8 * ema_service_ms_ + 0.2 * latency_ms;
+    RefreshStateLocked(NowMs());
+    drain_cv_.notify_all();
+  }
+}
+
+void EngineServer::RefreshStateLocked(double now_ms) {
+  OverloadState next;
+  if (now_ms - last_shed_ms_ <= options_.shed_window_ms) {
+    next = OverloadState::kShedding;
+  } else if (queue_.depth() > options_.admission.max_queue / 2 ||
+             limiter_.limit() < options_.aimd.initial_limit) {
+    next = OverloadState::kThrottling;
+  } else {
+    next = OverloadState::kHealthy;
+  }
+  auto& registry = MetricsRegistry::Default();
+  registry.GaugeRef("km.serve.queue.depth")
+      .Set(static_cast<int64_t>(queue_.depth()));
+  registry.GaugeRef("km.serve.aimd_limit")
+      .Set(static_cast<int64_t>(limiter_.limit()));
+  if (next != state_) {
+    state_ = next;
+    registry.GaugeRef("km.serve.state").Set(static_cast<int64_t>(next));
+    registry
+        .CounterRef(std::string("km.serve.transitions.") +
+                    OverloadStateName(next))
+        .Increment();
+  }
+}
+
+void EngineServer::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+void EngineServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_called_) return;
+    shutdown_called_ = true;
+  }
+  queue_.Shutdown();  // stop admission; workers drain what's already queued
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+ServerStats EngineServer::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServerStats stats;
+  stats.submitted = submitted_;
+  stats.admitted = queue_.admitted();
+  stats.shed =
+      queue_.shed_full() + queue_.shed_deadline() + queue_.shed_shutdown();
+  stats.completed = completed_;
+  stats.expired_in_queue = expired_in_queue_;
+  stats.queue_depth = queue_.depth();
+  stats.max_queue_depth = queue_.max_depth_seen();
+  stats.aimd_limit = limiter_.limit();
+  stats.state = state_;
+  return stats;
+}
+
+OverloadState EngineServer::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+}  // namespace km

@@ -1,0 +1,156 @@
+// EngineServer: the overload-protected serving facade over KeymanticEngine.
+//
+// Callers Submit() keyword queries and get futures; a small worker pool
+// drains a bounded admission queue (admission.h) and runs the engine under
+// an AIMD concurrency limit. Every request gets a QueryContext at *submit*
+// time, so time spent queued burns the same deadline the engine degrades
+// against — an admitted request is bounded end-to-end, not just while
+// executing.
+//
+// Overload behavior, in order of preference:
+//   1. degrade — admitted requests under deadline pressure fall down the
+//      engine's degradation ladder (partial but ranked answers);
+//   2. shed — requests that would overflow the queue or expire while
+//      queued are rejected up front with kOverloaded + a retry-after hint
+//      (see common/retry.h for the client-side backoff that consumes it);
+//   3. fail fast — when a CircuitBreaker (circuit_breaker.h) is installed
+//      as the engine's ExecutionGate, a dead backend stops being probed.
+//
+// The server publishes an explicit overload state machine
+// (healthy → throttling → shedding) through the metrics registry
+// ("km.serve.*") so operators see pressure building before sheds start.
+
+#ifndef KM_SERVE_ENGINE_SERVER_H_
+#define KM_SERVE_ENGINE_SERVER_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/query_context.h"
+#include "common/status.h"
+#include "core/keymantic.h"
+#include "serve/admission.h"
+
+namespace km {
+
+/// Pressure level of the server, ordered by increasing severity. Published
+/// as the "km.serve.state" gauge (numeric value of the enum).
+enum class OverloadState {
+  kHealthy = 0,     ///< queue shallow, concurrency limit at/above initial
+  kThrottling = 1,  ///< queue filling or AIMD limit depressed; no sheds yet
+  kShedding = 2,    ///< at least one shed in the recent window
+};
+
+/// Stable lower-case state name ("healthy", "throttling", "shedding").
+const char* OverloadStateName(OverloadState state);
+
+struct EngineServerOptions {
+  /// Worker threads draining the admission queue.
+  size_t workers = 2;
+  /// Bounds of the admission queue (depth cap, shed retry-after floor).
+  AdmissionOptions admission;
+  /// AIMD concurrency-limit tuning.
+  AimdOptions aimd;
+  /// Deadline applied to requests submitted without one; 0 = unlimited.
+  double default_deadline_ms = 0;
+  /// Per-query work budgets stamped into each request's QueryContext
+  /// (deadline_ms is overridden per request; see Submit).
+  QueryLimits limits;
+  /// Sheds within this trailing window put the server in kShedding.
+  double shed_window_ms = 1000.0;
+};
+
+/// Counters snapshot for tests and reporting (one consistent read).
+struct ServerStats {
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t shed = 0;           ///< rejected at Submit (queue full / deadline / shutdown)
+  uint64_t completed = 0;      ///< futures fulfilled by a worker
+  uint64_t expired_in_queue = 0;  ///< admitted but dead before a worker started
+  size_t queue_depth = 0;
+  size_t max_queue_depth = 0;
+  double aimd_limit = 0;
+  OverloadState state = OverloadState::kHealthy;
+};
+
+/// Thread-safe serving facade. The engine must outlive the server.
+/// Destruction shuts down gracefully (drains admitted requests).
+class EngineServer {
+ public:
+  EngineServer(const KeymanticEngine& engine, EngineServerOptions options = {});
+  ~EngineServer();
+
+  EngineServer(const EngineServer&) = delete;
+  EngineServer& operator=(const EngineServer&) = delete;
+
+  /// Submits one keyword query for up to `k` answers. Returns immediately;
+  /// the future resolves when a worker finishes the request (or right away
+  /// when the request is shed — the shed Status, with its retry-after
+  /// hint, is delivered through the same future).
+  ///
+  /// `deadline_ms` overrides options.default_deadline_ms for this request
+  /// (0 = use the default). The deadline clock starts *now*: queue wait
+  /// counts against it.
+  std::future<StatusOr<AnswerResult>> Submit(const std::string& query, size_t k,
+                                             double deadline_ms = 0);
+
+  /// Blocks until every admitted request has completed (queue empty and no
+  /// worker mid-request). New Submits during a drain are still accepted.
+  void Drain();
+
+  /// Graceful shutdown: stops admission (further Submits are rejected with
+  /// kUnavailable), drains already-admitted requests, joins the workers.
+  /// Idempotent.
+  void Shutdown();
+
+  /// One consistent counters snapshot.
+  ServerStats Stats() const;
+
+  OverloadState state() const;
+
+  const AdmissionQueue& queue() const { return queue_; }
+  const AimdLimiter& limiter() const { return limiter_; }
+
+ private:
+  struct Request {
+    std::string query;
+    size_t k = 0;
+    std::unique_ptr<QueryContext> ctx;
+    std::promise<StatusOr<AnswerResult>> promise;
+  };
+
+  void WorkerLoop();
+  /// Predicted queue wait for a new arrival: depth × EMA service time /
+  /// effective concurrency.
+  double EstimatedWaitMsLocked() const;
+  /// Recomputes the overload state from queue depth, AIMD limit and recent
+  /// sheds; publishes transitions to the metrics registry. Caller holds mu_.
+  void RefreshStateLocked(double now_ms);
+
+  const KeymanticEngine& engine_;
+  const EngineServerOptions options_;
+  AdmissionQueue queue_;
+  AimdLimiter limiter_;
+
+  mutable std::mutex mu_;
+  std::condition_variable drain_cv_;
+  uint64_t next_request_id_ = 1;
+  uint64_t submitted_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t expired_in_queue_ = 0;
+  uint64_t outstanding_ = 0;   ///< admitted but not yet completed/expired
+  double ema_service_ms_ = 0;  ///< 0 until the first completion
+  double last_shed_ms_ = -1e300;
+  OverloadState state_ = OverloadState::kHealthy;
+  bool shutdown_called_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace km
+
+#endif  // KM_SERVE_ENGINE_SERVER_H_

@@ -42,6 +42,22 @@ Status ValidateQueryText(const std::string& query) {
   if (quotes % 2 != 0) {
     return Status::InvalidArgument("query text has an unterminated quote");
   }
+  size_t run = 0;  // bytes since the last whitespace boundary
+  for (size_t i = 0; i < query.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(query[i]);
+    if (c == 0x7f || (c < 0x20 && c != '\t' && c != '\n' && c != '\r')) {
+      return Status::InvalidArgument(
+          "query text contains a control character (byte " +
+          std::to_string(static_cast<unsigned>(c)) + " at offset " +
+          std::to_string(i) + ")");
+    }
+    run = std::isspace(c) ? 0 : run + 1;
+    if (run > kMaxKeywordLength) {
+      return Status::InvalidArgument(
+          "query contains a keyword longer than " +
+          std::to_string(kMaxKeywordLength) + " bytes");
+    }
+  }
   return Status::OK();
 }
 

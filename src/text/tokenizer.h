@@ -42,9 +42,18 @@ std::string NormalizePhraseKey(const std::string& phrase);
 /// thousand-keyword query must be rejected up front, not attempted.
 inline constexpr size_t kMaxQueryKeywords = 64;
 
+/// Per-keyword byte-length cap, enforced alongside kMaxQueryKeywords. The
+/// similarity routines (edit distance, n-gram profiles) are quadratic-ish
+/// in keyword length, so a single megabyte-long "keyword" is as hostile as
+/// a thousand keywords. Longer than any real attribute/domain value.
+inline constexpr size_t kMaxKeywordLength = 256;
+
 /// Validates raw query text before tokenization. Rejects with
-/// InvalidArgument: empty/whitespace-only text, non-UTF-8 bytes, and an
-/// unterminated double quote. Never aborts — hostile input is the caller's
+/// InvalidArgument: empty/whitespace-only text, non-UTF-8 bytes, embedded
+/// control characters (anything below 0x20 except whitespace, and DEL —
+/// terminal-escape smuggling has no place in a keyword query), an
+/// unterminated double quote, and any whitespace-delimited run longer than
+/// kMaxKeywordLength bytes. Never aborts — hostile input is the caller's
 /// prerogative, an error Status is ours.
 Status ValidateQueryText(const std::string& query);
 

@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/failpoint.h"
@@ -218,6 +220,118 @@ TEST_F(ResilienceTest, ValidateQueryTextDirectly) {
   EXPECT_FALSE(ValidateQueryText("").ok());
   EXPECT_FALSE(ValidateQueryText("unbalanced \"quote").ok());
   EXPECT_FALSE(ValidateQueryText("bad \xF5\x80\x80\x80 byte").ok());
+}
+
+TEST_F(ResilienceTest, ControlCharactersAreInvalidArgument) {
+  // Terminal-escape smuggling and NUL injection are rejected up front;
+  // ordinary whitespace control characters are not.
+  EXPECT_TRUE(ValidateQueryText("Vokram\tIT\n2012").ok());
+  EXPECT_FALSE(ValidateQueryText(std::string("Vokram\x1b[31mIT")).ok());
+  EXPECT_FALSE(ValidateQueryText(std::string("Vok\0ram", 7)).ok());
+  EXPECT_FALSE(ValidateQueryText("del\x7f" "char").ok());
+
+  KeymanticEngine engine = MakeEngine(ForwardMode::kHungarian,
+                                      BackwardMode::kFullGraph);
+  auto via_text = engine.Answer("Vokram \x01 IT", 5);
+  ASSERT_FALSE(via_text.ok());
+  EXPECT_EQ(via_text.status().code(), StatusCode::kInvalidArgument);
+  // Pre-tokenized keywords are checked too (they bypass ValidateQueryText).
+  auto via_keywords = engine.AnswerKeywords({"Vokram", "\x1b[2J"}, 5);
+  ASSERT_FALSE(via_keywords.ok());
+  EXPECT_EQ(via_keywords.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ResilienceTest, OverlongKeywordIsInvalidArgument) {
+  KeymanticEngine engine = MakeEngine(ForwardMode::kHungarian,
+                                      BackwardMode::kFullGraph);
+  const std::string giant(kMaxKeywordLength + 1, 'x');
+  EXPECT_FALSE(ValidateQueryText("Vokram " + giant).ok());
+
+  auto via_text = engine.Answer("Vokram " + giant, 5);
+  ASSERT_FALSE(via_text.ok());
+  EXPECT_EQ(via_text.status().code(), StatusCode::kInvalidArgument);
+
+  // A quoted phrase with internal spaces dodges the raw-text run check but
+  // becomes a single oversized keyword — the engine entry point catches it.
+  std::string quoted = "\"";
+  for (size_t i = 0; i < kMaxKeywordLength / 2; ++i) quoted += "ab ";
+  quoted += "\"";
+  auto via_quote = engine.Answer("Vokram " + quoted, 5);
+  ASSERT_FALSE(via_quote.ok());
+  EXPECT_EQ(via_quote.status().code(), StatusCode::kInvalidArgument);
+
+  auto via_keywords = engine.AnswerKeywords({"Vokram", giant}, 5);
+  ASSERT_FALSE(via_keywords.ok());
+  EXPECT_EQ(via_keywords.status().code(), StatusCode::kInvalidArgument);
+
+  // Right at the cap is legal input, not an error.
+  const std::string at_cap(kMaxKeywordLength, 'x');
+  EXPECT_TRUE(ValidateQueryText("Vokram " + at_cap).ok());
+}
+
+// --------------------------------------------------- batch cancellation
+
+// Cancelling the shared context before the batch starts: every entry is
+// in flight from the batch's point of view, and every single one must
+// come back ranked with a degraded-family quality tag — not an error, not
+// kComplete, for every answer in the batch.
+TEST_F(ResilienceTest, CancelledBatchTagsEveryEntry) {
+  EngineOptions options;
+  options.threads = 2;
+  KeymanticEngine engine(*db_, options);
+  std::vector<std::string> queries = {"Vokram IT", "name person", "2012",
+                                      "department city", "IT 2012",
+                                      "Vokram department"};
+  QueryContext ctx;
+  ctx.RequestCancel();
+  std::vector<StatusOr<AnswerResult>> results =
+      engine.AnswerBatch(queries, 3, &ctx);
+  ASSERT_EQ(results.size(), queries.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok())
+        << "query " << i << ": " << results[i].status().ToString();
+    EXPECT_FALSE(results[i]->explanations.empty()) << "query " << i;
+    EXPECT_NE(results[i]->quality, ResultQuality::kComplete) << "query " << i;
+    EXPECT_TRUE(results[i]->quality == ResultQuality::kDegraded ||
+                results[i]->quality == ResultQuality::kPartial ||
+                results[i]->quality == ResultQuality::kDeadlineExceeded)
+        << "query " << i << ": quality "
+        << static_cast<int>(results[i]->quality);
+  }
+}
+
+// Cancelling from another thread mid-batch: no crash, one result per
+// query, and each is either a clean ranked answer or a tagged partial —
+// never a torn state. (The cancel lands at an arbitrary point, so some
+// entries may legitimately have finished complete.)
+TEST_F(ResilienceTest, MidBatchCancelLeavesEveryEntryWellFormed) {
+  EngineOptions options;
+  options.threads = 2;
+  KeymanticEngine engine(*db_, options);
+  std::vector<std::string> queries;
+  for (int i = 0; i < 12; ++i) {
+    queries.push_back(i % 2 == 0 ? "Vokram IT 2012" : "person department city");
+  }
+  QueryContext ctx;
+  std::thread canceller([&ctx] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    ctx.RequestCancel();
+  });
+  std::vector<StatusOr<AnswerResult>> results =
+      engine.AnswerBatch(queries, 3, &ctx);
+  canceller.join();
+  ASSERT_TRUE(ctx.cancel_requested());
+  ASSERT_EQ(results.size(), queries.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok())
+        << "query " << i << ": " << results[i].status().ToString();
+    EXPECT_FALSE(results[i]->explanations.empty()) << "query " << i;
+    const auto& ex = results[i]->explanations;
+    for (size_t j = 1; j < ex.size(); ++j) {
+      EXPECT_GE(ex[j - 1].score + 1e-12, ex[j].score)
+          << "query " << i << " not ranked";
+    }
+  }
 }
 
 // ------------------------------------------------------------ failpoints

@@ -1,0 +1,581 @@
+// Serving-layer tests: retry/backoff determinism and budget caps, the
+// executor circuit breaker (manual clock), the admission queue and AIMD
+// limiter, the EngineServer facade, and concurrency stresses meant to run
+// under TSan. The common assertion: overload produces typed, retryable
+// statuses and bounded queues — never unbounded waiting or a crash.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/query_context.h"
+#include "common/retry.h"
+#include "common/status.h"
+#include "core/keymantic.h"
+#include "datasets/university.h"
+#include "serve/admission.h"
+#include "serve/circuit_breaker.h"
+#include "serve/engine_server.h"
+
+namespace km {
+namespace {
+
+// ------------------------------------------------------------------ retry
+
+TEST(RetryTest, StatusHelpersRoundTripTheRetryAfterHint) {
+  Status shed = OverloadedStatus("queue full", 123.0);
+  EXPECT_EQ(shed.code(), StatusCode::kOverloaded);
+  EXPECT_DOUBLE_EQ(SuggestedRetryAfterMs(shed), 123.0);
+
+  Status open = UnavailableStatus("circuit open", 250.0);
+  EXPECT_EQ(open.code(), StatusCode::kUnavailable);
+  EXPECT_DOUBLE_EQ(SuggestedRetryAfterMs(open), 250.0);
+
+  EXPECT_DOUBLE_EQ(SuggestedRetryAfterMs(Status::Internal("boom")), 0.0);
+  EXPECT_DOUBLE_EQ(SuggestedRetryAfterMs(Status::OK()), 0.0);
+}
+
+TEST(RetryTest, OnlyTransientServerConditionsAreRetryable) {
+  EXPECT_TRUE(IsRetryableStatus(OverloadedStatus("shed", 1)));
+  EXPECT_TRUE(IsRetryableStatus(UnavailableStatus("open", 1)));
+  EXPECT_FALSE(IsRetryableStatus(Status::OK()));
+  EXPECT_FALSE(IsRetryableStatus(Status::InvalidArgument("bad query")));
+  EXPECT_FALSE(IsRetryableStatus(Status::DeadlineExceeded("own budget")));
+  EXPECT_FALSE(IsRetryableStatus(Status::Internal("bug")));
+}
+
+TEST(RetryTest, BackoffScheduleIsReproducibleFromSeedAndRequestId) {
+  RetryOptions options;
+  options.seed = 42;
+  RetrySchedule a(options, 7);
+  RetrySchedule b(options, 7);
+  RetrySchedule other(options, 8);
+  bool any_difference = false;
+  for (int i = 0; i < 8; ++i) {
+    double delay_a = a.NextBackoffMs();
+    EXPECT_DOUBLE_EQ(delay_a, b.NextBackoffMs()) << "step " << i;
+    EXPECT_GE(delay_a, options.base_backoff_ms);
+    EXPECT_LE(delay_a, options.max_backoff_ms);
+    if (delay_a != other.NextBackoffMs()) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference) << "request ids must decorrelate the streams";
+}
+
+TEST(RetryTest, BackoffHonorsServerHintAsFloor) {
+  RetryOptions options;
+  options.base_backoff_ms = 1.0;
+  options.max_backoff_ms = 10'000.0;
+  RetrySchedule schedule(options, 1);
+  EXPECT_GE(schedule.NextBackoffMs(500.0), 500.0);
+}
+
+// The anti-amplification property: with every request failing retryably,
+// total retries stay bounded by budget_cap + budget_ratio·requests — the
+// attempted-retry count goes *flat* once the bucket drains, no matter how
+// many attempts each request is individually allowed.
+TEST(RetryTest, BudgetCapsRetryAmplificationDuringOutage) {
+  RetryOptions options;
+  options.max_attempts = 4;
+  options.budget_ratio = 0.1;
+  options.budget_cap = 5.0;
+  RetryPolicy policy(options);
+
+  const int kRequests = 300;
+  int total_retries = 0;
+  int last_hundred_retries = 0;
+  for (int r = 0; r < kRequests; ++r) {
+    policy.OnRequest();
+    int attempts = 1;  // the first attempt failed
+    while (policy.ShouldRetry(OverloadedStatus("outage", 1), attempts)) {
+      ++attempts;
+      ++total_retries;
+      if (r >= kRequests - 100) ++last_hundred_retries;
+    }
+  }
+  double bound = options.budget_cap + options.budget_ratio * kRequests + 1;
+  EXPECT_LE(total_retries, static_cast<int>(bound));
+  // Steady state: deposits of 0.1/request afford at most ~1 retry per 10
+  // requests; far below the 3-per-request the attempt cap would allow.
+  EXPECT_LE(last_hundred_retries, 15);
+  EXPECT_GT(total_retries, 0);
+}
+
+TEST(RetryTest, AttemptCapStopsRetriesEvenWithBudget) {
+  RetryOptions options;
+  options.max_attempts = 3;
+  options.budget_cap = 100.0;
+  options.budget_ratio = 1.0;
+  RetryPolicy policy(options);
+  policy.OnRequest();
+  EXPECT_TRUE(policy.ShouldRetry(OverloadedStatus("x", 1), 1));
+  EXPECT_TRUE(policy.ShouldRetry(OverloadedStatus("x", 1), 2));
+  EXPECT_FALSE(policy.ShouldRetry(OverloadedStatus("x", 1), 3));
+}
+
+// -------------------------------------------------------- circuit breaker
+
+class CircuitBreakerTest : public ::testing::Test {
+ protected:
+  CircuitBreakerOptions TightOptions() {
+    CircuitBreakerOptions options;
+    options.consecutive_failures = 3;
+    options.failure_ratio = 0.5;
+    options.window = 8;
+    options.open_cooldown_ms = 100.0;
+    options.half_open_probes = 1;
+    options.close_after_successes = 2;
+    return options;
+  }
+  double now_ = 0.0;
+  std::function<double()> Clock() {
+    return [this] { return now_; };
+  }
+};
+
+TEST_F(CircuitBreakerTest, TripsFailsFastAndRecoversThroughHalfOpen) {
+  CircuitBreaker breaker("t1", TightOptions(), Clock());
+  ASSERT_EQ(breaker.state(), BreakerState::kClosed);
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(breaker.Admit().ok());
+    breaker.Record(Status::Internal("backend down"));
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 1u);
+
+  // OPEN fails fast with a retry-after hint while the cooldown runs.
+  now_ = 50.0;
+  Status rejected = breaker.Admit();
+  ASSERT_EQ(rejected.code(), StatusCode::kUnavailable);
+  EXPECT_GT(SuggestedRetryAfterMs(rejected), 0.0);
+  EXPECT_GE(breaker.rejections(), 1u);
+
+  // Cooldown elapses: exactly one probe is admitted (half_open_probes=1).
+  now_ = 150.0;
+  ASSERT_TRUE(breaker.Admit().ok());
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_EQ(breaker.Admit().code(), StatusCode::kUnavailable);
+
+  // Enough probe successes close the circuit.
+  breaker.Record(Status::OK());
+  ASSERT_TRUE(breaker.Admit().ok());
+  breaker.Record(Status::OK());
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.Admit().ok());
+}
+
+TEST_F(CircuitBreakerTest, HalfOpenProbeFailureReopens) {
+  CircuitBreaker breaker("t2", TightOptions(), Clock());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(breaker.Admit().ok());
+    breaker.Record(Status::Internal("down"));
+  }
+  now_ = 200.0;
+  ASSERT_TRUE(breaker.Admit().ok());  // half-open probe
+  breaker.Record(Status::Internal("still down"));
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 2u);
+  // The fresh OPEN period fails fast again.
+  now_ = 250.0;
+  EXPECT_EQ(breaker.Admit().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(CircuitBreakerTest, FailureRatioTripsWithoutConsecutiveRun) {
+  CircuitBreakerOptions options = TightOptions();
+  options.consecutive_failures = 100;  // only the ratio can trip
+  CircuitBreaker breaker("t3", options, Clock());
+  // Pattern S F F S F F... : 2/3 failures, max consecutive run of 2.
+  for (int i = 0; breaker.state() == BreakerState::kClosed && i < 30; ++i) {
+    ASSERT_TRUE(breaker.Admit().ok());
+    breaker.Record(i % 3 == 0 ? Status::OK() : Status::Internal("flaky"));
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+}
+
+TEST_F(CircuitBreakerTest, ClientErrorsAndBudgetExhaustionDoNotTrip) {
+  CircuitBreaker breaker("t4", TightOptions(), Clock());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(breaker.Admit().ok());
+    breaker.Record(i % 2 == 0 ? Status::InvalidArgument("bad sql")
+                              : Status::ResourceExhausted("query budget"));
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.trips(), 0u);
+}
+
+// -------------------------------------------------------- admission queue
+
+TEST(AdmissionQueueTest, ShedsWithRetryAfterWhenFull) {
+  AdmissionOptions options;
+  options.max_queue = 2;
+  options.min_retry_after_ms = 10.0;
+  AdmissionQueue queue(options);
+  EXPECT_TRUE(queue.Offer({}, 0).ok());
+  EXPECT_TRUE(queue.Offer({}, 0).ok());
+  Status shed = queue.Offer({}, 0);
+  ASSERT_EQ(shed.code(), StatusCode::kOverloaded);
+  EXPECT_GE(SuggestedRetryAfterMs(shed), options.min_retry_after_ms);
+  EXPECT_EQ(queue.shed_full(), 1u);
+  EXPECT_EQ(queue.admitted(), 2u);
+  EXPECT_EQ(queue.depth(), 2u);
+}
+
+TEST(AdmissionQueueTest, ShedsWhenPredictedWaitExceedsDeadline) {
+  AdmissionQueue queue;
+  AdmissionQueue::Item item;
+  item.remaining_deadline_ms = 10.0;
+  Status shed = queue.Offer(std::move(item), /*estimated_wait_ms=*/50.0);
+  ASSERT_EQ(shed.code(), StatusCode::kOverloaded);
+  EXPECT_EQ(queue.shed_deadline(), 1u);
+  // Without a deadline the same wait estimate is admitted.
+  EXPECT_TRUE(queue.Offer({}, 50.0).ok());
+}
+
+TEST(AdmissionQueueTest, ShutdownRejectsNewButDrainsQueued) {
+  AdmissionQueue queue;
+  AdmissionQueue::Item a;
+  a.id = 1;
+  AdmissionQueue::Item b;
+  b.id = 2;
+  ASSERT_TRUE(queue.Offer(std::move(a), 0).ok());
+  ASSERT_TRUE(queue.Offer(std::move(b), 0).ok());
+  queue.Shutdown();
+  EXPECT_EQ(queue.Offer({}, 0).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(queue.shed_shutdown(), 1u);
+
+  auto first = queue.Take();
+  auto second = queue.Take();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(first->id, 1u);  // FIFO preserved through shutdown
+  EXPECT_EQ(second->id, 2u);
+  EXPECT_FALSE(queue.Take().has_value());  // drained → worker exit signal
+}
+
+TEST(AdmissionQueueTest, TakeBlocksUntilAnOfferArrives) {
+  AdmissionQueue queue;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    AdmissionQueue::Item item;
+    item.id = 99;
+    (void)queue.Offer(std::move(item), 0);
+  });
+  auto item = queue.Take();  // must block, not return empty
+  producer.join();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(item->id, 99u);
+  EXPECT_GT(item->enqueued_ns, 0);
+}
+
+// ----------------------------------------------------------- aimd limiter
+
+TEST(AimdLimiterTest, AdditiveIncreaseUnderTargetLatency) {
+  AimdOptions options;
+  options.initial_limit = 2.0;
+  options.increase = 1.0;
+  options.max_limit = 4.0;
+  options.latency_target_ms = 100.0;
+  AimdLimiter limiter(options);
+  limiter.Acquire();
+  limiter.Release(/*latency_ms=*/1.0);
+  EXPECT_DOUBLE_EQ(limiter.limit(), 3.0);
+  limiter.Acquire();
+  limiter.Release(1.0);
+  limiter.Acquire();
+  limiter.Release(1.0);
+  EXPECT_DOUBLE_EQ(limiter.limit(), 4.0);  // clamped at max
+}
+
+TEST(AimdLimiterTest, MultiplicativeDecreaseIsCooldownLimited) {
+  AimdOptions options;
+  options.initial_limit = 8.0;
+  options.min_limit = 1.0;
+  options.decrease_factor = 0.5;
+  options.latency_target_ms = 10.0;
+  options.decrease_cooldown_ms = 100.0;
+  double now = 0.0;
+  AimdLimiter limiter(options, [&] { return now; });
+
+  limiter.Acquire();
+  limiter.Release(/*latency_ms=*/50.0);  // over target → decrease
+  EXPECT_DOUBLE_EQ(limiter.limit(), 4.0);
+  EXPECT_EQ(limiter.decreases(), 1u);
+
+  limiter.Acquire();
+  limiter.Release(50.0);  // within cooldown → one congestion event, no cut
+  EXPECT_DOUBLE_EQ(limiter.limit(), 4.0);
+
+  now = 200.0;
+  limiter.OnOverload();  // cooldown over → cut again
+  EXPECT_DOUBLE_EQ(limiter.limit(), 2.0);
+  EXPECT_EQ(limiter.decreases(), 2u);
+
+  now = 400.0;
+  limiter.OnOverload();
+  now = 600.0;
+  limiter.OnOverload();
+  EXPECT_DOUBLE_EQ(limiter.limit(), 1.0);  // floored at min_limit
+}
+
+TEST(AimdLimiterTest, TryAcquireRespectsTheLimit) {
+  AimdOptions options;
+  options.initial_limit = 1.0;
+  options.min_limit = 1.0;
+  options.max_limit = 1.0;
+  AimdLimiter limiter(options);
+  EXPECT_TRUE(limiter.TryAcquire());
+  EXPECT_FALSE(limiter.TryAcquire());
+  EXPECT_EQ(limiter.inflight(), 1u);
+  limiter.Release(1.0);
+  EXPECT_TRUE(limiter.TryAcquire());
+}
+
+// ----------------------------------------------------------- engine server
+
+class EngineServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto db = BuildUniversityDatabase();
+    ASSERT_TRUE(db.ok());
+    db_ = new Database(std::move(*db));
+    engine_ = new KeymanticEngine(*db_);
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    engine_ = nullptr;
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static Database* db_;
+  static KeymanticEngine* engine_;
+};
+
+Database* EngineServerTest::db_ = nullptr;
+KeymanticEngine* EngineServerTest::engine_ = nullptr;
+
+TEST_F(EngineServerTest, SubmittedAnswerMatchesDirectCall) {
+  EngineServer server(*engine_);
+  auto via_server = server.Submit("Vokram IT", 5).get();
+  ASSERT_TRUE(via_server.ok()) << via_server.status().ToString();
+  auto direct = engine_->Answer("Vokram IT", 5);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_EQ(via_server->explanations.size(), direct->explanations.size());
+  for (size_t i = 0; i < direct->explanations.size(); ++i) {
+    EXPECT_EQ(via_server->explanations[i].sql.CanonicalSignature(),
+              direct->explanations[i].sql.CanonicalSignature());
+  }
+  server.Shutdown();
+  ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.shed, 0u);
+}
+
+TEST_F(EngineServerTest, ShedDeliversOverloadedThroughTheFuture) {
+  EngineServerOptions options;
+  options.admission.max_queue = 0;  // every submit sheds, deterministically
+  EngineServer server(*engine_, options);
+  auto result = server.Submit("Vokram IT", 5).get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOverloaded);
+  EXPECT_GT(SuggestedRetryAfterMs(result.status()), 0.0);
+  EXPECT_EQ(server.state(), OverloadState::kShedding);
+  ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.submitted, 1u);
+}
+
+TEST_F(EngineServerTest, QueueWaitBurnsTheRequestDeadline) {
+  EngineServer server(*engine_);
+  // An already-expired deadline: the worker must report queue expiry, not
+  // run the engine.
+  auto result = server.Submit("Vokram IT", 5, /*deadline_ms=*/0.0001).get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  server.Drain();
+  EXPECT_EQ(server.Stats().expired_in_queue, 1u);
+}
+
+TEST_F(EngineServerTest, DrainWaitsForAllAdmittedRequests) {
+  EngineServerOptions options;
+  options.workers = 2;
+  EngineServer server(*engine_, options);
+  std::vector<std::future<StatusOr<AnswerResult>>> futures;
+  for (int i = 0; i < 6; ++i) futures.push_back(server.Submit("Vokram IT", 3));
+  server.Drain();
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    auto result = f.get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_FALSE(result->explanations.empty());
+  }
+  ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.completed, 6u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_LE(stats.max_queue_depth, options.admission.max_queue);
+}
+
+TEST_F(EngineServerTest, ShutdownRejectsNewSubmitsAndIsIdempotent) {
+  EngineServer server(*engine_);
+  server.Shutdown();
+  server.Shutdown();  // idempotent
+  auto result = server.Submit("Vokram IT", 5).get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+// ---------------------------------------------------- concurrency (TSan)
+
+// Producers, consumers, and a mid-stream shutdown all racing on one queue:
+// every admitted item is handed out exactly once, nothing deadlocks, and
+// the counters reconcile. Run under TSan by the concurrency CI job.
+TEST(ServeConcurrencyTest, AdmissionQueueSurvivesProducerDrainShutdownRace) {
+  AdmissionOptions options;
+  options.max_queue = 32;
+  AdmissionQueue queue(options);
+  const int kProducers = 4, kPerProducer = 200;
+  std::atomic<uint64_t> taken{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      while (queue.Take().has_value()) {
+        taken.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        AdmissionQueue::Item item;
+        item.id = static_cast<uint64_t>(p) * kPerProducer + i;
+        item.payload = std::make_shared<int>(i);
+        (void)queue.Offer(std::move(item), 0);  // sheds are fine
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  queue.Shutdown();
+  for (auto& t : consumers) t.join();
+
+  EXPECT_EQ(taken.load(), queue.admitted());
+  EXPECT_EQ(queue.depth(), 0u);
+  EXPECT_LE(queue.max_depth_seen(), options.max_queue);
+  EXPECT_EQ(queue.admitted() + queue.shed_full(),
+            static_cast<uint64_t>(kProducers) * kPerProducer);
+}
+
+TEST(ServeConcurrencyTest, ConcurrentSubmittersReconcileWithServerCounters) {
+  auto db = BuildUniversityDatabase();
+  ASSERT_TRUE(db.ok());
+  KeymanticEngine engine(*db);
+  EngineServerOptions options;
+  options.workers = 3;
+  options.admission.max_queue = 8;
+  EngineServer server(engine, options);
+
+  const int kThreads = 4, kPerThread = 8;
+  std::atomic<uint64_t> ok_count{0}, shed_count{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto result = server.Submit("Vokram IT", 3).get();
+        if (result.ok()) {
+          ok_count.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          ASSERT_TRUE(IsRetryableStatus(result.status()))
+              << result.status().ToString();
+          shed_count.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  server.Drain();
+  server.Shutdown();
+
+  ServerStats stats = server.Stats();
+  EXPECT_EQ(ok_count.load() + shed_count.load(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(stats.submitted, static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(stats.completed + stats.shed + stats.expired_in_queue,
+            stats.submitted);
+  EXPECT_LE(stats.max_queue_depth, options.admission.max_queue);
+}
+
+// ------------------------------------------------- breaker × failpoints
+
+#define SKIP_WITHOUT_FAILPOINTS()                                      \
+  do {                                                                 \
+    if (!failpoints::Enabled()) {                                      \
+      GTEST_SKIP() << "failpoint sites compiled out (KM_FAILPOINTS)";  \
+    }                                                                  \
+  } while (0)
+
+// End-to-end trip: a failing backend (executor.join.fail) trips the
+// breaker during penalize_empty_results probing, after which the engine
+// stops touching the backend entirely — the failpoint hit count goes flat
+// while the circuit is open, and answers still come back ranked.
+TEST(ServeBreakerFailpointTest, OpenBreakerStopsExecutorProbing) {
+  SKIP_WITHOUT_FAILPOINTS();
+  failpoints::Reset();
+  auto db = BuildUniversityDatabase();
+  ASSERT_TRUE(db.ok());
+
+  // Thresholds of 1 keep the test independent of how many explanations
+  // (probes) the query happens to produce.
+  CircuitBreakerOptions breaker_options;
+  breaker_options.consecutive_failures = 1;
+  breaker_options.close_after_successes = 1;
+  breaker_options.open_cooldown_ms = 1'000'000.0;  // stays open for the test
+  double now = 0.0;
+  CircuitBreaker breaker("probe", breaker_options, [&] { return now; });
+
+  EngineOptions options;
+  options.penalize_empty_results = true;
+  options.execution_gate = &breaker;
+  KeymanticEngine engine(*db, options);
+
+  failpoints::EnableError("executor.join.fail",
+                          Status::Internal("injected backend outage"));
+  auto first = engine.Answer("Vokram IT", 5);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->explanations.empty());
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_TRUE(first->stats.execution_truncated);
+
+  // While open, further answers never reach the backend: fail-fast, flat.
+  uint64_t hits_at_trip = failpoints::HitCount("executor.join.fail");
+  ASSERT_GE(hits_at_trip, 1u);
+  for (int i = 0; i < 3; ++i) {
+    auto again = engine.Answer("Vokram IT", 5);
+    ASSERT_TRUE(again.ok()) << again.status().ToString();
+    EXPECT_FALSE(again->explanations.empty());
+    EXPECT_TRUE(again->stats.execution_truncated);
+  }
+  EXPECT_EQ(failpoints::HitCount("executor.join.fail"), hits_at_trip);
+  EXPECT_GE(breaker.rejections(), 3u);
+
+  // Heal the backend, let the cooldown elapse: half-open probes succeed
+  // and the circuit closes — probing resumes.
+  failpoints::Reset();
+  now = 2'000'000.0;
+  auto healed = engine.Answer("Vokram IT", 5);
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  EXPECT_GT(failpoints::HitCount("executor.join.fail"), 0u);  // visited again
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_FALSE(healed->stats.execution_truncated);
+}
+
+}  // namespace
+}  // namespace km

@@ -5,15 +5,20 @@
 #   2. sanitize   — ASan+UBSan build + full ctest suite
 #   3. tsan       — TSan build + the concurrency/pool/cache suites
 #   4. failpoints — ASan build with KM_FAILPOINTS=ON + resilience suite
-#   5. bench      — Release bench smoke: e11 throughput emits the BENCH
-#                   JSON baseline (bench-baseline.json artifact in CI)
-#   6. lint       — clang-tidy over src/ (skips cleanly when not installed)
-#   7. coverage   — gcc --coverage build + full suite, gates src/common and
+#   5. bench      — Release bench smoke: e11 throughput + e12 overload emit
+#                   the BENCH JSON baseline (bench-baseline.json artifact
+#                   in CI)
+#   6. soak       — ASan + KM_FAILPOINTS=ON run of the e12 overload smoke:
+#                   admission control sheds under 2x saturation and the
+#                   executor circuit breaker trips, fails fast, and
+#                   recovers, all under the leak/UB checker (~30s)
+#   7. lint       — clang-tidy over src/ (skips cleanly when not installed)
+#   8. coverage   — gcc --coverage build + full suite, gates src/common and
 #                   src/core on 80% line coverage (gcovr when installed,
 #                   tools/coverage_gate.py over raw gcov otherwise) and
 #                   writes the coverage-html/ artifact
 #
-# Usage: tools/ci.sh [release|sanitize|tsan|failpoints|bench|lint|coverage]...
+# Usage: tools/ci.sh [release|sanitize|tsan|failpoints|bench|soak|lint|coverage]...
 # (default: all)
 
 set -euo pipefail
@@ -21,7 +26,7 @@ cd "$(dirname "$0")/.."
 
 JOBS=("$@")
 if [[ ${#JOBS[@]} -eq 0 ]]; then
-  JOBS=(release sanitize tsan failpoints bench lint coverage)
+  JOBS=(release sanitize tsan failpoints bench soak lint coverage)
 fi
 
 run_release() {
@@ -45,18 +50,23 @@ run_tsan() {
   # The concurrency suite is the TSan payload (pool, caches, AnswerBatch
   # under raw threads); Core and Murty cover the stages the pool touches.
   # TraceGolden pins span-tree determinism under the pool — the exact
-  # property a data race in the tracer would break.
+  # property a data race in the tracer would break. The serve suites
+  # (admission queue, AIMD limiter, EngineServer, breaker, retry budget)
+  # hammer the new overload-protection layer from raw threads.
   ctest --preset tsan -j "$(nproc)" \
-    -R "ThreadPool|LruCache|Concurrency|EngineConcurrency|Murty|Core|TraceGolden"
+    -R "ThreadPool|LruCache|Concurrency|EngineConcurrency|Murty|Core|TraceGolden|Admission|Aimd|EngineServer|Retry|CircuitBreaker"
 }
 
 run_bench() {
-  echo "=== CI job: bench (e11 throughput smoke + BENCH baseline) ==="
+  echo "=== CI job: bench (e11 throughput + e12 overload smoke + BENCH baseline) ==="
   cmake --preset release
-  cmake --build --preset release -j "$(nproc)" --target bench_e11_throughput
+  cmake --build --preset release -j "$(nproc)" \
+    --target bench_e11_throughput --target bench_e12_overload
   build/release/bench/bench_e11_throughput --smoke | tee /tmp/e11_smoke.out
+  build/release/bench/bench_e12_overload --smoke | tee /tmp/e12_smoke.out
   # The machine-readable baseline: one JSON object per line.
-  grep '^BENCH ' /tmp/e11_smoke.out | sed 's/^BENCH //' > bench-baseline.json
+  grep -h '^BENCH ' /tmp/e11_smoke.out /tmp/e12_smoke.out \
+    | sed 's/^BENCH //' > bench-baseline.json
   echo "wrote $(wc -l < bench-baseline.json) baseline rows to bench-baseline.json"
 }
 
@@ -66,7 +76,20 @@ run_failpoints() {
   cmake --build --preset failpoints -j "$(nproc)"
   # The resilience suite exercises every compiled-in failpoint site; the
   # matching/engine suites cover the budget plumbing they share.
-  ctest --preset failpoints -j "$(nproc)" -R "Resilience|Murty|Core"
+  # ServeBreaker drives the executor circuit breaker off the same sites.
+  ctest --preset failpoints -j "$(nproc)" -R "Resilience|Murty|Core|ServeBreaker"
+}
+
+run_soak() {
+  echo "=== CI job: soak (ASan + KM_FAILPOINTS=ON, e12 overload smoke) ==="
+  cmake --preset failpoints
+  cmake --build --preset failpoints -j "$(nproc)" --target bench_e12_overload
+  # With failpoints compiled in, the e12 smoke runs the full acceptance
+  # loop under ASan: shedding at 2x+ saturation with a bounded queue,
+  # retry-budget amplification, and the breaker trip/fail-fast/recover
+  # cycle against the executor.join.fail site. The binary exits non-zero
+  # if any CHECK is violated.
+  build/failpoints/bench/bench_e12_overload --smoke
 }
 
 run_lint() {
@@ -102,9 +125,10 @@ for job in "${JOBS[@]}"; do
     tsan)       run_tsan ;;
     failpoints) run_failpoints ;;
     bench)      run_bench ;;
+    soak)       run_soak ;;
     lint)       run_lint ;;
     coverage)   run_coverage ;;
-    *) echo "unknown CI job: ${job} (expected release|sanitize|tsan|failpoints|bench|lint|coverage)" >&2
+    *) echo "unknown CI job: ${job} (expected release|sanitize|tsan|failpoints|bench|soak|lint|coverage)" >&2
        exit 2 ;;
   esac
 done

@@ -33,13 +33,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "common/failpoint.h"
+#include "common/mutex.h"
 #include "common/retry.h"
 #include "common/strings.h"
 #include "common/trace.h"
@@ -147,7 +147,7 @@ void RunShedding() {
   options.default_deadline_ms = deadline_ms;
   EngineServer server(engine, options);
 
-  std::mutex mu;
+  Mutex mu;
   std::vector<double> admitted_ms;
   std::atomic<uint64_t> ok_count{0}, shed_count{0}, expired_count{0};
   std::vector<std::thread> submitters;
@@ -160,7 +160,7 @@ void RunShedding() {
         double ms = static_cast<double>(MonotonicNowNs() - t0) / 1e6;
         if (result.ok()) {
           ok_count.fetch_add(1, std::memory_order_relaxed);
-          std::lock_guard<std::mutex> lock(mu);
+          MutexLock lock(mu);
           admitted_ms.push_back(ms);
         } else if (result.status().code() == StatusCode::kOverloaded) {
           shed_count.fetch_add(1, std::memory_order_relaxed);

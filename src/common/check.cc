@@ -29,7 +29,7 @@ CheckFailureHandler g_handler = &DefaultCheckFailureHandler;
 }  // namespace
 
 CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler) {
-  CheckFailureHandler previous = g_handler;
+  const CheckFailureHandler previous = g_handler;
   g_handler = handler != nullptr ? handler : &DefaultCheckFailureHandler;
   return previous;
 }
@@ -38,7 +38,7 @@ namespace internal {
 
 void CheckFailed(const char* file, int line, const char* condition,
                  std::string detail) {
-  CheckFailure failure{file, line, condition, std::move(detail)};
+  const CheckFailure failure{file, line, condition, std::move(detail)};
   g_handler(failure);
   // A contract violation must never fall through, even under a handler
   // that forgot to throw/longjmp.

@@ -1,10 +1,11 @@
 #include "common/failpoint.h"
 
-#include <mutex>
 #include <unordered_map>
 
 #include "common/metrics.h"
+#include "common/mutex.h"
 #include "common/query_context.h"
+#include "common/thread_annotations.h"
 
 namespace km::failpoints {
 
@@ -32,9 +33,9 @@ struct Armed {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::unordered_map<std::string, Armed> armed;
-  std::unordered_map<std::string, uint64_t> visits;
+  Mutex mu;
+  std::unordered_map<std::string, Armed> armed KM_GUARDED_BY(mu);
+  std::unordered_map<std::string, uint64_t> visits KM_GUARDED_BY(mu);
 };
 
 Registry& GetRegistry() {
@@ -46,7 +47,7 @@ Registry& GetRegistry() {
 
 void Enable(const std::string& name, Action action) {
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   r.armed[name] = Armed{std::move(action), 0, 0};
 }
 
@@ -72,33 +73,33 @@ void EnableCallback(const std::string& name, std::function<void(void*)> callback
 
 void Disable(const std::string& name) {
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   r.armed.erase(name);
 }
 
 void DisableAll() {
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   r.armed.clear();
 }
 
 void Reset() {
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   r.armed.clear();
   r.visits.clear();
 }
 
 uint64_t HitCount(const std::string& name) {
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
-  auto it = r.visits.find(name);
+  MutexLock lock(r.mu);
+  const auto it = r.visits.find(name);
   return it == r.visits.end() ? 0 : it->second;
 }
 
 std::vector<std::string> VisitedSites() {
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   std::vector<std::string> out;
   out.reserve(r.visits.size());
   for (const auto& [name, count] : r.visits) {
@@ -116,14 +117,14 @@ Status Hit(const char* name, QueryContext* ctx, void* payload) {
   Action fire;
   bool should_fire = false;
   {
-    std::lock_guard<std::mutex> lock(r.mu);
+    MutexLock lock(r.mu);
     ++r.visits[name];
-    auto it = r.armed.find(name);
+    const auto it = r.armed.find(name);
     if (it != r.armed.end()) {
       Armed& armed = it->second;
       ++armed.hits_seen;
-      bool past_skip = armed.hits_seen > armed.action.skip;
-      bool under_limit =
+      const bool past_skip = armed.hits_seen > armed.action.skip;
+      const bool under_limit =
           armed.action.limit < 0 || armed.hits_fired < armed.action.limit;
       if (past_skip && under_limit) {
         ++armed.hits_fired;

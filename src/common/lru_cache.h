@@ -17,11 +17,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 
 #include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace km {
 
@@ -48,13 +49,12 @@ class LruCache {
  public:
   using ValuePtr = std::shared_ptr<const Value>;
 
+  static_assert(Shards > 0 && (Shards & (Shards - 1)) == 0,
+                "shard count must be a power of two");
+
   /// `capacity` is the total entry bound (>= Shards recommended; a zero
   /// capacity disables the cache: every Get misses, every Put is dropped).
-  explicit LruCache(size_t capacity) : per_shard_(capacity / Shards) {
-    static_assert(Shards > 0 && (Shards & (Shards - 1)) == 0,
-                  "shard count must be a power of two");
-    if (capacity > 0 && per_shard_ == 0) per_shard_ = 1;
-  }
+  explicit LruCache(size_t capacity) : per_shard_(PerShardCapacity(capacity)) {}
 
   /// Looks `key` up, refreshing its LRU position. Counts a hit or a miss.
   ValuePtr Get(const Key& key) {
@@ -63,7 +63,7 @@ class LruCache {
       return nullptr;
     }
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.map.find(key);
     if (it == shard.map.end()) {
       misses_.fetch_add(1, std::memory_order_relaxed);
@@ -79,7 +79,7 @@ class LruCache {
   void Put(const Key& key, ValuePtr value) {
     if (per_shard_ == 0) return;
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       it->second->second = std::move(value);
@@ -99,7 +99,7 @@ class LruCache {
   /// Drops every entry (counters are preserved).
   void Clear() {
     for (Shard& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       shard.map.clear();
       shard.order.clear();
     }
@@ -112,7 +112,7 @@ class LruCache {
     c.misses = misses_.load(std::memory_order_relaxed);
     c.evictions = evictions_.load(std::memory_order_relaxed);
     for (const Shard& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       c.entries += shard.map.size();
     }
     return c;
@@ -122,12 +122,18 @@ class LruCache {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    std::list<std::pair<Key, ValuePtr>> order;  // front = most recent
+    mutable Mutex mu;
+    /// front = most recent
+    std::list<std::pair<Key, ValuePtr>> order KM_GUARDED_BY(mu);
     std::unordered_map<Key, typename std::list<std::pair<Key, ValuePtr>>::iterator,
                        Hash>
-        map;
+        map KM_GUARDED_BY(mu);
   };
+
+  static constexpr size_t PerShardCapacity(size_t capacity) {
+    const size_t per_shard = capacity / Shards;
+    return (capacity > 0 && per_shard == 0) ? 1 : per_shard;
+  }
 
   Shard& ShardFor(const Key& key) {
     // Mix the hash before taking shard bits: std::hash of integral keys is
@@ -138,7 +144,7 @@ class LruCache {
     return shards_[(h >> 32) & (Shards - 1)];
   }
 
-  size_t per_shard_;
+  const size_t per_shard_;
   std::array<Shard, Shards> shards_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};

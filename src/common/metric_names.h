@@ -1,0 +1,86 @@
+// The single registration point for metric names (tools/km_lint.py rule R5).
+//
+// Every name passed to MetricsRegistry::{CounterRef,GaugeRef,HistogramRef}
+// or MetricsSnapshot::{AddCounter,AddGauge} must appear below — either as a
+// full name in kMetricNames or under one of the kMetricNamePrefixes (for
+// families composed at runtime, e.g. "km.breaker.<name>.trips"). The linter
+// parses this header's string literals; a metric bumped anywhere else in
+// src/ but missing here fails `tools/km_lint.py`.
+//
+// Keeping the catalog in one file is what makes it *reviewable*: a PR that
+// invents a metric shows up here, dashboards and alerts have one place to
+// read, and renames can't silently fork a time series. When you add a name,
+// follow the scheme documented in common/metrics.h:
+// dot-separated "km.<subsystem>.<what>".
+
+#ifndef KM_COMMON_METRIC_NAMES_H_
+#define KM_COMMON_METRIC_NAMES_H_
+
+namespace km {
+
+/// Complete metric names, grouped by subsystem.
+inline constexpr const char* kMetricNames[] = {
+    // Answer pipeline (core/keymantic.cc).
+    "km.answer.latency_ms",
+    "km.answers.total",
+    "km.answers.quality.complete",
+    "km.answers.quality.degraded",
+    "km.answers.quality.partial",
+    "km.answers.quality.deadline_exceeded",
+
+    // Cross-query caches (core/keymantic.cc collector).
+    "km.cache.keyword_row.hits",
+    "km.cache.keyword_row.misses",
+    "km.cache.keyword_row.evictions",
+    "km.cache.keyword_row.entries",
+    "km.cache.steiner.hits",
+    "km.cache.steiner.misses",
+    "km.cache.steiner.evictions",
+    "km.cache.steiner.entries",
+
+    // Failpoint trips (common/failpoint.cc).
+    "km.failpoint.trips",
+
+    // Per-query budget accounting (core/keymantic.cc).
+    "km.query.spend.tokenize",
+    "km.query.spend.weights",
+    "km.query.spend.forward",
+    "km.query.spend.backward",
+    "km.query.spend.combine",
+    "km.query.spend.execute",
+    "km.query.deadline_hits",
+    "km.query.budget_hits",
+    "km.query.cancellations",
+
+    // Client-side retry governance (common/retry.cc).
+    "km.retry.requests",
+    "km.retry.retries",
+    "km.retry.suppressed.not_retryable",
+    "km.retry.suppressed.attempt_cap",
+    "km.retry.suppressed.budget",
+
+    // Serving layer (serve/engine_server.cc).
+    "km.serve.state",
+    "km.serve.submitted",
+    "km.serve.admitted",
+    "km.serve.shed",
+    "km.serve.completed",
+    "km.serve.expired_in_queue",
+    "km.serve.queue_wait_ms",
+    "km.serve.latency_ms",
+    "km.serve.queue.depth",
+    "km.serve.aimd_limit",
+};
+
+/// Prefixes of metric families whose full names are composed at runtime.
+inline constexpr const char* kMetricNamePrefixes[] = {
+    // "km.serve.transitions.<state>" — overload state machine transitions.
+    "km.serve.transitions.",
+    // "km.breaker.<name>.{state,trips,rejections,stale_outcomes}" and
+    // "km.breaker.<name>.transitions.<state>" (serve/circuit_breaker.cc).
+    "km.breaker.",
+};
+
+}  // namespace km
+
+#endif  // KM_COMMON_METRIC_NAMES_H_

@@ -146,7 +146,7 @@ MetricsRegistry& MetricsRegistry::Default() {
 }
 
 Counter& MetricsRegistry::CounterRef(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // A name may only ever bind one instrument kind.
   KM_CHECK(gauges_.count(name) == 0 && histograms_.count(name) == 0);
   auto& slot = counters_[name];
@@ -155,7 +155,7 @@ Counter& MetricsRegistry::CounterRef(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::GaugeRef(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   KM_CHECK(counters_.count(name) == 0 && histograms_.count(name) == 0);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
@@ -164,7 +164,7 @@ Gauge& MetricsRegistry::GaugeRef(const std::string& name) {
 
 Histogram& MetricsRegistry::HistogramRef(const std::string& name,
                                          const std::vector<double>& bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   KM_CHECK(counters_.count(name) == 0 && gauges_.count(name) == 0);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>(bounds);
@@ -173,14 +173,14 @@ Histogram& MetricsRegistry::HistogramRef(const std::string& name,
 
 int64_t MetricsRegistry::AddCollector(
     std::function<void(MetricsSnapshot*)> collector) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const int64_t id = next_collector_id_++;
   collectors_.emplace_back(id, std::move(collector));
   return id;
 }
 
 void MetricsRegistry::RemoveCollector(int64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   collectors_.erase(
       std::remove_if(collectors_.begin(), collectors_.end(),
                      [id](const auto& entry) { return entry.first == id; }),
@@ -188,7 +188,7 @@ void MetricsRegistry::RemoveCollector(int64_t id) {
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MetricsSnapshot snapshot;
   for (const auto& [name, counter] : counters_) {
     auto& value = snapshot.values_[name];
@@ -216,7 +216,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() {
 }
 
 void MetricsRegistry::ResetForTest() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();

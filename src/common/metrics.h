@@ -34,9 +34,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace km {
 
@@ -146,35 +148,38 @@ class MetricsRegistry {
 
   /// Stable reference to the named instrument, created on first use.
   /// Same name → same instrument; kind mismatches are a programming error
-  /// (checked). References remain valid forever.
-  Counter& CounterRef(const std::string& name);
-  Gauge& GaugeRef(const std::string& name);
+  /// (checked). References remain valid forever. Names must be registered
+  /// in common/metric_names.h (tools/km_lint.py rule R5).
+  Counter& CounterRef(const std::string& name) KM_EXCLUDES(mu_);
+  Gauge& GaugeRef(const std::string& name) KM_EXCLUDES(mu_);
   /// `bounds` only matters on first creation.
   Histogram& HistogramRef(const std::string& name,
-                          const std::vector<double>& bounds);
+                          const std::vector<double>& bounds) KM_EXCLUDES(mu_);
 
   /// Registers a snapshot-time collector; returns an id for RemoveCollector.
   /// Collectors run under the registry lock — keep them cheap and never
   /// call back into the registry.
-  int64_t AddCollector(std::function<void(MetricsSnapshot*)> collector);
-  void RemoveCollector(int64_t id);
+  int64_t AddCollector(std::function<void(MetricsSnapshot*)> collector)
+      KM_EXCLUDES(mu_);
+  void RemoveCollector(int64_t id) KM_EXCLUDES(mu_);
 
   /// Consistent point-in-time view: all instruments + collector output.
-  MetricsSnapshot Snapshot();
+  MetricsSnapshot Snapshot() KM_EXCLUDES(mu_);
 
   /// Zeroes every instrument (references stay valid). Collectors are kept;
   /// tests that need isolation should diff two snapshots instead when
   /// engines are live.
-  void ResetForTest();
+  void ResetForTest() KM_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  int64_t next_collector_id_ = 1;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ KM_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ KM_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      KM_GUARDED_BY(mu_);
+  int64_t next_collector_id_ KM_GUARDED_BY(mu_) = 1;
   std::vector<std::pair<int64_t, std::function<void(MetricsSnapshot*)>>>
-      collectors_;
+      collectors_ KM_GUARDED_BY(mu_);
 };
 
 }  // namespace km

@@ -1,0 +1,103 @@
+// Annotated mutex, RAII lock, and condition variable.
+//
+// km::Mutex / km::MutexLock / km::CondVar are the only synchronization
+// primitives the codebase uses directly (tools/km_lint.py rule R1 rejects
+// raw std::mutex outside this header). They are thin wrappers over the
+// standard primitives whose sole job is to carry Clang Thread Safety
+// Analysis capabilities (common/thread_annotations.h): under the
+// `thread-safety` preset the compiler proves every KM_GUARDED_BY field is
+// only touched with its mutex held and every lock taken is released on all
+// paths.
+//
+// Condition waits are written as explicit loops so the analysis can see
+// the guarded reads in the enclosing (lock-holding) function instead of
+// inside an opaque predicate lambda:
+//
+//   MutexLock lock(mu_);
+//   while (!stop_ && tasks_.empty()) cv_.Wait(mu_);   // analysis-visible
+//
+// rather than cv.wait(lock, [&]{ return stop_ || !tasks_.empty(); }).
+
+#ifndef KM_COMMON_MUTEX_H_
+#define KM_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace km {
+
+/// A standard exclusive mutex carrying the "mutex" capability. Prefer
+/// MutexLock over manual Lock()/Unlock(); the analysis accepts both but
+/// RAII cannot leak a lock on an early return.
+class KM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() KM_ACQUIRE() { raw_.lock(); }
+  void Unlock() KM_RELEASE() { raw_.unlock(); }
+  bool TryLock() KM_TRY_ACQUIRE(true) { return raw_.try_lock(); }
+
+ private:
+  friend class CondVar;  // Wait() needs the raw handle for std::unique_lock
+  std::mutex raw_;
+};
+
+/// RAII lock over a km::Mutex (a scoped capability: the constructor
+/// acquires, the destructor releases, and the analysis checks the scope).
+class KM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) KM_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() KM_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to km::Mutex. Wait() atomically releases the
+/// mutex, blocks, and re-acquires it — so from the caller's (and the
+/// analysis') point of view the mutex is held continuously; KM_REQUIRES
+/// expresses exactly that. Spurious wakeups happen: always wait in a
+/// `while (!condition)` loop.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified (or spuriously woken). `mu` must be held.
+  void Wait(Mutex& mu) KM_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.raw_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's MutexLock
+  }
+
+  /// Blocks up to `timeout_ms`. Returns false on timeout, true when
+  /// notified (or spuriously woken) earlier. `mu` must be held.
+  bool WaitForMs(Mutex& mu, double timeout_ms) KM_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.raw_, std::adopt_lock);
+    auto status = cv_.wait_for(
+        lock, std::chrono::duration<double, std::milli>(timeout_ms));
+    lock.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  /// Wakes one / every waiter. May be called with or without the mutex;
+  /// calling after releasing it avoids a hurry-up-and-wait wakeup.
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace km
+
+#endif  // KM_COMMON_MUTEX_H_

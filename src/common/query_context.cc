@@ -144,7 +144,7 @@ double QueryContext::ElapsedMillis() const {
 
 double QueryContext::RemainingMillis() const {
   if (!has_deadline_) return std::numeric_limits<double>::infinity();
-  double rem =
+  const double rem =
       std::chrono::duration<double, std::milli>(deadline_ - Clock::now()).count();
   return rem > 0 ? rem : 0.0;
 }
@@ -152,7 +152,7 @@ double QueryContext::RemainingMillis() const {
 std::string QueryContext::SpendReport() const {
   std::string out = "elapsed=" + StrFormat("%.3f", ElapsedMillis()) + "ms";
   for (size_t s = 0; s < kNumQueryStages; ++s) {
-    uint64_t spend = spend_[s].load(std::memory_order_relaxed);
+    const uint64_t spend = spend_[s].load(std::memory_order_relaxed);
     if (spend == 0) continue;
     out += " ";
     out += QueryStageName(static_cast<QueryStage>(s));

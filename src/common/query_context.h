@@ -66,10 +66,12 @@ struct QueryLimits {
 /// through every pipeline stage. Not copyable; the same object must be
 /// observed by all stages so that spend accumulates in one place.
 ///
-/// Thread model: fully thread-safe. Counters and sticky exhaustion flags
-/// are atomics, so one context can be checkpointed concurrently by every
-/// worker of a parallel stage (ParallelFor) or a whole AnswerBatch, and
-/// RequestCancel() from any thread stops them all cooperatively.
+/// Thread model: fully thread-safe and *lock-free by design* — no km::Mutex
+/// here on purpose. Counters and sticky exhaustion flags are atomics, so
+/// one context can be checkpointed concurrently by every worker of a
+/// parallel stage (ParallelFor) or a whole AnswerBatch without ever
+/// contending a lock in the hot CheckPoint() path, and RequestCancel()
+/// from any thread stops them all cooperatively.
 class QueryContext {
  public:
   QueryContext() : QueryContext(QueryLimits::Unlimited()) {}

@@ -35,9 +35,9 @@ Status UnavailableStatus(const std::string& what, double retry_after_ms) {
 
 double SuggestedRetryAfterMs(const Status& status) {
   const std::string& msg = status.message();
-  size_t pos = msg.find(kRetryAfterKey);
+  const size_t pos = msg.find(kRetryAfterKey);
   if (pos == std::string::npos) return 0.0;
-  double value = std::atof(msg.c_str() + pos + sizeof(kRetryAfterKey) - 1);
+  const double value = std::atof(msg.c_str() + pos + sizeof(kRetryAfterKey) - 1);
   return value > 0 ? value : 0.0;
 }
 
@@ -56,7 +56,7 @@ RetryBudget::RetryBudget(const RetryOptions& options)
 void RetryBudget::OnAttempt() {
   int64_t cur = milli_tokens_.load(std::memory_order_relaxed);
   while (true) {
-    int64_t next = std::min(cap_milli_, cur + ratio_milli_);
+    const int64_t next = std::min(cap_milli_, cur + ratio_milli_);
     if (next == cur) return;
     if (milli_tokens_.compare_exchange_weak(cur, next,
                                             std::memory_order_relaxed)) {
@@ -86,8 +86,8 @@ RetrySchedule::RetrySchedule(const RetryOptions& options, uint64_t request_id)
 double RetrySchedule::NextBackoffMs(double retry_after_floor_ms) {
   // Decorrelated jitter: sleep = min(cap, uniform[base, 3·prev]). The first
   // delay is uniform in [base, 3·base].
-  double lo = options_.base_backoff_ms;
-  double hi = std::max(lo, prev_ms_ * 3.0);
+  const double lo = options_.base_backoff_ms;
+  const double hi = std::max(lo, prev_ms_ * 3.0);
   double sleep = lo + (hi - lo) * rng_.UniformDouble();
   sleep = std::min(sleep, options_.max_backoff_ms);
   sleep = std::max(sleep, retry_after_floor_ms);

@@ -72,7 +72,8 @@ bool IsRetryableStatus(const Status& status);
 
 /// Process-wide token bucket bounding total retry volume. All methods are
 /// thread-safe; token arithmetic is fixed-point (milli-tokens) so the hot
-/// path is a lock-free compare-exchange.
+/// path is a lock-free compare-exchange — no km::Mutex here on purpose
+/// (every admitted request touches the bucket).
 class RetryBudget {
  public:
   explicit RetryBudget(const RetryOptions& options);

@@ -31,7 +31,7 @@ std::vector<std::string> Split(std::string_view s, char sep) {
   std::vector<std::string> out;
   size_t start = 0;
   while (true) {
-    size_t pos = s.find(sep, start);
+    const size_t pos = s.find(sep, start);
     if (pos == std::string_view::npos) {
       out.emplace_back(s.substr(start));
       break;
@@ -47,7 +47,7 @@ std::vector<std::string> SplitWhitespace(std::string_view s) {
   size_t i = 0;
   while (i < s.size()) {
     while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
-    size_t start = i;
+    const size_t start = i;
     while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
     if (i > start) out.emplace_back(s.substr(start, i - start));
   }
@@ -85,7 +85,7 @@ std::vector<std::string> SplitIdentifierWords(std::string_view ident) {
     }
   };
   for (size_t i = 0; i < ident.size(); ++i) {
-    unsigned char c = static_cast<unsigned char>(ident[i]);
+    const unsigned char c = static_cast<unsigned char>(ident[i]);
     if (c == '_' || c == '-' || c == ' ' || c == '.') {
       flush();
       continue;
@@ -94,12 +94,12 @@ std::vector<std::string> SplitIdentifierWords(std::string_view ident) {
       // A new word starts at an upper-case letter following a lower-case
       // letter or digit ("personName"), or at the last upper-case letter of
       // an acronym run followed by lower case ("HTTPServer" -> http, server).
-      bool prev_lower =
+      const bool prev_lower =
           i > 0 && (std::islower(static_cast<unsigned char>(ident[i - 1])) ||
                     std::isdigit(static_cast<unsigned char>(ident[i - 1])));
-      bool next_lower = i + 1 < ident.size() &&
-                        std::islower(static_cast<unsigned char>(ident[i + 1]));
-      bool prev_upper =
+      const bool next_lower = i + 1 < ident.size() &&
+                              std::islower(static_cast<unsigned char>(ident[i + 1]));
+      const bool prev_upper =
           i > 0 && std::isupper(static_cast<unsigned char>(ident[i - 1]));
       if (prev_lower || (prev_upper && next_lower)) flush();
     }
@@ -121,7 +121,7 @@ bool IsValidUtf8(std::string_view s) {
   size_t i = 0;
   const size_t n = s.size();
   while (i < n) {
-    unsigned char c = static_cast<unsigned char>(s[i]);
+    const unsigned char c = static_cast<unsigned char>(s[i]);
     if (c < 0x80) {
       ++i;
       continue;
@@ -142,7 +142,7 @@ bool IsValidUtf8(std::string_view s) {
     }
     if (i + len > n) return false;  // truncated sequence
     for (size_t j = 1; j < len; ++j) {
-      unsigned char cont = static_cast<unsigned char>(s[i + j]);
+      const unsigned char cont = static_cast<unsigned char>(s[i + j]);
       if ((cont & 0xC0) != 0x80) return false;
       cp = (cp << 6) | (cont & 0x3Fu);
     }
@@ -162,7 +162,7 @@ std::string StrFormat(const char* fmt, ...) {
   va_start(args, fmt);
   va_list args_copy;
   va_copy(args_copy, args);
-  int n = std::vsnprintf(nullptr, 0, fmt, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
   va_end(args);
   std::string out;
   if (n > 0) {

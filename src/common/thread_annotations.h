@@ -1,0 +1,121 @@
+// Clang Thread Safety Analysis annotations, KM_-prefixed.
+//
+// These macros let the compiler *prove* lock discipline at build time:
+// which mutex guards which field (KM_GUARDED_BY), which lock a method
+// expects held (KM_REQUIRES), which calls acquire/release a capability
+// (KM_ACQUIRE / KM_RELEASE), and which locks a call must NOT hold
+// (KM_EXCLUDES). Under Clang with -Wthread-safety (the `thread-safety`
+// CMake preset turns it into -Werror=thread-safety) any access to a
+// guarded field without its mutex, any missing unlock on a path out of a
+// function, and any lock-order annotation violation is a compile error —
+// the static complement to the TSan CI job, which only sees interleavings
+// the tests happen to execute.
+//
+// On every other compiler (the container image ships GCC) the macros
+// expand to nothing: annotated code builds identically everywhere, and
+// only the dedicated Clang preset enforces the proofs.
+//
+// Usage, end to end:
+//
+//   class KM_CAPABILITY("mutex") Mutex { ... };      // common/mutex.h
+//
+//   class Account {
+//    public:
+//     void Deposit(int amount) KM_EXCLUDES(mu_) {
+//       MutexLock lock(mu_);
+//       balance_ += amount;                  // OK: mu_ held via MutexLock
+//     }
+//    private:
+//     void AdjustLocked(int delta) KM_REQUIRES(mu_);  // caller holds mu_
+//     Mutex mu_;
+//     int balance_ KM_GUARDED_BY(mu_) = 0;   // compile error if accessed
+//   };                                       // without mu_ under Clang
+//
+// The vocabulary follows the Clang documentation
+// (clang.llvm.org/docs/ThreadSafetyAnalysis.html); only the spelling is
+// project-prefixed so the macros cannot collide with other libraries'.
+
+#ifndef KM_COMMON_THREAD_ANNOTATIONS_H_
+#define KM_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define KM_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define KM_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a capability (a lockable resource). The string names
+/// the capability kind in diagnostics ("mutex", "role", ...).
+#define KM_CAPABILITY(x) KM_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability (e.g. MutexLock).
+#define KM_SCOPED_CAPABILITY KM_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Field annotation: reads and writes require holding `x`.
+#define KM_GUARDED_BY(x) KM_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer-field annotation: the pointed-to data requires holding `x`
+/// (the pointer itself is unguarded).
+#define KM_PT_GUARDED_BY(x) KM_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Lock-ordering declarations on capability members: this capability must
+/// be acquired before/after the listed ones.
+#define KM_ACQUIRED_BEFORE(...) \
+  KM_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define KM_ACQUIRED_AFTER(...) \
+  KM_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+/// Function annotation: the caller must hold the listed capabilities
+/// exclusively (they are NOT acquired or released by the call).
+#define KM_REQUIRES(...) \
+  KM_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// Same, shared (reader) access suffices.
+#define KM_REQUIRES_SHARED(...) \
+  KM_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// Function annotation: the call acquires the listed capabilities (held on
+/// return). With no argument on a capability member function, the
+/// capability is the object itself.
+#define KM_ACQUIRE(...) \
+  KM_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define KM_ACQUIRE_SHARED(...) \
+  KM_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function annotation: the call releases the listed capabilities.
+#define KM_RELEASE(...) \
+  KM_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define KM_RELEASE_SHARED(...) \
+  KM_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+#define KM_RELEASE_GENERIC(...) \
+  KM_THREAD_ANNOTATION_ATTRIBUTE__(release_generic_capability(__VA_ARGS__))
+
+/// Function annotation: acquires the capability iff the return value equals
+/// the first argument (e.g. KM_TRY_ACQUIRE(true) on a bool TryLock()).
+#define KM_TRY_ACQUIRE(...) \
+  KM_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+#define KM_TRY_ACQUIRE_SHARED(...) \
+  KM_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Function annotation: the caller must NOT hold the listed capabilities
+/// (deadlock prevention for self-locking methods).
+#define KM_EXCLUDES(...) \
+  KM_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion to the analysis: the capability is held here even
+/// though the analysis cannot prove it (e.g. handed over across threads).
+#define KM_ASSERT_CAPABILITY(x) \
+  KM_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+/// Function annotation: the function returns a reference to the capability
+/// that guards its result.
+#define KM_RETURN_CAPABILITY(x) KM_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment justifying why the discipline holds anyway (e.g.
+/// single-threaded access after a happens-before point).
+#define KM_NO_THREAD_SAFETY_ANALYSIS \
+  KM_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // KM_COMMON_THREAD_ANNOTATIONS_H_

@@ -15,27 +15,27 @@ ThreadPool::ThreadPool(size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
 void ThreadPool::Run(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     tasks_.push(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && tasks_.empty()) cv_.Wait(mu_);
       if (tasks_.empty()) return;  // stop_ set and queue drained
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -56,9 +56,9 @@ struct ForState {
   const size_t n;
   const std::function<void(size_t)> fn;
   std::atomic<size_t> next{0};
-  std::mutex mu;
-  std::condition_variable cv;
-  size_t done = 0;
+  Mutex mu;
+  CondVar cv;
+  size_t done KM_GUARDED_BY(mu) = 0;
 };
 
 // Claims indices until the range is exhausted. Indices are handed out by an
@@ -67,17 +67,17 @@ struct ForState {
 void DrainRange(const std::shared_ptr<ForState>& state) {
   size_t finished = 0;
   for (;;) {
-    size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+    const size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
     if (i >= state->n) break;
     state->fn(i);
     ++finished;
   }
   if (finished == 0) return;
   {
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(state->mu);
     state->done += finished;
   }
-  state->cv.notify_all();
+  state->cv.NotifyAll();
 }
 
 }  // namespace
@@ -97,8 +97,8 @@ void ParallelFor(ThreadPool* pool, size_t n,
   // The caller participates: even when every pool worker is busy elsewhere
   // (nested or concurrent ParallelFor calls), the range still drains.
   DrainRange(state);
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&state] { return state->done == state->n; });
+  MutexLock lock(state->mu);
+  while (state->done != state->n) state->cv.Wait(state->mu);
 }
 
 }  // namespace km

@@ -19,13 +19,14 @@
 #define KM_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace km {
 
@@ -45,16 +46,16 @@ class ThreadPool {
   size_t size() const { return workers_.size(); }
 
   /// Enqueues one task; runs on some worker thread.
-  void Run(std::function<void()> task);
+  void Run(std::function<void()> task) KM_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() KM_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::queue<std::function<void()>> tasks_;
-  bool stop_ = false;
-  std::vector<std::thread> workers_;
+  Mutex mu_;
+  CondVar cv_;
+  std::queue<std::function<void()>> tasks_ KM_GUARDED_BY(mu_);
+  bool stop_ KM_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  // written once in the constructor
 };
 
 /// Runs fn(0) .. fn(n-1), distributing indices over the pool's workers

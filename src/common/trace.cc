@@ -64,7 +64,7 @@ TraceNode* TraceNode::BeginChild(const char* name, size_t slot) {
   // Resolved before taking mu_: SmallThreadId locks the root's mutex, and
   // when this node *is* the root that would self-deadlock under the guard.
   const int tid = root_->SmallThreadId();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (slot == kAutoSlot) {
     slot = next_slot_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -76,9 +76,9 @@ TraceNode* TraceNode::BeginChild(const char* name, size_t slot) {
 void TraceNode::End() {
   if (ended_.exchange(true, std::memory_order_acq_rel)) return;
   wall_ns_ = MonotonicNowNs() - start_wall_ns_;
-  int64_t cpu = ThreadCpuNowNs();
+  const int64_t cpu = ThreadCpuNowNs();
   cpu_ns_ = (start_cpu_ns_ > 0 && cpu > 0) ? cpu - start_cpu_ns_ : 0;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Slot order is program order for serial call sites and loop-index order
   // for parallel ones — either way, deterministic across thread counts.
   std::stable_sort(children_.begin(), children_.end(),
@@ -89,7 +89,7 @@ void TraceNode::End() {
 }
 
 void TraceNode::Add(const char* counter, uint64_t delta) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, value] : counters_) {
     if (name == counter) {
       value += delta;
@@ -100,7 +100,7 @@ void TraceNode::Add(const char* counter, uint64_t delta) {
 }
 
 uint64_t TraceNode::counter(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [counter_name, value] : counters_) {
     if (counter_name == name) return value;
   }
@@ -116,7 +116,7 @@ size_t TraceNode::SpanCount() const {
 int TraceNode::SmallThreadId() {
   const uint64_t hash =
       std::hash<std::thread::id>{}(std::this_thread::get_id());
-  std::lock_guard<std::mutex> lock(root_->mu_);
+  MutexLock lock(root_->mu_);
   auto& ids = root_->thread_ids_;
   for (const auto& [known_hash, ordinal] : ids) {
     if (known_hash == hash) return ordinal;
@@ -186,7 +186,7 @@ void TraceNode::AppendShape(std::string* out, size_t depth) const {
   AppendIndent(out, depth);
   out->append(name_);
   // Counter *names* are structural (which code paths ran); values are not.
-  auto sorted = SortedCounters(counters_);
+  const auto sorted = SortedCounters(counters_);
   if (!sorted.empty()) {
     out->append(" [");
     for (size_t i = 0; i < sorted.size(); ++i) {

@@ -34,9 +34,11 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace km {
 
@@ -111,6 +113,10 @@ class TraceNode {
   void Add(const char* counter, uint64_t delta = 1);
 
   // -- accessors (valid once the span has ended) --
+  // children()/counters() read guarded state without the span mutex: the
+  // post-End() contract makes the tree immutable and single-reader (End()'s
+  // release-exchange on ended_ is the happens-before point), which the
+  // analysis cannot express — hence the explicit opt-outs.
   const std::string& name() const { return name_; }
   size_t slot() const { return slot_; }
   double wall_ms() const { return static_cast<double>(wall_ns_) * 1e-6; }
@@ -118,17 +124,19 @@ class TraceNode {
   /// Start offset from the root span's start, in nanoseconds.
   int64_t start_offset_ns() const { return start_offset_ns_; }
   bool ended() const { return ended_.load(std::memory_order_acquire); }
-  const std::vector<std::unique_ptr<TraceNode>>& children() const {
+  const std::vector<std::unique_ptr<TraceNode>>& children() const
+      KM_NO_THREAD_SAFETY_ANALYSIS {
     return children_;
   }
-  const std::vector<std::pair<std::string, uint64_t>>& counters() const {
+  const std::vector<std::pair<std::string, uint64_t>>& counters() const
+      KM_NO_THREAD_SAFETY_ANALYSIS {
     return counters_;
   }
   /// Counter value by name (0 when absent).
   uint64_t counter(const std::string& name) const;
 
   /// Total number of spans in this subtree (including this one).
-  size_t SpanCount() const;
+  size_t SpanCount() const KM_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Human-readable indented tree. With `timings`, each line carries wall
   /// and CPU milliseconds; without, only names, nesting and counters — the
@@ -146,9 +154,13 @@ class TraceNode {
  private:
   TraceNode(std::string name, TraceNode* parent, size_t slot);
 
-  void AppendTree(std::string* out, size_t depth, bool timings) const;
-  void AppendShape(std::string* out, size_t depth) const;
-  void AppendChromeEvents(std::string* out, bool* first) const;
+  // The tree walkers run on ended spans (immutable; see the accessor note).
+  void AppendTree(std::string* out, size_t depth, bool timings) const
+      KM_NO_THREAD_SAFETY_ANALYSIS;
+  void AppendShape(std::string* out, size_t depth) const
+      KM_NO_THREAD_SAFETY_ANALYSIS;
+  void AppendChromeEvents(std::string* out, bool* first) const
+      KM_NO_THREAD_SAFETY_ANALYSIS;
   int SmallThreadId();
 
   std::string name_;
@@ -165,12 +177,12 @@ class TraceNode {
   int64_t cpu_ns_ = 0;
   std::atomic<bool> ended_{false};
 
-  mutable std::mutex mu_;  // guards children_, counters_, thread-id map
+  mutable Mutex mu_;  // guards children_, counters_, thread-id map
   std::atomic<size_t> next_slot_{0};
-  std::vector<std::unique_ptr<TraceNode>> children_;
-  std::vector<std::pair<std::string, uint64_t>> counters_;
+  std::vector<std::unique_ptr<TraceNode>> children_ KM_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, uint64_t>> counters_ KM_GUARDED_BY(mu_);
   // Root only: thread::id hash → small ordinal for the Chrome export.
-  std::vector<std::pair<uint64_t, int>> thread_ids_;
+  std::vector<std::pair<uint64_t, int>> thread_ids_ KM_GUARDED_BY(mu_);
 };
 
 /// RAII handle over one span. A null parent (tracing disabled) makes every

@@ -137,13 +137,16 @@ StatusOr<size_t> Executor::Count(const SpjQuery& query, QueryContext* ctx,
 StatusOr<ResultSet> Executor::GatedExecute(const SpjQuery& query, bool project,
                                            QueryContext* ctx,
                                            TraceNode* parent) const {
-  if (gate_ != nullptr) {
-    KM_RETURN_IF_ERROR(gate_->Admit());
+  if (gate_ == nullptr) {
+    return ExecuteInternal(query, project, ctx, parent);
   }
+  // Ticketed admit/record pair: the ticket lets a stateful gate attribute
+  // this call's outcome to the state that admitted it, even if the gate
+  // changed state while the query ran.
+  StatusOr<ExecutionGate::Ticket> ticket = gate_->AdmitTicket();
+  if (!ticket.ok()) return ticket.status();
   auto rs = ExecuteInternal(query, project, ctx, parent);
-  if (gate_ != nullptr) {
-    gate_->Record(rs.ok() ? Status::OK() : rs.status());
-  }
+  gate_->RecordOutcome(*ticket, rs.ok() ? Status::OK() : rs.status());
   return rs;
 }
 

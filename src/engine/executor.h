@@ -52,12 +52,36 @@ struct ResultSet {
 /// the serving layer.
 class ExecutionGate {
  public:
+  /// Opaque admission receipt. A stateful gate stamps it with the epoch of
+  /// the state that admitted the call, so a slow call's outcome arriving
+  /// after the gate has changed state can be recognized as stale instead of
+  /// being charged to the current state (see CircuitBreaker's half-open
+  /// probe accounting).
+  struct Ticket {
+    uint64_t epoch = 0;
+  };
+
   virtual ~ExecutionGate() = default;
   /// OK to proceed, or a non-OK Status (typically kUnavailable with a
   /// retry-after hint) the executor returns verbatim.
   virtual Status Admit() = 0;
   /// Outcome report of one admitted execution: OK, or the failure Status.
   virtual void Record(const Status& result) = 0;
+
+  /// Ticketed admission: like Admit(), but on success returns a Ticket to
+  /// hand back to RecordOutcome(). The executor uses this pair; the
+  /// defaults delegate to Admit()/Record() so gates without admission
+  /// epochs implement only the legacy two methods.
+  virtual StatusOr<Ticket> AdmitTicket() {
+    Status admit = Admit();
+    if (!admit.ok()) return admit;
+    return Ticket{};
+  }
+  /// Outcome report matched to its admission via `ticket`.
+  virtual void RecordOutcome(const Ticket& ticket, const Status& result) {
+    (void)ticket;
+    Record(result);
+  }
 };
 
 /// Executes SPJ queries against an in-memory Database.

@@ -42,6 +42,8 @@ StatusOr<Assignment> MaxWeightAssignment(const Matrix& weights) {
     size_t j0 = 0;
     std::vector<double> minv(m + 1, std::numeric_limits<double>::infinity());
     std::vector<bool> used(m + 1, false);
+    // km-lint: bounded — each pass marks one more column used, so the
+    // Dijkstra-like scan runs at most m+1 times.
     do {
       used[j0] = true;
       size_t i0 = p[j0], j1 = 0;
@@ -68,7 +70,8 @@ StatusOr<Assignment> MaxWeightAssignment(const Matrix& weights) {
       }
       j0 = j1;
     } while (p[j0] != 0);
-    // Augment along the path.
+    // Augment along the path. km-lint: bounded — the path visits each
+    // column at most once, so this walk takes at most m steps.
     do {
       size_t j1 = way[j0];
       p[j0] = p[j1];

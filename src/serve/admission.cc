@@ -11,12 +11,12 @@ AdmissionQueue::AdmissionQueue(AdmissionOptions options)
     : options_(options) {}
 
 Status AdmissionQueue::Offer(Item item, double estimated_wait_ms) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (shutdown_) {
     ++shed_shutdown_;
     return UnavailableStatus("server shutting down", 0.0);
   }
-  double retry_after =
+  const double retry_after =
       std::max(estimated_wait_ms, options_.min_retry_after_ms);
   if (items_.size() >= options_.max_queue) {
     ++shed_full_;
@@ -34,13 +34,13 @@ Status AdmissionQueue::Offer(Item item, double estimated_wait_ms) {
   items_.push_back(std::move(item));
   ++admitted_;
   max_depth_ = std::max(max_depth_, items_.size());
-  cv_.notify_one();
+  cv_.NotifyOne();
   return Status::OK();
 }
 
 std::optional<AdmissionQueue::Item> AdmissionQueue::Take() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return shutdown_ || !items_.empty(); });
+  MutexLock lock(mu_);
+  while (!shutdown_ && items_.empty()) cv_.Wait(mu_);
   if (items_.empty()) return std::nullopt;  // shut down and drained
   Item item = std::move(items_.front());
   items_.pop_front();
@@ -48,43 +48,43 @@ std::optional<AdmissionQueue::Item> AdmissionQueue::Take() {
 }
 
 void AdmissionQueue::Shutdown() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   shutdown_ = true;
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 size_t AdmissionQueue::depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return items_.size();
 }
 
 size_t AdmissionQueue::max_depth_seen() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return max_depth_;
 }
 
 uint64_t AdmissionQueue::admitted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return admitted_;
 }
 
 uint64_t AdmissionQueue::shed_full() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return shed_full_;
 }
 
 uint64_t AdmissionQueue::shed_deadline() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return shed_deadline_;
 }
 
 uint64_t AdmissionQueue::shed_shutdown() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return shed_shutdown_;
 }
 
 bool AdmissionQueue::shutdown() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return shutdown_;
 }
 
@@ -99,24 +99,22 @@ double AimdLimiter::NowMs() const {
 }
 
 void AimdLimiter::Acquire() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] {
-    return static_cast<double>(inflight_) < limit_;
-  });
+  MutexLock lock(mu_);
+  while (static_cast<double>(inflight_) >= limit_) cv_.Wait(mu_);
   ++inflight_;
 }
 
 bool AimdLimiter::TryAcquire() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (static_cast<double>(inflight_) >= limit_) return false;
   ++inflight_;
   return true;
 }
 
 void AimdLimiter::Release(double latency_ms) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (inflight_ > 0) --inflight_;
-  bool overloaded =
+  const bool overloaded =
       options_.latency_target_ms > 0 && latency_ms > options_.latency_target_ms;
   if (overloaded) {
     DecreaseLocked(NowMs());
@@ -124,11 +122,17 @@ void AimdLimiter::Release(double latency_ms) {
     limit_ = std::min(options_.max_limit, limit_ + options_.increase);
   }
   // Waiters wake on the freed slot and on any limit increase.
-  cv_.notify_all();
+  cv_.NotifyAll();
+}
+
+void AimdLimiter::ReleaseWithoutSample() {
+  MutexLock lock(mu_);
+  if (inflight_ > 0) --inflight_;
+  cv_.NotifyAll();
 }
 
 void AimdLimiter::OnOverload() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DecreaseLocked(NowMs());
 }
 
@@ -140,17 +144,17 @@ void AimdLimiter::DecreaseLocked(double now) {
 }
 
 double AimdLimiter::limit() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return limit_;
 }
 
 size_t AimdLimiter::inflight() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return inflight_;
 }
 
 uint64_t AimdLimiter::decreases() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return decreases_;
 }
 

@@ -26,15 +26,15 @@
 #ifndef KM_SERVE_ADMISSION_H_
 #define KM_SERVE_ADMISSION_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace km {
 
@@ -68,35 +68,35 @@ class AdmissionQueue {
   /// `estimated_wait_ms` exceeds the item's remaining deadline (it would
   /// expire before a worker picks it up). The shed status carries a
   /// retry-after suggestion derived from the wait estimate.
-  Status Offer(Item item, double estimated_wait_ms);
+  Status Offer(Item item, double estimated_wait_ms) KM_EXCLUDES(mu_);
 
   /// Blocks for the next item. Empty optional once the queue is shut down
   /// *and* drained — the worker-loop exit condition.
-  std::optional<Item> Take();
+  std::optional<Item> Take() KM_EXCLUDES(mu_);
 
   /// Stops admission (Offer returns kUnavailable). Already-queued items
   /// are still handed out by Take() — shutdown is graceful, not dropping.
-  void Shutdown();
+  void Shutdown() KM_EXCLUDES(mu_);
 
-  size_t depth() const;
-  size_t max_depth_seen() const;
-  uint64_t admitted() const;
-  uint64_t shed_full() const;      ///< sheds due to the depth cap
-  uint64_t shed_deadline() const;  ///< sheds due to the wait/deadline test
-  uint64_t shed_shutdown() const;  ///< rejections while shutting down
-  bool shutdown() const;
+  size_t depth() const KM_EXCLUDES(mu_);
+  size_t max_depth_seen() const KM_EXCLUDES(mu_);
+  uint64_t admitted() const KM_EXCLUDES(mu_);
+  uint64_t shed_full() const KM_EXCLUDES(mu_);      ///< depth-cap sheds
+  uint64_t shed_deadline() const KM_EXCLUDES(mu_);  ///< wait/deadline sheds
+  uint64_t shed_shutdown() const KM_EXCLUDES(mu_);  ///< shutdown rejections
+  bool shutdown() const KM_EXCLUDES(mu_);
 
  private:
   const AdmissionOptions options_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Item> items_;
-  bool shutdown_ = false;
-  size_t max_depth_ = 0;
-  uint64_t admitted_ = 0;
-  uint64_t shed_full_ = 0;
-  uint64_t shed_deadline_ = 0;
-  uint64_t shed_shutdown_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<Item> items_ KM_GUARDED_BY(mu_);
+  bool shutdown_ KM_GUARDED_BY(mu_) = false;
+  size_t max_depth_ KM_GUARDED_BY(mu_) = 0;
+  uint64_t admitted_ KM_GUARDED_BY(mu_) = 0;
+  uint64_t shed_full_ KM_GUARDED_BY(mu_) = 0;
+  uint64_t shed_deadline_ KM_GUARDED_BY(mu_) = 0;
+  uint64_t shed_shutdown_ KM_GUARDED_BY(mu_) = 0;
 };
 
 /// AIMD tuning. The defaults probe gently and back off hard (the stable
@@ -129,36 +129,42 @@ class AimdLimiter {
                        std::function<double()> now_ms = {});
 
   /// Blocks until an execution slot is free, then claims it.
-  void Acquire();
+  void Acquire() KM_EXCLUDES(mu_);
 
   /// Claims a slot iff one is free right now.
-  bool TryAcquire();
+  bool TryAcquire() KM_EXCLUDES(mu_);
 
   /// Returns a slot. `latency_ms` ≤ target (or no target) is a good sample
   /// (additive increase); above target is an overload signal
   /// (multiplicative decrease, cooldown-limited).
-  void Release(double latency_ms);
+  void Release(double latency_ms) KM_EXCLUDES(mu_);
+
+  /// Returns a slot without feeding the AIMD controller a latency sample.
+  /// For requests that never executed (e.g. their deadline expired while
+  /// Acquire() blocked): their latency says nothing about service capacity,
+  /// and treating it as a good sample would wrongly grow the limit.
+  void ReleaseWithoutSample() KM_EXCLUDES(mu_);
 
   /// External overload signal (e.g. the queue shed a request): same
   /// multiplicative decrease, same cooldown.
-  void OnOverload();
+  void OnOverload() KM_EXCLUDES(mu_);
 
-  double limit() const;
-  size_t inflight() const;
-  uint64_t decreases() const;
+  double limit() const KM_EXCLUDES(mu_);
+  size_t inflight() const KM_EXCLUDES(mu_);
+  uint64_t decreases() const KM_EXCLUDES(mu_);
 
  private:
   double NowMs() const;
-  void DecreaseLocked(double now);
+  void DecreaseLocked(double now) KM_REQUIRES(mu_);
 
   const AimdOptions options_;
   const std::function<double()> now_ms_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  double limit_;
-  size_t inflight_ = 0;
-  double last_decrease_ms_ = -1e300;
-  uint64_t decreases_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  double limit_ KM_GUARDED_BY(mu_);
+  size_t inflight_ KM_GUARDED_BY(mu_) = 0;
+  double last_decrease_ms_ KM_GUARDED_BY(mu_) = -1e300;
+  uint64_t decreases_ KM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace km

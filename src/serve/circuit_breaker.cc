@@ -40,6 +40,9 @@ bool CircuitBreaker::IsBackendFailure(const Status& result) {
 
 void CircuitBreaker::TransitionLocked(BreakerState next, double now) {
   if (state_ == next) return;
+  // Every transition starts a new epoch: outcomes of calls admitted under
+  // the previous state become stale for RecordOutcome().
+  ++epoch_;
   if (next == BreakerState::kOpen) {
     opened_at_ms_ = now;
     ++trips_;
@@ -63,10 +66,22 @@ void CircuitBreaker::TransitionLocked(BreakerState next, double now) {
 }
 
 Status CircuitBreaker::Admit() {
-  std::lock_guard<std::mutex> lock(mu_);
-  double now = NowMs();
+  MutexLock lock(mu_);
+  uint64_t ignored_epoch = 0;
+  return AdmitLocked(NowMs(), &ignored_epoch);
+}
+
+StatusOr<ExecutionGate::Ticket> CircuitBreaker::AdmitTicket() {
+  MutexLock lock(mu_);
+  Ticket ticket;
+  const Status admit = AdmitLocked(NowMs(), &ticket.epoch);
+  if (!admit.ok()) return admit;
+  return ticket;
+}
+
+Status CircuitBreaker::AdmitLocked(double now, uint64_t* ticket_epoch) {
   if (state_ == BreakerState::kOpen) {
-    double waited = now - opened_at_ms_;
+    const double waited = now - opened_at_ms_;
     if (waited < options_.open_cooldown_ms) {
       ++rejections_;
       MetricsRegistry::Default()
@@ -88,13 +103,35 @@ Status CircuitBreaker::Admit() {
     }
     ++half_open_inflight_;
   }
+  // The ticket is stamped *after* any OPEN → HALF-OPEN transition above, so
+  // a probe's ticket carries the half-open epoch it actually runs under.
+  *ticket_epoch = epoch_;
   return Status::OK();
 }
 
 void CircuitBreaker::Record(const Status& result) {
-  std::lock_guard<std::mutex> lock(mu_);
-  double now = NowMs();
-  bool failure = IsBackendFailure(result);
+  MutexLock lock(mu_);
+  RecordLocked(result, NowMs());
+}
+
+void CircuitBreaker::RecordOutcome(const Ticket& ticket, const Status& result) {
+  MutexLock lock(mu_);
+  if (ticket.epoch != epoch_) {
+    // The breaker changed state while this call ran; its outcome belongs to
+    // a dead epoch. Counting it here would corrupt the current state's
+    // accounting — e.g. a pre-trip success closing the circuit out of
+    // HALF-OPEN, or freeing a probe slot it never held.
+    ++stale_outcomes_;
+    MetricsRegistry::Default()
+        .CounterRef("km.breaker." + name_ + ".stale_outcomes")
+        .Increment();
+    return;
+  }
+  RecordLocked(result, NowMs());
+}
+
+void CircuitBreaker::RecordLocked(const Status& result, double now) {
+  const bool failure = IsBackendFailure(result);
   switch (state_) {
     case BreakerState::kClosed: {
       consecutive_failures_ = failure ? consecutive_failures_ + 1 : 0;
@@ -104,7 +141,7 @@ void CircuitBreaker::Record(const Status& result) {
         if (window_.front()) --window_failures_;
         window_.pop_front();
       }
-      bool ratio_trip =
+      const bool ratio_trip =
           static_cast<int>(window_.size()) >= options_.window &&
           static_cast<double>(window_failures_) >
               options_.failure_ratio * static_cast<double>(window_.size());
@@ -132,18 +169,23 @@ void CircuitBreaker::Record(const Status& result) {
 }
 
 BreakerState CircuitBreaker::state() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return state_;
 }
 
 uint64_t CircuitBreaker::trips() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return trips_;
 }
 
 uint64_t CircuitBreaker::rejections() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return rejections_;
+}
+
+uint64_t CircuitBreaker::stale_outcomes() const {
+  MutexLock lock(mu_);
+  return stale_outcomes_;
 }
 
 }  // namespace km

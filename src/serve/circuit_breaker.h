@@ -32,10 +32,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engine/executor.h"
 
 namespace km {
@@ -76,38 +77,59 @@ class CircuitBreaker : public ExecutionGate {
 
   /// ExecutionGate: OK in CLOSED; OK for up to `half_open_probes` callers
   /// in HALF-OPEN; kUnavailable (retry-after = remaining cooldown) in OPEN.
-  Status Admit() override;
+  Status Admit() override KM_EXCLUDES(mu_);
 
-  /// ExecutionGate: outcome of one admitted call.
-  void Record(const Status& result) override;
+  /// ExecutionGate: outcome of one admitted call. Legacy (unticketed)
+  /// reporting: the outcome is charged to the breaker's *current* state,
+  /// so a slow call completing after a state change is mis-attributed.
+  /// Prefer the AdmitTicket()/RecordOutcome() pair.
+  void Record(const Status& result) override KM_EXCLUDES(mu_);
 
-  BreakerState state() const;
+  /// Ticketed admission: the returned ticket carries the epoch of the
+  /// admitting state. Every state transition starts a new epoch.
+  StatusOr<Ticket> AdmitTicket() override KM_EXCLUDES(mu_);
+
+  /// Outcome matched to its admission epoch. Outcomes whose epoch is no
+  /// longer current are counted as stale and otherwise ignored: a success
+  /// from before the trip can neither close the circuit nor free a
+  /// half-open probe slot it never occupied.
+  void RecordOutcome(const Ticket& ticket, const Status& result) override
+      KM_EXCLUDES(mu_);
+
+  BreakerState state() const KM_EXCLUDES(mu_);
 
   /// Counts since construction (monotone, also published as metrics).
-  uint64_t trips() const;       ///< CLOSED/HALF-OPEN → OPEN transitions
-  uint64_t rejections() const;  ///< Admit() calls answered kUnavailable
+  uint64_t trips() const KM_EXCLUDES(mu_);       ///< transitions to OPEN
+  uint64_t rejections() const KM_EXCLUDES(mu_);  ///< fail-fast rejections
+  uint64_t stale_outcomes() const KM_EXCLUDES(mu_);  ///< dropped stale reports
 
   /// True when `result` counts as a backend failure for trip accounting.
   static bool IsBackendFailure(const Status& result);
 
  private:
-  void TransitionLocked(BreakerState next, double now);
+  Status AdmitLocked(double now, uint64_t* ticket_epoch) KM_REQUIRES(mu_);
+  void RecordLocked(const Status& result, double now) KM_REQUIRES(mu_);
+  void TransitionLocked(BreakerState next, double now) KM_REQUIRES(mu_);
   double NowMs() const;
 
   const std::string name_;
   const CircuitBreakerOptions options_;
   const std::function<double()> now_ms_;
 
-  mutable std::mutex mu_;
-  BreakerState state_ = BreakerState::kClosed;
-  int consecutive_failures_ = 0;
-  std::deque<bool> window_;  // true = failure, newest at the back
-  int window_failures_ = 0;
-  double opened_at_ms_ = 0.0;
-  int half_open_inflight_ = 0;
-  int half_open_successes_ = 0;
-  uint64_t trips_ = 0;
-  uint64_t rejections_ = 0;
+  mutable Mutex mu_;
+  BreakerState state_ KM_GUARDED_BY(mu_) = BreakerState::kClosed;
+  /// Bumped by every transition; tickets from older epochs are stale.
+  uint64_t epoch_ KM_GUARDED_BY(mu_) = 0;
+  int consecutive_failures_ KM_GUARDED_BY(mu_) = 0;
+  /// true = failure, newest at the back
+  std::deque<bool> window_ KM_GUARDED_BY(mu_);
+  int window_failures_ KM_GUARDED_BY(mu_) = 0;
+  double opened_at_ms_ KM_GUARDED_BY(mu_) = 0.0;
+  int half_open_inflight_ KM_GUARDED_BY(mu_) = 0;
+  int half_open_successes_ KM_GUARDED_BY(mu_) = 0;
+  uint64_t trips_ KM_GUARDED_BY(mu_) = 0;
+  uint64_t rejections_ KM_GUARDED_BY(mu_) = 0;
+  uint64_t stale_outcomes_ KM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace km

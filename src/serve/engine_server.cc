@@ -38,7 +38,7 @@ EngineServer::EngineServer(const KeymanticEngine& engine,
       queue_(options.admission),
       limiter_(options.aimd) {
   MetricsRegistry::Default().GaugeRef("km.serve.state").Set(0);
-  size_t workers = std::max<size_t>(1, options_.workers);
+  const size_t workers = std::max<size_t>(1, options_.workers);
   workers_.reserve(workers);
   for (size_t i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -47,10 +47,22 @@ EngineServer::EngineServer(const KeymanticEngine& engine,
 
 EngineServer::~EngineServer() { Shutdown(); }
 
+double PredictQueueWaitMs(size_t queue_depth, double ema_service_ms,
+                          double aimd_limit, size_t workers) {
+  if (ema_service_ms <= 0) return 0;  // uncalibrated: admit optimistically
+  // The AIMD limit bounds concurrent *execution*, but only the worker pool
+  // drains the queue: with one worker and a limit of 64, requests still
+  // leave the queue one at a time. Dividing by the raw limit under-predicted
+  // the wait by up to limit/workers ×, admitting requests that could only
+  // expire in the queue.
+  const double effective =
+      std::max(1.0, std::min(aimd_limit, static_cast<double>(workers)));
+  return static_cast<double>(queue_depth) * ema_service_ms / effective;
+}
+
 double EngineServer::EstimatedWaitMsLocked() const {
-  if (ema_service_ms_ <= 0) return 0;  // uncalibrated: admit optimistically
-  double concurrency = std::max(1.0, limiter_.limit());
-  return static_cast<double>(queue_.depth()) * ema_service_ms_ / concurrency;
+  return PredictQueueWaitMs(queue_.depth(), ema_service_ms_, limiter_.limit(),
+                            workers_.size());
 }
 
 std::future<StatusOr<AnswerResult>> EngineServer::Submit(
@@ -58,7 +70,7 @@ std::future<StatusOr<AnswerResult>> EngineServer::Submit(
   auto request = std::make_shared<Request>();
   request->query = query;
   request->k = k;
-  double deadline =
+  const double deadline =
       deadline_ms > 0 ? deadline_ms : options_.default_deadline_ms;
   QueryLimits limits = options_.limits;
   limits.deadline_ms = deadline;
@@ -67,14 +79,14 @@ std::future<StatusOr<AnswerResult>> EngineServer::Submit(
   request->ctx = std::make_unique<QueryContext>(limits);
   std::future<StatusOr<AnswerResult>> future = request->promise.get_future();
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++submitted_;
   ServeCounter("submitted").Increment();
   AdmissionQueue::Item item;
   item.id = next_request_id_++;
   item.payload = request;
   item.remaining_deadline_ms = deadline;
-  double now = NowMs();
+  const double now = NowMs();
   Status offered = queue_.Offer(std::move(item), EstimatedWaitMsLocked());
   if (!offered.ok()) {
     if (offered.code() == StatusCode::kOverloaded) {
@@ -103,7 +115,7 @@ void EngineServer::WorkerLoop() {
     std::optional<AdmissionQueue::Item> item = queue_.Take();
     if (!item.has_value()) return;  // shut down and drained
     auto request = std::static_pointer_cast<Request>(item->payload);
-    double waited_ms =
+    const double waited_ms =
         static_cast<double>(MonotonicNowNs() - item->enqueued_ns) / 1e6;
     queue_wait.Observe(waited_ms);
 
@@ -111,29 +123,32 @@ void EngineServer::WorkerLoop() {
       // Dead on arrival: the deadline burned out (or the caller cancelled)
       // while the request sat in the queue. Cheaper to report than to run
       // the engine just to watch it hit the floor of its ladder.
-      request->promise.set_value(Status::DeadlineExceeded(
-          "request expired while queued (waited " +
-          std::to_string(static_cast<int64_t>(waited_ms)) + "ms)"));
-      ServeCounter("expired_in_queue").Increment();
-      std::lock_guard<std::mutex> lock(mu_);
-      ++expired_in_queue_;
-      if (outstanding_ > 0) --outstanding_;
-      RefreshStateLocked(NowMs());
-      drain_cv_.notify_all();
+      ExpireRequest(request.get(), waited_ms);
       continue;
     }
 
     limiter_.Acquire();
-    double start_ms = NowMs();
+    if (request->ctx->Exhausted()) {
+      // The deadline burned out while Acquire() blocked on the concurrency
+      // limit. Return the slot without a latency sample: this request never
+      // executed, so its wait says nothing about service capacity (and a
+      // fast "completion" here would wrongly grow the AIMD limit).
+      limiter_.ReleaseWithoutSample();
+      ExpireRequest(request.get(),
+                    static_cast<double>(MonotonicNowNs() - item->enqueued_ns) /
+                        1e6);
+      continue;
+    }
+    const double start_ms = NowMs();
     StatusOr<AnswerResult> result =
         engine_.Answer(request->query, request->k, request->ctx.get());
-    double latency_ms = NowMs() - start_ms;
+    const double latency_ms = NowMs() - start_ms;
     limiter_.Release(latency_ms);
     latency.Observe(latency_ms);
     ServeCounter("completed").Increment();
     request->promise.set_value(std::move(result));
 
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++completed_;
     if (outstanding_ > 0) --outstanding_;
     // EMA of observed service time feeds the admission wait estimate.
@@ -141,8 +156,20 @@ void EngineServer::WorkerLoop() {
                           ? latency_ms
                           : 0.8 * ema_service_ms_ + 0.2 * latency_ms;
     RefreshStateLocked(NowMs());
-    drain_cv_.notify_all();
+    drain_cv_.NotifyAll();
   }
+}
+
+void EngineServer::ExpireRequest(Request* request, double waited_ms) {
+  request->promise.set_value(Status::DeadlineExceeded(
+      "request expired while queued (waited " +
+      std::to_string(static_cast<int64_t>(waited_ms)) + "ms)"));
+  ServeCounter("expired_in_queue").Increment();
+  MutexLock lock(mu_);
+  ++expired_in_queue_;
+  if (outstanding_ > 0) --outstanding_;
+  RefreshStateLocked(NowMs());
+  drain_cv_.NotifyAll();
 }
 
 void EngineServer::RefreshStateLocked(double now_ms) {
@@ -171,13 +198,13 @@ void EngineServer::RefreshStateLocked(double now_ms) {
 }
 
 void EngineServer::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  drain_cv_.wait(lock, [&] { return outstanding_ == 0; });
+  MutexLock lock(mu_);
+  while (outstanding_ != 0) drain_cv_.Wait(mu_);
 }
 
 void EngineServer::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_called_) return;
     shutdown_called_ = true;
   }
@@ -188,7 +215,7 @@ void EngineServer::Shutdown() {
 }
 
 ServerStats EngineServer::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ServerStats stats;
   stats.submitted = submitted_;
   stats.admitted = queue_.admitted();
@@ -204,7 +231,7 @@ ServerStats EngineServer::Stats() const {
 }
 
 OverloadState EngineServer::state() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return state_;
 }
 

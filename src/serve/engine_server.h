@@ -30,8 +30,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/query_context.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/keymantic.h"
 #include "serve/admission.h"
 
@@ -47,6 +49,15 @@ enum class OverloadState {
 
 /// Stable lower-case state name ("healthy", "throttling", "shedding").
 const char* OverloadStateName(OverloadState state);
+
+/// Predicted queue wait for a new arrival: depth × EMA service time /
+/// effective concurrency. Effective concurrency is what can actually drain
+/// the queue — the AIMD limit capped by the worker count (a limit of 64
+/// drains nothing faster when one worker serves the queue). Returns 0 while
+/// uncalibrated (`ema_service_ms` ≤ 0): admit optimistically until the
+/// first completion measures service time.
+double PredictQueueWaitMs(size_t queue_depth, double ema_service_ms,
+                          double aimd_limit, size_t workers);
 
 struct EngineServerOptions {
   /// Worker threads draining the admission queue.
@@ -96,21 +107,22 @@ class EngineServer {
   /// (0 = use the default). The deadline clock starts *now*: queue wait
   /// counts against it.
   std::future<StatusOr<AnswerResult>> Submit(const std::string& query, size_t k,
-                                             double deadline_ms = 0);
+                                             double deadline_ms = 0)
+      KM_EXCLUDES(mu_);
 
   /// Blocks until every admitted request has completed (queue empty and no
   /// worker mid-request). New Submits during a drain are still accepted.
-  void Drain();
+  void Drain() KM_EXCLUDES(mu_);
 
   /// Graceful shutdown: stops admission (further Submits are rejected with
   /// kUnavailable), drains already-admitted requests, joins the workers.
   /// Idempotent.
-  void Shutdown();
+  void Shutdown() KM_EXCLUDES(mu_);
 
   /// One consistent counters snapshot.
-  ServerStats Stats() const;
+  ServerStats Stats() const KM_EXCLUDES(mu_);
 
-  OverloadState state() const;
+  OverloadState state() const KM_EXCLUDES(mu_);
 
   const AdmissionQueue& queue() const { return queue_; }
   const AimdLimiter& limiter() const { return limiter_; }
@@ -123,32 +135,36 @@ class EngineServer {
     std::promise<StatusOr<AnswerResult>> promise;
   };
 
-  void WorkerLoop();
-  /// Predicted queue wait for a new arrival: depth × EMA service time /
-  /// effective concurrency.
-  double EstimatedWaitMsLocked() const;
+  void WorkerLoop() KM_EXCLUDES(mu_);
+  /// Completes `request` with kDeadlineExceeded after it expired in the
+  /// queue (or while waiting on the concurrency limiter).
+  void ExpireRequest(Request* request, double waited_ms) KM_EXCLUDES(mu_);
+  /// PredictQueueWaitMs over the server's live queue/limiter/worker state.
+  double EstimatedWaitMsLocked() const KM_REQUIRES(mu_);
   /// Recomputes the overload state from queue depth, AIMD limit and recent
-  /// sheds; publishes transitions to the metrics registry. Caller holds mu_.
-  void RefreshStateLocked(double now_ms);
+  /// sheds; publishes transitions to the metrics registry.
+  void RefreshStateLocked(double now_ms) KM_REQUIRES(mu_);
 
   const KeymanticEngine& engine_;
   const EngineServerOptions options_;
-  AdmissionQueue queue_;
-  AimdLimiter limiter_;
+  AdmissionQueue queue_;   // internally synchronized
+  AimdLimiter limiter_;    // internally synchronized
 
-  mutable std::mutex mu_;
-  std::condition_variable drain_cv_;
-  uint64_t next_request_id_ = 1;
-  uint64_t submitted_ = 0;
-  uint64_t completed_ = 0;
-  uint64_t expired_in_queue_ = 0;
-  uint64_t outstanding_ = 0;   ///< admitted but not yet completed/expired
-  double ema_service_ms_ = 0;  ///< 0 until the first completion
-  double last_shed_ms_ = -1e300;
-  OverloadState state_ = OverloadState::kHealthy;
-  bool shutdown_called_ = false;
+  mutable Mutex mu_;
+  CondVar drain_cv_;
+  uint64_t next_request_id_ KM_GUARDED_BY(mu_) = 1;
+  uint64_t submitted_ KM_GUARDED_BY(mu_) = 0;
+  uint64_t completed_ KM_GUARDED_BY(mu_) = 0;
+  uint64_t expired_in_queue_ KM_GUARDED_BY(mu_) = 0;
+  /// Admitted but not yet completed/expired.
+  uint64_t outstanding_ KM_GUARDED_BY(mu_) = 0;
+  /// EMA of observed service time; 0 until the first completion.
+  double ema_service_ms_ KM_GUARDED_BY(mu_) = 0;
+  double last_shed_ms_ KM_GUARDED_BY(mu_) = -1e300;
+  OverloadState state_ KM_GUARDED_BY(mu_) = OverloadState::kHealthy;
+  bool shutdown_called_ KM_GUARDED_BY(mu_) = false;
 
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_;  // written once in the constructor
 };
 
 }  // namespace km

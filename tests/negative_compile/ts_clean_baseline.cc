@@ -1,0 +1,54 @@
+// MUST COMPILE CLEANLY under -Werror=thread-safety: exercises the whole
+// annotated surface (MutexLock scope, manual Lock/Unlock, CondVar wait
+// loop, KM_REQUIRES helper, KM_EXCLUDES entry point) with correct
+// discipline. If this file fails, the harness flags are broken — the
+// violation files' failures would then prove nothing.
+// See tests/negative_compile/README.md.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Queue {
+ public:
+  void Push(int value) KM_EXCLUDES(mu_) {
+    {
+      km::MutexLock lock(mu_);
+      pending_ = value;
+      has_pending_ = true;
+    }
+    cv_.NotifyOne();
+  }
+
+  int BlockingPop() KM_EXCLUDES(mu_) {
+    km::MutexLock lock(mu_);
+    while (!has_pending_) cv_.Wait(mu_);
+    has_pending_ = false;
+    return DrainLocked();
+  }
+
+  int TryPeek() KM_EXCLUDES(mu_) {
+    mu_.Lock();
+    int value = pending_;
+    mu_.Unlock();
+    return value;
+  }
+
+ private:
+  int DrainLocked() KM_REQUIRES(mu_) { return pending_; }
+
+  km::Mutex mu_;
+  km::CondVar cv_;
+  int pending_ KM_GUARDED_BY(mu_) = 0;
+  bool has_pending_ KM_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace
+
+int main() {
+  Queue queue;
+  queue.Push(7);
+  int popped = queue.BlockingPop();
+  return popped == 7 && queue.TryPeek() == 7 ? 0 : 1;
+}

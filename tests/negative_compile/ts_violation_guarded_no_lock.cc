@@ -1,0 +1,31 @@
+// EXPECTED TO FAIL under -Werror=thread-safety: touches a KM_GUARDED_BY
+// field without holding its mutex (both a write and a read).
+// See tests/negative_compile/README.md.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void UnguardedDeposit(int amount) {
+    balance_ += amount;  // error: writing balance_ requires holding mu_
+  }
+
+  int UnguardedRead() const {
+    return balance_;  // error: reading balance_ requires holding mu_
+  }
+
+ private:
+  mutable km::Mutex mu_;
+  int balance_ KM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.UnguardedDeposit(1);
+  return account.UnguardedRead();
+}

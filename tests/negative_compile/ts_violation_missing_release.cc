@@ -1,0 +1,26 @@
+// EXPECTED TO FAIL under -Werror=thread-safety: a manually acquired mutex
+// is still held when one path returns (missing Unlock()), so the lock's
+// acquire/release does not balance on every path.
+// See tests/negative_compile/README.md.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+km::Mutex g_mu;
+int g_value KM_GUARDED_BY(g_mu) = 0;
+
+int TakeAndMaybeLeak(bool leak) {
+  g_mu.Lock();
+  int snapshot = g_value;
+  if (leak) {
+    return snapshot;  // error: returning with g_mu held
+  }
+  g_mu.Unlock();
+  return snapshot;
+}
+
+}  // namespace
+
+int main(int argc, char**) { return TakeAndMaybeLeak(argc > 1); }

@@ -1,0 +1,36 @@
+// EXPECTED TO FAIL under -Werror=thread-safety: calls a KM_REQUIRES(mu)
+// function without holding mu — the same shape as calling a *Locked()
+// helper (e.g. CircuitBreaker::TransitionLocked) outside its critical
+// section. See tests/negative_compile/README.md.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Machine {
+ public:
+  void Step() {
+    AdvanceLocked();  // error: AdvanceLocked() requires holding mu_
+  }
+
+  void StepProperly() {
+    km::MutexLock lock(mu_);
+    AdvanceLocked();  // fine: mu_ is held
+  }
+
+ private:
+  void AdvanceLocked() KM_REQUIRES(mu_) { ++state_; }
+
+  km::Mutex mu_;
+  int state_ KM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Machine machine;
+  machine.Step();
+  machine.StepProperly();
+  return 0;
+}

@@ -210,6 +210,67 @@ TEST_F(CircuitBreakerTest, ClientErrorsAndBudgetExhaustionDoNotTrip) {
   EXPECT_EQ(breaker.trips(), 0u);
 }
 
+// Regression: a slow call admitted before a trip must not have its late
+// outcome charged to the half-open epoch. Before ticketed admission, such
+// a stale success could close the circuit (counting as a probe success)
+// and free a probe slot it never held, over-admitting probes.
+TEST_F(CircuitBreakerTest, StaleOutcomeFromDeadEpochIsIgnored) {
+  CircuitBreakerOptions options = TightOptions();
+  options.consecutive_failures = 1;
+  options.half_open_probes = 1;
+  options.close_after_successes = 1;
+  CircuitBreaker breaker("t5", options, Clock());
+
+  // A slow call is admitted while CLOSED and will finish much later.
+  auto slow_ticket = breaker.AdmitTicket();
+  ASSERT_TRUE(slow_ticket.ok());
+
+  // Meanwhile a failure trips the circuit.
+  auto failing_ticket = breaker.AdmitTicket();
+  ASSERT_TRUE(failing_ticket.ok());
+  breaker.RecordOutcome(*failing_ticket, Status::Internal("backend down"));
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+
+  // Cooldown elapses; the single half-open probe slot is taken.
+  now_ = 150.0;
+  auto probe_ticket = breaker.AdmitTicket();
+  ASSERT_TRUE(probe_ticket.ok());
+  ASSERT_EQ(breaker.state(), BreakerState::kHalfOpen);
+
+  // The slow pre-trip call finally succeeds. Its epoch is dead: the
+  // success must neither close the circuit nor free the probe slot.
+  breaker.RecordOutcome(*slow_ticket, Status::OK());
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_EQ(breaker.stale_outcomes(), 1u);
+  EXPECT_EQ(breaker.AdmitTicket().status().code(), StatusCode::kUnavailable)
+      << "stale success freed a probe slot it never held";
+
+  // The real probe's success still closes the circuit.
+  breaker.RecordOutcome(*probe_ticket, Status::OK());
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+// A gate implementing only the legacy Admit()/Record() pair still works
+// through the ticketed entry points the executor uses (default methods
+// delegate), so existing ExecutionGate implementations keep functioning.
+TEST(ExecutionGateTest, DefaultTicketedMethodsDelegateToLegacyPair) {
+  struct LegacyGate : ExecutionGate {
+    int admits = 0;
+    int records = 0;
+    Status Admit() override {
+      ++admits;
+      return Status::OK();
+    }
+    void Record(const Status&) override { ++records; }
+  };
+  LegacyGate gate;
+  auto ticket = gate.AdmitTicket();
+  ASSERT_TRUE(ticket.ok());
+  gate.RecordOutcome(*ticket, Status::OK());
+  EXPECT_EQ(gate.admits, 1);
+  EXPECT_EQ(gate.records, 1);
+}
+
 // -------------------------------------------------------- admission queue
 
 TEST(AdmissionQueueTest, ShedsWithRetryAfterWhenFull) {
@@ -335,6 +396,44 @@ TEST(AimdLimiterTest, TryAcquireRespectsTheLimit) {
   EXPECT_EQ(limiter.inflight(), 1u);
   limiter.Release(1.0);
   EXPECT_TRUE(limiter.TryAcquire());
+}
+
+// Regression: a request whose deadline expired while it waited on the
+// limiter never executed, so returning its slot must not feed the AIMD
+// controller a latency sample — a Release(0) there would read as a fast
+// completion and grow the limit on the strength of work never done.
+TEST(AimdLimiterTest, ReleaseWithoutSampleFreesSlotWithoutGrowingLimit) {
+  AimdOptions options;
+  options.initial_limit = 2.0;
+  options.max_limit = 8.0;
+  options.increase = 1.0;
+  AimdLimiter limiter(options);
+  limiter.Acquire();
+  const double before = limiter.limit();
+  limiter.ReleaseWithoutSample();
+  EXPECT_EQ(limiter.inflight(), 0u);
+  EXPECT_DOUBLE_EQ(limiter.limit(), before);
+  // Contrast: a sampled release under target grows the limit additively.
+  limiter.Acquire();
+  limiter.Release(0.0);
+  EXPECT_DOUBLE_EQ(limiter.limit(), before + options.increase);
+}
+
+// Regression: the wait prediction must divide by the concurrency that can
+// actually drain the queue. Dividing by the raw AIMD limit (64) with one
+// worker under-predicted the wait 64×, admitting requests that could only
+// expire in the queue — the opposite of the shed-at-the-door design.
+TEST(PredictQueueWaitTest, EffectiveConcurrencyIsLimitCappedByWorkers) {
+  // 8 queued × 10ms each, one worker: 80ms, regardless of a huge limit.
+  EXPECT_DOUBLE_EQ(PredictQueueWaitMs(8, 10.0, 64.0, 1), 80.0);
+  // Four workers drain four at a time.
+  EXPECT_DOUBLE_EQ(PredictQueueWaitMs(8, 10.0, 64.0, 4), 20.0);
+  // A depressed limit below the worker count is the binding constraint.
+  EXPECT_DOUBLE_EQ(PredictQueueWaitMs(8, 10.0, 2.0, 4), 40.0);
+  // Degenerate inputs stay sane: a zero limit still divides by ≥ 1.
+  EXPECT_DOUBLE_EQ(PredictQueueWaitMs(8, 10.0, 0.0, 4), 80.0);
+  // Uncalibrated (no completion yet): admit optimistically.
+  EXPECT_DOUBLE_EQ(PredictQueueWaitMs(8, 0.0, 64.0, 1), 0.0);
 }
 
 // ----------------------------------------------------------- engine server

@@ -12,13 +12,23 @@
 #                   admission control sheds under 2x saturation and the
 #                   executor circuit breaker trips, fails fast, and
 #                   recovers, all under the leak/UB checker (~30s)
-#   7. lint       — clang-tidy over src/ (skips cleanly when not installed)
+#   7. lint       — clang-tidy over src/, bench/ and examples/ (skips
+#                   cleanly when not installed)
 #   8. coverage   — gcc --coverage build + full suite, gates src/common and
 #                   src/core on 80% line coverage (gcovr when installed,
 #                   tools/coverage_gate.py over raw gcov otherwise) and
 #                   writes the coverage-html/ artifact
+#   9. kmlint     — tools/km_lint.py project-rule linter (lock discipline,
+#                   checkpointed loops, failpoint/metric naming); writes
+#                   the km-lint-report.txt artifact. Pure Python, runs
+#                   everywhere.
+#  10. threadsafety — clang build with -Werror=thread-safety
+#                   (KM_THREAD_SAFETY=ON) + full suite, then the
+#                   negative-compilation harness (tools/negative_compile.sh)
+#                   proving the annotations reject seeded violations.
+#                   Skips cleanly when clang is not installed.
 #
-# Usage: tools/ci.sh [release|sanitize|tsan|failpoints|bench|soak|lint|coverage]...
+# Usage: tools/ci.sh [release|sanitize|tsan|failpoints|bench|soak|lint|coverage|kmlint|threadsafety]...
 # (default: all)
 
 set -euo pipefail
@@ -26,7 +36,8 @@ cd "$(dirname "$0")/.."
 
 JOBS=("$@")
 if [[ ${#JOBS[@]} -eq 0 ]]; then
-  JOBS=(release sanitize tsan failpoints bench soak lint coverage)
+  JOBS=(release sanitize tsan failpoints bench soak lint coverage kmlint
+        threadsafety)
 fi
 
 run_release() {
@@ -54,7 +65,7 @@ run_tsan() {
   # (admission queue, AIMD limiter, EngineServer, breaker, retry budget)
   # hammer the new overload-protection layer from raw threads.
   ctest --preset tsan -j "$(nproc)" \
-    -R "ThreadPool|LruCache|Concurrency|EngineConcurrency|Murty|Core|TraceGolden|Admission|Aimd|EngineServer|Retry|CircuitBreaker"
+    -R "ThreadPool|LruCache|Concurrency|EngineConcurrency|Murty|Core|TraceGolden|Admission|Aimd|EngineServer|Retry|CircuitBreaker|Mutex|CondVar"
 }
 
 run_bench() {
@@ -97,6 +108,24 @@ run_lint() {
   tools/lint.sh
 }
 
+run_kmlint() {
+  echo "=== CI job: kmlint (project-rule linter) ==="
+  python3 tools/km_lint.py --report km-lint-report.txt
+}
+
+run_threadsafety() {
+  echo "=== CI job: threadsafety (clang -Werror=thread-safety) ==="
+  if ! command -v clang++ > /dev/null 2>&1; then
+    echo "threadsafety: clang++ not found; skipping the annotated build" \
+         "(install clang to enable — the macros are inert under GCC)"
+  else
+    cmake --preset thread-safety
+    cmake --build --preset thread-safety -j "$(nproc)"
+    ctest --preset thread-safety -j "$(nproc)"
+  fi
+  tools/negative_compile.sh
+}
+
 run_coverage() {
   echo "=== CI job: coverage (gcov, 80% line gate on src/common + src/core) ==="
   cmake --preset coverage
@@ -128,7 +157,9 @@ for job in "${JOBS[@]}"; do
     soak)       run_soak ;;
     lint)       run_lint ;;
     coverage)   run_coverage ;;
-    *) echo "unknown CI job: ${job} (expected release|sanitize|tsan|failpoints|bench|soak|lint|coverage)" >&2
+    kmlint)     run_kmlint ;;
+    threadsafety) run_threadsafety ;;
+    *) echo "unknown CI job: ${job} (expected release|sanitize|tsan|failpoints|bench|soak|lint|coverage|kmlint|threadsafety)" >&2
        exit 2 ;;
   esac
 done

@@ -1,0 +1,397 @@
+#!/usr/bin/env python3
+"""Project-rule linter for invariants the compiler cannot see.
+
+Checks, lexically (no compiler needed, works on any toolchain):
+
+  R1  No raw standard-library synchronization (std::mutex, std::lock_guard,
+      std::condition_variable, ...) outside src/common/mutex.h. Everything
+      locks through km::Mutex/MutexLock/CondVar so Clang Thread Safety
+      Analysis sees every critical section (see common/mutex.h).
+  R2  No km::MutexLock held across ThreadPool::ParallelFor or Run():
+      a task scheduled from inside a critical section that then needs the
+      same lock deadlocks the pool.
+  R3  Unbounded loops (while / do-while / for(;;)) in src/core and
+      src/matching poll QueryContext::CheckPoint, or carry an explicit
+      `// km-lint: bounded` marker stating why they terminate — keyword
+      queries must stay responsive to deadlines and cancellation inside
+      the combinatorial stages.
+  R4  Failpoint names follow `<stage>.<component>.<fault>` and are declared
+      in the kFailpointSites catalog (common/failpoint.cc).
+  R5  Metric names passed to MetricsRegistry / MetricsSnapshot are
+      registered in common/metric_names.h (full name or declared prefix).
+
+Usage:
+  tools/km_lint.py [--root DIR] [--report FILE]
+
+Exits 0 with no findings, 1 when any rule fires, 2 on internal errors.
+Output format: path:line: R<n>: message
+"""
+
+import argparse
+import os
+import re
+import sys
+
+CODE_SUFFIXES = (".h", ".cc", ".cpp")
+
+# R1: token → why it is banned outside common/mutex.h.
+RAW_SYNC_TOKENS = [
+    "std::mutex",
+    "std::timed_mutex",
+    "std::recursive_mutex",
+    "std::recursive_timed_mutex",
+    "std::shared_mutex",
+    "std::shared_timed_mutex",
+    "std::lock_guard",
+    "std::unique_lock",
+    "std::scoped_lock",
+    "std::shared_lock",
+    "std::condition_variable",
+    "std::condition_variable_any",
+]
+
+FAILPOINT_NAME_RE = re.compile(
+    r"^[a-z][a-z0-9_]*\.[a-z][a-z0-9_]*\.[a-z][a-z0-9_]*$")
+
+BOUNDED_MARKER = "km-lint: bounded"
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+def strip_comments(text, keep_strings):
+    """Blanks comments (and optionally string/char literals) while keeping
+    the line structure, so findings can report real line numbers."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append('"' if keep_strings else " ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state == "string":
+            if c == "\\":
+                out.append("\\" + nxt if keep_strings else "  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "code"
+            out.append(c if (keep_strings or c == "\n") else " ")
+        elif state == "char":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == "'":
+                state = "code"
+            out.append(c if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+def iter_files(root, subdirs):
+    for sub in subdirs:
+        base = os.path.join(root, sub)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _, files in os.walk(base):
+            for name in sorted(files):
+                if name.endswith(CODE_SUFFIXES):
+                    yield os.path.join(dirpath, name)
+
+
+def relpath(root, path):
+    return os.path.relpath(path, root)
+
+
+# ----------------------------------------------------------------- rule R1
+
+def check_raw_sync(root, findings):
+    for path in iter_files(root, ["src", "bench", "examples", "tests"]):
+        rel = relpath(root, path)
+        if rel == os.path.join("src", "common", "mutex.h"):
+            continue
+        code = strip_comments(open(path).read(), keep_strings=False)
+        for token in RAW_SYNC_TOKENS:
+            for m in re.finditer(re.escape(token) + r"\b", code):
+                findings.append(Finding(
+                    rel, line_of(code, m.start()), "R1",
+                    f"raw {token} — use km::Mutex/MutexLock/CondVar from "
+                    "common/mutex.h so thread-safety analysis sees the "
+                    "critical section"))
+
+
+# ----------------------------------------------------------------- rule R2
+
+LOCK_DECL_RE = re.compile(r"\bMutexLock\s+\w+\s*[({]")
+POOL_CALL_RE = re.compile(r"\bParallelFor\s*\(|(?:\.|->)Run\s*\(")
+
+
+def check_lock_across_pool(root, findings):
+    for path in iter_files(root, ["src", "bench", "examples", "tests"]):
+        rel = relpath(root, path)
+        code = strip_comments(open(path).read(), keep_strings=False)
+        # One pass tracking brace depth; a MutexLock is live from its
+        # declaration until its scope's closing brace.
+        events = []  # (offset, kind, payload)
+        for m in re.finditer(r"[{}]", code):
+            events.append((m.start(), code[m.start()]))
+        for m in LOCK_DECL_RE.finditer(code):
+            events.append((m.start(), "lock"))
+        for m in POOL_CALL_RE.finditer(code):
+            events.append((m.start(), "pool"))
+        events.sort(key=lambda e: e[0])
+        depth = 0
+        live_locks = []  # depths at which a MutexLock was declared
+        for offset, kind in events:
+            if kind == "{":
+                depth += 1
+            elif kind == "}":
+                depth -= 1
+                while live_locks and live_locks[-1] > depth:
+                    live_locks.pop()
+            elif kind == "lock":
+                live_locks.append(depth)
+            elif kind == "pool" and live_locks:
+                findings.append(Finding(
+                    rel, line_of(code, offset), "R2",
+                    "ThreadPool::ParallelFor/Run called while a MutexLock "
+                    "is held — a pool task needing the same lock deadlocks; "
+                    "release the lock before scheduling work"))
+
+
+# ----------------------------------------------------------------- rule R3
+
+LOOP_RE = re.compile(
+    r"(?P<do>\bdo\s*\{)|(?P<forever>\bfor\s*\(\s*;\s*;\s*\))|"
+    r"(?P<while>(?<![}])\s\bwhile\s*\()")
+
+
+def find_matching_brace(code, open_idx):
+    depth = 0
+    for i in range(open_idx, len(code)):
+        if code[i] == "{":
+            depth += 1
+        elif code[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(code) - 1
+
+
+def check_checkpoint_loops(root, findings):
+    for path in iter_files(root, ["src/core", "src/matching"]):
+        if not path.endswith((".cc", ".cpp")):
+            continue
+        rel = relpath(root, path)
+        raw = open(path).read()
+        raw_lines = raw.splitlines()
+        code = strip_comments(raw, keep_strings=False)
+        for m in LOOP_RE.finditer(code):
+            start = m.start()
+            line = line_of(code, start)
+            # `} while (...)` tails of do-while loops are not loop heads.
+            if m.lastgroup == "while":
+                prefix = code[:m.start()].rstrip()
+                if prefix.endswith("}"):
+                    continue
+            # An explicit bounded marker on the loop line or in the up-to-
+            # three lines above (a short comment block) acknowledges the
+            # loop terminates without polling.
+            context = raw_lines[max(0, line - 4):line]
+            if any(BOUNDED_MARKER in l for l in context):
+                continue
+            open_idx = code.find("{", start)
+            if open_idx == -1:
+                body = code[start:start + 400]
+            else:
+                body = code[open_idx:find_matching_brace(code, open_idx) + 1]
+            if "CheckPoint" in body:
+                continue
+            findings.append(Finding(
+                rel, line, "R3",
+                "unbounded loop without QueryContext::CheckPoint — poll the "
+                "context so deadlines/cancellation reach this stage, or mark "
+                f"the loop `// {BOUNDED_MARKER}: <why it terminates>`"))
+
+
+# ----------------------------------------------------------------- rule R4
+
+FAILPOINT_USE_RE = re.compile(
+    r"\bKM_FAILPOINT(?:_CTX|_VISIT)?\s*\(\s*\"([^\"]*)\"")
+FAILPOINT_ENABLE_RE = re.compile(
+    r"\b(?:Enable|EnableError|EnableExpire|EnableCallback|Disable|HitCount)"
+    r"\s*\(\s*\"([^\"]*)\"")
+
+
+def parse_failpoint_catalog(root):
+    path = os.path.join(root, "src", "common", "failpoint.cc")
+    if not os.path.isfile(path):
+        return None
+    code = strip_comments(open(path).read(), keep_strings=True)
+    m = re.search(r"kFailpointSites\[\]\s*=\s*\{(.*?)\};", code, re.S)
+    if not m:
+        return None
+    return set(re.findall(r"\"([^\"]*)\"", m.group(1)))
+
+
+def check_failpoint_names(root, findings):
+    catalog = parse_failpoint_catalog(root)
+    for path in iter_files(root, ["src"]):
+        rel = relpath(root, path)
+        code = strip_comments(open(path).read(), keep_strings=True)
+        for m in FAILPOINT_USE_RE.finditer(code):
+            name = m.group(1)
+            line = line_of(code, m.start())
+            if not FAILPOINT_NAME_RE.match(name):
+                findings.append(Finding(
+                    rel, line, "R4",
+                    f"failpoint name '{name}' does not match "
+                    "<stage>.<component>.<fault>"))
+            elif catalog is not None and name not in catalog:
+                findings.append(Finding(
+                    rel, line, "R4",
+                    f"failpoint '{name}' is not declared in kFailpointSites "
+                    "(common/failpoint.cc) — the resilience suite iterates "
+                    "that catalog"))
+    if catalog is not None:
+        for name in sorted(catalog):
+            if not FAILPOINT_NAME_RE.match(name):
+                findings.append(Finding(
+                    os.path.join("src", "common", "failpoint.cc"), 1, "R4",
+                    f"cataloged failpoint '{name}' does not match "
+                    "<stage>.<component>.<fault>"))
+
+
+# ----------------------------------------------------------------- rule R5
+
+METRIC_CALL_RE = re.compile(
+    r"\b(?:CounterRef|GaugeRef|HistogramRef|AddCounter|AddGauge)\s*\(\s*"
+    r"(?:std::string\s*\(\s*)?\"([^\"]*)\"")
+
+
+def parse_metric_catalog(root):
+    path = os.path.join(root, "src", "common", "metric_names.h")
+    if not os.path.isfile(path):
+        return None, None
+    code = strip_comments(open(path).read(), keep_strings=True)
+    names_m = re.search(r"kMetricNames\[\]\s*=\s*\{(.*?)\};", code, re.S)
+    prefixes_m = re.search(r"kMetricNamePrefixes\[\]\s*=\s*\{(.*?)\};",
+                           code, re.S)
+    names = set(re.findall(r"\"([^\"]*)\"", names_m.group(1))) if names_m else set()
+    prefixes = (set(re.findall(r"\"([^\"]*)\"", prefixes_m.group(1)))
+                if prefixes_m else set())
+    return names, prefixes
+
+
+def check_metric_names(root, findings):
+    names, prefixes = parse_metric_catalog(root)
+    if names is None:
+        findings.append(Finding(
+            os.path.join("src", "common", "metric_names.h"), 1, "R5",
+            "metric catalog missing — metric names must be registered in "
+            "common/metric_names.h"))
+        return
+    for path in iter_files(root, ["src"]):
+        rel = relpath(root, path)
+        if rel == os.path.join("src", "common", "metric_names.h"):
+            continue
+        code = strip_comments(open(path).read(), keep_strings=True)
+        for m in METRIC_CALL_RE.finditer(code):
+            literal = m.group(1)
+            if not literal.startswith("km."):
+                continue  # non-km names (tests, examples) are out of scope
+            line = line_of(code, m.start())
+            if literal in names or literal in prefixes:
+                continue
+            # A trailing-dot literal is a composition stem ("km.serve." +
+            # what); accept it when every registered expansion exists.
+            if literal.endswith(".") and any(
+                    full.startswith(literal) for full in names):
+                continue
+            findings.append(Finding(
+                rel, line, "R5",
+                f"metric '{literal}' is not registered in "
+                "common/metric_names.h (kMetricNames/kMetricNamePrefixes)"))
+
+
+# ------------------------------------------------------------------- main
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: parent of tools/)")
+    parser.add_argument("--report", default=None,
+                        help="also write findings to this file")
+    args = parser.parse_args(argv)
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+
+    findings = []
+    check_raw_sync(root, findings)
+    check_lock_across_pool(root, findings)
+    check_checkpoint_loops(root, findings)
+    check_failpoint_names(root, findings)
+    check_metric_names(root, findings)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    lines = [str(f) for f in findings]
+    summary = (f"km_lint: {len(findings)} violation(s)"
+               if findings else "km_lint: clean")
+    output = "\n".join(lines + [summary])
+    print(output)
+    if args.report:
+        with open(args.report, "w") as fh:
+            fh.write(output + "\n")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# clang-tidy driver: lints every .cc under src/ with the repo's .clang-tidy.
+# clang-tidy driver: lints every .cc/.cpp under src/, bench/ and examples/
+# with the repo's .clang-tidy (per-directory configs under src/common and
+# src/serve tighten it further via InheritParentConfig).
 #
 # Usage: tools/lint.sh [build-dir]
 #
@@ -37,7 +39,7 @@ if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
   cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
 fi
 
-mapfile -t SOURCES < <(find src -name '*.cc' | sort)
+mapfile -t SOURCES < <(find src bench examples \( -name '*.cc' -o -name '*.cpp' \) | sort)
 echo "lint: ${TIDY} over ${#SOURCES[@]} files (config: .clang-tidy)"
 
 STATUS=0

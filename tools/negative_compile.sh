@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Negative-compilation harness for the thread-safety annotations.
+#
+# Compiles each tests/negative_compile/ts_violation_*.cc under
+# `clang++ -Wthread-safety -Werror=thread-safety` and asserts the compile
+# FAILS with a thread-safety diagnostic; ts_clean_baseline.cc must compile
+# cleanly (proving the flags don't reject everything). Together these pin
+# that the KM_* macros in common/thread_annotations.h actually reach the
+# compiler — a refactor that silently neuters them breaks this harness,
+# not production.
+#
+# Usage: tools/negative_compile.sh
+#
+# Exits 0 when clang++ is unavailable: GCC has no thread-safety analysis
+# (the macros expand to nothing there), so the harness degrades to a skip
+# on GCC-only machines — the same policy as tools/lint.sh. CI installs
+# clang explicitly and always runs the real harness.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLANGXX="${CLANGXX:-}"
+if [[ -z "${CLANGXX}" ]]; then
+  for candidate in clang++ clang++-19 clang++-18 clang++-17 clang++-16 \
+                   clang++-15 clang++-14; do
+    if command -v "${candidate}" > /dev/null 2>&1; then
+      CLANGXX="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${CLANGXX}" ]]; then
+  echo "negative_compile: clang++ not found; skipping (GCC has no" \
+       "thread-safety analysis — install clang or set CLANGXX to enable)"
+  exit 0
+fi
+
+FLAGS=(-std=c++20 -fsyntax-only -Isrc -Wthread-safety -Werror=thread-safety)
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "${WORKDIR}"' EXIT
+
+echo "negative_compile: ${CLANGXX} ${FLAGS[*]}"
+
+caught=0
+status=0
+
+# The baseline must compile cleanly; otherwise the failures below would
+# prove nothing (the flags might reject correct code too).
+baseline="tests/negative_compile/ts_clean_baseline.cc"
+if "${CLANGXX}" "${FLAGS[@]}" "${baseline}" 2> "${WORKDIR}/baseline.err"; then
+  echo "  PASS  ${baseline} (clean code accepted)"
+else
+  echo "  FAIL  ${baseline} should compile cleanly but did not:"
+  sed 's/^/        /' "${WORKDIR}/baseline.err"
+  status=1
+fi
+
+for src in tests/negative_compile/ts_violation_*.cc; do
+  if "${CLANGXX}" "${FLAGS[@]}" "${src}" 2> "${WORKDIR}/err"; then
+    echo "  FAIL  ${src} compiled but must be rejected (annotations inert?)"
+    status=1
+  elif grep -q "thread-safety" "${WORKDIR}/err"; then
+    echo "  PASS  ${src} (rejected with a thread-safety diagnostic)"
+    caught=$((caught + 1))
+  else
+    echo "  FAIL  ${src} failed for a non-thread-safety reason:"
+    sed 's/^/        /' "${WORKDIR}/err"
+    status=1
+  fi
+done
+
+# The ISSUE acceptance floor: the harness must demonstrate at least two
+# distinct seeded violations being caught.
+if [[ ${caught} -lt 2 ]]; then
+  echo "negative_compile: only ${caught} violation(s) caught (need >= 2)"
+  status=1
+fi
+
+if [[ ${status} -eq 0 ]]; then
+  echo "negative_compile: OK (${caught} seeded violations caught)"
+else
+  echo "negative_compile: FAILED"
+fi
+exit ${status}

@@ -1,0 +1,215 @@
+// E13 — cold-start time: building prepared state from the instance vs
+// loading it from a checksummed snapshot (src/snapshot/).
+//
+// For each database (mondial, the complex-schema evaluation set, plus
+// scaling.cc-generated schemas of growing terminology size):
+//
+//   1. build  — PreparedState::Build from the live instance (metadata
+//      extraction, MI weighting, value indexing, phrase vocabulary);
+//   2. save   — SaveSnapshot (crash-safe write path), recording file size;
+//   3. load   — LoadSnapshot (mmap, checksum validation, decode, verified
+//      re-assembly), repeated a few times for a stable median.
+//
+// Reported per database: build_ms, load_ms, speedup, snapshot bytes, and
+// the RSS delta of each path (VmRSS from /proc/self/status). Checks: the
+// load path must produce prepared state that re-saves byte-identically
+// (bit-exact round trip) and must not be slower than the build path on
+// any non-trivial schema.
+//
+// Output: `BENCH {"bench":"e13",...}` lines for the CI bench baseline and
+// explicit CHECK lines; violated checks exit non-zero.
+//
+// Flags: --smoke (CI-sized), --deadline_ms / --trace (accepted for
+// uniformity with the other harnesses, unused).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/prepared_state.h"
+#include "datasets/scaling.h"
+#include "snapshot/snapshot.h"
+
+namespace {
+
+using namespace km;
+using namespace km::bench;
+
+bool g_smoke = false;
+int g_failed_checks = 0;
+
+void BenchLine(const std::string& experiment, const std::string& db,
+               const std::string& fields) {
+  std::printf("BENCH {\"bench\":\"e13\",\"experiment\":\"%s\",\"db\":\"%s\",%s}\n",
+              experiment.c_str(), db.c_str(), fields.c_str());
+}
+
+void Check(bool ok, const std::string& what) {
+  std::printf("CHECK %s: %s\n", ok ? "ok" : "VIOLATED", what.c_str());
+  if (!ok) ++g_failed_checks;
+}
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Resident set size in KiB (VmRSS from /proc/self/status); 0 when the
+/// proc file is unavailable (non-Linux).
+long RssKb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      return std::atol(line.c_str() + 6);
+    }
+  }
+  return 0;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+struct ColdStartRow {
+  double build_ms = 0;
+  double save_ms = 0;
+  double load_ms = 0;
+  size_t snapshot_bytes = 0;
+  long build_rss_delta_kb = 0;
+  long load_rss_delta_kb = 0;
+  bool round_trip_exact = false;
+};
+
+ColdStartRow MeasureColdStart(const Database& db, const std::string& name) {
+  ColdStartRow row;
+  const std::string path = "/tmp/km_e13_" + name + ".snap";
+
+  const long rss_before_build = RssKb();
+  const double t_build = NowMs();
+  auto built = PreparedState::Build(db, PrepareOptions{});
+  row.build_ms = NowMs() - t_build;
+  row.build_rss_delta_kb = RssKb() - rss_before_build;
+
+  const double t_save = NowMs();
+  Status saved = SaveSnapshot(*built, path);
+  row.save_ms = NowMs() - t_save;
+  if (!saved.ok()) {
+    std::fprintf(stderr, "save failed for %s: %s\n", name.c_str(),
+                 saved.ToString().c_str());
+    ++g_failed_checks;
+    return row;
+  }
+  const std::string bytes = ReadFileBytes(path);
+  row.snapshot_bytes = bytes.size();
+
+  // Median of several loads: the load path is fast enough that one sample
+  // is noise-dominated.
+  const int load_reps = g_smoke ? 3 : 7;
+  std::vector<double> load_samples;
+  std::shared_ptr<const PreparedState> loaded_state;
+  const long rss_before_load = RssKb();
+  for (int i = 0; i < load_reps; ++i) {
+    const double t_load = NowMs();
+    auto loaded = LoadSnapshot(path);
+    load_samples.push_back(NowMs() - t_load);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load failed for %s: %s\n", name.c_str(),
+                   loaded.status().ToString().c_str());
+      ++g_failed_checks;
+      return row;
+    }
+    loaded_state = *loaded;
+  }
+  row.load_rss_delta_kb = RssKb() - rss_before_load;
+  std::sort(load_samples.begin(), load_samples.end());
+  row.load_ms = load_samples[load_samples.size() / 2];
+
+  // Bit-exact round trip: re-saving the loaded state reproduces the file.
+  const std::string resave = path + ".resave";
+  if (SaveSnapshot(*loaded_state, resave).ok()) {
+    row.round_trip_exact = ReadFileBytes(resave) == bytes;
+  }
+  std::remove(resave.c_str());
+  std::remove(path.c_str());
+  return row;
+}
+
+void ReportRow(const std::string& db_name, const ColdStartRow& row,
+               size_t terminology_size) {
+  std::printf(
+      "  %-14s |T(D)|=%5zu  build %8.1f ms  load %7.2f ms  (%5.1fx)  "
+      "%8zu bytes  rss build/load %6ld/%6ld KiB\n",
+      db_name.c_str(), terminology_size, row.build_ms, row.load_ms,
+      row.load_ms > 0 ? row.build_ms / row.load_ms : 0.0, row.snapshot_bytes,
+      row.build_rss_delta_kb, row.load_rss_delta_kb);
+  char fields[512];
+  std::snprintf(fields, sizeof(fields),
+                "\"terminology\":%zu,\"build_ms\":%.2f,\"save_ms\":%.2f,"
+                "\"load_ms\":%.3f,\"speedup\":%.2f,\"snapshot_bytes\":%zu,"
+                "\"build_rss_kb\":%ld,\"load_rss_kb\":%ld",
+                terminology_size, row.build_ms, row.save_ms, row.load_ms,
+                row.load_ms > 0 ? row.build_ms / row.load_ms : 0.0,
+                row.snapshot_bytes, row.build_rss_delta_kb,
+                row.load_rss_delta_kb);
+  BenchLine("coldstart", db_name, fields);
+  Check(row.round_trip_exact, db_name + ": save->load->save is byte-identical");
+  // 1.25x tolerance: on the synthetic scaling schemas the verified
+  // re-assembly dominates the load path and both sides land within ~10% of
+  // each other, so a strict inequality would be noise-flaky on shared CI.
+  Check(row.load_ms <= row.build_ms * 1.25,
+        db_name + ": snapshot load is not materially slower than a full build");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) g_smoke = true;
+  }
+  ParseBenchFlags(&argc, argv);
+  Banner("E13", "cold start: instance build vs checksummed snapshot load");
+
+  {
+    EvalDb mondial = MakeMondial();
+    ColdStartRow row = MeasureColdStart(*mondial.db, "mondial");
+    ReportRow("mondial", row, mondial.db->schema().TerminologySize());
+  }
+
+  // Schema scaling: cold-start advantage as |T(D)| grows.
+  const std::vector<size_t> relation_counts =
+      g_smoke ? std::vector<size_t>{20, 60} : std::vector<size_t>{20, 60, 160};
+  for (size_t relations : relation_counts) {
+    ScalingOptions opts;
+    opts.num_relations = relations;
+    opts.attributes_per_relation = 6;
+    auto db = BuildScalingDatabase(opts);
+    if (!db.ok()) {
+      std::fprintf(stderr, "scaling build failed: %s\n",
+                   db.status().ToString().c_str());
+      return 1;
+    }
+    const std::string name = "scaling_r" + std::to_string(relations);
+    ColdStartRow row = MeasureColdStart(*db, name);
+    ReportRow(name, row, db->schema().TerminologySize());
+  }
+
+  if (g_failed_checks > 0) {
+    std::printf("\n%d check(s) VIOLATED\n", g_failed_checks);
+    return 1;
+  }
+  std::printf("\nall checks ok\n");
+  return 0;
+}

@@ -5,7 +5,15 @@
 //                                  [--explain] [--trace-json=FILE]
 //                                  [--timeout_ms=N] [--retries=N]
 //                                  [--max_inflight=N]
+//                                  [--save_snapshot=FILE] [--load_snapshot=FILE]
 //                                  ["one-shot query"]
+//
+// Snapshot flags (src/snapshot/): --save_snapshot serializes the prepared
+// engine state (crash-safely) after startup; --load_snapshot cold-starts
+// from a snapshot instead of scanning the instance — the shell prints the
+// cold-start time either way, so the speedup is directly visible. Answers
+// are bit-identical between the two paths (the snapshot tests prove it;
+// `--explain` output of a one-shot query is a quick manual check).
 //
 // The serving flags route queries through the overload-protected
 // EngineServer (src/serve/) instead of calling the engine directly:
@@ -54,6 +62,7 @@
 #include "core/keymantic.h"
 #include "serve/circuit_breaker.h"
 #include "serve/engine_server.h"
+#include "snapshot/snapshot.h"
 #include "datasets/dblp.h"
 #include "datasets/imdb.h"
 #include "datasets/mondial.h"
@@ -104,9 +113,15 @@ int main(int argc, char** argv) {
   double timeout_ms = 0;
   int retries = 0;
   size_t max_inflight = 0;
+  std::string save_snapshot_path;
+  std::string load_snapshot_path;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--db=", 0) == 0) db_name = arg.substr(5);
+    else if (arg.rfind("--save_snapshot=", 0) == 0)
+      save_snapshot_path = arg.substr(16);
+    else if (arg.rfind("--load_snapshot=", 0) == 0)
+      load_snapshot_path = arg.substr(16);
     else if (arg == "--metadata-only") metadata_only = true;
     else if (arg == "--explain") explain = true;
     else if (arg.rfind("--trace-json=", 0) == 0) trace_json_path = arg.substr(13);
@@ -156,16 +171,76 @@ int main(int argc, char** argv) {
   RetryPolicy retry_policy(retry_options);
   uint64_t request_counter = 0;
 
+  // With --load_snapshot the prepared state comes off disk; every engine
+  // (re)build then assembles around it instead of rescanning the instance.
+  std::shared_ptr<const PreparedState> loaded_state;
+  if (!load_snapshot_path.empty()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto loaded = LoadSnapshot(load_snapshot_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "snapshot load failed: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    loaded_state = *loaded;
+    const double load_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    std::printf("snapshot %s loaded in %.1f ms\n", load_snapshot_path.c_str(),
+                load_ms);
+  }
+
   std::unique_ptr<KeymanticEngine> engine;
   std::unique_ptr<EngineServer> server;
   // (Re)builds the engine — and, in serve mode, the server wrapping it.
   // The old server must go first: its workers reference the old engine.
   auto rebuild = [&](const EngineOptions& opts) {
     server.reset();
-    engine = std::make_unique<KeymanticEngine>(*db, opts);
+    if (loaded_state != nullptr) {
+      auto assembled = KeymanticEngine::FromPreparedState(*db, loaded_state, opts);
+      if (assembled.ok()) {
+        engine = std::move(*assembled);
+      } else {
+        std::fprintf(stderr,
+                     "snapshot state incompatible with these options (%s); "
+                     "rebuilding from the instance\n",
+                     assembled.status().ToString().c_str());
+        engine = std::make_unique<KeymanticEngine>(*db, opts);
+      }
+    } else {
+      engine = std::make_unique<KeymanticEngine>(*db, opts);
+    }
     if (serve_mode) server = std::make_unique<EngineServer>(*engine, server_options);
   };
-  rebuild(base_options);
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    rebuild(base_options);
+    const double cold_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    std::printf("cold start: %.1f ms (%s)\n", cold_ms,
+                loaded_state != nullptr ? "assembled from snapshot"
+                                        : "full build from instance");
+  }
+
+  if (!save_snapshot_path.empty()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    Status saved =
+        SaveSnapshot(*engine->prepared_state(), save_snapshot_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "snapshot save failed: %s\n",
+                   saved.ToString().c_str());
+      return 1;
+    }
+    const double save_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    std::printf("snapshot saved to %s in %.1f ms\n", save_snapshot_path.c_str(),
+                save_ms);
+  }
 
   // Answers through the serving layer when enabled: deadline from submit,
   // budgeted backoff on shed/unavailable answers.

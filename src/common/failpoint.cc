@@ -20,6 +20,10 @@ const char* const kFailpointSites[] = {
     "backward.summary.fail",         // summary-graph search failure
     "engine.translate.fail",         // SQL translation failure
     "executor.join.fail",            // join-loop failure in the executor
+    "snapshot.write.crash_before_rename",  // crash after fsync, before publish
+    "snapshot.load.short_read",      // torn write / partial read of snapshot
+    "snapshot.load.bit_flip",        // payload corruption → CRC mismatch
+    "snapshot.swap.validate_fail",   // hot-swap validation gate failure
 };
 const size_t kNumFailpointSites =
     sizeof(kFailpointSites) / sizeof(kFailpointSites[0]);

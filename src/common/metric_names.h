@@ -70,6 +70,24 @@ inline constexpr const char* kMetricNames[] = {
     "km.serve.latency_ms",
     "km.serve.queue.depth",
     "km.serve.aimd_limit",
+    "km.serve.refused",
+
+    // Snapshot save/load (snapshot/snapshot_writer.cc, snapshot_loader.cc).
+    "km.snapshot.save.total",
+    "km.snapshot.save.failures",
+    "km.snapshot.save.bytes",
+    "km.snapshot.load.total",
+    "km.snapshot.load.failures",
+    "km.snapshot.load.failures.truncated",
+    "km.snapshot.load.failures.checksum_mismatch",
+    "km.snapshot.load.failures.version_skew",
+
+    // Snapshot hot-swap ladder (serve/engine_server.cc ReloadSnapshot).
+    "km.snapshot.reload.attempts",
+    "km.snapshot.reload.swaps",
+    "km.snapshot.reload.kept_current",
+    "km.snapshot.reload.rebuilds",
+    "km.snapshot.reload.refusals",
 };
 
 /// Prefixes of metric families whose full names are composed at runtime.

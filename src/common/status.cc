@@ -30,6 +30,12 @@ const char* StatusCodeName(StatusCode code) {
       return "Overloaded";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kSnapshotTruncated:
+      return "SnapshotTruncated";
+    case StatusCode::kSnapshotChecksumMismatch:
+      return "SnapshotChecksumMismatch";
+    case StatusCode::kSnapshotVersionSkew:
+      return "SnapshotVersionSkew";
   }
   return "Unknown";
 }

@@ -30,6 +30,9 @@ enum class StatusCode {
   kCancelled = 10,        ///< Cooperatively cancelled by the caller.
   kOverloaded = 11,       ///< Shed by admission control; retry after backoff.
   kUnavailable = 12,      ///< Backend unreachable (e.g. circuit breaker open).
+  kSnapshotTruncated = 13,        ///< Snapshot file shorter than it claims.
+  kSnapshotChecksumMismatch = 14, ///< Snapshot section failed its CRC.
+  kSnapshotVersionSkew = 15,      ///< Snapshot format/content incompatible.
 };
 
 /// Human-readable name of a status code ("OK", "InvalidArgument", ...).
@@ -88,6 +91,15 @@ class [[nodiscard]] Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status SnapshotTruncated(std::string msg) {
+    return Status(StatusCode::kSnapshotTruncated, std::move(msg));
+  }
+  static Status SnapshotChecksumMismatch(std::string msg) {
+    return Status(StatusCode::kSnapshotChecksumMismatch, std::move(msg));
+  }
+  static Status SnapshotVersionSkew(std::string msg) {
+    return Status(StatusCode::kSnapshotVersionSkew, std::move(msg));
   }
 
   /// True iff the status carries no error.

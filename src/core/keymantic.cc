@@ -63,41 +63,81 @@ std::string AnswerResult::Explain(bool include_timings) const {
   return out;
 }
 
+PrepareOptions PrepareOptionsFromEngine(const EngineOptions& options) {
+  PrepareOptions prepare;
+  prepare.weights = options.weights;
+  prepare.use_mi_weights = options.use_mi_weights;
+  prepare.build_phrase_vocabulary = options.build_phrase_vocabulary;
+  return prepare;
+}
+
 KeymanticEngine::KeymanticEngine(const Database& db, EngineOptions options)
-    : db_(db),
-      options_(options),
-      terminology_(db.schema()),
-      graph_(terminology_, db.schema()),
-      apriori_hmm_(BuildAprioriHmm(terminology_, db.schema())),
-      steiner_cache_(options.steiner_cache_capacity) {
-  if (options_.use_mi_weights) {
-    // Best effort: fall back to unit weights when statistics are missing.
-    (void)ApplyMiWeights(db_, &graph_);
+    : KeymanticEngine(db,
+                      PreparedState::Build(db, PrepareOptionsFromEngine(options)),
+                      // no move: argument evaluation order is unspecified and
+                      // PrepareOptionsFromEngine reads `options` too
+                      options) {}
+
+StatusOr<std::unique_ptr<KeymanticEngine>> KeymanticEngine::FromPreparedState(
+    const Database& db, std::shared_ptr<const PreparedState> state,
+    EngineOptions options) {
+  if (state == nullptr) {
+    return Status::InvalidArgument("prepared state is null");
   }
-  // The graph is immutable from here on (MI only rescales FK weights), so
-  // one structural validation at construction covers the engine lifetime.
-  KM_DCHECK_OK(ValidateSchemaGraph(graph_, db.schema()));
-  // The summary graph is built unconditionally: even in kFullGraph mode it
-  // is the middle rung of the backward degradation ladder.
-  summary_ = std::make_unique<SummaryGraph>(graph_);
+  // Prepare-time switches must agree: an engine asked for MI weights (or a
+  // phrase vocabulary, or instance lookups) cannot serve them from a state
+  // prepared without — and silently serving different answers would be
+  // worse than refusing.
+  const PrepareOptions& prepared = state->options();
+  if (prepared.use_mi_weights != options.use_mi_weights ||
+      prepared.build_phrase_vocabulary != options.build_phrase_vocabulary ||
+      prepared.weights.use_instance_vocabulary !=
+          options.weights.use_instance_vocabulary) {
+    return Status::InvalidArgument(
+        "prepared state was built under different prepare-time options "
+        "(use_mi_weights/build_phrase_vocabulary/use_instance_vocabulary)");
+  }
+  // The state must describe this database's schema; answering over a
+  // mismatched schema would translate to SQL the executor cannot run.
+  const auto& state_rels = state->schema().relations();
+  const auto& db_rels = db.schema().relations();
+  if (state_rels.size() != db_rels.size()) {
+    return Status::InvalidArgument(
+        "prepared state describes a different schema (relation count " +
+        std::to_string(state_rels.size()) + " vs " +
+        std::to_string(db_rels.size()) + ")");
+  }
+  for (size_t i = 0; i < state_rels.size(); ++i) {
+    if (state_rels[i].name() != db_rels[i].name() ||
+        state_rels[i].arity() != db_rels[i].arity()) {
+      return Status::InvalidArgument(
+          "prepared state describes a different schema (relation '" +
+          state_rels[i].name() + "' vs '" + db_rels[i].name() + "')");
+    }
+  }
+  return std::unique_ptr<KeymanticEngine>(
+      new KeymanticEngine(db, std::move(state), std::move(options)));
+}
+
+KeymanticEngine::KeymanticEngine(const Database& db,
+                                 std::shared_ptr<const PreparedState> state,
+                                 EngineOptions options)
+    : db_(db),
+      options_(std::move(options)),
+      state_(std::move(state)),
+      steiner_cache_(options_.steiner_cache_capacity) {
+  KM_CHECK(state_ != nullptr);
   // The pool must exist before the components that borrow it: the weight
   // builder and the Murty enumeration receive it through their options.
   if (options_.threads > 0) pool_ = std::make_unique<ThreadPool>(options_.threads);
   options_.weights.pool = pool_.get();
   options_.forward.pool = pool_.get();
-  weights_ = std::make_unique<WeightMatrixBuilder>(terminology_, &db_,
-                                                   options_.weights);
-  generator_ = std::make_unique<ConfigurationGenerator>(terminology_, db_.schema(),
-                                                        *weights_, options_.forward);
-  if (options_.build_phrase_vocabulary) {
-    for (const auto& [value, entries] : db_.BuildVocabulary()) {
-      if (value.find(' ') == std::string::npos) continue;
-      std::string key = NormalizePhraseKey(value);
-      if (key.find(' ') != std::string::npos) {
-        tokenizer_options_.phrase_vocabulary.insert(std::move(key));
-      }
-    }
-  }
+  // The value index was built (or snapshot-loaded) once, into the state;
+  // the per-engine builder borrows it instead of rescanning the instance.
+  weights_ = std::make_unique<WeightMatrixBuilder>(
+      state_->terminology(), &state_->value_index(), options_.weights);
+  generator_ = std::make_unique<ConfigurationGenerator>(
+      state_->terminology(), state_->schema(), *weights_, options_.forward);
   // Cache statistics live inside this engine; publish them as snapshot-time
   // collector contributions. AddGauge merges additively, so several live
   // engines compose instead of overwriting one another.
@@ -133,8 +173,8 @@ void KeymanticEngine::SetTrainedHmm(Hmm hmm) {
 std::vector<KeymanticEngine::KeywordMatch> KeymanticEngine::ExplainKeyword(
     const std::string& keyword, size_t limit) const {
   std::vector<KeywordMatch> matches;
-  for (size_t t = 0; t < terminology_.size(); ++t) {
-    double w = weights_->Weight(keyword, terminology_.term(t));
+  for (size_t t = 0; t < state_->terminology().size(); ++t) {
+    double w = weights_->Weight(keyword, state_->terminology().term(t));
     if (w > 0) matches.push_back({t, w});
   }
   std::stable_sort(matches.begin(), matches.end(),
@@ -166,7 +206,7 @@ StatusOr<AnswerResult> KeymanticEngine::Answer(const std::string& query, size_t 
     KM_SPAN(tok_span, root.get(), "tokenize");
     KM_FAILPOINT_CTX("engine.tokenize.fail", ctx);
     KM_RETURN_IF_ERROR(ValidateQueryText(query));
-    keywords = Tokenize(query, tokenizer_options_);
+    keywords = Tokenize(query, state_->tokenizer_options());
     if (ctx != nullptr) {
       (void)ctx->CheckPoint(QueryStage::kTokenize, keywords.size() + 1);
     }
@@ -188,7 +228,7 @@ StatusOr<std::vector<Configuration>> KeymanticEngine::HmmConfigurations(
     QueryContext* ctx, TraceNode* parent) const {
   KM_SPAN(span, parent, "forward.hmm");
   Matrix sim = weights_->Build(keywords, ctx, span.get());
-  KM_DCHECK_OK(ValidateWeightMatrix(sim, keywords.size(), terminology_.size()));
+  KM_DCHECK_OK(ValidateWeightMatrix(sim, keywords.size(), state_->terminology().size()));
   // ListViterbi cannot be interrupted midway; when the budget is already
   // gone, return no paths and let the forward ladder pick the cheap rung.
   if (ctx != nullptr && ctx->Exhausted()) return std::vector<Configuration>{};
@@ -212,7 +252,7 @@ StatusOr<std::vector<Configuration>> KeymanticEngine::Configurations(
                       ConfigurationsImpl(keywords, k, nullptr, nullptr));
   // Every forward implementation must emit total injective mappings.
   for (const Configuration& c : configs) {
-    KM_DCHECK_OK(ValidateConfiguration(c, keywords.size(), terminology_));
+    KM_DCHECK_OK(ValidateConfiguration(c, keywords.size(), state_->terminology()));
   }
   return configs;
 }
@@ -237,7 +277,7 @@ StatusOr<std::vector<Configuration>> KeymanticEngine::ConfigurationsImpl(
       const Hmm& hmm =
           options_.forward_mode == ForwardMode::kHmmTrained && trained_hmm_ != nullptr
               ? *trained_hmm_
-              : apriori_hmm_;
+              : state_->apriori_hmm();
       auto paths = HmmConfigurations(keywords, k, hmm, ctx, parent);
       if (paths.ok() && !paths->empty()) return paths;
       // Without a budget the caller wants the HMM result as-is, error
@@ -249,7 +289,7 @@ StatusOr<std::vector<Configuration>> KeymanticEngine::ConfigurationsImpl(
     }
     case ForwardMode::kCombinedDst: {
       KM_ASSIGN_OR_RETURN(std::vector<Configuration> hung, hungarian(degraded));
-      const Hmm& hmm = trained_hmm_ != nullptr ? *trained_hmm_ : apriori_hmm_;
+      const Hmm& hmm = trained_hmm_ != nullptr ? *trained_hmm_ : state_->apriori_hmm();
       StatusOr<std::vector<Configuration>> hmm_paths =
           HmmConfigurations(keywords, k, hmm, ctx, parent);
       if (ctx != nullptr && (!hmm_paths.ok() || hmm_paths->empty())) {
@@ -293,7 +333,7 @@ std::vector<Interpretation> KeymanticEngine::FinishInterpretations(
   // Every search rung must emit connected join trees over the full graph
   // (the summary path expands its relation-level trees before returning).
   for (const Interpretation& tree : trees) {
-    KM_DCHECK_OK(ValidateInterpretation(tree, graph_));
+    KM_DCHECK_OK(ValidateInterpretation(tree, state_->graph()));
   }
   RankInterpretations(&trees);
   return trees;
@@ -325,10 +365,10 @@ StatusOr<std::vector<Interpretation>> KeymanticEngine::Interpretations(
   SteinerOptions opts = options_.steiner;
   opts.k = k;
   std::vector<Interpretation> trees;
-  if (options_.backward_mode == BackwardMode::kSummary && summary_ != nullptr) {
-    KM_ASSIGN_OR_RETURN(trees, summary_->TopKTrees(terminals, opts));
+  if (options_.backward_mode == BackwardMode::kSummary) {
+    KM_ASSIGN_OR_RETURN(trees, state_->summary().TopKTrees(terminals, opts));
   } else {
-    KM_ASSIGN_OR_RETURN(trees, TopKSteinerTrees(graph_, terminals, opts));
+    KM_ASSIGN_OR_RETURN(trees, TopKSteinerTrees(state_->graph(), terminals, opts));
   }
   trees = FinishInterpretations(std::move(trees));
   if (!trees.empty()) {
@@ -352,7 +392,7 @@ StatusOr<std::vector<Interpretation>> KeymanticEngine::InterpretationsLadder(
   if (prefer_full) {
     KM_SPAN(span, parent, "backward.steiner");
     span.Add("terminals", terminals.size());
-    auto trees = TopKSteinerTrees(graph_, terminals, opts);
+    auto trees = TopKSteinerTrees(state_->graph(), terminals, opts);
     if (trees.ok() && !trees->empty()) {
       span.Add("trees", trees->size());
       return FinishInterpretations(std::move(*trees));
@@ -360,10 +400,10 @@ StatusOr<std::vector<Interpretation>> KeymanticEngine::InterpretationsLadder(
   }
   // Rung 2: the relation-level summary graph — an order of magnitude fewer
   // states, so it often finishes on the remaining budget.
-  if (summary_ != nullptr) {
+  {
     KM_SPAN(span, parent, "backward.summary");
     span.Add("terminals", terminals.size());
-    auto trees = summary_->TopKTrees(terminals, opts);
+    auto trees = state_->summary().TopKTrees(terminals, opts);
     if (trees.ok() && !trees->empty()) {
       span.Add("trees", trees->size());
       if (prefer_full && degraded != nullptr) *degraded = true;
@@ -374,7 +414,7 @@ StatusOr<std::vector<Interpretation>> KeymanticEngine::InterpretationsLadder(
   // it runs to completion even on an expired deadline, so a connected
   // configuration always yields at least one interpretation.
   KM_SPAN(floor_span, parent, "backward.floor");
-  auto trees = ShortestPathTrees(graph_, terminals, k);
+  auto trees = ShortestPathTrees(state_->graph(), terminals, k);
   if (!trees.ok()) return trees.status();
   if (trees->empty()) {
     return Status::NotFound("keyword images are not connected in the schema graph");
@@ -411,8 +451,9 @@ StatusOr<SpjQuery> KeymanticEngine::Translate(
     const std::vector<std::string>& keywords, const Configuration& config,
     const Interpretation& interpretation) const {
   KM_FAILPOINT("engine.translate.fail");
-  return TranslateToSql(keywords, config, interpretation, terminology_,
-                        db_.schema(), graph_);
+  return TranslateToSql(keywords, config, interpretation,
+                        state_->terminology(), state_->schema(),
+                        state_->graph());
 }
 
 StatusOr<AnswerResult> KeymanticEngine::AnswerKeywords(
@@ -461,7 +502,7 @@ StatusOr<AnswerResult> KeymanticEngine::AnswerInternal(
     fwd_span.Add("configurations", configs.size());
   }
   for (const Configuration& c : configs) {
-    KM_DCHECK_OK(ValidateConfiguration(c, keywords.size(), terminology_));
+    KM_DCHECK_OK(ValidateConfiguration(c, keywords.size(), state_->terminology()));
   }
   if (configs.empty()) {
     return Status::NotFound("no configuration found for the query");
@@ -703,7 +744,7 @@ void KeymanticEngine::FillProvenance(const std::vector<std::string>& keywords,
   for (size_t i = 0; i < keywords.size(); ++i) {
     KeywordProvenance p;
     p.keyword = keywords[i];
-    const DatabaseTerm& term = terminology_.term(top.term_for_keyword[i]);
+    const DatabaseTerm& term = state_->terminology().term(top.term_for_keyword[i]);
     p.term = term.ToString();
     p.weight = weights_->ExplainWeight(keywords[i], term);
     p.contextual_factor = i < factors.size() ? factors[i] : 1.0;

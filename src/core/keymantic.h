@@ -22,6 +22,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "core/prepared_state.h"
 #include "engine/query.h"
 #include "graph/interpretation.h"
 #include "graph/schema_graph.h"
@@ -112,6 +113,9 @@ struct EngineOptions {
   ExecutionGate* execution_gate = nullptr;
 };
 
+/// The prepare-time subset of `options` (what PreparedState::Build needs).
+PrepareOptions PrepareOptionsFromEngine(const EngineOptions& options);
+
 /// One ranked answer: the SQL explanation with its provenance.
 struct Explanation {
   SpjQuery sql;
@@ -193,7 +197,21 @@ class KeymanticEngine {
   /// `db` is also the source of instance statistics; pass
   /// options.weights.use_instance_vocabulary = false (and
   /// use_mi_weights = false) for the deep-web scenario.
+  ///
+  /// Equivalent to FromPreparedState(db, PreparedState::Build(db, ...)):
+  /// the prepared state is built here and owned (shared) by the engine.
   KeymanticEngine(const Database& db, EngineOptions options = {});
+
+  /// Builds a cheap engine handle over prepared state that already exists
+  /// (typically loaded from a snapshot — see snapshot/snapshot.h). Fails
+  /// with InvalidArgument when the state is null, was prepared under
+  /// incompatible prepare-time options (use_mi_weights,
+  /// build_phrase_vocabulary, weights.use_instance_vocabulary), or
+  /// describes a different schema than `db`. The database and state must
+  /// outlive the engine (the state is shared, so "outlive" is automatic).
+  static StatusOr<std::unique_ptr<KeymanticEngine>> FromPreparedState(
+      const Database& db, std::shared_ptr<const PreparedState> state,
+      EngineOptions options = {});
 
   /// Unregisters the engine's metrics collector (cache gauges).
   ~KeymanticEngine();
@@ -268,14 +286,25 @@ class KeymanticEngine {
   std::vector<KeywordMatch> ExplainKeyword(const std::string& keyword,
                                            size_t limit = 10) const;
 
-  const Terminology& terminology() const { return terminology_; }
-  const SchemaGraph& graph() const { return graph_; }
+  const Terminology& terminology() const { return state_->terminology(); }
+  const SchemaGraph& graph() const { return state_->graph(); }
   const WeightMatrixBuilder& weight_builder() const { return *weights_; }
   const Database& database() const { return db_; }
   const EngineOptions& options() const { return options_; }
-  const TokenizerOptions& tokenizer_options() const { return tokenizer_options_; }
+  const TokenizerOptions& tokenizer_options() const {
+    return state_->tokenizer_options();
+  }
+  /// The immutable prepared state this engine answers over (shareable with
+  /// other engines and with SaveSnapshot).
+  const std::shared_ptr<const PreparedState>& prepared_state() const {
+    return state_;
+  }
 
  private:
+  /// Shared tail of both construction paths; `state` must be non-null.
+  KeymanticEngine(const Database& db,
+                  std::shared_ptr<const PreparedState> state,
+                  EngineOptions options);
   /// AnswerKeywords() behind the input validation and root-span setup:
   /// `root` (nullable) is the per-query trace root the stage spans hang off.
   StatusOr<AnswerResult> AnswerInternal(const std::vector<std::string>& keywords,
@@ -325,15 +354,14 @@ class KeymanticEngine {
 
   const Database& db_;
   EngineOptions options_;
-  Terminology terminology_;
-  SchemaGraph graph_;
-  std::unique_ptr<SummaryGraph> summary_;
+  // All heavyweight prepared state (terminology, graphs, a-priori HMM,
+  // phrase vocabulary, value index) lives behind this immutable handle;
+  // the members below are per-engine runtime wiring over it.
+  std::shared_ptr<const PreparedState> state_;
   std::unique_ptr<ThreadPool> pool_;  // null when options_.threads == 0
   std::unique_ptr<WeightMatrixBuilder> weights_;
   std::unique_ptr<ConfigurationGenerator> generator_;
-  Hmm apriori_hmm_;
   std::unique_ptr<Hmm> trained_hmm_;
-  TokenizerOptions tokenizer_options_;
   // Cross-query cache: canonical terminal set (+k) → finished ranked trees.
   // Thread-safe (sharded LRU); mutable because the answer path is const.
   mutable LruCache<std::string, std::vector<Interpretation>> steiner_cache_;

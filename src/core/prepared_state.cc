@@ -1,0 +1,162 @@
+#include "core/prepared_state.h"
+
+#include <cmath>
+#include <utility>
+
+#include "analysis/invariants.h"
+#include "common/check.h"
+#include "graph/mi.h"
+#include "hmm/model_builder.h"
+
+namespace km {
+
+namespace {
+
+std::string TermLabel(const DatabaseTerm& t) { return t.ToString(); }
+
+}  // namespace
+
+PreparedState::PreparedState(DatabaseSchema schema)
+    : schema_(std::move(schema)),
+      terminology_(schema_),
+      graph_(terminology_, schema_),
+      apriori_hmm_(BuildAprioriHmm(terminology_, schema_)) {}
+
+std::shared_ptr<const PreparedState> PreparedState::Build(
+    const Database& db, const PrepareOptions& options) {
+  std::shared_ptr<PreparedState> state(new PreparedState(db.schema()));
+  state->options_ = options;
+  // Pool and thesaurus are per-engine runtime wiring; a shared state must
+  // not pin either.
+  state->options_.weights.pool = nullptr;
+  state->options_.weights.thesaurus = nullptr;
+  if (options.use_mi_weights) {
+    // Best effort: fall back to unit weights when statistics are missing.
+    (void)ApplyMiWeights(db, &state->graph_);
+  }
+  // The graph is immutable from here on (MI only rescales FK weights), so
+  // one structural validation covers the state's lifetime.
+  KM_DCHECK_OK(ValidateSchemaGraph(state->graph_, state->schema_));
+  // The summary graph is built unconditionally: even in kFullGraph mode it
+  // is the middle rung of the backward degradation ladder.
+  state->summary_ = std::make_unique<SummaryGraph>(state->graph_);
+  state->value_index_ = WeightMatrixBuilder::BuildValueIndex(
+      state->terminology_, &db, state->options_.weights);
+  if (options.build_phrase_vocabulary) {
+    for (const auto& [value, entries] : db.BuildVocabulary()) {
+      if (value.find(' ') == std::string::npos) continue;
+      std::string key = NormalizePhraseKey(value);
+      if (key.find(' ') != std::string::npos) {
+        state->tokenizer_options_.phrase_vocabulary.insert(std::move(key));
+      }
+    }
+  }
+  return state;
+}
+
+StatusOr<std::shared_ptr<const PreparedState>> PreparedState::Assemble(
+    DatabaseSchema schema, const std::vector<DatabaseTerm>& expected_terms,
+    const std::vector<GraphEdge>& expected_edges,
+    const SummaryExpectation& expected_summary, PrepareOptions options,
+    std::unordered_set<std::string> phrase_vocabulary,
+    std::vector<ValueIndexEntry> value_index) {
+  std::shared_ptr<PreparedState> state(new PreparedState(std::move(schema)));
+  state->options_ = options;
+  state->options_.weights.pool = nullptr;
+  state->options_.weights.thesaurus = nullptr;
+
+  // Terminology: must be exactly what the schema derives. A mismatch means
+  // the snapshot was produced by an incompatible build (or its schema
+  // section disagrees with its terminology section despite valid CRCs).
+  const Terminology& term = state->terminology_;
+  if (term.size() != expected_terms.size()) {
+    return Status::SnapshotVersionSkew(
+        "terminology size mismatch: schema derives " +
+        std::to_string(term.size()) + " terms, snapshot recorded " +
+        std::to_string(expected_terms.size()));
+  }
+  for (size_t i = 0; i < term.size(); ++i) {
+    const DatabaseTerm& a = term.term(i);
+    const DatabaseTerm& b = expected_terms[i];
+    if (a.kind != b.kind || a.relation != b.relation ||
+        a.attribute != b.attribute || a.type != b.type || a.tag != b.tag ||
+        a.is_foreign_key != b.is_foreign_key) {
+      return Status::SnapshotVersionSkew("terminology term " +
+                                         std::to_string(i) + " mismatch: " +
+                                         TermLabel(a) + " vs " + TermLabel(b));
+    }
+  }
+
+  // Graph: structure must match the re-derivation; weights are adopted from
+  // the snapshot (they may carry instance-derived MI rescaling), after
+  // being validated — SetEdgeWeight aborts on negative weights and that
+  // contract is for internal invariants, not file contents.
+  const std::vector<GraphEdge>& edges = state->graph_.edges();
+  if (edges.size() != expected_edges.size()) {
+    return Status::SnapshotVersionSkew(
+        "schema-graph edge count mismatch: schema derives " +
+        std::to_string(edges.size()) + ", snapshot recorded " +
+        std::to_string(expected_edges.size()));
+  }
+  for (size_t e = 0; e < edges.size(); ++e) {
+    const GraphEdge& a = edges[e];
+    const GraphEdge& b = expected_edges[e];
+    if (a.from != b.from || a.to != b.to || a.kind != b.kind ||
+        a.fk_index != b.fk_index) {
+      return Status::SnapshotVersionSkew("schema-graph edge " +
+                                         std::to_string(e) +
+                                         " structure mismatch");
+    }
+    if (!std::isfinite(b.weight) || b.weight < 0.0) {
+      return Status::SnapshotVersionSkew(
+          "schema-graph edge " + std::to_string(e) +
+          " carries an invalid weight (non-finite or negative)");
+    }
+  }
+  for (size_t e = 0; e < edges.size(); ++e) {
+    state->graph_.SetEdgeWeight(e, expected_edges[e].weight);
+  }
+  if (Status v = ValidateSchemaGraph(state->graph_, state->schema_); !v.ok()) {
+    return Status::SnapshotVersionSkew("schema graph failed validation: " +
+                                       v.message());
+  }
+
+  // Summary: re-derive from the (now weighted) graph and verify the
+  // snapshot's record of it, weights included — the derivation is
+  // deterministic arithmetic over the adopted edge weights, so agreement
+  // is bit-exact for a snapshot written by a compatible build.
+  state->summary_ = std::make_unique<SummaryGraph>(state->graph_);
+  const SummaryGraph& summary = *state->summary_;
+  if (summary.relations() != expected_summary.relations) {
+    return Status::SnapshotVersionSkew("summary-graph relation list mismatch");
+  }
+  const auto& meta = summary.meta_edges();
+  if (meta.size() != expected_summary.edges.size()) {
+    return Status::SnapshotVersionSkew(
+        "summary-graph meta-edge count mismatch: derived " +
+        std::to_string(meta.size()) + ", snapshot recorded " +
+        std::to_string(expected_summary.edges.size()));
+  }
+  for (size_t e = 0; e < meta.size(); ++e) {
+    const SummaryGraph::MetaEdge& a = meta[e];
+    const SummaryExpectation::Edge& b = expected_summary.edges[e];
+    if (a.from_rel != b.from_rel || a.to_rel != b.to_rel ||
+        a.fk_edge != b.fk_edge || a.weight != b.weight) {
+      return Status::SnapshotVersionSkew("summary-graph meta-edge " +
+                                         std::to_string(e) + " mismatch");
+    }
+  }
+
+  // Value index: either absent (no instance access at save time) or
+  // parallel to the terminology.
+  if (!value_index.empty() && value_index.size() != term.size()) {
+    return Status::SnapshotVersionSkew(
+        "value index has " + std::to_string(value_index.size()) +
+        " entries for " + std::to_string(term.size()) + " terms");
+  }
+  state->value_index_ = std::move(value_index);
+  state->tokenizer_options_.phrase_vocabulary = std::move(phrase_vocabulary);
+  return std::shared_ptr<const PreparedState>(std::move(state));
+}
+
+}  // namespace km

@@ -1,0 +1,123 @@
+// PreparedState: the immutable, shareable prepared state of an engine.
+//
+// Everything the metadata approach front-loads — terminology, schema graph
+// (with MI-rescaled FK weights), summary graph, a-priori HMM, phrase
+// vocabulary and the per-domain instance value index — lives here behind a
+// shared_ptr<const PreparedState>. Engines are cheap handles over one
+// state; the serving layer hot-swaps states RCU-style (in-flight queries
+// pin the old state via their engine's shared_ptr until they finish).
+//
+// Two ways in:
+//   * Build()    — scan a live Database (the classic cold start);
+//   * Assemble() — adopt sections decoded from a snapshot file
+//                  (snapshot/snapshot.h), re-deriving the structural
+//                  pieces from the schema and *verifying* the decoded
+//                  expectations against them, so a stale or tampered
+//                  snapshot that passes its checksums still cannot smuggle
+//                  in a terminology or graph the schema does not produce.
+
+#ifndef KM_CORE_PREPARED_STATE_H_
+#define KM_CORE_PREPARED_STATE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/schema_graph.h"
+#include "graph/summary.h"
+#include "hmm/hmm.h"
+#include "metadata/term.h"
+#include "metadata/weights.h"
+#include "relational/database.h"
+#include "text/tokenizer.h"
+
+namespace km {
+
+/// The prepare-time subset of EngineOptions: the switches that change what
+/// Build() precomputes (and therefore what a snapshot must record). Query-
+/// time options (forward mode, combine mode, tracing, ...) are engine
+/// business and deliberately absent.
+struct PrepareOptions {
+  WeightOptions weights;
+  /// Mutual-information weights on FK edges (needs instance access).
+  bool use_mi_weights = true;
+  /// Multi-word phrase vocabulary from the instance (needs instance access).
+  bool build_phrase_vocabulary = true;
+};
+
+/// Immutable prepared engine state. Construct via Build() or Assemble();
+/// share via shared_ptr<const PreparedState>. Not movable or copyable —
+/// the graph chain (schema → terminology → graph → summary) is internally
+/// self-referencing.
+class PreparedState {
+ public:
+  /// Builds prepared state by scanning `db` (metadata extraction, graph
+  /// construction, MI weighting, value indexing, phrase vocabulary).
+  static std::shared_ptr<const PreparedState> Build(const Database& db,
+                                                    const PrepareOptions& options);
+
+  /// Decoded summary-graph expectation carried by a snapshot, verified
+  /// against the re-derived summary in Assemble().
+  struct SummaryExpectation {
+    std::vector<std::string> relations;
+    struct Edge {
+      uint64_t from_rel = 0;
+      uint64_t to_rel = 0;
+      uint64_t fk_edge = 0;
+      double weight = 0;
+    };
+    std::vector<Edge> edges;
+  };
+
+  /// Assembles prepared state from decoded snapshot sections. The schema is
+  /// rebuilt through the catalog's own validating API; terminology, graph
+  /// structure and summary structure are re-derived from it and compared
+  /// element-wise against the decoded expectations (the graph's *weights*
+  /// are adopted from the snapshot — they may carry instance-derived MI
+  /// rescaling the schema alone cannot reproduce). Any disagreement, or a
+  /// non-finite/negative weight, is kSnapshotVersionSkew.
+  static StatusOr<std::shared_ptr<const PreparedState>> Assemble(
+      DatabaseSchema schema, const std::vector<DatabaseTerm>& expected_terms,
+      const std::vector<GraphEdge>& expected_edges,
+      const SummaryExpectation& expected_summary, PrepareOptions options,
+      std::unordered_set<std::string> phrase_vocabulary,
+      std::vector<ValueIndexEntry> value_index);
+
+  PreparedState(const PreparedState&) = delete;
+  PreparedState& operator=(const PreparedState&) = delete;
+
+  /// The state's own schema copy (identical in content to the source
+  /// database's schema; owning it keeps the state self-contained).
+  const DatabaseSchema& schema() const { return schema_; }
+  const Terminology& terminology() const { return terminology_; }
+  const SchemaGraph& graph() const { return graph_; }
+  const SummaryGraph& summary() const { return *summary_; }
+  const Hmm& apriori_hmm() const { return apriori_hmm_; }
+  /// Tokenizer options with the phrase vocabulary folded in.
+  const TokenizerOptions& tokenizer_options() const { return tokenizer_options_; }
+  /// Per-domain-term instance value index (empty without instance access).
+  const std::vector<ValueIndexEntry>& value_index() const { return value_index_; }
+  /// The options this state was prepared under (pool/thesaurus pointers
+  /// cleared — they are runtime concerns, not state).
+  const PrepareOptions& options() const { return options_; }
+
+ private:
+  explicit PreparedState(DatabaseSchema schema);
+
+  // Order matters: each member references the ones above it.
+  DatabaseSchema schema_;
+  Terminology terminology_;   // references nothing (copies strings)
+  SchemaGraph graph_;         // holds &terminology_
+  Hmm apriori_hmm_;
+  std::unique_ptr<const SummaryGraph> summary_;  // holds &graph_; built after
+                                                 // the FK weights are final
+  TokenizerOptions tokenizer_options_;
+  std::vector<ValueIndexEntry> value_index_;
+  PrepareOptions options_;
+};
+
+}  // namespace km
+
+#endif  // KM_CORE_PREPARED_STATE_H_

@@ -49,7 +49,6 @@ class SummaryGraph {
   /// Underlying full graph.
   const SchemaGraph& full() const { return *full_; }
 
- private:
   struct MetaEdge {
     size_t from_rel;
     size_t to_rel;
@@ -57,6 +56,11 @@ class SummaryGraph {
     size_t fk_edge;  ///< edge index in the full graph
   };
 
+  /// The relation-level meta-edges in deterministic build order (exposed
+  /// for snapshot serialization and structural verification).
+  const std::vector<MetaEdge>& meta_edges() const { return edges_; }
+
+ private:
   const SchemaGraph* full_;
   std::vector<std::string> relations_;
   std::unordered_map<std::string, size_t> ordinal_;

@@ -21,28 +21,49 @@ WeightMatrixBuilder::WeightMatrixBuilder(const Terminology& terminology,
   thesaurus_ = options_.thesaurus != nullptr ? options_.thesaurus : &BuiltinThesaurus();
   // Precompute per-domain-term value indexes so ValueWeight is O(1) per
   // lookup instead of scanning the instance for every (keyword, term) pair.
-  if (db_ != nullptr && options_.use_instance_vocabulary) {
-    value_index_.resize(terminology_.size());
-    for (size_t i = 0; i < terminology_.size(); ++i) {
-      const DatabaseTerm& term = terminology_.term(i);
-      if (term.kind != TermKind::kDomain) continue;
-      const Table* table = db_->FindTable(term.relation);
-      if (table == nullptr) continue;
-      auto idx = table->schema().AttributeIndex(term.attribute);
-      if (!idx) continue;
-      const AttributeDef& attr = table->schema().attribute(*idx);
-      ValueIndex& vi = value_index_[i];
-      for (const Row& row : table->rows()) {
-        const Value& v = row[*idx];
-        if (v.is_null()) continue;
-        if (attr.type == DataType::kText || attr.type == DataType::kDate) {
-          if (v.is_text()) ++vi.text_values[ToLower(v.AsText())];
-        } else {
-          ++vi.other_values[v];
-        }
+  owned_value_index_ = BuildValueIndex(terminology_, db_, options_);
+  if (!owned_value_index_.empty()) value_index_ = &owned_value_index_;
+}
+
+WeightMatrixBuilder::WeightMatrixBuilder(
+    const Terminology& terminology,
+    const std::vector<ValueIndexEntry>* shared_index, WeightOptions options)
+    : terminology_(terminology),
+      db_(nullptr),
+      options_(options),
+      row_cache_(options.keyword_row_cache_capacity) {
+  thesaurus_ = options_.thesaurus != nullptr ? options_.thesaurus : &BuiltinThesaurus();
+  if (shared_index != nullptr && !shared_index->empty()) {
+    value_index_ = shared_index;
+  }
+}
+
+std::vector<ValueIndexEntry> WeightMatrixBuilder::BuildValueIndex(
+    const Terminology& terminology, const Database* db,
+    const WeightOptions& options) {
+  std::vector<ValueIndexEntry> index;
+  if (db == nullptr || !options.use_instance_vocabulary) return index;
+  index.resize(terminology.size());
+  for (size_t i = 0; i < terminology.size(); ++i) {
+    const DatabaseTerm& term = terminology.term(i);
+    if (term.kind != TermKind::kDomain) continue;
+    const Table* table = db->FindTable(term.relation);
+    if (table == nullptr) continue;
+    auto idx = table->schema().AttributeIndex(term.attribute);
+    if (!idx) continue;
+    const AttributeDef& attr = table->schema().attribute(*idx);
+    ValueIndexEntry& vi = index[i];
+    for (const Row& row : table->rows()) {
+      const Value& v = row[*idx];
+      if (v.is_null()) continue;
+      if (attr.type == DataType::kText || attr.type == DataType::kDate) {
+        if (v.is_text()) ++vi.text_values[ToLower(v.AsText())];
+      } else {
+        ++vi.other_values[v];
       }
     }
   }
+  return index;
 }
 
 Matrix WeightMatrixBuilder::Build(const std::vector<std::string>& keywords,
@@ -233,10 +254,10 @@ double WeightMatrixBuilder::ValueWeightImpl(const std::string& keyword,
   }
   if (prov != nullptr) prov->pattern = score;
 
-  if (!value_index_.empty()) {
+  if (value_index_ != nullptr && !value_index_->empty()) {
     auto term_idx = terminology_.DomainTerm(term.relation, term.attribute);
-    if (term_idx && *term_idx < value_index_.size()) {
-      const ValueIndex& vi = value_index_[*term_idx];
+    if (term_idx && *term_idx < value_index_->size()) {
+      const ValueIndexEntry& vi = (*value_index_)[*term_idx];
       bool hit = false;
       // Full-text-style hit weight with a small frequency bonus: ties among
       // several exact hits break toward the attribute where the value is

@@ -87,6 +87,18 @@ struct WeightProvenance {
   const char* dominant() const;
 };
 
+/// Per-domain-term index of instance values with occurrence counts:
+/// lower-cased text values for TEXT/DATE attributes, raw values otherwise.
+/// Counts feed the full-text-style frequency bonus. One entry per
+/// terminology term, parallel to Terminology::terms() (non-domain terms
+/// keep empty entries). Built once — by scanning the instance
+/// (BuildValueIndex) or decoded from a prepared-state snapshot — and then
+/// shared immutably between weight builders.
+struct ValueIndexEntry {
+  std::unordered_map<std::string, size_t> text_values;
+  std::unordered_map<Value, size_t, ValueHash> other_values;
+};
+
 /// Builds intrinsic keyword × term weight matrices.
 class WeightMatrixBuilder {
  public:
@@ -94,6 +106,22 @@ class WeightMatrixBuilder {
   /// vocabulary lookups are then skipped regardless of the options.
   WeightMatrixBuilder(const Terminology& terminology, const Database* db,
                       WeightOptions options = {});
+
+  /// Shares a prebuilt value index instead of scanning the instance
+  /// (snapshot cold-start path). `shared_index` is non-owning and may be
+  /// nullptr (no instance vocabulary); when non-null it must be parallel to
+  /// `terminology` and outlive the builder.
+  WeightMatrixBuilder(const Terminology& terminology,
+                      const std::vector<ValueIndexEntry>* shared_index,
+                      WeightOptions options = {});
+
+  /// The per-domain-term instance value index the instance-access
+  /// constructor builds: empty when `db` is null or the options disable
+  /// instance vocabulary. Exposed so prepared-state construction can build
+  /// the index once and share it across engines (and snapshots).
+  static std::vector<ValueIndexEntry> BuildValueIndex(
+      const Terminology& terminology, const Database* db,
+      const WeightOptions& options);
 
   /// The m × |T| intrinsic weight matrix for `keywords`. `ctx` (optional)
   /// records the m·|T| cell computations as weights-stage spend; the build
@@ -130,14 +158,6 @@ class WeightMatrixBuilder {
   CacheCounters RowCacheCounters() const { return row_cache_.Counters(); }
 
  private:
-  // Per-domain-term index of instance values with occurrence counts, built
-  // once at construction: lower-cased text values for TEXT/DATE attributes,
-  // raw values otherwise. Counts feed the full-text-style frequency bonus.
-  struct ValueIndex {
-    std::unordered_map<std::string, size_t> text_values;
-    std::unordered_map<Value, size_t, ValueHash> other_values;
-  };
-
   // Weight computations with optional provenance capture (prov may be
   // null); the public SchemaWeight/ValueWeight/ExplainWeight wrap these.
   double SchemaWeightImpl(const std::string& keyword, const DatabaseTerm& term,
@@ -149,7 +169,13 @@ class WeightMatrixBuilder {
   const Database* db_;
   WeightOptions options_;
   const Thesaurus* thesaurus_;
-  std::vector<ValueIndex> value_index_;  // parallel to terminology terms
+  // Backing store of the instance-access constructor; empty (and unused)
+  // when the index is shared externally.
+  std::vector<ValueIndexEntry> owned_value_index_;
+  // The value index actually consulted: &owned_value_index_, an external
+  // shared index, or nullptr (no instance vocabulary). Parallel to
+  // terminology terms.
+  const std::vector<ValueIndexEntry>* value_index_ = nullptr;
   // keyword → its full row of intrinsic weights (size = terminology size).
   // Thread-safe (sharded LRU); mutable because Build() is logically const.
   mutable LruCache<std::string, std::vector<double>> row_cache_;

@@ -99,6 +99,15 @@ Status DatabaseSchema::AddForeignKey(ForeignKey fk) {
     return Status::InvalidArgument("foreign key target " + fk.to_relation + "." +
                                    fk.to_attribute + " is not a primary key");
   }
+  if (fk.from_relation == fk.to_relation &&
+      fk.from_attribute == fk.to_attribute) {
+    // An attribute referencing itself would put a Dom(A)-Dom(A) self-loop in
+    // the schema graph, which the graph (correctly) treats as an internal
+    // invariant violation. Reject it here, at the external-input boundary.
+    return Status::InvalidArgument("foreign key " + fk.from_relation + "." +
+                                   fk.from_attribute +
+                                   " cannot reference itself");
+  }
   for (const auto& existing : foreign_keys_) {
     if (existing == fk) {
       return Status::AlreadyExists("duplicate foreign key");

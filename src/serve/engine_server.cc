@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/metrics.h"
 #include "common/retry.h"
 #include "common/trace.h"
+#include "snapshot/snapshot.h"
 
 namespace km {
 
@@ -15,6 +17,11 @@ double NowMs() { return static_cast<double>(MonotonicNowNs()) / 1e6; }
 
 Counter& ServeCounter(const char* what) {
   return MetricsRegistry::Default().CounterRef(std::string("km.serve.") + what);
+}
+
+Counter& ReloadCounter(const char* what) {
+  return MetricsRegistry::Default().CounterRef(
+      std::string("km.snapshot.reload.") + what);
 }
 
 }  // namespace
@@ -31,12 +38,35 @@ const char* OverloadStateName(OverloadState state) {
   return "unknown";
 }
 
+const char* ReloadRungName(ReloadRung rung) {
+  switch (rung) {
+    case ReloadRung::kSwapped:
+      return "swapped";
+    case ReloadRung::kKeptCurrent:
+      return "kept_current";
+    case ReloadRung::kRebuilt:
+      return "rebuilt";
+    case ReloadRung::kRefused:
+      return "refused";
+  }
+  return "unknown";
+}
+
 EngineServer::EngineServer(const KeymanticEngine& engine,
                            EngineServerOptions options)
-    : engine_(engine),
+    // Borrowed engine: aliasing shared_ptr with a no-op deleter. The caller
+    // guarantees the engine outlives the server (pre-RCU contract).
+    : EngineServer(std::shared_ptr<const KeymanticEngine>(
+                       &engine, [](const KeymanticEngine*) {}),
+                   std::move(options)) {}
+
+EngineServer::EngineServer(std::shared_ptr<const KeymanticEngine> engine,
+                           EngineServerOptions options)
+    : engine_(std::move(engine)),
       options_(options),
       queue_(options.admission),
       limiter_(options.aimd) {
+  KM_CHECK(engine_ != nullptr);
   MetricsRegistry::Default().GaugeRef("km.serve.state").Set(0);
   const size_t workers = std::max<size_t>(1, options_.workers);
   workers_.reserve(workers);
@@ -82,6 +112,15 @@ std::future<StatusOr<AnswerResult>> EngineServer::Submit(
   MutexLock lock(mu_);
   ++submitted_;
   ServeCounter("submitted").Increment();
+  if (refusing_) {
+    // Bottom rung of the snapshot-reload ladder: no valid prepared state to
+    // serve. Machine-readable retry-after tells clients when to come back.
+    ServeCounter("refused").Increment();
+    request->promise.set_value(UnavailableStatus(
+        "serving state invalid after failed snapshot reload; refusing traffic",
+        options_.refusal_retry_after_ms));
+    return future;
+  }
   AdmissionQueue::Item item;
   item.id = next_request_id_++;
   item.payload = request;
@@ -140,8 +179,13 @@ void EngineServer::WorkerLoop() {
       continue;
     }
     const double start_ms = NowMs();
+    // RCU read side: pin the current engine for the whole request. A
+    // concurrent ReloadSnapshot swaps engine_ under mu_; this copy keeps
+    // the old engine (and its PreparedState) alive until the last in-flight
+    // request drops it — no query ever observes mixed state.
+    std::shared_ptr<const KeymanticEngine> engine = CurrentEngine();
     StatusOr<AnswerResult> result =
-        engine_.Answer(request->query, request->k, request->ctx.get());
+        engine->Answer(request->query, request->k, request->ctx.get());
     const double latency_ms = NowMs() - start_ms;
     limiter_.Release(latency_ms);
     latency.Observe(latency_ms);
@@ -212,6 +256,103 @@ void EngineServer::Shutdown() {
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
+}
+
+std::shared_ptr<const KeymanticEngine> EngineServer::CurrentEngine() const {
+  MutexLock lock(mu_);
+  return engine_;
+}
+
+Status EngineServer::ValidateCandidate(const KeymanticEngine& candidate) const {
+  // Scripted gate failure first: tests drive the rollback/rebuild/refuse
+  // rungs deterministically through this site.
+  KM_FAILPOINT("snapshot.swap.validate_fail");
+  if (candidate.prepared_state() == nullptr) {
+    return Status::Internal("candidate engine has no prepared state");
+  }
+  const size_t expected = candidate.database().schema().TerminologySize();
+  if (candidate.terminology().size() != expected) {
+    return Status::SnapshotVersionSkew(
+        "candidate terminology has " +
+        std::to_string(candidate.terminology().size()) +
+        " terms, schema derivation expects " + std::to_string(expected));
+  }
+  return Status::OK();
+}
+
+Status EngineServer::ReloadSnapshot(const std::string& path, bool require_swap,
+                                    ReloadReport* report) {
+  const double start_ms = NowMs();
+  ReloadCounter("attempts").Increment();
+  auto finish = [&](ReloadRung rung, Status load_status,
+                    Status result) -> Status {
+    if (report != nullptr) {
+      report->rung = rung;
+      report->load_status = std::move(load_status);
+      report->elapsed_ms = NowMs() - start_ms;
+    }
+    return result;
+  };
+
+  std::shared_ptr<const KeymanticEngine> current = CurrentEngine();
+
+  // Rung 0: load, assemble, validate, swap.
+  Status failure = Status::OK();
+  StatusOr<std::shared_ptr<const PreparedState>> loaded = LoadSnapshot(path);
+  if (loaded.ok()) {
+    StatusOr<std::unique_ptr<KeymanticEngine>> candidate =
+        KeymanticEngine::FromPreparedState(current->database(), *loaded,
+                                           current->options());
+    Status validated = candidate.ok() ? ValidateCandidate(**candidate)
+                                      : candidate.status();
+    if (validated.ok()) {
+      std::shared_ptr<const KeymanticEngine> next = std::move(*candidate);
+      MutexLock lock(mu_);
+      engine_ = std::move(next);
+      refusing_ = false;
+      ReloadCounter("swaps").Increment();
+      return finish(ReloadRung::kSwapped, Status::OK(), Status::OK());
+    }
+    failure = std::move(validated);
+  } else {
+    failure = loaded.status();
+  }
+
+  // Rung 1: the snapshot is bad but the running state is trusted — keep it.
+  if (!require_swap) {
+    ReloadCounter("kept_current").Increment();
+    return finish(ReloadRung::kKeptCurrent, failure, failure);
+  }
+
+  // Rung 2: the running state is suspect too — rebuild from the database.
+  std::shared_ptr<const PreparedState> rebuilt = PreparedState::Build(
+      current->database(), PrepareOptionsFromEngine(current->options()));
+  StatusOr<std::unique_ptr<KeymanticEngine>> candidate =
+      KeymanticEngine::FromPreparedState(current->database(), rebuilt,
+                                         current->options());
+  Status validated =
+      candidate.ok() ? ValidateCandidate(**candidate) : candidate.status();
+  if (validated.ok()) {
+    std::shared_ptr<const KeymanticEngine> next = std::move(*candidate);
+    MutexLock lock(mu_);
+    engine_ = std::move(next);
+    refusing_ = false;
+    ReloadCounter("rebuilds").Increment();
+    // The rebuild restored service, but the reload itself failed: return
+    // the typed error so the caller knows the snapshot is bad.
+    return finish(ReloadRung::kRebuilt, failure, failure);
+  }
+
+  // Rung 3: nothing valid to serve — refuse with a retry-after hint.
+  {
+    MutexLock lock(mu_);
+    refusing_ = true;
+  }
+  ReloadCounter("refusals").Increment();
+  return finish(ReloadRung::kRefused, failure,
+                UnavailableStatus("snapshot reload failed and rebuild did not "
+                                  "validate; refusing traffic",
+                                  options_.refusal_retry_after_ms));
 }
 
 ServerStats EngineServer::Stats() const {

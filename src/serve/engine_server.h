@@ -73,6 +73,28 @@ struct EngineServerOptions {
   QueryLimits limits;
   /// Sheds within this trailing window put the server in kShedding.
   double shed_window_ms = 1000.0;
+  /// Retry-after hint attached to rejections while the server refuses
+  /// traffic (bottom rung of the snapshot-reload degradation ladder).
+  double refusal_retry_after_ms = 1000.0;
+};
+
+/// Where a ReloadSnapshot call landed on the degradation ladder.
+enum class ReloadRung {
+  kSwapped = 0,      ///< snapshot loaded, validated, and swapped in
+  kKeptCurrent = 1,  ///< snapshot rejected; previous engine kept serving
+  kRebuilt = 2,      ///< snapshot rejected; state rebuilt from the database
+  kRefused = 3,      ///< nothing valid to serve; Submits rejected
+};
+
+/// Stable lower-case rung name ("swapped", "kept_current", ...).
+const char* ReloadRungName(ReloadRung rung);
+
+/// Machine-readable outcome of one ReloadSnapshot call.
+struct ReloadReport {
+  ReloadRung rung = ReloadRung::kSwapped;
+  /// The typed error from LoadSnapshot / validation (OK when swapped).
+  Status load_status = Status::OK();
+  double elapsed_ms = 0;
 };
 
 /// Counters snapshot for tests and reporting (one consistent read).
@@ -92,7 +114,17 @@ struct ServerStats {
 /// Destruction shuts down gracefully (drains admitted requests).
 class EngineServer {
  public:
+  /// Legacy entry point: serve a borrowed engine. The engine must outlive
+  /// the server; ReloadSnapshot still works (the borrowed engine simply
+  /// stops being used after the first successful swap).
   EngineServer(const KeymanticEngine& engine, EngineServerOptions options = {});
+
+  /// Owning entry point: the server shares the engine RCU-style. Workers
+  /// pin the current engine per request, so a hot swap never yanks state
+  /// out from under an in-flight query.
+  EngineServer(std::shared_ptr<const KeymanticEngine> engine,
+               EngineServerOptions options = {});
+
   ~EngineServer();
 
   EngineServer(const EngineServer&) = delete;
@@ -118,6 +150,33 @@ class EngineServer {
   /// kUnavailable), drains already-admitted requests, joins the workers.
   /// Idempotent.
   void Shutdown() KM_EXCLUDES(mu_);
+
+  /// Atomically replaces the serving engine with one assembled from the
+  /// snapshot at `path`, under live traffic: in-flight requests finish on
+  /// the engine they started with (each worker pins the engine via a
+  /// shared_ptr copy — refcount release is the grace period), new requests
+  /// see the swapped engine.
+  ///
+  /// Degradation ladder when the snapshot cannot be served:
+  ///   1. `require_swap == false` (default): keep the current engine and
+  ///      return the typed load/validation error — the safe choice when the
+  ///      running state is known-good.
+  ///   2. `require_swap == true` (the current state is suspect): rebuild
+  ///      prepared state from the live database and swap that in; returns
+  ///      the load error so the caller knows the snapshot was bad.
+  ///   3. If even the rebuild fails validation, the server *refuses*: every
+  ///      Submit is rejected with kUnavailable and a machine-readable
+  ///      retry-after hint (options.refusal_retry_after_ms) until a later
+  ///      ReloadSnapshot succeeds.
+  ///
+  /// Outcomes are reported in `report` (nullable), in the
+  /// km.snapshot.reload.* counters, and via km.serve.refused.
+  Status ReloadSnapshot(const std::string& path, bool require_swap = false,
+                        ReloadReport* report = nullptr) KM_EXCLUDES(mu_);
+
+  /// The engine new requests would run on right now (RCU read-side pin).
+  std::shared_ptr<const KeymanticEngine> CurrentEngine() const
+      KM_EXCLUDES(mu_);
 
   /// One consistent counters snapshot.
   ServerStats Stats() const KM_EXCLUDES(mu_);
@@ -145,7 +204,14 @@ class EngineServer {
   /// sheds; publishes transitions to the metrics registry.
   void RefreshStateLocked(double now_ms) KM_REQUIRES(mu_);
 
-  const KeymanticEngine& engine_;
+  /// Validation gate between a candidate engine and the swap: the
+  /// "snapshot.swap.validate_fail" failpoint plus structural sanity checks.
+  Status ValidateCandidate(const KeymanticEngine& candidate) const;
+
+  /// The serving engine. Guarded by mu_ for the swap; workers copy the
+  /// shared_ptr per request (RCU read side) and never hold mu_ across a
+  /// query.
+  std::shared_ptr<const KeymanticEngine> engine_ KM_GUARDED_BY(mu_);
   const EngineServerOptions options_;
   AdmissionQueue queue_;   // internally synchronized
   AimdLimiter limiter_;    // internally synchronized
@@ -163,6 +229,9 @@ class EngineServer {
   double last_shed_ms_ KM_GUARDED_BY(mu_) = -1e300;
   OverloadState state_ KM_GUARDED_BY(mu_) = OverloadState::kHealthy;
   bool shutdown_called_ KM_GUARDED_BY(mu_) = false;
+  /// Bottom rung of the reload ladder: reject Submits until a reload
+  /// succeeds.
+  bool refusing_ KM_GUARDED_BY(mu_) = false;
 
   std::vector<std::thread> workers_;  // written once in the constructor
 };

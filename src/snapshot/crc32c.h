@@ -1,0 +1,27 @@
+// Software CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78).
+//
+// Table-driven, byte at a time — fast enough for snapshot save/load (the
+// payloads are metadata-sized, not instance-sized) and dependency-free.
+// The Castagnoli polynomial is the storage-industry default (iSCSI, ext4,
+// LevelDB/RocksDB file formats) with better error-detection properties
+// than CRC32/zlib for short messages.
+
+#ifndef KM_SNAPSHOT_CRC32C_H_
+#define KM_SNAPSHOT_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace km {
+
+/// Extends `crc` with `data[0..n)`. Start from 0 for a fresh checksum.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+/// CRC32C of one contiguous buffer.
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+}  // namespace km
+
+#endif  // KM_SNAPSHOT_CRC32C_H_

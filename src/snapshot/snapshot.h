@@ -1,0 +1,60 @@
+// Crash-safe save / corruption-tolerant load of prepared engine state.
+//
+// SaveSnapshot serializes a PreparedState into the sectioned, per-section-
+// checksummed format of snapshot_format.h, crash-safely: the bytes go to a
+// temp file in the target directory, are fsync'ed, and only then renamed
+// over the destination (rename(2) is atomic within a filesystem), so a
+// crash at any instant leaves either the old snapshot or the new one —
+// never a torn file at the final path.
+//
+// LoadSnapshot memory-maps the file read-only and validates before it
+// trusts: magic/version/endianness, the index checksum over header and
+// section table, per-section CRC32C, and finally a semantic verification
+// pass (PreparedState::Assemble re-derives terminology/graph/summary from
+// the decoded schema and compares). Corruption yields typed errors:
+//
+//   kSnapshotTruncated        — file shorter than its own length fields
+//   kSnapshotChecksumMismatch — some checksum failed (bit rot, tampering)
+//   kSnapshotVersionSkew      — wrong magic/version/endianness, or content
+//                               a compatible build could not have written
+//
+// The loader never dereferences a byte past the validated file size, so a
+// truncated file cannot SIGBUS the process through the mapping.
+//
+// Failpoint sites (Debug / -DKM_FAILPOINTS=ON):
+//   snapshot.write.crash_before_rename — simulate a crash after the temp
+//     file is durable but before the atomic rename publishes it;
+//   snapshot.load.short_read — callback may shrink the perceived file size
+//     (simulates a torn write / partial read);
+//   snapshot.load.bit_flip — callback may corrupt a computed section CRC
+//     (deterministically exercises the checksum-mismatch path).
+
+#ifndef KM_SNAPSHOT_SNAPSHOT_H_
+#define KM_SNAPSHOT_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "common/trace.h"
+#include "core/prepared_state.h"
+
+namespace km {
+
+/// Serializes `state` to `path` crash-safely (temp file + fsync + atomic
+/// rename + directory fsync). Deterministic: saving the same state twice
+/// produces byte-identical files. `parent` (nullable) hosts a
+/// "snapshot.save" span. Metrics: km.snapshot.save.{total,failures,bytes}.
+Status SaveSnapshot(const PreparedState& state, const std::string& path,
+                    TraceNode* parent = nullptr);
+
+/// Loads, validates and assembles a snapshot written by SaveSnapshot.
+/// `parent` (nullable) hosts a "snapshot.load" span. Metrics:
+/// km.snapshot.load.{total,failures,failures.truncated,
+/// failures.checksum_mismatch,failures.version_skew}.
+StatusOr<std::shared_ptr<const PreparedState>> LoadSnapshot(
+    const std::string& path, TraceNode* parent = nullptr);
+
+}  // namespace km
+
+#endif  // KM_SNAPSHOT_SNAPSHOT_H_

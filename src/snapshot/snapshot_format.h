@@ -1,0 +1,80 @@
+// On-disk format of prepared-state snapshots, and the single registration
+// point for section tags (tools/km_lint.py rule R6, mirroring the
+// metric_names.h pattern for R5).
+//
+// A snapshot file is:
+//
+//   FileHeader                      (32 bytes, little-endian, packed by hand)
+//   SectionEntry × section_count    (32 bytes each)
+//   index_crc                       (4 bytes: CRC32C of header + table)
+//   section payloads                (contiguous, in table order)
+//
+// Every byte of the file is covered by exactly one checksum: the header and
+// section table by index_crc, each payload by its SectionEntry::crc. A
+// single flipped bit anywhere therefore fails the load with a typed error
+// (kSnapshotChecksumMismatch), and a file cut short at any offset fails
+// with kSnapshotTruncated *before* any payload byte is dereferenced — the
+// loader validates `total_size <= file size` up front so a truncated mmap
+// can never SIGBUS.
+//
+// All integers are little-endian. Doubles are serialized as their IEEE-754
+// bit pattern (uint64), so a save → load round trip is bit-exact. Writers
+// emit map-backed sections in sorted order, so saving the same state twice
+// yields byte-identical files.
+//
+// Versioning: bump kSnapshotVersion on any incompatible layout change; the
+// loader rejects other versions (and foreign endianness) with
+// kSnapshotVersionSkew. Unknown section tags are ignored on load (forward
+// compatibility); missing required sections are version skew.
+
+#ifndef KM_SNAPSHOT_SNAPSHOT_FORMAT_H_
+#define KM_SNAPSHOT_SNAPSHOT_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace km {
+
+/// First 8 bytes of every snapshot file.
+inline constexpr char kSnapshotMagic[8] = {'K', 'M', 'S', 'N',
+                                           'A', 'P', '0', '1'};
+
+/// Current format version; bump on incompatible layout changes.
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// Endianness marker written verbatim; reads back differently on a
+/// foreign-endian host, which the loader reports as version skew.
+inline constexpr uint32_t kSnapshotEndianMarker = 0x01020304u;
+
+/// Fixed sizes of the hand-packed structures (no struct punning: the
+/// writer and loader serialize field by field, so padding rules of the
+/// host ABI never leak into the format).
+inline constexpr size_t kSnapshotHeaderSize = 32;   // magic+ver+endian+count+reserved+total
+inline constexpr size_t kSnapshotSectionEntrySize = 32;  // tag+reserved+offset+size+crc+pad
+inline constexpr size_t kSnapshotIndexCrcSize = 4;
+
+/// Hard cap on section_count: far above any real snapshot (which has
+/// kNumSnapshotSections sections), low enough that a corrupt count cannot
+/// drive a huge table read before the index CRC is even checked.
+inline constexpr uint32_t kSnapshotMaxSections = 64;
+
+/// The section-tag catalog (tools/km_lint.py rule R6): every 4-character
+/// tag passed to a *Section(...) call in src/ must be registered here.
+/// Tags are exactly 4 characters from [A-Z0-9].
+///
+///   SCHM — database schema: relations, attributes, foreign keys
+///   TERM — terminology T(D), verified against re-derivation from SCHM
+///   GRPH — schema-graph edges with (possibly MI-rescaled) weights
+///   SUMM — summary-graph relations and meta-edges, verified
+///   WCFG — prepare-time configuration fingerprint (MI weights on/off, ...)
+///   VOCB — multi-word phrase vocabulary (sorted)
+///   VIDX — per-domain-term instance value index with occurrence counts
+inline constexpr const char* kSnapshotSectionTags[] = {
+    "SCHM", "TERM", "GRPH", "SUMM", "WCFG", "VOCB", "VIDX",
+};
+inline constexpr size_t kNumSnapshotSections =
+    sizeof(kSnapshotSectionTags) / sizeof(kSnapshotSectionTags[0]);
+
+}  // namespace km
+
+#endif  // KM_SNAPSHOT_SNAPSHOT_FORMAT_H_

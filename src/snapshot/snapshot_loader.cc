@@ -1,0 +1,511 @@
+// LoadSnapshot: mmap + validate + decode + PreparedState::Assemble.
+//
+// Trust boundary: the file is external input. Nothing is believed until it
+// is checked — structure against the file size (truncation can never run
+// the parser off the mapping), contents against CRC32C, decoded enums
+// against their ranges, and finally the whole decoded state against a
+// re-derivation from the schema (PreparedState::Assemble). Every failure
+// is a typed Status; no path aborts.
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/metrics.h"
+#include "snapshot/crc32c.h"
+#include "snapshot/snapshot.h"
+#include "snapshot/snapshot_format.h"
+#include "snapshot/value_codec.h"
+#include "snapshot/wire.h"
+
+namespace km {
+
+namespace {
+
+Counter& LoadCounter(const char* what) {
+  return MetricsRegistry::Default().CounterRef(std::string("km.snapshot.load.") +
+                                               what);
+}
+
+void CountFailure(const Status& s) {
+  LoadCounter("failures").Increment();
+  switch (s.code()) {
+    case StatusCode::kSnapshotTruncated:
+      LoadCounter("failures.truncated").Increment();
+      break;
+    case StatusCode::kSnapshotChecksumMismatch:
+      LoadCounter("failures.checksum_mismatch").Increment();
+      break;
+    case StatusCode::kSnapshotVersionSkew:
+      LoadCounter("failures.version_skew").Increment();
+      break;
+    default:
+      break;
+  }
+}
+
+/// Read-only mapping of a whole file; unmapped on scope exit.
+class MappedFile {
+ public:
+  static StatusOr<MappedFile> Open(const std::string& path) {
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      if (errno == ENOENT) {
+        return Status::NotFound("snapshot file not found: " + path);
+      }
+      return Status::Internal("open failed for snapshot '" + path +
+                              "': " + std::strerror(errno));
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      Status err = Status::Internal("fstat failed for snapshot '" + path +
+                                    "': " + std::strerror(errno));
+      ::close(fd);
+      return err;
+    }
+    MappedFile mf;
+    mf.size_ = static_cast<size_t>(st.st_size);
+    if (mf.size_ > 0) {
+      void* p = ::mmap(nullptr, mf.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+      if (p == MAP_FAILED) {
+        Status err = Status::Internal("mmap failed for snapshot '" + path +
+                                      "': " + std::strerror(errno));
+        ::close(fd);
+        return err;
+      }
+      mf.data_ = p;
+    }
+    ::close(fd);  // the mapping keeps the file alive
+    return mf;
+  }
+
+  MappedFile() = default;
+  MappedFile(MappedFile&& o) noexcept : data_(o.data_), size_(o.size_) {
+    o.data_ = nullptr;
+    o.size_ = 0;
+  }
+  MappedFile& operator=(MappedFile&& o) noexcept {
+    if (this != &o) {
+      Unmap();
+      data_ = o.data_;
+      size_ = o.size_;
+      o.data_ = nullptr;
+      o.size_ = 0;
+    }
+    return *this;
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile() { Unmap(); }
+
+  const uint8_t* data() const { return static_cast<const uint8_t*>(data_); }
+  size_t size() const { return size_; }
+
+ private:
+  void Unmap() {
+    if (data_ != nullptr) ::munmap(data_, size_);
+  }
+
+  void* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+uint32_t ReadU32LE(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t ReadU64LE(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+struct SectionView {
+  const uint8_t* data = nullptr;
+  size_t size = 0;
+  bool present = false;
+};
+
+/// The validated section table: one slot per catalog tag, unknown tags
+/// skipped (forward compatibility — a newer writer may add sections).
+struct SectionTable {
+  SectionView sections[kNumSnapshotSections];
+
+  StatusOr<SectionView> FindSection(const char* tag) const {
+    for (size_t i = 0; i < kNumSnapshotSections; ++i) {
+      if (std::strncmp(kSnapshotSectionTags[i], tag, 4) == 0) {
+        if (!sections[i].present) {
+          return Status::SnapshotVersionSkew(
+              std::string("required section '") + tag + "' missing");
+        }
+        return sections[i];
+      }
+    }
+    return Status::SnapshotVersionSkew(std::string("unknown section tag '") +
+                                       tag + "' requested");
+  }
+};
+
+/// Structural validation: header, section table, checksums. On success the
+/// returned views point into the mapping and every byte of the file has
+/// been covered by exactly one verified CRC.
+Status ValidateStructure(const uint8_t* data, size_t usable,
+                         SectionTable* table) {
+  if (usable < kSnapshotHeaderSize + kSnapshotIndexCrcSize) {
+    return Status::SnapshotTruncated(
+        "file too small for a snapshot header (" + std::to_string(usable) +
+        " bytes)");
+  }
+  if (std::memcmp(data, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Status::SnapshotVersionSkew("bad magic: not a snapshot file");
+  }
+  const uint32_t version = ReadU32LE(data + 8);
+  if (version != kSnapshotVersion) {
+    return Status::SnapshotVersionSkew(
+        "snapshot format version " + std::to_string(version) +
+        ", this build reads version " + std::to_string(kSnapshotVersion));
+  }
+  const uint32_t endian = ReadU32LE(data + 12);
+  if (endian != kSnapshotEndianMarker) {
+    return Status::SnapshotVersionSkew(
+        "endianness marker mismatch (snapshot written on an incompatible "
+        "platform)");
+  }
+  const uint32_t count = ReadU32LE(data + 16);
+  if (count > kSnapshotMaxSections) {
+    return Status::SnapshotVersionSkew("section count " +
+                                       std::to_string(count) +
+                                       " exceeds the format maximum");
+  }
+  const size_t index_size = kSnapshotHeaderSize +
+                            kSnapshotSectionEntrySize * count +
+                            kSnapshotIndexCrcSize;
+  if (usable < index_size) {
+    return Status::SnapshotTruncated("file ends inside the section table");
+  }
+  // The index checksum covers header + table; a flipped bit anywhere in the
+  // metadata fails here before any field is trusted further.
+  const uint32_t stored_index_crc = ReadU32LE(data + index_size - 4);
+  const uint32_t index_crc = Crc32c(data, index_size - 4);
+  if (index_crc != stored_index_crc) {
+    return Status::SnapshotChecksumMismatch("section table checksum mismatch");
+  }
+  const uint64_t total_size = ReadU64LE(data + 24);
+  if (total_size > usable) {
+    return Status::SnapshotTruncated(
+        "file holds " + std::to_string(usable) + " bytes but declares " +
+        std::to_string(total_size));
+  }
+  if (total_size < index_size) {
+    return Status::SnapshotVersionSkew(
+        "declared total size smaller than the section table");
+  }
+
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint8_t* entry = data + kSnapshotHeaderSize +
+                           static_cast<size_t>(i) * kSnapshotSectionEntrySize;
+    const char* tag = reinterpret_cast<const char*>(entry);
+    const uint64_t offset = ReadU64LE(entry + 8);
+    const uint64_t size = ReadU64LE(entry + 16);
+    const uint32_t stored_crc = ReadU32LE(entry + 24);
+    const std::string tag_str(tag, 4);
+    if (offset < index_size || offset + size < offset ||
+        offset + size > total_size) {
+      return Status::SnapshotVersionSkew("section '" + tag_str +
+                                         "' extends outside the file");
+    }
+    uint32_t crc = Crc32c(data + offset, size);
+    // A scripted callback may corrupt the computed CRC — the deterministic
+    // stand-in for a flipped bit in the payload.
+    KM_FAILPOINT_VISIT("snapshot.load.bit_flip", nullptr, &crc);
+    if (crc != stored_crc) {
+      return Status::SnapshotChecksumMismatch("section '" + tag_str +
+                                              "' checksum mismatch");
+    }
+    for (size_t s = 0; s < kNumSnapshotSections; ++s) {
+      if (std::strncmp(kSnapshotSectionTags[s], tag, 4) == 0) {
+        table->sections[s] = {data + offset, static_cast<size_t>(size), true};
+        break;
+      }
+      // No match: an unknown section from a future writer — ignored.
+    }
+  }
+  return Status::OK();
+}
+
+Status RequireClean(const wire::Cursor& cur, const char* tag) {
+  if (!cur.AtEnd()) {
+    return Status::SnapshotVersionSkew(std::string("section '") + tag +
+                                       "' has " +
+                                       std::to_string(cur.remaining()) +
+                                       " trailing bytes");
+  }
+  return Status::OK();
+}
+
+Status BadEnum(const char* tag, const char* field, unsigned value) {
+  return Status::SnapshotVersionSkew(std::string("section '") + tag +
+                                     "': " + field + " value " +
+                                     std::to_string(value) + " out of range");
+}
+
+// Enum ceilings (== the last enumerator of each decoded enum).
+constexpr uint8_t kMaxDataType = 4;   // DataType::kDate
+constexpr uint8_t kMaxDomainTag = 15; // DomainTag::kFreeText
+constexpr uint8_t kMaxTermKind = 2;   // TermKind::kDomain
+constexpr uint8_t kMaxEdgeKind = 2;   // EdgeKind::kForeignKey
+
+Status DecodeSchema(const SectionView& sec, DatabaseSchema* schema) {
+  wire::Cursor cur(sec.data, sec.size, "section 'SCHM'");
+  uint32_t relation_count;
+  KM_RETURN_IF_ERROR(cur.U32(&relation_count));
+  for (uint32_t r = 0; r < relation_count; ++r) {
+    std::string name;
+    uint32_t arity;
+    KM_RETURN_IF_ERROR(cur.Str(&name));
+    KM_RETURN_IF_ERROR(cur.U32(&arity));
+    std::vector<AttributeDef> attrs;
+    for (uint32_t a = 0; a < arity; ++a) {
+      AttributeDef attr;
+      uint8_t type, tag, is_pk;
+      KM_RETURN_IF_ERROR(cur.Str(&attr.name));
+      KM_RETURN_IF_ERROR(cur.U8(&type));
+      KM_RETURN_IF_ERROR(cur.U8(&tag));
+      KM_RETURN_IF_ERROR(cur.U8(&is_pk));
+      if (type > kMaxDataType) return BadEnum("SCHM", "data type", type);
+      if (tag > kMaxDomainTag) return BadEnum("SCHM", "domain tag", tag);
+      if (is_pk > 1) return BadEnum("SCHM", "primary-key flag", is_pk);
+      attr.type = static_cast<DataType>(type);
+      attr.tag = static_cast<DomainTag>(tag);
+      attr.is_primary_key = is_pk == 1;
+      // is_foreign_key is not on the wire: AddForeignKey below re-derives it,
+      // so the terminology cross-check in Assemble verifies real consistency.
+      attrs.push_back(std::move(attr));
+    }
+    Status added = schema->AddRelation(RelationSchema(name, std::move(attrs)));
+    if (!added.ok()) {
+      return Status::SnapshotVersionSkew("section 'SCHM': relation '" + name +
+                                         "' rejected by the catalog: " +
+                                         added.message());
+    }
+  }
+  uint32_t fk_count;
+  KM_RETURN_IF_ERROR(cur.U32(&fk_count));
+  for (uint32_t f = 0; f < fk_count; ++f) {
+    ForeignKey fk;
+    KM_RETURN_IF_ERROR(cur.Str(&fk.from_relation));
+    KM_RETURN_IF_ERROR(cur.Str(&fk.from_attribute));
+    KM_RETURN_IF_ERROR(cur.Str(&fk.to_relation));
+    KM_RETURN_IF_ERROR(cur.Str(&fk.to_attribute));
+    Status added = schema->AddForeignKey(fk);
+    if (!added.ok()) {
+      return Status::SnapshotVersionSkew(
+          "section 'SCHM': foreign key " + fk.from_relation + "." +
+          fk.from_attribute + " -> " + fk.to_relation + "." + fk.to_attribute +
+          " rejected by the catalog: " + added.message());
+    }
+  }
+  return RequireClean(cur, "SCHM");
+}
+
+Status DecodeTerminology(const SectionView& sec,
+                         std::vector<DatabaseTerm>* terms) {
+  wire::Cursor cur(sec.data, sec.size, "section 'TERM'");
+  uint32_t count;
+  KM_RETURN_IF_ERROR(cur.U32(&count));
+  for (uint32_t i = 0; i < count; ++i) {
+    DatabaseTerm t;
+    uint8_t kind, type, tag, is_fk;
+    KM_RETURN_IF_ERROR(cur.U8(&kind));
+    KM_RETURN_IF_ERROR(cur.Str(&t.relation));
+    KM_RETURN_IF_ERROR(cur.Str(&t.attribute));
+    KM_RETURN_IF_ERROR(cur.U8(&type));
+    KM_RETURN_IF_ERROR(cur.U8(&tag));
+    KM_RETURN_IF_ERROR(cur.U8(&is_fk));
+    if (kind > kMaxTermKind) return BadEnum("TERM", "term kind", kind);
+    if (type > kMaxDataType) return BadEnum("TERM", "data type", type);
+    if (tag > kMaxDomainTag) return BadEnum("TERM", "domain tag", tag);
+    if (is_fk > 1) return BadEnum("TERM", "foreign-key flag", is_fk);
+    t.kind = static_cast<TermKind>(kind);
+    t.type = static_cast<DataType>(type);
+    t.tag = static_cast<DomainTag>(tag);
+    t.is_foreign_key = is_fk == 1;
+    terms->push_back(std::move(t));
+  }
+  return RequireClean(cur, "TERM");
+}
+
+Status DecodeGraph(const SectionView& sec, std::vector<GraphEdge>* edges) {
+  wire::Cursor cur(sec.data, sec.size, "section 'GRPH'");
+  uint32_t count;
+  KM_RETURN_IF_ERROR(cur.U32(&count));
+  for (uint32_t i = 0; i < count; ++i) {
+    GraphEdge e;
+    uint32_t from, to;
+    uint8_t kind;
+    KM_RETURN_IF_ERROR(cur.U32(&from));
+    KM_RETURN_IF_ERROR(cur.U32(&to));
+    KM_RETURN_IF_ERROR(cur.U8(&kind));
+    KM_RETURN_IF_ERROR(cur.I32(&e.fk_index));
+    KM_RETURN_IF_ERROR(cur.F64(&e.weight));
+    if (kind > kMaxEdgeKind) return BadEnum("GRPH", "edge kind", kind);
+    e.from = from;
+    e.to = to;
+    e.kind = static_cast<EdgeKind>(kind);
+    edges->push_back(e);
+  }
+  return RequireClean(cur, "GRPH");
+}
+
+Status DecodeSummary(const SectionView& sec,
+                     PreparedState::SummaryExpectation* summary) {
+  wire::Cursor cur(sec.data, sec.size, "section 'SUMM'");
+  uint32_t relation_count;
+  KM_RETURN_IF_ERROR(cur.U32(&relation_count));
+  for (uint32_t i = 0; i < relation_count; ++i) {
+    std::string rel;
+    KM_RETURN_IF_ERROR(cur.Str(&rel));
+    summary->relations.push_back(std::move(rel));
+  }
+  uint32_t edge_count;
+  KM_RETURN_IF_ERROR(cur.U32(&edge_count));
+  for (uint32_t i = 0; i < edge_count; ++i) {
+    PreparedState::SummaryExpectation::Edge e;
+    KM_RETURN_IF_ERROR(cur.U64(&e.from_rel));
+    KM_RETURN_IF_ERROR(cur.U64(&e.to_rel));
+    KM_RETURN_IF_ERROR(cur.U64(&e.fk_edge));
+    KM_RETURN_IF_ERROR(cur.F64(&e.weight));
+    summary->edges.push_back(e);
+  }
+  return RequireClean(cur, "SUMM");
+}
+
+Status DecodeConfig(const SectionView& sec, PrepareOptions* options) {
+  wire::Cursor cur(sec.data, sec.size, "section 'WCFG'");
+  uint8_t mi, vocab, instance, reserved;
+  KM_RETURN_IF_ERROR(cur.U8(&mi));
+  KM_RETURN_IF_ERROR(cur.U8(&vocab));
+  KM_RETURN_IF_ERROR(cur.U8(&instance));
+  KM_RETURN_IF_ERROR(cur.U8(&reserved));
+  if (mi > 1) return BadEnum("WCFG", "use_mi_weights", mi);
+  if (vocab > 1) return BadEnum("WCFG", "build_phrase_vocabulary", vocab);
+  if (instance > 1) return BadEnum("WCFG", "use_instance_vocabulary", instance);
+  options->use_mi_weights = mi == 1;
+  options->build_phrase_vocabulary = vocab == 1;
+  options->weights.use_instance_vocabulary = instance == 1;
+  return RequireClean(cur, "WCFG");
+}
+
+Status DecodeVocabulary(const SectionView& sec,
+                        std::unordered_set<std::string>* vocab) {
+  wire::Cursor cur(sec.data, sec.size, "section 'VOCB'");
+  uint32_t count;
+  KM_RETURN_IF_ERROR(cur.U32(&count));
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string phrase;
+    KM_RETURN_IF_ERROR(cur.Str(&phrase));
+    vocab->insert(std::move(phrase));
+  }
+  return RequireClean(cur, "VOCB");
+}
+
+Status DecodeValueIndex(const SectionView& sec,
+                        std::vector<ValueIndexEntry>* index) {
+  wire::Cursor cur(sec.data, sec.size, "section 'VIDX'");
+  uint8_t present;
+  KM_RETURN_IF_ERROR(cur.U8(&present));
+  if (present > 1) return BadEnum("VIDX", "presence flag", present);
+  if (present == 0) return RequireClean(cur, "VIDX");
+  uint32_t entry_count;
+  KM_RETURN_IF_ERROR(cur.U32(&entry_count));
+  for (uint32_t i = 0; i < entry_count; ++i) {
+    ValueIndexEntry entry;
+    uint32_t text_count;
+    KM_RETURN_IF_ERROR(cur.U32(&text_count));
+    for (uint32_t t = 0; t < text_count; ++t) {
+      std::string value;
+      uint64_t count;
+      KM_RETURN_IF_ERROR(cur.Str(&value));
+      KM_RETURN_IF_ERROR(cur.U64(&count));
+      entry.text_values.emplace(std::move(value), count);
+    }
+    uint32_t other_count;
+    KM_RETURN_IF_ERROR(cur.U32(&other_count));
+    for (uint32_t o = 0; o < other_count; ++o) {
+      Value value;
+      uint64_t count;
+      KM_RETURN_IF_ERROR(wire::DecodeValue(cur, &value));
+      KM_RETURN_IF_ERROR(cur.U64(&count));
+      entry.other_values.emplace(std::move(value), count);
+    }
+    index->push_back(std::move(entry));
+  }
+  return RequireClean(cur, "VIDX");
+}
+
+StatusOr<std::shared_ptr<const PreparedState>> LoadImpl(
+    const std::string& path, ScopedSpan& span) {
+  KM_ASSIGN_OR_RETURN(MappedFile file, MappedFile::Open(path));
+
+  // A scripted callback may shrink the perceived size — the deterministic
+  // stand-in for a torn write or short read. Everything downstream treats
+  // `usable` as the end of the world, so truncation cannot SIGBUS.
+  size_t usable = file.size();
+  KM_FAILPOINT_VISIT("snapshot.load.short_read", nullptr, &usable);
+  if (usable > file.size()) usable = file.size();
+
+  SectionTable table;
+  KM_RETURN_IF_ERROR(ValidateStructure(file.data(), usable, &table));
+  span.Add("bytes", usable);
+
+  DatabaseSchema schema;
+  std::vector<DatabaseTerm> terms;
+  std::vector<GraphEdge> edges;
+  PreparedState::SummaryExpectation summary;
+  PrepareOptions options;
+  std::unordered_set<std::string> vocab;
+  std::vector<ValueIndexEntry> value_index;
+
+  KM_ASSIGN_OR_RETURN(SectionView schm, table.FindSection("SCHM"));
+  KM_RETURN_IF_ERROR(DecodeSchema(schm, &schema));
+  KM_ASSIGN_OR_RETURN(SectionView term, table.FindSection("TERM"));
+  KM_RETURN_IF_ERROR(DecodeTerminology(term, &terms));
+  KM_ASSIGN_OR_RETURN(SectionView grph, table.FindSection("GRPH"));
+  KM_RETURN_IF_ERROR(DecodeGraph(grph, &edges));
+  KM_ASSIGN_OR_RETURN(SectionView summ, table.FindSection("SUMM"));
+  KM_RETURN_IF_ERROR(DecodeSummary(summ, &summary));
+  KM_ASSIGN_OR_RETURN(SectionView wcfg, table.FindSection("WCFG"));
+  KM_RETURN_IF_ERROR(DecodeConfig(wcfg, &options));
+  KM_ASSIGN_OR_RETURN(SectionView vocb, table.FindSection("VOCB"));
+  KM_RETURN_IF_ERROR(DecodeVocabulary(vocb, &vocab));
+  KM_ASSIGN_OR_RETURN(SectionView vidx, table.FindSection("VIDX"));
+  KM_RETURN_IF_ERROR(DecodeValueIndex(vidx, &value_index));
+
+  return PreparedState::Assemble(std::move(schema), terms, edges, summary,
+                                 std::move(options), std::move(vocab),
+                                 std::move(value_index));
+}
+
+}  // namespace
+
+StatusOr<std::shared_ptr<const PreparedState>> LoadSnapshot(
+    const std::string& path, TraceNode* parent) {
+  KM_SPAN(span, parent, "snapshot.load");
+  LoadCounter("total").Increment();
+  StatusOr<std::shared_ptr<const PreparedState>> result = LoadImpl(path, span);
+  if (!result.ok()) CountFailure(result.status());
+  return result;
+}
+
+}  // namespace km

@@ -1,0 +1,265 @@
+// SaveSnapshot: deterministic serialization + crash-safe publication.
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/metrics.h"
+#include "snapshot/crc32c.h"
+#include "snapshot/snapshot.h"
+#include "snapshot/snapshot_format.h"
+#include "snapshot/value_codec.h"
+#include "snapshot/wire.h"
+
+namespace km {
+
+namespace {
+
+Counter& SaveCounter(const char* what) {
+  return MetricsRegistry::Default().CounterRef(std::string("km.snapshot.save.") +
+                                               what);
+}
+
+/// Ordered list of (tag, payload) pairs plus the assembly step. Tags are
+/// passed as literals at the BeginSection call sites — tools/km_lint.py
+/// rule R6 checks each against the snapshot_format.h catalog.
+class SectionSet {
+ public:
+  wire::Buf& BeginSection(const char* tag) {
+    sections_.emplace_back(tag, wire::Buf());
+    return sections_.back().second;
+  }
+
+  /// Header + table + index CRC + payloads, per snapshot_format.h.
+  std::string Assemble() const {
+    const uint32_t count = static_cast<uint32_t>(sections_.size());
+    const size_t index_size = kSnapshotHeaderSize +
+                              kSnapshotSectionEntrySize * count +
+                              kSnapshotIndexCrcSize;
+    uint64_t total_size = index_size;
+    for (const auto& [tag, payload] : sections_) total_size += payload.size();
+
+    wire::Buf index;
+    index.Raw(kSnapshotMagic, sizeof(kSnapshotMagic));
+    index.U32(kSnapshotVersion);
+    index.U32(kSnapshotEndianMarker);
+    index.U32(count);
+    index.U32(0);  // reserved
+    index.U64(total_size);
+    uint64_t offset = index_size;
+    for (const auto& [tag, payload] : sections_) {
+      index.Raw(tag, 4);
+      index.U32(0);  // reserved
+      index.U64(offset);
+      index.U64(payload.size());
+      index.U32(Crc32c(payload.bytes().data(), payload.size()));
+      index.U32(0);  // pad
+      offset += payload.size();
+    }
+    std::string file = index.bytes();
+    const uint32_t index_crc = Crc32c(file.data(), file.size());
+    for (int i = 0; i < 4; ++i) {
+      file.push_back(static_cast<char>(index_crc >> (8 * i)));
+    }
+    for (const auto& [tag, payload] : sections_) file.append(payload.bytes());
+    return file;
+  }
+
+ private:
+  std::vector<std::pair<const char*, wire::Buf>> sections_;
+};
+
+void EncodeSchema(const DatabaseSchema& schema, wire::Buf& buf) {
+  buf.U32(static_cast<uint32_t>(schema.relations().size()));
+  for (const RelationSchema& rel : schema.relations()) {
+    buf.Str(rel.name());
+    buf.U32(static_cast<uint32_t>(rel.arity()));
+    for (const AttributeDef& attr : rel.attributes()) {
+      buf.Str(attr.name);
+      buf.U8(static_cast<uint8_t>(attr.type));
+      buf.U8(static_cast<uint8_t>(attr.tag));
+      // is_foreign_key is deliberately NOT serialized: the loader re-derives
+      // it by replaying the FK list through the catalog's validating API.
+      buf.U8(attr.is_primary_key ? 1 : 0);
+    }
+  }
+  buf.U32(static_cast<uint32_t>(schema.foreign_keys().size()));
+  for (const ForeignKey& fk : schema.foreign_keys()) {
+    buf.Str(fk.from_relation);
+    buf.Str(fk.from_attribute);
+    buf.Str(fk.to_relation);
+    buf.Str(fk.to_attribute);
+  }
+}
+
+void EncodeTerminology(const Terminology& term, wire::Buf& buf) {
+  buf.U32(static_cast<uint32_t>(term.size()));
+  for (const DatabaseTerm& t : term.terms()) {
+    buf.U8(static_cast<uint8_t>(t.kind));
+    buf.Str(t.relation);
+    buf.Str(t.attribute);
+    buf.U8(static_cast<uint8_t>(t.type));
+    buf.U8(static_cast<uint8_t>(t.tag));
+    buf.U8(t.is_foreign_key ? 1 : 0);
+  }
+}
+
+void EncodeGraph(const SchemaGraph& graph, wire::Buf& buf) {
+  buf.U32(static_cast<uint32_t>(graph.edge_count()));
+  for (const GraphEdge& e : graph.edges()) {
+    buf.U32(static_cast<uint32_t>(e.from));
+    buf.U32(static_cast<uint32_t>(e.to));
+    buf.U8(static_cast<uint8_t>(e.kind));
+    buf.I32(e.fk_index);
+    buf.F64(e.weight);
+  }
+}
+
+void EncodeSummary(const SummaryGraph& summary, wire::Buf& buf) {
+  buf.U32(static_cast<uint32_t>(summary.relations().size()));
+  for (const std::string& rel : summary.relations()) buf.Str(rel);
+  buf.U32(static_cast<uint32_t>(summary.meta_edges().size()));
+  for (const SummaryGraph::MetaEdge& e : summary.meta_edges()) {
+    buf.U64(e.from_rel);
+    buf.U64(e.to_rel);
+    buf.U64(e.fk_edge);
+    buf.F64(e.weight);
+  }
+}
+
+void EncodeConfig(const PrepareOptions& options, wire::Buf& buf) {
+  buf.U8(options.use_mi_weights ? 1 : 0);
+  buf.U8(options.build_phrase_vocabulary ? 1 : 0);
+  buf.U8(options.weights.use_instance_vocabulary ? 1 : 0);
+  buf.U8(0);  // reserved
+}
+
+void EncodeVocabulary(const TokenizerOptions& tok, wire::Buf& buf) {
+  // unordered_set iteration order is nondeterministic; sort so repeated
+  // saves of the same state are byte-identical.
+  std::vector<std::string> phrases(tok.phrase_vocabulary.begin(),
+                                   tok.phrase_vocabulary.end());
+  std::sort(phrases.begin(), phrases.end());
+  buf.U32(static_cast<uint32_t>(phrases.size()));
+  for (const std::string& p : phrases) buf.Str(p);
+}
+
+void EncodeValueIndex(const std::vector<ValueIndexEntry>& index,
+                      wire::Buf& buf) {
+  buf.U8(index.empty() ? 0 : 1);
+  if (index.empty()) return;
+  buf.U32(static_cast<uint32_t>(index.size()));
+  for (const ValueIndexEntry& entry : index) {
+    // Sorted for determinism (the backing maps are unordered).
+    std::vector<std::pair<std::string, size_t>> text(entry.text_values.begin(),
+                                                     entry.text_values.end());
+    std::sort(text.begin(), text.end());
+    buf.U32(static_cast<uint32_t>(text.size()));
+    for (const auto& [value, count] : text) {
+      buf.Str(value);
+      buf.U64(count);
+    }
+    std::vector<std::pair<Value, size_t>> other(entry.other_values.begin(),
+                                                entry.other_values.end());
+    std::sort(other.begin(), other.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    buf.U32(static_cast<uint32_t>(other.size()));
+    for (const auto& [value, count] : other) {
+      wire::EncodeValue(buf, value);
+      buf.U64(count);
+    }
+  }
+}
+
+Status IoError(const std::string& op, const std::string& path) {
+  return Status::Internal(op + " failed for snapshot '" + path +
+                          "': " + std::strerror(errno));
+}
+
+/// Writes `bytes` to `path` via temp file + fsync + atomic rename + parent
+/// directory fsync.
+Status WriteFileDurably(const std::string& bytes, const std::string& path) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return IoError("open", tmp);
+  size_t written = 0;
+  while (written < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status err = IoError("write", tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return err;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    Status err = IoError("fsync", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return err;
+  }
+  if (::close(fd) != 0) {
+    Status err = IoError("close", tmp);
+    ::unlink(tmp.c_str());
+    return err;
+  }
+  // A simulated crash here leaves the durable temp file stranded and the
+  // destination untouched — exactly the torn-deploy scenario the loader
+  // and reload ladder must survive.
+  KM_FAILPOINT("snapshot.write.crash_before_rename");
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status err = IoError("rename", path);
+    ::unlink(tmp.c_str());
+    return err;
+  }
+  // Make the rename itself durable: fsync the containing directory.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    (void)::fsync(dfd);  // best effort: some filesystems reject dir fsync
+    ::close(dfd);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveSnapshot(const PreparedState& state, const std::string& path,
+                    TraceNode* parent) {
+  KM_SPAN(span, parent, "snapshot.save");
+  SaveCounter("total").Increment();
+
+  SectionSet sections;
+  EncodeSchema(state.schema(), sections.BeginSection("SCHM"));
+  EncodeTerminology(state.terminology(), sections.BeginSection("TERM"));
+  EncodeGraph(state.graph(), sections.BeginSection("GRPH"));
+  EncodeSummary(state.summary(), sections.BeginSection("SUMM"));
+  EncodeConfig(state.options(), sections.BeginSection("WCFG"));
+  EncodeVocabulary(state.tokenizer_options(), sections.BeginSection("VOCB"));
+  EncodeValueIndex(state.value_index(), sections.BeginSection("VIDX"));
+
+  const std::string bytes = sections.Assemble();
+  span.Add("bytes", bytes.size());
+
+  Status written = WriteFileDurably(bytes, path);
+  if (!written.ok()) {
+    SaveCounter("failures").Increment();
+    return written;
+  }
+  SaveCounter("bytes").Increment(bytes.size());
+  return Status::OK();
+}
+
+}  // namespace km

@@ -1,0 +1,82 @@
+// Wire codec for relational Values (the VIDX section). Internal to
+// src/snapshot/. Kept in one header so the encoder and decoder cannot
+// drift apart.
+
+#ifndef KM_SNAPSHOT_VALUE_CODEC_H_
+#define KM_SNAPSHOT_VALUE_CODEC_H_
+
+#include "common/status.h"
+#include "relational/value.h"
+#include "snapshot/wire.h"
+
+namespace km::wire {
+
+// One byte of type tag, then the payload. NULL values never reach the
+// value index (the builder skips them), so tag 0 is invalid on the wire.
+inline constexpr uint8_t kValInt = 1;
+inline constexpr uint8_t kValReal = 2;
+inline constexpr uint8_t kValText = 3;
+inline constexpr uint8_t kValBool = 4;
+inline constexpr uint8_t kValDate = 5;
+
+inline void EncodeValue(Buf& buf, const Value& v) {
+  if (v.is_int()) {
+    buf.U8(kValInt);
+    buf.U64(static_cast<uint64_t>(v.AsInt()));
+  } else if (v.is_real()) {
+    buf.U8(kValReal);
+    buf.F64(v.AsReal());
+  } else if (v.is_bool()) {
+    buf.U8(kValBool);
+    buf.U8(v.AsBool() ? 1 : 0);
+  } else if (v.is_text()) {
+    buf.U8(v.is_date() ? kValDate : kValText);
+    buf.Str(v.AsText());
+  } else {
+    // NULL: unreachable for index entries; encode as an empty text value
+    // so the format stays total.
+    buf.U8(kValText);
+    buf.Str(std::string());
+  }
+}
+
+inline Status DecodeValue(Cursor& cur, Value* out) {
+  uint8_t tag;
+  KM_RETURN_IF_ERROR(cur.U8(&tag));
+  switch (tag) {
+    case kValInt: {
+      uint64_t v;
+      KM_RETURN_IF_ERROR(cur.U64(&v));
+      *out = Value::Int(static_cast<int64_t>(v));
+      return Status::OK();
+    }
+    case kValReal: {
+      double v;
+      KM_RETURN_IF_ERROR(cur.F64(&v));
+      *out = Value::Real(v);
+      return Status::OK();
+    }
+    case kValBool: {
+      uint8_t v;
+      KM_RETURN_IF_ERROR(cur.U8(&v));
+      *out = Value::Bool(v != 0);
+      return Status::OK();
+    }
+    case kValText:
+    case kValDate: {
+      std::string s;
+      KM_RETURN_IF_ERROR(cur.Str(&s));
+      *out = tag == kValDate ? Value::Date(std::move(s))
+                             : Value::Text(std::move(s));
+      return Status::OK();
+    }
+    default:
+      return Status::SnapshotVersionSkew("unknown value type tag " +
+                                         std::to_string(tag) +
+                                         " in value index");
+  }
+}
+
+}  // namespace km::wire
+
+#endif  // KM_SNAPSHOT_VALUE_CODEC_H_

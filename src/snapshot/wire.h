@@ -1,0 +1,121 @@
+// Byte-level encode/decode helpers shared by the snapshot writer and
+// loader. Internal to src/snapshot/ — not part of the public API.
+//
+// All integers are little-endian, written byte by byte (no struct punning,
+// no host-endianness leakage). Doubles travel as their IEEE-754 bit
+// pattern, so round trips are bit-exact. Strings are u32 length + raw
+// bytes. The reader is bounds-checked on every primitive: running off the
+// end of a section yields a typed error, never a wild read.
+
+#ifndef KM_SNAPSHOT_WIRE_H_
+#define KM_SNAPSHOT_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/status.h"
+
+namespace km::wire {
+
+/// Append-only little-endian byte buffer.
+class Buf {
+ public:
+  void U8(uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) U8(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) U8(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void F64(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    bytes_.append(s);
+  }
+  void Raw(const void* data, size_t n) {
+    bytes_.append(static_cast<const char*>(data), n);
+  }
+
+  const std::string& bytes() const { return bytes_; }
+  size_t size() const { return bytes_.size(); }
+
+ private:
+  std::string bytes_;
+};
+
+/// Bounds-checked little-endian reader over one section payload. Every
+/// overrun returns the error built by the owner-supplied context string —
+/// the caller decides whether that is truncation (raw file structure) or
+/// version skew (payload that passed its CRC but does not parse).
+class Cursor {
+ public:
+  Cursor(const void* data, size_t size, std::string what)
+      : p_(static_cast<const uint8_t*>(data)), n_(size), what_(std::move(what)) {}
+
+  Status U8(uint8_t* out) {
+    if (off_ + 1 > n_) return Overrun();
+    *out = p_[off_++];
+    return Status::OK();
+  }
+  Status U32(uint32_t* out) {
+    if (off_ + 4 > n_) return Overrun();
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p_[off_ + i]) << (8 * i);
+    off_ += 4;
+    *out = v;
+    return Status::OK();
+  }
+  Status U64(uint64_t* out) {
+    if (off_ + 8 > n_) return Overrun();
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p_[off_ + i]) << (8 * i);
+    off_ += 8;
+    *out = v;
+    return Status::OK();
+  }
+  Status I32(int32_t* out) {
+    uint32_t v;
+    KM_RETURN_IF_ERROR(U32(&v));
+    *out = static_cast<int32_t>(v);
+    return Status::OK();
+  }
+  Status F64(double* out) {
+    uint64_t bits;
+    KM_RETURN_IF_ERROR(U64(&bits));
+    static_assert(sizeof(bits) == sizeof(*out));
+    std::memcpy(out, &bits, sizeof(bits));
+    return Status::OK();
+  }
+  Status Str(std::string* out) {
+    uint32_t len;
+    KM_RETURN_IF_ERROR(U32(&len));
+    if (off_ + len > n_ || off_ + len < off_) return Overrun();
+    out->assign(reinterpret_cast<const char*>(p_ + off_), len);
+    off_ += len;
+    return Status::OK();
+  }
+
+  bool AtEnd() const { return off_ == n_; }
+  size_t remaining() const { return n_ - off_; }
+
+ private:
+  Status Overrun() const {
+    return Status::SnapshotVersionSkew(what_ + ": payload ends mid-record");
+  }
+
+  const uint8_t* p_;
+  size_t n_;
+  size_t off_ = 0;
+  std::string what_;
+};
+
+}  // namespace km::wire
+
+#endif  // KM_SNAPSHOT_WIRE_H_

@@ -7,7 +7,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <limits>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -18,6 +20,8 @@
 #include "core/keymantic.h"
 #include "datasets/university.h"
 #include "engine/executor.h"
+#include "serve/engine_server.h"
+#include "snapshot/snapshot.h"
 
 namespace km {
 namespace {
@@ -513,6 +517,18 @@ TEST_F(ResilienceTest, EverySiteIsVisitedByTheUnarmedPipeline) {
     KeymanticEngine engine = MakeEngine(ForwardMode::kHungarian,
                                         BackwardMode::kSummary);
     ASSERT_TRUE(engine.Answer("Vokram IT", 5).ok());
+  }
+  {
+    // The snapshot sites: save, load, and a hot-swap through the serving
+    // layer (which passes the validation gate).
+    auto engine = std::make_shared<const KeymanticEngine>(*db_);
+    const std::string path = testing::TempDir() + "km_resilience_sweep.snap";
+    ASSERT_TRUE(SaveSnapshot(*engine->prepared_state(), path).ok());
+    ASSERT_TRUE(LoadSnapshot(path).ok());
+    EngineServer server(engine);
+    ASSERT_TRUE(server.ReloadSnapshot(path).ok());
+    server.Shutdown();
+    std::remove(path.c_str());
   }
   std::vector<std::string> visited = failpoints::VisitedSites();
   for (size_t i = 0; i < failpoints::kNumFailpointSites; ++i) {

@@ -1,0 +1,135 @@
+// Corruption fuzz harness for the snapshot loader (satellite of the
+// crash-safe snapshot PR): hundreds of random single-byte flips and
+// truncations of a valid snapshot, each fed to LoadSnapshot. The contract
+// under test: every iteration either loads cleanly (impossible here — the
+// format covers every byte with a checksum) or returns one of the three
+// typed snapshot errors. Never a crash, never an abort, never an ASan
+// report (the CI asan job runs this suite).
+//
+// Iteration count: 500 by default; KM_SNAPSHOT_FUZZ_ITERS overrides it
+// (the failpoints CI job runs a bounded smoke, local soak runs can go
+// higher). The mt19937 seed is fixed, so a failure reproduces exactly.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <random>
+#include <sstream>
+#include <string>
+
+#include "common/status.h"
+#include "core/prepared_state.h"
+#include "datasets/university.h"
+#include "snapshot/snapshot.h"
+
+namespace km {
+namespace {
+
+size_t FuzzIterations() {
+  const char* env = std::getenv("KM_SNAPSHOT_FUZZ_ITERS");
+  if (env != nullptr) {
+    const long parsed = std::atol(env);
+    if (parsed > 0) return static_cast<size_t>(parsed);
+  }
+  return 500;
+}
+
+bool IsTypedSnapshotError(StatusCode code) {
+  return code == StatusCode::kSnapshotTruncated ||
+         code == StatusCode::kSnapshotChecksumMismatch ||
+         code == StatusCode::kSnapshotVersionSkew;
+}
+
+class SnapshotCorruptionTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    UniversityOptions opts;
+    opts.extra_people = 10;
+    auto db = BuildUniversityDatabase(opts);
+    ASSERT_TRUE(db.ok());
+    db_ = std::make_unique<Database>(std::move(*db));
+    auto state = PreparedState::Build(*db_, PrepareOptions{});
+    path_ = testing::TempDir() + "km_fuzz_base.snap";
+    ASSERT_TRUE(SaveSnapshot(*state, path_).ok());
+    std::ifstream in(path_, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes_ = buf.str();
+    ASSERT_GT(bytes_.size(), 0u);
+  }
+
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove(corrupt_path_.c_str());
+  }
+
+  /// Writes `bytes` to the scratch path and loads it, asserting the typed
+  /// error contract. `what` labels the failure for reproduction.
+  void ExpectTypedFailure(const std::string& bytes, const std::string& what) {
+    {
+      std::ofstream out(corrupt_path_, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+      ASSERT_TRUE(out.good());
+    }
+    auto loaded = LoadSnapshot(corrupt_path_);
+    ASSERT_FALSE(loaded.ok()) << what << ": corrupted snapshot loaded cleanly";
+    EXPECT_TRUE(IsTypedSnapshotError(loaded.status().code()))
+        << what << ": untyped error " << loaded.status().ToString();
+  }
+
+  std::unique_ptr<Database> db_;
+  std::string path_;
+  std::string corrupt_path_ = testing::TempDir() + "km_fuzz_corrupt.snap";
+  std::string bytes_;
+};
+
+TEST_F(SnapshotCorruptionTest, RandomSingleByteFlipsAlwaysFailTyped) {
+  // Every byte of the file is covered by exactly one checksum, so any
+  // single-byte change must be detected — there is no "harmless" offset.
+  std::mt19937 rng(0x5eed5a9u);
+  std::uniform_int_distribution<size_t> offset_dist(0, bytes_.size() - 1);
+  std::uniform_int_distribution<int> bit_dist(0, 7);
+  const size_t iterations = FuzzIterations();
+  for (size_t i = 0; i < iterations; ++i) {
+    const size_t offset = offset_dist(rng);
+    const int bit = bit_dist(rng);
+    std::string corrupt = bytes_;
+    corrupt[offset] = static_cast<char>(corrupt[offset] ^ (1 << bit));
+    ExpectTypedFailure(corrupt, "iter " + std::to_string(i) + ": flip bit " +
+                                    std::to_string(bit) + " at offset " +
+                                    std::to_string(offset));
+  }
+}
+
+TEST_F(SnapshotCorruptionTest, RandomTruncationsAlwaysFailTyped) {
+  std::mt19937 rng(0xdecafu);
+  std::uniform_int_distribution<size_t> length_dist(0, bytes_.size() - 1);
+  const size_t iterations = FuzzIterations();
+  for (size_t i = 0; i < iterations; ++i) {
+    const size_t length = length_dist(rng);
+    ExpectTypedFailure(bytes_.substr(0, length),
+                       "iter " + std::to_string(i) + ": truncate to " +
+                           std::to_string(length) + " bytes");
+  }
+}
+
+TEST_F(SnapshotCorruptionTest, RandomGarbageFilesAlwaysFailTyped) {
+  std::mt19937 rng(0xba5eba11u);
+  std::uniform_int_distribution<size_t> length_dist(0, 4096);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  // Bounded: pure-garbage inputs mostly die at the magic check; a smaller
+  // round still proves the path never crashes.
+  const size_t iterations = FuzzIterations() / 5;
+  for (size_t i = 0; i < iterations; ++i) {
+    std::string garbage(length_dist(rng), '\0');
+    for (char& c : garbage) c = static_cast<char>(byte_dist(rng));
+    ExpectTypedFailure(garbage, "iter " + std::to_string(i) + ": garbage of " +
+                                    std::to_string(garbage.size()) + " bytes");
+  }
+}
+
+}  // namespace
+}  // namespace km

@@ -1,0 +1,473 @@
+// Snapshot subsystem tests: deterministic byte-identical round trips on
+// all four evaluation databases, typed errors for every corruption class,
+// crash-safe publication, the ReloadSnapshot degradation ladder, and the
+// RCU hot-swap under live traffic (run under TSan in CI).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/retry.h"
+#include "common/status.h"
+#include "core/keymantic.h"
+#include "core/prepared_state.h"
+#include "datasets/dblp.h"
+#include "datasets/imdb.h"
+#include "datasets/mondial.h"
+#include "datasets/university.h"
+#include "relational/schema.h"
+#include "serve/engine_server.h"
+#include "snapshot/crc32c.h"
+#include "snapshot/snapshot.h"
+#include "snapshot/snapshot_format.h"
+
+namespace km {
+namespace {
+
+#define SKIP_WITHOUT_FAILPOINTS()                                     \
+  do {                                                                \
+    if (!failpoints::Enabled()) {                                     \
+      GTEST_SKIP() << "failpoint sites compiled out (KM_FAILPOINTS)"; \
+    }                                                                 \
+  } while (0)
+
+std::string TmpPath(const std::string& name) {
+  return testing::TempDir() + "km_" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << "cannot write " << path;
+}
+
+/// One evaluation database plus a query that exercises its pipeline.
+struct TestDb {
+  std::string name;
+  std::unique_ptr<Database> db;
+  std::string query;
+};
+
+std::vector<TestDb> MakeAllDbs() {
+  std::vector<TestDb> dbs;
+  {
+    UniversityOptions opts;
+    opts.extra_people = 20;
+    auto db = BuildUniversityDatabase(opts);
+    EXPECT_TRUE(db.ok());
+    dbs.push_back({"university", std::make_unique<Database>(std::move(*db)),
+                   "Vokram IT"});
+  }
+  {
+    auto db = BuildMondialDatabase();
+    EXPECT_TRUE(db.ok());
+    dbs.push_back(
+        {"mondial", std::make_unique<Database>(std::move(*db)), "city country"});
+  }
+  {
+    DblpOptions opts;
+    opts.persons = 120;
+    opts.articles = 150;
+    opts.inproceedings = 200;
+    opts.phd_theses = 20;
+    auto db = BuildDblpDatabase(opts);
+    EXPECT_TRUE(db.ok());
+    dbs.push_back(
+        {"dblp", std::make_unique<Database>(std::move(*db)), "author article"});
+  }
+  {
+    auto db = BuildImdbDatabase();
+    EXPECT_TRUE(db.ok());
+    dbs.push_back(
+        {"imdb", std::make_unique<Database>(std::move(*db)), "movie genre"});
+  }
+  return dbs;
+}
+
+std::string AnswerFingerprint(const KeymanticEngine& engine,
+                              const std::string& query) {
+  auto result = engine.Answer(query, 5);
+  if (!result.ok()) return "status:" + result.status().ToString();
+  std::ostringstream out;
+  out << result->Explain(/*include_timings=*/false);
+  for (const auto& ex : result->explanations) out << "\n" << ex.sql.ToSql();
+  return out.str();
+}
+
+// ------------------------------------------------------- round trips
+
+TEST(SnapshotRoundTrip, ByteIdenticalAndAnswerPreservingOnAllDatasets) {
+  for (TestDb& eval : MakeAllDbs()) {
+    SCOPED_TRACE(eval.name);
+    PrepareOptions options;
+    auto state = PreparedState::Build(*eval.db, options);
+    ASSERT_NE(state, nullptr);
+
+    const std::string path_a = TmpPath(eval.name + "_a.snap");
+    const std::string path_b = TmpPath(eval.name + "_b.snap");
+    ASSERT_TRUE(SaveSnapshot(*state, path_a).ok());
+    ASSERT_TRUE(SaveSnapshot(*state, path_b).ok());
+    const std::string bytes_a = ReadFileBytes(path_a);
+    // Determinism: saving the same state twice is byte-identical.
+    EXPECT_EQ(bytes_a, ReadFileBytes(path_b));
+
+    auto loaded = LoadSnapshot(path_a);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+    // Full fidelity: re-saving the loaded state reproduces the file.
+    const std::string path_c = TmpPath(eval.name + "_c.snap");
+    ASSERT_TRUE(SaveSnapshot(**loaded, path_c).ok());
+    EXPECT_EQ(bytes_a, ReadFileBytes(path_c));
+
+    // Answers are identical before and after the round trip.
+    KeymanticEngine built(*eval.db);
+    auto from_snapshot =
+        KeymanticEngine::FromPreparedState(*eval.db, *loaded, EngineOptions{});
+    ASSERT_TRUE(from_snapshot.ok()) << from_snapshot.status().ToString();
+    EXPECT_EQ(AnswerFingerprint(built, eval.query),
+              AnswerFingerprint(**from_snapshot, eval.query));
+
+    std::remove(path_a.c_str());
+    std::remove(path_b.c_str());
+    std::remove(path_c.c_str());
+  }
+}
+
+// ---------------------------------------------------------- typed errors
+
+class SnapshotErrorTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    UniversityOptions opts;
+    opts.extra_people = 10;
+    auto db = BuildUniversityDatabase(opts);
+    ASSERT_TRUE(db.ok());
+    db_ = std::make_unique<Database>(std::move(*db));
+    state_ = PreparedState::Build(*db_, PrepareOptions{});
+    path_ = TmpPath("errors.snap");
+    ASSERT_TRUE(SaveSnapshot(*state_, path_).ok());
+    bytes_ = ReadFileBytes(path_);
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  StatusCode LoadCorrupted(const std::string& bytes) {
+    const std::string path = TmpPath("corrupt.snap");
+    WriteFileBytes(path, bytes);
+    auto loaded = LoadSnapshot(path);
+    std::remove(path.c_str());
+    EXPECT_FALSE(loaded.ok());
+    return loaded.ok() ? StatusCode::kOk : loaded.status().code();
+  }
+
+  std::unique_ptr<Database> db_;
+  std::shared_ptr<const PreparedState> state_;
+  std::string path_;
+  std::string bytes_;
+};
+
+TEST_F(SnapshotErrorTest, MissingFileIsNotFound) {
+  auto loaded = LoadSnapshot(TmpPath("does_not_exist.snap"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SnapshotErrorTest, TruncationIsTyped) {
+  // Every prefix strictly shorter than the file fails with a snapshot
+  // error; cutting the header or payload is kSnapshotTruncated.
+  EXPECT_EQ(LoadCorrupted(std::string()), StatusCode::kSnapshotTruncated);
+  EXPECT_EQ(LoadCorrupted(bytes_.substr(0, 10)),
+            StatusCode::kSnapshotTruncated);
+  EXPECT_EQ(LoadCorrupted(bytes_.substr(0, kSnapshotHeaderSize + 3)),
+            StatusCode::kSnapshotTruncated);
+  EXPECT_EQ(LoadCorrupted(bytes_.substr(0, bytes_.size() - 1)),
+            StatusCode::kSnapshotTruncated);
+  EXPECT_EQ(LoadCorrupted(bytes_.substr(0, bytes_.size() / 2)),
+            StatusCode::kSnapshotTruncated);
+}
+
+TEST_F(SnapshotErrorTest, PayloadBitFlipIsChecksumMismatch) {
+  std::string corrupt = bytes_;
+  corrupt[corrupt.size() - 1] ^= 0x40;  // last payload byte
+  EXPECT_EQ(LoadCorrupted(corrupt), StatusCode::kSnapshotChecksumMismatch);
+}
+
+TEST_F(SnapshotErrorTest, SectionTableBitFlipIsChecksumMismatch) {
+  std::string corrupt = bytes_;
+  corrupt[kSnapshotHeaderSize + 9] ^= 0x01;  // first section's offset field
+  EXPECT_EQ(LoadCorrupted(corrupt), StatusCode::kSnapshotChecksumMismatch);
+}
+
+TEST_F(SnapshotErrorTest, WrongMagicAndVersionAreVersionSkew) {
+  std::string wrong_magic = bytes_;
+  wrong_magic[0] = 'X';
+  EXPECT_EQ(LoadCorrupted(wrong_magic), StatusCode::kSnapshotVersionSkew);
+
+  // A future version with a valid index CRC must be rejected as skew, not
+  // checksum corruption — recompute the CRC after bumping the version.
+  std::string wrong_version = bytes_;
+  wrong_version[8] = 2;
+  const uint32_t count = static_cast<uint8_t>(wrong_version[16]) |
+                         static_cast<uint8_t>(wrong_version[17]) << 8;
+  const size_t index_size = kSnapshotHeaderSize +
+                            kSnapshotSectionEntrySize * count +
+                            kSnapshotIndexCrcSize;
+  const uint32_t crc = Crc32c(wrong_version.data(), index_size - 4);
+  for (int i = 0; i < 4; ++i) {
+    wrong_version[index_size - 4 + i] = static_cast<char>(crc >> (8 * i));
+  }
+  EXPECT_EQ(LoadCorrupted(wrong_version), StatusCode::kSnapshotVersionSkew);
+}
+
+TEST_F(SnapshotErrorTest, SnapshotStatusCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kSnapshotTruncated),
+               "SnapshotTruncated");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kSnapshotChecksumMismatch),
+               "SnapshotChecksumMismatch");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kSnapshotVersionSkew),
+               "SnapshotVersionSkew");
+}
+
+// ----------------------------------------------------------- failpoints
+
+TEST_F(SnapshotErrorTest, WriterCrashBeforeRenameKeepsOldSnapshot) {
+  SKIP_WITHOUT_FAILPOINTS();
+  failpoints::Reset();
+  failpoints::EnableError("snapshot.write.crash_before_rename",
+                          Status::Internal("simulated crash"));
+  Status crashed = SaveSnapshot(*state_, path_);
+  failpoints::DisableAll();
+  EXPECT_FALSE(crashed.ok());
+  // The destination still holds the previous good snapshot, byte for byte.
+  EXPECT_EQ(ReadFileBytes(path_), bytes_);
+  auto loaded = LoadSnapshot(path_);
+  EXPECT_TRUE(loaded.ok());
+}
+
+TEST_F(SnapshotErrorTest, ShortReadFailpointYieldsTruncated) {
+  SKIP_WITHOUT_FAILPOINTS();
+  failpoints::Reset();
+  failpoints::EnableCallback("snapshot.load.short_read", [](void* payload) {
+    *static_cast<size_t*>(payload) /= 2;
+  });
+  auto loaded = LoadSnapshot(path_);
+  failpoints::DisableAll();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kSnapshotTruncated);
+}
+
+TEST_F(SnapshotErrorTest, BitFlipFailpointYieldsChecksumMismatch) {
+  SKIP_WITHOUT_FAILPOINTS();
+  failpoints::Reset();
+  failpoints::EnableCallback("snapshot.load.bit_flip", [](void* payload) {
+    *static_cast<uint32_t*>(payload) ^= 1u;
+  });
+  auto loaded = LoadSnapshot(path_);
+  failpoints::DisableAll();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kSnapshotChecksumMismatch);
+}
+
+// ---------------------------------------------- hostile external input
+
+TEST(SnapshotHostileInput, SelfReferentialForeignKeyIsRejectedNotAborted) {
+  // Regression: a snapshot (or any external schema source) declaring an
+  // attribute that references itself used to pass AddForeignKey and then
+  // abort inside SchemaGraph's self-loop invariant. It must be a
+  // recoverable Status at the catalog boundary.
+  DatabaseSchema schema;
+  ASSERT_TRUE(schema
+                  .AddRelation(RelationSchema(
+                      "LOOP", {{"id", DataType::kInt, DomainTag::kIdentifier,
+                                /*is_primary_key=*/true}}))
+                  .ok());
+  Status self_fk = schema.AddForeignKey({"LOOP", "id", "LOOP", "id"});
+  ASSERT_FALSE(self_fk.ok());
+  EXPECT_EQ(self_fk.code(), StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------- reload ladder
+
+class SnapshotReloadTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    UniversityOptions opts;
+    opts.extra_people = 10;
+    auto db = BuildUniversityDatabase(opts);
+    ASSERT_TRUE(db.ok());
+    db_ = std::make_unique<Database>(std::move(*db));
+    engine_ = std::make_shared<const KeymanticEngine>(*db_);
+    path_ = TmpPath("reload.snap");
+    ASSERT_TRUE(SaveSnapshot(*engine_->prepared_state(), path_).ok());
+  }
+
+  void TearDown() override {
+    std::remove(path_.c_str());
+    failpoints::DisableAll();
+  }
+
+  EngineServerOptions FastOptions() {
+    EngineServerOptions options;
+    options.workers = 2;
+    return options;
+  }
+
+  std::unique_ptr<Database> db_;
+  std::shared_ptr<const KeymanticEngine> engine_;
+  std::string path_;
+};
+
+TEST_F(SnapshotReloadTest, GoodSnapshotSwapsEngine) {
+  EngineServer server(engine_, FastOptions());
+  auto before = server.CurrentEngine();
+  ReloadReport report;
+  Status reloaded = server.ReloadSnapshot(path_, false, &report);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.ToString();
+  EXPECT_EQ(report.rung, ReloadRung::kSwapped);
+  auto after = server.CurrentEngine();
+  EXPECT_NE(before.get(), after.get());
+  // The swapped engine serves.
+  auto result = server.Submit("Vokram IT", 3).get();
+  EXPECT_TRUE(result.ok());
+  server.Shutdown();
+}
+
+TEST_F(SnapshotReloadTest, BadSnapshotKeepsCurrentEngine) {
+  EngineServer server(engine_, FastOptions());
+  std::string corrupt = ReadFileBytes(path_);
+  corrupt[corrupt.size() - 1] ^= 0x10;
+  const std::string bad_path = TmpPath("reload_bad.snap");
+  WriteFileBytes(bad_path, corrupt);
+  auto before = server.CurrentEngine();
+  ReloadReport report;
+  Status reloaded = server.ReloadSnapshot(bad_path, false, &report);
+  std::remove(bad_path.c_str());
+  ASSERT_FALSE(reloaded.ok());
+  EXPECT_EQ(reloaded.code(), StatusCode::kSnapshotChecksumMismatch);
+  EXPECT_EQ(report.rung, ReloadRung::kKeptCurrent);
+  // Same engine object, still serving.
+  EXPECT_EQ(before.get(), server.CurrentEngine().get());
+  EXPECT_TRUE(server.Submit("Vokram IT", 3).get().ok());
+  server.Shutdown();
+}
+
+TEST_F(SnapshotReloadTest, RequireSwapRebuildsFromDatabase) {
+  EngineServer server(engine_, FastOptions());
+  auto before = server.CurrentEngine();
+  ReloadReport report;
+  Status reloaded = server.ReloadSnapshot(TmpPath("missing.snap"),
+                                          /*require_swap=*/true, &report);
+  ASSERT_FALSE(reloaded.ok());
+  EXPECT_EQ(reloaded.code(), StatusCode::kNotFound);
+  EXPECT_EQ(report.rung, ReloadRung::kRebuilt);
+  // A fresh engine (rebuilt from the live database) is serving.
+  EXPECT_NE(before.get(), server.CurrentEngine().get());
+  EXPECT_TRUE(server.Submit("Vokram IT", 3).get().ok());
+  server.Shutdown();
+}
+
+TEST_F(SnapshotReloadTest, ValidateFailpointWalksTheWholeLadder) {
+  SKIP_WITHOUT_FAILPOINTS();
+  EngineServer server(engine_, FastOptions());
+
+  // Gate fails once: the snapshot candidate is rejected, the rebuild
+  // passes → kRebuilt.
+  failpoints::Reset();
+  failpoints::Action once;
+  once.kind = failpoints::ActionKind::kError;
+  once.error = Status::Internal("validation gate failure");
+  once.limit = 1;
+  failpoints::Enable("snapshot.swap.validate_fail", once);
+  ReloadReport report;
+  Status reloaded = server.ReloadSnapshot(path_, /*require_swap=*/true, &report);
+  EXPECT_FALSE(reloaded.ok());
+  EXPECT_EQ(report.rung, ReloadRung::kRebuilt);
+  EXPECT_TRUE(server.Submit("Vokram IT", 3).get().ok());
+
+  // Gate fails persistently: snapshot and rebuild both rejected → refusal.
+  failpoints::EnableError("snapshot.swap.validate_fail",
+                          Status::Internal("validation gate failure"));
+  reloaded = server.ReloadSnapshot(path_, /*require_swap=*/true, &report);
+  EXPECT_FALSE(reloaded.ok());
+  EXPECT_EQ(reloaded.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(report.rung, ReloadRung::kRefused);
+
+  // Refusal is machine-readable: kUnavailable + retry-after hint.
+  auto refused = server.Submit("Vokram IT", 3).get();
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+  EXPECT_GT(SuggestedRetryAfterMs(refused.status()), 0.0);
+
+  // A later successful reload clears the refusal.
+  failpoints::DisableAll();
+  reloaded = server.ReloadSnapshot(path_, false, &report);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(report.rung, ReloadRung::kSwapped);
+  EXPECT_TRUE(server.Submit("Vokram IT", 3).get().ok());
+  server.Shutdown();
+}
+
+// -------------------------------------------------- RCU under traffic
+
+TEST_F(SnapshotReloadTest, HotSwapUnderLiveTrafficDropsNoQueries) {
+  EngineServerOptions options;
+  options.workers = 3;
+  options.admission.max_queue = 1024;
+  EngineServer server(engine_, options);
+
+  constexpr int kSubmitters = 3;
+  constexpr int kQueriesPerSubmitter = 20;
+  constexpr int kReloads = 8;
+  std::atomic<int> ok_count{0}, error_count{0};
+
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&server, &ok_count, &error_count] {
+      for (int i = 0; i < kQueriesPerSubmitter; ++i) {
+        auto result = server.Submit("Vokram IT", 3).get();
+        if (result.ok() && !result->explanations.empty()) {
+          ++ok_count;
+        } else {
+          ++error_count;
+        }
+      }
+    });
+  }
+  std::thread reloader([&server, this] {
+    for (int i = 0; i < kReloads; ++i) {
+      ReloadReport report;
+      Status reloaded = server.ReloadSnapshot(path_, false, &report);
+      EXPECT_TRUE(reloaded.ok()) << reloaded.ToString();
+      EXPECT_EQ(report.rung, ReloadRung::kSwapped);
+    }
+  });
+  for (std::thread& t : submitters) t.join();
+  reloader.join();
+  server.Drain();
+
+  // No dropped and no mixed-state queries: every submission resolved, and
+  // every one of them got a full answer from a consistent engine.
+  EXPECT_EQ(ok_count.load(), kSubmitters * kQueriesPerSubmitter);
+  EXPECT_EQ(error_count.load(), 0);
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace km

@@ -4,10 +4,11 @@
 #   1. release    — Release build (warnings-as-errors) + full ctest suite
 #   2. sanitize   — ASan+UBSan build + full ctest suite
 #   3. tsan       — TSan build + the concurrency/pool/cache suites
-#   4. failpoints — ASan build with KM_FAILPOINTS=ON + resilience suite
-#   5. bench      — Release bench smoke: e11 throughput + e12 overload emit
-#                   the BENCH JSON baseline (bench-baseline.json artifact
-#                   in CI)
+#   4. failpoints — ASan build with KM_FAILPOINTS=ON + resilience and
+#                   snapshot suites (incl. a bounded corruption-fuzz smoke)
+#   5. bench      — Release bench smoke: e11 throughput, e12 overload and
+#                   e13 coldstart emit the BENCH JSON baseline
+#                   (bench-baseline.json artifact in CI)
 #   6. soak       — ASan + KM_FAILPOINTS=ON run of the e12 overload smoke:
 #                   admission control sheds under 2x saturation and the
 #                   executor circuit breaker trips, fails fast, and
@@ -19,9 +20,9 @@
 #                   tools/coverage_gate.py over raw gcov otherwise) and
 #                   writes the coverage-html/ artifact
 #   9. kmlint     — tools/km_lint.py project-rule linter (lock discipline,
-#                   checkpointed loops, failpoint/metric naming); writes
-#                   the km-lint-report.txt artifact. Pure Python, runs
-#                   everywhere.
+#                   checkpointed loops, failpoint/metric/snapshot-section
+#                   naming); writes the km-lint-report.txt artifact. Pure
+#                   Python, runs everywhere.
 #  10. threadsafety — clang build with -Werror=thread-safety
 #                   (KM_THREAD_SAFETY=ON) + full suite, then the
 #                   negative-compilation harness (tools/negative_compile.sh)
@@ -63,20 +64,24 @@ run_tsan() {
   # TraceGolden pins span-tree determinism under the pool — the exact
   # property a data race in the tracer would break. The serve suites
   # (admission queue, AIMD limiter, EngineServer, breaker, retry budget)
-  # hammer the new overload-protection layer from raw threads.
+  # hammer the new overload-protection layer from raw threads. The
+  # SnapshotReload suite races ReloadSnapshot's RCU engine swap against
+  # concurrent Submit traffic.
   ctest --preset tsan -j "$(nproc)" \
-    -R "ThreadPool|LruCache|Concurrency|EngineConcurrency|Murty|Core|TraceGolden|Admission|Aimd|EngineServer|Retry|CircuitBreaker|Mutex|CondVar"
+    -R "ThreadPool|LruCache|Concurrency|EngineConcurrency|Murty|Core|TraceGolden|Admission|Aimd|EngineServer|Retry|CircuitBreaker|Mutex|CondVar|SnapshotReload"
 }
 
 run_bench() {
-  echo "=== CI job: bench (e11 throughput + e12 overload smoke + BENCH baseline) ==="
+  echo "=== CI job: bench (e11 throughput + e12 overload + e13 coldstart smoke + BENCH baseline) ==="
   cmake --preset release
   cmake --build --preset release -j "$(nproc)" \
-    --target bench_e11_throughput --target bench_e12_overload
+    --target bench_e11_throughput --target bench_e12_overload \
+    --target bench_e13_coldstart
   build/release/bench/bench_e11_throughput --smoke | tee /tmp/e11_smoke.out
   build/release/bench/bench_e12_overload --smoke | tee /tmp/e12_smoke.out
+  build/release/bench/bench_e13_coldstart --smoke | tee /tmp/e13_smoke.out
   # The machine-readable baseline: one JSON object per line.
-  grep -h '^BENCH ' /tmp/e11_smoke.out /tmp/e12_smoke.out \
+  grep -h '^BENCH ' /tmp/e11_smoke.out /tmp/e12_smoke.out /tmp/e13_smoke.out \
     | sed 's/^BENCH //' > bench-baseline.json
   echo "wrote $(wc -l < bench-baseline.json) baseline rows to bench-baseline.json"
 }
@@ -88,7 +93,13 @@ run_failpoints() {
   # The resilience suite exercises every compiled-in failpoint site; the
   # matching/engine suites cover the budget plumbing they share.
   # ServeBreaker drives the executor circuit breaker off the same sites.
-  ctest --preset failpoints -j "$(nproc)" -R "Resilience|Murty|Core|ServeBreaker"
+  # The Snapshot suites need failpoints for the crash-before-rename /
+  # short-read / bit-flip / validate-fail injection paths, and the
+  # corruption fuzz runs a bounded smoke here (full depth locally via
+  # KM_SNAPSHOT_FUZZ_ITERS).
+  KM_SNAPSHOT_FUZZ_ITERS="${KM_SNAPSHOT_FUZZ_ITERS:-120}" \
+    ctest --preset failpoints -j "$(nproc)" \
+      -R "Resilience|Murty|Core|ServeBreaker|Snapshot"
 }
 
 run_soak() {

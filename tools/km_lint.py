@@ -19,6 +19,11 @@ Checks, lexically (no compiler needed, works on any toolchain):
       in the kFailpointSites catalog (common/failpoint.cc).
   R5  Metric names passed to MetricsRegistry / MetricsSnapshot are
       registered in common/metric_names.h (full name or declared prefix).
+  R6  Snapshot section tags passed to BeginSection/FindSection/HasSection
+      are registered in the kSnapshotSectionTags catalog
+      (snapshot/snapshot_format.h) and are exactly 4 chars of [A-Z0-9] —
+      the on-disk format is append-only and the catalog is its single
+      registration point.
 
 Usage:
   tools/km_lint.py [--root DIR] [--report FILE]
@@ -361,6 +366,55 @@ def check_metric_names(root, findings):
                 "common/metric_names.h (kMetricNames/kMetricNamePrefixes)"))
 
 
+# ----------------------------------------------------------------- rule R6
+
+SECTION_TAG_RE = re.compile(r"^[A-Z0-9]{4}$")
+SECTION_CALL_RE = re.compile(
+    r"\b(?:BeginSection|FindSection|HasSection)\s*\(\s*\"([^\"]*)\"")
+
+
+def parse_section_catalog(root):
+    path = os.path.join(root, "src", "snapshot", "snapshot_format.h")
+    if not os.path.isfile(path):
+        return None
+    code = strip_comments(open(path).read(), keep_strings=True)
+    m = re.search(r"kSnapshotSectionTags\[\]\s*=\s*\{(.*?)\};", code, re.S)
+    if not m:
+        return None
+    return set(re.findall(r"\"([^\"]*)\"", m.group(1)))
+
+
+def check_section_tags(root, findings):
+    catalog = parse_section_catalog(root)
+    if catalog is None:
+        # No snapshot subsystem in this tree — nothing to check.
+        return
+    for path in iter_files(root, ["src"]):
+        rel = relpath(root, path)
+        code = strip_comments(open(path).read(), keep_strings=True)
+        for m in SECTION_CALL_RE.finditer(code):
+            tag = m.group(1)
+            line = line_of(code, m.start())
+            if not SECTION_TAG_RE.match(tag):
+                findings.append(Finding(
+                    rel, line, "R6",
+                    f"snapshot section tag '{tag}' must be exactly 4 "
+                    "characters of [A-Z0-9]"))
+            elif tag not in catalog:
+                findings.append(Finding(
+                    rel, line, "R6",
+                    f"snapshot section tag '{tag}' is not registered in "
+                    "kSnapshotSectionTags (snapshot/snapshot_format.h) — "
+                    "the format catalog is the single registration point"))
+    for tag in sorted(catalog):
+        if not SECTION_TAG_RE.match(tag):
+            findings.append(Finding(
+                os.path.join("src", "snapshot", "snapshot_format.h"), 1,
+                "R6",
+                f"cataloged section tag '{tag}' must be exactly 4 "
+                "characters of [A-Z0-9]"))
+
+
 # ------------------------------------------------------------------- main
 
 def main(argv):
@@ -380,6 +434,7 @@ def main(argv):
     check_checkpoint_loops(root, findings)
     check_failpoint_names(root, findings)
     check_metric_names(root, findings)
+    check_section_tags(root, findings)
 
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     lines = [str(f) for f in findings]

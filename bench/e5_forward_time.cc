@@ -6,15 +6,27 @@
 // keywords and in k; dblp slower than mondial/university because its
 // instance-backed value index is larger.
 
+// Flags: --smoke runs the CI-sized kernel comparison instead of the
+// google-benchmark sweep: the pruned batched SW kernel vs the all-pairs
+// scalar baseline on a ~10k-term synthetic terminology, emitting
+// machine-readable BENCH rows (and cross-checking bit-identical output).
+
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
 
 #include "bench/bench_common.h"
 #include "common/rng.h"
+#include "datasets/scaling.h"
+#include "metadata/weights.h"
 
 namespace {
 
 using namespace km;
 using namespace km::bench;
+
+bool g_smoke = false;
 
 struct Fixture {
   EvalDb eval;
@@ -94,6 +106,109 @@ void BM_ForwardStep(benchmark::State& state) {
   state.SetLabel(f->eval.name);
 }
 
+// CI-sized comparison of the pruned batched SW kernel against the
+// all-pairs scalar baseline on a ~10k-term synthetic terminology
+// (910 relations × 5 attributes → 910 · (1 + 2·5) = 10,010 terms). The
+// build is schema-only (no instance index), so the measured work is
+// exactly the forward SW scan the kernel targets.
+int RunKernelSmoke() {
+  Banner("E5-smoke", "pruned batched SW kernel vs all-pairs scalar baseline");
+  ScalingOptions sopts;
+  sopts.num_relations = 910;
+  sopts.attributes_per_relation = 5;
+  sopts.rows_per_relation = 2;  // schema-scaling: instance is irrelevant
+  auto db = BuildScalingDatabase(sopts);
+  if (!db.ok()) {
+    std::fprintf(stderr, "scaling build failed: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+  Terminology terminology(db->schema());
+  auto index = TermPruneIndex::Build(terminology);
+
+  // Realistic keyword mix: exact attribute names, typo'd variants,
+  // multi-word keywords and garbage (worst case for pruning).
+  Rng rng(17);
+  std::vector<std::string> keywords;
+  std::vector<std::string> attr_names;
+  for (const RelationSchema& r : db->schema().relations()) {
+    for (const AttributeDef& a : r.attributes()) attr_names.push_back(a.name);
+  }
+  for (int i = 0; i < 3; ++i) keywords.push_back(rng.Pick(attr_names));
+  for (int i = 0; i < 2; ++i) {
+    std::string typo = rng.Pick(attr_names);
+    if (typo.size() > 2) typo.erase(typo.size() / 2, 1);
+    keywords.push_back(std::move(typo));
+  }
+  keywords.push_back(rng.Pick(attr_names) + " " + rng.Pick(attr_names));
+  keywords.push_back("zzqx");
+  keywords.push_back("value");
+
+  WeightOptions scalar_opts;
+  scalar_opts.use_prune_index = false;
+  scalar_opts.keyword_row_cache_capacity = 0;
+  WeightMatrixBuilder scalar(terminology, static_cast<const Database*>(nullptr), scalar_opts);
+
+  WeightOptions pruned_opts;
+  pruned_opts.keyword_row_cache_capacity = 0;
+  WeightMatrixBuilder pruned(terminology, static_cast<const Database*>(nullptr), pruned_opts);
+  pruned.SetPruneIndex(index);
+  if (!pruned.UsesPrunedKernel()) {
+    std::fprintf(stderr, "pruned kernel unexpectedly inactive\n");
+    return 1;
+  }
+
+  auto time_builds = [&keywords](const WeightMatrixBuilder& b, int reps,
+                                 Matrix* last) {
+    double best_ms = 0.0;
+    for (int i = 0; i < reps; ++i) {
+      auto t0 = std::chrono::steady_clock::now();
+      *last = b.Build(keywords);
+      auto t1 = std::chrono::steady_clock::now();
+      double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+      if (i == 0 || ms < best_ms) best_ms = ms;
+    }
+    return best_ms;
+  };
+
+  Matrix scalar_m, pruned_m;
+  const int kReps = 5;
+  double scalar_ms = time_builds(scalar, kReps, &scalar_m);
+  double pruned_ms = time_builds(pruned, kReps, &pruned_m);
+
+  // The comparison is only meaningful if the outputs agree bit-for-bit.
+  size_t mismatches = 0;
+  for (size_t r = 0; r < scalar_m.rows(); ++r) {
+    for (size_t c = 0; c < scalar_m.cols(); ++c) {
+      double x = scalar_m(r, c), y = pruned_m(r, c);
+      if (std::memcmp(&x, &y, sizeof(double)) != 0) ++mismatches;
+    }
+  }
+  double speedup = pruned_ms > 0.0 ? scalar_ms / pruned_ms : 0.0;
+  auto row = [&](const char* mode, double ms) {
+    std::printf(
+        "BENCH {\"bench\":\"e5\",\"experiment\":\"forward_kernel\","
+        "\"mode\":\"%s\",\"terms\":%zu,\"keywords\":%zu,\"reps\":%d,"
+        "\"best_ms\":%.3f}\n",
+        mode, terminology.size(), keywords.size(), kReps, ms);
+  };
+  row("scalar_all_pairs", scalar_ms);
+  row("pruned_batched", pruned_ms);
+  std::printf(
+      "BENCH {\"bench\":\"e5\",\"experiment\":\"forward_kernel_speedup\","
+      "\"terms\":%zu,\"speedup\":%.2f,\"cell_mismatches\":%zu}\n",
+      terminology.size(), speedup, mismatches);
+  std::printf("pruned kernel: %.1fms -> %.1fms (%.1fx), %zu mismatching cells\n",
+              scalar_ms, pruned_ms, speedup, mismatches);
+  if (mismatches != 0) return 1;
+  if (speedup < 5.0) {
+    std::fprintf(stderr,
+                 "WARNING: speedup %.2fx below the 5x acceptance target\n",
+                 speedup);
+  }
+  return 0;
+}
+
 }  // namespace
 
 BENCHMARK(BM_ForwardStep)
@@ -118,6 +233,16 @@ BENCHMARK(BM_ForwardStep)
 
 int main(int argc, char** argv) {
   km::bench::ParseBenchFlags(&argc, argv);
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      g_smoke = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  if (g_smoke) return RunKernelSmoke();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -5,18 +5,29 @@
 // magnitude. Expected shape: superlinear (assignment is cubic-ish in the
 // matrix dimension) but tractable well past the size of real schemas.
 
+// Flags: --smoke emits the CI-sized candidate-set diagnostics of the
+// pruned SW kernel instead of the google-benchmark sweep: per terminology
+// size, how many names survive the lossless upper-bound prune (candidate
+// fraction), how many word pairs are scored exactly, and the advisory
+// SimHash nearest-word distances.
+
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <map>
 
 #include "bench/bench_common.h"
 #include "common/rng.h"
 #include "datasets/scaling.h"
+#include "metadata/weights.h"
+#include "text/similarity_batch.h"
 
 namespace {
 
 using namespace km;
 using namespace km::bench;
+
+bool g_smoke = false;
 
 struct Fixture {
   std::unique_ptr<Database> db;
@@ -87,6 +98,83 @@ void BM_ForwardVsTerminology(benchmark::State& state) {
   state.SetLabel("terms=" + std::to_string(f->terminology_size));
 }
 
+// Candidate-set size distribution of the pruned kernel across terminology
+// sizes, plus SimHash nearest-word diagnostics (advisory channel only —
+// the prune itself never consults signatures).
+int RunCandidateSmoke() {
+  Banner("E6-smoke", "candidate-set distribution of the pruned SW kernel");
+  WeightOptions defaults;
+  for (size_t relations : {40, 160, 910}) {
+    ScalingOptions sopts;
+    sopts.num_relations = relations;
+    sopts.attributes_per_relation = 5;
+    sopts.rows_per_relation = 2;
+    auto db = BuildScalingDatabase(sopts);
+    if (!db.ok()) {
+      std::fprintf(stderr, "scaling build failed: %s\n",
+                   db.status().ToString().c_str());
+      return 1;
+    }
+    Terminology terminology(db->schema());
+    TermPruneIndex index(terminology);
+    // The same per-entry floors the weight builder uses: qualified
+    // entries enter the SW score scaled by 0.9, so their floor is higher.
+    std::vector<double> floors(index.names.name_count());
+    for (size_t e = 0; e < floors.size(); ++e) {
+      floors[e] = index.entry_qualified[e] ? defaults.sw_floor / 0.9
+                                           : defaults.sw_floor;
+    }
+
+    Rng rng(23 + relations);
+    std::vector<std::string> attr_names;
+    for (const RelationSchema& r : db->schema().relations()) {
+      for (const AttributeDef& a : r.attributes()) {
+        attr_names.push_back(a.name);
+      }
+    }
+    NameMatchStats stats;
+    std::vector<double> scores;
+    int hamming_total = 0, hamming_samples = 0;
+    const int kQueries = 16;
+    for (int q = 0; q < kQueries; ++q) {
+      std::string kw = rng.Pick(attr_names);
+      switch (q % 4) {
+        case 0: break;                                  // exact name
+        case 1: if (kw.size() > 2) kw.erase(kw.size() / 2, 1); break;  // typo
+        case 2: kw += " " + rng.Pick(attr_names); break;  // multi-word
+        default: kw = "zq" + kw; break;                   // near-garbage
+      }
+      index.names.Match(kw, floors, &scores, nullptr, &stats);
+      auto nearest = index.names.ApproxNearestWords(kw, 1);
+      if (!nearest.empty()) {
+        hamming_total += SimHashHamming(
+            NameMatchIndex::Signature(kw),
+            NameMatchIndex::Signature(index.names.vocab_word(nearest[0])));
+        ++hamming_samples;
+      }
+    }
+    double total = static_cast<double>(stats.candidates + stats.pruned);
+    std::printf(
+        "BENCH {\"bench\":\"e6\",\"experiment\":\"candidate_distribution\","
+        "\"terms\":%zu,\"names\":%zu,\"vocab\":%zu,\"queries\":%d,"
+        "\"candidate_fraction\":%.4f,\"pruned_fraction\":%.4f,"
+        "\"word_pairs_per_query\":%.1f}\n",
+        terminology.size(), index.names.name_count(), index.names.vocab_size(),
+        kQueries, total > 0 ? stats.candidates / total : 0.0,
+        total > 0 ? stats.pruned / total : 0.0,
+        static_cast<double>(stats.word_pairs_scored) / kQueries);
+    std::printf(
+        "BENCH {\"bench\":\"e6\",\"experiment\":\"simhash_nearest\","
+        "\"terms\":%zu,\"mean_hamming\":%.1f,\"samples\":%d}\n",
+        terminology.size(),
+        hamming_samples > 0
+            ? static_cast<double>(hamming_total) / hamming_samples
+            : 0.0,
+        hamming_samples);
+  }
+  return 0;
+}
+
 }  // namespace
 
 BENCHMARK(BM_ForwardVsTerminology)
@@ -101,6 +189,16 @@ BENCHMARK(BM_ForwardVsTerminology)
 
 int main(int argc, char** argv) {
   km::bench::ParseBenchFlags(&argc, argv);
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      g_smoke = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  if (g_smoke) return RunCandidateSmoke();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

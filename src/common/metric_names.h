@@ -72,6 +72,13 @@ inline constexpr const char* kMetricNames[] = {
     "km.serve.aimd_limit",
     "km.serve.refused",
 
+    // Forward weight kernel (metadata/weights.cc Build). Candidate/pruned
+    // SW cells of the batched kernel; pruned_ratio is per-mille of cells
+    // skipped as provably below sw_floor in the most recent build.
+    "km.weights.sw.candidates",
+    "km.weights.sw.pruned",
+    "km.weights.pruned_ratio",
+
     // Snapshot save/load (snapshot/snapshot_writer.cc, snapshot_loader.cc).
     "km.snapshot.save.total",
     "km.snapshot.save.failures",

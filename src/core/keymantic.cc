@@ -136,6 +136,10 @@ KeymanticEngine::KeymanticEngine(const Database& db,
   // the per-engine builder borrows it instead of rescanning the instance.
   weights_ = std::make_unique<WeightMatrixBuilder>(
       state_->terminology(), &state_->value_index(), options_.weights);
+  // The state's prepare-time prune index turns Build() into the batched,
+  // lossless-pruned SW kernel (byte-identical matrices, ~an order of
+  // magnitude less scalar similarity work on large terminologies).
+  weights_->SetPruneIndex(state_->prune_index());
   generator_ = std::make_unique<ConfigurationGenerator>(
       state_->terminology(), state_->schema(), *weights_, options_.forward);
   // Cache statistics live inside this engine; publish them as snapshot-time

@@ -20,7 +20,11 @@ PreparedState::PreparedState(DatabaseSchema schema)
     : schema_(std::move(schema)),
       terminology_(schema_),
       graph_(terminology_, schema_),
-      apriori_hmm_(BuildAprioriHmm(terminology_, schema_)) {}
+      apriori_hmm_(BuildAprioriHmm(terminology_, schema_)),
+      // The prune index derives from the terminology alone, so building it
+      // here covers Build() and Assemble() alike — snapshots stay format-
+      // compatible and still get the batched SW kernel after a load.
+      prune_index_(TermPruneIndex::Build(terminology_)) {}
 
 std::shared_ptr<const PreparedState> PreparedState::Build(
     const Database& db, const PrepareOptions& options) {

@@ -99,6 +99,12 @@ class PreparedState {
   const TokenizerOptions& tokenizer_options() const { return tokenizer_options_; }
   /// Per-domain-term instance value index (empty without instance access).
   const std::vector<ValueIndexEntry>& value_index() const { return value_index_; }
+  /// Prepare-time terminology prune index for the batched SW kernel.
+  /// Derived from the terminology in Build() and Assemble() alike, so it
+  /// needs no snapshot section (and never changes the snapshot format).
+  const std::shared_ptr<const TermPruneIndex>& prune_index() const {
+    return prune_index_;
+  }
   /// The options this state was prepared under (pool/thesaurus pointers
   /// cleared — they are runtime concerns, not state).
   const PrepareOptions& options() const { return options_; }
@@ -115,6 +121,7 @@ class PreparedState {
                                                  // the FK weights are final
   TokenizerOptions tokenizer_options_;
   std::vector<ValueIndexEntry> value_index_;
+  std::shared_ptr<const TermPruneIndex> prune_index_;  // from terminology_
   PrepareOptions options_;
 };
 

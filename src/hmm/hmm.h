@@ -57,6 +57,12 @@ class Hmm {
 /// Converts a keyword×term similarity matrix into an emission matrix by
 /// Bayesian inversion with uniform state prior: each row is normalized to
 /// sum 1 (rows of all zeros stay zero).
+///
+/// The similarity matrix comes from WeightMatrixBuilder::Build, so the
+/// emission path inherits whatever similarity measure the builder was
+/// configured with (MeasureRegistry name in WeightOptions) and, under the
+/// default composite measure, the pruned batched kernel — emissions are
+/// byte-identical between the scalar and pruned builds.
 Matrix EmissionFromSimilarity(const Matrix& similarity);
 
 }  // namespace km

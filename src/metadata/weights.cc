@@ -1,16 +1,72 @@
 #include "metadata/weights.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/check.h"
 #include "common/failpoint.h"
+#include "common/metric_names.h"
+#include "common/metrics.h"
 #include "common/strings.h"
 #include "text/recognizers.h"
 #include "text/stemmer.h"
 #include "text/similarity.h"
 
 namespace km {
+
+namespace {
+
+// Resolves the configured SW string measure. The composite "name" measure
+// stays a direct NameSimilarity call (nullptr here selects that fast
+// path); unknown names fall back to it too, so a typo in a config cannot
+// silently zero the SW matrix.
+std::unique_ptr<const SimilarityMeasure> ResolveMeasure(
+    const WeightOptions& options) {
+  if (options.similarity_measure == "name") return nullptr;
+  return MeasureRegistry::Global().Create(options.similarity_measure,
+                                          options.measure_options);
+}
+
+}  // namespace
+
+TermPruneIndex::TermPruneIndex(const Terminology& terminology)
+    : names([&terminology, this] {
+        // Collect the names to index — one primary entry per schema term
+        // plus one qualified "<relation> <attribute>" entry per attribute
+        // term — while filling the entry → term maps as a side effect.
+        std::vector<std::string> indexed;
+        lowered_name.resize(terminology.size());
+        term_words.resize(terminology.size());
+        term_stems.resize(terminology.size());
+        for (size_t t = 0; t < terminology.size(); ++t) {
+          const DatabaseTerm& term = terminology.term(t);
+          if (!term.is_schema_term()) continue;
+          const std::string& name = term.kind == TermKind::kRelation
+                                        ? term.relation
+                                        : term.attribute;
+          lowered_name[t] = ToLower(name);
+          term_words[t] = SplitIdentifierWords(name);
+          term_stems[t].reserve(term_words[t].size());
+          for (const auto& w : term_words[t]) {
+            term_stems[t].push_back(PorterStem(w));
+          }
+          entry_term.push_back(static_cast<uint32_t>(t));
+          entry_qualified.push_back(0);
+          indexed.push_back(name);
+          if (term.kind == TermKind::kAttribute) {
+            entry_term.push_back(static_cast<uint32_t>(t));
+            entry_qualified.push_back(1);
+            indexed.push_back(term.relation + " " + name);
+          }
+        }
+        return indexed;
+      }()) {}
+
+std::shared_ptr<const TermPruneIndex> TermPruneIndex::Build(
+    const Terminology& terminology) {
+  return std::make_shared<const TermPruneIndex>(terminology);
+}
 
 WeightMatrixBuilder::WeightMatrixBuilder(const Terminology& terminology,
                                          const Database* db, WeightOptions options)
@@ -19,6 +75,7 @@ WeightMatrixBuilder::WeightMatrixBuilder(const Terminology& terminology,
       options_(options),
       row_cache_(options.keyword_row_cache_capacity) {
   thesaurus_ = options_.thesaurus != nullptr ? options_.thesaurus : &BuiltinThesaurus();
+  measure_ = ResolveMeasure(options_);
   // Precompute per-domain-term value indexes so ValueWeight is O(1) per
   // lookup instead of scanning the instance for every (keyword, term) pair.
   owned_value_index_ = BuildValueIndex(terminology_, db_, options_);
@@ -33,9 +90,35 @@ WeightMatrixBuilder::WeightMatrixBuilder(
       options_(options),
       row_cache_(options.keyword_row_cache_capacity) {
   thesaurus_ = options_.thesaurus != nullptr ? options_.thesaurus : &BuiltinThesaurus();
+  measure_ = ResolveMeasure(options_);
   if (shared_index != nullptr && !shared_index->empty()) {
     value_index_ = shared_index;
   }
+}
+
+void WeightMatrixBuilder::SetPruneIndex(
+    std::shared_ptr<const TermPruneIndex> index) {
+  if (index != nullptr) {
+    KM_CHECK(index->lowered_name.size() == terminology_.size());
+    entry_floors_.resize(index->entry_term.size());
+    for (size_t e = 0; e < index->entry_term.size(); ++e) {
+      // Qualified entries contribute scaled by 0.9, so their similarity
+      // must reach sw_floor / 0.9 before it can matter.
+      entry_floors_[e] = index->entry_qualified[e] != 0
+                             ? options_.sw_floor / 0.9
+                             : options_.sw_floor;
+    }
+  } else {
+    entry_floors_.clear();
+  }
+  prune_index_ = std::move(index);
+}
+
+bool WeightMatrixBuilder::UsesPrunedKernel() const {
+  // Only the composite "name" measure has the lossless upper bounds the
+  // kernel's prune phase relies on; any other measure runs scalar.
+  return options_.use_prune_index && prune_index_ != nullptr &&
+         measure_ == nullptr;
 }
 
 std::vector<ValueIndexEntry> WeightMatrixBuilder::BuildValueIndex(
@@ -72,15 +155,29 @@ Matrix WeightMatrixBuilder::Build(const std::vector<std::string>& keywords,
   span.Add("keywords", keywords.size());
   span.Add("terms", terminology_.size());
   Matrix w(keywords.size(), terminology_.size());
+  const bool pruned_kernel = UsesPrunedKernel();
+  std::atomic<size_t> candidate_cells{0};
+  std::atomic<size_t> pruned_cells{0};
   // Rows are independent: each is either served from the cross-query
   // keyword-row cache or computed afresh, and lands in its own matrix row,
-  // so the parallel build is byte-identical to the serial one.
+  // so the parallel build is byte-identical to the serial one — and the
+  // pruned/batched row builder is byte-identical to the scalar per-cell
+  // loop (every score clearing sw_floor is computed exactly; skipped SW
+  // cells are provably below the floor, which zeroes them anyway).
   ParallelFor(options_.pool, keywords.size(), [&](size_t r) {
     auto row = row_cache_.Get(keywords[r]);
     if (row == nullptr) {
       auto fresh = std::make_shared<std::vector<double>>(terminology_.size());
-      for (size_t c = 0; c < terminology_.size(); ++c) {
-        (*fresh)[c] = Weight(keywords[r], terminology_.term(c));
+      if (pruned_kernel) {
+        RowBuildStats stats;
+        BuildRowPruned(keywords[r], fresh.get(), &stats);
+        candidate_cells.fetch_add(stats.candidate_cells,
+                                  std::memory_order_relaxed);
+        pruned_cells.fetch_add(stats.pruned_cells, std::memory_order_relaxed);
+      } else {
+        for (size_t c = 0; c < terminology_.size(); ++c) {
+          (*fresh)[c] = Weight(keywords[r], terminology_.term(c));
+        }
       }
       row_cache_.Put(keywords[r], fresh);
       row = std::move(fresh);
@@ -92,6 +189,24 @@ Matrix WeightMatrixBuilder::Build(const std::vector<std::string>& keywords,
     // is polynomial work and every forward fallback still needs the matrix.
     if (ctx != nullptr) ctx->CheckPoint(QueryStage::kWeights);
   });
+  if (pruned_kernel) {
+    const size_t candidates = candidate_cells.load(std::memory_order_relaxed);
+    const size_t pruned = pruned_cells.load(std::memory_order_relaxed);
+    span.Add("sw_candidates", candidates);
+    span.Add("sw_pruned", pruned);
+    static Counter& candidates_total =
+        MetricsRegistry::Default().CounterRef("km.weights.sw.candidates");
+    static Counter& pruned_total =
+        MetricsRegistry::Default().CounterRef("km.weights.sw.pruned");
+    static Gauge& pruned_ratio =
+        MetricsRegistry::Default().GaugeRef("km.weights.pruned_ratio");
+    candidates_total.Increment(candidates);
+    pruned_total.Increment(pruned);
+    if (candidates + pruned > 0) {
+      pruned_ratio.Set(static_cast<int64_t>(
+          pruned * 1000 / (candidates + pruned)));
+    }
+  }
   // Downstream scoring (SW/VW → Hungarian, HMM emissions) requires finite,
   // non-negative intrinsic weights in [0, 1].
   KM_DCHECK([&w] {
@@ -154,6 +269,22 @@ double WeightMatrixBuilder::SchemaWeight(const std::string& keyword,
   return SchemaWeightImpl(keyword, term, nullptr);
 }
 
+double WeightMatrixBuilder::FinishSchemaScore(double score,
+                                              const DatabaseTerm& term,
+                                              WeightProvenance* prov) const {
+  // Noise floor with rescaling: edit-distance similarities routinely score
+  // unrelated words around 0.4-0.5, so scores are re-mapped from
+  // [floor, 1] onto [0, 1]; everything below the floor is zeroed.
+  if (score < options_.sw_floor) return 0.0;
+  score = std::min(score, 1.0);
+  score = (score - options_.sw_floor) / (1.0 - options_.sw_floor);
+  if (term.is_foreign_key) {
+    score *= options_.fk_reference_penalty;
+    if (prov != nullptr) prov->fk_penalized = true;
+  }
+  return score;
+}
+
 double WeightMatrixBuilder::SchemaWeightImpl(const std::string& keyword,
                                              const DatabaseTerm& term,
                                              WeightProvenance* prov) const {
@@ -167,12 +298,18 @@ double WeightMatrixBuilder::SchemaWeightImpl(const std::string& keyword,
       // ("IT" vs "Id"); require an exact match there.
       score = ToLower(keyword) == ToLower(name) ? 1.0 : 0.0;
     } else {
-      score = NameSimilarity(keyword, name);
+      // The configured registry measure scores the cell; measure_ == null
+      // is the composite "name" fast path (direct call, no dispatch).
+      score = measure_ != nullptr ? measure_->Score(keyword, name)
+                                  : NameSimilarity(keyword, name);
     }
     // For attribute terms, a keyword may also name the qualified concept
     // ("department name"): compare against "<relation> <attribute>" too.
     if (term.kind == TermKind::kAttribute && keyword.size() >= 3) {
-      score = std::max(score, NameSimilarity(keyword, term.relation + " " + name) * 0.9);
+      const std::string qualified = term.relation + " " + name;
+      const double q = measure_ != nullptr ? measure_->Score(keyword, qualified)
+                                           : NameSimilarity(keyword, qualified);
+      score = std::max(score, q * 0.9);
     }
   } else if (ToLower(keyword) == ToLower(name)) {
     // Even with string similarity disabled, exact matches count (otherwise
@@ -205,17 +342,92 @@ double WeightMatrixBuilder::SchemaWeightImpl(const std::string& keyword,
     }
   }
 
-  // Noise floor with rescaling: edit-distance similarities routinely score
-  // unrelated words around 0.4-0.5, so scores are re-mapped from
-  // [floor, 1] onto [0, 1]; everything below the floor is zeroed.
-  if (score < options_.sw_floor) return 0.0;
-  score = std::min(score, 1.0);
-  score = (score - options_.sw_floor) / (1.0 - options_.sw_floor);
-  if (term.is_foreign_key) {
-    score *= options_.fk_reference_penalty;
-    if (prov != nullptr) prov->fk_penalized = true;
+  return FinishSchemaScore(score, term, prov);
+}
+
+void WeightMatrixBuilder::BuildRowPruned(const std::string& keyword,
+                                         std::vector<double>* out,
+                                         RowBuildStats* stats) const {
+  const TermPruneIndex& idx = *prune_index_;
+  const size_t n = terminology_.size();
+  KM_DCHECK(out->size() == n);
+
+  // Phase 1: batched string-similarity scores for every schema term. The
+  // kernel returns the exact NameSimilarity for every index entry whose
+  // score can reach its floor and 0 for entries provably below it; zeros
+  // are safe because a component below sw_floor can never decide the
+  // final max (anything it could win against is also below the floor, and
+  // then the scalar path returns 0 as well).
+  std::vector<double> strsim(n, 0.0);
+  const bool exact_only = options_.use_string_similarity && keyword.size() < 3;
+  std::string lowered_keyword;
+  if (exact_only || !options_.use_string_similarity) {
+    lowered_keyword = ToLower(keyword);
   }
-  return score;
+  if (options_.use_string_similarity && !exact_only) {
+    std::vector<double> entry_scores;
+    NameMatchStats match_stats;
+    idx.names.Match(keyword, entry_floors_, &entry_scores, nullptr,
+                    &match_stats);
+    stats->candidate_cells += match_stats.candidates;
+    stats->pruned_cells += match_stats.pruned;
+    for (size_t e = 0; e < entry_scores.size(); ++e) {
+      const size_t t = idx.entry_term[e];
+      const double contribution = idx.entry_qualified[e] != 0
+                                      ? entry_scores[e] * 0.9
+                                      : entry_scores[e];
+      strsim[t] = std::max(strsim[t], contribution);
+    }
+  }
+
+  // Keyword-side word/stem lists for the synonym channel, shared across
+  // all schema terms of the row (the scalar path re-splits per cell).
+  std::vector<std::string> kw_words;
+  std::vector<std::string> kw_stems;
+  if (options_.use_synonyms) {
+    kw_words = SplitIdentifierWords(keyword);
+    kw_stems.reserve(kw_words.size());
+    for (const auto& a : kw_words) kw_stems.push_back(PorterStem(a));
+  }
+
+  DomainMemo domain_memo;
+  for (size_t t = 0; t < n; ++t) {
+    const DatabaseTerm& term = terminology_.term(t);
+    if (!term.is_schema_term()) {
+      (*out)[t] = ValueWeightImpl(keyword, term, nullptr, &domain_memo);
+      continue;
+    }
+    double score = 0.0;
+    if (options_.use_string_similarity) {
+      score = exact_only
+                  ? (lowered_keyword == idx.lowered_name[t] ? 1.0 : 0.0)
+                  : strsim[t];
+    } else if (lowered_keyword == idx.lowered_name[t]) {
+      score = 1.0;
+    }
+    if (options_.use_synonyms) {
+      // Identical arithmetic to SchemaWeightImpl's synonym loop, with the
+      // splits and stems precomputed (same values, same order, same max
+      // and sum sequence → the same doubles).
+      const std::vector<std::string>& tw = idx.term_words[t];
+      if (!kw_words.empty() && !tw.empty()) {
+        const std::vector<std::string>& ts = idx.term_stems[t];
+        double total = 0;
+        for (size_t a = 0; a < kw_words.size(); ++a) {
+          double best = 0;
+          for (size_t b = 0; b < tw.size(); ++b) {
+            best = std::max(best, thesaurus_->Similarity(kw_words[a], tw[b]));
+            best = std::max(best, thesaurus_->Similarity(kw_stems[a], ts[b]));
+          }
+          total += best;
+        }
+        double sem =
+            total / static_cast<double>(std::max(kw_words.size(), tw.size()));
+        score = std::max(score, sem);
+      }
+    }
+    (*out)[t] = FinishSchemaScore(score, term, nullptr);
+  }
 }
 
 double WeightMatrixBuilder::ValueWeight(const std::string& keyword,
@@ -225,11 +437,28 @@ double WeightMatrixBuilder::ValueWeight(const std::string& keyword,
 
 double WeightMatrixBuilder::ValueWeightImpl(const std::string& keyword,
                                             const DatabaseTerm& term,
-                                            WeightProvenance* prov) const {
+                                            WeightProvenance* prov,
+                                            DomainMemo* domain_memo) const {
   double score = 0.0;
 
   if (options_.use_domain_patterns) {
-    score = DomainCompatibility(keyword, term.type, term.tag);
+    if (domain_memo != nullptr) {
+      // DomainCompatibility depends only on (keyword, type, tag); the
+      // pruned row build memoizes it per keyword so each distinct
+      // pattern-recognizer combination runs once per row, not once per
+      // domain term. Pure function → the cached double is bit-identical.
+      const uint32_t key = (static_cast<uint32_t>(term.type) << 8) |
+                           static_cast<uint32_t>(term.tag);
+      auto it = domain_memo->find(key);
+      if (it != domain_memo->end()) {
+        score = it->second;
+      } else {
+        score = DomainCompatibility(keyword, term.type, term.tag);
+        domain_memo->emplace(key, score);
+      }
+    } else {
+      score = DomainCompatibility(keyword, term.type, term.tag);
+    }
   } else {
     // Pattern matching disabled: only storage-type compatibility at a flat
     // weight, so the ablation keeps the pipeline runnable.
@@ -264,7 +493,11 @@ double WeightMatrixBuilder::ValueWeightImpl(const std::string& keyword,
       // common (matching DBMS full-text relevance behaviour).
       auto hit_weight = [this](size_t count) {
         double bonus = 0.04 * std::min(1.0, std::log2(1.0 + static_cast<double>(count)) / 12.0);
-        return std::min(0.99, options_.instance_hit_weight + bonus);
+        // Cap only the frequency bonus at 0.99: a hit weight configured at
+        // or above 0.99 (e.g. 1.0 = "exact hit is certain") must survive
+        // unchanged rather than being silently pulled down.
+        return std::max(options_.instance_hit_weight,
+                        std::min(0.99, options_.instance_hit_weight + bonus));
       };
       if (term.type == DataType::kText || term.type == DataType::kDate) {
         std::string lk = ToLower(keyword);

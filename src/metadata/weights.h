@@ -26,6 +26,8 @@
 #include "common/trace.h"
 #include "metadata/term.h"
 #include "relational/database.h"
+#include "text/measure_registry.h"
+#include "text/similarity_batch.h"
 #include "text/thesaurus.h"
 
 namespace km {
@@ -65,6 +67,55 @@ struct WeightOptions {
   /// terminology, so repeated keywords skip the SW/VW similarity work
   /// entirely.
   size_t keyword_row_cache_capacity = 4096;
+  /// Registered name of the similarity measure scoring the SW string
+  /// component (MeasureRegistry::Global()). The default "name" is the
+  /// composite identifier measure from text/similarity.h; any other
+  /// registered measure (e.g. "monge_elkan" for multi-token keywords)
+  /// replaces it cell-for-cell. Unknown names fall back to "name".
+  std::string similarity_measure = "name";
+  /// Options forwarded to the measure creator.
+  MeasureOptions measure_options;
+  /// Use the prepared terminology prune index (when attached via
+  /// SetPruneIndex) to batch and prune the SW scan in Build(). Only the
+  /// composite "name" measure has the lossless bounds the kernel relies
+  /// on, so any other similarity_measure forces the scalar path. The
+  /// pruned build is byte-identical to the scalar one: every score at or
+  /// above sw_floor is computed exactly, and skipped cells are provably
+  /// below the floor (which zeroes them in the scalar path too).
+  bool use_prune_index = true;
+};
+
+/// Prepare-time pruning index over a terminology: a NameMatchIndex over
+/// every schema-term name — the plain relation/attribute names plus the
+/// qualified "<relation> <attribute>" variants the attribute scorer also
+/// checks — with entry → term mappings and the precomputed identifier
+/// word/stem lists the synonym channel consults. Derived entirely from
+/// the terminology, so PreparedState can rebuild it after Build() and
+/// Assemble() alike and snapshots need no new section (and no format
+/// bump). Immutable and shared between builders.
+struct TermPruneIndex {
+  explicit TermPruneIndex(const Terminology& terminology);
+
+  /// Convenience shared-ownership builder.
+  static std::shared_ptr<const TermPruneIndex> Build(
+      const Terminology& terminology);
+
+  /// Per NameMatchIndex entry: the terminology term it scores.
+  std::vector<uint32_t> entry_term;
+  /// 1 when the entry is the qualified "<relation> <attribute>" variant
+  /// (its similarity enters the SW score scaled by 0.9).
+  std::vector<uint8_t> entry_qualified;
+  /// Per term: lower-cased primary name (empty for domain terms) for the
+  /// short-keyword / no-string-similarity exact-equality paths.
+  std::vector<std::string> lowered_name;
+  /// Per term: identifier words of the primary name and their Porter
+  /// stems (empty vectors for domain terms).
+  std::vector<std::vector<std::string>> term_words;
+  std::vector<std::vector<std::string>> term_stems;
+  /// Declared last on purpose: its initializer fills the maps above while
+  /// collecting the names to index (members construct in declaration
+  /// order).
+  NameMatchIndex names;
 };
 
 /// Decomposition of one intrinsic weight: which scoring component produced
@@ -154,21 +205,56 @@ class WeightMatrixBuilder {
   const Terminology& terminology() const { return terminology_; }
   const WeightOptions& options() const { return options_; }
 
+  /// Attaches a prepared prune index (normally PreparedState's). The
+  /// index must have been built from the same terminology. Build() then
+  /// takes the pruned/batched SW path when the options allow it.
+  void SetPruneIndex(std::shared_ptr<const TermPruneIndex> index);
+
+  /// Whether Build() will use the pruned/batched kernel (index attached,
+  /// use_prune_index set, composite "name" measure selected).
+  bool UsesPrunedKernel() const;
+
   /// Hit/miss/eviction snapshot of the keyword-row cache.
   CacheCounters RowCacheCounters() const { return row_cache_.Counters(); }
 
  private:
+  struct RowBuildStats {
+    size_t candidate_cells = 0;
+    size_t pruned_cells = 0;
+  };
+  // Per-row memo of DomainCompatibility(keyword, type, tag): the value
+  // depends only on (keyword, type, tag), so one keyword row computes each
+  // distinct (type, tag) pattern once instead of once per domain term.
+  using DomainMemo = std::unordered_map<uint32_t, double>;
+
   // Weight computations with optional provenance capture (prov may be
   // null); the public SchemaWeight/ValueWeight/ExplainWeight wrap these.
   double SchemaWeightImpl(const std::string& keyword, const DatabaseTerm& term,
                           WeightProvenance* prov) const;
   double ValueWeightImpl(const std::string& keyword, const DatabaseTerm& term,
-                         WeightProvenance* prov) const;
+                         WeightProvenance* prov,
+                         DomainMemo* domain_memo = nullptr) const;
+
+  // The batched SW/VW row for one keyword, byte-identical to the scalar
+  // per-cell loop; requires prune_index_.
+  void BuildRowPruned(const std::string& keyword, std::vector<double>* out,
+                      RowBuildStats* stats) const;
+
+  // Shared tail of the schema score: noise floor, rescale, FK penalty.
+  double FinishSchemaScore(double score, const DatabaseTerm& term,
+                           WeightProvenance* prov) const;
 
   const Terminology& terminology_;
   const Database* db_;
   WeightOptions options_;
   const Thesaurus* thesaurus_;
+  std::shared_ptr<const TermPruneIndex> prune_index_;
+  // The configured SW string measure; nullptr means the built-in composite
+  // NameSimilarity fast path (measure "name" with no virtual dispatch).
+  std::unique_ptr<const SimilarityMeasure> measure_;
+  // Per-entry floors for prune_index_->names.Match: sw_floor for plain
+  // entries, sw_floor/0.9 for qualified ones (their score enters scaled).
+  std::vector<double> entry_floors_;
   // Backing store of the instance-access constructor; empty (and unused)
   // when the index is shared externally.
   std::vector<ValueIndexEntry> owned_value_index_;

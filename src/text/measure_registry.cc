@@ -1,0 +1,202 @@
+#include "text/measure_registry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/strings.h"
+#include "text/similarity.h"
+
+namespace km {
+
+namespace {
+
+// A measure defined by a plain scoring function from similarity.h.
+class FunctionMeasure : public SimilarityMeasure {
+ public:
+  using Fn = double (*)(std::string_view, std::string_view);
+  FunctionMeasure(std::string name, Fn fn, bool symmetric)
+      : name_(std::move(name)), fn_(fn), symmetric_(symmetric) {}
+
+  std::string_view name() const override { return name_; }
+  double Score(std::string_view a, std::string_view b) const override {
+    return fn_(a, b);
+  }
+  bool symmetric() const override { return symmetric_; }
+
+ private:
+  std::string name_;
+  Fn fn_;
+  bool symmetric_;
+};
+
+class FunctionMeasureCreator : public SimilarityMeasureCreator {
+ public:
+  FunctionMeasureCreator(std::string name, FunctionMeasure::Fn fn, bool symmetric)
+      : SimilarityMeasureCreator(std::move(name)), fn_(fn), symmetric_(symmetric) {}
+
+  std::unique_ptr<SimilarityMeasure> Create(
+      const MeasureOptions& /*options*/) const override {
+    return std::make_unique<FunctionMeasure>(measure_name(), fn_, symmetric_);
+  }
+
+ private:
+  FunctionMeasure::Fn fn_;
+  bool symmetric_;
+};
+
+// Levenshtein with an optional distance cutoff: beyond the cutoff the
+// banded scan bails out early and the measure scores 0.
+class LevenshteinMeasure : public SimilarityMeasure {
+ public:
+  explicit LevenshteinMeasure(size_t max_distance) : max_distance_(max_distance) {}
+
+  std::string_view name() const override { return "levenshtein"; }
+  double Score(std::string_view a, std::string_view b) const override {
+    std::string la = ToLower(a), lb = ToLower(b);
+    if (la.empty() && lb.empty()) return 1.0;
+    const size_t mx = std::max(la.size(), lb.size());
+    if (max_distance_ > 0) {
+      const size_t d = BandedLevenshtein(la, lb, max_distance_);
+      if (d > max_distance_) return 0.0;
+      return 1.0 - static_cast<double>(d) / static_cast<double>(mx);
+    }
+    return lowered::NormalizedLevenshtein(la, lb);
+  }
+  bool symmetric() const override { return true; }
+
+ private:
+  size_t max_distance_;
+};
+
+class LevenshteinCreator : public SimilarityMeasureCreator {
+ public:
+  LevenshteinCreator() : SimilarityMeasureCreator("levenshtein") {}
+  std::unique_ptr<SimilarityMeasure> Create(
+      const MeasureOptions& options) const override {
+    return std::make_unique<LevenshteinMeasure>(options.levenshtein_max_distance);
+  }
+};
+
+class MongeElkanMeasure : public SimilarityMeasure {
+ public:
+  MongeElkanMeasure(std::unique_ptr<SimilarityMeasure> inner, double inner_floor)
+      : inner_(std::move(inner)), inner_floor_(inner_floor) {}
+
+  std::string_view name() const override { return "monge_elkan"; }
+  double Score(std::string_view a, std::string_view b) const override {
+    std::vector<std::string> wa = SplitIdentifierWords(a);
+    std::vector<std::string> wb = SplitIdentifierWords(b);
+    return MongeElkanSimilarity(wa, wb, *inner_, inner_floor_);
+  }
+  bool symmetric() const override { return true; }
+
+ private:
+  std::unique_ptr<SimilarityMeasure> inner_;
+  double inner_floor_;
+};
+
+class MongeElkanCreator : public SimilarityMeasureCreator {
+ public:
+  MongeElkanCreator() : SimilarityMeasureCreator("monge_elkan") {}
+  std::unique_ptr<SimilarityMeasure> Create(
+      const MeasureOptions& options) const override {
+    // Resolve the inner measure through the registry so custom inner
+    // measures work too; fall back to Jaro-Winkler (and guard against a
+    // self-referential inner name, which would recurse forever).
+    std::unique_ptr<SimilarityMeasure> inner;
+    if (options.monge_elkan_inner != "monge_elkan") {
+      MeasureOptions inner_opts = options;
+      inner = MeasureRegistry::Global().Create(options.monge_elkan_inner, inner_opts);
+    }
+    if (inner == nullptr) {
+      inner = std::make_unique<FunctionMeasure>("jaro_winkler",
+                                                &JaroWinklerSimilarity, true);
+    }
+    return std::make_unique<MongeElkanMeasure>(std::move(inner),
+                                               options.monge_elkan_inner_floor);
+  }
+};
+
+double MongeElkanDirected(const std::vector<std::string>& from,
+                          const std::vector<std::string>& onto,
+                          const SimilarityMeasure& inner, double inner_floor) {
+  double total = 0;
+  for (const auto& w : from) {
+    double best = 0;
+    for (const auto& v : onto) best = std::max(best, inner.Score(w, v));
+    if (best >= inner_floor) total += best;
+  }
+  return total / static_cast<double>(from.size());
+}
+
+}  // namespace
+
+double MongeElkanSimilarity(const std::vector<std::string>& a_words,
+                            const std::vector<std::string>& b_words,
+                            const SimilarityMeasure& inner, double inner_floor) {
+  if (a_words.empty() && b_words.empty()) return 1.0;
+  if (a_words.empty() || b_words.empty()) return 0.0;
+  return (MongeElkanDirected(a_words, b_words, inner, inner_floor) +
+          MongeElkanDirected(b_words, a_words, inner, inner_floor)) /
+         2.0;
+}
+
+MeasureRegistry& MeasureRegistry::Global() {
+  static MeasureRegistry* registry = [] {
+    auto* r = new MeasureRegistry();
+    r->Register(std::make_unique<LevenshteinCreator>());
+    r->Register(std::make_unique<FunctionMeasureCreator>("jaro", &JaroSimilarity,
+                                                         true));
+    r->Register(std::make_unique<FunctionMeasureCreator>(
+        "jaro_winkler", &JaroWinklerSimilarity, true));
+    r->Register(std::make_unique<FunctionMeasureCreator>(
+        "trigram_jaccard", &TrigramJaccard, true));
+    // Directed by contract: Score(abbrev, full).
+    r->Register(std::make_unique<FunctionMeasureCreator>(
+        "abbreviation", &AbbreviationScore, false));
+    // The composite identifier measure the weight builder uses by default.
+    // The greedy alignment maps the smaller word list onto the larger one,
+    // but on EQUAL word counts the first argument is the alignment source,
+    // and greedy assignment from a symmetric pair matrix is still order-
+    // sensitive — so no symmetry is claimed.
+    r->Register(std::make_unique<FunctionMeasureCreator>("name", &NameSimilarity,
+                                                         false));
+    r->Register(std::make_unique<MongeElkanCreator>());
+    return r;
+  }();
+  return *registry;
+}
+
+void MeasureRegistry::Register(std::unique_ptr<SimilarityMeasureCreator> creator) {
+  std::string name = creator->measure_name();
+  std::shared_ptr<const SimilarityMeasureCreator> shared = std::move(creator);
+  MutexLock lock(mu_);
+  creators_[name] = std::move(shared);
+}
+
+std::unique_ptr<SimilarityMeasure> MeasureRegistry::Create(
+    std::string_view name, const MeasureOptions& options) const {
+  std::shared_ptr<const SimilarityMeasureCreator> creator;
+  {
+    MutexLock lock(mu_);
+    auto it = creators_.find(std::string(name));
+    if (it == creators_.end()) return nullptr;
+    creator = it->second;
+  }
+  // Create() runs outside the lock: creators are immutable once registered,
+  // and Monge-Elkan re-enters the registry to resolve its inner measure.
+  return creator->Create(options);
+}
+
+std::vector<std::string> MeasureRegistry::Names() const {
+  std::vector<std::string> names;
+  {
+    MutexLock lock(mu_);
+    names.reserve(creators_.size());
+    for (const auto& [name, creator] : creators_) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace km

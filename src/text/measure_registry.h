@@ -1,0 +1,121 @@
+// Pluggable string-similarity measures behind a creator registry.
+//
+// The weight builder historically hard-wired the composite NameSimilarity
+// into every SW cell. This registry lifts each measure behind a small
+// interface so the builder (and through it the HMM emission path and
+// ExplainWeight provenance) can be configured with any registered measure
+// by name — including Monge-Elkan for multi-token keywords, which the
+// composite's greedy alignment approximates but does not expose on its
+// own. The shape follows the SimilarityMeasureCreator pattern: creators
+// are registered once (by measure name), Create() instantiates a measure
+// from per-measure options, and instances are immutable + thread-safe.
+
+#ifndef KM_TEXT_MEASURE_REGISTRY_H_
+#define KM_TEXT_MEASURE_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace km {
+
+/// Tuning knobs passed to SimilarityMeasureCreator::Create. Each measure
+/// reads the fields it understands and ignores the rest.
+struct MeasureOptions {
+  /// "levenshtein": distances above this cutoff score 0 via the banded
+  /// scan instead of filling the full DP table. 0 = no cutoff.
+  size_t levenshtein_max_distance = 0;
+  /// "monge_elkan": name of the registered inner word-pair measure.
+  std::string monge_elkan_inner = "jaro_winkler";
+  /// "monge_elkan": inner scores below this floor count as 0 (noise cut
+  /// for unrelated word pairs).
+  double monge_elkan_inner_floor = 0.0;
+};
+
+/// One string-similarity measure. Instances are immutable after creation
+/// and safe to share across threads. Scores are in [0, 1]; inputs are raw
+/// (possibly mixed-case) strings — measures normalize internally exactly
+/// like the free functions in text/similarity.h.
+class SimilarityMeasure {
+ public:
+  virtual ~SimilarityMeasure() = default;
+
+  /// The registry name this measure was created under.
+  virtual std::string_view name() const = 0;
+
+  /// Similarity of `a` and `b` in [0, 1].
+  virtual double Score(std::string_view a, std::string_view b) const = 0;
+
+  /// True when Score(a, b) == Score(b, a) by contract (the property suite
+  /// checks exactly the measures that claim it).
+  virtual bool symmetric() const = 0;
+};
+
+/// Factory for one named measure. Register subclasses with
+/// MeasureRegistry::Global().Register(...).
+class SimilarityMeasureCreator {
+ public:
+  explicit SimilarityMeasureCreator(std::string name) : name_(std::move(name)) {}
+  virtual ~SimilarityMeasureCreator() = default;
+
+  const std::string& measure_name() const { return name_; }
+
+  /// Builds a fresh measure instance from `options`.
+  virtual std::unique_ptr<SimilarityMeasure> Create(
+      const MeasureOptions& options) const = 0;
+
+ private:
+  std::string name_;
+};
+
+/// Process-wide registry of similarity measures. The built-in measures
+/// (levenshtein, jaro, jaro_winkler, trigram_jaccard, abbreviation,
+/// monge_elkan, and the composite "name") are registered on first use of
+/// Global(); callers may register additional creators, replacing any
+/// previous creator of the same name.
+class MeasureRegistry {
+ public:
+  /// The process-wide instance, with built-ins registered.
+  static MeasureRegistry& Global();
+
+  /// Registers (or replaces) the creator under its measure_name().
+  void Register(std::unique_ptr<SimilarityMeasureCreator> creator);
+
+  /// Instantiates the named measure, or nullptr for an unknown name.
+  std::unique_ptr<SimilarityMeasure> Create(
+      std::string_view name, const MeasureOptions& options = {}) const;
+
+  /// Registered measure names, sorted (for error messages and docs).
+  std::vector<std::string> Names() const;
+
+ private:
+  MeasureRegistry() = default;
+
+  mutable Mutex mu_;
+  // shared_ptr so Create() can instantiate outside the lock (Monge-Elkan
+  // re-enters the registry for its inner measure) while a concurrent
+  // Register() replacing the same name cannot free the creator under it.
+  std::unordered_map<std::string, std::shared_ptr<const SimilarityMeasureCreator>>
+      creators_ KM_GUARDED_BY(mu_);
+};
+
+/// Monge-Elkan similarity over identifier words: for each word of one
+/// side take the best inner-measure score against the other side and
+/// average; both directions are evaluated and averaged (symmetrized
+/// Monge-Elkan). Exposed for direct use in tests; normal access is
+/// MeasureRegistry::Global().Create("monge_elkan", opts). Symmetrized by
+/// evaluating both directions and averaging, so it is usable where the
+/// builder expects symmetric scores.
+double MongeElkanSimilarity(const std::vector<std::string>& a_words,
+                            const std::vector<std::string>& b_words,
+                            const SimilarityMeasure& inner,
+                            double inner_floor = 0.0);
+
+}  // namespace km
+
+#endif  // KM_TEXT_MEASURE_REGISTRY_H_

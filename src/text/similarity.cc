@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstddef>
 #include <unordered_set>
 #include <vector>
 
@@ -25,6 +26,41 @@ size_t LevenshteinDistance(std::string_view a, std::string_view b) {
     std::swap(prev, cur);
   }
   return prev[m];
+}
+
+size_t BandedLevenshtein(std::string_view a, std::string_view b,
+                         size_t max_distance) {
+  const size_t n = a.size(), m = b.size();
+  // The distance is at least the length difference; bail before any DP.
+  const size_t diff = n > m ? n - m : m - n;
+  if (diff > max_distance) return max_distance + 1;
+  if (n == 0) return m;
+  if (m == 0) return n;
+  const size_t kBig = max_distance + 1;
+  std::vector<size_t> prev(m + 1, kBig), cur(m + 1, kBig);
+  for (size_t j = 0; j <= std::min(m, max_distance); ++j) prev[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    // Only |i - j| <= max_distance cells can hold a distance within the
+    // cutoff; everything outside the band stays at kBig.
+    const size_t lo = i > max_distance ? i - max_distance : 1;
+    const size_t hi = std::min(m, i + max_distance);
+    if (lo > hi) return kBig;
+    std::fill(cur.begin(), cur.end(), kBig);
+    if (i <= max_distance) cur[0] = i;
+    size_t row_min = kBig;
+    for (size_t j = lo; j <= hi; ++j) {
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      size_t best = prev[j - 1] + cost;
+      if (prev[j] + 1 < best) best = prev[j] + 1;
+      if (cur[j - 1] + 1 < best) best = cur[j - 1] + 1;
+      cur[j] = std::min(best, kBig);
+      row_min = std::min(row_min, cur[j]);
+    }
+    if (i <= max_distance) row_min = std::min(row_min, cur[0]);
+    if (row_min > max_distance) return kBig;  // every path already over budget
+    std::swap(prev, cur);
+  }
+  return std::min(prev[m], kBig);
 }
 
 namespace lowered {
@@ -80,7 +116,11 @@ double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
 
 double AbbreviationScore(std::string_view abbrev, std::string_view full) {
   if (abbrev.empty() || full.empty()) return 0.0;
-  if (abbrev.size() >= full.size()) return 0.0;
+  // Only a strictly longer `abbrev` disqualifies; equal-length strings fall
+  // through so "dept"/"Dept" (equal after the public wrapper lowers both)
+  // reaches the prefix branch and scores 1.0 by coverage, as the header
+  // contract promises.
+  if (abbrev.size() > full.size()) return 0.0;
   // Must start with the same character to count as an abbreviation.
   if (abbrev[0] != full[0]) return 0.0;
   if (full.compare(0, abbrev.size(), abbrev) == 0) {
@@ -122,12 +162,17 @@ double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
 namespace {
 
 std::unordered_set<std::string> Trigrams(std::string_view lowered_s) {
+  std::unordered_set<std::string> grams;
+  // An empty string has no trigrams. With the old '#' padding the padded
+  // form of "" was "####", which collapsed to the single gram "###" — that
+  // made TrigramJaccard("#", "") score 1.0 and left the empty-set guard in
+  // the caller dead.
+  if (lowered_s.empty()) return grams;
   std::string padded;
   padded.reserve(lowered_s.size() + 4);
-  padded += "##";
+  padded.append(2, kTrigramPadLeft);
   padded += lowered_s;
-  padded += "##";
-  std::unordered_set<std::string> grams;
+  padded.append(2, kTrigramPadRight);
   for (size_t i = 0; i + 3 <= padded.size(); ++i) grams.insert(padded.substr(i, 3));
   return grams;
 }
@@ -145,6 +190,29 @@ double TrigramJaccard(std::string_view a, std::string_view b) {
   for (const auto& g : ga) inter += gb.count(g);
   size_t uni = ga.size() + gb.size() - inter;
   return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+void PackedTrigrams(std::string_view s, std::vector<uint32_t>* out) {
+  if (s.empty()) return;
+  // Mirror Trigrams() exactly: two sentinel bytes each side, every window
+  // of three bytes, distinct grams only. Packing three bytes big-endian
+  // into a uint32 is a bijection from grams to integers, so sorted-unique
+  // arrays of these values have the same cardinalities as the string sets.
+  std::string padded;
+  padded.reserve(s.size() + 4);
+  padded.append(2, kTrigramPadLeft);
+  padded += s;
+  padded.append(2, kTrigramPadRight);
+  const size_t first = out->size();
+  for (size_t i = 0; i + 3 <= padded.size(); ++i) {
+    uint32_t g = (static_cast<uint32_t>(static_cast<unsigned char>(padded[i])) << 16) |
+                 (static_cast<uint32_t>(static_cast<unsigned char>(padded[i + 1])) << 8) |
+                 static_cast<uint32_t>(static_cast<unsigned char>(padded[i + 2]));
+    out->push_back(g);
+  }
+  std::sort(out->begin() + static_cast<ptrdiff_t>(first), out->end());
+  out->erase(std::unique(out->begin() + static_cast<ptrdiff_t>(first), out->end()),
+             out->end());
 }
 
 }  // namespace lowered

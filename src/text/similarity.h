@@ -6,13 +6,30 @@
 #ifndef KM_TEXT_SIMILARITY_H_
 #define KM_TEXT_SIMILARITY_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace km {
 
+/// Sentinel bytes used to pad strings before trigram extraction. They are
+/// out-of-band (no printable identifier contains control bytes), so an
+/// identifier that happens to contain '#' can never collide with padding
+/// grams — and an empty string produces no grams at all instead of the
+/// single all-sentinel gram the old '#' padding collapsed to.
+inline constexpr char kTrigramPadLeft = '\x01';
+inline constexpr char kTrigramPadRight = '\x02';
+
 /// Classic Levenshtein edit distance (insert/delete/substitute, unit cost).
 size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Banded Levenshtein with a cutoff: returns the exact distance when it is
+/// <= max_distance, and any value > max_distance otherwise (early-out; the
+/// DP only visits cells within the band, O(min(n,m) * max_distance)).
+/// Case-sensitive, like LevenshteinDistance.
+size_t BandedLevenshtein(std::string_view a, std::string_view b,
+                         size_t max_distance);
 
 /// 1 − distance/max(|a|,|b|); 1 for two empty strings.
 double NormalizedLevenshtein(std::string_view a, std::string_view b);
@@ -24,12 +41,16 @@ double JaroSimilarity(std::string_view a, std::string_view b);
 double JaroWinklerSimilarity(std::string_view a, std::string_view b);
 
 /// Jaccard coefficient over character trigrams (strings are padded with
-/// two sentinels on each side, so short strings still produce trigrams).
+/// two out-of-band sentinel bytes on each side, so short strings still
+/// produce trigrams). Two empty strings score 1; empty vs non-empty
+/// scores 0.
 double TrigramJaccard(std::string_view a, std::string_view b);
 
 /// Score for `abbrev` being an abbreviation/prefix of `full`:
-/// exact prefix ("dept"/"department") scores by coverage; subsequence
-/// matches ("dpt"/"department") score lower; 0 when not a subsequence.
+/// equal strings (after lowering) score 1, exact prefix
+/// ("dept"/"department") scores by coverage; subsequence matches
+/// ("dpt"/"department") score lower; 0 when not a subsequence and 0
+/// whenever `abbrev` is strictly longer than `full`.
 double AbbreviationScore(std::string_view abbrev, std::string_view full);
 
 /// The composite identifier similarity used by the metadata layer:
@@ -61,6 +82,14 @@ double TrigramJaccard(std::string_view a, std::string_view b);
 
 /// AbbreviationScore on pre-lowered inputs.
 double AbbreviationScore(std::string_view abbrev, std::string_view full);
+
+/// Appends the distinct trigrams of pre-lowered `s` to *out, each gram
+/// packed big-endian into the low 3 bytes of a uint32. Uses the same
+/// kTrigramPadLeft/kTrigramPadRight padding as TrigramJaccard, so set
+/// cardinalities (and therefore Jaccard scores computed from these
+/// arrays) match the string-based measure exactly. Output is sorted and
+/// deduplicated; an empty input appends nothing.
+void PackedTrigrams(std::string_view s, std::vector<uint32_t>* out);
 
 }  // namespace lowered
 

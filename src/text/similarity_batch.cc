@@ -1,0 +1,475 @@
+#include "text/similarity_batch.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "text/similarity.h"
+#include "text/stemmer.h"
+
+namespace km {
+
+namespace {
+
+// Character classes for the Jaro-Winkler bound: one per letter, one shared
+// class for digits, one for everything else. Lumping digits/other together
+// can only OVER-estimate the common-character count (distinct characters
+// mapped to one class look shareable), which keeps the bound sound.
+constexpr uint32_t kClassDigit = 26;
+constexpr uint32_t kClassOther = 27;
+// Counts are padded to 32 slots per word so the min-sum loop below runs
+// over a fixed power-of-two extent (auto-vectorizes to byte-min lanes).
+constexpr uint32_t kClassSlots = 32;
+
+constexpr uint32_t kNoId = 0xffffffffu;
+
+uint32_t CharClass(unsigned char c) {
+  if (c >= 'a' && c <= 'z') return c - 'a';
+  if (c >= '0' && c <= '9') return kClassDigit;
+  return kClassOther;
+}
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Sign-aggregation tally for a 128-bit SimHash.
+struct SigTally {
+  int32_t bit[128] = {0};
+
+  void Add(uint32_t gram) {
+    const uint64_t h1 = Mix64(gram);
+    const uint64_t h2 = Mix64(h1 ^ 0xD2B74407B1CE6E93ull);
+    for (int b = 0; b < 64; ++b) {
+      bit[b] += ((h1 >> b) & 1) ? 1 : -1;
+      bit[64 + b] += ((h2 >> b) & 1) ? 1 : -1;
+    }
+  }
+
+  SimHash128 Finish() const {
+    SimHash128 sig;
+    for (int b = 0; b < 64; ++b) {
+      if (bit[b] > 0) sig.lo |= (1ull << b);
+      if (bit[64 + b] > 0) sig.hi |= (1ull << b);
+    }
+    return sig;
+  }
+};
+
+}  // namespace
+
+int SimHashHamming(SimHash128 a, SimHash128 b) {
+  return __builtin_popcountll(a.hi ^ b.hi) + __builtin_popcountll(a.lo ^ b.lo);
+}
+
+double SimHashSimilarity(SimHash128 a, SimHash128 b) {
+  return 1.0 - static_cast<double>(SimHashHamming(a, b)) / 128.0;
+}
+
+struct NameMatchIndex::WordScan {
+  // Per vocabulary word: upper bound on word_sim, the exact value when it
+  // is already known (-1 = only the Jaro-Winkler channel is outstanding),
+  // and the max of the exactly-computed channels (trigram, abbreviation)
+  // used to finish the lazy case.
+  std::vector<double> ub;
+  std::vector<double> exact;
+  std::vector<double> channels;
+  std::vector<uint16_t> inter;  // distinct shared trigram counts
+};
+
+NameMatchIndex::NameMatchIndex(const std::vector<std::string>& names) {
+  entries_.resize(names.size());
+  // Intern every identifier word of every name.
+  {
+    // Temporary map; the persistent lookup is the sorted word_order_.
+    std::unordered_map<std::string, uint32_t> ids;
+    for (size_t e = 0; e < names.size(); ++e) {
+      std::vector<std::string> words = SplitIdentifierWords(names[e]);
+      entries_[e].word_ids.reserve(words.size());
+      for (auto& w : words) {
+        auto [it, inserted] = ids.emplace(w, static_cast<uint32_t>(words_.size()));
+        if (inserted) words_.push_back(w);
+        entries_[e].word_ids.push_back(it->second);
+      }
+    }
+  }
+  BuildWordShapes();
+  BuildGramIndex();
+  // Entry signatures aggregate the grams of every word occurrence.
+  for (auto& entry : entries_) {
+    SigTally tally;
+    for (uint32_t w : entry.word_ids) {
+      for (uint32_t g = word_gram_off_[w]; g < word_gram_off_[w + 1]; ++g) {
+        tally.Add(grams_[g]);
+      }
+    }
+    entry.signature = tally.Finish();
+  }
+}
+
+uint32_t NameMatchIndex::InternStem(const std::string& stem) {
+  // stem_order_ is kept sorted by stem string, so interning is a binary
+  // search plus (rarely) an ordered insert.
+  auto it = std::lower_bound(
+      stem_order_.begin(), stem_order_.end(), stem,
+      [this](uint32_t id, const std::string& s) { return stems_[id] < s; });
+  if (it != stem_order_.end() && stems_[*it] == stem) return *it;
+  const uint32_t id = static_cast<uint32_t>(stems_.size());
+  stems_.push_back(stem);
+  stem_order_.insert(it, id);
+  return id;
+}
+
+void NameMatchIndex::BuildWordShapes() {
+  const size_t v = words_.size();
+  word_len_.resize(v);
+  word_mask_.resize(v);
+  word_first_.resize(v);
+  word_counts_.assign(v * kClassSlots, 0);
+  word_gram_off_.assign(v + 1, 0);
+  word_sig_.resize(v);
+  word_stem_id_.resize(v);
+  for (size_t w = 0; w < v; ++w) {
+    const std::string& word = words_[w];
+    word_len_[w] = static_cast<uint32_t>(word.size());
+    word_first_[w] = word.empty() ? 0 : static_cast<unsigned char>(word[0]);
+    uint32_t mask = 0;
+    uint8_t* counts = &word_counts_[w * kClassSlots];
+    for (unsigned char c : word) {
+      const uint32_t cls = CharClass(c);
+      mask |= (1u << cls);
+      if (counts[cls] != 0xff) ++counts[cls];
+    }
+    word_mask_[w] = mask;
+    word_gram_off_[w] = static_cast<uint32_t>(grams_.size());
+    lowered::PackedTrigrams(word, &grams_);
+    word_stem_id_[w] = InternStem(PorterStem(word));
+  }
+  word_gram_off_[v] = static_cast<uint32_t>(grams_.size());
+  for (size_t w = 0; w < v; ++w) {
+    SigTally tally;
+    for (uint32_t g = word_gram_off_[w]; g < word_gram_off_[w + 1]; ++g) {
+      tally.Add(grams_[g]);
+    }
+    word_sig_[w] = tally.Finish();
+  }
+  word_order_.resize(v);
+  for (size_t w = 0; w < v; ++w) word_order_[w] = static_cast<uint32_t>(w);
+  std::sort(word_order_.begin(), word_order_.end(),
+            [this](uint32_t a, uint32_t b) { return words_[a] < words_[b]; });
+}
+
+void NameMatchIndex::BuildGramIndex() {
+  std::vector<std::pair<uint32_t, uint32_t>> gram_word;
+  gram_word.reserve(grams_.size());
+  for (size_t w = 0; w < words_.size(); ++w) {
+    for (uint32_t g = word_gram_off_[w]; g < word_gram_off_[w + 1]; ++g) {
+      gram_word.emplace_back(grams_[g], static_cast<uint32_t>(w));
+    }
+  }
+  std::sort(gram_word.begin(), gram_word.end());
+  gram_keys_.clear();
+  gram_off_.clear();
+  gram_postings_.clear();
+  gram_postings_.reserve(gram_word.size());
+  for (size_t i = 0; i < gram_word.size(); ++i) {
+    if (i == 0 || gram_word[i].first != gram_word[i - 1].first) {
+      gram_keys_.push_back(gram_word[i].first);
+      gram_off_.push_back(static_cast<uint32_t>(i));
+    }
+    gram_postings_.push_back(gram_word[i].second);
+  }
+  gram_off_.push_back(static_cast<uint32_t>(gram_word.size()));
+}
+
+void NameMatchIndex::ScanWord(const std::string& x, WordScan* scan) const {
+  const size_t v = words_.size();
+  scan->ub.assign(v, 0.0);
+  scan->exact.assign(v, 0.0);
+  scan->channels.assign(v, 0.0);
+  scan->inter.assign(v, 0);
+
+  // Keyword-word shape.
+  const uint32_t xlen = static_cast<uint32_t>(x.size());
+  uint32_t xmask = 0;
+  uint8_t xcounts[kClassSlots] = {0};
+  for (unsigned char c : x) {
+    const uint32_t cls = CharClass(c);
+    xmask |= (1u << cls);
+    if (xcounts[cls] != 0xff) ++xcounts[cls];
+  }
+  std::vector<uint32_t> xgrams;
+  lowered::PackedTrigrams(x, &xgrams);
+
+  // Distinct-gram intersection counts via the inverted index. Both sides
+  // hold distinct grams, so the accumulated count is exactly |A ∩ B| and
+  // the Jaccard below is exact, not an estimate.
+  for (uint32_t g : xgrams) {
+    auto it = std::lower_bound(gram_keys_.begin(), gram_keys_.end(), g);
+    if (it == gram_keys_.end() || *it != g) continue;
+    const size_t k = static_cast<size_t>(it - gram_keys_.begin());
+    for (uint32_t p = gram_off_[k]; p < gram_off_[k + 1]; ++p) {
+      ++scan->inter[gram_postings_[p]];
+    }
+  }
+
+  // Exact-equality and equal-stem lookups.
+  uint32_t x_word_id = kNoId;
+  {
+    auto it = std::lower_bound(
+        word_order_.begin(), word_order_.end(), x,
+        [this](uint32_t id, const std::string& s) { return words_[id] < s; });
+    if (it != word_order_.end() && words_[*it] == x) x_word_id = *it;
+  }
+  uint32_t x_stem_id = kNoId;
+  {
+    const std::string xstem = PorterStem(x);
+    auto it = std::lower_bound(
+        stem_order_.begin(), stem_order_.end(), xstem,
+        [this](uint32_t id, const std::string& s) { return stems_[id] < s; });
+    if (it != stem_order_.end() && stems_[*it] == xstem) x_stem_id = *it;
+  }
+
+  const unsigned char xfirst = x.empty() ? 0 : static_cast<unsigned char>(x[0]);
+  const double xgram_count = static_cast<double>(xgrams.size());
+
+  for (size_t w = 0; w < v; ++w) {
+    // Mirror NameSimilarity's word_sim decision order exactly: equality,
+    // then stem equality, then the max over the similarity measures.
+    if (w == x_word_id) {
+      scan->ub[w] = 1.0;
+      scan->exact[w] = 1.0;
+      continue;
+    }
+    if ((xmask & word_mask_[w]) == 0) {
+      // No shared character class ⇒ no shared character ⇒ Jaro matches,
+      // trigram intersection and abbreviation first-char test are all
+      // provably zero, and stems (which preserve the first character)
+      // cannot be equal: word_sim is exactly 0.
+      continue;  // ub/exact stay 0.0
+    }
+    if (x_stem_id != kNoId && word_stem_id_[w] == x_stem_id) {
+      scan->ub[w] = 0.97;
+      scan->exact[w] = 0.97;
+      continue;
+    }
+    // Exact trigram-Jaccard channel from the intersection counts.
+    const uint32_t inter = scan->inter[w];
+    const uint32_t wgrams = word_gram_off_[w + 1] - word_gram_off_[w];
+    double channels = 0.0;
+    if (inter > 0) {
+      channels = static_cast<double>(inter) /
+                 (xgram_count + static_cast<double>(wgrams) -
+                  static_cast<double>(inter));
+    }
+    // Exact abbreviation channel: by contract 0 unless first chars match.
+    if (xfirst == word_first_[w]) {
+      channels = std::max(channels, lowered::AbbreviationScore(x, words_[w]));
+      channels = std::max(channels, lowered::AbbreviationScore(words_[w], x));
+    }
+    scan->channels[w] = channels;
+    const uint32_t wlen = word_len_[w];
+    if (xlen >= 0xff || wlen >= 0xff) {
+      // Saturated class counts would make the bound unsound; give up on
+      // pruning this pair (absurdly long "words" only).
+      scan->ub[w] = 1.0;
+      scan->exact[w] = -1.0;
+      continue;
+    }
+    // Jaro-Winkler upper bound: matches m <= min(|x|, |w|, common chars),
+    // transposition term <= 1, prefix length is exact.
+    uint32_t common = 0;
+    const uint8_t* wcounts = &word_counts_[w * kClassSlots];
+    for (uint32_t k = 0; k < kClassSlots; ++k) {
+      common += std::min(xcounts[k], wcounts[k]);
+    }
+    const uint32_t m_ub = std::min({xlen, wlen, common});
+    double jw_ub = 0.0;
+    if (m_ub > 0) {
+      const double m = static_cast<double>(m_ub);
+      const double jaro_ub =
+          (m / static_cast<double>(xlen) + m / static_cast<double>(wlen) + 1.0) /
+          3.0;
+      size_t prefix = 0;
+      const std::string& word = words_[w];
+      const size_t pmax = std::min({x.size(), word.size(), size_t{4}});
+      while (prefix < pmax && x[prefix] == word[prefix]) ++prefix;
+      jw_ub = jaro_ub + static_cast<double>(prefix) * 0.1 * (1.0 - jaro_ub);
+    }
+    if (jw_ub <= channels) {
+      // The real Jaro-Winkler cannot beat the exactly-known channels, so
+      // the max is already exact without computing it.
+      scan->ub[w] = channels;
+      scan->exact[w] = channels;
+    } else {
+      scan->ub[w] = jw_ub;
+      scan->exact[w] = -1.0;
+    }
+  }
+}
+
+double NameMatchIndex::ExactPairSim(const std::string& x, uint32_t w,
+                                    WordScan* scan,
+                                    NameMatchStats* stats) const {
+  double& e = scan->exact[w];
+  if (e >= 0.0) return e;
+  // Only Jaro-Winkler is outstanding; combine with the exact channels the
+  // same way word_sim does (max over all measures).
+  const double jw = lowered::JaroWinklerSimilarity(x, words_[w]);
+  e = std::max(jw, scan->channels[w]);
+  if (stats != nullptr) ++stats->word_pairs_scored;
+  return e;
+}
+
+void NameMatchIndex::Match(std::string_view keyword,
+                           const std::vector<double>& floors,
+                           std::vector<double>* out_scores,
+                           std::vector<uint8_t>* out_survived,
+                           NameMatchStats* stats) const {
+  const size_t n = entries_.size();
+  KM_CHECK(floors.size() == n);
+  out_scores->assign(n, 0.0);
+  if (out_survived != nullptr) out_survived->assign(n, 0);
+
+  const std::vector<std::string> kw_words = SplitIdentifierWords(keyword);
+  const size_t kw_count = kw_words.size();
+  if (kw_count == 0) {
+    // NameSimilarity is exactly 0 against every name; that is an exact
+    // score, not a prune.
+    for (size_t e = 0; e < n; ++e) {
+      const bool clears = 0.0 >= floors[e];
+      if (out_survived != nullptr) (*out_survived)[e] = clears ? 1 : 0;
+      if (stats != nullptr) ++(clears ? stats->candidates : stats->pruned);
+    }
+    return;
+  }
+
+  std::vector<WordScan> scans(kw_count);
+  for (size_t i = 0; i < kw_count; ++i) ScanWord(kw_words[i], &scans[i]);
+
+  std::vector<bool> used;
+  for (size_t e = 0; e < n; ++e) {
+    const std::vector<uint32_t>& ids = entries_[e].word_ids;
+    const size_t term_count = ids.size();
+    if (term_count == 0) {
+      const bool clears = 0.0 >= floors[e];
+      if (out_survived != nullptr) (*out_survived)[e] = clears ? 1 : 0;
+      if (stats != nullptr) ++(clears ? stats->candidates : stats->pruned);
+      continue;
+    }
+    // Upper bound from per-word maxima: the greedy alignment total of the
+    // smaller side is at most the sum of its per-word maxima (greedy never
+    // exceeds the unconstrained best per word), so
+    //   NameSimilarity <= sum_small max_large ub / |large|.
+    const size_t denom = std::max(kw_count, term_count);
+    double ub_total = 0.0;
+    if (kw_count <= term_count) {
+      for (size_t i = 0; i < kw_count; ++i) {
+        const std::vector<double>& ub = scans[i].ub;
+        double best = 0.0;
+        for (uint32_t id : ids) best = std::max(best, ub[id]);
+        ub_total += best;
+      }
+    } else {
+      for (uint32_t id : ids) {
+        double best = 0.0;
+        for (size_t i = 0; i < kw_count; ++i) best = std::max(best, scans[i].ub[id]);
+        ub_total += best;
+      }
+    }
+    if (ub_total / static_cast<double>(denom) < floors[e]) {
+      if (stats != nullptr) ++stats->pruned;
+      continue;  // provably below the floor; score stays 0
+    }
+    if (stats != nullptr) ++stats->candidates;
+    if (out_survived != nullptr) (*out_survived)[e] = 1;
+
+    // Exact greedy alignment, replicating NameSimilarity: iterate the
+    // smaller word list in order, pick the best unused larger-side word
+    // with a strict '>' (first maximum wins), average over the larger list.
+    double total = 0.0;
+    if (kw_count <= term_count) {
+      used.assign(term_count, false);
+      for (size_t i = 0; i < kw_count; ++i) {
+        double best = 0.0;
+        ptrdiff_t best_j = -1;
+        for (size_t j = 0; j < term_count; ++j) {
+          if (used[j]) continue;
+          const double s = ExactPairSim(kw_words[i], ids[j], &scans[i], stats);
+          if (s > best) {
+            best = s;
+            best_j = static_cast<ptrdiff_t>(j);
+          }
+        }
+        if (best_j >= 0) used[static_cast<size_t>(best_j)] = true;
+        total += best;
+      }
+    } else {
+      used.assign(kw_count, false);
+      for (size_t j = 0; j < term_count; ++j) {
+        double best = 0.0;
+        ptrdiff_t best_i = -1;
+        for (size_t i = 0; i < kw_count; ++i) {
+          if (used[i]) continue;
+          const double s = ExactPairSim(kw_words[i], ids[j], &scans[i], stats);
+          if (s > best) {
+            best = s;
+            best_i = static_cast<ptrdiff_t>(i);
+          }
+        }
+        if (best_i >= 0) used[static_cast<size_t>(best_i)] = true;
+        total += best;
+      }
+    }
+    (*out_scores)[e] = total / static_cast<double>(denom);
+  }
+}
+
+SimHash128 NameMatchIndex::name_signature(size_t name_index) const {
+  KM_CHECK(name_index < entries_.size());
+  return entries_[name_index].signature;
+}
+
+SimHash128 NameMatchIndex::Signature(std::string_view text) {
+  SigTally tally;
+  std::vector<uint32_t> grams;
+  for (const std::string& word : SplitIdentifierWords(text)) {
+    grams.clear();
+    lowered::PackedTrigrams(word, &grams);
+    for (uint32_t g : grams) tally.Add(g);
+  }
+  return tally.Finish();
+}
+
+std::vector<uint32_t> NameMatchIndex::ApproxNearestWords(std::string_view word,
+                                                         size_t k) const {
+  const std::string lowered_word = ToLower(word);
+  std::vector<uint32_t> grams;
+  lowered::PackedTrigrams(lowered_word, &grams);
+  SigTally tally;
+  for (uint32_t g : grams) tally.Add(g);
+  const SimHash128 sig = tally.Finish();
+
+  std::vector<std::pair<int, uint32_t>> by_distance;
+  by_distance.reserve(words_.size());
+  for (size_t w = 0; w < words_.size(); ++w) {
+    by_distance.emplace_back(SimHashHamming(sig, word_sig_[w]),
+                             static_cast<uint32_t>(w));
+  }
+  const size_t keep = std::min(k, by_distance.size());
+  std::partial_sort(by_distance.begin(), by_distance.begin() + static_cast<ptrdiff_t>(keep),
+                    by_distance.end());
+  std::vector<uint32_t> result;
+  result.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) result.push_back(by_distance[i].second);
+  return result;
+}
+
+}  // namespace km

@@ -1,0 +1,163 @@
+// Batched, pruned evaluation of the composite NameSimilarity measure.
+//
+// The weight builder's forward step scores every keyword against every
+// schema-term name. Doing that with per-cell scalar calls recomputes the
+// identifier-word split, trigram sets and Porter stems of every term name
+// once per cell; with ~10k terms that dominates query latency (ROADMAP
+// item 1). NameMatchIndex hoists all of that into a build-once index over
+// the term names and evaluates one keyword against *all* names in two
+// phases:
+//
+//   1. A signature pass over the deduplicated word vocabulary computes,
+//      for every (keyword-word, vocabulary-word) pair, either the exact
+//      word similarity or a provable upper bound on it:
+//        - exact-equality and equal-stem pairs are exact (1.0 / 0.97);
+//        - the trigram-Jaccard channel is computed *exactly* via a trigram
+//          inverted index (distinct-gram intersection counts);
+//        - the abbreviation channel is computed exactly for the few pairs
+//          sharing a first character (it is 0 for all others by contract);
+//        - Jaro-Winkler is bounded from above from 28-class character
+//          counts: matches <= min(|x|, |y|, common-char count), and the
+//          Winkler bonus uses the exact common-prefix length.
+//      Per-name upper bounds then follow from the greedy alignment shape:
+//      the aligned total of the smaller word list is at most the sum of
+//      per-word maxima, so
+//        NameSimilarity <= sum_small max_large pair_ub / |large|.
+//   2. Names whose bound clears the caller's floor are scored exactly,
+//      replicating NameSimilarity's greedy alignment (same word order,
+//      same tie-breaks, same floating-point operation order), with
+//      word-pair scores memoized across names through the shared
+//      vocabulary. Names whose bound is below the floor are *provably*
+//      below it and are skipped.
+//
+// The result is byte-identical to calling NameSimilarity per name for
+// every score at or above the floor — the pruning is lossless, and the
+// property/equivalence suites cross-check that exhaustively.
+//
+// The index also carries a 128-bit SimHash signature per word and per
+// name (sign-aggregated gram hashes). Hamming distance between SimHash
+// signatures only *estimates* trigram overlap — it can under- and
+// over-shoot — so signatures are advisory: they feed candidate-set
+// diagnostics (bench e6) and approximate nearest-word lookups, never the
+// lossless prune decision above.
+//
+// Thread-safety: immutable after construction; Match() allocates its own
+// scratch, so concurrent calls from the row-parallel weight build are safe.
+
+#ifndef KM_TEXT_SIMILARITY_BATCH_H_
+#define KM_TEXT_SIMILARITY_BATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace km {
+
+/// 128-bit SimHash signature (sign-aggregate of per-gram hashes).
+struct SimHash128 {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+};
+
+/// Bits that differ between two signatures (0..128; similar strings are
+/// close in Hamming distance with high probability, not with certainty).
+int SimHashHamming(SimHash128 a, SimHash128 b);
+
+/// 1 - hamming/128, a similarity *estimate* in [0, 1].
+double SimHashSimilarity(SimHash128 a, SimHash128 b);
+
+/// Per-Match accounting, aggregated by the caller into metrics/spans.
+struct NameMatchStats {
+  /// Names whose upper bound cleared their floor (scored exactly).
+  size_t candidates = 0;
+  /// Names proven below their floor and skipped.
+  size_t pruned = 0;
+  /// Exact word-pair similarities materialized (memoized; an upper bound
+  /// on the Jaro-Winkler calls actually executed).
+  size_t word_pairs_scored = 0;
+};
+
+/// Build-once index over a list of names supporting pruned, batched
+/// NameSimilarity evaluation of one keyword against all names.
+class NameMatchIndex {
+ public:
+  /// Builds the index: splits every name into identifier words, dedups
+  /// the word vocabulary, and precomputes per-word shapes (length,
+  /// character classes, packed trigrams, Porter stems, SimHash
+  /// signatures) plus the trigram inverted index.
+  explicit NameMatchIndex(const std::vector<std::string>& names);
+
+  size_t name_count() const { return entries_.size(); }
+  size_t vocab_size() const { return words_.size(); }
+
+  /// Scores `keyword` against every indexed name. On return,
+  /// (*out_scores)[e] == NameSimilarity(keyword, names[e]) for every name
+  /// whose score can reach floors[e], and 0.0 for names proven below
+  /// floors[e]; (*out_survived)[e] records which case applied (it may be
+  /// null when the caller does not care). floors[e] <= 0 disables pruning
+  /// for that name. `stats` (optional) accumulates candidate/prune counts.
+  void Match(std::string_view keyword, const std::vector<double>& floors,
+             std::vector<double>* out_scores,
+             std::vector<uint8_t>* out_survived, NameMatchStats* stats) const;
+
+  /// Advisory SimHash signature of the indexed name / of an arbitrary
+  /// string (signature of all its identifier words' grams).
+  SimHash128 name_signature(size_t name_index) const;
+  static SimHash128 Signature(std::string_view text);
+
+  /// Indices of the `k` vocabulary words closest to `word` by SimHash
+  /// Hamming distance (advisory ordering; ties by word index). Exposed for
+  /// diagnostics and the e6 candidate-distribution bench.
+  std::vector<uint32_t> ApproxNearestWords(std::string_view word,
+                                           size_t k) const;
+  const std::string& vocab_word(uint32_t word_id) const {
+    return words_[word_id];
+  }
+
+ private:
+  struct Entry {
+    std::vector<uint32_t> word_ids;  // in name order, duplicates preserved
+    SimHash128 signature;
+  };
+
+  // Scratch for one keyword word against the whole vocabulary.
+  struct WordScan;
+
+  uint32_t InternStem(const std::string& stem);
+  void BuildWordShapes();
+  void BuildGramIndex();
+
+  // Fills `scan` with exact-or-bounded similarities of keyword word `x`
+  // (pre-lowered) against every vocabulary word.
+  void ScanWord(const std::string& x, WordScan* scan) const;
+
+  // Exact word_sim(x, words_[w]) given its scan row (lazy Jaro-Winkler).
+  double ExactPairSim(const std::string& x, uint32_t w, WordScan* scan,
+                      NameMatchStats* stats) const;
+
+  std::vector<Entry> entries_;
+  std::vector<std::string> words_;       // deduplicated, lowered
+  std::vector<uint32_t> word_stem_id_;   // parallel to words_
+  std::vector<std::string> stems_;       // deduplicated stem strings
+  // Per-word shape data (parallel to words_).
+  std::vector<uint32_t> word_len_;
+  std::vector<uint32_t> word_mask_;      // bit per character class
+  std::vector<unsigned char> word_first_;
+  std::vector<uint8_t> word_counts_;     // kClassSlots bytes per word
+  std::vector<uint32_t> word_gram_off_;  // into grams_, size vocab+1
+  std::vector<SimHash128> word_sig_;
+  std::vector<uint32_t> grams_;          // packed trigrams, sorted per word
+  // Trigram inverted index over the vocabulary.
+  std::vector<uint32_t> gram_keys_;      // sorted distinct grams
+  std::vector<uint32_t> gram_off_;       // size gram_keys_+1
+  std::vector<uint32_t> gram_postings_;  // word ids
+  // Lookup maps (word string -> id, stem string -> id) live in the .cc via
+  // sorted vectors to keep this header light.
+  std::vector<uint32_t> word_order_;     // word ids sorted by word string
+  std::vector<uint32_t> stem_order_;     // stem ids sorted by stem string
+};
+
+}  // namespace km
+
+#endif  // KM_TEXT_SIMILARITY_BATCH_H_

@@ -1,0 +1,239 @@
+// Byte-exact equivalence of the weight builds: the serial scalar path,
+// the pooled row-parallel path and the pruned batched kernel must all
+// produce bit-identical matrices on every bundled dataset, and the
+// kernel's pruning must be lossless — every name it skips is provably
+// below the floor under the scalar reference as well. This suite is the
+// enforcement arm of the contract documented in text/similarity_batch.h;
+// it also runs under asan and tsan in CI.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "datasets/dblp.h"
+#include "datasets/imdb.h"
+#include "datasets/mondial.h"
+#include "datasets/university.h"
+#include "metadata/term.h"
+#include "metadata/weights.h"
+#include "relational/database.h"
+#include "text/similarity.h"
+#include "text/similarity_batch.h"
+
+namespace km {
+namespace {
+
+// Keywords chosen to exercise every scoring channel: exact schema names,
+// case variants, synonyms, abbreviations, near-misses, short keywords
+// (exact-only path), multi-word keywords, instance values and garbage.
+const std::vector<std::string>& ChannelKeywords() {
+  static const std::vector<std::string> kKeywords = {
+      "name",       "Name",     "person",     "people",    "dept",
+      "department", "universty", "id",        "db",        "title",
+      "publisher",  "year",     "1998",       "comedy",    "rating",
+      "population", "river",    "country",    "professor name",
+      "journal",    "Vokram",   "xqzzt",      "a",         "",
+  };
+  return kKeywords;
+}
+
+struct DatasetCase {
+  const char* name;
+  StatusOr<Database> (*build)();
+};
+
+StatusOr<Database> University() { return BuildUniversityDatabase({}); }
+StatusOr<Database> Mondial() { return BuildMondialDatabase({}); }
+StatusOr<Database> Dblp() { return BuildDblpDatabase({}); }
+StatusOr<Database> Imdb() { return BuildImdbDatabase({}); }
+
+class KernelEquivalenceTest : public ::testing::TestWithParam<DatasetCase> {};
+
+// Bit-exact matrix comparison: memcmp over the raw doubles, so even a
+// sign-of-zero or last-ulp divergence between the paths fails loudly.
+void ExpectBitIdentical(const Matrix& a, const Matrix& b, const char* what) {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) {
+      double x = a(r, c), y = b(r, c);
+      EXPECT_EQ(std::memcmp(&x, &y, sizeof(double)), 0)
+          << what << ": cell (" << r << ", " << c << ") " << x << " vs " << y;
+    }
+  }
+}
+
+TEST_P(KernelEquivalenceTest, SerialPooledAndPrunedBuildsAreBitIdentical) {
+  auto db = GetParam().build();
+  ASSERT_TRUE(db.ok()) << GetParam().name;
+  Terminology terminology(db->schema());
+  auto index = TermPruneIndex::Build(terminology);
+
+  WeightOptions scalar_opts;
+  scalar_opts.use_prune_index = false;
+  scalar_opts.keyword_row_cache_capacity = 0;
+  WeightMatrixBuilder scalar(terminology, &*db, scalar_opts);
+  ASSERT_FALSE(scalar.UsesPrunedKernel());
+
+  WeightOptions pruned_opts;
+  pruned_opts.keyword_row_cache_capacity = 0;
+  WeightMatrixBuilder pruned(terminology, &*db, pruned_opts);
+  pruned.SetPruneIndex(index);
+  ASSERT_TRUE(pruned.UsesPrunedKernel());
+
+  ThreadPool pool(4);
+  WeightOptions pooled_opts = pruned_opts;
+  pooled_opts.pool = &pool;
+  WeightMatrixBuilder pooled(terminology, &*db, pooled_opts);
+  pooled.SetPruneIndex(index);
+  ASSERT_TRUE(pooled.UsesPrunedKernel());
+
+  Matrix reference = scalar.Build(ChannelKeywords());
+  Matrix pruned_m = pruned.Build(ChannelKeywords());
+  Matrix pooled_m = pooled.Build(ChannelKeywords());
+  ExpectBitIdentical(reference, pruned_m, "scalar vs pruned");
+  ExpectBitIdentical(reference, pooled_m, "scalar vs pooled+pruned");
+}
+
+// A non-default measure must force the scalar path (the prune bounds are
+// specific to the composite measure) and still honor the configuration.
+TEST_P(KernelEquivalenceTest, NonCompositeMeasureForcesScalarPath) {
+  auto db = GetParam().build();
+  ASSERT_TRUE(db.ok());
+  Terminology terminology(db->schema());
+  WeightOptions opts;
+  opts.similarity_measure = "monge_elkan";
+  WeightMatrixBuilder builder(terminology, &*db, opts);
+  builder.SetPruneIndex(TermPruneIndex::Build(terminology));
+  EXPECT_FALSE(builder.UsesPrunedKernel());
+  (void)builder.Build({"department", "name"});  // must not crash
+}
+
+// Exhaustive losslessness on real terminology names: every name the
+// kernel prunes must score strictly below its floor under the scalar
+// reference, and every survivor must carry the bit-exact scalar score.
+TEST_P(KernelEquivalenceTest, PruningIsLosslessAgainstAllPairsReference) {
+  auto db = GetParam().build();
+  ASSERT_TRUE(db.ok());
+  Terminology terminology(db->schema());
+  TermPruneIndex index(terminology);
+
+  // Reconstruct the indexed name list the way the index builder does:
+  // per entry, the plain or qualified name of the mapped term.
+  std::vector<std::string> names(index.names.name_count());
+  for (size_t e = 0; e < names.size(); ++e) {
+    const DatabaseTerm& t = terminology.term(index.entry_term[e]);
+    names[e] = index.entry_qualified[e] ? t.relation + " " + t.attribute
+                                        : (t.kind == TermKind::kRelation
+                                               ? t.relation
+                                               : t.attribute);
+  }
+
+  WeightOptions defaults;
+  for (double floor : {defaults.sw_floor, defaults.sw_floor / 0.9, 0.0}) {
+    std::vector<double> floors(names.size(), floor);
+    std::vector<double> scores;
+    std::vector<uint8_t> survived;
+    NameMatchStats stats;
+    for (const std::string& kw :
+         {std::string("department"), std::string("person name"),
+          std::string("universty"), std::string("pop"), std::string("xq")}) {
+      index.names.Match(kw, floors, &scores, &survived, &stats);
+      ASSERT_EQ(scores.size(), names.size());
+      for (size_t e = 0; e < names.size(); ++e) {
+        double ref = NameSimilarity(kw, names[e]);
+        if (survived[e]) {
+          EXPECT_EQ(std::memcmp(&scores[e], &ref, sizeof(double)), 0)
+              << "'" << kw << "' vs '" << names[e] << "': " << scores[e]
+              << " != " << ref;
+        } else {
+          EXPECT_LT(ref, floor) << "'" << kw << "' vs '" << names[e]
+                                << "' pruned but scores " << ref;
+          EXPECT_DOUBLE_EQ(scores[e], 0.0);
+        }
+      }
+    }
+    if (floor <= 0.0) {
+      // Floor 0 disables pruning entirely.
+      EXPECT_EQ(stats.pruned, 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Datasets, KernelEquivalenceTest,
+    ::testing::Values(DatasetCase{"university", &University},
+                      DatasetCase{"mondial", &Mondial},
+                      DatasetCase{"dblp", &Dblp}, DatasetCase{"imdb", &Imdb}),
+    [](const ::testing::TestParamInfo<DatasetCase>& info) {
+      return info.param.name;
+    });
+
+// Randomized vocabularies: identifier-shaped names (camelCase,
+// snake_case, digits) with adversarial fragments, cross-checked
+// exhaustively against the scalar reference.
+class RandomVocabularyTest : public ::testing::TestWithParam<uint64_t> {};
+
+std::string RandomWord(Rng* rng) {
+  static const char* kFragments[] = {"name", "dept", "person", "id",  "uni",
+                                     "pop",  "data", "x",      "pro", "fee"};
+  std::string w;
+  size_t pieces = 1 + rng->Uniform(3);
+  for (size_t i = 0; i < pieces; ++i) {
+    if (rng->Bernoulli(0.6)) {
+      w += kFragments[rng->Uniform(10)];
+    } else {
+      size_t len = 1 + rng->Uniform(6);
+      for (size_t j = 0; j < len; ++j) {
+        w += static_cast<char>('a' + rng->Uniform(26));
+      }
+    }
+  }
+  // Random casing / separators to exercise the identifier splitter.
+  if (rng->Bernoulli(0.3)) w[0] = static_cast<char>(w[0] - 'a' + 'A');
+  if (w.size() > 3 && rng->Bernoulli(0.3)) {
+    w.insert(w.size() / 2, rng->Bernoulli(0.5) ? "_" : "9");
+  }
+  return w;
+}
+
+TEST_P(RandomVocabularyTest, PruningIsLosslessOnRandomNames) {
+  Rng rng(GetParam() * 0x9E3779B97F4A7C15ull + 1);
+  std::vector<std::string> names;
+  size_t n = 20 + rng.Uniform(60);
+  for (size_t i = 0; i < n; ++i) names.push_back(RandomWord(&rng));
+  NameMatchIndex index(names);
+  ASSERT_EQ(index.name_count(), names.size());
+
+  std::vector<double> floors(names.size());
+  for (double& f : floors) {
+    f = rng.Bernoulli(0.2) ? 0.0 : 0.15 + 0.5 * rng.UniformDouble();
+  }
+  std::vector<double> scores;
+  std::vector<uint8_t> survived;
+  for (int q = 0; q < 8; ++q) {
+    std::string kw = RandomWord(&rng);
+    if (rng.Bernoulli(0.25)) kw += " " + RandomWord(&rng);
+    index.Match(kw, floors, &scores, &survived, nullptr);
+    for (size_t e = 0; e < names.size(); ++e) {
+      double ref = NameSimilarity(kw, names[e]);
+      if (survived[e]) {
+        EXPECT_EQ(std::memcmp(&scores[e], &ref, sizeof(double)), 0)
+            << "'" << kw << "' vs '" << names[e] << "'";
+      } else {
+        EXPECT_LT(ref, floors[e])
+            << "'" << kw << "' vs '" << names[e] << "' wrongly pruned";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, RandomVocabularyTest,
+                         ::testing::Range<uint64_t>(1, 31));
+
+}  // namespace
+}  // namespace km

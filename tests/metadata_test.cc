@@ -358,6 +358,31 @@ TEST_F(MetadataTest, FrequencyBonusBreaksTiesTowardCommonValues) {
   EXPECT_LE(wu, 0.99);
 }
 
+TEST_F(MetadataTest, HitWeightConfiguredAtOneSurvivesFrequencyBonus) {
+  // Regression: the 0.99 cap used to apply to base + bonus together, so a
+  // hit weight configured at 1.0 ("an exact hit is certain") was silently
+  // pulled down to 0.99. The cap must bound only the frequency bonus.
+  WeightOptions opts;
+  opts.instance_hit_weight = 1.0;
+  WeightMatrixBuilder builder(*terminology_, db_, opts);
+  auto dom = terminology_->DomainTerm("PEOPLE", "Name");
+  ASSERT_TRUE(dom.has_value());
+  // "Vokram" is an actual PEOPLE.Name value; PEOPLE.Name is not an FK.
+  EXPECT_DOUBLE_EQ(builder.ValueWeight("Vokram", terminology_->term(*dom)),
+                   1.0);
+}
+
+TEST_F(MetadataTest, HitWeightAtCapBoundaryIsExact) {
+  // Option boundary: exactly at the cap the bonus is a no-op, not a
+  // perturbation — 0.99 in, 0.99 out.
+  WeightOptions opts;
+  opts.instance_hit_weight = 0.99;
+  WeightMatrixBuilder builder(*terminology_, db_, opts);
+  auto dom = terminology_->DomainTerm("PEOPLE", "Name");
+  EXPECT_DOUBLE_EQ(builder.ValueWeight("Vokram", terminology_->term(*dom)),
+                   0.99);
+}
+
 TEST_F(MetadataTest, SubstringValuesGetPartialWeight) {
   WeightMatrixBuilder builder(*terminology_, db_);
   auto email_dom = terminology_->DomainTerm("PEOPLE", "Email");

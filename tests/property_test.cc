@@ -20,6 +20,7 @@
 #include "metadata/term.h"
 #include "relational/csv.h"
 #include "relational/database.h"
+#include "text/measure_registry.h"
 #include "text/similarity.h"
 #include "text/stemmer.h"
 #include "text/tokenizer.h"
@@ -303,6 +304,71 @@ TEST_P(TextFuzzTest, SimilaritiesStayInUnitInterval) {
     EXPECT_GE(s, 0.0) << a << " / " << b;
     EXPECT_LE(s, 1.0) << a << " / " << b;
   }
+}
+
+// Random mixed-case identifier-ish string, to fuzz the registry measures
+// and the lowered:: fast paths.
+std::string RandomIdentifier(Rng* rng) {
+  std::string w;
+  size_t len = rng->Uniform(14);
+  for (size_t i = 0; i < len; ++i) {
+    uint64_t roll = rng->Uniform(30);
+    if (roll < 26) {
+      char c = static_cast<char>('a' + roll);
+      w += rng->Bernoulli(0.2) ? static_cast<char>(c - 'a' + 'A') : c;
+    } else if (roll < 28) {
+      w += static_cast<char>('0' + rng->Uniform(10));
+    } else {
+      w += '_';
+    }
+  }
+  return w;
+}
+
+TEST_P(TextFuzzTest, RegistryMeasuresStayInUnitIntervalAndHonorSymmetry) {
+  Rng rng(GetParam() * 777767777);
+  std::string a = RandomIdentifier(&rng), b = RandomIdentifier(&rng);
+  for (const std::string& name : MeasureRegistry::Global().Names()) {
+    auto m = MeasureRegistry::Global().Create(name);
+    ASSERT_NE(m, nullptr) << name;
+    double ab = m->Score(a, b), ba = m->Score(b, a);
+    EXPECT_GE(ab, 0.0) << name << ": " << a << " / " << b;
+    EXPECT_LE(ab, 1.0) << name << ": " << a << " / " << b;
+    // Measures that claim symmetry must deliver it bit-for-bit; the
+    // asymmetric ones (abbreviation) are exempt by contract.
+    if (m->symmetric()) {
+      EXPECT_DOUBLE_EQ(ab, ba) << name << ": " << a << " / " << b;
+    }
+  }
+}
+
+TEST_P(TextFuzzTest, LoweredVariantsMatchPublicOnPreLoweredInput) {
+  Rng rng(GetParam() * 31337731);
+  auto lowered_word = [&rng]() {
+    std::string w;
+    size_t len = rng.Uniform(12);
+    for (size_t i = 0; i < len; ++i) {
+      // Lower-case letters plus digits/underscore — already "lowered", so
+      // the public measures' case folding must be a no-op.
+      uint64_t roll = rng.Uniform(28);
+      w += roll < 26 ? static_cast<char>('a' + roll)
+                     : (roll == 26 ? '9' : '_');
+    }
+    return w;
+  };
+  std::string a = lowered_word(), b = lowered_word();
+  EXPECT_DOUBLE_EQ(lowered::JaroWinklerSimilarity(a, b),
+                   JaroWinklerSimilarity(a, b))
+      << a << " / " << b;
+  EXPECT_DOUBLE_EQ(lowered::JaroSimilarity(a, b), JaroSimilarity(a, b))
+      << a << " / " << b;
+  EXPECT_DOUBLE_EQ(lowered::TrigramJaccard(a, b), TrigramJaccard(a, b))
+      << a << " / " << b;
+  EXPECT_DOUBLE_EQ(lowered::AbbreviationScore(a, b), AbbreviationScore(a, b))
+      << a << " / " << b;
+  EXPECT_DOUBLE_EQ(lowered::NormalizedLevenshtein(a, b),
+                   NormalizedLevenshtein(a, b))
+      << a << " / " << b;
 }
 
 INSTANTIATE_TEST_SUITE_P(Random, TextFuzzTest, ::testing::Range<uint64_t>(1, 41));

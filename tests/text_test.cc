@@ -3,6 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <iterator>
+#include <vector>
+
+#include "text/measure_registry.h"
 #include "text/recognizers.h"
 #include "text/similarity.h"
 #include "text/thesaurus.h"
@@ -53,6 +58,52 @@ TEST(TrigramJaccardTest, Basics) {
   EXPECT_LT(TrigramJaccard("alpha", "omega"), 0.3);
 }
 
+TEST(TrigramJaccardTest, EmptyVsNonEmptyScoresZero) {
+  // Regression: the old '#' padding collapsed the empty string to the
+  // single all-padding trigram "###", which "#" (and "##") also produce,
+  // so "" vs "#" scored a perfect 1.0. With out-of-band sentinel padding
+  // the empty string has no trigrams at all.
+  EXPECT_DOUBLE_EQ(TrigramJaccard("", "#"), 0.0);
+  EXPECT_DOUBLE_EQ(TrigramJaccard("#", ""), 0.0);
+  EXPECT_DOUBLE_EQ(TrigramJaccard("", "##"), 0.0);
+  EXPECT_DOUBLE_EQ(TrigramJaccard("", "abc"), 0.0);
+  EXPECT_DOUBLE_EQ(TrigramJaccard("abc", ""), 0.0);
+  // '#' remains an ordinary character between non-empty strings.
+  EXPECT_DOUBLE_EQ(TrigramJaccard("#", "#"), 1.0);
+}
+
+TEST(BandedLevenshteinTest, AgreesWithFullDistanceWithinCutoff) {
+  EXPECT_EQ(BandedLevenshtein("kitten", "sitting", 3), 3u);
+  EXPECT_EQ(BandedLevenshtein("abc", "abc", 0), 0u);
+  EXPECT_EQ(BandedLevenshtein("", "abc", 3), 3u);
+  EXPECT_EQ(BandedLevenshtein("flaw", "lawn", 2), 2u);
+  // Beyond the cutoff any value > max_distance is a valid answer.
+  EXPECT_GT(BandedLevenshtein("abcd", "wxyz", 2), 2u);
+  EXPECT_GT(BandedLevenshtein("", "abcdef", 3), 3u);
+}
+
+TEST(PackedTrigramsTest, CardinalitiesMatchStringTrigrams) {
+  // Jaccard computed from the packed arrays must equal the string-based
+  // measure bit-for-bit — the batched kernel depends on it.
+  const char* words[] = {"", "a", "ab", "abc", "department", "aaaa", "name9"};
+  for (const char* a : words) {
+    for (const char* b : words) {
+      std::vector<uint32_t> ga, gb;
+      lowered::PackedTrigrams(a, &ga);
+      lowered::PackedTrigrams(b, &gb);
+      std::vector<uint32_t> inter;
+      std::set_intersection(ga.begin(), ga.end(), gb.begin(), gb.end(),
+                            std::back_inserter(inter));
+      size_t uni = ga.size() + gb.size() - inter.size();
+      double packed = uni == 0 ? 1.0
+                              : static_cast<double>(inter.size()) /
+                                    static_cast<double>(uni);
+      EXPECT_DOUBLE_EQ(packed, lowered::TrigramJaccard(a, b))
+          << "'" << a << "' vs '" << b << "'";
+    }
+  }
+}
+
 TEST(AbbreviationScoreTest, PrefixAndSubsequence) {
   // Prefix abbreviation scores at least 0.6.
   EXPECT_GE(AbbreviationScore("dep", "department"), 0.6);
@@ -68,6 +119,21 @@ TEST(AbbreviationScoreTest, PrefixAndSubsequence) {
   EXPECT_DOUBLE_EQ(AbbreviationScore("ept", "department"), 0.0);
   // Longer-than-full is never an abbreviation.
   EXPECT_DOUBLE_EQ(AbbreviationScore("departmental", "dept"), 0.0);
+}
+
+TEST(AbbreviationScoreTest, EqualStringsAfterLoweringScoreOne) {
+  // Regression: the length guard used to reject equal-length pairs, so
+  // "dept" vs "Dept" — identical after case folding — scored 0 instead
+  // of 1 (an abbreviation trivially abbreviates itself).
+  EXPECT_DOUBLE_EQ(AbbreviationScore("dept", "Dept"), 1.0);
+  EXPECT_DOUBLE_EQ(AbbreviationScore("Dept", "dept"), 1.0);
+  EXPECT_DOUBLE_EQ(AbbreviationScore("name", "name"), 1.0);
+  EXPECT_DOUBLE_EQ(lowered::AbbreviationScore("dept", "dept"), 1.0);
+  // Strictly longer still scores 0; equal-length different strings are
+  // not prefixes of each other.
+  EXPECT_DOUBLE_EQ(AbbreviationScore("depts", "dept"), 0.0);
+  EXPECT_DOUBLE_EQ(AbbreviationScore("dept", "dept"), 1.0);
+  EXPECT_DOUBLE_EQ(AbbreviationScore("abcd", "abce"), 0.0);
 }
 
 struct NameSimCase {
@@ -102,6 +168,82 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(NameSimilarityTest, EmptyInputsScoreZero) {
   EXPECT_DOUBLE_EQ(NameSimilarity("", "x"), 0.0);
   EXPECT_DOUBLE_EQ(NameSimilarity("x", ""), 0.0);
+}
+
+// ------------------------------------------------------ measure registry
+
+TEST(MeasureRegistryTest, BuiltinsAreRegistered) {
+  auto names = MeasureRegistry::Global().Names();
+  for (const char* expected :
+       {"abbreviation", "jaro", "jaro_winkler", "levenshtein", "monge_elkan",
+        "name", "trigram_jaccard"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+  EXPECT_EQ(MeasureRegistry::Global().Create("no_such_measure"), nullptr);
+}
+
+TEST(MeasureRegistryTest, MeasuresMatchFreeFunctions) {
+  auto name = MeasureRegistry::Global().Create("name");
+  auto jw = MeasureRegistry::Global().Create("jaro_winkler");
+  auto tri = MeasureRegistry::Global().Create("trigram_jaccard");
+  ASSERT_TRUE(name && jw && tri);
+  // "name" makes no symmetry claim (greedy alignment is order-sensitive
+  // on equal word counts); the basic measures do.
+  EXPECT_FALSE(name->symmetric());
+  EXPECT_TRUE(jw->symmetric());
+  EXPECT_TRUE(tri->symmetric());
+  EXPECT_DOUBLE_EQ(name->Score("personName", "person_name"),
+                   NameSimilarity("personName", "person_name"));
+  EXPECT_DOUBLE_EQ(jw->Score("MARTHA", "MARHTA"),
+                   JaroWinklerSimilarity("MARTHA", "MARHTA"));
+  EXPECT_DOUBLE_EQ(tri->Score("keyword", "keywords"),
+                   TrigramJaccard("keyword", "keywords"));
+}
+
+TEST(MeasureRegistryTest, LevenshteinCutoffZeroesDistantPairs) {
+  MeasureOptions opts;
+  opts.levenshtein_max_distance = 2;
+  auto banded = MeasureRegistry::Global().Create("levenshtein", opts);
+  auto full = MeasureRegistry::Global().Create("levenshtein");
+  ASSERT_TRUE(banded && full);
+  // Within the cutoff the banded scan is exact.
+  EXPECT_DOUBLE_EQ(banded->Score("kitten", "kittens"),
+                   full->Score("kitten", "kittens"));
+  // Beyond it the measure rounds down to 0 instead of paying for the
+  // full DP table.
+  EXPECT_DOUBLE_EQ(banded->Score("abcdef", "uvwxyz"), 0.0);
+  EXPECT_GT(full->Score("kitten", "sitting"), 0.0);
+}
+
+TEST(MongeElkanTest, ExactAndSymmetrized) {
+  auto inner = MeasureRegistry::Global().Create("jaro_winkler");
+  ASSERT_TRUE(inner);
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity({"person", "name"}, {"name", "person"},
+                                        *inner),
+                   1.0);
+  // The symmetrized form averages both directions, so argument order
+  // cannot change the score.
+  double ab = MongeElkanSimilarity({"department", "name"}, {"dept"}, *inner);
+  double ba = MongeElkanSimilarity({"dept"}, {"department", "name"}, *inner);
+  EXPECT_DOUBLE_EQ(ab, ba);
+  EXPECT_GT(ab, 0.0);
+  EXPECT_LE(ab, 1.0);
+  // Empty-vs-empty is a perfect match; empty-vs-nonempty is not.
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity({}, {}, *inner), 1.0);
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity({}, {"x"}, *inner), 0.0);
+}
+
+TEST(MongeElkanTest, RegistryMeasureAppliesInnerFloor) {
+  MeasureOptions opts;
+  opts.monge_elkan_inner_floor = 0.99;
+  auto strict = MeasureRegistry::Global().Create("monge_elkan", opts);
+  auto lax = MeasureRegistry::Global().Create("monge_elkan");
+  ASSERT_TRUE(strict && lax);
+  // Unrelated words fall below the floor and contribute nothing.
+  EXPECT_DOUBLE_EQ(strict->Score("alpha", "omega"), 0.0);
+  EXPECT_GT(lax->Score("alpha", "omega"), 0.0);
+  EXPECT_DOUBLE_EQ(strict->Score("person name", "person name"), 1.0);
 }
 
 // ------------------------------------------------------------- thesaurus

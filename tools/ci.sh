@@ -6,9 +6,10 @@
 #   3. tsan       — TSan build + the concurrency/pool/cache suites
 #   4. failpoints — ASan build with KM_FAILPOINTS=ON + resilience and
 #                   snapshot suites (incl. a bounded corruption-fuzz smoke)
-#   5. bench      — Release bench smoke: e11 throughput, e12 overload and
-#                   e13 coldstart emit the BENCH JSON baseline
-#                   (bench-baseline.json artifact in CI)
+#   5. bench      — Release bench smoke: e5 forward-kernel comparison,
+#                   e6 candidate distribution, e11 throughput, e12
+#                   overload and e13 coldstart emit the BENCH JSON
+#                   baseline (bench-baseline.json artifact in CI)
 #   6. soak       — ASan + KM_FAILPOINTS=ON run of the e12 overload smoke:
 #                   admission control sheds under 2x saturation and the
 #                   executor circuit breaker trips, fails fast, and
@@ -68,20 +69,26 @@ run_tsan() {
   # SnapshotReload suite races ReloadSnapshot's RCU engine swap against
   # concurrent Submit traffic.
   ctest --preset tsan -j "$(nproc)" \
-    -R "ThreadPool|LruCache|Concurrency|EngineConcurrency|Murty|Core|TraceGolden|Admission|Aimd|EngineServer|Retry|CircuitBreaker|Mutex|CondVar|SnapshotReload"
+    -R "ThreadPool|LruCache|Concurrency|EngineConcurrency|Murty|Core|TraceGolden|Admission|Aimd|EngineServer|Retry|CircuitBreaker|Mutex|CondVar|SnapshotReload|KernelEquivalence|RandomVocabulary"
 }
 
 run_bench() {
-  echo "=== CI job: bench (e11 throughput + e12 overload + e13 coldstart smoke + BENCH baseline) ==="
+  echo "=== CI job: bench (e5 kernel + e6 candidates + e11 throughput + e12 overload + e13 coldstart smoke + BENCH baseline) ==="
   cmake --preset release
   cmake --build --preset release -j "$(nproc)" \
+    --target bench_e5_forward_time --target bench_e6_scaling \
     --target bench_e11_throughput --target bench_e12_overload \
     --target bench_e13_coldstart
+  # e5 --smoke also cross-checks the pruned kernel against the scalar
+  # baseline cell-by-cell and fails on any mismatch.
+  build/release/bench/bench_e5_forward_time --smoke | tee /tmp/e5_smoke.out
+  build/release/bench/bench_e6_scaling --smoke | tee /tmp/e6_smoke.out
   build/release/bench/bench_e11_throughput --smoke | tee /tmp/e11_smoke.out
   build/release/bench/bench_e12_overload --smoke | tee /tmp/e12_smoke.out
   build/release/bench/bench_e13_coldstart --smoke | tee /tmp/e13_smoke.out
   # The machine-readable baseline: one JSON object per line.
-  grep -h '^BENCH ' /tmp/e11_smoke.out /tmp/e12_smoke.out /tmp/e13_smoke.out \
+  grep -h '^BENCH ' /tmp/e5_smoke.out /tmp/e6_smoke.out /tmp/e11_smoke.out \
+    /tmp/e12_smoke.out /tmp/e13_smoke.out \
     | sed 's/^BENCH //' > bench-baseline.json
   echo "wrote $(wc -l < bench-baseline.json) baseline rows to bench-baseline.json"
 }

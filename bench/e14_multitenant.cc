@@ -1,0 +1,437 @@
+// E14 — multi-tenant fairness over real sockets: an open-loop load
+// generator drives mixed traffic through the network front end
+// (src/net/) against a TenantRegistry, and measures whether one abusive
+// tenant can hurt its neighbors.
+//
+// Setup: three tenants share one NetServer on a loopback TCP port. Each
+// tenant has its own EngineServer (admission quota + AIMD limiter + cache
+// partition) over its own university engine. Every client is open-loop —
+// a sender thread paces QURY frames at a fixed interval regardless of
+// responses, a reader thread matches RESP/RTRY/ERRR frames back by
+// request id — so server slowdowns cannot throttle the offered load the
+// way closed-loop clients silently do.
+//
+// Phases:
+//
+//   1. baseline — the two quiet tenants run their workloads concurrently
+//      at a gentle rate (half their measured solo capacity). This is the
+//      "well-behaved neighborhood" p99 that fairness is judged against.
+//      A calibration pass (sequential Asks) precedes it to size the rate.
+//
+//   2. mixed — same quiet traffic, plus the abusive tenant offering 10x
+//      the quiet rate against a deliberately small admission quota.
+//
+// Fairness acceptance (CHECK lines; non-zero exit on violation):
+//   * each quiet tenant's mixed p99 stays within 2x of its baseline p99
+//     (plus a small additive floor so sub-ms baselines don't turn
+//     scheduler jitter into failures);
+//   * quiet tenants shed nothing in the smoke run;
+//   * the abusive tenant's quota visibly sheds (shed rate > 0) — the
+//     isolation is real, not an under-offered accident.
+//
+// Output: per-tenant, per-phase `BENCH {"bench":"e14",...}` rows with
+// offered/completed/shed counts, shed rate, p50/p99, and for quiet
+// tenants the mixed/baseline isolation ratio.
+//
+// Flags: --smoke (CI-sized), --deadline_ms (accepted for uniformity).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/trace.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "serve/engine_server.h"
+#include "serve/tenant.h"
+
+namespace {
+
+using namespace km;
+using namespace km::bench;
+
+bool g_smoke = false;
+int g_failed_checks = 0;
+
+void BenchLine(const std::string& experiment, const std::string& tenant,
+               const std::string& fields) {
+  std::printf(
+      "BENCH {\"bench\":\"e14\",\"experiment\":\"%s\",\"db\":\"university\","
+      "\"tenant\":\"%s\",%s}\n",
+      experiment.c_str(), tenant.c_str(), fields.c_str());
+}
+
+void Check(bool ok, const std::string& what) {
+  std::printf("CHECK %s: %s\n", ok ? "ok" : "VIOLATED", what.c_str());
+  if (!ok) ++g_failed_checks;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(values.size() - 1));
+  return values[idx];
+}
+
+/// Query texts from the university workload generator (same construction
+/// as E11/E12, so the streams are comparable across benches).
+std::vector<std::string> QueryTexts(const EvalDb& eval, size_t per_template) {
+  Terminology terminology(eval.db->schema());
+  SchemaGraph unit_graph(terminology, eval.db->schema());
+  std::vector<std::string> texts;
+  for (const WorkloadQuery& q :
+       MakeWorkload(eval, terminology, unit_graph, per_template)) {
+    std::string text;
+    for (const std::string& kw : q.keywords) {
+      if (!text.empty()) text += ' ';
+      if (kw.find(' ') != std::string::npos) {
+        text += '"' + kw + '"';
+      } else {
+        text += kw;
+      }
+    }
+    texts.push_back(std::move(text));
+  }
+  return texts;
+}
+
+// ----------------------------------------------- open-loop TCP client
+
+/// Everything one open-loop client observed: offered = frames sent,
+/// completed/shed/errors = matched replies, latencies for completed only.
+struct OpenLoopResult {
+  uint64_t offered = 0;
+  uint64_t completed = 0;
+  uint64_t shed = 0;
+  uint64_t errors = 0;
+  uint64_t lost = 0;  ///< sent but never answered before the drain window
+  std::vector<double> latencies_ms;
+
+  double shed_rate() const {
+    return offered == 0 ? 0.0
+                        : static_cast<double>(shed) / static_cast<double>(offered);
+  }
+  double p50() const {
+    return Percentile(latencies_ms, 0.5);
+  }
+  double p99() const {
+    return Percentile(latencies_ms, 0.99);
+  }
+};
+
+/// Drives one tenant's connection open-loop: `count` queries paced at
+/// `interval_ms`, replies matched by request id on a reader thread. The
+/// drain window after the last send bounds how long stragglers may take.
+OpenLoopResult RunOpenLoop(uint16_t port, const std::string& tenant,
+                           const std::vector<std::string>& texts, size_t count,
+                           double interval_ms, double drain_window_ms = 10'000.0) {
+  OpenLoopResult out;
+  auto client = net::NetClient::Connect("127.0.0.1", port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 client.status().ToString().c_str());
+    std::abort();
+  }
+  Status hello = (*client)->Hello(tenant);
+  if (!hello.ok()) {
+    std::fprintf(stderr, "hello(%s) failed: %s\n", tenant.c_str(),
+                 hello.ToString().c_str());
+    std::abort();
+  }
+
+  Mutex mu;
+  std::unordered_map<uint64_t, int64_t> sent_at_ns;  // guarded by mu
+  std::atomic<uint64_t> answered{0};
+  std::atomic<bool> sending_done{false};
+
+  std::thread reader([&] {
+    while (true) {
+      if (sending_done.load(std::memory_order_acquire) &&
+          answered.load(std::memory_order_relaxed) >= count) {
+        return;
+      }
+      auto frame = (*client)->ReadFrame(/*timeout_ms=*/100.0);
+      if (!frame.ok()) {
+        if (frame.status().code() == StatusCode::kDeadlineExceeded) continue;
+        return;  // closed or broken — the drain window accounts the rest
+      }
+      int64_t now = MonotonicNowNs();
+      int64_t t0 = 0;
+      {
+        MutexLock lock(mu);
+        auto it = sent_at_ns.find(frame->request_id);
+        if (it == sent_at_ns.end()) continue;  // duplicate or stray
+        t0 = it->second;
+        sent_at_ns.erase(it);
+      }
+      answered.fetch_add(1, std::memory_order_relaxed);
+      if (net::FrameIs(*frame, "RESP")) {
+        ++out.completed;
+        out.latencies_ms.push_back(static_cast<double>(now - t0) / 1e6);
+      } else if (net::FrameIs(*frame, "RTRY")) {
+        ++out.shed;
+      } else {
+        ++out.errors;
+      }
+    }
+  });
+
+  const auto interval =
+      std::chrono::microseconds(static_cast<int64_t>(interval_ms * 1000.0));
+  auto next_send = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t id = i + 1;
+    {
+      MutexLock lock(mu);
+      sent_at_ns.emplace(id, MonotonicNowNs());
+    }
+    Status sent =
+        (*client)->SendQuery(id, texts[i % texts.size()], 5, DeadlineMs());
+    if (!sent.ok()) {
+      MutexLock lock(mu);
+      sent_at_ns.erase(id);
+      break;
+    }
+    ++out.offered;
+    // Open loop: the next send time advances by the interval whether or
+    // not the server kept up — backlog shows up as latency, not as a
+    // silently reduced offered rate.
+    next_send += interval;
+    std::this_thread::sleep_until(next_send);
+  }
+  sending_done.store(true, std::memory_order_release);
+
+  // Drain: give stragglers a bounded window, then cut the reader loose.
+  const auto drain_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(static_cast<int64_t>(drain_window_ms));
+  while (answered.load(std::memory_order_relaxed) < out.offered &&
+         std::chrono::steady_clock::now() < drain_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  (*client)->Close();  // unblocks the reader if stragglers remain
+  reader.join();
+  MutexLock lock(mu);
+  out.lost = sent_at_ns.size();
+  return out;
+}
+
+void ReportTenant(const std::string& phase, const std::string& tenant,
+                  const OpenLoopResult& r, double extra_ratio = -1.0) {
+  std::printf(
+      "%-8s %-8s offered=%-5llu completed=%-5llu shed=%-5llu errors=%llu "
+      "lost=%llu shed_rate=%.3f p50=%.2fms p99=%.2fms\n",
+      phase.c_str(), tenant.c_str(), static_cast<unsigned long long>(r.offered),
+      static_cast<unsigned long long>(r.completed),
+      static_cast<unsigned long long>(r.shed),
+      static_cast<unsigned long long>(r.errors),
+      static_cast<unsigned long long>(r.lost), r.shed_rate(), r.p50(), r.p99());
+  std::string fields = "\"phase\":\"" + phase + "\"" +
+                       ",\"offered\":" + std::to_string(r.offered) +
+                       ",\"completed\":" + std::to_string(r.completed) +
+                       ",\"shed\":" + std::to_string(r.shed) +
+                       ",\"errors\":" + std::to_string(r.errors) +
+                       ",\"lost\":" + std::to_string(r.lost) +
+                       ",\"shed_rate\":" + StrFormat("%.4f", r.shed_rate()) +
+                       ",\"p50_ms\":" + StrFormat("%.3f", r.p50()) +
+                       ",\"p99_ms\":" + StrFormat("%.3f", r.p99());
+  if (extra_ratio >= 0.0) {
+    fields += ",\"p99_vs_baseline\":" + StrFormat("%.3f", extra_ratio);
+  }
+  BenchLine(extra_ratio >= 0.0 ? "isolation" : "shed", tenant, fields);
+}
+
+// --------------------------------------------------- the fairness run
+
+void RunFairness() {
+  Banner("E14", "multi-tenant fairness over loopback TCP (university)");
+  EvalDb eval = MakeUniversity();
+  std::vector<std::string> texts = QueryTexts(eval, g_smoke ? 1 : 2);
+
+  // One engine per tenant: separate cache partitions, shared database.
+  TenantRegistry tenants;
+  const std::vector<std::string> quiet_ids = {"alpha", "beta"};
+  for (const std::string& id : quiet_ids) {
+    TenantOptions options;
+    options.server.workers = 1;
+    options.server.admission.max_queue = 16;
+    Status added = tenants.AddTenant(
+        id, std::make_shared<const KeymanticEngine>(*eval.db), options);
+    if (!added.ok()) std::abort();
+  }
+  {
+    // The abusive tenant's quota is deliberately tight: one executing
+    // request plus a two-deep queue. Its 10x flood must die at admission,
+    // not in its neighbors' latency.
+    TenantOptions options;
+    options.server.workers = 1;
+    options.server.admission.max_queue = 2;
+    options.server.aimd.initial_limit = 1.0;
+    options.server.aimd.min_limit = 1.0;
+    options.server.aimd.max_limit = 2.0;
+    Status added = tenants.AddTenant(
+        "mars", std::make_shared<const KeymanticEngine>(*eval.db), options);
+    if (!added.ok()) std::abort();
+  }
+
+  net::NetServerOptions net_options;
+  net_options.port = 0;  // ephemeral
+  net::NetServer server(tenants, net_options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", started.ToString().c_str());
+    std::abort();
+  }
+  const uint16_t port = server.port();
+  std::printf("serving %zu tenants on 127.0.0.1:%u\n",
+              tenants.TenantIds().size(), port);
+
+  // Warm-up: one sequential closed-loop pass per tenant. Each tenant has
+  // its own engine, so each pays its own cold caches — and cold-start
+  // costs belong to E13, not a fairness measurement. The pass also lets
+  // every tenant's AIMD limiter ramp off its floor before load arrives.
+  std::vector<std::string> all_ids = quiet_ids;
+  all_ids.push_back("mars");
+  for (const std::string& id : all_ids) {
+    auto client = net::NetClient::Connect("127.0.0.1", port);
+    if (!client.ok() || !(*client)->Hello(id).ok()) std::abort();
+    for (size_t i = 0; i < texts.size(); ++i) {
+      (void)(*client)->Ask(i + 1, texts[i], 5, DeadlineMs());
+    }
+  }
+
+  // Calibration: sequential warm Asks through tenant alpha give the mean
+  // service time the open-loop rates are derived from.
+  double mean_ms = 0.0;
+  {
+    auto client = net::NetClient::Connect("127.0.0.1", port);
+    if (!client.ok() || !(*client)->Hello("alpha").ok()) std::abort();
+    const size_t kCalibration = std::min<size_t>(texts.size(), 10);
+    int64_t t0 = MonotonicNowNs();
+    size_t measured = 0;
+    for (size_t i = 0; i < kCalibration; ++i) {
+      auto reply = (*client)->Ask(100 + i, texts[i], 5, DeadlineMs());
+      if (reply.ok()) ++measured;
+    }
+    mean_ms = static_cast<double>(MonotonicNowNs() - t0) / 1e6 /
+              static_cast<double>(std::max<size_t>(measured, 1));
+  }
+  // Quiet tenants offer ~half their single-worker capacity; the abusive
+  // tenant offers 10x the quiet rate.
+  const double quiet_interval_ms = std::max(2.0, 2.0 * mean_ms);
+  const double abusive_interval_ms = quiet_interval_ms / 10.0;
+  const size_t quiet_count = g_smoke ? 40 : 160;
+  const size_t abusive_count = quiet_count * 10;
+  std::printf(
+      "calibration: mean=%.2fms/query — quiet interval %.2fms (%zu queries), "
+      "abusive interval %.2fms (%zu queries)\n",
+      mean_ms, quiet_interval_ms, quiet_count, abusive_interval_ms,
+      abusive_count);
+
+  // Phase 1 — baseline: both quiet tenants, no abuse.
+  std::printf("\n-- baseline (quiet tenants only) --\n");
+  std::vector<OpenLoopResult> baseline(quiet_ids.size());
+  {
+    std::vector<std::thread> clients;
+    for (size_t i = 0; i < quiet_ids.size(); ++i) {
+      clients.emplace_back([&, i] {
+        baseline[i] = RunOpenLoop(port, quiet_ids[i], texts, quiet_count,
+                                  quiet_interval_ms);
+      });
+    }
+    for (auto& t : clients) t.join();
+  }
+  for (size_t i = 0; i < quiet_ids.size(); ++i) {
+    ReportTenant("baseline", quiet_ids[i], baseline[i]);
+  }
+
+  // Phase 2 — mixed: same quiet traffic plus the 10x abusive tenant.
+  std::printf("\n-- mixed (abusive tenant at 10x offered load) --\n");
+  std::vector<OpenLoopResult> mixed(quiet_ids.size());
+  OpenLoopResult abusive;
+  {
+    std::vector<std::thread> clients;
+    clients.emplace_back([&] {
+      abusive = RunOpenLoop(port, "mars", texts, abusive_count,
+                            abusive_interval_ms);
+    });
+    for (size_t i = 0; i < quiet_ids.size(); ++i) {
+      clients.emplace_back([&, i] {
+        mixed[i] = RunOpenLoop(port, quiet_ids[i], texts, quiet_count,
+                               quiet_interval_ms);
+      });
+    }
+    for (auto& t : clients) t.join();
+  }
+
+  // The additive floor keeps sub-ms baselines from turning scheduler
+  // jitter on a busy CI box into a fairness violation; at realistic
+  // baselines the 2x term dominates.
+  const double kJitterFloorMs = 10.0;
+  for (size_t i = 0; i < quiet_ids.size(); ++i) {
+    const double base_p99 = baseline[i].p99();
+    const double ratio = base_p99 > 0 ? mixed[i].p99() / base_p99 : 0.0;
+    ReportTenant("mixed", quiet_ids[i], mixed[i], ratio);
+    Check(mixed[i].p99() <= 2.0 * base_p99 + kJitterFloorMs,
+          quiet_ids[i] + " p99 under abuse stays within 2x of baseline (" +
+              StrFormat("%.2f", mixed[i].p99()) + "ms vs " +
+              StrFormat("%.2f", base_p99) + "ms)");
+    Check(mixed[i].shed == 0,
+          quiet_ids[i] + " sheds nothing while its neighbor floods");
+    Check(mixed[i].lost == 0 && mixed[i].errors == 0,
+          quiet_ids[i] + " loses no requests and sees no errors");
+  }
+  ReportTenant("mixed", "mars", abusive);
+  Check(abusive.shed > 0,
+        "the abusive tenant's quota sheds (the flood actually overloads it)");
+  Check(abusive.lost == 0,
+        "every abusive request gets an answer (RESP or typed RTRY)");
+
+  // Per-tenant server-side counters line up with the wire-level view.
+  for (const std::string& id : quiet_ids) {
+    auto stats = tenants.StatsFor(id);
+    if (stats.ok()) {
+      Check(stats->shed == 0,
+            id + " server-side shed counter is zero (matches the wire)");
+    }
+  }
+
+  net::NetServerStats net_stats = server.Stats();
+  std::printf(
+      "\nserver: frames_in=%llu frames_out=%llu queries=%llu "
+      "protocol_errors=%llu disconnects=%llu\n",
+      static_cast<unsigned long long>(net_stats.frames_in),
+      static_cast<unsigned long long>(net_stats.frames_out),
+      static_cast<unsigned long long>(net_stats.queries),
+      static_cast<unsigned long long>(net_stats.protocol_errors),
+      static_cast<unsigned long long>(net_stats.disconnects));
+  server.Shutdown();
+  tenants.Shutdown();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ParseBenchFlags(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) g_smoke = true;
+  }
+  RunFairness();
+  if (g_failed_checks > 0) {
+    std::printf("\n%d CHECK(s) VIOLATED\n", g_failed_checks);
+    return 1;
+  }
+  std::printf("\nall checks passed\n");
+  return 0;
+}

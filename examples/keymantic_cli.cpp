@@ -6,6 +6,7 @@
 //                                  [--timeout_ms=N] [--retries=N]
 //                                  [--max_inflight=N]
 //                                  [--save_snapshot=FILE] [--load_snapshot=FILE]
+//                                  [--serve=PORT] [--tenant=ID=SNAPSHOT]...
 //                                  ["one-shot query"]
 //
 // Snapshot flags (src/snapshot/): --save_snapshot serializes the prepared
@@ -23,6 +24,17 @@
 //                      budgeted, decorrelated-jitter backoff (common/retry.h)
 //   --max_inflight=N   fix the concurrency limit and queue bound; an
 //                      executor circuit breaker guards SQL probing
+//
+// Serving mode (src/net/): --serve=PORT skips the interactive shell and
+// runs the multi-tenant network front end on 127.0.0.1:PORT (PORT=0 picks
+// an ephemeral port, printed on startup). Each --tenant=ID=SNAPSHOT flag
+// registers one tenant whose engine is assembled from a PR-7 snapshot of
+// the --db database (all tenants share that database instance; each gets
+// its own EngineServer quota and cache partition). With no --tenant flag
+// the --db engine itself serves as the single tenant, named after the
+// database. The server runs until stdin reaches EOF (Ctrl-D) and then
+// drains every tenant. Clients speak the length-prefixed frame protocol
+// of src/net/protocol.h.
 //
 // With a positional argument the shell answers that one query and exits —
 // the scriptable form. --explain prints the EXPLAIN answer after each
@@ -60,8 +72,10 @@
 #include "common/strings.h"
 #include "core/feedback.h"
 #include "core/keymantic.h"
+#include "net/server.h"
 #include "serve/circuit_breaker.h"
 #include "serve/engine_server.h"
+#include "serve/tenant.h"
 #include "snapshot/snapshot.h"
 #include "datasets/dblp.h"
 #include "datasets/imdb.h"
@@ -115,6 +129,8 @@ int main(int argc, char** argv) {
   size_t max_inflight = 0;
   std::string save_snapshot_path;
   std::string load_snapshot_path;
+  int serve_port = -1;  // >= 0 turns on the network front end
+  std::vector<std::pair<std::string, std::string>> tenant_specs;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--db=", 0) == 0) db_name = arg.substr(5);
@@ -122,6 +138,22 @@ int main(int argc, char** argv) {
       save_snapshot_path = arg.substr(16);
     else if (arg.rfind("--load_snapshot=", 0) == 0)
       load_snapshot_path = arg.substr(16);
+    else if (arg.rfind("--serve=", 0) == 0) {
+      serve_port = std::stoi(arg.substr(8));
+      if (serve_port < 0 || serve_port > 65535) {
+        std::fprintf(stderr, "--serve expects a port in [0, 65535]\n");
+        return 2;
+      }
+    } else if (arg.rfind("--tenant=", 0) == 0) {
+      std::string spec = arg.substr(9);
+      size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
+        std::fprintf(stderr, "--tenant expects ID=SNAPSHOT, got '%s'\n",
+                     spec.c_str());
+        return 2;
+      }
+      tenant_specs.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    }
     else if (arg == "--metadata-only") metadata_only = true;
     else if (arg == "--explain") explain = true;
     else if (arg.rfind("--trace-json=", 0) == 0) trace_json_path = arg.substr(13);
@@ -240,6 +272,62 @@ int main(int argc, char** argv) {
             .count();
     std::printf("snapshot saved to %s in %.1f ms\n", save_snapshot_path.c_str(),
                 save_ms);
+  }
+
+  // --serve: hand the engine(s) to the multi-tenant network front end and
+  // run until stdin closes. Tenants come from --tenant=ID=SNAPSHOT specs
+  // (assembled against the --db database); with none, the engine built
+  // above serves as the single tenant named after the database.
+  if (serve_port >= 0) {
+    server.reset();  // its workers reference the engine we may hand off
+    TenantRegistry tenants;
+    if (tenant_specs.empty()) {
+      std::shared_ptr<const KeymanticEngine> shared = std::move(engine);
+      Status added = tenants.AddTenant(db_name, std::move(shared));
+      if (!added.ok()) {
+        std::fprintf(stderr, "tenant %s: %s\n", db_name.c_str(),
+                     added.ToString().c_str());
+        return 1;
+      }
+      std::printf("tenant %s: the %s engine built above\n", db_name.c_str(),
+                  db_name.c_str());
+    }
+    for (const auto& [id, snapshot] : tenant_specs) {
+      const auto t0 = std::chrono::steady_clock::now();
+      Status added = tenants.AddTenantFromSnapshot(id, *db, snapshot);
+      if (!added.ok()) {
+        std::fprintf(stderr, "tenant %s: %s\n", id.c_str(),
+                     added.ToString().c_str());
+        return 1;
+      }
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      std::printf("tenant %s: assembled from %s in %.1f ms\n", id.c_str(),
+                  snapshot.c_str(), ms);
+    }
+
+    net::NetServerOptions net_options;
+    net_options.port = static_cast<uint16_t>(serve_port);
+    net::NetServer net_server(tenants, net_options);
+    Status started = net_server.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "serve failed: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    std::printf("serving %zu tenant(s) on 127.0.0.1:%u — Ctrl-D to stop\n",
+                tenants.TenantIds().size(), net_server.port());
+    std::fflush(stdout);
+    std::string sink;
+    while (std::getline(std::cin, sink)) {
+    }
+    net_server.Shutdown();
+    tenants.Shutdown();
+    net::NetServerStats net_stats = net_server.Stats();
+    std::printf("served %llu queries over %llu connections\n",
+                static_cast<unsigned long long>(net_stats.queries),
+                static_cast<unsigned long long>(net_stats.accepted));
+    return 0;
   }
 
   // Answers through the serving layer when enabled: deadline from submit,

@@ -95,6 +95,25 @@ inline constexpr const char* kMetricNames[] = {
     "km.snapshot.reload.kept_current",
     "km.snapshot.reload.rebuilds",
     "km.snapshot.reload.refusals",
+
+    // Network front end (net/server.cc).
+    "km.net.connections.accepted",
+    "km.net.connections.adopted",
+    "km.net.connections.open",
+    "km.net.disconnects",
+    "km.net.frames.in",
+    "km.net.frames.out",
+    "km.net.bytes.in",
+    "km.net.bytes.out",
+    "km.net.protocol_errors",
+    "km.net.queries",
+    "km.net.rejected.capacity",
+    "km.net.rejected.unknown_tenant",
+    "km.net.idle_timeouts",
+
+    // Tenant registry (serve/tenant.cc).
+    "km.tenants.count",
+    "km.tenants.unknown",
 };
 
 /// Prefixes of metric families whose full names are composed at runtime.
@@ -104,6 +123,9 @@ inline constexpr const char* kMetricNamePrefixes[] = {
     // "km.breaker.<name>.{state,trips,rejections,stale_outcomes}" and
     // "km.breaker.<name>.transitions.<state>" (serve/circuit_breaker.cc).
     "km.breaker.",
+    // "km.tenant.<id>.{submitted,shed,reloads}" — per-tenant serving
+    // counters composed from the tenant id (serve/tenant.cc).
+    "km.tenant.",
 };
 
 }  // namespace km

@@ -36,6 +36,8 @@ const char* StatusCodeName(StatusCode code) {
       return "SnapshotChecksumMismatch";
     case StatusCode::kSnapshotVersionSkew:
       return "SnapshotVersionSkew";
+    case StatusCode::kProtocolError:
+      return "ProtocolError";
   }
   return "Unknown";
 }

@@ -33,6 +33,7 @@ enum class StatusCode {
   kSnapshotTruncated = 13,        ///< Snapshot file shorter than it claims.
   kSnapshotChecksumMismatch = 14, ///< Snapshot section failed its CRC.
   kSnapshotVersionSkew = 15,      ///< Snapshot format/content incompatible.
+  kProtocolError = 16,            ///< Malformed or out-of-contract wire frame.
 };
 
 /// Human-readable name of a status code ("OK", "InvalidArgument", ...).
@@ -100,6 +101,9 @@ class [[nodiscard]] Status {
   }
   static Status SnapshotVersionSkew(std::string msg) {
     return Status(StatusCode::kSnapshotVersionSkew, std::move(msg));
+  }
+  static Status ProtocolError(std::string msg) {
+    return Status(StatusCode::kProtocolError, std::move(msg));
   }
 
   /// True iff the status carries no error.

@@ -1,0 +1,142 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace km::net {
+
+namespace {
+
+Status ErrnoStatus(const char* what) {
+  return Status::Internal(StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<NetClient>> NetClient::Connect(
+    const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("host must be a dotted-quad IPv4 address");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status failed = ErrnoStatus("connect");
+    ::close(fd);
+    return failed;
+  }
+  return std::make_unique<NetClient>(fd);
+}
+
+NetClient::NetClient(int fd) : fd_(fd) {}
+
+NetClient::~NetClient() { Close(); }
+
+void NetClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status NetClient::SendBytes(const void* data, size_t size) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is closed");
+  const char* p = static_cast<const char*>(data);
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = write(fd_, p + sent, size - sent);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return ErrnoStatus("write");
+  }
+  return Status::OK();
+}
+
+Status NetClient::SendFrame(const Frame& frame) {
+  const std::string wire = EncodeFrame(frame);
+  return SendBytes(wire.data(), wire.size());
+}
+
+Status NetClient::SendQuery(uint64_t request_id, const std::string& text,
+                            uint32_t k, double deadline_ms) {
+  QueryRequest request;
+  request.k = k;
+  request.deadline_ms = deadline_ms;
+  request.text = text;
+  return SendFrame(
+      MakeFrame("QURY", request_id, EncodeQueryRequest(request)));
+}
+
+StatusOr<Frame> NetClient::ReadFrame(double timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is closed");
+  while (true) {
+    // A frame may already be buffered from an earlier read.
+    Frame frame;
+    KM_ASSIGN_OR_RETURN(bool got, decoder_.Next(&frame));
+    if (got) return frame;
+
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("poll");
+    }
+    if (ready == 0) {
+      return Status::DeadlineExceeded("timed out waiting for a frame");
+    }
+    char buf[4096];
+    const ssize_t n = read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      KM_RETURN_IF_ERROR(decoder_.Feed(buf, static_cast<size_t>(n)));
+      continue;
+    }
+    if (n == 0) {
+      return Status::Unavailable("server closed the connection");
+    }
+    if (errno == EINTR) continue;
+    return ErrnoStatus("read");
+  }
+}
+
+Status NetClient::Hello(const std::string& tenant, double timeout_ms) {
+  KM_RETURN_IF_ERROR(SendFrame(MakeFrame("HELO", 0, EncodeHello(tenant))));
+  KM_ASSIGN_OR_RETURN(Frame reply, ReadFrame(timeout_ms));
+  if (FrameIs(reply, "HELO")) return Status::OK();
+  if (FrameIs(reply, "ERRR") || FrameIs(reply, "RTRY")) {
+    KM_ASSIGN_OR_RETURN(ErrorReply error, DecodeErrorReply(reply.payload));
+    return StatusFromErrorReply(error);
+  }
+  return Status::ProtocolError("unexpected reply to HELO: " + reply.type);
+}
+
+StatusOr<AnswerReply> NetClient::Ask(uint64_t request_id,
+                                     const std::string& text, uint32_t k,
+                                     double deadline_ms, double timeout_ms) {
+  KM_RETURN_IF_ERROR(SendQuery(request_id, text, k, deadline_ms));
+  while (true) {
+    KM_ASSIGN_OR_RETURN(Frame reply, ReadFrame(timeout_ms));
+    if (reply.request_id != request_id) continue;  // stale earlier reply
+    if (FrameIs(reply, "RESP")) return DecodeAnswerReply(reply.payload);
+    if (FrameIs(reply, "ERRR") || FrameIs(reply, "RTRY")) {
+      KM_ASSIGN_OR_RETURN(ErrorReply error, DecodeErrorReply(reply.payload));
+      return StatusFromErrorReply(error);
+    }
+    return Status::ProtocolError("unexpected reply to QURY: " + reply.type);
+  }
+}
+
+}  // namespace km::net

@@ -1,0 +1,74 @@
+// NetClient: a small blocking client for the keymantic wire protocol —
+// used by the CLI, the e14 open-loop load generator, and the tests.
+//
+// The client is deliberately thin: framing and payload codecs live in
+// net/protocol.h; this class owns one socket fd, a send path, and a
+// decode-ahead read path. Send and read are independent, so an open-loop
+// driver can pace SendQuery() from one thread while a second thread drains
+// ReadFrame() — the two paths never touch the same state (the decoder
+// belongs to the reader; writes go straight to the fd). One sender and one
+// reader at a time; neither path is internally locked.
+
+#ifndef KM_NET_CLIENT_H_
+#define KM_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/protocol.h"
+
+namespace km::net {
+
+class NetClient {
+ public:
+  /// Connects to a dotted-quad IPv4 host ("127.0.0.1") and port.
+  static StatusOr<std::unique_ptr<NetClient>> Connect(const std::string& host,
+                                                      uint16_t port);
+
+  /// Adopts an already-connected fd (e.g. one end of a socketpair).
+  explicit NetClient(int fd);
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  void Close();
+  int fd() const { return fd_; }
+
+  /// Binds the connection to a tenant: sends HELO and waits for the echo.
+  /// A server-side rejection (unknown tenant) comes back as its typed
+  /// Status.
+  Status Hello(const std::string& tenant, double timeout_ms = 5000);
+
+  /// Fire-and-forget query send (open-loop mode pairs it with a reader
+  /// thread calling ReadFrame).
+  Status SendQuery(uint64_t request_id, const std::string& text, uint32_t k,
+                   double deadline_ms);
+
+  Status SendFrame(const Frame& frame);
+
+  /// Raw bytes straight to the socket — the scripted-client seam for
+  /// partial frames and split writes (tests/net_harness.h).
+  Status SendBytes(const void* data, size_t size);
+
+  /// Next complete frame from the server. kDeadlineExceeded on timeout,
+  /// kUnavailable on a clean disconnect (EOF), kProtocolError if the
+  /// server's stream is malformed.
+  StatusOr<Frame> ReadFrame(double timeout_ms = 5000);
+
+  /// Closed-loop convenience: SendQuery + read frames until the reply with
+  /// `request_id` arrives, decoded into a Status/answers pair. RTRY/ERRR
+  /// replies surface as their typed Status.
+  StatusOr<AnswerReply> Ask(uint64_t request_id, const std::string& text,
+                            uint32_t k, double deadline_ms,
+                            double timeout_ms = 30000);
+
+ private:
+  int fd_;
+  FrameDecoder decoder_;
+};
+
+}  // namespace km::net
+
+#endif  // KM_NET_CLIENT_H_

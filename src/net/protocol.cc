@@ -1,0 +1,333 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+#include "common/check.h"
+#include "common/retry.h"
+#include "common/strings.h"
+
+namespace km::net {
+
+namespace {
+
+bool IsRegisteredTag(const char* tag) {
+  for (const char* known : kFrameTypeTags) {
+    if (std::strncmp(tag, known, kFrameTagBytes) == 0 &&
+        std::strlen(tag) == kFrameTagBytes) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void PutU32(std::string& out, uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void PutU16(std::string& out, uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void PutF64(std::string& out, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+/// Bounds-checked little-endian reader over a payload string. Any read past
+/// the end flips `ok` and returns zero; callers check ok once at the end
+/// (and on loop bounds) instead of sprinkling error paths.
+struct Reader {
+  const std::string& data;
+  size_t pos = 0;
+  bool ok = true;
+
+  bool Have(size_t n) {
+    if (data.size() - pos < n) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+  uint16_t U16() {
+    if (!Have(2)) return 0;
+    const auto* p = reinterpret_cast<const unsigned char*>(data.data() + pos);
+    pos += 2;
+    return static_cast<uint16_t>(p[0] | (p[1] << 8));
+  }
+  uint32_t U32() {
+    if (!Have(4)) return 0;
+    const auto* p = reinterpret_cast<const unsigned char*>(data.data() + pos);
+    pos += 4;
+    return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+  }
+  uint64_t U64() {
+    const uint64_t lo = U32();
+    const uint64_t hi = U32();
+    return lo | (hi << 32);
+  }
+  double F64() {
+    const uint64_t bits = U64();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string Bytes(size_t n) {
+    if (!Have(n)) return std::string();
+    std::string out = data.substr(pos, n);
+    pos += n;
+    return out;
+  }
+  bool Done() const { return ok && pos == data.size(); }
+};
+
+Status PayloadError(const char* type, const char* what) {
+  return Status::ProtocolError(
+      StrFormat("malformed %s payload: %s", type, what));
+}
+
+}  // namespace
+
+Frame MakeFrame(const char* tag, uint64_t request_id, std::string payload) {
+  KM_DCHECK(IsRegisteredTag(tag));
+  Frame frame;
+  frame.type.assign(tag, kFrameTagBytes);
+  frame.request_id = request_id;
+  frame.payload = std::move(payload);
+  return frame;
+}
+
+bool FrameIs(const Frame& frame, const char* tag) {
+  KM_DCHECK(IsRegisteredTag(tag));
+  return frame.type.size() == kFrameTagBytes &&
+         std::strncmp(frame.type.data(), tag, kFrameTagBytes) == 0;
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  KM_CHECK_EQ(frame.type.size(), kFrameTagBytes);
+  std::string out;
+  out.reserve(kFrameLengthPrefixBytes + kFrameFixedBodyBytes +
+              frame.payload.size());
+  PutU32(out,
+         static_cast<uint32_t>(kFrameFixedBodyBytes + frame.payload.size()));
+  out.push_back(static_cast<char>(kProtocolVersion));
+  out.append(frame.type);
+  PutU64(out, frame.request_id);
+  out.append(frame.payload);
+  return out;
+}
+
+FrameDecoder::FrameDecoder(size_t max_payload) : max_payload_(max_payload) {}
+
+Status FrameDecoder::Fail(std::string what) {
+  error_ = Status::ProtocolError(std::move(what));
+  buffer_.clear();  // framing is lost; never parse past a violation
+  return error_;
+}
+
+Status FrameDecoder::ValidateBufferedHeader() {
+  if (buffer_.size() < kFrameLengthPrefixBytes) return Status::OK();
+  const auto* p = reinterpret_cast<const unsigned char*>(buffer_.data());
+  const uint32_t body_len = static_cast<uint32_t>(p[0]) |
+                            (static_cast<uint32_t>(p[1]) << 8) |
+                            (static_cast<uint32_t>(p[2]) << 16) |
+                            (static_cast<uint32_t>(p[3]) << 24);
+  if (body_len < kFrameFixedBodyBytes) {
+    return Fail(StrFormat("frame body length %u below fixed header size %zu",
+                          body_len, kFrameFixedBodyBytes));
+  }
+  if (body_len > kFrameFixedBodyBytes + max_payload_) {
+    return Fail(StrFormat("frame body length %u exceeds cap %zu", body_len,
+                          kFrameFixedBodyBytes + max_payload_));
+  }
+  if (buffer_.size() < kFrameLengthPrefixBytes + 1) return Status::OK();
+  const uint8_t version = p[kFrameLengthPrefixBytes];
+  if (version != kProtocolVersion) {
+    return Fail(StrFormat("unsupported protocol version %u (expected %u)",
+                          version, kProtocolVersion));
+  }
+  if (buffer_.size() < kFrameLengthPrefixBytes + 1 + kFrameTagBytes) {
+    return Status::OK();
+  }
+  for (size_t i = 0; i < kFrameTagBytes; ++i) {
+    const char c = buffer_[kFrameLengthPrefixBytes + 1 + i];
+    if ((c < 'A' || c > 'Z') && (c < '0' || c > '9')) {
+      return Fail("frame type tag is not 4 chars of [A-Z0-9]");
+    }
+  }
+  return Status::OK();
+}
+
+Status FrameDecoder::Feed(const char* data, size_t size) {
+  if (!error_.ok()) return error_;
+  buffer_.append(data, size);
+  // Validate what the header alone can prove, eagerly: a hostile length
+  // prefix is rejected here, before Next() would size a payload for it.
+  return ValidateBufferedHeader();
+}
+
+StatusOr<bool> FrameDecoder::Next(Frame* out) {
+  if (!error_.ok()) return error_;
+  if (buffer_.size() < kFrameLengthPrefixBytes + kFrameFixedBodyBytes) {
+    return false;
+  }
+  Reader reader{buffer_};
+  const uint32_t body_len = reader.U32();
+  // Feed() validated the range already; re-check defensively.
+  if (body_len < kFrameFixedBodyBytes ||
+      body_len > kFrameFixedBodyBytes + max_payload_) {
+    return Fail("frame body length out of range");
+  }
+  if (buffer_.size() < kFrameLengthPrefixBytes + body_len) return false;
+  // Version and tag characters were validated by ValidateBufferedHeader.
+  Frame frame;
+  frame.type = buffer_.substr(kFrameLengthPrefixBytes + 1, kFrameTagBytes);
+  reader.pos = kFrameLengthPrefixBytes + 1 + kFrameTagBytes;
+  frame.request_id = reader.U64();
+  frame.payload = reader.Bytes(body_len - kFrameFixedBodyBytes);
+  KM_DCHECK(reader.ok);
+  if (!IsRegisteredTag(frame.type.c_str())) {
+    return Fail(StrFormat("unknown frame type tag \"%s\"", frame.type.c_str()));
+  }
+  buffer_.erase(0, kFrameLengthPrefixBytes + body_len);
+  ++frames_decoded_;
+  *out = std::move(frame);
+  // The next frame's header may already be buffered — validate it now so a
+  // hostile length behind a valid frame still fails before allocation.
+  KM_RETURN_IF_ERROR(ValidateBufferedHeader());
+  return true;
+}
+
+// --- Payload codecs -------------------------------------------------------
+
+std::string EncodeQueryRequest(const QueryRequest& request) {
+  std::string out;
+  PutU32(out, request.k);
+  PutF64(out, request.deadline_ms);
+  PutU32(out, static_cast<uint32_t>(request.text.size()));
+  out.append(request.text);
+  return out;
+}
+
+StatusOr<QueryRequest> DecodeQueryRequest(const std::string& payload) {
+  Reader reader{payload};
+  QueryRequest request;
+  request.k = reader.U32();
+  request.deadline_ms = reader.F64();
+  const uint32_t len = reader.U32();
+  if (!reader.Have(len)) return PayloadError("QURY", "text length overruns");
+  request.text = reader.Bytes(len);
+  if (!reader.Done()) return PayloadError("QURY", "trailing bytes");
+  return request;
+}
+
+std::string EncodeAnswerReply(const AnswerReply& reply) {
+  std::string out;
+  out.push_back(static_cast<char>(reply.quality));
+  PutU32(out, static_cast<uint32_t>(reply.answers.size()));
+  for (const AnswerWire& answer : reply.answers) {
+    PutF64(out, answer.score);
+    PutU32(out, static_cast<uint32_t>(answer.sql.size()));
+    out.append(answer.sql);
+  }
+  return out;
+}
+
+StatusOr<AnswerReply> DecodeAnswerReply(const std::string& payload) {
+  Reader reader{payload};
+  AnswerReply reply;
+  if (!reader.Have(1)) return PayloadError("RESP", "missing quality byte");
+  reply.quality = static_cast<uint8_t>(payload[reader.pos++]);
+  const uint32_t count = reader.U32();
+  // Each answer costs at least 12 bytes on the wire; a count the payload
+  // cannot possibly hold is rejected before any reserve().
+  if (count > (payload.size() / 12) + 1) {
+    return PayloadError("RESP", "answer count exceeds payload size");
+  }
+  reply.answers.reserve(count);
+  for (uint32_t i = 0; i < count && reader.ok; ++i) {
+    AnswerWire answer;
+    answer.score = reader.F64();
+    const uint32_t len = reader.U32();
+    if (!reader.Have(len)) return PayloadError("RESP", "sql length overruns");
+    answer.sql = reader.Bytes(len);
+    reply.answers.push_back(std::move(answer));
+  }
+  if (!reader.Done()) return PayloadError("RESP", "truncated or trailing bytes");
+  return reply;
+}
+
+std::string EncodeErrorReply(const ErrorReply& reply) {
+  std::string out;
+  PutU16(out, reply.code);
+  PutF64(out, reply.retry_after_ms);
+  PutU32(out, static_cast<uint32_t>(reply.message.size()));
+  out.append(reply.message);
+  return out;
+}
+
+StatusOr<ErrorReply> DecodeErrorReply(const std::string& payload) {
+  Reader reader{payload};
+  ErrorReply reply;
+  reply.code = reader.U16();
+  reply.retry_after_ms = reader.F64();
+  const uint32_t len = reader.U32();
+  if (!reader.Have(len)) return PayloadError("ERRR", "message length overruns");
+  reply.message = reader.Bytes(len);
+  if (!reader.Done()) return PayloadError("ERRR", "trailing bytes");
+  return reply;
+}
+
+std::string EncodeHello(const std::string& tenant) {
+  std::string out;
+  PutU32(out, static_cast<uint32_t>(tenant.size()));
+  out.append(tenant);
+  return out;
+}
+
+StatusOr<std::string> DecodeHello(const std::string& payload) {
+  Reader reader{payload};
+  const uint32_t len = reader.U32();
+  if (!reader.Have(len)) return PayloadError("HELO", "tenant length overruns");
+  std::string tenant = reader.Bytes(len);
+  if (!reader.Done()) return PayloadError("HELO", "trailing bytes");
+  return tenant;
+}
+
+Frame ErrorFrameFor(uint64_t request_id, const Status& status) {
+  ErrorReply reply;
+  reply.code = static_cast<uint16_t>(status.code());
+  reply.message = status.message();
+  if (status.code() == StatusCode::kOverloaded ||
+      status.code() == StatusCode::kUnavailable) {
+    reply.retry_after_ms = SuggestedRetryAfterMs(status);
+    return MakeFrame("RTRY", request_id, EncodeErrorReply(reply));
+  }
+  return MakeFrame("ERRR", request_id, EncodeErrorReply(reply));
+}
+
+Status StatusFromErrorReply(const ErrorReply& reply) {
+  const auto code = static_cast<StatusCode>(reply.code);
+  if (reply.retry_after_ms > 0 && code == StatusCode::kOverloaded) {
+    return OverloadedStatus(reply.message, reply.retry_after_ms);
+  }
+  if (reply.retry_after_ms > 0 && code == StatusCode::kUnavailable) {
+    return UnavailableStatus(reply.message, reply.retry_after_ms);
+  }
+  return Status(code, reply.message);
+}
+
+}  // namespace km::net

@@ -1,0 +1,179 @@
+// Length-prefixed binary wire protocol for the keymantic serving front end.
+//
+// Frame layout (all integers little-endian):
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------------
+//   0       4     body_len  — bytes that follow this field
+//   4       1     version   — kProtocolVersion (1)
+//   5       4     type tag  — 4 ASCII chars from kFrameTypeTags
+//   9       8     request_id — caller-chosen correlation id, echoed back
+//   17      ...   payload   — type-specific, body_len - 13 bytes
+//
+// The decoder validates body_len against the frame-size cap *before* any
+// payload allocation: a hostile 4 GiB length prefix is rejected after four
+// buffered bytes. Any malformed input yields a sticky typed kProtocolError
+// — never a crash, never unbounded allocation — after which the connection
+// must be dropped (the stream has lost framing).
+//
+// Frame types (the catalog; km_lint rule R7 checks every MakeFrame/FrameIs
+// call site against this list):
+//
+//   HELO  client → server: bind the connection to a tenant id; server
+//         echoes HELO on success or ERRR (kNotFound) on unknown tenant.
+//   QURY  client → server: one keyword query (k, deadline_ms, text).
+//   RESP  server → client: ranked answers for a QURY (scores + SQL
+//         canonical signatures).
+//   ERRR  server → client: typed terminal failure (status code + message).
+//   RTRY  server → client: retryable rejection (kOverloaded/kUnavailable)
+//         with a machine-readable retry-after hint.
+//   GBYE  either side: orderly close; the server echoes GBYE and flushes.
+
+#ifndef KM_NET_PROTOCOL_H_
+#define KM_NET_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace km::net {
+
+/// Wire protocol version stamped into every frame header.
+inline constexpr uint8_t kProtocolVersion = 1;
+
+/// Catalog of the 4-char ASCII frame type tags (see file comment).
+/// km_lint R7: every tag used at a MakeFrame/FrameIs call site must be
+/// registered here.
+inline constexpr const char* kFrameTypeTags[] = {
+    "HELO",  // bind connection to a tenant
+    "QURY",  // keyword query request
+    "RESP",  // ranked answers
+    "ERRR",  // typed terminal error
+    "RTRY",  // retryable rejection + retry-after hint
+    "GBYE",  // orderly close
+};
+
+/// Bytes in one frame type tag.
+inline constexpr size_t kFrameTagBytes = 4;
+/// Fixed body bytes before the payload: version + tag + request_id.
+inline constexpr size_t kFrameFixedBodyBytes = 1 + kFrameTagBytes + 8;
+/// The length prefix itself.
+inline constexpr size_t kFrameLengthPrefixBytes = 4;
+/// Default cap on a frame's payload (1 MiB). body_len above
+/// kFrameFixedBodyBytes + cap is a protocol error.
+inline constexpr size_t kDefaultMaxFramePayload = 1u << 20;
+
+/// One decoded (or to-be-encoded) frame.
+struct Frame {
+  std::string type;        ///< 4-char tag from kFrameTypeTags
+  uint64_t request_id = 0; ///< correlation id, echoed in replies
+  std::string payload;     ///< type-specific bytes
+};
+
+/// Builds a frame. `tag` must be a registered 4-char tag (checked with
+/// KM_DCHECK in debug builds; km_lint R7 checks call sites lexically).
+Frame MakeFrame(const char* tag, uint64_t request_id, std::string payload);
+
+/// True iff `frame` carries the given registered tag.
+bool FrameIs(const Frame& frame, const char* tag);
+
+/// Serializes a frame to wire bytes (length prefix + body).
+std::string EncodeFrame(const Frame& frame);
+
+/// Incremental frame decoder for one connection. Feed() buffers bytes;
+/// Next() extracts complete frames. Any protocol violation (bad version,
+/// unregistered tag, oversized or undersized length prefix) makes the
+/// decoder *sticky-failed*: every later call returns the same typed
+/// kProtocolError and no further bytes are buffered.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_payload = kDefaultMaxFramePayload);
+
+  /// Appends raw bytes from the stream. Cheap; validation that can be done
+  /// from the header alone (length prefix range) happens eagerly so a
+  /// hostile length never causes a matching allocation.
+  Status Feed(const char* data, size_t size);
+
+  /// Extracts the next complete frame into `*out`. Returns true when a
+  /// frame was produced, false when more bytes are needed, or the sticky
+  /// kProtocolError when the stream is malformed.
+  StatusOr<bool> Next(Frame* out);
+
+  /// Bytes buffered but not yet consumed by Next().
+  size_t buffered() const { return buffer_.size(); }
+
+  /// Complete frames produced so far.
+  uint64_t frames_decoded() const { return frames_decoded_; }
+
+  /// The sticky error (OK while the stream is healthy).
+  const Status& error() const { return error_; }
+
+ private:
+  Status Fail(std::string what);
+  /// Validates the length prefix / header fields currently in buffer_,
+  /// without consuming them. Returns OK also when too few bytes arrived.
+  Status ValidateBufferedHeader();
+
+  size_t max_payload_;
+  std::string buffer_;
+  uint64_t frames_decoded_ = 0;
+  Status error_ = Status::OK();
+};
+
+// --- Payload codecs -------------------------------------------------------
+//
+// Each payload codec is total: Decode* returns kProtocolError on any
+// inconsistency (short payload, trailing bytes, absurd counts) instead of
+// reading out of bounds. Encode*/Decode* round-trip bit-exactly.
+
+/// QURY payload: u32 k | f64 deadline_ms | u32 text_len | text.
+struct QueryRequest {
+  uint32_t k = 0;
+  double deadline_ms = 0;
+  std::string text;
+};
+std::string EncodeQueryRequest(const QueryRequest& request);
+StatusOr<QueryRequest> DecodeQueryRequest(const std::string& payload);
+
+/// One ranked answer inside a RESP payload.
+struct AnswerWire {
+  double score = 0;
+  std::string sql;  ///< canonical SQL signature of the interpretation
+};
+
+/// RESP payload: u8 quality | u32 count | count × (f64 score | u32 len | sql).
+struct AnswerReply {
+  uint8_t quality = 0;  ///< numeric ResultQuality of the slowest stage
+  std::vector<AnswerWire> answers;
+};
+std::string EncodeAnswerReply(const AnswerReply& reply);
+StatusOr<AnswerReply> DecodeAnswerReply(const std::string& payload);
+
+/// ERRR / RTRY payload: u16 status code | f64 retry_after_ms | u32 len |
+/// message. retry_after_ms is meaningful for RTRY and zero in ERRR.
+struct ErrorReply {
+  uint16_t code = 0;  ///< numeric km::StatusCode
+  double retry_after_ms = 0;
+  std::string message;
+};
+std::string EncodeErrorReply(const ErrorReply& reply);
+StatusOr<ErrorReply> DecodeErrorReply(const std::string& payload);
+
+/// HELO payload: u32 len | tenant id (also used for the server's echo).
+std::string EncodeHello(const std::string& tenant);
+StatusOr<std::string> DecodeHello(const std::string& payload);
+
+/// Maps a serving-side Status to the ERRR/RTRY split: kOverloaded and
+/// kUnavailable become RTRY frames carrying the parsed retry-after hint
+/// (common/retry.h), everything else becomes ERRR.
+Frame ErrorFrameFor(uint64_t request_id, const Status& status);
+
+/// Rebuilds a Status from a decoded ERRR/RTRY payload (client side).
+Status StatusFromErrorReply(const ErrorReply& reply);
+
+}  // namespace km::net
+
+#endif  // KM_NET_PROTOCOL_H_

@@ -1,0 +1,511 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <utility>
+
+#include "common/check.h"
+#include "common/metrics.h"
+#include "common/strings.h"
+#include "common/trace.h"
+
+namespace km::net {
+
+namespace {
+
+Status ErrnoStatus(const char* what) {
+  return Status::Internal(StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)");
+  if (fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl(F_SETFL, O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+Counter& NetCounter(const char* what) {
+  return MetricsRegistry::Default().CounterRef(std::string("km.net.") + what);
+}
+
+}  // namespace
+
+/// Loop-thread-owned state of one live connection.
+struct NetServer::Conn {
+  explicit Conn(int fd_in, size_t max_payload)
+      : fd(fd_in), decoder(max_payload) {}
+  ~Conn() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  int fd;
+  FrameDecoder decoder;
+  std::string out;           ///< encoded bytes awaiting write
+  std::string tenant;        ///< empty until HELO binds one
+  bool close_after_flush = false;
+  bool dead = false;         ///< remove at end of the loop turn
+  double last_activity_ms = 0;
+
+  struct Pending {
+    uint64_t request_id = 0;
+    std::future<StatusOr<AnswerResult>> future;
+  };
+  std::vector<Pending> pending;
+};
+
+NetServer::NetServer(TenantRegistry& tenants, NetServerOptions options,
+                     std::function<double()> now_ms)
+    : tenants_(tenants),
+      options_(options),
+      now_ms_(now_ms ? std::move(now_ms) : [] {
+        return static_cast<double>(MonotonicNowNs()) / 1e6;
+      }) {}
+
+NetServer::~NetServer() { Shutdown(); }
+
+double NetServer::Now() const { return now_ms_(); }
+
+Status NetServer::Start() {
+  {
+    MutexLock lock(mu_);
+    if (started_) return Status::FailedPrecondition("server already started");
+  }
+  int pipe_fds[2];
+  if (pipe(pipe_fds) != 0) return ErrnoStatus("pipe");
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  KM_CHECK_OK(SetNonBlocking(wake_read_fd_));
+  KM_CHECK_OK(SetNonBlocking(wake_write_fd_));
+
+  if (options_.listen) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return ErrnoStatus("socket");
+    const int one = 1;
+    setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // front end is loopback
+    addr.sin_port = htons(options_.port);
+    if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      return ErrnoStatus("bind");
+    }
+    if (listen(listen_fd_, options_.backlog) != 0) return ErrnoStatus("listen");
+    KM_RETURN_IF_ERROR(SetNonBlocking(listen_fd_));
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+        0) {
+      return ErrnoStatus("getsockname");
+    }
+    MutexLock lock(mu_);
+    bound_port_ = ntohs(bound.sin_port);
+  }
+
+  {
+    MutexLock lock(mu_);
+    started_ = true;
+    stop_ = false;
+  }
+  loop_ = std::thread([this] { LoopThread(); });
+  return Status::OK();
+}
+
+uint16_t NetServer::port() const {
+  MutexLock lock(mu_);
+  return bound_port_;
+}
+
+Status NetServer::AdoptConnection(int fd) {
+  Status failed = Status::OK();
+  {
+    MutexLock lock(mu_);
+    if (!started_ || stop_) {
+      failed = Status::FailedPrecondition("server is not running");
+    } else {
+      adopt_queue_.push_back(fd);
+    }
+  }
+  if (!failed.ok()) {
+    ::close(fd);  // we own the fd either way
+    return failed;
+  }
+  // Nudge the loop out of poll() so adoption is prompt.
+  const char byte = 'a';
+  (void)!write(wake_write_fd_, &byte, 1);
+  return Status::OK();
+}
+
+void NetServer::Shutdown() {
+  {
+    MutexLock lock(mu_);
+    if (!started_ || stop_) return;
+    stop_ = true;
+  }
+  const char byte = 's';
+  (void)!write(wake_write_fd_, &byte, 1);
+  if (loop_.joinable()) loop_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+  wake_read_fd_ = wake_write_fd_ = -1;
+  MutexLock lock(mu_);
+  started_ = false;
+}
+
+NetServerStats NetServer::Stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+void NetServer::LoopThread() {
+  std::vector<std::unique_ptr<Conn>> conns;
+  while (LoopTurn(conns, listen_fd_)) {
+  }
+  // Shutdown: close every connection; pending futures resolve into the
+  // void (EngineServer owns the promises and survives the front end).
+  MutexLock lock(mu_);
+  stats_.disconnects += conns.size();
+  stats_.open_connections = 0;
+  for (const int fd : adopt_queue_) ::close(fd);
+  adopt_queue_.clear();
+  MetricsRegistry::Default().GaugeRef("km.net.connections.open").Set(0);
+  conns.clear();
+}
+
+bool NetServer::LoopTurn(std::vector<std::unique_ptr<Conn>>& conns,
+                         int listen_fd) {
+  // Assemble the poll set: wakeup pipe, listener, then one slot per conn.
+  std::vector<pollfd> fds;
+  fds.reserve(conns.size() + 2);
+  fds.push_back({wake_read_fd_, POLLIN, 0});
+  const size_t listen_slot = fds.size();
+  if (listen_fd >= 0 && conns.size() < options_.max_connections) {
+    fds.push_back({listen_fd, POLLIN, 0});
+  }
+  const size_t conn_base = fds.size();
+  bool any_pending = false;
+  for (const auto& conn : conns) {
+    short events = POLLIN;
+    if (!conn->out.empty()) events |= POLLOUT;
+    if (!conn->pending.empty()) any_pending = true;
+    fds.push_back({conn->fd, events, 0});
+  }
+
+  // While responses are in flight we poll futures at busy cadence; an idle
+  // timeout also needs periodic turns even with no fd activity.
+  double wait_ms = any_pending ? options_.busy_poll_ms : options_.idle_poll_ms;
+  if (options_.idle_timeout_ms > 0) {
+    wait_ms = std::min(wait_ms, options_.idle_poll_ms);
+  }
+  (void)poll(fds.data(), fds.size(), static_cast<int>(wait_ms));
+
+  // Wakeup pipe: drain it; a shutdown nudge ends the loop.
+  if ((fds[0].revents & POLLIN) != 0) {
+    char buf[64];
+    while (read(wake_read_fd_, buf, sizeof(buf)) > 0) {
+    }
+  }
+  std::vector<int> adopted;
+  {
+    MutexLock lock(mu_);
+    if (stop_) return false;
+    adopted.swap(adopt_queue_);
+  }
+
+  const double now = Now();
+
+  for (const int fd : adopted) {
+    if (conns.size() >= options_.max_connections || !SetNonBlocking(fd).ok()) {
+      ::close(fd);
+      MutexLock lock(mu_);
+      ++stats_.rejected_capacity;
+      NetCounter("rejected.capacity").Increment();
+      continue;
+    }
+    auto conn = std::make_unique<Conn>(fd, options_.max_frame_payload);
+    conn->last_activity_ms = now;
+    conns.push_back(std::move(conn));
+    MutexLock lock(mu_);
+    ++stats_.adopted;
+    NetCounter("connections.adopted").Increment();
+  }
+
+  if (listen_fd >= 0 && fds.size() > listen_slot &&
+      fds[listen_slot].fd == listen_fd &&
+      (fds[listen_slot].revents & POLLIN) != 0) {
+    while (true) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) break;  // EAGAIN: drained
+      if (conns.size() >= options_.max_connections) {
+        // Connection-level shedding: close before any protocol exchange.
+        ::close(fd);
+        MutexLock lock(mu_);
+        ++stats_.rejected_capacity;
+        NetCounter("rejected.capacity").Increment();
+        continue;
+      }
+      if (!SetNonBlocking(fd).ok()) {
+        ::close(fd);
+        continue;
+      }
+      auto conn = std::make_unique<Conn>(fd, options_.max_frame_payload);
+      conn->last_activity_ms = now;
+      conns.push_back(std::move(conn));
+      MutexLock lock(mu_);
+      ++stats_.accepted;
+      NetCounter("connections.accepted").Increment();
+    }
+  }
+
+  for (size_t i = 0; i < conns.size(); ++i) {
+    Conn& conn = *conns[i];
+    const size_t slot = conn_base + i;
+    // `adopted` connections joined after the poll set was built; they get
+    // their first POLLIN next turn.
+    const short revents = slot < fds.size() && fds[slot].fd == conn.fd
+                              ? fds[slot].revents
+                              : 0;
+    if ((revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 && conn.out.empty()) {
+      conn.dead = true;
+      continue;
+    }
+    if ((revents & POLLIN) != 0) HandleReadable(conn);
+    PollPending(conn);
+    FlushWrites(conn);
+    if (conn.close_after_flush && conn.out.empty() && conn.pending.empty()) {
+      conn.dead = true;
+    }
+    if (options_.idle_timeout_ms > 0 && !conn.dead &&
+        now - conn.last_activity_ms > options_.idle_timeout_ms &&
+        conn.pending.empty()) {
+      conn.dead = true;
+      MutexLock lock(mu_);
+      ++stats_.idle_timeouts;
+      NetCounter("idle_timeouts").Increment();
+    }
+  }
+
+  size_t removed = 0;
+  for (size_t i = 0; i < conns.size();) {
+    if (conns[i]->dead) {
+      conns.erase(conns.begin() + static_cast<ptrdiff_t>(i));
+      ++removed;
+    } else {
+      ++i;
+    }
+  }
+  {
+    MutexLock lock(mu_);
+    stats_.disconnects += removed;
+    stats_.open_connections = conns.size();
+  }
+  if (removed > 0) NetCounter("disconnects").Increment();
+  MetricsRegistry::Default()
+      .GaugeRef("km.net.connections.open")
+      .Set(static_cast<int64_t>(conns.size()));
+  return true;
+}
+
+void NetServer::HandleReadable(Conn& conn) {
+  char buf[4096];
+  while (true) {
+    const ssize_t n = read(conn.fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn.last_activity_ms = Now();
+      {
+        MutexLock lock(mu_);
+        stats_.bytes_in += static_cast<uint64_t>(n);
+      }
+      NetCounter("bytes.in").Increment(static_cast<uint64_t>(n));
+      if (conn.close_after_flush) continue;  // discard: already hanging up
+      Status fed = conn.decoder.Feed(buf, static_cast<size_t>(n));
+      if (!fed.ok()) {
+        ProtocolErrorClose(conn, 0, fed);
+        return;
+      }
+      while (true) {
+        Frame frame;
+        StatusOr<bool> got = conn.decoder.Next(&frame);
+        if (!got.ok()) {
+          ProtocolErrorClose(conn, 0, got.status());
+          return;
+        }
+        if (!*got) break;
+        {
+          MutexLock lock(mu_);
+          ++stats_.frames_in;
+        }
+        NetCounter("frames.in").Increment();
+        HandleFrame(conn, std::move(frame));
+        if (conn.close_after_flush) break;
+      }
+      continue;
+    }
+    if (n == 0) {  // peer closed
+      conn.dead = conn.out.empty() && conn.pending.empty();
+      conn.close_after_flush = true;
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    conn.dead = true;  // ECONNRESET and friends
+    return;
+  }
+}
+
+void NetServer::HandleFrame(Conn& conn, Frame frame) {
+  if (FrameIs(frame, "HELO")) {
+    StatusOr<std::string> tenant = DecodeHello(frame.payload);
+    if (!tenant.ok()) {
+      ProtocolErrorClose(conn, frame.request_id, tenant.status());
+      return;
+    }
+    if (!tenants_.HasTenant(*tenant)) {
+      {
+        MutexLock lock(mu_);
+        ++stats_.rejected_unknown_tenant;
+      }
+      NetCounter("rejected.unknown_tenant").Increment();
+      SendFrame(conn, ErrorFrameFor(frame.request_id,
+                                    Status::NotFound("unknown tenant \"" +
+                                                     *tenant + "\"")));
+      conn.close_after_flush = true;
+      return;
+    }
+    conn.tenant = std::move(*tenant);
+    SendFrame(conn, MakeFrame("HELO", frame.request_id,
+                              EncodeHello(conn.tenant)));
+    return;
+  }
+  if (FrameIs(frame, "QURY")) {
+    if (conn.tenant.empty()) {
+      ProtocolErrorClose(
+          conn, frame.request_id,
+          Status::ProtocolError("QURY before HELO bound a tenant"));
+      return;
+    }
+    StatusOr<QueryRequest> request = DecodeQueryRequest(frame.payload);
+    if (!request.ok()) {
+      ProtocolErrorClose(conn, frame.request_id, request.status());
+      return;
+    }
+    if (request->k == 0 || request->k > options_.max_k) {
+      SendFrame(conn,
+                ErrorFrameFor(frame.request_id,
+                              Status::InvalidArgument(StrFormat(
+                                  "k=%u outside [1, %u]", request->k,
+                                  options_.max_k))));
+      return;
+    }
+    {
+      MutexLock lock(mu_);
+      ++stats_.queries;
+    }
+    NetCounter("queries").Increment();
+    Conn::Pending pending;
+    pending.request_id = frame.request_id;
+    pending.future = tenants_.Submit(conn.tenant, request->text, request->k,
+                                     request->deadline_ms);
+    conn.pending.push_back(std::move(pending));
+    return;
+  }
+  if (FrameIs(frame, "GBYE")) {
+    SendFrame(conn, MakeFrame("GBYE", frame.request_id, std::string()));
+    conn.close_after_flush = true;
+    return;
+  }
+  // RESP/ERRR/RTRY are server→client only; a peer sending them is out of
+  // contract.
+  ProtocolErrorClose(
+      conn, frame.request_id,
+      Status::ProtocolError("unexpected frame type \"" + frame.type +
+                            "\" from client"));
+}
+
+void NetServer::PollPending(Conn& conn) {
+  for (size_t i = 0; i < conn.pending.size();) {
+    Conn::Pending& pending = conn.pending[i];
+    if (pending.future.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready) {
+      ++i;
+      continue;
+    }
+    StatusOr<AnswerResult> result = pending.future.get();
+    if (result.ok()) {
+      AnswerReply reply;
+      reply.quality = static_cast<uint8_t>(result->quality);
+      reply.answers.reserve(result->explanations.size());
+      for (const Explanation& explanation : result->explanations) {
+        AnswerWire answer;
+        answer.score = explanation.score;
+        answer.sql = explanation.sql.CanonicalSignature();
+        reply.answers.push_back(std::move(answer));
+      }
+      SendFrame(conn, MakeFrame("RESP", pending.request_id,
+                                EncodeAnswerReply(reply)));
+    } else {
+      SendFrame(conn, ErrorFrameFor(pending.request_id, result.status()));
+    }
+    conn.pending.erase(conn.pending.begin() + static_cast<ptrdiff_t>(i));
+  }
+}
+
+void NetServer::SendFrame(Conn& conn, const Frame& frame) {
+  conn.out.append(EncodeFrame(frame));
+  {
+    MutexLock lock(mu_);
+    ++stats_.frames_out;
+  }
+  NetCounter("frames.out").Increment();
+}
+
+void NetServer::FlushWrites(Conn& conn) {
+  while (!conn.out.empty()) {
+    const ssize_t n = write(conn.fd, conn.out.data(), conn.out.size());
+    if (n > 0) {
+      conn.last_activity_ms = Now();
+      {
+        MutexLock lock(mu_);
+        stats_.bytes_out += static_cast<uint64_t>(n);
+      }
+      NetCounter("bytes.out").Increment(static_cast<uint64_t>(n));
+      conn.out.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    conn.dead = true;  // EPIPE etc.: the peer is gone
+    return;
+  }
+}
+
+void NetServer::ProtocolErrorClose(Conn& conn, uint64_t request_id,
+                                   const Status& why) {
+  {
+    MutexLock lock(mu_);
+    ++stats_.protocol_errors;
+  }
+  NetCounter("protocol_errors").Increment();
+  // Best effort: tell the peer why before hanging up. If the stream is so
+  // broken the write fails, FlushWrites marks the conn dead anyway.
+  SendFrame(conn, ErrorFrameFor(request_id, why));
+  conn.close_after_flush = true;
+}
+
+}  // namespace km::net

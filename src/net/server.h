@@ -1,0 +1,147 @@
+// NetServer: the process's network front end — a small poll(2)-based TCP
+// server speaking the length-prefixed protocol (net/protocol.h), routing
+// queries to tenants through a TenantRegistry (serve/tenant.h).
+//
+// Architecture: one event-loop thread owns every connection (sockets are
+// non-blocking; poll multiplexes). Engine work never runs on the loop —
+// QURY frames are submitted to the tenant's EngineServer and the returned
+// futures are polled with wait_for(0) each loop turn, so a slow query on
+// one connection cannot stall another connection's frames. Admission
+// decisions (shed, retry-after, refusal) surface to the client as RTRY
+// frames; everything else hard-fails as ERRR.
+//
+// Connection lifecycle:
+//   accept/adopt → HELO binds a tenant → QURY*/RESP*/RTRY*/ERRR* → GBYE.
+// Any protocol violation gets a best-effort ERRR(kProtocolError) and a
+// close: once framing is lost the stream cannot be trusted.
+//
+// Tests drive the server deterministically through two seams:
+//   * AdoptConnection(fd) — an in-process socketpair end enters the loop
+//     exactly like an accepted socket (no ports, no listeners);
+//   * an injectable clock — idle-timeout decisions read `now_ms`, so a
+//     scripted test advances time without sleeping.
+
+#ifndef KM_NET_SERVER_H_
+#define KM_NET_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "net/protocol.h"
+#include "serve/tenant.h"
+
+namespace km::net {
+
+struct NetServerOptions {
+  /// TCP port to listen on (loopback only); 0 picks an ephemeral port —
+  /// read it back with port() after Start().
+  uint16_t port = 0;
+  /// When false, no listening socket is created: connections enter only
+  /// via AdoptConnection (the deterministic test mode).
+  bool listen = true;
+  int backlog = 64;
+  /// Accepted connections beyond this are closed immediately (connection-
+  /// level load shedding; counted in rejected_capacity).
+  size_t max_connections = 64;
+  /// Per-frame payload cap handed to each connection's FrameDecoder.
+  size_t max_frame_payload = kDefaultMaxFramePayload;
+  /// poll() timeout while responses are in flight (the future-poll cadence)
+  /// and while fully idle, respectively.
+  double busy_poll_ms = 2.0;
+  double idle_poll_ms = 50.0;
+  /// Connections silent for longer than this are closed; 0 disables. Read
+  /// off the injectable clock, so tests can step it.
+  double idle_timeout_ms = 0;
+  /// Cap on the k a client may request in one QURY.
+  uint32_t max_k = 50;
+};
+
+/// Counters snapshot (one consistent read; see also the km.net.* metrics).
+struct NetServerStats {
+  uint64_t accepted = 0;
+  uint64_t adopted = 0;
+  uint64_t disconnects = 0;       ///< connections closed, any reason
+  uint64_t protocol_errors = 0;
+  uint64_t frames_in = 0;
+  uint64_t frames_out = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t queries = 0;           ///< QURY frames routed to a tenant
+  uint64_t rejected_capacity = 0; ///< closed at accept: max_connections
+  uint64_t rejected_unknown_tenant = 0;
+  uint64_t idle_timeouts = 0;
+  size_t open_connections = 0;
+};
+
+/// The front end. The registry must outlive the server. Start() spawns the
+/// loop thread; Shutdown() (or destruction) closes every connection and
+/// joins it.
+class NetServer {
+ public:
+  /// `now_ms` is the clock idle timeouts are measured on; the default reads
+  /// the monotonic clock.
+  explicit NetServer(TenantRegistry& tenants, NetServerOptions options = {},
+                     std::function<double()> now_ms = {});
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds/listens (when options.listen) and spawns the loop thread.
+  Status Start() KM_EXCLUDES(mu_);
+
+  /// Stops the loop, closes every connection (and the listener), joins.
+  /// Idempotent.
+  void Shutdown() KM_EXCLUDES(mu_);
+
+  /// The bound port (0 before Start() or when not listening).
+  uint16_t port() const KM_EXCLUDES(mu_);
+
+  /// Hands an already-connected socket (e.g. one end of a socketpair) to
+  /// the loop. The server takes ownership of `fd` — including on error.
+  Status AdoptConnection(int fd) KM_EXCLUDES(mu_);
+
+  NetServerStats Stats() const KM_EXCLUDES(mu_);
+
+ private:
+  struct Conn;  // defined in server.cc; owned by the loop thread
+
+  void LoopThread();
+  /// One poll + dispatch turn. Returns false when shutdown was requested.
+  bool LoopTurn(std::vector<std::unique_ptr<Conn>>& conns, int listen_fd);
+  void HandleReadable(Conn& conn);
+  void HandleFrame(Conn& conn, Frame frame);
+  void PollPending(Conn& conn);
+  void FlushWrites(Conn& conn);
+  void SendFrame(Conn& conn, const Frame& frame);
+  /// Best-effort ERRR(kProtocolError) + close: the connection's framing is
+  /// no longer trustworthy.
+  void ProtocolErrorClose(Conn& conn, uint64_t request_id, const Status& why);
+  double Now() const;
+
+  TenantRegistry& tenants_;
+  const NetServerOptions options_;
+  const std::function<double()> now_ms_;
+
+  mutable Mutex mu_;
+  bool started_ KM_GUARDED_BY(mu_) = false;
+  bool stop_ KM_GUARDED_BY(mu_) = false;
+  uint16_t bound_port_ KM_GUARDED_BY(mu_) = 0;
+  std::vector<int> adopt_queue_ KM_GUARDED_BY(mu_);
+  NetServerStats stats_ KM_GUARDED_BY(mu_);
+
+  int listen_fd_ = -1;     ///< owned; loop reads it, Start writes it once
+  int wake_read_fd_ = -1;  ///< pipe the loop polls for adopt/shutdown nudges
+  int wake_write_fd_ = -1;
+  std::thread loop_;
+};
+
+}  // namespace km::net
+
+#endif  // KM_NET_SERVER_H_

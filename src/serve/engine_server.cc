@@ -251,6 +251,13 @@ void EngineServer::Shutdown() {
     MutexLock lock(mu_);
     if (shutdown_called_) return;
     shutdown_called_ = true;
+    // An in-flight ReloadSnapshot may still be loading or rebuilding and
+    // will take mu_ and write engine_/refusing_ when it lands. Returning
+    // before it does turns the tail of the reload ladder into a
+    // use-after-free once the destructor runs. New reloads bail out at the
+    // pin (shutdown_called_ is set), so this wait is bounded by the one
+    // rebuild already in flight.
+    while (reloads_inflight_ != 0) reload_cv_.Wait(mu_);
   }
   queue_.Shutdown();  // stop admission; workers drain what's already queued
   for (std::thread& worker : workers_) {
@@ -294,6 +301,26 @@ Status EngineServer::ReloadSnapshot(const std::string& path, bool require_swap,
     return result;
   };
 
+  // Pin the reload before any work: Shutdown() waits for in-flight reloads,
+  // so the server (mu_, engine_) cannot be destroyed under a rebuild. After
+  // shutdown there is nothing to reload into — bail out at the door.
+  {
+    MutexLock lock(mu_);
+    if (shutdown_called_) {
+      Status refused = Status::Unavailable("server shut down; reload refused");
+      return finish(ReloadRung::kKeptCurrent, refused, refused);
+    }
+    ++reloads_inflight_;
+  }
+  struct ReloadPin {
+    EngineServer* server;
+    ~ReloadPin() {
+      MutexLock lock(server->mu_);
+      --server->reloads_inflight_;
+      server->reload_cv_.NotifyAll();
+    }
+  } pin{this};
+
   std::shared_ptr<const KeymanticEngine> current = CurrentEngine();
 
   // Rung 0: load, assemble, validate, swap.
@@ -308,6 +335,13 @@ Status EngineServer::ReloadSnapshot(const std::string& path, bool require_swap,
     if (validated.ok()) {
       std::shared_ptr<const KeymanticEngine> next = std::move(*candidate);
       MutexLock lock(mu_);
+      if (shutdown_called_) {
+        // Shutdown raced the load: it is already waiting on our pin. Do not
+        // swap state into a server that stopped serving.
+        Status refused =
+            Status::Unavailable("server shut down during reload; swap dropped");
+        return finish(ReloadRung::kKeptCurrent, Status::OK(), refused);
+      }
       engine_ = std::move(next);
       refusing_ = false;
       ReloadCounter("swaps").Increment();
@@ -335,6 +369,11 @@ Status EngineServer::ReloadSnapshot(const std::string& path, bool require_swap,
   if (validated.ok()) {
     std::shared_ptr<const KeymanticEngine> next = std::move(*candidate);
     MutexLock lock(mu_);
+    if (shutdown_called_) {
+      Status refused =
+          Status::Unavailable("server shut down during reload; swap dropped");
+      return finish(ReloadRung::kKeptCurrent, failure, refused);
+    }
     engine_ = std::move(next);
     refusing_ = false;
     ReloadCounter("rebuilds").Increment();
@@ -346,7 +385,9 @@ Status EngineServer::ReloadSnapshot(const std::string& path, bool require_swap,
   // Rung 3: nothing valid to serve — refuse with a retry-after hint.
   {
     MutexLock lock(mu_);
-    refusing_ = true;
+    // After shutdown every Submit is already rejected; flipping refusing_
+    // on a dead server would only confuse a later post-mortem Stats() read.
+    if (!shutdown_called_) refusing_ = true;
   }
   ReloadCounter("refusals").Increment();
   return finish(ReloadRung::kRefused, failure,

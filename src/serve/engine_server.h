@@ -147,8 +147,9 @@ class EngineServer {
   void Drain() KM_EXCLUDES(mu_);
 
   /// Graceful shutdown: stops admission (further Submits are rejected with
-  /// kUnavailable), drains already-admitted requests, joins the workers.
-  /// Idempotent.
+  /// kUnavailable), waits out any in-flight ReloadSnapshot (which would
+  /// otherwise take mu_ and write engine_ after destruction), drains
+  /// already-admitted requests, joins the workers. Idempotent.
   void Shutdown() KM_EXCLUDES(mu_);
 
   /// Atomically replaces the serving engine with one assembled from the
@@ -218,6 +219,9 @@ class EngineServer {
 
   mutable Mutex mu_;
   CondVar drain_cv_;
+  /// Signalled when an in-flight ReloadSnapshot releases its pin; Shutdown
+  /// waits on it so the reload ladder never lands on a destroyed server.
+  CondVar reload_cv_;
   uint64_t next_request_id_ KM_GUARDED_BY(mu_) = 1;
   uint64_t submitted_ KM_GUARDED_BY(mu_) = 0;
   uint64_t completed_ KM_GUARDED_BY(mu_) = 0;
@@ -232,6 +236,10 @@ class EngineServer {
   /// Bottom rung of the reload ladder: reject Submits until a reload
   /// succeeds.
   bool refusing_ KM_GUARDED_BY(mu_) = false;
+  /// ReloadSnapshot calls currently between pin and release. A reload
+  /// mid-rebuild will take mu_ and touch engine_/refusing_ when it lands;
+  /// Shutdown (and therefore the destructor) must wait for zero.
+  uint64_t reloads_inflight_ KM_GUARDED_BY(mu_) = 0;
 
   std::vector<std::thread> workers_;  // written once in the constructor
 };

@@ -1,0 +1,178 @@
+#include "serve/tenant.h"
+
+#include <utility>
+
+#include "common/metrics.h"
+#include "snapshot/snapshot.h"
+
+namespace km {
+
+namespace {
+
+/// "km.tenant.<id>.<what>" — the per-tenant metric family (prefix
+/// registered in common/metric_names.h).
+Counter& TenantCounter(const std::string& id, const char* what) {
+  return MetricsRegistry::Default().CounterRef("km.tenant." + id + "." + what);
+}
+
+void PublishTenantCount(size_t count) {
+  MetricsRegistry::Default()
+      .GaugeRef("km.tenants.count")
+      .Set(static_cast<int64_t>(count));
+}
+
+/// A future already resolved with `status` — the shape Submit returns for
+/// requests that never reach any tenant's queue.
+std::future<StatusOr<AnswerResult>> ImmediateError(Status status) {
+  std::promise<StatusOr<AnswerResult>> promise;
+  std::future<StatusOr<AnswerResult>> future = promise.get_future();
+  promise.set_value(std::move(status));
+  return future;
+}
+
+}  // namespace
+
+TenantRegistry::~TenantRegistry() { Shutdown(); }
+
+Status TenantRegistry::ValidateTenantId(const std::string& id) {
+  if (id.empty()) return Status::InvalidArgument("tenant id is empty");
+  if (id.size() > 128) {
+    return Status::InvalidArgument("tenant id exceeds 128 bytes");
+  }
+  for (const char c : id) {
+    if (static_cast<unsigned char>(c) < 0x20 || c == 0x7f) {
+      return Status::InvalidArgument("tenant id contains control characters");
+    }
+  }
+  return Status::OK();
+}
+
+Status TenantRegistry::AddTenant(const std::string& id,
+                                 std::shared_ptr<const KeymanticEngine> engine,
+                                 const TenantOptions& options) {
+  KM_RETURN_IF_ERROR(ValidateTenantId(id));
+  if (engine == nullptr) {
+    return Status::InvalidArgument("tenant engine is null");
+  }
+  // Build the server outside the lock: it spawns worker threads.
+  auto server =
+      std::make_shared<EngineServer>(std::move(engine), options.server);
+  Status rejected = Status::OK();
+  {
+    MutexLock lock(mu_);
+    if (shutdown_) {
+      rejected = Status::FailedPrecondition("tenant registry is shut down");
+    } else if (tenants_.count(id) != 0) {
+      rejected =
+          Status::AlreadyExists("tenant \"" + id + "\" already registered");
+    } else {
+      tenants_.emplace(id, std::move(server));
+      PublishTenantCount(tenants_.size());
+      return Status::OK();
+    }
+  }
+  // The server we built must not leak running workers; join outside mu_.
+  server->Shutdown();
+  return rejected;
+}
+
+Status TenantRegistry::AddTenantFromSnapshot(const std::string& id,
+                                             const Database& db,
+                                             const std::string& snapshot_path,
+                                             const EngineOptions& engine_options,
+                                             const TenantOptions& options) {
+  KM_RETURN_IF_ERROR(ValidateTenantId(id));
+  KM_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedState> state,
+                      LoadSnapshot(snapshot_path));
+  KM_ASSIGN_OR_RETURN(
+      std::unique_ptr<KeymanticEngine> engine,
+      KeymanticEngine::FromPreparedState(db, std::move(state), engine_options));
+  return AddTenant(id, std::move(engine), options);
+}
+
+Status TenantRegistry::RemoveTenant(const std::string& id) {
+  std::shared_ptr<EngineServer> server;
+  {
+    MutexLock lock(mu_);
+    auto it = tenants_.find(id);
+    if (it == tenants_.end()) {
+      return Status::NotFound("tenant \"" + id + "\" is not registered");
+    }
+    server = std::move(it->second);
+    tenants_.erase(it);
+    PublishTenantCount(tenants_.size());
+  }
+  // Drain and join outside the lock: other tenants keep serving meanwhile.
+  server->Shutdown();
+  return Status::OK();
+}
+
+bool TenantRegistry::HasTenant(const std::string& id) const {
+  MutexLock lock(mu_);
+  return tenants_.count(id) != 0;
+}
+
+std::vector<std::string> TenantRegistry::TenantIds() const {
+  MutexLock lock(mu_);
+  std::vector<std::string> ids;
+  ids.reserve(tenants_.size());
+  for (const auto& [id, server] : tenants_) ids.push_back(id);
+  return ids;
+}
+
+std::shared_ptr<EngineServer> TenantRegistry::Server(
+    const std::string& id) const {
+  MutexLock lock(mu_);
+  auto it = tenants_.find(id);
+  return it == tenants_.end() ? nullptr : it->second;
+}
+
+std::future<StatusOr<AnswerResult>> TenantRegistry::Submit(
+    const std::string& id, const std::string& query, size_t k,
+    double deadline_ms) {
+  std::shared_ptr<EngineServer> server = Server(id);
+  if (server == nullptr) {
+    MetricsRegistry::Default().CounterRef("km.tenants.unknown").Increment();
+    return ImmediateError(
+        Status::NotFound("tenant \"" + id + "\" is not registered"));
+  }
+  TenantCounter(id, "submitted").Increment();
+  // Outside mu_: the tenant's own admission queue is the only contention
+  // point from here on — one tenant's slow engine cannot block another's
+  // Submit path.
+  return server->Submit(query, k, deadline_ms);
+}
+
+Status TenantRegistry::ReloadTenantSnapshot(const std::string& id,
+                                            const std::string& path,
+                                            bool require_swap,
+                                            ReloadReport* report) {
+  std::shared_ptr<EngineServer> server = Server(id);
+  if (server == nullptr) {
+    return Status::NotFound("tenant \"" + id + "\" is not registered");
+  }
+  TenantCounter(id, "reloads").Increment();
+  return server->ReloadSnapshot(path, require_swap, report);
+}
+
+StatusOr<ServerStats> TenantRegistry::StatsFor(const std::string& id) const {
+  std::shared_ptr<EngineServer> server = Server(id);
+  if (server == nullptr) {
+    return Status::NotFound("tenant \"" + id + "\" is not registered");
+  }
+  return server->Stats();
+}
+
+void TenantRegistry::Shutdown() {
+  std::map<std::string, std::shared_ptr<EngineServer>> tenants;
+  {
+    MutexLock lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    tenants.swap(tenants_);
+    PublishTenantCount(0);
+  }
+  for (auto& [id, server] : tenants) server->Shutdown();
+}
+
+}  // namespace km

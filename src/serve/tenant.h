@@ -1,0 +1,123 @@
+// TenantRegistry: the multi-tenant layer over EngineServer.
+//
+// One process serves many databases at once — the metadata approach keeps
+// prepared state small and immutable, so a tenant is just (database-id →
+// shared_ptr<const KeymanticEngine>) plus serving policy. Each tenant gets
+// its *own* EngineServer:
+//
+//   * admission quota — the tenant's bounded AdmissionQueue + AIMD limiter
+//     shed that tenant's excess load without touching anyone else's queue;
+//   * cache partition — the tenant's engine owns its keyword-row and
+//     Steiner LRU caches, so one tenant's churn cannot evict another's hot
+//     entries;
+//   * RCU hot swap — ReloadTenantSnapshot delegates to the tenant's
+//     EngineServer::ReloadSnapshot, flipping that tenant's prepared state
+//     under live traffic while every other tenant keeps serving.
+//
+// The registry itself is a thin synchronized map: Submit copies the
+// tenant's server handle under the lock and submits outside it, so a slow
+// engine never serializes cross-tenant traffic. The network front end
+// (net/server.h) binds each connection to a tenant via the HELO frame and
+// routes QURY frames through Submit().
+
+#ifndef KM_SERVE_TENANT_H_
+#define KM_SERVE_TENANT_H_
+
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "core/keymantic.h"
+#include "serve/engine_server.h"
+
+namespace km {
+
+/// Per-tenant serving policy. The EngineServerOptions inside carry the
+/// admission quota (queue bound, AIMD tuning, worker count) for this
+/// tenant alone.
+struct TenantOptions {
+  EngineServerOptions server;
+};
+
+/// Thread-safe database-id → serving-engine map. Tenants can be added,
+/// removed, and hot-reloaded while other tenants serve traffic.
+/// Shutdown() (or destruction) stops every tenant's server gracefully.
+class TenantRegistry {
+ public:
+  TenantRegistry() = default;
+  ~TenantRegistry();
+
+  TenantRegistry(const TenantRegistry&) = delete;
+  TenantRegistry& operator=(const TenantRegistry&) = delete;
+
+  /// Registers `id` serving `engine`. Fails with kInvalidArgument for a
+  /// malformed id (empty, > 128 bytes, or containing control characters),
+  /// kAlreadyExists for a duplicate, kFailedPrecondition after Shutdown.
+  Status AddTenant(const std::string& id,
+                   std::shared_ptr<const KeymanticEngine> engine,
+                   const TenantOptions& options = {}) KM_EXCLUDES(mu_);
+
+  /// Registers `id` with prepared state loaded from the snapshot at
+  /// `snapshot_path` (PR 7 format). `db` is borrowed and must outlive the
+  /// registry — the snapshot stores derived state, not the database.
+  Status AddTenantFromSnapshot(const std::string& id, const Database& db,
+                               const std::string& snapshot_path,
+                               const EngineOptions& engine_options = {},
+                               const TenantOptions& options = {})
+      KM_EXCLUDES(mu_);
+
+  /// Shuts the tenant's server down (draining admitted requests) and drops
+  /// it from the map. kNotFound when absent.
+  Status RemoveTenant(const std::string& id) KM_EXCLUDES(mu_);
+
+  bool HasTenant(const std::string& id) const KM_EXCLUDES(mu_);
+
+  /// Registered tenant ids, sorted.
+  std::vector<std::string> TenantIds() const KM_EXCLUDES(mu_);
+
+  /// The tenant's serving facade (nullptr when absent). The handle stays
+  /// valid after RemoveTenant — shared_ptr semantics — but its server will
+  /// have been shut down.
+  std::shared_ptr<EngineServer> Server(const std::string& id) const
+      KM_EXCLUDES(mu_);
+
+  /// Routes one query to `id`'s EngineServer. Unknown tenants resolve the
+  /// future immediately with kNotFound; everything else follows the
+  /// tenant's own admission/shedding policy.
+  std::future<StatusOr<AnswerResult>> Submit(const std::string& id,
+                                             const std::string& query,
+                                             size_t k, double deadline_ms = 0)
+      KM_EXCLUDES(mu_);
+
+  /// RCU hot swap of one tenant's prepared state (EngineServer's reload
+  /// degradation ladder). Other tenants are untouched.
+  Status ReloadTenantSnapshot(const std::string& id, const std::string& path,
+                              bool require_swap = false,
+                              ReloadReport* report = nullptr)
+      KM_EXCLUDES(mu_);
+
+  /// One consistent counters snapshot for the tenant.
+  StatusOr<ServerStats> StatsFor(const std::string& id) const
+      KM_EXCLUDES(mu_);
+
+  /// Stops every tenant's server (graceful drain + join). Idempotent;
+  /// later Add/Submit calls are rejected.
+  void Shutdown() KM_EXCLUDES(mu_);
+
+ private:
+  static Status ValidateTenantId(const std::string& id);
+
+  mutable Mutex mu_;
+  std::map<std::string, std::shared_ptr<EngineServer>> tenants_
+      KM_GUARDED_BY(mu_);
+  bool shutdown_ KM_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace km
+
+#endif  // KM_SERVE_TENANT_H_

@@ -1,0 +1,124 @@
+// Deterministic in-process harness for the network front end.
+//
+// Real ports and real timing make protocol tests flaky; this harness
+// removes both:
+//
+//   * connections are socketpair(2) ends — the server adopts one end via
+//     NetServer::AdoptConnection, the test scripts the other, so nothing
+//     ever listens and two tests cannot collide on a port;
+//   * the server's clock is a FakeClock the test advances explicitly, so
+//     idle-timeout behavior is driven, not slept for.
+//
+// The scripted side can send partial frames, split a frame's bytes at
+// arbitrary offsets, and stall mid-frame — the hostile shapes a real
+// network produces, made reproducible.
+
+#ifndef KM_TESTS_NET_HARNESS_H_
+#define KM_TESTS_NET_HARNESS_H_
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/status.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "serve/tenant.h"
+
+namespace km::net {
+
+/// Manually advanced clock. Starts at an arbitrary epoch (1e6 ms) so code
+/// subtracting idle windows never sees negative time.
+class FakeClock {
+ public:
+  double NowMs() const {
+    return static_cast<double>(us_.load(std::memory_order_relaxed)) / 1000.0;
+  }
+  void AdvanceMs(double ms) {
+    us_.fetch_add(static_cast<int64_t>(ms * 1000.0),
+                  std::memory_order_relaxed);
+  }
+  std::function<double()> AsFunction() {
+    return [this] { return NowMs(); };
+  }
+
+ private:
+  std::atomic<int64_t> us_{1'000'000'000};  // 1e6 ms
+};
+
+/// A connected AF_UNIX stream pair; both fds are owned by whoever takes
+/// them (the harness hands one to the server, one to a client).
+inline Status MakeSocketPair(int* server_end, int* client_end) {
+  int fds[2];
+  if (socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return Status::Internal("socketpair failed");
+  }
+  *server_end = fds[0];
+  *client_end = fds[1];
+  return Status::OK();
+}
+
+/// Sends `bytes` split at the given offsets (ascending, each in
+/// (0, size)), pausing between pieces so the server's poll loop observes
+/// each piece as its own read — the wire shape of a slow or adversarial
+/// peer. A stall is just a split with no following piece: send a prefix
+/// with SendBytes and stop.
+inline Status SendInPieces(NetClient& client, const std::string& bytes,
+                           const std::vector<size_t>& splits,
+                           int pause_ms = 5) {
+  size_t start = 0;
+  auto send_piece = [&](size_t end) -> Status {
+    KM_CHECK(end >= start && end <= bytes.size());
+    if (end > start) {
+      KM_RETURN_IF_ERROR(client.SendBytes(bytes.data() + start, end - start));
+    }
+    start = end;
+    return Status::OK();
+  };
+  for (const size_t offset : splits) {
+    KM_RETURN_IF_ERROR(send_piece(offset));
+    std::this_thread::sleep_for(std::chrono::milliseconds(pause_ms));
+  }
+  return send_piece(bytes.size());
+}
+
+/// A started NetServer in harness mode (no listener, fake clock) over a
+/// caller-owned TenantRegistry.
+class NetHarness {
+ public:
+  explicit NetHarness(TenantRegistry& tenants, NetServerOptions options = {}) {
+    options.listen = false;
+    server_ = std::make_unique<NetServer>(tenants, options,
+                                          clock_.AsFunction());
+    KM_CHECK_OK(server_->Start());
+  }
+  ~NetHarness() { server_->Shutdown(); }
+
+  /// New scripted connection: the server adopts one socketpair end, the
+  /// returned client owns the other.
+  std::unique_ptr<NetClient> NewClient() {
+    int server_end = -1, client_end = -1;
+    KM_CHECK_OK(MakeSocketPair(&server_end, &client_end));
+    KM_CHECK_OK(server_->AdoptConnection(server_end));
+    return std::make_unique<NetClient>(client_end);
+  }
+
+  NetServer& server() { return *server_; }
+  FakeClock& clock() { return clock_; }
+
+ private:
+  FakeClock clock_;
+  std::unique_ptr<NetServer> server_;
+};
+
+}  // namespace km::net
+
+#endif  // KM_TESTS_NET_HARNESS_H_

@@ -1,0 +1,394 @@
+// Network front-end tests: frame codec round-trips, the incremental
+// decoder under arbitrary byte splits, the poll-server's protocol
+// behavior through the deterministic socketpair harness (HELO/QURY/RESP,
+// protocol errors, GBYE, idle timeout on the fake clock), and one real
+// end-to-end TCP exchange on an ephemeral loopback port.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/retry.h"
+#include "common/status.h"
+#include "core/keymantic.h"
+#include "datasets/university.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "net_harness.h"
+#include "serve/tenant.h"
+
+namespace km::net {
+namespace {
+
+// -------------------------------------------------------------- protocol
+
+TEST(NetProtocolTest, FrameRoundTripsThroughTheDecoder) {
+  Frame frame = MakeFrame("QURY", 42, "payload bytes");
+  const std::string wire = EncodeFrame(frame);
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(wire.data(), wire.size()).ok());
+  Frame out;
+  StatusOr<bool> got = decoder.Next(&out);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_TRUE(*got);
+  EXPECT_TRUE(FrameIs(out, "QURY"));
+  EXPECT_EQ(out.request_id, 42u);
+  EXPECT_EQ(out.payload, "payload bytes");
+  EXPECT_EQ(decoder.buffered(), 0u);
+  // No second frame yet.
+  got = decoder.Next(&out);
+  ASSERT_TRUE(got.ok());
+  EXPECT_FALSE(*got);
+}
+
+TEST(NetProtocolTest, DecoderHandlesArbitraryByteSplits) {
+  std::string wire;
+  wire += EncodeFrame(MakeFrame("HELO", 1, EncodeHello("tenant-a")));
+  wire += EncodeFrame(MakeFrame("QURY", 2, std::string(100, 'q')));
+  wire += EncodeFrame(MakeFrame("GBYE", 3, std::string()));
+  for (const size_t chunk : {size_t{1}, size_t{2}, size_t{3}, size_t{7},
+                             size_t{16}}) {
+    FrameDecoder decoder;
+    std::vector<Frame> frames;
+    for (size_t i = 0; i < wire.size(); i += chunk) {
+      const size_t n = std::min(chunk, wire.size() - i);
+      ASSERT_TRUE(decoder.Feed(wire.data() + i, n).ok());
+      while (true) {
+        Frame frame;
+        StatusOr<bool> got = decoder.Next(&frame);
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        if (!*got) break;
+        frames.push_back(std::move(frame));
+      }
+    }
+    ASSERT_EQ(frames.size(), 3u) << "chunk=" << chunk;
+    EXPECT_TRUE(FrameIs(frames[0], "HELO"));
+    EXPECT_TRUE(FrameIs(frames[1], "QURY"));
+    EXPECT_TRUE(FrameIs(frames[2], "GBYE"));
+    EXPECT_EQ(frames[1].payload, std::string(100, 'q'));
+    EXPECT_EQ(decoder.frames_decoded(), 3u);
+  }
+}
+
+TEST(NetProtocolTest, PayloadCodecsRoundTrip) {
+  QueryRequest query;
+  query.k = 7;
+  query.deadline_ms = 123.5;
+  query.text = "professor department";
+  auto query2 = DecodeQueryRequest(EncodeQueryRequest(query));
+  ASSERT_TRUE(query2.ok());
+  EXPECT_EQ(query2->k, 7u);
+  EXPECT_DOUBLE_EQ(query2->deadline_ms, 123.5);
+  EXPECT_EQ(query2->text, query.text);
+
+  AnswerReply reply;
+  reply.quality = 2;
+  reply.answers.push_back({0.75, "SELECT a FROM b"});
+  reply.answers.push_back({-1.5, ""});
+  auto reply2 = DecodeAnswerReply(EncodeAnswerReply(reply));
+  ASSERT_TRUE(reply2.ok());
+  EXPECT_EQ(reply2->quality, 2u);
+  ASSERT_EQ(reply2->answers.size(), 2u);
+  EXPECT_DOUBLE_EQ(reply2->answers[0].score, 0.75);
+  EXPECT_EQ(reply2->answers[0].sql, "SELECT a FROM b");
+  EXPECT_DOUBLE_EQ(reply2->answers[1].score, -1.5);
+
+  ErrorReply error;
+  error.code = static_cast<uint16_t>(StatusCode::kOverloaded);
+  error.retry_after_ms = 250;
+  error.message = "queue full";
+  auto error2 = DecodeErrorReply(EncodeErrorReply(error));
+  ASSERT_TRUE(error2.ok());
+  EXPECT_EQ(error2->code, error.code);
+  EXPECT_DOUBLE_EQ(error2->retry_after_ms, 250);
+  EXPECT_EQ(error2->message, "queue full");
+
+  auto hello = DecodeHello(EncodeHello("db-1"));
+  ASSERT_TRUE(hello.ok());
+  EXPECT_EQ(*hello, "db-1");
+}
+
+TEST(NetProtocolTest, OversizedLengthPrefixFailsBeforeAllocation) {
+  // 4 GiB claimed body: must be rejected from the 4-byte prefix alone.
+  const char prefix[4] = {'\xff', '\xff', '\xff', '\xff'};
+  FrameDecoder decoder;
+  Status fed = decoder.Feed(prefix, sizeof(prefix));
+  EXPECT_EQ(fed.code(), StatusCode::kProtocolError) << fed.ToString();
+  EXPECT_EQ(decoder.buffered(), 0u) << "hostile length must not be buffered";
+  // Sticky: the decoder stays failed.
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame).status().code(), StatusCode::kProtocolError);
+  EXPECT_EQ(decoder.Feed("x", 1).code(), StatusCode::kProtocolError);
+}
+
+TEST(NetProtocolTest, UndersizedBodyLengthIsAProtocolError) {
+  // body_len = 5 < 13 fixed body bytes.
+  const char prefix[4] = {5, 0, 0, 0};
+  FrameDecoder decoder;
+  EXPECT_EQ(decoder.Feed(prefix, sizeof(prefix)).code(),
+            StatusCode::kProtocolError);
+}
+
+TEST(NetProtocolTest, WrongVersionAndBadTagAreProtocolErrors) {
+  std::string wire = EncodeFrame(MakeFrame("QURY", 1, "x"));
+  {
+    std::string bad = wire;
+    bad[4] = 9;  // version byte
+    FrameDecoder decoder;
+    EXPECT_EQ(decoder.Feed(bad.data(), bad.size()).code(),
+              StatusCode::kProtocolError);
+  }
+  {
+    std::string bad = wire;
+    bad[5] = 'q';  // lowercase: outside [A-Z0-9]
+    FrameDecoder decoder;
+    EXPECT_EQ(decoder.Feed(bad.data(), bad.size()).code(),
+              StatusCode::kProtocolError);
+  }
+  {
+    // Well-formed tag characters but not in the catalog.
+    std::string bad = wire;
+    std::memcpy(&bad[5], "ZZZZ", 4);
+    FrameDecoder decoder;
+    ASSERT_TRUE(decoder.Feed(bad.data(), bad.size()).ok());
+    Frame frame;
+    EXPECT_EQ(decoder.Next(&frame).status().code(),
+              StatusCode::kProtocolError);
+  }
+}
+
+TEST(NetProtocolTest, PayloadDecodersRejectTruncationAndTrailingBytes) {
+  std::string query = EncodeQueryRequest({3, 50.0, "abc"});
+  EXPECT_EQ(DecodeQueryRequest(query.substr(0, query.size() - 1))
+                .status()
+                .code(),
+            StatusCode::kProtocolError);
+  EXPECT_EQ(DecodeQueryRequest(query + "x").status().code(),
+            StatusCode::kProtocolError);
+
+  AnswerReply reply;
+  reply.answers.push_back({1.0, "sql"});
+  std::string resp = EncodeAnswerReply(reply);
+  EXPECT_EQ(DecodeAnswerReply(resp.substr(0, resp.size() - 2))
+                .status()
+                .code(),
+            StatusCode::kProtocolError);
+  EXPECT_EQ(DecodeHello(std::string("\x05\0\0\0ab", 6)).status().code(),
+            StatusCode::kProtocolError);
+}
+
+TEST(NetProtocolTest, ErrorFrameMappingRoundTripsRetryableStatuses) {
+  Frame shed = ErrorFrameFor(9, OverloadedStatus("queue full", 125.0));
+  EXPECT_TRUE(FrameIs(shed, "RTRY"));
+  auto decoded = DecodeErrorReply(shed.payload);
+  ASSERT_TRUE(decoded.ok());
+  Status round = StatusFromErrorReply(*decoded);
+  EXPECT_EQ(round.code(), StatusCode::kOverloaded);
+  EXPECT_DOUBLE_EQ(SuggestedRetryAfterMs(round), 125.0);
+
+  Frame hard = ErrorFrameFor(9, Status::InvalidArgument("bad k"));
+  EXPECT_TRUE(FrameIs(hard, "ERRR"));
+  auto decoded_hard = DecodeErrorReply(hard.payload);
+  ASSERT_TRUE(decoded_hard.ok());
+  EXPECT_EQ(StatusFromErrorReply(*decoded_hard).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------- server (harness)
+
+class NetServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto db = BuildUniversityDatabase();
+    ASSERT_TRUE(db.ok());
+    db_ = new Database(std::move(*db));
+    engine_ = std::make_shared<KeymanticEngine>(*db_);
+  }
+  static void TearDownTestSuite() {
+    engine_.reset();
+    delete db_;
+    db_ = nullptr;
+  }
+
+  /// Registry with one tenant "uni" over the shared engine.
+  static std::unique_ptr<TenantRegistry> MakeRegistry() {
+    auto tenants = std::make_unique<TenantRegistry>();
+    KM_CHECK_OK(tenants->AddTenant("uni", engine_));
+    return tenants;
+  }
+
+  static Database* db_;
+  static std::shared_ptr<KeymanticEngine> engine_;
+};
+
+Database* NetServerTest::db_ = nullptr;
+std::shared_ptr<KeymanticEngine> NetServerTest::engine_;
+
+TEST_F(NetServerTest, HelloQueryResponseMatchesDirectEngineCall) {
+  auto tenants = MakeRegistry();
+  NetHarness harness(*tenants);
+  auto client = harness.NewClient();
+  ASSERT_TRUE(client->Hello("uni").ok());
+
+  auto reply = client->Ask(1, "Vokram IT", 5, 0);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  auto direct = engine_->Answer("Vokram IT", 5);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_EQ(reply->answers.size(), direct->explanations.size());
+  for (size_t i = 0; i < reply->answers.size(); ++i) {
+    EXPECT_EQ(reply->answers[i].sql,
+              direct->explanations[i].sql.CanonicalSignature());
+    EXPECT_DOUBLE_EQ(reply->answers[i].score,
+                     direct->explanations[i].score);
+  }
+  EXPECT_EQ(harness.server().Stats().protocol_errors, 0u);
+}
+
+TEST_F(NetServerTest, UnknownTenantGetsTypedErrorAndDisconnect) {
+  auto tenants = MakeRegistry();
+  NetHarness harness(*tenants);
+  auto client = harness.NewClient();
+  Status hello = client->Hello("nope");
+  EXPECT_EQ(hello.code(), StatusCode::kNotFound) << hello.ToString();
+  // The server hangs up after the rejection.
+  auto next = client->ReadFrame(2000);
+  EXPECT_EQ(next.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(harness.server().Stats().rejected_unknown_tenant, 1u);
+}
+
+TEST_F(NetServerTest, QueryBeforeHelloIsAProtocolError) {
+  auto tenants = MakeRegistry();
+  NetHarness harness(*tenants);
+  auto client = harness.NewClient();
+  auto reply = client->Ask(5, "Vokram IT", 3, 0);
+  EXPECT_EQ(reply.status().code(), StatusCode::kProtocolError)
+      << reply.status().ToString();
+  auto next = client->ReadFrame(2000);
+  EXPECT_EQ(next.status().code(), StatusCode::kUnavailable);
+  EXPECT_GE(harness.server().Stats().protocol_errors, 1u);
+}
+
+TEST_F(NetServerTest, SplitWritesAndMidFrameStallsStillParse) {
+  auto tenants = MakeRegistry();
+  NetHarness harness(*tenants);
+  auto client = harness.NewClient();
+  ASSERT_TRUE(client->Hello("uni").ok());
+
+  QueryRequest query;
+  query.k = 3;
+  query.text = "Vokram IT";
+  const std::string wire =
+      EncodeFrame(MakeFrame("QURY", 77, EncodeQueryRequest(query)));
+  // Split inside the length prefix, inside the header, and inside the
+  // payload — the server must reassemble regardless of where reads land.
+  ASSERT_TRUE(
+      SendInPieces(*client, wire, {2, 6, 11, wire.size() - 3}).ok());
+  auto frame = client->ReadFrame(30000);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_TRUE(FrameIs(*frame, "RESP"));
+  EXPECT_EQ(frame->request_id, 77u);
+  auto decoded = DecodeAnswerReply(frame->payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded->answers.empty());
+}
+
+TEST_F(NetServerTest, OversizedFrameFromClientGetsErrorAndClose) {
+  auto tenants = MakeRegistry();
+  NetHarness harness(*tenants);
+  auto client = harness.NewClient();
+  const char huge[4] = {'\xff', '\xff', '\xff', '\x7f'};
+  ASSERT_TRUE(client->SendBytes(huge, sizeof(huge)).ok());
+  auto frame = client->ReadFrame(2000);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_TRUE(FrameIs(*frame, "ERRR"));
+  auto decoded = DecodeErrorReply(frame->payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(static_cast<StatusCode>(decoded->code),
+            StatusCode::kProtocolError);
+  auto next = client->ReadFrame(2000);
+  EXPECT_EQ(next.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(NetServerTest, GoodbyeClosesCleanly) {
+  auto tenants = MakeRegistry();
+  NetHarness harness(*tenants);
+  auto client = harness.NewClient();
+  ASSERT_TRUE(client->Hello("uni").ok());
+  ASSERT_TRUE(client->SendFrame(MakeFrame("GBYE", 2, std::string())).ok());
+  auto bye = client->ReadFrame(2000);
+  ASSERT_TRUE(bye.ok()) << bye.status().ToString();
+  EXPECT_TRUE(FrameIs(*bye, "GBYE"));
+  auto next = client->ReadFrame(2000);
+  EXPECT_EQ(next.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(harness.server().Stats().protocol_errors, 0u);
+}
+
+TEST_F(NetServerTest, IdleConnectionsAreClosedOnTheInjectedClock) {
+  auto tenants = MakeRegistry();
+  NetServerOptions options;
+  options.idle_timeout_ms = 10'000;
+  NetHarness harness(*tenants, options);
+  auto client = harness.NewClient();
+  ASSERT_TRUE(client->Hello("uni").ok());
+  // Nothing happens while the fake clock stands still.
+  auto quiet = client->ReadFrame(150);
+  EXPECT_EQ(quiet.status().code(), StatusCode::kDeadlineExceeded);
+  // One step past the idle window: the server drops the connection.
+  harness.clock().AdvanceMs(60'000);
+  auto next = client->ReadFrame(5000);
+  EXPECT_EQ(next.status().code(), StatusCode::kUnavailable)
+      << next.status().ToString();
+  EXPECT_EQ(harness.server().Stats().idle_timeouts, 1u);
+}
+
+TEST_F(NetServerTest, ServerRoutesConnectionsToTheirOwnTenants) {
+  auto tenants = MakeRegistry();
+  ASSERT_TRUE(tenants->AddTenant("uni2", engine_).ok());
+  NetHarness harness(*tenants);
+  auto a = harness.NewClient();
+  auto b = harness.NewClient();
+  ASSERT_TRUE(a->Hello("uni").ok());
+  ASSERT_TRUE(b->Hello("uni2").ok());
+  auto ra = a->Ask(1, "Vokram IT", 3, 0);
+  auto rb = b->Ask(1, "Vokram IT", 3, 0);
+  ASSERT_TRUE(ra.ok()) << ra.status().ToString();
+  ASSERT_TRUE(rb.ok()) << rb.status().ToString();
+  ASSERT_EQ(ra->answers.size(), rb->answers.size());
+  for (size_t i = 0; i < ra->answers.size(); ++i) {
+    EXPECT_EQ(ra->answers[i].sql, rb->answers[i].sql);
+  }
+  auto sa = tenants->StatsFor("uni");
+  auto sb = tenants->StatsFor("uni2");
+  ASSERT_TRUE(sa.ok() && sb.ok());
+  EXPECT_GE(sa->submitted, 1u);
+  EXPECT_GE(sb->submitted, 1u);
+}
+
+// ------------------------------------------------------------ real TCP
+
+TEST_F(NetServerTest, EndToEndOverLoopbackTcp) {
+  auto tenants = MakeRegistry();
+  NetServerOptions options;
+  options.listen = true;
+  options.port = 0;  // ephemeral
+  NetServer server(*tenants, options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.port(), 0);
+
+  auto client = NetClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  ASSERT_TRUE((*client)->Hello("uni").ok());
+  auto reply = (*client)->Ask(1, "Vokram IT", 3, 0);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_FALSE(reply->answers.empty());
+  server.Shutdown();
+  EXPECT_GE(server.Stats().accepted, 1u);
+}
+
+}  // namespace
+}  // namespace km::net

@@ -14,6 +14,8 @@
 #include <thread>
 #include <vector>
 
+#include <cstdio>
+
 #include "common/failpoint.h"
 #include "common/query_context.h"
 #include "common/retry.h"
@@ -23,6 +25,8 @@
 #include "serve/admission.h"
 #include "serve/circuit_breaker.h"
 #include "serve/engine_server.h"
+#include "serve/tenant.h"
+#include "snapshot/snapshot.h"
 
 namespace km {
 namespace {
@@ -674,6 +678,266 @@ TEST(ServeBreakerFailpointTest, OpenBreakerStopsExecutorProbing) {
   EXPECT_GT(failpoints::HitCount("executor.join.fail"), 0u);  // visited again
   EXPECT_EQ(breaker.state(), BreakerState::kClosed);
   EXPECT_FALSE(healed->stats.execution_truncated);
+}
+
+// ------------------------------------------------------ tenant registry
+
+class TenantRegistryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto db = BuildUniversityDatabase();
+    ASSERT_TRUE(db.ok());
+    db_ = new Database(std::move(*db));
+    engine_ = std::make_shared<const KeymanticEngine>(*db_);
+  }
+  static void TearDownTestSuite() {
+    engine_.reset();
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static Database* db_;
+  static std::shared_ptr<const KeymanticEngine> engine_;
+};
+
+Database* TenantRegistryTest::db_ = nullptr;
+std::shared_ptr<const KeymanticEngine> TenantRegistryTest::engine_;
+
+TEST_F(TenantRegistryTest, LifecycleAddRemoveShutdown) {
+  TenantRegistry tenants;
+  ASSERT_TRUE(tenants.AddTenant("alpha", engine_).ok());
+  EXPECT_TRUE(tenants.HasTenant("alpha"));
+  EXPECT_EQ(tenants.AddTenant("alpha", engine_).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(tenants.AddTenant("", engine_).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(tenants.AddTenant("evil\nid", engine_).code(),
+            StatusCode::kInvalidArgument);
+
+  ASSERT_TRUE(tenants.AddTenant("beta", engine_).ok());
+  EXPECT_EQ(tenants.TenantIds().size(), 2u);
+
+  auto answered = tenants.Submit("alpha", "Vokram IT", 3).get();
+  ASSERT_TRUE(answered.ok()) << answered.status().ToString();
+  EXPECT_FALSE(answered->explanations.empty());
+
+  auto missing = tenants.Submit("nobody", "Vokram IT", 3).get();
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+
+  ASSERT_TRUE(tenants.RemoveTenant("beta").ok());
+  EXPECT_FALSE(tenants.HasTenant("beta"));
+  EXPECT_EQ(tenants.RemoveTenant("beta").code(), StatusCode::kNotFound);
+
+  tenants.Shutdown();
+  EXPECT_EQ(tenants.AddTenant("late", engine_).code(),
+            StatusCode::kFailedPrecondition);
+  // Shutdown evicts every tenant, so routing fails as "not registered".
+  auto refused = tenants.Submit("alpha", "Vokram IT", 3).get();
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kNotFound);
+}
+
+// The isolation regression the multi-tenant layer exists for: two tenants
+// share a registry; one is saturated far past its quota while the other
+// runs a sequential workload. The quiet tenant's answers must be
+// byte-identical to a single-tenant run — same SQL signatures, same
+// scores, same order — and it must shed nothing, while the abusive
+// tenant's quota visibly sheds.
+TEST_F(TenantRegistryTest, AbusiveTenantCannotPerturbQuietTenantsAnswers) {
+  const std::vector<std::string> workload = {"Vokram IT", "professor Vokram",
+                                             "Vokram IT", "IT department"};
+
+  // One quiet query → its exact answer bytes (signature, score) in order.
+  auto run_quiet = [&](TenantRegistry& tenants) {
+    std::vector<std::pair<std::string, double>> answers;
+    for (const std::string& query : workload) {
+      auto result = tenants.Submit("quiet", query, 5).get();
+      if (!result.ok()) {
+        answers.emplace_back("status:" + result.status().ToString(), 0.0);
+        continue;
+      }
+      for (const Explanation& explanation : result->explanations) {
+        answers.emplace_back(explanation.sql.CanonicalSignature(),
+                             explanation.score);
+      }
+    }
+    return answers;
+  };
+
+  // Baseline: the quiet tenant alone.
+  std::vector<std::pair<std::string, double>> baseline;
+  {
+    TenantRegistry tenants;
+    ASSERT_TRUE(tenants.AddTenant("quiet", engine_).ok());
+    baseline = run_quiet(tenants);
+    tenants.Shutdown();
+  }
+  ASSERT_FALSE(baseline.empty());
+
+  // Mixed: add an abusive tenant with a tiny quota and flood it 10x past
+  // capacity while the quiet workload runs.
+  TenantRegistry tenants;
+  ASSERT_TRUE(tenants.AddTenant("quiet", engine_).ok());
+  TenantOptions abusive;
+  abusive.server.workers = 1;
+  abusive.server.admission.max_queue = 1;
+  ASSERT_TRUE(tenants.AddTenant("abusive", engine_, abusive).ok());
+
+  std::atomic<bool> flooding{true};
+  std::vector<std::future<StatusOr<AnswerResult>>> flood;
+  std::thread abuser([&] {
+    for (int i = 0; i < 48 && flooding.load(); ++i) {
+      flood.push_back(tenants.Submit("abusive", "Vokram IT", 5));
+    }
+  });
+  const auto mixed = run_quiet(tenants);
+  flooding.store(false);
+  abuser.join();
+
+  uint64_t flood_ok = 0, flood_shed = 0;
+  for (auto& f : flood) {
+    auto result = f.get();
+    if (result.ok()) {
+      ++flood_ok;
+    } else {
+      ASSERT_TRUE(IsRetryableStatus(result.status()))
+          << result.status().ToString();
+      ++flood_shed;
+    }
+  }
+
+  EXPECT_EQ(mixed, baseline) << "quiet tenant's answers drifted under "
+                                "another tenant's overload";
+  auto quiet_stats = tenants.StatsFor("quiet");
+  ASSERT_TRUE(quiet_stats.ok());
+  EXPECT_EQ(quiet_stats->shed, 0u);
+  auto abusive_stats = tenants.StatsFor("abusive");
+  ASSERT_TRUE(abusive_stats.ok());
+  EXPECT_GT(abusive_stats->shed, 0u) << "flood never tripped the quota — "
+                                        "the test lost its teeth";
+  EXPECT_EQ(abusive_stats->shed, flood_shed);
+  EXPECT_EQ(abusive_stats->completed, flood_ok);
+  tenants.Shutdown();
+}
+
+// -------------------------------------- reload vs shutdown (TSan + ASan)
+
+class EngineServerReloadShutdownTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = BuildUniversityDatabase();
+    ASSERT_TRUE(db.ok());
+    db_ = std::make_unique<Database>(std::move(*db));
+    engine_ = std::make_shared<const KeymanticEngine>(*db_);
+    path_ = testing::TempDir() + "km_serve_reload.snap";
+    ASSERT_TRUE(SaveSnapshot(*engine_->prepared_state(), path_).ok());
+  }
+  void TearDown() override {
+    std::remove(path_.c_str());
+    failpoints::DisableAll();
+  }
+
+  std::unique_ptr<Database> db_;
+  std::shared_ptr<const KeymanticEngine> engine_;
+  std::string path_;
+};
+
+TEST_F(EngineServerReloadShutdownTest, ReloadAfterShutdownIsRefusedTyped) {
+  EngineServer server(engine_);
+  server.Shutdown();
+  ReloadReport report;
+  Status reloaded = server.ReloadSnapshot(path_, false, &report);
+  ASSERT_FALSE(reloaded.ok());
+  EXPECT_EQ(reloaded.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(report.rung, ReloadRung::kKeptCurrent);
+}
+
+// Submitters, good reloads, forced rebuilds, and a mid-flight Shutdown all
+// racing on one server. Every outcome must be typed; the destructor runs
+// only after the threads are joined, so TSan sees the full interleaving of
+// Shutdown against reloads still holding the engine. Run under TSan by the
+// concurrency CI job (suite name matches its filter).
+TEST_F(EngineServerReloadShutdownTest, ConcurrentSubmitReloadShutdownIsRaceFree) {
+  for (int round = 0; round < 3; ++round) {
+    EngineServerOptions options;
+    options.workers = 2;
+    auto server = std::make_unique<EngineServer>(engine_, options);
+
+    std::vector<std::thread> threads;
+    threads.emplace_back([&] {
+      for (int i = 0; i < 8; ++i) {
+        auto result = server->Submit("Vokram IT", 3).get();
+        if (!result.ok()) {
+          // Shedding / shutdown refusals are the only acceptable failures.
+          EXPECT_TRUE(IsRetryableStatus(result.status()))
+              << result.status().ToString();
+        }
+      }
+    });
+    threads.emplace_back([&] {
+      for (int i = 0; i < 4; ++i) {
+        ReloadReport report;
+        Status reloaded = server->ReloadSnapshot(path_, false, &report);
+        // OK (swapped) or refused because shutdown won the race.
+        if (!reloaded.ok()) {
+          EXPECT_EQ(reloaded.code(), StatusCode::kUnavailable)
+              << reloaded.ToString();
+        }
+      }
+    });
+    threads.emplace_back([&] {
+      // Missing snapshot + require_swap drives the rebuild rung while the
+      // shutdown races it.
+      ReloadReport report;
+      Status reloaded = server->ReloadSnapshot(
+          testing::TempDir() + "km_no_such.snap", true, &report);
+      EXPECT_FALSE(reloaded.ok());
+    });
+    threads.emplace_back([&, round] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2 * round));
+      server->Shutdown();
+    });
+    for (std::thread& t : threads) t.join();
+    server->Shutdown();  // idempotent after the race
+    server.reset();
+  }
+}
+
+// Deterministic pin of the PR-fix scenario: a reload is held mid-validate
+// by a failpoint while the server is destroyed. The destructor's Shutdown
+// must wait for the in-flight reload (pre-fix this was a use-after-free —
+// ASan catches any regression), and the pinned reload must observe the
+// shutdown and drop its swap instead of publishing into a dead server.
+TEST_F(EngineServerReloadShutdownTest, DestructionWaitsForPinnedReload) {
+  SKIP_WITHOUT_FAILPOINTS();
+  failpoints::Reset();
+
+  auto server = std::make_unique<EngineServer>(engine_);
+  std::atomic<bool> reload_entered{false};
+  failpoints::EnableCallback("snapshot.swap.validate_fail", [&](void*) {
+    reload_entered.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  });
+
+  Status reloaded = Status::OK();
+  ReloadReport report;
+  std::thread reloader([&] {
+    reloaded = server->ReloadSnapshot(path_, false, &report);
+  });
+  // Wait until the reload is provably inside validation, then destroy the
+  // server out from under it.
+  for (int i = 0; i < 5000 && !reload_entered.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(reload_entered.load());
+  server.reset();  // must block until the reload releases its pin
+  reloader.join();
+
+  ASSERT_FALSE(reloaded.ok());
+  EXPECT_EQ(reloaded.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(report.rung, ReloadRung::kKeptCurrent);
+  failpoints::Reset();
 }
 
 }  // namespace

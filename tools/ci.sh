@@ -2,14 +2,17 @@
 # Runs the CI jobs locally (mirrors .github/workflows/ci.yml):
 #
 #   1. release    — Release build (warnings-as-errors) + full ctest suite
-#   2. sanitize   — ASan+UBSan build + full ctest suite
-#   3. tsan       — TSan build + the concurrency/pool/cache suites
-#   4. failpoints — ASan build with KM_FAILPOINTS=ON + resilience and
-#                   snapshot suites (incl. a bounded corruption-fuzz smoke)
+#   2. sanitize   — ASan+UBSan build + full ctest suite (includes the
+#                   net protocol fuzz at full 500-iteration depth)
+#   3. tsan       — TSan build + the concurrency/pool/cache/net suites
+#   4. failpoints — ASan build with KM_FAILPOINTS=ON + resilience, snapshot
+#                   and net/tenant suites (incl. bounded corruption- and
+#                   protocol-fuzz smokes)
 #   5. bench      — Release bench smoke: e5 forward-kernel comparison,
 #                   e6 candidate distribution, e11 throughput, e12
-#                   overload and e13 coldstart emit the BENCH JSON
-#                   baseline (bench-baseline.json artifact in CI)
+#                   overload, e13 coldstart and e14 multi-tenant fairness
+#                   emit the BENCH JSON baseline (bench-baseline.json
+#                   artifact in CI)
 #   6. soak       — ASan + KM_FAILPOINTS=ON run of the e12 overload smoke:
 #                   admission control sheds under 2x saturation and the
 #                   executor circuit breaker trips, fails fast, and
@@ -67,18 +70,21 @@ run_tsan() {
   # (admission queue, AIMD limiter, EngineServer, breaker, retry budget)
   # hammer the new overload-protection layer from raw threads. The
   # SnapshotReload suite races ReloadSnapshot's RCU engine swap against
-  # concurrent Submit traffic.
+  # concurrent Submit traffic; EngineServer now also covers the
+  # reload-vs-shutdown race. NetProtocol/NetServer run the poll-loop front
+  # end and its client under raw threads; Tenant covers the registry's
+  # cross-tenant isolation from concurrent submitters.
   ctest --preset tsan -j "$(nproc)" \
-    -R "ThreadPool|LruCache|Concurrency|EngineConcurrency|Murty|Core|TraceGolden|Admission|Aimd|EngineServer|Retry|CircuitBreaker|Mutex|CondVar|SnapshotReload|KernelEquivalence|RandomVocabulary"
+    -R "ThreadPool|LruCache|Concurrency|EngineConcurrency|Murty|Core|TraceGolden|Admission|Aimd|EngineServer|Retry|CircuitBreaker|Mutex|CondVar|SnapshotReload|KernelEquivalence|RandomVocabulary|NetProtocol|NetServer|Tenant"
 }
 
 run_bench() {
-  echo "=== CI job: bench (e5 kernel + e6 candidates + e11 throughput + e12 overload + e13 coldstart smoke + BENCH baseline) ==="
+  echo "=== CI job: bench (e5 kernel + e6 candidates + e11 throughput + e12 overload + e13 coldstart + e14 multitenant smoke + BENCH baseline) ==="
   cmake --preset release
   cmake --build --preset release -j "$(nproc)" \
     --target bench_e5_forward_time --target bench_e6_scaling \
     --target bench_e11_throughput --target bench_e12_overload \
-    --target bench_e13_coldstart
+    --target bench_e13_coldstart --target bench_e14_multitenant
   # e5 --smoke also cross-checks the pruned kernel against the scalar
   # baseline cell-by-cell and fails on any mismatch.
   build/release/bench/bench_e5_forward_time --smoke | tee /tmp/e5_smoke.out
@@ -86,9 +92,12 @@ run_bench() {
   build/release/bench/bench_e11_throughput --smoke | tee /tmp/e11_smoke.out
   build/release/bench/bench_e12_overload --smoke | tee /tmp/e12_smoke.out
   build/release/bench/bench_e13_coldstart --smoke | tee /tmp/e13_smoke.out
+  # e14 drives mixed multi-tenant traffic over real loopback sockets and
+  # fails loudly if the abusive tenant perturbs its neighbors.
+  build/release/bench/bench_e14_multitenant --smoke | tee /tmp/e14_smoke.out
   # The machine-readable baseline: one JSON object per line.
   grep -h '^BENCH ' /tmp/e5_smoke.out /tmp/e6_smoke.out /tmp/e11_smoke.out \
-    /tmp/e12_smoke.out /tmp/e13_smoke.out \
+    /tmp/e12_smoke.out /tmp/e13_smoke.out /tmp/e14_smoke.out \
     | sed 's/^BENCH //' > bench-baseline.json
   echo "wrote $(wc -l < bench-baseline.json) baseline rows to bench-baseline.json"
 }
@@ -103,10 +112,14 @@ run_failpoints() {
   # The Snapshot suites need failpoints for the crash-before-rename /
   # short-read / bit-flip / validate-fail injection paths, and the
   # corruption fuzz runs a bounded smoke here (full depth locally via
-  # KM_SNAPSHOT_FUZZ_ITERS).
+  # KM_SNAPSHOT_FUZZ_ITERS). EngineServer includes the pinned
+  # reload-vs-destruction race (needs the validate-gate site); Net/Tenant
+  # run the wire-protocol fuzz (bounded via KM_NET_FUZZ_ITERS) and the
+  # tenant-isolation regression under ASan.
   KM_SNAPSHOT_FUZZ_ITERS="${KM_SNAPSHOT_FUZZ_ITERS:-120}" \
+  KM_NET_FUZZ_ITERS="${KM_NET_FUZZ_ITERS:-120}" \
     ctest --preset failpoints -j "$(nproc)" \
-      -R "Resilience|Murty|Core|ServeBreaker|Snapshot"
+      -R "Resilience|Murty|Core|ServeBreaker|Snapshot|EngineServer|Net|Tenant"
 }
 
 run_soak() {

@@ -24,6 +24,11 @@ Checks, lexically (no compiler needed, works on any toolchain):
       (snapshot/snapshot_format.h) and are exactly 4 chars of [A-Z0-9] —
       the on-disk format is append-only and the catalog is its single
       registration point.
+  R7  Wire-protocol frame type tags passed to MakeFrame/FrameIs are
+      registered in the kFrameTypeTags catalog (net/protocol.h) and are
+      exactly 4 chars of [A-Z0-9] — the frame format is versioned and the
+      catalog is its single registration point (the decoder rejects
+      uncataloged tags at runtime; this catches them at review time).
 
 Usage:
   tools/km_lint.py [--root DIR] [--report FILE]
@@ -415,6 +420,56 @@ def check_section_tags(root, findings):
                 "characters of [A-Z0-9]"))
 
 
+# ----------------------------------------------------------------- rule R7
+
+FRAME_TAG_RE = re.compile(r"^[A-Z0-9]{4}$")
+# MakeFrame("TAG", ...) and FrameIs(frame_expr, "TAG"); the frame argument
+# of FrameIs never contains a comma at this nesting level in practice.
+FRAME_CALL_RE = re.compile(
+    r"\bMakeFrame\s*\(\s*\"([^\"]*)\"|\bFrameIs\s*\([^,()]*,\s*\"([^\"]*)\"")
+
+
+def parse_frame_tag_catalog(root):
+    path = os.path.join(root, "src", "net", "protocol.h")
+    if not os.path.isfile(path):
+        return None
+    code = strip_comments(open(path).read(), keep_strings=True)
+    m = re.search(r"kFrameTypeTags\[\]\s*=\s*\{(.*?)\};", code, re.S)
+    if not m:
+        return None
+    return set(re.findall(r"\"([^\"]*)\"", m.group(1)))
+
+
+def check_frame_tags(root, findings):
+    catalog = parse_frame_tag_catalog(root)
+    if catalog is None:
+        # No network subsystem in this tree — nothing to check.
+        return
+    for path in iter_files(root, ["src", "bench", "examples", "tests"]):
+        rel = relpath(root, path)
+        code = strip_comments(open(path).read(), keep_strings=True)
+        for m in FRAME_CALL_RE.finditer(code):
+            tag = m.group(1) if m.group(1) is not None else m.group(2)
+            line = line_of(code, m.start())
+            if not FRAME_TAG_RE.match(tag):
+                findings.append(Finding(
+                    rel, line, "R7",
+                    f"frame type tag '{tag}' must be exactly 4 characters "
+                    "of [A-Z0-9]"))
+            elif tag not in catalog:
+                findings.append(Finding(
+                    rel, line, "R7",
+                    f"frame type tag '{tag}' is not registered in "
+                    "kFrameTypeTags (net/protocol.h) — the protocol catalog "
+                    "is the single registration point for wire frame types"))
+    for tag in sorted(catalog):
+        if not FRAME_TAG_RE.match(tag):
+            findings.append(Finding(
+                os.path.join("src", "net", "protocol.h"), 1, "R7",
+                f"cataloged frame tag '{tag}' must be exactly 4 characters "
+                "of [A-Z0-9]"))
+
+
 # ------------------------------------------------------------------- main
 
 def main(argv):
@@ -435,6 +490,7 @@ def main(argv):
     check_failpoint_names(root, findings)
     check_metric_names(root, findings)
     check_section_tags(root, findings)
+    check_frame_tags(root, findings)
 
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     lines = [str(f) for f in findings]

@@ -21,6 +21,13 @@
 //   2. mixed — same quiet traffic, plus the abusive tenant offering 10x
 //      the quiet rate against a deliberately small admission quota.
 //
+//   3. drain — a fresh server under live closed-loop load plus one
+//      stalled client that bursts queries and never reads (its outbox
+//      wedges against the write-buffer cap). Drain(deadline) must finish
+//      the compliant clients' in-flight work — zero lost responses —
+//      while the write-stall timer evicts the wedged connection, all
+//      inside the deadline.
+//
 // Fairness acceptance (CHECK lines; non-zero exit on violation):
 //   * each quiet tenant's mixed p99 stays within 2x of its baseline p99
 //     (plus a small additive floor so sub-ms baselines don't turn
@@ -34,6 +41,10 @@
 // tenants the mixed/baseline isolation ratio.
 //
 // Flags: --smoke (CI-sized), --deadline_ms (accepted for uniformity).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 
 #include <algorithm>
 #include <atomic>
@@ -420,6 +431,127 @@ void RunFairness() {
   tenants.Shutdown();
 }
 
+// ------------------------------------------------ the drain-under-load run
+
+/// Phase 3: graceful drain with live traffic and one wedged connection.
+void RunDrainUnderLoad() {
+  std::printf("\n-- drain (graceful drain under live load + stalled client) --\n");
+  EvalDb eval = MakeUniversity();
+  std::vector<std::string> texts = QueryTexts(eval, 1);
+
+  TenantRegistry tenants;
+  {
+    TenantOptions options;
+    options.server.workers = 2;
+    Status added = tenants.AddTenant(
+        "alpha", std::make_shared<const KeymanticEngine>(*eval.db), options);
+    if (!added.ok()) std::abort();
+  }
+
+  // Small write buffer + small kernel buffer so the stalled client wedges
+  // on a few dozen replies; the stall timer evicts it during the drain.
+  net::NetServerOptions net_options;
+  net_options.port = 0;
+  net_options.max_write_buffer_bytes = 4096;
+  net_options.so_sndbuf = 4096;
+  net_options.write_stall_timeout_ms = 500;
+  net::NetServer server(tenants, net_options);
+  if (!server.Start().ok()) std::abort();
+  const uint16_t port = server.port();
+
+  // Compliant closed-loop clients: Ask until the drain ends the stream. A
+  // client-side Ask timeout is a *lost* in-flight response — the failure
+  // the drain exists to prevent.
+  std::atomic<uint64_t> completed{0}, rejected{0}, lost{0};
+  const size_t kClients = 3;
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = net::NetClient::Connect("127.0.0.1", port);
+      if (!client.ok() || !(*client)->Hello("alpha").ok()) return;
+      for (uint64_t id = 1;; ++id) {
+        auto reply = (*client)->Ask(id, texts[(c + id) % texts.size()], 5,
+                                    DeadlineMs(), /*timeout_ms=*/10'000.0);
+        if (reply.ok()) {
+          ++completed;
+          continue;
+        }
+        if (reply.status().code() == StatusCode::kDeadlineExceeded) ++lost;
+        else ++rejected;  // typed RTRY or the GBYE-bounded disconnect
+        return;
+      }
+    });
+  }
+
+  // The stalled client: burst queries, never read a byte. The socket is
+  // hand-dialed with a tiny SO_RCVBUF (set *before* connect, so the TCP
+  // window is actually small) — otherwise loopback's autotuned ~128 KiB
+  // receive queue would swallow every reply and nothing would wedge.
+  int staller_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (staller_fd < 0) std::abort();
+  int rcvbuf = 2048;
+  setsockopt(staller_fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in staller_addr{};
+  staller_addr.sin_family = AF_INET;
+  staller_addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &staller_addr.sin_addr);
+  if (::connect(staller_fd, reinterpret_cast<sockaddr*>(&staller_addr),
+                sizeof(staller_addr)) != 0) {
+    std::abort();
+  }
+  net::NetClient staller(staller_fd);
+  if (!staller.Hello("alpha").ok()) std::abort();
+  for (uint64_t id = 1; id <= 80; ++id) {
+    if (!staller.SendQuery(id, texts[id % texts.size()], 5, DeadlineMs())
+             .ok()) {
+      break;
+    }
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  const double kDrainDeadlineMs = 5000;
+  net::DrainReport report;
+  Status drained = server.Drain(kDrainDeadlineMs, &report);
+  const bool tenants_drained =
+      tenants.DrainFor(std::max(0.0, kDrainDeadlineMs - report.elapsed_ms));
+  for (auto& t : clients) t.join();
+  staller.Close();
+  server.Shutdown();
+  tenants.Shutdown();
+
+  const net::NetServerStats stats = server.Stats();
+  std::printf(
+      "drain: elapsed=%.1fms deadline=%.0fms completed=%d evicted_slow=%llu "
+      "drain_rtry=%llu | clients: completed=%llu rejected=%llu lost=%llu\n",
+      report.elapsed_ms, kDrainDeadlineMs, report.completed ? 1 : 0,
+      static_cast<unsigned long long>(stats.evicted_slow),
+      static_cast<unsigned long long>(stats.drain_rtry),
+      static_cast<unsigned long long>(completed.load()),
+      static_cast<unsigned long long>(rejected.load()),
+      static_cast<unsigned long long>(lost.load()));
+  BenchLine("drain", "alpha",
+            "\"drain_ms\":" + StrFormat("%.1f", report.elapsed_ms) +
+                ",\"deadline_ms\":" + StrFormat("%.0f", kDrainDeadlineMs) +
+                ",\"completed\":" + std::to_string(report.completed ? 1 : 0) +
+                ",\"evicted_slow\":" + std::to_string(stats.evicted_slow) +
+                ",\"drain_rtry\":" + std::to_string(stats.drain_rtry) +
+                ",\"client_completed\":" + std::to_string(completed.load()) +
+                ",\"client_lost\":" + std::to_string(lost.load()));
+  Check(drained.ok() && report.completed &&
+            report.elapsed_ms <= kDrainDeadlineMs,
+        "drain completes inside the deadline (" +
+            StrFormat("%.1f", report.elapsed_ms) + "ms of " +
+            StrFormat("%.0f", kDrainDeadlineMs) + "ms)");
+  Check(tenants_drained, "tenant-side work drains inside the same deadline");
+  Check(stats.evicted_slow >= 1,
+        "the stalled full-buffer client is evicted by the write-stall timer");
+  Check(lost.load() == 0,
+        "no compliant client loses an in-flight response during the drain");
+  Check(completed.load() > 0, "the drain raced live traffic, not an idle box");
+  Check(stats.queries == stats.replies + stats.queries_dropped,
+        "terminal-frame accounting reconciles (queries = replies + dropped)");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -428,6 +560,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--smoke") == 0) g_smoke = true;
   }
   RunFairness();
+  RunDrainUnderLoad();
   if (g_failed_checks > 0) {
     std::printf("\n%d CHECK(s) VIOLATED\n", g_failed_checks);
     return 1;

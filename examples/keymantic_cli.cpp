@@ -7,6 +7,7 @@
 //                                  [--max_inflight=N]
 //                                  [--save_snapshot=FILE] [--load_snapshot=FILE]
 //                                  [--serve=PORT] [--tenant=ID=SNAPSHOT]...
+//                                  [--drain_timeout_ms=N]
 //                                  ["one-shot query"]
 //
 // Snapshot flags (src/snapshot/): --save_snapshot serializes the prepared
@@ -32,9 +33,14 @@
 // the --db database (all tenants share that database instance; each gets
 // its own EngineServer quota and cache partition). With no --tenant flag
 // the --db engine itself serves as the single tenant, named after the
-// database. The server runs until stdin reaches EOF (Ctrl-D) and then
-// drains every tenant. Clients speak the length-prefixed frame protocol
-// of src/net/protocol.h.
+// database. The server runs until stdin reaches EOF (Ctrl-D) or a
+// SIGTERM/SIGINT arrives (delivered through a self-pipe, so the shutdown
+// path is ordinary poll code, not signal-handler code), then drains
+// gracefully: the front end stops accepting, answers parked queries with
+// RTRY, flushes every outbox and says GBYE; the tenants finish admitted
+// work — all within --drain_timeout_ms (default 5000), after which
+// stragglers are evicted. Clients speak the length-prefixed frame
+// protocol of src/net/protocol.h.
 //
 // With a positional argument the shell answers that one query and exits —
 // the scriptable form. --explain prints the EXPLAIN answer after each
@@ -59,7 +65,12 @@
 // engine switches to the DST combination of the metadata ranker and the
 // trained HMM, exactly as the paper family describes.
 
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -103,6 +114,16 @@ StatusOr<Database> BuildByName(const std::string& name) {
                                  "' (use university|mondial|dblp|imdb)");
 }
 
+// Self-pipe for SIGTERM/SIGINT: the handler does the one async-signal-safe
+// thing (write a byte); the serve loop sees the pipe readable and runs the
+// ordinary drain path.
+int g_signal_pipe[2] = {-1, -1};
+
+void OnTerminateSignal(int) {
+  const char byte = 1;
+  (void)!write(g_signal_pipe[1], &byte, 1);
+}
+
 void PrintSchema(const Database& db) {
   for (const RelationSchema& r : db.schema().relations()) {
     std::printf("  %s(", r.name().c_str());
@@ -130,6 +151,7 @@ int main(int argc, char** argv) {
   std::string save_snapshot_path;
   std::string load_snapshot_path;
   int serve_port = -1;  // >= 0 turns on the network front end
+  double drain_timeout_ms = 5000;
   std::vector<std::pair<std::string, std::string>> tenant_specs;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -158,6 +180,8 @@ int main(int argc, char** argv) {
     else if (arg == "--explain") explain = true;
     else if (arg.rfind("--trace-json=", 0) == 0) trace_json_path = arg.substr(13);
     else if (arg.rfind("--k=", 0) == 0) k = std::stoul(arg.substr(4));
+    else if (arg.rfind("--drain_timeout_ms=", 0) == 0)
+      drain_timeout_ms = std::stod(arg.substr(19));
     else if (arg.rfind("--timeout_ms=", 0) == 0) timeout_ms = std::stod(arg.substr(13));
     else if (arg.rfind("--retries=", 0) == 0) retries = std::stoi(arg.substr(10));
     else if (arg.rfind("--max_inflight=", 0) == 0)
@@ -315,18 +339,69 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "serve failed: %s\n", started.ToString().c_str());
       return 1;
     }
-    std::printf("serving %zu tenant(s) on 127.0.0.1:%u — Ctrl-D to stop\n",
-                tenants.TenantIds().size(), net_server.port());
+    std::printf(
+        "serving %zu tenant(s) on 127.0.0.1:%u — Ctrl-D or SIGTERM to drain\n",
+        tenants.TenantIds().size(), net_server.port());
     std::fflush(stdout);
-    std::string sink;
-    while (std::getline(std::cin, sink)) {
+
+    // Block on stdin + the signal self-pipe; either one ends serving and
+    // starts the graceful drain.
+    if (pipe(g_signal_pipe) != 0) {
+      std::fprintf(stderr, "signal pipe failed: %s\n", std::strerror(errno));
+      return 1;
     }
+    std::signal(SIGTERM, OnTerminateSignal);
+    std::signal(SIGINT, OnTerminateSignal);
+    const char* stop_reason = nullptr;
+    while (stop_reason == nullptr) {
+      struct pollfd fds[2] = {{STDIN_FILENO, POLLIN, 0},
+                              {g_signal_pipe[0], POLLIN, 0}};
+      if (poll(fds, 2, -1) < 0) {
+        if (errno == EINTR) continue;  // the pipe byte is already in flight
+        stop_reason = "poll error";
+        break;
+      }
+      if (fds[1].revents != 0) {
+        stop_reason = "signal";
+      } else if (fds[0].revents != 0) {
+        char buf[4096];
+        const ssize_t n = read(STDIN_FILENO, buf, sizeof buf);
+        if (n <= 0) stop_reason = "stdin closed";  // otherwise: input ignored
+      }
+    }
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGINT, SIG_DFL);
+    close(g_signal_pipe[0]);
+    close(g_signal_pipe[1]);
+
+    // Graceful drain, one shared deadline: first the front end (stop
+    // accepting, RTRY parked queries, flush, GBYE), then the tenants'
+    // admitted work; Shutdown() mops up whatever missed the window.
+    std::printf("%s — draining (deadline %.0f ms)\n", stop_reason,
+                drain_timeout_ms);
+    std::fflush(stdout);
+    const auto drain_t0 = std::chrono::steady_clock::now();
+    net::DrainReport drain_report;
+    Status drained = net_server.Drain(drain_timeout_ms, &drain_report);
+    if (!drained.ok()) {
+      std::fprintf(stderr, "drain: %s\n", drained.ToString().c_str());
+    }
+    const double front_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - drain_t0)
+                                .count();
+    const bool tenants_drained =
+        tenants.DrainFor(std::max(0.0, drain_timeout_ms - front_ms));
     net_server.Shutdown();
     tenants.Shutdown();
     net::NetServerStats net_stats = net_server.Stats();
-    std::printf("served %llu queries over %llu connections\n",
-                static_cast<unsigned long long>(net_stats.queries),
-                static_cast<unsigned long long>(net_stats.accepted));
+    std::printf(
+        "drained in %.1f ms (%s, %llu connection(s) evicted); served %llu "
+        "queries over %llu connections\n",
+        drain_report.elapsed_ms,
+        drain_report.completed && tenants_drained ? "clean" : "deadline hit",
+        static_cast<unsigned long long>(drain_report.evicted),
+        static_cast<unsigned long long>(net_stats.queries),
+        static_cast<unsigned long long>(net_stats.accepted));
     return 0;
   }
 

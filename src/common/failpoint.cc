@@ -24,6 +24,9 @@ const char* const kFailpointSites[] = {
     "snapshot.load.short_read",      // torn write / partial read of snapshot
     "snapshot.load.bit_flip",        // payload corruption → CRC mismatch
     "snapshot.swap.validate_fail",   // hot-swap validation gate failure
+    "net.server.accept_fail",        // accept(2) failure at the front end
+    "net.server.short_write",        // partial write(2) on a connection
+    "net.server.write_error",        // fatal write(2) error on a connection
 };
 const size_t kNumFailpointSites =
     sizeof(kFailpointSites) / sizeof(kFailpointSites[0]);

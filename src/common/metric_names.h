@@ -110,6 +110,19 @@ inline constexpr const char* kMetricNames[] = {
     "km.net.rejected.capacity",
     "km.net.rejected.unknown_tenant",
     "km.net.idle_timeouts",
+    "km.net.hello_timeouts",
+    "km.net.evicted_slow",
+    "km.net.accept_failures",
+    "km.net.write_errors",
+    "km.net.replies",
+    "km.net.queries_dropped",
+    "km.net.outbox.high_water",
+    "km.net.drains",
+    "km.net.drain.rtry",
+
+    // Network client (net/client.cc).
+    "km.net.client.reconnects",
+    "km.net.client.duplicates_dropped",
 
     // Tenant registry (serve/tenant.cc).
     "km.tenants.count",

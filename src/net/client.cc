@@ -6,23 +6,41 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstring>
+#include <thread>
 
+#include "common/metrics.h"
 #include "common/strings.h"
 
 namespace km::net {
 
 namespace {
 
+constexpr size_t kCompletedIdWindow = 256;
+
+/// Connection-level errno values come back as kUnavailable — the retryable
+/// "the peer/medium failed" class — everything else stays kInternal.
 Status ErrnoStatus(const char* what) {
-  return Status::Internal(StrFormat("%s: %s", what, std::strerror(errno)));
+  const int err = errno;
+  const std::string message = StrFormat("%s: %s", what, std::strerror(err));
+  switch (err) {
+    case ECONNRESET:
+    case ECONNABORTED:
+    case ECONNREFUSED:
+    case EPIPE:
+    case ENOTCONN:
+    case ETIMEDOUT:
+      return Status::Unavailable(message);
+    default:
+      return Status::Internal(message);
+  }
 }
 
-}  // namespace
-
-StatusOr<std::unique_ptr<NetClient>> NetClient::Connect(
-    const std::string& host, uint16_t port) {
+StatusOr<int> DialIPv4(const std::string& host, uint16_t port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -36,7 +54,19 @@ StatusOr<std::unique_ptr<NetClient>> NetClient::Connect(
     ::close(fd);
     return failed;
   }
-  return std::make_unique<NetClient>(fd);
+  return fd;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<NetClient>> NetClient::Connect(
+    const std::string& host, uint16_t port) {
+  KM_ASSIGN_OR_RETURN(const int fd, DialIPv4(host, port));
+  auto client = std::make_unique<NetClient>(fd);
+  client->reconnectable_ = true;
+  client->host_ = host;
+  client->port_ = port;
+  return client;
 }
 
 NetClient::NetClient(int fd) : fd_(fd) {}
@@ -50,12 +80,34 @@ void NetClient::Close() {
   }
 }
 
+Status NetClient::Reconnect(double timeout_ms) {
+  if (!reconnectable_) {
+    return Status::FailedPrecondition(
+        "adopted-fd client has no endpoint to reconnect to");
+  }
+  Close();
+  KM_ASSIGN_OR_RETURN(const int fd, DialIPv4(host_, port_));
+  fd_ = fd;
+  decoder_ = FrameDecoder();  // the old stream's framing state is gone
+  ++reconnects_;
+  MetricsRegistry::Default()
+      .CounterRef("km.net.client.reconnects")
+      .Increment();
+  if (!tenant_.empty()) {
+    const std::string tenant = tenant_;
+    KM_RETURN_IF_ERROR(Hello(tenant, timeout_ms));
+  }
+  return Status::OK();
+}
+
 Status NetClient::SendBytes(const void* data, size_t size) {
   if (fd_ < 0) return Status::FailedPrecondition("client is closed");
   const char* p = static_cast<const char*>(data);
   size_t sent = 0;
   while (sent < size) {
-    const ssize_t n = write(fd_, p + sent, size - sent);
+    // MSG_NOSIGNAL: a server that hung up mid-send must surface as EPIPE
+    // (mapped to kUnavailable), not kill the process with SIGPIPE.
+    const ssize_t n = ::send(fd_, p + sent, size - sent, MSG_NOSIGNAL);
     if (n > 0) {
       sent += static_cast<size_t>(n);
       continue;
@@ -83,20 +135,43 @@ Status NetClient::SendQuery(uint64_t request_id, const std::string& text,
 
 StatusOr<Frame> NetClient::ReadFrame(double timeout_ms) {
   if (fd_ < 0) return Status::FailedPrecondition("client is closed");
+  // `timeout_ms` bounds the whole call: partial reads do not reset it.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(std::max(0.0, timeout_ms)));
   while (true) {
     // A frame may already be buffered from an earlier read.
     Frame frame;
     KM_ASSIGN_OR_RETURN(bool got, decoder_.Next(&frame));
     if (got) return frame;
 
+    int poll_ms = 0;
+    if (timeout_ms > 0) {
+      const double remaining_ms =
+          std::chrono::duration<double, std::milli>(
+              deadline - std::chrono::steady_clock::now())
+              .count();
+      if (remaining_ms <= 0) {
+        return Status::DeadlineExceeded("timed out waiting for a frame");
+      }
+      // Round *up*: a sub-millisecond timeout must still block for poll's
+      // 1 ms granularity — truncation would busy-poll at 100% CPU.
+      poll_ms = static_cast<int>(
+          std::ceil(std::min(remaining_ms, 2.0e9)));
+      poll_ms = std::max(poll_ms, 1);
+    }
     pollfd pfd{fd_, POLLIN, 0};
-    const int ready = poll(&pfd, 1, static_cast<int>(timeout_ms));
+    const int ready = poll(&pfd, 1, poll_ms);
     if (ready < 0) {
       if (errno == EINTR) continue;
       return ErrnoStatus("poll");
     }
     if (ready == 0) {
-      return Status::DeadlineExceeded("timed out waiting for a frame");
+      if (timeout_ms <= 0) {
+        return Status::DeadlineExceeded("timed out waiting for a frame");
+      }
+      continue;  // the deadline check at the top of the loop decides
     }
     char buf[4096];
     const ssize_t n = read(fd_, buf, sizeof(buf));
@@ -115,12 +190,24 @@ StatusOr<Frame> NetClient::ReadFrame(double timeout_ms) {
 Status NetClient::Hello(const std::string& tenant, double timeout_ms) {
   KM_RETURN_IF_ERROR(SendFrame(MakeFrame("HELO", 0, EncodeHello(tenant))));
   KM_ASSIGN_OR_RETURN(Frame reply, ReadFrame(timeout_ms));
-  if (FrameIs(reply, "HELO")) return Status::OK();
+  if (FrameIs(reply, "HELO")) {
+    tenant_ = tenant;
+    return Status::OK();
+  }
   if (FrameIs(reply, "ERRR") || FrameIs(reply, "RTRY")) {
     KM_ASSIGN_OR_RETURN(ErrorReply error, DecodeErrorReply(reply.payload));
     return StatusFromErrorReply(error);
   }
   return Status::ProtocolError("unexpected reply to HELO: " + reply.type);
+}
+
+void NetClient::RecordCompleted(uint64_t request_id) {
+  if (!completed_set_.insert(request_id).second) return;
+  completed_order_.push_back(request_id);
+  while (completed_order_.size() > kCompletedIdWindow) {
+    completed_set_.erase(completed_order_.front());
+    completed_order_.pop_front();
+  }
 }
 
 StatusOr<AnswerReply> NetClient::Ask(uint64_t request_id,
@@ -129,14 +216,80 @@ StatusOr<AnswerReply> NetClient::Ask(uint64_t request_id,
   KM_RETURN_IF_ERROR(SendQuery(request_id, text, k, deadline_ms));
   while (true) {
     KM_ASSIGN_OR_RETURN(Frame reply, ReadFrame(timeout_ms));
-    if (reply.request_id != request_id) continue;  // stale earlier reply
-    if (FrameIs(reply, "RESP")) return DecodeAnswerReply(reply.payload);
+    if (reply.request_id != request_id) {
+      // A stale reply for an id we already answered is the fingerprint of
+      // a retry racing its original — count the dedupe.
+      if (AlreadyCompleted(reply.request_id) &&
+          (FrameIs(reply, "RESP") || FrameIs(reply, "ERRR") ||
+           FrameIs(reply, "RTRY"))) {
+        ++duplicates_dropped_;
+        MetricsRegistry::Default()
+            .CounterRef("km.net.client.duplicates_dropped")
+            .Increment();
+      }
+      continue;
+    }
+    if (FrameIs(reply, "RESP")) {
+      RecordCompleted(request_id);
+      return DecodeAnswerReply(reply.payload);
+    }
     if (FrameIs(reply, "ERRR") || FrameIs(reply, "RTRY")) {
+      RecordCompleted(request_id);
       KM_ASSIGN_OR_RETURN(ErrorReply error, DecodeErrorReply(reply.payload));
       return StatusFromErrorReply(error);
     }
+    if (FrameIs(reply, "GBYE")) {
+      // The server is draining us out from under the request.
+      return Status::Unavailable("server said goodbye mid-request");
+    }
     return Status::ProtocolError("unexpected reply to QURY: " + reply.type);
   }
+}
+
+StatusOr<AnswerReply> NetClient::AskWithRetry(RetryPolicy& policy,
+                                              uint64_t request_id,
+                                              const std::string& text,
+                                              uint32_t k, double deadline_ms,
+                                              double timeout_ms) {
+  policy.OnRequest();
+  RetrySchedule schedule = policy.MakeSchedule(request_id);
+  int attempts = 0;
+  while (true) {
+    ++attempts;
+    if (fd_ < 0) {
+      const Status redial = Reconnect(timeout_ms);
+      if (!redial.ok()) {
+        if (!IsRetryableStatus(redial) ||
+            !policy.ShouldRetry(redial, attempts)) {
+          return redial;
+        }
+        Backoff(schedule, redial);
+        continue;
+      }
+    }
+    StatusOr<AnswerReply> got = Ask(request_id, text, k, deadline_ms,
+                                    timeout_ms);
+    if (got.ok()) return got;
+    const Status& status = got.status();
+    if (!IsRetryableStatus(status) || !policy.ShouldRetry(status, attempts)) {
+      return status;
+    }
+    Backoff(schedule, status);
+    // A server-side RTRY always carries a retry-after hint and leaves the
+    // stream healthy; a hint-less kUnavailable is the connection itself
+    // failing (EOF, reset, GBYE) — drop it so the next attempt redials.
+    if (SuggestedRetryAfterMs(status) <= 0) Close();
+  }
+}
+
+void NetClient::Backoff(RetrySchedule& schedule, const Status& status) {
+  const double delay_ms = schedule.NextBackoffMs(SuggestedRetryAfterMs(status));
+  if (sleep_fn_) {
+    sleep_fn_(delay_ms);
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+      delay_ms));
 }
 
 }  // namespace km::net

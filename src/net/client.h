@@ -8,25 +8,42 @@
 // ReadFrame() — the two paths never touch the same state (the decoder
 // belongs to the reader; writes go straight to the fd). One sender and one
 // reader at a time; neither path is internally locked.
+//
+// AskWithRetry is the resilient closed-loop path: it wires the retry
+// governance from common/retry.h (attempt caps, process-wide retry budget,
+// decorrelated-jitter backoff) into the wire protocol. RTRY frames'
+// retry-after hints floor the backoff; a lost connection (ECONNRESET, EOF,
+// a draining server's GBYE) triggers reconnect + re-HELO when the client
+// was made with Connect(); responses are deduped by request_id so a reply
+// that raced a retry is dropped, not misdelivered. AskWithRetry shares the
+// single-sender/single-reader contract: it is a closed-loop call, not for
+// concurrent use with the open-loop paths.
 
 #ifndef KM_NET_CLIENT_H_
 #define KM_NET_CLIENT_H_
 
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <string>
+#include <unordered_set>
 
+#include "common/retry.h"
 #include "net/protocol.h"
 
 namespace km::net {
 
 class NetClient {
  public:
-  /// Connects to a dotted-quad IPv4 host ("127.0.0.1") and port.
+  /// Connects to a dotted-quad IPv4 host ("127.0.0.1") and port. The
+  /// returned client remembers the endpoint, so AskWithRetry can
+  /// reconnect after a reset.
   static StatusOr<std::unique_ptr<NetClient>> Connect(const std::string& host,
                                                       uint16_t port);
 
-  /// Adopts an already-connected fd (e.g. one end of a socketpair).
+  /// Adopts an already-connected fd (e.g. one end of a socketpair). Not
+  /// reconnectable: there is no endpoint to dial again.
   explicit NetClient(int fd);
   ~NetClient();
 
@@ -38,7 +55,7 @@ class NetClient {
 
   /// Binds the connection to a tenant: sends HELO and waits for the echo.
   /// A server-side rejection (unknown tenant) comes back as its typed
-  /// Status.
+  /// Status. The tenant is remembered for re-HELO after a reconnect.
   Status Hello(const std::string& tenant, double timeout_ms = 5000);
 
   /// Fire-and-forget query send (open-loop mode pairs it with a reader
@@ -54,19 +71,62 @@ class NetClient {
 
   /// Next complete frame from the server. kDeadlineExceeded on timeout,
   /// kUnavailable on a clean disconnect (EOF), kProtocolError if the
-  /// server's stream is malformed.
+  /// server's stream is malformed. `timeout_ms` bounds the *total* wait
+  /// across partial reads; sub-millisecond timeouts are rounded up to the
+  /// 1 ms poll(2) granularity rather than busy-polling.
   StatusOr<Frame> ReadFrame(double timeout_ms = 5000);
 
   /// Closed-loop convenience: SendQuery + read frames until the reply with
   /// `request_id` arrives, decoded into a Status/answers pair. RTRY/ERRR
-  /// replies surface as their typed Status.
+  /// replies surface as their typed Status. Duplicate terminal frames for
+  /// already-answered request_ids are dropped (and counted).
   StatusOr<AnswerReply> Ask(uint64_t request_id, const std::string& text,
                             uint32_t k, double deadline_ms,
                             double timeout_ms = 30000);
 
+  /// Ask with retry governance: retries transient failures (RTRY with its
+  /// retry-after hint flooring the decorrelated-jitter backoff, EOF/reset
+  /// with reconnect + re-HELO) under `policy`'s attempt cap and budget.
+  /// Non-retryable statuses and exhausted budgets surface as-is.
+  StatusOr<AnswerReply> AskWithRetry(RetryPolicy& policy, uint64_t request_id,
+                                     const std::string& text, uint32_t k,
+                                     double deadline_ms,
+                                     double timeout_ms = 30000);
+
+  /// Drops the current socket and dials the remembered endpoint again,
+  /// re-sending HELO when a tenant was bound. Fails on adopted-fd clients.
+  Status Reconnect(double timeout_ms = 5000);
+
+  /// Seam for tests: replaces the real backoff sleep (milliseconds).
+  void set_sleep_fn(std::function<void(double)> sleep_fn) {
+    sleep_fn_ = std::move(sleep_fn);
+  }
+
+  uint64_t reconnects() const { return reconnects_; }
+  uint64_t duplicates_dropped() const { return duplicates_dropped_; }
+
  private:
+  /// Remembers that `request_id` got its terminal frame, so a duplicate
+  /// (from a retry racing the original) is recognized and dropped.
+  void RecordCompleted(uint64_t request_id);
+  /// Sleeps the schedule's next delay (floored by the status's retry-after
+  /// hint) through the injectable sleep seam.
+  void Backoff(RetrySchedule& schedule, const Status& status);
+  bool AlreadyCompleted(uint64_t request_id) const {
+    return completed_set_.count(request_id) != 0;
+  }
+
   int fd_;
   FrameDecoder decoder_;
+  bool reconnectable_ = false;
+  std::string host_;
+  uint16_t port_ = 0;
+  std::string tenant_;  ///< bound by Hello; re-sent after Reconnect
+  uint64_t reconnects_ = 0;
+  uint64_t duplicates_dropped_ = 0;
+  std::deque<uint64_t> completed_order_;
+  std::unordered_set<uint64_t> completed_set_;
+  std::function<void(double)> sleep_fn_;
 };
 
 }  // namespace km::net

@@ -15,7 +15,9 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "common/metrics.h"
+#include "common/retry.h"
 #include "common/strings.h"
 #include "common/trace.h"
 
@@ -55,12 +57,18 @@ struct NetServer::Conn {
   std::string out;           ///< encoded bytes awaiting write
   std::string tenant;        ///< empty until HELO binds one
   bool close_after_flush = false;
+  bool gbye_sent = false;    ///< drain farewell already queued
   bool dead = false;         ///< remove at end of the loop turn
   double last_activity_ms = 0;
+  /// Last time a write made progress (or the outbox was empty) — the
+  /// stall-eviction clock.
+  double last_progress_ms = 0;
 
   struct Pending {
     uint64_t request_id = 0;
     std::future<StatusOr<AnswerResult>> future;
+    bool ready = false;  ///< future harvested; `wire` awaits outbox room
+    std::string wire;    ///< encoded terminal frame, once ready
   };
   std::vector<Pending> pending;
 };
@@ -118,6 +126,11 @@ Status NetServer::Start() {
     MutexLock lock(mu_);
     started_ = true;
     stop_ = false;
+    lifecycle_ = ServerLifecycle::kAccepting;
+    stats_.lifecycle = lifecycle_;
+    drain_requested_ = false;
+    drain_completed_ = false;
+    drain_evicted_ = 0;
   }
   loop_ = std::thread([this] { LoopThread(); });
   return Status::OK();
@@ -128,12 +141,19 @@ uint16_t NetServer::port() const {
   return bound_port_;
 }
 
+ServerLifecycle NetServer::lifecycle() const {
+  MutexLock lock(mu_);
+  return lifecycle_;
+}
+
 Status NetServer::AdoptConnection(int fd) {
   Status failed = Status::OK();
   {
     MutexLock lock(mu_);
     if (!started_ || stop_) {
       failed = Status::FailedPrecondition("server is not running");
+    } else if (lifecycle_ != ServerLifecycle::kAccepting) {
+      failed = Status::Unavailable("server is draining");
     } else {
       adopt_queue_.push_back(fd);
     }
@@ -145,6 +165,38 @@ Status NetServer::AdoptConnection(int fd) {
   // Nudge the loop out of poll() so adoption is prompt.
   const char byte = 'a';
   (void)!write(wake_write_fd_, &byte, 1);
+  return Status::OK();
+}
+
+Status NetServer::Drain(double deadline_ms, DrainReport* report) {
+  const double start = Now();
+  {
+    MutexLock lock(mu_);
+    if (!started_ || stop_) {
+      return Status::FailedPrecondition("server is not running");
+    }
+    if (lifecycle_ != ServerLifecycle::kAccepting) {
+      return Status::FailedPrecondition("drain already requested");
+    }
+    lifecycle_ = ServerLifecycle::kDraining;
+    stats_.lifecycle = lifecycle_;
+    drain_requested_ = true;
+    drain_deadline_ms_ = start + deadline_ms;
+    drain_completed_ = false;
+    drain_evicted_ = 0;
+  }
+  NetCounter("drains").Increment();
+  const char byte = 'd';
+  (void)!write(wake_write_fd_, &byte, 1);
+  MutexLock lock(mu_);
+  // The loop thread always lands in kClosed (drain finished, deadline hit,
+  // or a concurrent Shutdown won) and notifies.
+  while (lifecycle_ != ServerLifecycle::kClosed) lifecycle_cv_.Wait(mu_);
+  if (report != nullptr) {
+    report->completed = drain_completed_;
+    report->evicted = drain_evicted_;
+    report->elapsed_ms = Now() - start;
+  }
   return Status::OK();
 }
 
@@ -173,46 +225,76 @@ NetServerStats NetServer::Stats() const {
   return stats_;
 }
 
+void NetServer::DropPending(Conn& conn) {
+  if (conn.pending.empty()) return;
+  const uint64_t n = conn.pending.size();
+  conn.pending.clear();
+  {
+    MutexLock lock(mu_);
+    stats_.queries_dropped += n;
+  }
+  NetCounter("queries_dropped").Increment(n);
+}
+
 void NetServer::LoopThread() {
   std::vector<std::unique_ptr<Conn>> conns;
   while (LoopTurn(conns, listen_fd_)) {
   }
-  // Shutdown: close every connection; pending futures resolve into the
-  // void (EngineServer owns the promises and survives the front end).
+  // Loop exit (shutdown or drain end): close every connection; pending
+  // futures resolve into the void (EngineServer owns the promises and
+  // survives the front end).
+  for (const auto& conn : conns) DropPending(*conn);
   MutexLock lock(mu_);
   stats_.disconnects += conns.size();
   stats_.open_connections = 0;
   for (const int fd : adopt_queue_) ::close(fd);
   adopt_queue_.clear();
+  lifecycle_ = ServerLifecycle::kClosed;
+  stats_.lifecycle = lifecycle_;
+  lifecycle_cv_.NotifyAll();
   MetricsRegistry::Default().GaugeRef("km.net.connections.open").Set(0);
   conns.clear();
 }
 
+bool NetServer::ReadPaused(const Conn& conn) const {
+  return conn.out.size() >= options_.max_write_buffer_bytes ||
+         conn.pending.size() >= options_.max_pending_per_connection;
+}
+
 bool NetServer::LoopTurn(std::vector<std::unique_ptr<Conn>>& conns,
                          int listen_fd) {
+  {
+    MutexLock lock(mu_);
+    loop_draining_ = lifecycle_ == ServerLifecycle::kDraining;
+    loop_drain_deadline_ms_ = drain_deadline_ms_;
+  }
+
   // Assemble the poll set: wakeup pipe, listener, then one slot per conn.
+  // While draining the listener is not polled — no new connections. A
+  // backpressured connection loses POLLIN (its events may be 0: errors and
+  // hangups are still reported), so a slow reader cannot feed us more work.
   std::vector<pollfd> fds;
   fds.reserve(conns.size() + 2);
   fds.push_back({wake_read_fd_, POLLIN, 0});
   const size_t listen_slot = fds.size();
-  if (listen_fd >= 0 && conns.size() < options_.max_connections) {
-    fds.push_back({listen_fd, POLLIN, 0});
-  }
+  const bool poll_listener = listen_fd >= 0 && !loop_draining_ &&
+                             conns.size() < options_.max_connections;
+  if (poll_listener) fds.push_back({listen_fd, POLLIN, 0});
   const size_t conn_base = fds.size();
   bool any_pending = false;
   for (const auto& conn : conns) {
-    short events = POLLIN;
+    short events = 0;
+    if (!ReadPaused(*conn)) events |= POLLIN;
     if (!conn->out.empty()) events |= POLLOUT;
     if (!conn->pending.empty()) any_pending = true;
     fds.push_back({conn->fd, events, 0});
   }
 
-  // While responses are in flight we poll futures at busy cadence; an idle
-  // timeout also needs periodic turns even with no fd activity.
-  double wait_ms = any_pending ? options_.busy_poll_ms : options_.idle_poll_ms;
-  if (options_.idle_timeout_ms > 0) {
-    wait_ms = std::min(wait_ms, options_.idle_poll_ms);
-  }
+  // While responses are in flight we poll futures at busy cadence; timeout
+  // and drain-deadline decisions also need periodic turns even with no fd
+  // activity (wait_ms is never above idle_poll_ms, so they get them).
+  const double wait_ms =
+      any_pending ? options_.busy_poll_ms : options_.idle_poll_ms;
   (void)poll(fds.data(), fds.size(), static_cast<int>(wait_ms));
 
   // Wakeup pipe: drain it; a shutdown nudge ends the loop.
@@ -226,6 +308,8 @@ bool NetServer::LoopTurn(std::vector<std::unique_ptr<Conn>>& conns,
     MutexLock lock(mu_);
     if (stop_) return false;
     adopted.swap(adopt_queue_);
+    loop_draining_ = lifecycle_ == ServerLifecycle::kDraining;
+    loop_drain_deadline_ms_ = drain_deadline_ms_;
   }
 
   const double now = Now();
@@ -238,20 +322,41 @@ bool NetServer::LoopTurn(std::vector<std::unique_ptr<Conn>>& conns,
       NetCounter("rejected.capacity").Increment();
       continue;
     }
+    if (options_.so_sndbuf > 0) {
+      setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.so_sndbuf,
+                 sizeof(options_.so_sndbuf));
+    }
     auto conn = std::make_unique<Conn>(fd, options_.max_frame_payload);
     conn->last_activity_ms = now;
+    conn->last_progress_ms = now;
     conns.push_back(std::move(conn));
     MutexLock lock(mu_);
     ++stats_.adopted;
     NetCounter("connections.adopted").Increment();
   }
 
-  if (listen_fd >= 0 && fds.size() > listen_slot &&
+  if (poll_listener && fds.size() > listen_slot &&
       fds[listen_slot].fd == listen_fd &&
       (fds[listen_slot].revents & POLLIN) != 0) {
     while (true) {
       const int fd = ::accept(listen_fd, nullptr, nullptr);
-      if (fd < 0) break;  // EAGAIN: drained
+      if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+        MutexLock lock(mu_);
+        ++stats_.accept_failures;
+        NetCounter("accept_failures").Increment();
+        break;
+      }
+      bool inject_accept_failure = false;
+      KM_FAILPOINT_VISIT("net.server.accept_fail", nullptr,
+                         &inject_accept_failure);
+      if (inject_accept_failure) {
+        ::close(fd);
+        MutexLock lock(mu_);
+        ++stats_.accept_failures;
+        NetCounter("accept_failures").Increment();
+        continue;
+      }
       if (conns.size() >= options_.max_connections) {
         // Connection-level shedding: close before any protocol exchange.
         ::close(fd);
@@ -264,8 +369,13 @@ bool NetServer::LoopTurn(std::vector<std::unique_ptr<Conn>>& conns,
         ::close(fd);
         continue;
       }
+      if (options_.so_sndbuf > 0) {
+        setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.so_sndbuf,
+                   sizeof(options_.so_sndbuf));
+      }
       auto conn = std::make_unique<Conn>(fd, options_.max_frame_payload);
       conn->last_activity_ms = now;
+      conn->last_progress_ms = now;
       conns.push_back(std::move(conn));
       MutexLock lock(mu_);
       ++stats_.accepted;
@@ -283,27 +393,57 @@ bool NetServer::LoopTurn(std::vector<std::unique_ptr<Conn>>& conns,
                               : 0;
     if ((revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 && conn.out.empty()) {
       conn.dead = true;
+      DropPending(conn);
       continue;
     }
     if ((revents & POLLIN) != 0) HandleReadable(conn);
+    // Backpressure may have left complete frames in the decoder; resume
+    // them once replies drained below the watermarks.
+    ProcessDecodedFrames(conn);
     PollPending(conn);
+    if (loop_draining_ && !conn.dead && !conn.close_after_flush &&
+        !conn.gbye_sent && conn.pending.empty()) {
+      // Nothing left in flight for this peer: say goodbye and hang up once
+      // the farewell (and everything queued before it) is flushed.
+      SendFrame(conn, MakeFrame("GBYE", 0, std::string()));
+      conn.gbye_sent = true;
+      conn.close_after_flush = true;
+    }
     FlushWrites(conn);
     if (conn.close_after_flush && conn.out.empty() && conn.pending.empty()) {
       conn.dead = true;
     }
-    if (options_.idle_timeout_ms > 0 && !conn.dead &&
-        now - conn.last_activity_ms > options_.idle_timeout_ms &&
-        conn.pending.empty()) {
+    if (options_.write_stall_timeout_ms > 0 && !conn.dead &&
+        !conn.out.empty() &&
+        now - conn.last_progress_ms > options_.write_stall_timeout_ms) {
+      conn.dead = true;
+      DropPending(conn);
+      MutexLock lock(mu_);
+      ++stats_.evicted_slow;
+      NetCounter("evicted_slow").Increment();
+    }
+    const bool pre_helo = conn.tenant.empty();
+    const double silence_limit = pre_helo && options_.hello_timeout_ms > 0
+                                     ? options_.hello_timeout_ms
+                                     : options_.idle_timeout_ms;
+    if (silence_limit > 0 && !conn.dead &&
+        now - conn.last_activity_ms > silence_limit && conn.pending.empty()) {
       conn.dead = true;
       MutexLock lock(mu_);
-      ++stats_.idle_timeouts;
-      NetCounter("idle_timeouts").Increment();
+      if (pre_helo) {
+        ++stats_.hello_timeouts;
+        NetCounter("hello_timeouts").Increment();
+      } else {
+        ++stats_.idle_timeouts;
+        NetCounter("idle_timeouts").Increment();
+      }
     }
   }
 
   size_t removed = 0;
   for (size_t i = 0; i < conns.size();) {
     if (conns[i]->dead) {
+      DropPending(*conns[i]);
       conns.erase(conns.begin() + static_cast<ptrdiff_t>(i));
       ++removed;
     } else {
@@ -319,6 +459,22 @@ bool NetServer::LoopTurn(std::vector<std::unique_ptr<Conn>>& conns,
   MetricsRegistry::Default()
       .GaugeRef("km.net.connections.open")
       .Set(static_cast<int64_t>(conns.size()));
+
+  if (loop_draining_) {
+    if (conns.empty()) {
+      MutexLock lock(mu_);
+      drain_completed_ = true;
+      return false;  // LoopThread's epilogue lands in kClosed and notifies
+    }
+    if (now >= loop_drain_deadline_ms_) {
+      // Deadline: the stragglers (stalled outboxes, wedged peers) are
+      // evicted by the epilogue rather than wedging the drain.
+      MutexLock lock(mu_);
+      drain_completed_ = false;
+      drain_evicted_ = conns.size();
+      return false;
+    }
+  }
   return true;
 }
 
@@ -339,22 +495,8 @@ void NetServer::HandleReadable(Conn& conn) {
         ProtocolErrorClose(conn, 0, fed);
         return;
       }
-      while (true) {
-        Frame frame;
-        StatusOr<bool> got = conn.decoder.Next(&frame);
-        if (!got.ok()) {
-          ProtocolErrorClose(conn, 0, got.status());
-          return;
-        }
-        if (!*got) break;
-        {
-          MutexLock lock(mu_);
-          ++stats_.frames_in;
-        }
-        NetCounter("frames.in").Increment();
-        HandleFrame(conn, std::move(frame));
-        if (conn.close_after_flush) break;
-      }
+      ProcessDecodedFrames(conn);
+      if (conn.dead || ReadPaused(conn)) return;  // backpressure: stop here
       continue;
     }
     if (n == 0) {  // peer closed
@@ -365,11 +507,45 @@ void NetServer::HandleReadable(Conn& conn) {
     if (errno == EAGAIN || errno == EWOULDBLOCK) return;
     if (errno == EINTR) continue;
     conn.dead = true;  // ECONNRESET and friends
+    DropPending(conn);
     return;
   }
 }
 
+void NetServer::ProcessDecodedFrames(Conn& conn) {
+  while (!conn.dead && !conn.close_after_flush && !ReadPaused(conn)) {
+    Frame frame;
+    StatusOr<bool> got = conn.decoder.Next(&frame);
+    if (!got.ok()) {
+      ProtocolErrorClose(conn, 0, got.status());
+      return;
+    }
+    if (!*got) return;
+    {
+      MutexLock lock(mu_);
+      ++stats_.frames_in;
+    }
+    NetCounter("frames.in").Increment();
+    HandleFrame(conn, std::move(frame));
+  }
+}
+
 void NetServer::HandleFrame(Conn& conn, Frame frame) {
+  if (loop_draining_ && (FrameIs(frame, "QURY") || FrameIs(frame, "HELO"))) {
+    // Winding down: nothing new is admitted. The retry-after hint points
+    // the client past the rest of the drain window.
+    const double remaining =
+        std::max(1.0, loop_drain_deadline_ms_ - Now());
+    SendFrame(conn, ErrorFrameFor(frame.request_id,
+                                  UnavailableStatus("server draining",
+                                                    remaining)));
+    {
+      MutexLock lock(mu_);
+      ++stats_.drain_rtry;
+    }
+    NetCounter("drain.rtry").Increment();
+    return;
+  }
   if (FrameIs(frame, "HELO")) {
     StatusOr<std::string> tenant = DecodeHello(frame.payload);
     if (!tenant.ok()) {
@@ -439,14 +615,15 @@ void NetServer::HandleFrame(Conn& conn, Frame frame) {
 }
 
 void NetServer::PollPending(Conn& conn) {
-  for (size_t i = 0; i < conn.pending.size();) {
-    Conn::Pending& pending = conn.pending[i];
+  // Harvest finished futures into their encoded terminal frames.
+  for (Conn::Pending& pending : conn.pending) {
+    if (pending.ready) continue;
     if (pending.future.wait_for(std::chrono::seconds(0)) !=
         std::future_status::ready) {
-      ++i;
       continue;
     }
     StatusOr<AnswerResult> result = pending.future.get();
+    Frame frame;
     if (result.ok()) {
       AnswerReply reply;
       reply.quality = static_cast<uint8_t>(result->quality);
@@ -457,17 +634,51 @@ void NetServer::PollPending(Conn& conn) {
         answer.sql = explanation.sql.CanonicalSignature();
         reply.answers.push_back(std::move(answer));
       }
-      SendFrame(conn, MakeFrame("RESP", pending.request_id,
-                                EncodeAnswerReply(reply)));
+      frame = MakeFrame("RESP", pending.request_id, EncodeAnswerReply(reply));
     } else {
-      SendFrame(conn, ErrorFrameFor(pending.request_id, result.status()));
+      frame = ErrorFrameFor(pending.request_id, result.status());
     }
+    pending.wire = EncodeFrame(frame);
+    pending.ready = true;
+  }
+  // Move ready replies into the outbox while there is room below the
+  // high-water mark (an oversized frame still goes out alone, so a cap
+  // below one frame cannot deadlock the connection).
+  for (size_t i = 0; i < conn.pending.size();) {
+    Conn::Pending& pending = conn.pending[i];
+    const bool fits =
+        conn.out.empty() || conn.out.size() + pending.wire.size() <=
+                                options_.max_write_buffer_bytes;
+    if (!pending.ready || !fits) {
+      ++i;
+      continue;
+    }
+    AppendToOutbox(conn, pending.wire);
+    {
+      MutexLock lock(mu_);
+      ++stats_.frames_out;
+      ++stats_.replies;
+    }
+    NetCounter("frames.out").Increment();
+    NetCounter("replies").Increment();
     conn.pending.erase(conn.pending.begin() + static_cast<ptrdiff_t>(i));
   }
 }
 
+void NetServer::AppendToOutbox(Conn& conn, const std::string& wire) {
+  if (conn.out.empty()) conn.last_progress_ms = Now();
+  conn.out.append(wire);
+  MutexLock lock(mu_);
+  if (conn.out.size() > stats_.outbox_high_water) {
+    stats_.outbox_high_water = conn.out.size();
+    MetricsRegistry::Default()
+        .GaugeRef("km.net.outbox.high_water")
+        .Set(static_cast<int64_t>(conn.out.size()));
+  }
+}
+
 void NetServer::SendFrame(Conn& conn, const Frame& frame) {
-  conn.out.append(EncodeFrame(frame));
+  AppendToOutbox(conn, EncodeFrame(frame));
   {
     MutexLock lock(mu_);
     ++stats_.frames_out;
@@ -477,20 +688,46 @@ void NetServer::SendFrame(Conn& conn, const Frame& frame) {
 
 void NetServer::FlushWrites(Conn& conn) {
   while (!conn.out.empty()) {
-    const ssize_t n = write(conn.fd, conn.out.data(), conn.out.size());
+    size_t attempt = conn.out.size();
+    KM_FAILPOINT_VISIT("net.server.short_write", nullptr, &attempt);
+    attempt = std::max<size_t>(1, std::min(attempt, conn.out.size()));
+    bool inject_write_error = false;
+    KM_FAILPOINT_VISIT("net.server.write_error", nullptr, &inject_write_error);
+    // Timestamp taken *before* the send: the instant send() returns, the
+    // peer can see the bytes and act on them — if it acts (or a test
+    // advances the injected clock) before we stamp, a post-send Now()
+    // would record activity in that future and idle accounting would
+    // never see this connection as silent.
+    const double sent_at_ms = Now();
+    ssize_t n;
+    if (inject_write_error) {
+      n = -1;
+      errno = ECONNRESET;
+    } else {
+      // MSG_NOSIGNAL: a vanished peer must surface as EPIPE, not SIGPIPE.
+      n = ::send(conn.fd, conn.out.data(), attempt, MSG_NOSIGNAL);
+    }
     if (n > 0) {
-      conn.last_activity_ms = Now();
+      conn.last_activity_ms = sent_at_ms;
+      conn.last_progress_ms = sent_at_ms;
       {
         MutexLock lock(mu_);
         stats_.bytes_out += static_cast<uint64_t>(n);
       }
       NetCounter("bytes.out").Increment(static_cast<uint64_t>(n));
       conn.out.erase(0, static_cast<size_t>(n));
+      if (static_cast<size_t>(n) < attempt) return;  // kernel buffer full
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
     if (n < 0 && errno == EINTR) continue;
     conn.dead = true;  // EPIPE etc.: the peer is gone
+    DropPending(conn);
+    {
+      MutexLock lock(mu_);
+      ++stats_.write_errors;
+    }
+    NetCounter("write_errors").Increment();
     return;
   }
 }

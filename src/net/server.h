@@ -15,11 +15,28 @@
 // Any protocol violation gets a best-effort ERRR(kProtocolError) and a
 // close: once framing is lost the stream cannot be trusted.
 //
+// Server lifecycle: kAccepting → kDraining → kClosed. Drain(deadline_ms)
+// stops accepting, answers new QURY frames with RTRY + retry-after for the
+// remaining drain window, lets in-flight queries finish, flushes every
+// outbox, says GBYE, and closes. Connections that cannot be flushed by the
+// deadline are evicted rather than wedging the drain.
+//
+// Hostile-peer defenses (all deterministic under the injectable clock):
+//   * bounded per-connection write buffer — once a connection's outbox
+//     reaches max_write_buffer_bytes (or max_pending_per_connection replies
+//     are in flight) the loop stops reading from it (read-side
+//     backpressure), so a slow reader cannot grow server memory;
+//   * slow-client eviction — a peer whose outbox makes no write progress
+//     for write_stall_timeout_ms is closed (km.net.evicted_slow);
+//   * pre-HELO half-open connections get the stricter hello_timeout_ms
+//     instead of the general idle_timeout_ms, so an attacker cannot hold
+//     max_connections slots open cheaply.
+//
 // Tests drive the server deterministically through two seams:
 //   * AdoptConnection(fd) — an in-process socketpair end enters the loop
 //     exactly like an accepted socket (no ports, no listeners);
-//   * an injectable clock — idle-timeout decisions read `now_ms`, so a
-//     scripted test advances time without sleeping.
+//   * an injectable clock — idle/hello/stall/drain-deadline decisions read
+//     `now_ms`, so a scripted test advances time without sleeping.
 
 #ifndef KM_NET_SERVER_H_
 #define KM_NET_SERVER_H_
@@ -58,8 +75,38 @@ struct NetServerOptions {
   /// Connections silent for longer than this are closed; 0 disables. Read
   /// off the injectable clock, so tests can step it.
   double idle_timeout_ms = 0;
+  /// Half-open window: a connection that has not completed HELO within this
+  /// many ms is closed (counted in hello_timeouts), independently of
+  /// idle_timeout_ms. 0 falls back to the general idle timeout.
+  double hello_timeout_ms = 10'000;
   /// Cap on the k a client may request in one QURY.
   uint32_t max_k = 50;
+  /// Per-connection outbox high-water mark. While a connection's buffered
+  /// output is at or above this, the loop stops reading from it and stops
+  /// harvesting further replies into its outbox — a slow reader holds only
+  /// bounded server memory. A single frame larger than the cap is still
+  /// sent (alone) so progress is always possible.
+  size_t max_write_buffer_bytes = 1 << 20;
+  /// Cap on replies in flight per connection (submitted QURYs whose
+  /// responses have not yet been flushed). Frame processing pauses at the
+  /// cap; bytes queue in the kernel/decoder instead of as engine work.
+  size_t max_pending_per_connection = 32;
+  /// A connection whose non-empty outbox makes no write progress for this
+  /// many ms is evicted (km.net.evicted_slow). 0 disables.
+  double write_stall_timeout_ms = 0;
+  /// When > 0, applied as SO_SNDBUF to every accepted/adopted socket. Test
+  /// and bench seam: a tiny kernel send buffer makes write-side
+  /// backpressure reachable without megabytes of traffic.
+  int so_sndbuf = 0;
+};
+
+/// Where the server is in its life. Start() enters kAccepting; Drain()
+/// moves through kDraining to kClosed; Shutdown() jumps straight to
+/// kClosed.
+enum class ServerLifecycle : uint8_t {
+  kAccepting = 0,
+  kDraining = 1,
+  kClosed = 2,
 };
 
 /// Counters snapshot (one consistent read; see also the km.net.* metrics).
@@ -73,10 +120,26 @@ struct NetServerStats {
   uint64_t bytes_in = 0;
   uint64_t bytes_out = 0;
   uint64_t queries = 0;           ///< QURY frames routed to a tenant
+  uint64_t replies = 0;           ///< terminal frames enqueued for routed QURYs
+  uint64_t queries_dropped = 0;   ///< routed QURYs whose conn died unanswered
   uint64_t rejected_capacity = 0; ///< closed at accept: max_connections
   uint64_t rejected_unknown_tenant = 0;
   uint64_t idle_timeouts = 0;
+  uint64_t hello_timeouts = 0;    ///< closed half-open before HELO
+  uint64_t evicted_slow = 0;      ///< closed: outbox stalled past timeout
+  uint64_t accept_failures = 0;   ///< accept(2) errors (incl. injected)
+  uint64_t write_errors = 0;      ///< fatal write(2) errors (incl. injected)
+  uint64_t drain_rtry = 0;        ///< QURY/HELO answered RTRY during a drain
+  size_t outbox_high_water = 0;   ///< max bytes ever buffered on one conn
   size_t open_connections = 0;
+  ServerLifecycle lifecycle = ServerLifecycle::kAccepting;
+};
+
+/// Outcome of one Drain() call.
+struct DrainReport {
+  bool completed = false;   ///< every connection closed before the deadline
+  uint64_t evicted = 0;     ///< connections force-closed at the deadline
+  double elapsed_ms = 0;    ///< wall time the drain took (injected clock)
 };
 
 /// The front end. The registry must outlive the server. Start() spawns the
@@ -84,8 +147,8 @@ struct NetServerStats {
 /// joins it.
 class NetServer {
  public:
-  /// `now_ms` is the clock idle timeouts are measured on; the default reads
-  /// the monotonic clock.
+  /// `now_ms` is the clock idle/hello/stall/drain decisions are measured
+  /// on; the default reads the monotonic clock.
   explicit NetServer(TenantRegistry& tenants, NetServerOptions options = {},
                      std::function<double()> now_ms = {});
   ~NetServer();
@@ -96,6 +159,15 @@ class NetServer {
   /// Binds/listens (when options.listen) and spawns the loop thread.
   Status Start() KM_EXCLUDES(mu_);
 
+  /// Graceful wind-down: stop accepting, answer new QURYs with RTRY +
+  /// retry-after, finish in-flight queries, flush every outbox, send GBYE,
+  /// close. Blocks until every connection is gone or `deadline_ms` (on the
+  /// injected clock) has passed — stragglers are then evicted. The loop
+  /// thread exits; call Shutdown() afterwards to release the fds. Fails if
+  /// the server is not running or a drain already ran.
+  Status Drain(double deadline_ms, DrainReport* report = nullptr)
+      KM_EXCLUDES(mu_);
+
   /// Stops the loop, closes every connection (and the listener), joins.
   /// Idempotent.
   void Shutdown() KM_EXCLUDES(mu_);
@@ -104,25 +176,38 @@ class NetServer {
   uint16_t port() const KM_EXCLUDES(mu_);
 
   /// Hands an already-connected socket (e.g. one end of a socketpair) to
-  /// the loop. The server takes ownership of `fd` — including on error.
+  /// the loop. The server takes ownership of `fd` — including on error
+  /// (a draining or stopped server refuses and closes it).
   Status AdoptConnection(int fd) KM_EXCLUDES(mu_);
 
   NetServerStats Stats() const KM_EXCLUDES(mu_);
+  ServerLifecycle lifecycle() const KM_EXCLUDES(mu_);
 
  private:
   struct Conn;  // defined in server.cc; owned by the loop thread
 
   void LoopThread();
-  /// One poll + dispatch turn. Returns false when shutdown was requested.
+  /// One poll + dispatch turn. Returns false when the loop should exit
+  /// (shutdown requested, or a drain finished/hit its deadline).
   bool LoopTurn(std::vector<std::unique_ptr<Conn>>& conns, int listen_fd);
   void HandleReadable(Conn& conn);
+  /// Decoded-frame pump: dispatches frames already buffered in the decoder
+  /// until the connection hits its backpressure watermarks.
+  void ProcessDecodedFrames(Conn& conn);
   void HandleFrame(Conn& conn, Frame frame);
   void PollPending(Conn& conn);
   void FlushWrites(Conn& conn);
   void SendFrame(Conn& conn, const Frame& frame);
+  /// True while the loop must not read more frames from this connection
+  /// (outbox at high water or too many replies in flight).
+  bool ReadPaused(const Conn& conn) const;
+  /// Appends encoded bytes to the outbox with progress-clock bookkeeping.
+  void AppendToOutbox(Conn& conn, const std::string& wire);
   /// Best-effort ERRR(kProtocolError) + close: the connection's framing is
   /// no longer trustworthy.
   void ProtocolErrorClose(Conn& conn, uint64_t request_id, const Status& why);
+  /// Accounts a dying connection's unanswered routed queries.
+  void DropPending(Conn& conn) KM_EXCLUDES(mu_);
   double Now() const;
 
   TenantRegistry& tenants_;
@@ -135,6 +220,17 @@ class NetServer {
   uint16_t bound_port_ KM_GUARDED_BY(mu_) = 0;
   std::vector<int> adopt_queue_ KM_GUARDED_BY(mu_);
   NetServerStats stats_ KM_GUARDED_BY(mu_);
+  ServerLifecycle lifecycle_ KM_GUARDED_BY(mu_) = ServerLifecycle::kAccepting;
+  double drain_deadline_ms_ KM_GUARDED_BY(mu_) = 0;
+  bool drain_requested_ KM_GUARDED_BY(mu_) = false;
+  uint64_t drain_evicted_ KM_GUARDED_BY(mu_) = 0;
+  bool drain_completed_ KM_GUARDED_BY(mu_) = false;
+  CondVar lifecycle_cv_;
+
+  // Loop-thread-local mirror of the drain state (refreshed every turn, so
+  // HandleFrame can answer RTRY without taking mu_ per frame).
+  bool loop_draining_ = false;
+  double loop_drain_deadline_ms_ = 0;
 
   int listen_fd_ = -1;     ///< owned; loop reads it, Start writes it once
   int wake_read_fd_ = -1;  ///< pipe the loop polls for adopt/shutdown nudges

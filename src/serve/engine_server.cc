@@ -246,6 +246,17 @@ void EngineServer::Drain() {
   while (outstanding_ != 0) drain_cv_.Wait(mu_);
 }
 
+bool EngineServer::DrainFor(double deadline_ms) {
+  const double deadline = NowMs() + deadline_ms;
+  MutexLock lock(mu_);
+  while (outstanding_ != 0) {
+    const double remaining = deadline - NowMs();
+    if (remaining <= 0) return false;
+    drain_cv_.WaitForMs(mu_, remaining);
+  }
+  return true;
+}
+
 void EngineServer::Shutdown() {
   {
     MutexLock lock(mu_);

@@ -146,6 +146,12 @@ class EngineServer {
   /// worker mid-request). New Submits during a drain are still accepted.
   void Drain() KM_EXCLUDES(mu_);
 
+  /// Deadline-bounded Drain: waits up to `deadline_ms` for outstanding
+  /// requests to hit zero. Returns true when drained, false on timeout
+  /// (requests still in flight) — the graceful-shutdown handshake the
+  /// network front end uses before tearing tenants down.
+  bool DrainFor(double deadline_ms) KM_EXCLUDES(mu_);
+
   /// Graceful shutdown: stops admission (further Submits are rejected with
   /// kUnavailable), waits out any in-flight ReloadSnapshot (which would
   /// otherwise take mu_ and write engine_ after destruction), drains

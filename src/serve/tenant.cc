@@ -1,8 +1,10 @@
 #include "serve/tenant.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "snapshot/snapshot.h"
 
 namespace km {
@@ -161,6 +163,27 @@ StatusOr<ServerStats> TenantRegistry::StatsFor(const std::string& id) const {
     return Status::NotFound("tenant \"" + id + "\" is not registered");
   }
   return server->Stats();
+}
+
+bool TenantRegistry::DrainFor(double deadline_ms) {
+  std::vector<std::shared_ptr<EngineServer>> servers;
+  {
+    MutexLock lock(mu_);
+    servers.reserve(tenants_.size());
+    for (const auto& [id, server] : tenants_) servers.push_back(server);
+  }
+  // One shared deadline across tenants: each DrainFor call gets whatever
+  // window the earlier ones left over.
+  const double start_ms =
+      static_cast<double>(MonotonicNowNs()) / 1e6;
+  bool drained = true;
+  for (const auto& server : servers) {
+    const double elapsed =
+        static_cast<double>(MonotonicNowNs()) / 1e6 - start_ms;
+    drained = server->DrainFor(std::max(0.0, deadline_ms - elapsed)) &&
+              drained;
+  }
+  return drained;
 }
 
 void TenantRegistry::Shutdown() {

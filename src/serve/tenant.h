@@ -105,6 +105,13 @@ class TenantRegistry {
   StatusOr<ServerStats> StatsFor(const std::string& id) const
       KM_EXCLUDES(mu_);
 
+  /// Deadline-bounded drain of every tenant: waits up to `deadline_ms`
+  /// total for all outstanding requests across tenants to finish. Returns
+  /// true when everything drained in time. Tenants keep accepting new
+  /// Submits — pair with the front end's NetServer::Drain (which stops the
+  /// inflow) and follow with Shutdown().
+  bool DrainFor(double deadline_ms) KM_EXCLUDES(mu_);
+
   /// Stops every tenant's server (graceful drain + join). Idempotent;
   /// later Add/Submit calls are rejected.
   void Shutdown() KM_EXCLUDES(mu_);

@@ -1,0 +1,315 @@
+// End-to-end chaos soak for the network serving stack (the capstone of the
+// connection-lifecycle hardening work): hundreds of seeded iterations, each
+// standing up a fresh tenant registry + poll server and throwing a random
+// mix of peers at it —
+//
+//   * compliant closed-loop clients (HELO, a few Asks, GBYE),
+//   * bursty open-loop clients that stop reading mid-stream and hang up
+//     with replies still in flight,
+//   * mid-frame disconnects (a QURY cut at a random byte offset),
+//   * pre-HELO garbage streams,
+//
+// interleaved with snapshot hot-reloads, injected clock jumps, optional
+// write-path failpoints (when compiled in), and a graceful Drain() racing
+// the traffic. The invariants, every iteration:
+//
+//   * no crash, no hang: every client call returns, the drain completes;
+//   * no lost in-flight work: a compliant client's Ask never times out —
+//     it gets its RESP, a typed RTRY/ERRR, or a GBYE-bounded disconnect;
+//   * exactly one terminal frame per accepted query (client-side dedupe
+//     check and the server-side `queries == replies + queries_dropped`
+//     reconciliation);
+//   * no fd leak: /proc/self/fd census is identical before and after
+//     every iteration.
+//
+// Iteration count: 500 by default; KM_NET_CHAOS_ITERS overrides it (CI
+// smoke jobs run fewer). Fixed seeds, so any failure reproduces exactly.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <random>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/status.h"
+#include "core/keymantic.h"
+#include "datasets/university.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "net_harness.h"
+#include "serve/tenant.h"
+#include "snapshot/snapshot.h"
+
+namespace km::net {
+namespace {
+
+// Belt and braces: the per-iteration census below is the real check; this
+// listener additionally covers the whole test.
+FdCensusRegistrar fd_census_registrar;
+
+size_t ChaosIterations() {
+  const char* env = std::getenv("KM_NET_CHAOS_ITERS");
+  if (env != nullptr) {
+    const long parsed = std::atol(env);
+    if (parsed > 0) return static_cast<size_t>(parsed);
+  }
+  return 500;
+}
+
+const char* const kQueryTexts[] = {
+    "Vokram IT",     "Vokram IT department", "professor database",
+    "Wilson course", "department university",
+};
+constexpr size_t kNumQueryTexts = sizeof(kQueryTexts) / sizeof(kQueryTexts[0]);
+
+class NetChaosTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto db = BuildUniversityDatabase();
+    ASSERT_TRUE(db.ok());
+    db_ = new Database(std::move(*db));
+    engine_ = std::make_shared<KeymanticEngine>(*db_);
+    snapshot_path_ =
+        new std::string(testing::TempDir() + "km_net_chaos.snap");
+    ASSERT_TRUE(SaveSnapshot(*engine_->prepared_state(), *snapshot_path_).ok());
+  }
+  static void TearDownTestSuite() {
+    std::remove(snapshot_path_->c_str());
+    delete snapshot_path_;
+    snapshot_path_ = nullptr;
+    engine_.reset();
+    delete db_;
+    db_ = nullptr;
+  }
+  void TearDown() override { failpoints::Reset(); }
+
+  static Database* db_;
+  static std::shared_ptr<KeymanticEngine> engine_;
+  static std::string* snapshot_path_;
+};
+
+Database* NetChaosTest::db_ = nullptr;
+std::shared_ptr<KeymanticEngine> NetChaosTest::engine_;
+std::string* NetChaosTest::snapshot_path_ = nullptr;
+
+// --------------------------------------------------------- peer behaviors
+
+/// Well-behaved closed-loop peer. `lost` counts Asks that timed out — a
+/// routed query whose terminal frame never came, the one unforgivable
+/// outcome. Typed rejections and GBYE-bounded disconnects are all fine.
+void CompliantClient(std::unique_ptr<NetClient> client, uint64_t seed,
+                     std::atomic<int>& lost) {
+  std::mt19937 rng(seed);
+  if (!client->Hello("uni", 20000).ok()) return;  // drain raced the HELO
+  const int queries = 1 + static_cast<int>(rng() % 3);
+  for (int i = 0; i < queries; ++i) {
+    auto reply = client->Ask(static_cast<uint64_t>(i) + 1,
+                             kQueryTexts[rng() % kNumQueryTexts],
+                             1 + static_cast<uint32_t>(rng() % 5), 0, 20000);
+    if (!reply.ok()) {
+      if (reply.status().code() == StatusCode::kDeadlineExceeded) ++lost;
+      return;  // typed rejection or disconnect: the stream is done
+    }
+  }
+  (void)!client->SendFrame(MakeFrame("GBYE", 0, std::string())).ok();
+  (void)client->ReadFrame(2000);
+}
+
+/// Open-loop peer: bursts queries, reads only part of the reply stream
+/// (slowly), then hangs up with data still in flight — the shape that
+/// exercises write-side backpressure and the EPIPE paths.
+void BurstyHalfReader(std::unique_ptr<NetClient> client, uint64_t seed) {
+  std::mt19937 rng(seed);
+  if (!client->Hello("uni", 20000).ok()) return;
+  const int queries = 4 + static_cast<int>(rng() % 12);
+  for (int i = 0; i < queries; ++i) {
+    if (!client
+             ->SendQuery(1000 + static_cast<uint64_t>(i),
+                         kQueryTexts[rng() % kNumQueryTexts],
+                         1 + static_cast<uint32_t>(rng() % 5), 0)
+             .ok()) {
+      break;
+    }
+  }
+  std::set<uint64_t> seen;
+  const int reads = static_cast<int>(rng() % (queries + 2));
+  for (int i = 0; i < reads; ++i) {
+    auto frame = client->ReadFrame(50);
+    if (!frame.ok()) {
+      if (frame.status().code() != StatusCode::kDeadlineExceeded) break;
+      continue;
+    }
+    if (FrameIs(*frame, "RESP") || FrameIs(*frame, "ERRR") ||
+        FrameIs(*frame, "RTRY")) {
+      EXPECT_TRUE(seen.insert(frame->request_id).second)
+          << "duplicate terminal frame for request " << frame->request_id;
+    }
+    if (rng() % 3 == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  // Destructor closes with replies possibly still queued server-side.
+}
+
+/// Hostile peer: a QURY frame cut at a random byte offset, then gone.
+void MidFrameDisconnect(std::unique_ptr<NetClient> client, uint64_t seed) {
+  std::mt19937 rng(seed);
+  if (rng() % 2 == 0 && !client->Hello("uni", 20000).ok()) return;
+  QueryRequest query;
+  query.k = 3;
+  query.text = kQueryTexts[rng() % kNumQueryTexts];
+  const std::string wire =
+      EncodeFrame(MakeFrame("QURY", 7, EncodeQueryRequest(query)));
+  const size_t cut = 1 + rng() % (wire.size() - 1);
+  (void)!client->SendBytes(wire.data(), cut).ok();
+  std::this_thread::sleep_for(std::chrono::milliseconds(rng() % 3));
+}
+
+/// Hostile peer: pure garbage before any HELO.
+void GarbagePeer(std::unique_ptr<NetClient> client, uint64_t seed) {
+  std::mt19937 rng(seed);
+  std::string junk(64 + rng() % 512, '\0');
+  for (char& c : junk) c = static_cast<char>(rng() & 0xff);
+  (void)!client->SendBytes(junk.data(), junk.size()).ok();
+  (void)client->ReadFrame(100);
+}
+
+// --------------------------------------------------------- one iteration
+
+void RunIteration(uint64_t seed, TenantRegistry& tenants,
+                  const std::string& snapshot_path) {
+  std::mt19937 rng(seed);
+
+  NetServerOptions options;
+  const size_t caps[] = {2048, 8192, size_t{1} << 20};
+  options.max_write_buffer_bytes = caps[rng() % 3];
+  const size_t pendings[] = {2, 8, 32};
+  options.max_pending_per_connection = pendings[rng() % 3];
+  options.so_sndbuf = (rng() % 2 == 0) ? 4096 : 0;
+  NetHarness harness(tenants, options);
+
+  // Optional write-path fault injection (failpoint builds only).
+  if (failpoints::Enabled()) {
+    if (rng() % 4 == 0) {
+      failpoints::Action dribble;
+      dribble.kind = failpoints::ActionKind::kCallback;
+      const size_t cap = 1 + rng() % 7;
+      dribble.callback = [cap](void* payload) {
+        *static_cast<size_t*>(payload) = cap;
+      };
+      dribble.limit = 200;
+      failpoints::Enable("net.server.short_write", dribble);
+    } else if (rng() % 4 == 0) {
+      failpoints::Action kill;
+      kill.kind = failpoints::ActionKind::kCallback;
+      kill.callback = [](void* payload) {
+        *static_cast<bool*>(payload) = true;
+      };
+      kill.skip = static_cast<int>(rng() % 5);
+      kill.limit = 1;
+      failpoints::Enable("net.server.write_error", kill);
+    }
+  }
+
+  // All connections are adopted before any drain can begin.
+  std::atomic<int> lost_queries{0};
+  std::vector<std::thread> peers;
+  const size_t num_peers = 2 + rng() % 3;
+  for (size_t i = 0; i < num_peers; ++i) {
+    auto client = harness.NewClient();
+    const uint64_t peer_seed = seed * 1315423911u + i;
+    switch (rng() % 8) {
+      case 0:
+        peers.emplace_back(MidFrameDisconnect, std::move(client), peer_seed);
+        break;
+      case 1:
+        peers.emplace_back(GarbagePeer, std::move(client), peer_seed);
+        break;
+      case 2:
+      case 3:
+        peers.emplace_back(BurstyHalfReader, std::move(client), peer_seed);
+        break;
+      default:
+        peers.emplace_back(CompliantClient, std::move(client), peer_seed,
+                           std::ref(lost_queries));
+        break;
+    }
+  }
+
+  // Operator actions racing the traffic: a snapshot hot-reload, a clock
+  // jump (hello/idle bookkeeping), and — half the time — the drain itself.
+  if (rng() % 3 == 0) {
+    (void)tenants.ReloadTenantSnapshot("uni", snapshot_path);
+  }
+  if (rng() % 4 == 0) harness.clock().AdvanceMs(15'000);
+
+  const bool drain_mid_traffic = rng() % 2 == 0;
+  const bool skip_drain = rng() % 8 == 0;  // plain Shutdown path
+  DrainReport report;
+  Status drain_status = Status::OK();
+  std::thread drainer;
+  if (!skip_drain && drain_mid_traffic) {
+    drainer = std::thread(
+        [&] { drain_status = harness.server().Drain(1e9, &report); });
+  }
+  for (std::thread& peer : peers) peer.join();
+  if (!skip_drain && !drain_mid_traffic) {
+    drain_status = harness.server().Drain(1e9, &report);
+  }
+  if (drainer.joinable()) drainer.join();
+
+  if (!skip_drain) {
+    EXPECT_TRUE(drain_status.ok()) << drain_status.ToString();
+    EXPECT_TRUE(report.completed)
+        << "every peer closed its socket, so the drain must complete";
+    EXPECT_EQ(harness.server().lifecycle(), ServerLifecycle::kClosed);
+  } else {
+    harness.server().Shutdown();
+  }
+
+  const NetServerStats stats = harness.server().Stats();
+  EXPECT_EQ(stats.open_connections, 0u);
+  EXPECT_EQ(stats.queries, stats.replies + stats.queries_dropped)
+      << "terminal-frame accounting must reconcile: queries=" << stats.queries
+      << " replies=" << stats.replies
+      << " dropped=" << stats.queries_dropped;
+  EXPECT_EQ(lost_queries.load(), 0)
+      << "a compliant client's Ask timed out: in-flight work was lost";
+  failpoints::Reset();
+}
+
+TEST_F(NetChaosTest, SeededSoakSurvivesHostilePeersReloadsAndDrains) {
+  const size_t iterations = ChaosIterations();
+  for (size_t iter = 0; iter < iterations; ++iter) {
+    const int fds_before = CountOpenFds();
+    {
+      TenantRegistry tenants;
+      TenantOptions tenant_options;
+      tenant_options.server.workers = 1 + iter % 2;
+      ASSERT_TRUE(tenants.AddTenant("uni", engine_, tenant_options).ok());
+      RunIteration(0xC0FFEEu + iter, tenants, *snapshot_path_);
+      if (HasFatalFailure()) return;
+    }
+    const int fds_after = CountOpenFds();
+    ASSERT_EQ(fds_before, fds_after)
+        << "fd leak in iteration " << iter << ": " << fds_before << " -> "
+        << fds_after;
+    if (HasNonfatalFailure()) {
+      ADD_FAILURE() << "first failing iteration: " << iter
+                    << " (seed " << (0xC0FFEEu + iter) << ")";
+      return;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace km::net

@@ -31,6 +31,9 @@
 namespace km::net {
 namespace {
 
+// Every fuzz case must give back each fd it opened.
+FdCensusRegistrar fd_census_registrar;
+
 size_t FuzzIterations() {
   const char* env = std::getenv("KM_NET_FUZZ_ITERS");
   if (env != nullptr) {

@@ -16,6 +16,7 @@
 #ifndef KM_TESTS_NET_HARNESS_H_
 #define KM_TESTS_NET_HARNESS_H_
 
+#include <dirent.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -29,11 +30,52 @@
 
 #include "common/check.h"
 #include "common/status.h"
+#include "gtest/gtest.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "serve/tenant.h"
 
 namespace km::net {
+
+/// Number of open file descriptors in this process (via /proc/self/fd).
+/// The census descriptor itself (opendir's) is excluded.
+inline int CountOpenFds() {
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) return -1;
+  int count = 0;
+  while (readdir(dir) != nullptr) ++count;
+  closedir(dir);
+  return count - 3;  // ".", "..", and the opendir fd itself
+}
+
+/// gtest listener asserting that every test gives back each fd it opened —
+/// the leak check every net suite runs, not just the chaos soak. Install
+/// once from main()/a static registrar:
+///   testing::UnitTest::GetInstance()->listeners().Append(new FdCensus);
+class FdCensus : public testing::EmptyTestEventListener {
+ public:
+  void OnTestStart(const testing::TestInfo&) override {
+    baseline_ = CountOpenFds();
+  }
+  void OnTestEnd(const testing::TestInfo& info) override {
+    if (baseline_ < 0) return;  // /proc unavailable: census disabled
+    const int now = CountOpenFds();
+    EXPECT_EQ(baseline_, now)
+        << "fd leak: " << info.test_suite_name() << "." << info.name()
+        << " started with " << baseline_ << " open fds and ended with "
+        << now;
+  }
+
+ private:
+  int baseline_ = -1;
+};
+
+/// Registers the census at static-init time (one per test binary).
+struct FdCensusRegistrar {
+  FdCensusRegistrar() {
+    testing::UnitTest::GetInstance()->listeners().Append(new FdCensus);
+  }
+};
 
 /// Manually advanced clock. Starts at an arbitrary epoch (1e6 ms) so code
 /// subtracting idle windows never sees negative time.

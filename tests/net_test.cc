@@ -7,11 +7,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <functional>
 #include <memory>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/retry.h"
 #include "common/status.h"
 #include "core/keymantic.h"
@@ -24,6 +29,25 @@
 
 namespace km::net {
 namespace {
+
+// Every test in this binary must give back each fd it opened.
+FdCensusRegistrar fd_census_registrar;
+
+/// Spins (real time, 1 ms steps) until `pred` holds; false on timeout.
+bool WaitUntil(const std::function<bool()>& pred, int timeout_ms = 15000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+/// Disarms every failpoint when a test exits, ASSERT-early or not.
+struct FailpointClearer {
+  ~FailpointClearer() { failpoints::Reset(); }
+};
 
 // -------------------------------------------------------------- protocol
 
@@ -388,6 +412,460 @@ TEST_F(NetServerTest, EndToEndOverLoopbackTcp) {
   EXPECT_FALSE(reply->answers.empty());
   server.Shutdown();
   EXPECT_GE(server.Stats().accepted, 1u);
+}
+
+// ------------------------------------------------- timeouts & lifecycle
+
+TEST(NetClientTest, SubMillisecondReadTimeoutRoundsUpInsteadOfBusyPolling) {
+  int server_end = -1, client_end = -1;
+  ASSERT_TRUE(MakeSocketPair(&server_end, &client_end).ok());
+  NetClient quiet_peer(server_end);
+  NetClient client(client_end);
+  const auto start = std::chrono::steady_clock::now();
+  auto frame = client.ReadFrame(0.25);
+  const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+  EXPECT_EQ(frame.status().code(), StatusCode::kDeadlineExceeded)
+      << frame.status().ToString();
+  // The regression: 0.25 ms used to truncate to a 0 ms poll() and spin the
+  // CPU until the deadline. The fix rounds up to poll's 1 ms granularity.
+  EXPECT_GE(elapsed_ms, 0.9);
+}
+
+TEST_F(NetServerTest, HalfOpenConnectionsGetTheStricterHelloTimeout) {
+  auto tenants = MakeRegistry();
+  NetServerOptions options;
+  options.idle_timeout_ms = 1'000'000;  // effectively never
+  options.hello_timeout_ms = 10'000;
+  NetHarness harness(*tenants, options);
+  auto greeted = harness.NewClient();
+  ASSERT_TRUE(greeted->Hello("uni").ok());
+  auto silent = harness.NewClient();
+  ASSERT_TRUE(WaitUntil(
+      [&] { return harness.server().Stats().open_connections == 2; }));
+  harness.clock().AdvanceMs(60'000);
+  // The half-open connection dies on the hello clock; the greeted one is
+  // measured against the (huge) idle window and survives.
+  auto eof = silent->ReadFrame(5000);
+  EXPECT_EQ(eof.status().code(), StatusCode::kUnavailable)
+      << eof.status().ToString();
+  auto reply = greeted->Ask(1, "Vokram IT", 3, 0);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  const NetServerStats stats = harness.server().Stats();
+  EXPECT_EQ(stats.hello_timeouts, 1u);
+  EXPECT_EQ(stats.idle_timeouts, 0u);
+}
+
+// --------------------------------------------- write-side backpressure
+
+TEST_F(NetServerTest, SlowReaderIsBackpressuredWithinTheWriteBufferCap) {
+  auto tenants = MakeRegistry();
+  NetServerOptions options;
+  options.max_write_buffer_bytes = 4096;
+  options.so_sndbuf = 4096;  // tiny kernel buffer: wedge with ~KBs
+  NetHarness harness(*tenants, options);
+  auto client = harness.NewClient();
+  ASSERT_TRUE(client->Hello("uni").ok());
+  constexpr size_t kQueries = 40;
+  for (size_t i = 0; i < kQueries; ++i) {
+    ASSERT_TRUE(client->SendQuery(i + 1, "Vokram IT department", 5, 0).ok());
+  }
+  // Do not read yet: replies overflow the kernel buffer and the server
+  // must park, not buffer, the excess.
+  ASSERT_TRUE(WaitUntil(
+      [&] { return harness.server().Stats().outbox_high_water > 0; }));
+  const NetServerStats wedged = harness.server().Stats();
+  EXPECT_LE(wedged.outbox_high_water, options.max_write_buffer_bytes)
+      << "outbox grew past the high-water mark";
+  // Catch up: every routed query still gets exactly one terminal frame.
+  std::set<uint64_t> answered;
+  while (answered.size() < kQueries) {
+    auto frame = client->ReadFrame(30000);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    if (FrameIs(*frame, "RESP") || FrameIs(*frame, "ERRR") ||
+        FrameIs(*frame, "RTRY")) {
+      EXPECT_TRUE(answered.insert(frame->request_id).second)
+          << "duplicate terminal frame for request " << frame->request_id;
+    }
+  }
+  ASSERT_TRUE(WaitUntil([&] {
+    const NetServerStats stats = harness.server().Stats();
+    return stats.replies + stats.queries_dropped >= stats.queries;
+  }));
+  const NetServerStats stats = harness.server().Stats();
+  EXPECT_EQ(stats.queries, kQueries);
+  EXPECT_EQ(stats.replies, kQueries);
+  EXPECT_EQ(stats.queries_dropped, 0u);
+  EXPECT_LE(stats.outbox_high_water, options.max_write_buffer_bytes);
+}
+
+TEST_F(NetServerTest, FullyStalledReaderIsEvictedOnTheInjectedClock) {
+  auto tenants = MakeRegistry();
+  NetServerOptions options;
+  options.max_write_buffer_bytes = 4096;
+  options.so_sndbuf = 4096;
+  options.write_stall_timeout_ms = 5'000;
+  NetHarness harness(*tenants, options);
+  auto client = harness.NewClient();
+  ASSERT_TRUE(client->Hello("uni").ok());
+  constexpr size_t kQueries = 40;
+  for (size_t i = 0; i < kQueries; ++i) {
+    ASSERT_TRUE(client->SendQuery(i + 1, "Vokram IT department", 5, 0).ok());
+  }
+  ASSERT_TRUE(WaitUntil(
+      [&] { return harness.server().Stats().outbox_high_water > 0; }));
+  // The peer never reads. Step the clock until an advance lands after the
+  // last write that made progress — the stall window then expires.
+  ASSERT_TRUE(WaitUntil([&] {
+    harness.clock().AdvanceMs(6'000);
+    return harness.server().Stats().evicted_slow == 1;
+  }));
+  // Our end now sees whatever was in flight, then EOF.
+  while (true) {
+    auto frame = client->ReadFrame(5000);
+    if (!frame.ok()) {
+      EXPECT_EQ(frame.status().code(), StatusCode::kUnavailable)
+          << frame.status().ToString();
+      break;
+    }
+  }
+  const NetServerStats stats = harness.server().Stats();
+  EXPECT_EQ(stats.evicted_slow, 1u);
+  EXPECT_EQ(stats.open_connections, 0u);
+  EXPECT_EQ(stats.queries, stats.replies + stats.queries_dropped)
+      << "every routed query must be answered or accounted as dropped";
+}
+
+// ------------------------------------------------------------ draining
+
+TEST_F(NetServerTest, DrainFinishesInFlightWorkSaysGoodbyeAndCloses) {
+  auto tenants = MakeRegistry();
+  NetHarness harness(*tenants);
+  auto client = harness.NewClient();
+  ASSERT_TRUE(client->Hello("uni").ok());
+  auto reply = client->Ask(1, "Vokram IT", 3, 0);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+
+  DrainReport report;
+  Status drained = harness.server().Drain(30'000, &report);
+  ASSERT_TRUE(drained.ok()) << drained.ToString();
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.evicted, 0u);
+  EXPECT_EQ(harness.server().lifecycle(), ServerLifecycle::kClosed);
+
+  auto bye = client->ReadFrame(5000);
+  ASSERT_TRUE(bye.ok()) << bye.status().ToString();
+  EXPECT_TRUE(FrameIs(*bye, "GBYE"));
+  auto eof = client->ReadFrame(5000);
+  EXPECT_EQ(eof.status().code(), StatusCode::kUnavailable);
+
+  // A drained server refuses seconds and newcomers alike.
+  EXPECT_EQ(harness.server().Drain(1000).code(),
+            StatusCode::kFailedPrecondition);
+  int server_end = -1, client_end = -1;
+  ASSERT_TRUE(MakeSocketPair(&server_end, &client_end).ok());
+  NetClient refused(client_end);  // owns + closes our end
+  EXPECT_FALSE(harness.server().AdoptConnection(server_end).ok());
+}
+
+TEST_F(NetServerTest, QueriesParkedBehindBackpressureGetRetryDuringDrain) {
+  // A serial worker keeps a routed backlog in flight long enough that the
+  // drain deterministically finds parked-but-unrouted QURY frames.
+  auto tenants = std::make_unique<TenantRegistry>();
+  TenantOptions serial;
+  serial.server.workers = 1;
+  ASSERT_TRUE(tenants->AddTenant("uni", engine_, serial).ok());
+  NetHarness harness(*tenants);
+  auto client = harness.NewClient();
+  ASSERT_TRUE(client->Hello("uni").ok());
+  constexpr size_t kQueries = 100;
+  for (size_t i = 0; i < kQueries; ++i) {
+    ASSERT_TRUE(client->SendQuery(i + 1, "Vokram IT department", 5, 0).ok());
+  }
+  // Routing pauses at max_pending_per_connection (32): the rest is parked
+  // in the decoder/kernel when the drain begins.
+  ASSERT_TRUE(WaitUntil([&] {
+    return harness.server().Stats().queries >=
+           NetServerOptions{}.max_pending_per_connection;
+  }));
+  DrainReport report;
+  Status drain_status = Status::OK();
+  std::thread drainer(
+      [&] { drain_status = harness.server().Drain(600'000, &report); });
+  drainer.join();
+  ASSERT_TRUE(drain_status.ok()) << drain_status.ToString();
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.evicted, 0u);
+
+  // Read the whole stream back: a RESP for everything routed, an RTRY
+  // ("server draining", with a retry-after hint) for everything parked,
+  // exactly one terminal per request, then GBYE and EOF.
+  size_t resp = 0, rtry = 0;
+  bool saw_gbye = false;
+  std::set<uint64_t> answered;
+  while (true) {
+    auto frame = client->ReadFrame(30000);
+    if (!frame.ok()) {
+      EXPECT_EQ(frame.status().code(), StatusCode::kUnavailable)
+          << frame.status().ToString();
+      break;
+    }
+    if (FrameIs(*frame, "GBYE")) {
+      saw_gbye = true;
+      continue;
+    }
+    ASSERT_TRUE(answered.insert(frame->request_id).second)
+        << "duplicate terminal frame for request " << frame->request_id;
+    if (FrameIs(*frame, "RESP")) {
+      ++resp;
+    } else if (FrameIs(*frame, "RTRY")) {
+      ++rtry;
+      auto decoded = DecodeErrorReply(frame->payload);
+      ASSERT_TRUE(decoded.ok());
+      const Status status = StatusFromErrorReply(*decoded);
+      EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+      EXPECT_GT(SuggestedRetryAfterMs(status), 0.0)
+          << "drain RTRY must carry a retry-after hint";
+    } else {
+      ADD_FAILURE() << "unexpected frame type " << frame->type;
+    }
+  }
+  EXPECT_TRUE(saw_gbye);
+  EXPECT_EQ(answered.size(), kQueries);
+  EXPECT_GE(rtry, 1u);
+  const NetServerStats stats = harness.server().Stats();
+  EXPECT_EQ(resp, stats.queries);
+  EXPECT_EQ(rtry, kQueries - stats.queries);
+  EXPECT_EQ(stats.replies, stats.queries);
+  EXPECT_EQ(stats.queries_dropped, 0u);
+  EXPECT_EQ(stats.drain_rtry, rtry);
+}
+
+TEST_F(NetServerTest, DrainDeadlineEvictsConnectionsThatCannotFlush) {
+  auto tenants = MakeRegistry();
+  NetServerOptions options;
+  options.max_write_buffer_bytes = 4096;
+  options.so_sndbuf = 4096;
+  NetHarness harness(*tenants, options);
+  auto client = harness.NewClient();
+  ASSERT_TRUE(client->Hello("uni").ok());
+  constexpr size_t kQueries = 40;
+  for (size_t i = 0; i < kQueries; ++i) {
+    ASSERT_TRUE(client->SendQuery(i + 1, "Vokram IT department", 5, 0).ok());
+  }
+  // Wait until the pending window is full of routed queries before
+  // draining. (Not outbox_high_water: the HELO echo already raises that,
+  // so it can fire before the server has even read the QURY frames — and
+  // then a drain would RTRY everything, flush the few small frames, and
+  // close cleanly.) With real work in flight and a peer that never reads,
+  // the replies overflow the kernel buffer plus the outbox cap: the drain
+  // cannot finish this connection, so the deadline must evict it.
+  ASSERT_TRUE(WaitUntil([&] {
+    return harness.server().Stats().queries >=
+           NetServerOptions{}.max_pending_per_connection;
+  }));
+  DrainReport report;
+  Status drain_status = Status::OK();
+  std::thread drainer(
+      [&] { drain_status = harness.server().Drain(5'000, &report); });
+  ASSERT_TRUE(WaitUntil([&] {
+    return harness.server().lifecycle() != ServerLifecycle::kAccepting;
+  }));
+  harness.clock().AdvanceMs(60'000);
+  drainer.join();
+  ASSERT_TRUE(drain_status.ok()) << drain_status.ToString();
+  EXPECT_FALSE(report.completed);
+  EXPECT_EQ(report.evicted, 1u);
+  const NetServerStats stats = harness.server().Stats();
+  EXPECT_EQ(stats.open_connections, 0u);
+  EXPECT_EQ(stats.queries, stats.replies + stats.queries_dropped);
+  // Our end: whatever flushed before the eviction, then EOF.
+  while (true) {
+    auto frame = client->ReadFrame(5000);
+    if (!frame.ok()) {
+      EXPECT_EQ(frame.status().code(), StatusCode::kUnavailable);
+      break;
+    }
+  }
+}
+
+// ----------------------------------------------------- server failpoints
+
+TEST_F(NetServerTest, ShortWriteFailpointStillDeliversEveryReply) {
+  if (!failpoints::Enabled()) GTEST_SKIP() << "failpoints compiled out";
+  FailpointClearer clearer;
+  failpoints::Reset();
+  auto tenants = MakeRegistry();
+  NetHarness harness(*tenants);
+  auto client = harness.NewClient();
+  ASSERT_TRUE(client->Hello("uni").ok());
+  // Every server write dribbles one byte: replies must still arrive whole.
+  failpoints::EnableCallback("net.server.short_write", [](void* payload) {
+    *static_cast<size_t*>(payload) = 1;
+  });
+  auto reply = client->Ask(1, "Vokram IT", 3, 0);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_FALSE(reply->answers.empty());
+  EXPECT_GT(failpoints::HitCount("net.server.short_write"), 1u);
+}
+
+TEST_F(NetServerTest, WriteErrorFailpointKillsTheConnectionWithAccounting) {
+  if (!failpoints::Enabled()) GTEST_SKIP() << "failpoints compiled out";
+  FailpointClearer clearer;
+  failpoints::Reset();
+  auto tenants = MakeRegistry();
+  NetHarness harness(*tenants);
+  auto client = harness.NewClient();
+  ASSERT_TRUE(client->Hello("uni").ok());
+  failpoints::Action action;
+  action.kind = failpoints::ActionKind::kCallback;
+  action.callback = [](void* payload) { *static_cast<bool*>(payload) = true; };
+  action.limit = 1;
+  failpoints::Enable("net.server.write_error", action);
+  ASSERT_TRUE(client->SendQuery(1, "Vokram IT", 3, 0).ok());
+  auto frame = client->ReadFrame(10000);
+  EXPECT_EQ(frame.status().code(), StatusCode::kUnavailable)
+      << "the injected write error must close the connection";
+  ASSERT_TRUE(
+      WaitUntil([&] { return harness.server().Stats().write_errors == 1; }));
+  const NetServerStats stats = harness.server().Stats();
+  EXPECT_EQ(stats.queries, stats.replies + stats.queries_dropped);
+}
+
+TEST_F(NetServerTest, AcceptFailureFailpointDropsTheConnectionAndCounts) {
+  if (!failpoints::Enabled()) GTEST_SKIP() << "failpoints compiled out";
+  FailpointClearer clearer;
+  failpoints::Reset();
+  auto tenants = MakeRegistry();
+  NetServerOptions options;
+  options.listen = true;
+  options.port = 0;
+  NetServer server(*tenants, options);
+  ASSERT_TRUE(server.Start().ok());
+  failpoints::Action action;
+  action.kind = failpoints::ActionKind::kCallback;
+  action.callback = [](void* payload) { *static_cast<bool*>(payload) = true; };
+  action.limit = 1;
+  failpoints::Enable("net.server.accept_fail", action);
+  // connect(2) lands in the backlog, so it succeeds; the server closes the
+  // socket at accept and the client sees EOF on first read.
+  auto dropped = NetClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(dropped.ok()) << dropped.status().ToString();
+  auto frame = (*dropped)->ReadFrame(10000);
+  EXPECT_EQ(frame.status().code(), StatusCode::kUnavailable)
+      << frame.status().ToString();
+  EXPECT_EQ(server.Stats().accept_failures, 1u);
+  // The failure was injected once; the server keeps serving.
+  auto client = NetClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  ASSERT_TRUE((*client)->Hello("uni").ok());
+  server.Shutdown();
+}
+
+// ------------------------------------------------------- client retries
+
+TEST_F(NetServerTest, AskWithRetryHonorsTheServerRetryAfterHint) {
+  int server_end = -1, client_end = -1;
+  ASSERT_TRUE(MakeSocketPair(&server_end, &client_end).ok());
+  NetClient peer(server_end);  // the scripted "server"
+  NetClient client(client_end);
+  std::vector<double> slept;
+  client.set_sleep_fn([&](double ms) { slept.push_back(ms); });
+
+  std::thread scripted([&] {
+    auto first = peer.ReadFrame(15000);
+    if (!first.ok()) return;
+    (void)!peer.SendFrame(
+        ErrorFrameFor(first->request_id, OverloadedStatus("busy", 25.0)))
+        .ok();
+    auto second = peer.ReadFrame(15000);
+    if (!second.ok()) return;
+    AnswerReply reply;
+    (void)!peer.SendFrame(MakeFrame("RESP", second->request_id,
+                                    EncodeAnswerReply(reply)))
+        .ok();
+  });
+
+  RetryOptions retry_options;
+  retry_options.max_attempts = 3;
+  retry_options.base_backoff_ms = 1.0;
+  retry_options.max_backoff_ms = 5.0;
+  RetryPolicy policy(retry_options);
+  auto reply = client.AskWithRetry(policy, 42, "anything", 3, 0);
+  scripted.join();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(slept.size(), 1u) << "exactly one backoff between two attempts";
+  EXPECT_GE(slept[0], 25.0) << "the RTRY hint must floor the backoff";
+}
+
+TEST_F(NetServerTest, AskWithRetryReconnectsAfterTheServerDropsUs) {
+  auto tenants = MakeRegistry();
+  FakeClock clock;
+  NetServerOptions options;
+  options.listen = true;
+  options.port = 0;
+  options.idle_timeout_ms = 10'000;
+  NetServer server(*tenants, options, clock.AsFunction());
+  ASSERT_TRUE(server.Start().ok());
+  auto client = NetClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  (*client)->set_sleep_fn([](double) {});
+  ASSERT_TRUE((*client)->Hello("uni").ok());
+  // The server times the connection out under us...
+  clock.AdvanceMs(60'000);
+  const bool dropped =
+      WaitUntil([&] { return server.Stats().idle_timeouts >= 1; });
+  const NetServerStats mid = server.Stats();
+  ASSERT_TRUE(dropped) << "accepted=" << mid.accepted
+                       << " open=" << mid.open_connections
+                       << " disconnects=" << mid.disconnects
+                       << " hello_timeouts=" << mid.hello_timeouts
+                       << " idle_timeouts=" << mid.idle_timeouts
+                       << " frames_in=" << mid.frames_in
+                       << " bytes_in=" << mid.bytes_in
+                       << " bytes_out=" << mid.bytes_out
+                       << " queries=" << mid.queries;
+  // ...and the next AskWithRetry dials back in, re-HELOs, and succeeds.
+  RetryOptions retry_options;
+  retry_options.max_attempts = 4;
+  retry_options.base_backoff_ms = 1.0;
+  retry_options.max_backoff_ms = 2.0;
+  RetryPolicy policy(retry_options);
+  auto reply = (*client)->AskWithRetry(policy, 9, "Vokram IT", 3, 0);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_FALSE(reply->answers.empty());
+  EXPECT_EQ((*client)->reconnects(), 1u);
+  server.Shutdown();
+}
+
+TEST_F(NetServerTest, StaleDuplicateTerminalFramesAreDroppedAndCounted) {
+  int server_end = -1, client_end = -1;
+  ASSERT_TRUE(MakeSocketPair(&server_end, &client_end).ok());
+  NetClient peer(server_end);
+  NetClient client(client_end);
+  std::thread scripted([&] {
+    auto first = peer.ReadFrame(15000);
+    if (!first.ok()) return;
+    AnswerReply reply;
+    const std::string wire = EncodeFrame(
+        MakeFrame("RESP", first->request_id, EncodeAnswerReply(reply)));
+    // The reply... and its evil twin (a retry racing the original).
+    (void)!peer.SendBytes(wire.data(), wire.size()).ok();
+    (void)!peer.SendBytes(wire.data(), wire.size()).ok();
+    auto second = peer.ReadFrame(15000);
+    if (!second.ok()) return;
+    (void)!peer.SendFrame(MakeFrame("RESP", second->request_id,
+                                    EncodeAnswerReply(reply)))
+        .ok();
+  });
+  auto first = client.Ask(7, "q", 3, 0);
+  auto second = client.Ask(8, "q", 3, 0);
+  scripted.join();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(client.duplicates_dropped(), 1u)
+      << "the duplicate RESP for request 7 must be dropped, not misdelivered";
 }
 
 }  // namespace

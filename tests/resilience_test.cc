@@ -20,7 +20,10 @@
 #include "core/keymantic.h"
 #include "datasets/university.h"
 #include "engine/executor.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "serve/engine_server.h"
+#include "serve/tenant.h"
 #include "snapshot/snapshot.h"
 
 namespace km {
@@ -529,6 +532,22 @@ TEST_F(ResilienceTest, EverySiteIsVisitedByTheUnarmedPipeline) {
     ASSERT_TRUE(server.ReloadSnapshot(path).ok());
     server.Shutdown();
     std::remove(path.c_str());
+  }
+  {
+    // The network sites: accept_fail is visited on every accept, and the
+    // write sites on every reply flush, so one real-TCP exchange covers
+    // all three unarmed.
+    auto engine = std::make_shared<const KeymanticEngine>(*db_);
+    TenantRegistry tenants;
+    ASSERT_TRUE(tenants.AddTenant("uni", engine).ok());
+    net::NetServer server(tenants, net::NetServerOptions{});
+    ASSERT_TRUE(server.Start().ok());
+    auto client = net::NetClient::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE((*client)->Hello("uni").ok());
+    ASSERT_TRUE((*client)->Ask(1, "Vokram IT", 3, 0).ok());
+    (*client)->Close();
+    server.Shutdown();
   }
   std::vector<std::string> visited = failpoints::VisitedSites();
   for (size_t i = 0; i < failpoints::kNumFailpointSites; ++i) {

@@ -12,6 +12,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -52,7 +54,11 @@ class SnapshotCorruptionTest : public testing::Test {
     ASSERT_TRUE(db.ok());
     db_ = std::make_unique<Database>(std::move(*db));
     auto state = PreparedState::Build(*db_, PrepareOptions{});
-    path_ = testing::TempDir() + "km_fuzz_base.snap";
+    // Suffixed with the pid: ctest runs each test of this suite as its own
+    // process, concurrently under -j, and two processes mutating the same
+    // scratch file SIGBUS each other mid-mmap.
+    path_ = testing::TempDir() + "km_fuzz_base." + std::to_string(getpid()) +
+            ".snap";
     ASSERT_TRUE(SaveSnapshot(*state, path_).ok());
     std::ifstream in(path_, std::ios::binary);
     std::ostringstream buf;
@@ -82,7 +88,8 @@ class SnapshotCorruptionTest : public testing::Test {
 
   std::unique_ptr<Database> db_;
   std::string path_;
-  std::string corrupt_path_ = testing::TempDir() + "km_fuzz_corrupt.snap";
+  std::string corrupt_path_ = testing::TempDir() + "km_fuzz_corrupt." +
+                              std::to_string(getpid()) + ".snap";
   std::string bytes_;
 };
 

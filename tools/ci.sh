@@ -73,9 +73,12 @@ run_tsan() {
   # concurrent Submit traffic; EngineServer now also covers the
   # reload-vs-shutdown race. NetProtocol/NetServer run the poll-loop front
   # end and its client under raw threads; Tenant covers the registry's
-  # cross-tenant isolation from concurrent submitters.
-  ctest --preset tsan -j "$(nproc)" \
-    -R "ThreadPool|LruCache|Concurrency|EngineConcurrency|Murty|Core|TraceGolden|Admission|Aimd|EngineServer|Retry|CircuitBreaker|Mutex|CondVar|SnapshotReload|KernelEquivalence|RandomVocabulary|NetProtocol|NetServer|Tenant"
+  # cross-tenant isolation from concurrent submitters. NetChaos runs a
+  # reduced-depth chaos soak — drains, reloads and hostile peers racing the
+  # poll loop are exactly the interleavings TSan exists to check.
+  KM_NET_CHAOS_ITERS="${KM_NET_CHAOS_ITERS:-60}" \
+    ctest --preset tsan -j "$(nproc)" \
+      -R "ThreadPool|LruCache|Concurrency|EngineConcurrency|Murty|Core|TraceGolden|Admission|Aimd|EngineServer|Retry|CircuitBreaker|Mutex|CondVar|SnapshotReload|KernelEquivalence|RandomVocabulary|NetProtocol|NetServer|NetChaos|Tenant"
 }
 
 run_bench() {
@@ -118,20 +121,27 @@ run_failpoints() {
   # tenant-isolation regression under ASan.
   KM_SNAPSHOT_FUZZ_ITERS="${KM_SNAPSHOT_FUZZ_ITERS:-120}" \
   KM_NET_FUZZ_ITERS="${KM_NET_FUZZ_ITERS:-120}" \
+  KM_NET_CHAOS_ITERS="${KM_NET_CHAOS_ITERS:-120}" \
     ctest --preset failpoints -j "$(nproc)" \
       -R "Resilience|Murty|Core|ServeBreaker|Snapshot|EngineServer|Net|Tenant"
 }
 
 run_soak() {
-  echo "=== CI job: soak (ASan + KM_FAILPOINTS=ON, e12 overload smoke) ==="
+  echo "=== CI job: soak (ASan + KM_FAILPOINTS=ON, e12 overload + net chaos) ==="
   cmake --preset failpoints
-  cmake --build --preset failpoints -j "$(nproc)" --target bench_e12_overload
+  cmake --build --preset failpoints -j "$(nproc)" --target bench_e12_overload \
+    --target net_chaos_test
   # With failpoints compiled in, the e12 smoke runs the full acceptance
   # loop under ASan: shedding at 2x+ saturation with a bounded queue,
   # retry-budget amplification, and the breaker trip/fail-fast/recover
   # cycle against the executor.join.fail site. The binary exits non-zero
   # if any CHECK is violated.
   build/failpoints/bench/bench_e12_overload --smoke
+  # The connection-lifecycle chaos soak: seeded hostile peers, snapshot
+  # reloads and drains under ASan with the write-path failpoints armed at
+  # random. 200 iterations here; 500 locally by default.
+  KM_NET_CHAOS_ITERS="${KM_NET_CHAOS_ITERS:-200}" \
+    ctest --preset failpoints -R "NetChaos" --output-on-failure
 }
 
 run_lint() {
